@@ -1,0 +1,46 @@
+"""Shared fixtures for the per-table / per-figure benchmark harness.
+
+Each benchmark regenerates one artifact of the paper's evaluation:
+it builds the workloads, runs the characterization, prints the same
+rows/series the paper reports (run pytest with ``-s`` to see them),
+and asserts the qualitative shape the paper describes.
+
+Workload scales: the SuiteSparse stand-ins are capped at 2048 rows and
+the density sweeps use 1024-row matrices so the full suite runs in
+minutes; Figure 9 keeps the paper's 8000 x 8000 scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware import HardwareConfig
+from repro.workloads import band_suite, random_suite, suitesparse_suite
+
+#: Partition sizes of the paper's sweeps.
+PARTITION_SIZES = (8, 16, 32)
+
+#: Figure order of the format bars.
+FORMATS = ("dense", "csr", "bcsr", "csc", "lil", "ell", "coo", "dia")
+
+
+def config_at(p: int) -> HardwareConfig:
+    return HardwareConfig(partition_size=p)
+
+
+@pytest.fixture(scope="session")
+def suitesparse_workloads():
+    """Stand-ins for all 20 Table 1 matrices (dimension-capped)."""
+    return suitesparse_suite(max_dim=2048, seed=0)
+
+
+@pytest.fixture(scope="session")
+def random_workloads():
+    """The density sweep of Figures 5 and 10."""
+    return random_suite(n=1024, seed=0)
+
+
+@pytest.fixture(scope="session")
+def band_workloads():
+    """The band-width sweep of Figures 6 and 11."""
+    return band_suite(n=2048, seed=0)

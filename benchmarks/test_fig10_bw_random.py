@@ -1,0 +1,63 @@
+"""Figure 10: memory-bandwidth utilization vs density (random, p = 16).
+
+Claims asserted: COO is pinned at ~0.33 for every density (two index
+words per value word); every other format improves with density; the
+dense format's utilization *is* the density.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import FORMATS, config_at
+
+from repro.analysis import grouped_series
+from repro.core import SpmvSimulator
+
+
+def build_series(workloads):
+    simulator = SpmvSimulator(config_at(16))
+    series = {name: [] for name in FORMATS}
+    for load in workloads:
+        results = simulator.characterize_formats(
+            load.matrix, FORMATS, workload=load.name
+        )
+        for name in FORMATS:
+            series[name].append(results[name].bandwidth_utilization)
+    return series
+
+
+def test_fig10_bw_random(benchmark, random_workloads):
+    series = benchmark.pedantic(
+        build_series, args=(random_workloads,), rounds=1, iterations=1
+    )
+    densities = [load.parameter for load in random_workloads]
+    print()
+    print(
+        grouped_series(
+            densities, series,
+            title="Figure 10: bandwidth utilization vs density "
+            "(higher is better)",
+        )
+    )
+
+    # COO: always one value word out of three.
+    for value in series["coo"]:
+        assert value == pytest.approx(1 / 3)
+
+    # all formats but COO: denser is better-utilized.
+    for name in FORMATS:
+        if name == "coo":
+            continue
+        assert series[name][-1] > series[name][0], name
+
+    # dense utilization equals the realized density of non-zero tiles.
+    for density, value in zip(densities, series["dense"]):
+        if density >= 0.01:
+            assert value == pytest.approx(density, rel=0.15)
+
+    # CSR/CSC/LIL approach 1/2 (one index word per value) at density 1;
+    # at 0.5 they already beat COO.
+    for name in ("csr", "csc", "lil"):
+        assert series[name][-1] > 1 / 3, name
+        assert series[name][-1] < 0.5, name

@@ -1,0 +1,67 @@
+"""Figure 13: dynamic power broken into logic, BRAM and signals.
+
+Claims asserted: logic power rises (or holds) with partition size for
+every format whose engine widens with the partition; signal power
+dominates the overall dynamic-power trend; static power takes the two
+values Section 6.4 reports.
+"""
+
+from __future__ import annotations
+
+from conftest import FORMATS, PARTITION_SIZES, config_at
+
+from repro.analysis import format_table
+from repro.hardware import estimate_power, static_power_w
+
+
+def build_rows():
+    rows = []
+    for name in FORMATS:
+        for p in PARTITION_SIZES:
+            power = estimate_power(name, config_at(p))
+            rows.append(
+                [
+                    name, p,
+                    power.logic_w, power.bram_w, power.signals_w,
+                    power.dynamic_w, power.static_w,
+                ]
+            )
+    return rows
+
+
+def test_fig13_power_breakdown(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["format", "p", "logic W", "BRAM W", "signals W",
+             "dynamic W", "static W"],
+            rows,
+            title="Figure 13: dynamic power breakdown",
+        )
+    )
+
+    by_cell = {(r[0], r[1]): r for r in rows}
+
+    # Figure 13a: logic power non-decreasing with partition size
+    # (except ELL, whose engine width is fixed at 6).
+    for name in FORMATS:
+        if name == "ell":
+            continue
+        logic = [by_cell[(name, p)][2] for p in PARTITION_SIZES]
+        assert logic == sorted(logic), name
+
+    # signals dominate BRAM power everywhere, so the dynamic total
+    # follows the signal trend (the paper's conclusion).
+    for row in rows:
+        assert row[4] >= row[3]
+        signal_share = row[4] / row[5]
+        assert signal_share > 1 / 3
+
+    # static power: the two published values.
+    for name in FORMATS:
+        assert static_power_w(name) in (0.121, 0.103)
+    for name in ("dense", "csr", "bcsr", "lil", "ell"):
+        assert static_power_w(name) == 0.121
+    for name in ("csc", "coo", "dia"):
+        assert static_power_w(name) == 0.103

@@ -1,0 +1,89 @@
+"""Figure 14: the normalized six-metric summary per workload group.
+
+Every metric is normalized across formats so 1 is the best and 0 the
+worst.  Claims asserted: COO ranks at the top for SuiteSparse (the
+paper's "a non-specialized format such as COO performs faster and
+better utilizes the memory bandwidth"); CSC ranks last everywhere; DIA
+wins bandwidth utilization on the structured band group.
+"""
+
+from __future__ import annotations
+
+from conftest import FORMATS, config_at
+
+from repro.analysis import format_table
+from repro.core import SUMMARY_METRICS, SpmvSimulator, summarize
+
+
+def build_scores(groups):
+    scores = {}
+    for group_name, workloads in groups.items():
+        simulator = SpmvSimulator(config_at(16))
+        results = []
+        for load in workloads:
+            profiles = simulator.profiles(load.matrix)
+            results.extend(
+                simulator.run_format(name, profiles, load.name)
+                for name in FORMATS
+            )
+        scores[group_name] = summarize(results, FORMATS)
+    return scores
+
+
+def test_fig14_summary(
+    benchmark, suitesparse_workloads, random_workloads, band_workloads
+):
+    groups = {
+        "suitesparse": suitesparse_workloads,
+        "random": random_workloads,
+        "band": band_workloads,
+    }
+    scores = benchmark.pedantic(
+        build_scores, args=(groups,), rounds=1, iterations=1
+    )
+    print()
+    metric_names = list(SUMMARY_METRICS)
+    for group_name, format_scores in scores.items():
+        print(
+            format_table(
+                ["format"] + metric_names + ["overall"],
+                [
+                    [s.format_name]
+                    + [s.scores[m] for m in metric_names]
+                    + [s.overall]
+                    for s in format_scores
+                ],
+                title=f"Figure 14 ({group_name}): 1 = best, 0 = worst",
+            )
+        )
+        print()
+
+    for group_name, format_scores in scores.items():
+        by_name = {s.format_name: s for s in format_scores}
+        # scores normalized into [0, 1].
+        for score in format_scores:
+            for value in score.scores.values():
+                assert 0.0 <= value <= 1.0
+
+        # CSC never ranks above the bottom three overall.
+        ranked = sorted(
+            format_scores, key=lambda s: s.overall, reverse=True
+        )
+        bottom = [s.format_name for s in ranked[-3:]]
+        assert "csc" in bottom, group_name
+        del by_name
+
+    # SuiteSparse: COO among the top formats on overhead (the paper's
+    # "COO performs faster ... compared to a specialized format such
+    # as DIA") and the bandwidth winner.
+    suite = {s.format_name: s for s in scores["suitesparse"]}
+    assert suite["coo"].scores["overhead"] >= suite["dia"].scores["overhead"]
+    assert suite["coo"].scores["bandwidth_utilization"] == max(
+        s.scores["bandwidth_utilization"] for s in scores["suitesparse"]
+    )
+
+    # band group: the specialist DIA wins bandwidth utilization.
+    band = {s.format_name: s for s in scores["band"]}
+    assert band["dia"].scores["bandwidth_utilization"] == max(
+        s.scores["bandwidth_utilization"] for s in scores["band"]
+    )

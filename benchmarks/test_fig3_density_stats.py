@@ -1,0 +1,65 @@
+"""Figure 3: density and spatial locality of the SuiteSparse set.
+
+Three panels, each averaged over the non-zero partitions at partition
+sizes 8/16/32: (a) non-zero values per partition, (b) non-zero values
+within the non-zero rows, and (c) non-zero rows per partition.
+"""
+
+from __future__ import annotations
+
+from conftest import PARTITION_SIZES
+
+from repro.analysis import format_table
+from repro.partition import partition_statistics
+
+
+def build_stats(workloads):
+    rows = []
+    for load in workloads:
+        stats = {p: partition_statistics(load.matrix, p)
+                 for p in PARTITION_SIZES}
+        rows.append((load.name, stats))
+    return rows
+
+
+def test_fig3_density_stats(benchmark, suitesparse_workloads):
+    rows = benchmark.pedantic(
+        build_stats, args=(suitesparse_workloads,), rounds=1, iterations=1
+    )
+    print()
+    for panel, attribute in (
+        ("(a) % non-zero values in partitions", "avg_partition_density"),
+        ("(b) % non-zero values in non-zero rows", "avg_row_density"),
+        ("(c) % non-zero rows in partitions", "avg_nnz_row_fraction"),
+    ):
+        table_rows = [
+            [name] + [100.0 * getattr(stats[p], attribute)
+                      for p in PARTITION_SIZES]
+            for name, stats in rows
+        ]
+        print(
+            format_table(
+                ["matrix", "p=8", "p=16", "p=32"],
+                table_rows,
+                title=f"Figure 3{panel}",
+            )
+        )
+        print()
+
+    for _, stats in rows:
+        for p in PARTITION_SIZES:
+            s = stats[p]
+            # row density can never be below partition density, and all
+            # three statistics are valid fractions.
+            assert 0.0 < s.avg_partition_density <= 1.0
+            assert s.avg_row_density >= s.avg_partition_density - 1e-12
+            assert 0.0 < s.avg_nnz_row_fraction <= 1.0
+
+    # locality: growing the partition makes per-partition density drop
+    # for the extremely sparse graph matrices.
+    for name, stats in rows:
+        if stats[8].avg_partition_density < 0.2:
+            assert (
+                stats[32].avg_partition_density
+                <= stats[8].avg_partition_density + 1e-12
+            ), name

@@ -1,0 +1,60 @@
+"""Figure 4: decompression overhead sigma on SuiteSparse, p = 16.
+
+One bar per (matrix, format); lower is better; sigma = 1 is the dense
+baseline.  The paper's headline findings asserted here: the dense bar
+is exactly 1, CSC is the worst case, and sparse formats beat dense on
+the extremely sparse matrices.
+"""
+
+from __future__ import annotations
+
+from conftest import FORMATS, config_at
+
+from repro.analysis import format_table
+from repro.core import SpmvSimulator
+
+
+def build_sigma(workloads):
+    simulator = SpmvSimulator(config_at(16))
+    table = {}
+    for load in workloads:
+        results = simulator.characterize_formats(
+            load.matrix, FORMATS, workload=load.name
+        )
+        table[load.name] = {
+            name: results[name].sigma for name in FORMATS
+        }
+    return table
+
+
+def test_fig4_sigma_suitesparse(benchmark, suitesparse_workloads):
+    table = benchmark.pedantic(
+        build_sigma, args=(suitesparse_workloads,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["matrix"] + list(FORMATS),
+            [[name] + [sigmas[f] for f in FORMATS]
+             for name, sigmas in table.items()],
+            title="Figure 4: sigma (lower is better), 16x16 partitions",
+        )
+    )
+
+    for name, sigmas in table.items():
+        assert sigmas["dense"] == 1.0, name
+        # CSC's orientation mismatch is never the best choice.
+        best = min(sigmas, key=sigmas.get)
+        assert best != "csc", name
+
+    # averaged over the suite, CSC must be the worst format.
+    avg = {
+        fmt: sum(sigmas[fmt] for sigmas in table.values()) / len(table)
+        for fmt in FORMATS
+    }
+    assert max(avg, key=avg.get) == "csc"
+    # extremely sparse matrices: the stream formats beat dense.
+    wins = sum(
+        1 for sigmas in table.values() if sigmas["coo"] < 1.0
+    )
+    assert wins >= len(table) // 2

@@ -1,0 +1,59 @@
+"""Figure 5: sigma vs density on random matrices, p = 16.
+
+The paper's claims: sigma increases with density for every format, and
+increases most dramatically for COO, CSR and CSC; CSC reaches ~20x or
+more; ELL's sigma is flat (its compute is pattern-independent).
+"""
+
+from __future__ import annotations
+
+from conftest import FORMATS, config_at
+
+from repro.analysis import grouped_series
+from repro.core import SpmvSimulator
+
+
+def build_series(workloads):
+    simulator = SpmvSimulator(config_at(16))
+    series = {name: [] for name in FORMATS}
+    for load in workloads:
+        results = simulator.characterize_formats(
+            load.matrix, FORMATS, workload=load.name
+        )
+        for name in FORMATS:
+            series[name].append(results[name].sigma)
+    return series
+
+
+def test_fig5_sigma_random(benchmark, random_workloads):
+    series = benchmark.pedantic(
+        build_series, args=(random_workloads,), rounds=1, iterations=1
+    )
+    densities = [load.parameter for load in random_workloads]
+    print()
+    print(
+        grouped_series(
+            densities, series,
+            title="Figure 5: sigma vs density (16x16 partitions)",
+        )
+    )
+
+    assert all(s == 1.0 for s in series["dense"])
+    # ELL: flat, pattern-independent.
+    assert max(series["ell"]) - min(series["ell"]) < 1e-12
+    # monotone growth with density for the entry-stream formats.
+    for name in ("coo", "csr", "csc"):
+        values = series[name]
+        assert values[0] < values[-1]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:])), name
+    # CSC is the runaway worst case at high density (paper: up to 21x).
+    assert series["csc"][-1] > 15.0
+    assert series["csc"][-1] == max(
+        series[name][-1] for name in FORMATS
+    )
+    # the dramatic growers grow faster than the structured formats.
+    for dramatic in ("coo", "csr", "csc"):
+        growth = series[dramatic][-1] / series[dramatic][0]
+        for steady in ("bcsr", "lil", "dia"):
+            steady_growth = series[steady][-1] / series[steady][0]
+            assert growth > steady_growth, (dramatic, steady)

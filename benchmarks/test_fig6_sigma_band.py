@@ -1,0 +1,55 @@
+"""Figure 6: sigma vs band width, p = 16.
+
+Band matrices from width 1 (pure diagonal) to 64.  Paper claims: sigma
+grows with width for all formats, most dramatically for COO, CSR and
+CSC; CSC reaches ~30x; DIA stays moderate because the data is exactly
+its specialty.
+"""
+
+from __future__ import annotations
+
+from conftest import FORMATS, config_at
+
+from repro.analysis import grouped_series
+from repro.core import SpmvSimulator
+
+
+def build_series(workloads):
+    simulator = SpmvSimulator(config_at(16))
+    series = {name: [] for name in FORMATS}
+    for load in workloads:
+        results = simulator.characterize_formats(
+            load.matrix, FORMATS, workload=load.name
+        )
+        for name in FORMATS:
+            series[name].append(results[name].sigma)
+    return series
+
+
+def test_fig6_sigma_band(benchmark, band_workloads):
+    series = benchmark.pedantic(
+        build_series, args=(band_workloads,), rounds=1, iterations=1
+    )
+    widths = [int(load.parameter) for load in band_workloads]
+    print()
+    print(
+        grouped_series(
+            widths, series,
+            title="Figure 6: sigma vs band width (16x16 partitions)",
+        )
+    )
+
+    assert all(s == 1.0 for s in series["dense"])
+    # growth from narrow to wide bands for the entry-stream formats.
+    for name in ("coo", "csr", "csc"):
+        assert series[name][-1] > series[name][1], name
+    # CSC worst, in the paper's reported ballpark (~30x).
+    assert series["csc"][-1] == max(
+        series[name][-1] for name in FORMATS
+    )
+    assert series["csc"][-1] > 20.0
+    # DIA handles wide bands far better than the generic stream formats.
+    assert series["dia"][-1] < series["coo"][-1]
+    assert series["dia"][-1] < series["csr"][-1]
+    # ELL flat again.
+    assert max(series["ell"]) - min(series["ell"]) < 1e-12

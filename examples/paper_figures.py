@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Regenerate every paper figure's series in one run.
+
+A compact version of the benchmark harness: smaller workloads, every
+figure's numbers printed, and the full result cube saved to
+``copernicus_results.json`` for external plotting.  For the asserted,
+full-scale versions run ``pytest benchmarks/ --benchmark-only -s``.
+
+Run:  python examples/paper_figures.py [output.json]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SpmvSimulator, HardwareConfig
+from repro.analysis import bar_chart, grouped_series
+from repro.core import save_results, summarize
+from repro.formats import PAPER_FORMATS
+from repro.partition import PARTITION_SIZES, partition_statistics
+from repro.workloads import band_suite, random_suite, suitesparse_suite
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else "copernicus_results.json"
+    groups = {
+        "suitesparse": suitesparse_suite(max_dim=1024, seed=0),
+        "random": random_suite(n=512, seed=0),
+        "band": band_suite(n=1024, seed=0),
+    }
+    all_results = []
+
+    # Figure 3: density statistics of the SuiteSparse stand-ins.
+    print("== Figure 3: partition density (p = 16), SuiteSparse ==")
+    densities = {
+        load.name: 100.0
+        * partition_statistics(load.matrix, 16).avg_partition_density
+        for load in groups["suitesparse"]
+    }
+    print(bar_chart(densities, log_scale=True))
+    print()
+
+    # Figures 4-7 and 10-12 come from the same cube.
+    cube: dict[tuple[str, str, int], object] = {}
+    for group_name, workloads in groups.items():
+        for p in PARTITION_SIZES:
+            simulator = SpmvSimulator(HardwareConfig(partition_size=p))
+            for load in workloads:
+                profiles = simulator.profiles(load.matrix)
+                for fmt in PAPER_FORMATS:
+                    result = simulator.run_format(fmt, profiles, load.name)
+                    cube[(load.name, fmt, p)] = result
+                    all_results.append(result)
+
+    def series(group: str, metric: str, p: int = 16):
+        workloads = groups[group]
+        return {
+            fmt: [
+                getattr(cube[(load.name, fmt, p)], metric)
+                for load in workloads
+            ]
+            for fmt in PAPER_FORMATS
+        }
+
+    random_x = [load.parameter for load in groups["random"]]
+    band_x = [int(load.parameter) for load in groups["band"]]
+
+    print(grouped_series(random_x, series("random", "sigma"),
+                         title="== Figure 5: sigma vs density =="))
+    print()
+    print(grouped_series(band_x, series("band", "sigma"),
+                         title="== Figure 6: sigma vs band width =="))
+    print()
+
+    print("== Figure 7: mean sigma vs partition size ==")
+    for group_name in groups:
+        means = {
+            fmt: [
+                sum(
+                    cube[(load.name, fmt, p)].sigma
+                    for load in groups[group_name]
+                )
+                / len(groups[group_name])
+                for p in PARTITION_SIZES
+            ]
+            for fmt in PAPER_FORMATS
+        }
+        print(grouped_series(PARTITION_SIZES, means, title=group_name))
+        print()
+
+    print(grouped_series(
+        random_x, series("random", "bandwidth_utilization"),
+        title="== Figure 10: bandwidth utilization vs density ==",
+    ))
+    print()
+    print(grouped_series(
+        band_x, series("band", "bandwidth_utilization"),
+        title="== Figure 11: bandwidth utilization vs band width ==",
+    ))
+    print()
+
+    print("== Figure 14: overall scores per group ==")
+    for group_name, workloads in groups.items():
+        group_results = [
+            cube[(load.name, fmt, p)]
+            for load in workloads
+            for fmt in PAPER_FORMATS
+            for p in PARTITION_SIZES
+        ]
+        scores = summarize(group_results, PAPER_FORMATS)
+        print(bar_chart(
+            {s.format_name: s.overall for s in scores},
+            title=group_name,
+        ))
+        print()
+
+    save_results(
+        all_results, output,
+        metadata={"scales": "suitesparse<=1024, random=512, band=1024"},
+    )
+    print(f"saved {len(all_results)} records to {output}")
+
+
+if __name__ == "__main__":
+    main()

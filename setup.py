@@ -1,0 +1,12 @@
+"""Setup shim for offline editable installs.
+
+The environment has no network and no ``wheel`` package, so PEP 517
+editable builds (which require ``bdist_wheel``) fail; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` fall back to
+the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

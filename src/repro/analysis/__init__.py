@@ -1,0 +1,25 @@
+"""Reporting utilities: text tables, ASCII figures, experiment index."""
+
+from .experiments import EXPERIMENTS, Experiment, experiment, experiment_ids
+from .compare import MetricDelta, compare_records, comparison_table
+from .figures import bar_chart, grouped_series, scatter_text
+from .report import characterization_report
+from .tables import format_table, format_value
+from .timeline import render_timeline
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "experiment",
+    "experiment_ids",
+    "MetricDelta",
+    "compare_records",
+    "comparison_table",
+    "bar_chart",
+    "grouped_series",
+    "scatter_text",
+    "format_table",
+    "format_value",
+    "render_timeline",
+    "characterization_report",
+]

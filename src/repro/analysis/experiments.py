@@ -1,0 +1,131 @@
+"""Registry of the paper's tables and figures.
+
+Maps every experiment ID to its workload, parameters, the modules that
+implement it, and the benchmark that regenerates it — the per-
+experiment index DESIGN.md documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+
+__all__ = ["Experiment", "EXPERIMENTS", "experiment", "experiment_ids"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artifact of the paper's evaluation."""
+
+    id: str
+    artifact: str
+    description: str
+    workloads: str
+    modules: tuple[str, ...]
+    benchmark: str
+
+
+EXPERIMENTS: tuple[Experiment, ...] = (
+    Experiment(
+        "T1", "Table 1", "Workload inventory (SuiteSparse stand-ins)",
+        "20 Table 1 matrices",
+        ("repro.workloads.suitesparse",),
+        "benchmarks/test_table1_workloads.py",
+    ),
+    Experiment(
+        "F3", "Figure 3", "Partition density & spatial-locality statistics",
+        "SuiteSparse stand-ins, p in {8, 16, 32}",
+        ("repro.partition",),
+        "benchmarks/test_fig3_density_stats.py",
+    ),
+    Experiment(
+        "F4", "Figure 4", "Decompression overhead sigma per matrix",
+        "SuiteSparse stand-ins, p = 16",
+        ("repro.core.simulator", "repro.hardware.decompressors"),
+        "benchmarks/test_fig4_sigma_suitesparse.py",
+    ),
+    Experiment(
+        "F5", "Figure 5", "Sigma vs density",
+        "random matrices, density 1e-4 .. 0.5, p = 16",
+        ("repro.workloads.random_matrices", "repro.core.simulator"),
+        "benchmarks/test_fig5_sigma_random.py",
+    ),
+    Experiment(
+        "F6", "Figure 6", "Sigma vs band width",
+        "band matrices, width 1 .. 64, p = 16",
+        ("repro.workloads.band", "repro.core.simulator"),
+        "benchmarks/test_fig6_sigma_band.py",
+    ),
+    Experiment(
+        "F7", "Figure 7", "Average sigma vs partition size",
+        "all three groups, p in {8, 16, 32}",
+        ("repro.core.sweep",),
+        "benchmarks/test_fig7_sigma_partition.py",
+    ),
+    Experiment(
+        "F8", "Figure 8", "Balance ratio (memory vs compute latency)",
+        "all three groups, p in {8, 16, 32}",
+        ("repro.hardware.pipeline", "repro.core.sweep"),
+        "benchmarks/test_fig8_balance_ratio.py",
+    ),
+    Experiment(
+        "F9", "Figure 9", "Throughput vs total latency",
+        "8000 x 8000 matrices, p in {8, 16, 32}",
+        ("repro.core.simulator",),
+        "benchmarks/test_fig9_throughput.py",
+    ),
+    Experiment(
+        "F10", "Figure 10", "Memory-bandwidth utilization vs density",
+        "random matrices, p = 16",
+        ("repro.formats", "repro.core.simulator"),
+        "benchmarks/test_fig10_bw_random.py",
+    ),
+    Experiment(
+        "F11", "Figure 11", "Memory-bandwidth utilization vs band width",
+        "band matrices, p = 16",
+        ("repro.formats", "repro.core.simulator"),
+        "benchmarks/test_fig11_bw_band.py",
+    ),
+    Experiment(
+        "F12", "Figure 12", "Bandwidth utilization vs partition size",
+        "all three groups, p in {8, 16, 32}",
+        ("repro.core.sweep",),
+        "benchmarks/test_fig12_bw_partition.py",
+    ),
+    Experiment(
+        "T2", "Table 2", "Resource utilization and dynamic power",
+        "formats x p in {8, 16, 32}",
+        ("repro.hardware.resources", "repro.hardware.power"),
+        "benchmarks/test_table2_resources.py",
+    ),
+    Experiment(
+        "F13", "Figure 13", "Dynamic power breakdown (logic/BRAM/signals)",
+        "formats x p in {8, 16, 32}",
+        ("repro.hardware.power",),
+        "benchmarks/test_fig13_power_breakdown.py",
+    ),
+    Experiment(
+        "F14", "Figure 14", "Normalized six-metric summary per group",
+        "all three groups",
+        ("repro.core.summary",),
+        "benchmarks/test_fig14_summary.py",
+    ),
+)
+
+_BY_ID = {exp.id: exp for exp in EXPERIMENTS}
+
+
+def experiment(exp_id: str) -> Experiment:
+    """Look up one experiment by ID (e.g. ``"F5"``)."""
+    try:
+        return _BY_ID[exp_id]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown experiment {exp_id!r}; known: "
+            f"{', '.join(_BY_ID)}"
+        ) from None
+
+
+def experiment_ids() -> tuple[str, ...]:
+    return tuple(_BY_ID)

@@ -1,0 +1,86 @@
+"""Plain-text figure rendering (bars and series).
+
+Each paper figure is regenerated as the numeric series behind it plus
+an ASCII rendition, so a terminal run of the benchmark suite shows the
+same shapes the paper plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_series", "scatter_text"]
+
+_BAR_WIDTH = 40
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    log_scale: bool = False,
+    width: int = _BAR_WIDTH,
+) -> str:
+    """Horizontal ASCII bar chart of one labelled series."""
+    if not values:
+        return title
+    finite = [v for v in values.values() if math.isfinite(v)]
+    top = max(finite) if finite else 1.0
+    lines = [title] if title else []
+    label_width = max(len(label) for label in values)
+    for label, value in values.items():
+        if not math.isfinite(value):
+            bar = "?"
+        elif top <= 0:
+            bar = ""
+        elif log_scale and value > 0 and top > 1:
+            fraction = math.log1p(value) / math.log1p(top)
+            bar = "#" * max(1, int(round(fraction * width)))
+        else:
+            bar = "#" * int(round(max(value, 0.0) / top * width))
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def grouped_series(
+    x_labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render several named series against shared x labels as a grid."""
+    lines = [title] if title else []
+    label_width = max([len(name) for name in series] + [6])
+    cells = [f"{x!s:>10}" for x in x_labels]
+    lines.append(" " * label_width + "".join(cells))
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points, expected "
+                f"{len(x_labels)}"
+            )
+        row = "".join(f"{v:>10.{precision}g}" for v in values)
+        lines.append(name.ljust(label_width) + row)
+    return "\n".join(lines)
+
+
+def scatter_text(
+    points: Mapping[str, tuple[float, float]],
+    x_name: str,
+    y_name: str,
+    title: str = "",
+) -> str:
+    """List labelled (x, y) points plus the y/x ratio per point."""
+    lines = [title] if title else []
+    label_width = max(len(label) for label in points) if points else 5
+    lines.append(
+        f"{'label'.ljust(label_width)}  {x_name:>12}  {y_name:>12}  "
+        f"{'ratio':>8}"
+    )
+    for label, (x, y) in points.items():
+        ratio = y / x if x else math.inf
+        lines.append(
+            f"{label.ljust(label_width)}  {x:>12.4g}  {y:>12.4g}  "
+            f"{ratio:>8.3g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""ASCII timeline (Gantt) rendering of pipeline traces.
+
+Turns a :class:`~repro.hardware.trace.PipelineTrace` into a terminal
+chart: one lane per pipeline stage, ``#`` for busy cycles, ``.`` for
+idle — making Section 4.2's "idle computation or pauses in data
+transfer" directly visible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..hardware.trace import PipelineTrace, StageInterval
+
+__all__ = ["render_timeline"]
+
+_DEFAULT_WIDTH = 72
+
+
+def _lane(
+    intervals: Sequence[StageInterval], total: int, width: int
+) -> str:
+    """Render one stage's busy pattern into ``width`` characters.
+
+    Each cell covers ``total / width`` cycles and shows its busy
+    fraction: ``#`` mostly busy, ``+`` partly busy, ``.`` idle.
+    """
+    if total <= 0:
+        return " " * width
+    busy = [0.0] * width
+    cell_cycles = total / width
+    for interval in intervals:
+        first = int(interval.start / cell_cycles)
+        last = min(int((interval.stop - 1) / cell_cycles), width - 1)
+        for index in range(first, last + 1):
+            cell_start = index * cell_cycles
+            cell_stop = cell_start + cell_cycles
+            overlap = min(interval.stop, cell_stop) - max(
+                interval.start, cell_start
+            )
+            busy[index] += max(overlap, 0.0)
+    cells = []
+    for amount in busy:
+        fraction = amount / cell_cycles
+        if fraction > 0.66:
+            cells.append("#")
+        elif fraction > 0.05:
+            cells.append("+")
+        else:
+            cells.append(".")
+    return "".join(cells)
+
+
+def render_timeline(
+    trace: PipelineTrace, width: int = _DEFAULT_WIDTH
+) -> str:
+    """Render the three pipeline lanes plus an occupancy summary."""
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    total = trace.total_cycles
+    lines = [
+        f"pipeline timeline: {trace.format_name}, "
+        f"p={trace.partition_size}, {trace.n_partitions} partitions, "
+        f"{total} cycles ({trace.bound()}-bound)"
+    ]
+    for label, intervals, occupancy in (
+        ("memory ", trace.memory, trace.memory_occupancy),
+        ("compute", trace.compute, trace.compute_occupancy),
+        ("write  ", trace.write, None),
+    ):
+        lane = _lane(intervals, total, width)
+        suffix = f" {occupancy:5.1%}" if occupancy is not None else ""
+        lines.append(f"{label} |{lane}|{suffix}")
+    lines.append(
+        f"bubbles: compute idle {trace.compute_idle_cycles} cy, "
+        f"memory stalls {trace.memory_stall_cycles} cy"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Applications built on the SpMV kernel (Section 3.3): scientific
+computation (CG), graph analytics (BFS / SSSP / components /
+PageRank), and machine learning (pruned inference, SpMM, conv
+lowering) — each running through encoded sparse formats."""
+
+from .cg import CgResult, conjugate_gradient
+from .conv import conv2d_as_spmm, im2col, prune_filters
+from .engine import PartitionedSpmvEngine
+from .graph_algorithms import (
+    BfsResult,
+    SsspResult,
+    breadth_first_search,
+    connected_components,
+    single_source_shortest_paths,
+)
+from .nn import (
+    SparseLayer,
+    SparseMlp,
+    embedding_reduction,
+    identity,
+    prune_dense_weights,
+    random_pruned_mlp,
+    relu,
+)
+from .pagerank import PageRankResult, pagerank, transition_matrix
+from .solvers import (
+    IterativeResult,
+    gauss_seidel,
+    jacobi,
+    power_iteration,
+)
+from .semiring import (
+    ARITHMETIC,
+    BOOLEAN_OR_AND,
+    TROPICAL_MIN_PLUS,
+    Semiring,
+    semiring_spmv,
+)
+from .spmm import sparse_sparse_matmul, spmm
+
+__all__ = [
+    "CgResult",
+    "conjugate_gradient",
+    "PartitionedSpmvEngine",
+    "conv2d_as_spmm",
+    "im2col",
+    "prune_filters",
+    "BfsResult",
+    "SsspResult",
+    "breadth_first_search",
+    "connected_components",
+    "single_source_shortest_paths",
+    "ARITHMETIC",
+    "BOOLEAN_OR_AND",
+    "TROPICAL_MIN_PLUS",
+    "Semiring",
+    "semiring_spmv",
+    "sparse_sparse_matmul",
+    "spmm",
+    "IterativeResult",
+    "gauss_seidel",
+    "jacobi",
+    "power_iteration",
+    "SparseLayer",
+    "SparseMlp",
+    "embedding_reduction",
+    "identity",
+    "prune_dense_weights",
+    "random_pruned_mlp",
+    "relu",
+    "PageRankResult",
+    "pagerank",
+    "transition_matrix",
+]

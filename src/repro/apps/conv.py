@@ -1,0 +1,98 @@
+"""Convolution lowered to sparse matrix multiplication.
+
+Section 3.3: "convolving a 3D input with a given number of filters can
+be represented as an equivalent matrix-matrix multiplication that
+multiplies the 2D flatten weight matrix by the input matrix."  The
+lowering here is the classic im2col: patches of the input become
+columns, pruned filters become a sparse weight matrix, and the whole
+layer runs through :func:`repro.apps.spmm.spmm`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError, WorkloadError
+from ..matrix import SparseMatrix
+from .nn import prune_dense_weights
+from .spmm import spmm
+
+__all__ = ["im2col", "conv2d_as_spmm", "prune_filters"]
+
+
+def im2col(
+    image: np.ndarray, kernel_size: int, stride: int = 1
+) -> np.ndarray:
+    """Unfold a ``(channels, H, W)`` image into a patch matrix.
+
+    Returns a ``(channels * k * k, n_patches)`` matrix whose columns
+    are the flattened receptive fields, scanned row-major.
+    """
+    array = np.asarray(image, dtype=np.float64)
+    if array.ndim != 3:
+        raise ShapeError(
+            f"image must be (channels, H, W), got ndim={array.ndim}"
+        )
+    if kernel_size < 1:
+        raise WorkloadError(f"kernel_size must be >= 1, got {kernel_size}")
+    if stride < 1:
+        raise WorkloadError(f"stride must be >= 1, got {stride}")
+    channels, height, width = array.shape
+    if height < kernel_size or width < kernel_size:
+        raise ShapeError(
+            f"kernel {kernel_size} exceeds image {height}x{width}"
+        )
+    out_h = (height - kernel_size) // stride + 1
+    out_w = (width - kernel_size) // stride + 1
+    columns = np.empty(
+        (channels * kernel_size * kernel_size, out_h * out_w)
+    )
+    patch = 0
+    for row in range(0, out_h * stride, stride):
+        for col in range(0, out_w * stride, stride):
+            block = array[:, row : row + kernel_size,
+                          col : col + kernel_size]
+            columns[:, patch] = block.ravel()
+            patch += 1
+    return columns
+
+
+def prune_filters(
+    filters: np.ndarray, keep_fraction: float
+) -> SparseMatrix:
+    """Magnitude-prune a ``(out_channels, in_channels, k, k)`` filter
+    bank into the flattened 2-D sparse weight matrix of the lowering."""
+    array = np.asarray(filters, dtype=np.float64)
+    if array.ndim != 4:
+        raise ShapeError(
+            f"filters must be (out, in, k, k), got ndim={array.ndim}"
+        )
+    flat = array.reshape(array.shape[0], -1)
+    return prune_dense_weights(flat, keep_fraction)
+
+
+def conv2d_as_spmm(
+    image: np.ndarray,
+    weights: SparseMatrix,
+    kernel_size: int,
+    stride: int = 1,
+    format_name: str = "csr",
+    partition_size: int = 16,
+) -> np.ndarray:
+    """Run one pruned convolutional layer through the SpMM kernel.
+
+    ``weights`` is the flattened ``(out_channels, in*k*k)`` sparse
+    filter matrix (see :func:`prune_filters`).  Returns the output
+    feature map ``(out_channels, out_H, out_W)``.
+    """
+    patches = im2col(image, kernel_size, stride)
+    if weights.n_cols != patches.shape[0]:
+        raise ShapeError(
+            f"weights expect patches of height {weights.n_cols}, "
+            f"got {patches.shape[0]}"
+        )
+    flat_out = spmm(weights, patches, format_name, partition_size)
+    channels, height, width = np.asarray(image).shape
+    out_h = (height - kernel_size) // stride + 1
+    out_w = (width - kernel_size) // stride + 1
+    return flat_out.reshape(weights.n_rows, out_h, out_w)

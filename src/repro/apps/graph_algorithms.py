@@ -1,0 +1,156 @@
+"""Vertex-centric graph algorithms on the semiring SpMV kernel.
+
+Section 3.3 names breadth-first search, single-source shortest path
+and PageRank as the SpMV-shaped graph workloads; PageRank lives in
+:mod:`repro.apps.pagerank`, the other two live here, plus connected
+components as the natural extension.  Each iteration is one semiring
+SpMV over the (transposed) adjacency structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError, SimulationError
+from ..matrix import SparseMatrix
+from .semiring import (
+    BOOLEAN_OR_AND,
+    TROPICAL_MIN_PLUS,
+    Semiring,
+    semiring_spmv,
+)
+
+#: Label propagation: take the neighbour's label as-is (edge weights
+#: are structure only) and reduce with min.
+_MIN_SELECT = Semiring(
+    "min-select", np.minimum, lambda weights, labels: labels, np.inf
+)
+
+__all__ = [
+    "BfsResult",
+    "SsspResult",
+    "breadth_first_search",
+    "single_source_shortest_paths",
+    "connected_components",
+]
+
+
+def _check_source(graph: SparseMatrix, source: int) -> None:
+    if not graph.is_square:
+        raise ShapeError(f"adjacency must be square, got {graph.shape}")
+    if not 0 <= source < graph.n_rows:
+        raise SimulationError(
+            f"source {source} out of range [0, {graph.n_rows})"
+        )
+
+
+@dataclass(frozen=True)
+class BfsResult:
+    """Levels per vertex (-1 = unreachable) and iteration count."""
+
+    levels: np.ndarray
+    iterations: int
+    spmv_count: int
+
+    def reachable(self) -> np.ndarray:
+        return self.levels >= 0
+
+
+def breadth_first_search(graph: SparseMatrix, source: int) -> BfsResult:
+    """Level-synchronous BFS: each level is one boolean-semiring SpMV.
+
+    The frontier vector is expanded through the transposed adjacency
+    (``frontier_next[v] = OR over u of A[u, v] AND frontier[u]``).
+    """
+    _check_source(graph, source)
+    n = graph.n_rows
+    transposed = graph.transpose()
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = np.zeros(n)
+    frontier[source] = 1.0
+    spmv_count = 0
+    for level in range(1, n + 1):
+        expanded = semiring_spmv(transposed, frontier, BOOLEAN_OR_AND)
+        spmv_count += 1
+        fresh = (expanded > 0) & (levels < 0)
+        if not fresh.any():
+            return BfsResult(levels, level - 1, spmv_count)
+        levels[fresh] = level
+        frontier = fresh.astype(np.float64)
+    return BfsResult(levels, n, spmv_count)
+
+
+@dataclass(frozen=True)
+class SsspResult:
+    """Distances per vertex (inf = unreachable) and iteration count."""
+
+    distances: np.ndarray
+    iterations: int
+    spmv_count: int
+    converged: bool
+
+
+def single_source_shortest_paths(
+    graph: SparseMatrix,
+    source: int,
+    max_iterations: int | None = None,
+) -> SsspResult:
+    """Bellman-Ford relaxation as tropical-semiring SpMV.
+
+    Edge weights are the stored values (must be non-negative for the
+    distances to be meaningful in the usual sense, but the relaxation
+    itself is plain Bellman-Ford and converges for any graph without
+    negative cycles).
+    """
+    _check_source(graph, source)
+    if graph.nnz and graph.vals.min() < 0:
+        raise SimulationError("edge weights must be non-negative")
+    n = graph.n_rows
+    limit = n if max_iterations is None else max_iterations
+    if limit < 1:
+        raise SimulationError(f"max_iterations must be >= 1, got {limit}")
+    transposed = graph.transpose()
+    distances = np.full(n, np.inf)
+    distances[source] = 0.0
+    spmv_count = 0
+    for iteration in range(1, limit + 1):
+        relaxed = semiring_spmv(transposed, distances, TROPICAL_MIN_PLUS)
+        spmv_count += 1
+        updated = np.minimum(distances, relaxed)
+        if np.array_equal(
+            updated, distances
+        ) or np.allclose(updated, distances, equal_nan=True):
+            return SsspResult(distances, iteration - 1, spmv_count, True)
+        distances = updated
+    return SsspResult(distances, limit, spmv_count, False)
+
+
+def connected_components(graph: SparseMatrix) -> np.ndarray:
+    """Component label per vertex (undirected interpretation).
+
+    Label propagation: every vertex repeatedly adopts the minimum
+    label among itself and its neighbours — a min-semiring SpMV per
+    round over the symmetrized adjacency.
+    """
+    if not graph.is_square:
+        raise ShapeError(f"adjacency must be square, got {graph.shape}")
+    n = graph.n_rows
+    symmetric = graph.add(graph.transpose())
+    # propagation runs on reachability, not weights.
+    structure = SparseMatrix(
+        symmetric.shape,
+        symmetric.rows,
+        symmetric.cols,
+        np.ones(symmetric.nnz),
+    )
+    labels = np.arange(n, dtype=np.float64)
+    for _ in range(n):
+        neighbour_min = semiring_spmv(structure, labels, _MIN_SELECT)
+        updated = np.minimum(labels, neighbour_min)
+        if np.array_equal(updated, labels):
+            break
+        labels = updated
+    return labels.astype(np.int64)

@@ -1,0 +1,175 @@
+"""Sparse neural-network inference on the partitioned SpMV engine.
+
+Section 3.3's third domain: pruned model inference is SpMV (or
+matrix-matrix products built from the same dot-product engine), and
+recommendation-style embedding reductions are dot products too.  The
+layers here hold pruned weight matrices encoded in a sparse format and
+run every forward pass through that format's decompression path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ShapeError, WorkloadError
+from ..matrix import SparseMatrix
+from ..workloads.random_matrices import random_matrix
+from .engine import PartitionedSpmvEngine
+
+__all__ = [
+    "relu",
+    "identity",
+    "SparseLayer",
+    "SparseMlp",
+    "prune_dense_weights",
+    "random_pruned_mlp",
+    "embedding_reduction",
+]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear activation."""
+    return np.maximum(x, 0.0)
+
+
+def identity(x: np.ndarray) -> np.ndarray:
+    """No-op activation (for output layers)."""
+    return x
+
+
+def prune_dense_weights(
+    weights: np.ndarray, keep_fraction: float
+) -> SparseMatrix:
+    """Magnitude-prune a dense weight matrix.
+
+    Keeps the largest-magnitude ``keep_fraction`` of the entries — the
+    "common practice is to prune those values" of Section 3.1.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise WorkloadError(
+            f"keep_fraction must be in (0, 1], got {keep_fraction}"
+        )
+    array = np.asarray(weights, dtype=np.float64)
+    if array.ndim != 2:
+        raise ShapeError(f"weights must be 2-D, got ndim={array.ndim}")
+    keep = max(1, int(round(keep_fraction * array.size)))
+    threshold = np.sort(np.abs(array), axis=None)[-keep]
+    pruned = np.where(np.abs(array) >= threshold, array, 0.0)
+    return SparseMatrix.from_dense(pruned)
+
+
+class SparseLayer:
+    """One pruned linear layer: ``activation(W @ x + bias)``."""
+
+    def __init__(
+        self,
+        weights: SparseMatrix,
+        bias: np.ndarray | None = None,
+        activation: Callable[[np.ndarray], np.ndarray] = relu,
+        format_name: str = "csr",
+        partition_size: int = 16,
+    ) -> None:
+        self.engine = PartitionedSpmvEngine(
+            weights, format_name, partition_size
+        )
+        self.bias = (
+            np.zeros(weights.n_rows)
+            if bias is None
+            else np.asarray(bias, dtype=np.float64).ravel()
+        )
+        if self.bias.size != weights.n_rows:
+            raise ShapeError(
+                f"bias length {self.bias.size} != output size "
+                f"{weights.n_rows}"
+            )
+        self.activation = activation
+
+    @property
+    def in_features(self) -> int:
+        return self.engine.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        return self.engine.shape[0]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.activation(self.engine.multiply(x) + self.bias)
+
+
+class SparseMlp:
+    """A stack of sparse layers sharing one format choice."""
+
+    def __init__(self, layers: Sequence[SparseLayer]) -> None:
+        if not layers:
+            raise WorkloadError("an MLP needs at least one layer")
+        for upper, lower in zip(layers[1:], layers[:-1]):
+            if upper.in_features != lower.out_features:
+                raise ShapeError(
+                    f"layer size mismatch: {lower.out_features} -> "
+                    f"{upper.in_features}"
+                )
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64).ravel()
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+
+def random_pruned_mlp(
+    layer_sizes: Sequence[int],
+    density: float = 0.2,
+    format_name: str = "csr",
+    partition_size: int = 16,
+    seed: int = 0,
+) -> SparseMlp:
+    """Build a random pruned MLP (densities 0.1-0.5 mirror the paper's
+    machine-learning random workloads)."""
+    if len(layer_sizes) < 2:
+        raise WorkloadError("need at least input and output sizes")
+    layers = []
+    for index, (n_in, n_out) in enumerate(
+        zip(layer_sizes[:-1], layer_sizes[1:])
+    ):
+        weights = random_matrix(
+            n_out, density, seed=seed + index, n_cols=n_in
+        )
+        last = index == len(layer_sizes) - 2
+        layers.append(
+            SparseLayer(
+                weights,
+                activation=identity if last else relu,
+                format_name=format_name,
+                partition_size=partition_size,
+            )
+        )
+    return SparseMlp(layers)
+
+
+def embedding_reduction(
+    table: np.ndarray, indices: Sequence[int]
+) -> np.ndarray:
+    """Recommendation-model embedding lookup + sum reduction.
+
+    Section 3.3: "sparse embedding-table look-ups end up as a reduction
+    operation ... implemented using a dot-product engine".  Implemented
+    as the equivalent dot product between a sparse one-hot-sum vector
+    and the table.
+    """
+    array = np.asarray(table, dtype=np.float64)
+    if array.ndim != 2:
+        raise ShapeError(f"table must be 2-D, got ndim={array.ndim}")
+    selector = np.zeros(array.shape[0])
+    for index in indices:
+        if not 0 <= index < array.shape[0]:
+            raise ShapeError(
+                f"embedding index {index} out of range "
+                f"[0, {array.shape[0]})"
+            )
+        selector[index] += 1.0
+    return selector @ array
+
+

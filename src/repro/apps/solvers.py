@@ -1,0 +1,180 @@
+"""Classic iterative solvers beyond CG.
+
+Section 3.3 names Symmetric Gauss-Seidel as the smoother inside CG
+pipelines; Jacobi is its embarrassingly parallel sibling and the
+textbook example of an iteration that is *pure* SpMV.  Both are
+provided on the same partitioned engine so any sparse format can carry
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError, SimulationError
+from ..matrix import SparseMatrix
+from .engine import PartitionedSpmvEngine
+
+__all__ = ["IterativeResult", "jacobi", "gauss_seidel", "power_iteration"]
+
+
+@dataclass(frozen=True)
+class IterativeResult:
+    """Outcome of a stationary iterative solve."""
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool
+    spmv_count: int
+
+
+def _split_diagonal(matrix: SparseMatrix) -> tuple[np.ndarray, SparseMatrix]:
+    """(diagonal vector, off-diagonal remainder) of a square matrix."""
+    if not matrix.is_square:
+        raise ShapeError(f"need a square matrix, got {matrix.shape}")
+    on_diag = matrix.rows == matrix.cols
+    diagonal = np.zeros(matrix.n_rows)
+    diagonal[matrix.rows[on_diag]] = matrix.vals[on_diag]
+    if np.any(diagonal == 0.0):
+        raise SimulationError(
+            "matrix has zero diagonal entries; Jacobi/Gauss-Seidel "
+            "need a full diagonal"
+        )
+    remainder = SparseMatrix(
+        matrix.shape,
+        matrix.rows[~on_diag],
+        matrix.cols[~on_diag],
+        matrix.vals[~on_diag],
+    )
+    return diagonal, remainder
+
+
+def jacobi(
+    matrix: SparseMatrix,
+    b: np.ndarray,
+    format_name: str = "csr",
+    partition_size: int = 16,
+    tol: float = 1e-10,
+    max_iterations: int = 10_000,
+) -> IterativeResult:
+    """Jacobi iteration: ``x <- D^-1 (b - R x)``.
+
+    Each step is exactly one SpMV with the off-diagonal remainder,
+    encoded once in the chosen format.
+    """
+    rhs = np.asarray(b, dtype=np.float64).ravel()
+    if rhs.size != matrix.n_rows:
+        raise ShapeError(f"b has length {rhs.size}, expected {matrix.n_rows}")
+    if max_iterations < 1:
+        raise SimulationError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
+    diagonal, remainder = _split_diagonal(matrix)
+    engine = PartitionedSpmvEngine(remainder, format_name, partition_size)
+    x = np.zeros(matrix.n_rows)
+    threshold = tol * max(float(np.linalg.norm(rhs)), 1e-30)
+    spmv_count = 0
+    for iteration in range(1, max_iterations + 1):
+        x_next = (rhs - engine.multiply(x)) / diagonal
+        spmv_count += 1
+        residual = float(np.linalg.norm(matrix.spmv(x_next) - rhs))
+        x = x_next
+        if residual <= threshold:
+            return IterativeResult(x, iteration, residual, True, spmv_count)
+    return IterativeResult(x, max_iterations, residual, False, spmv_count)
+
+
+def gauss_seidel(
+    matrix: SparseMatrix,
+    b: np.ndarray,
+    tol: float = 1e-10,
+    max_iterations: int = 10_000,
+    symmetric: bool = False,
+) -> IterativeResult:
+    """(Symmetric) Gauss-Seidel iteration.
+
+    Forward sweep ``(D + L) x = b - U x`` solved row by row;
+    ``symmetric=True`` appends the backward sweep, the smoother the
+    paper cites from the HPCG-style CG pipeline.
+    """
+    rhs = np.asarray(b, dtype=np.float64).ravel()
+    if rhs.size != matrix.n_rows:
+        raise ShapeError(f"b has length {rhs.size}, expected {matrix.n_rows}")
+    if max_iterations < 1:
+        raise SimulationError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
+    diagonal, _ = _split_diagonal(matrix)
+    n = matrix.n_rows
+    # row-wise views for the triangular sweeps (CSR-style slices).
+    order = np.argsort(matrix.rows, kind="stable")
+    sorted_rows = matrix.rows[order]
+    sorted_cols = matrix.cols[order]
+    sorted_vals = matrix.vals[order]
+    starts = np.searchsorted(sorted_rows, np.arange(n))
+    stops = np.searchsorted(sorted_rows, np.arange(n) + 1)
+
+    def sweep(x: np.ndarray, reverse: bool) -> None:
+        row_range = range(n - 1, -1, -1) if reverse else range(n)
+        for row in row_range:
+            cols = sorted_cols[starts[row] : stops[row]]
+            vals = sorted_vals[starts[row] : stops[row]]
+            off = cols != row
+            acc = float(vals[off] @ x[cols[off]])
+            x[row] = (rhs[row] - acc) / diagonal[row]
+
+    x = np.zeros(n)
+    threshold = tol * max(float(np.linalg.norm(rhs)), 1e-30)
+    spmv_count = 0
+    for iteration in range(1, max_iterations + 1):
+        sweep(x, reverse=False)
+        spmv_count += 1
+        if symmetric:
+            sweep(x, reverse=True)
+            spmv_count += 1
+        residual = float(np.linalg.norm(matrix.spmv(x) - rhs))
+        if residual <= threshold:
+            return IterativeResult(x, iteration, residual, True, spmv_count)
+    return IterativeResult(x, max_iterations, residual, False, spmv_count)
+
+
+def power_iteration(
+    matrix: SparseMatrix,
+    format_name: str = "csr",
+    partition_size: int = 16,
+    tol: float = 1e-12,
+    max_iterations: int = 2_000,
+    seed: int = 0,
+) -> tuple[float, np.ndarray, int]:
+    """Dominant eigenpair via repeated SpMV.
+
+    Returns ``(eigenvalue, eigenvector, iterations)``.
+    """
+    if not matrix.is_square:
+        raise ShapeError(f"need a square matrix, got {matrix.shape}")
+    if max_iterations < 1:
+        raise SimulationError(
+            f"max_iterations must be >= 1, got {max_iterations}"
+        )
+    engine = PartitionedSpmvEngine(matrix, format_name, partition_size)
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.5, 1.5, size=matrix.n_rows)
+    x /= np.linalg.norm(x)
+    eigenvalue = 0.0
+    for iteration in range(1, max_iterations + 1):
+        y = engine.multiply(x)
+        norm = float(np.linalg.norm(y))
+        if norm == 0.0:
+            return 0.0, x, iteration
+        y /= norm
+        new_eigenvalue = float(y @ engine.multiply(y))
+        if abs(new_eigenvalue - eigenvalue) <= tol * max(
+            abs(new_eigenvalue), 1e-30
+        ):
+            return new_eigenvalue, y, iteration
+        eigenvalue = new_eigenvalue
+        x = y
+    return eigenvalue, x, max_iterations

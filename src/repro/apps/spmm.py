@@ -1,0 +1,70 @@
+"""Sparse matrix-matrix multiplication on the SpMV engine.
+
+Section 3.3: "machine learning applications consist of SpMV or sparse
+matrix-matrix multiplication, both of which rely on the same
+underlying dot-product engine."  SpMM here is exactly that: the sparse
+operand is encoded once, and every column of the dense operand streams
+through the partitioned SpMV engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..matrix import SparseMatrix
+from .engine import PartitionedSpmvEngine
+
+__all__ = ["spmm", "sparse_sparse_matmul"]
+
+
+def spmm(
+    matrix: SparseMatrix | PartitionedSpmvEngine,
+    dense: np.ndarray,
+    format_name: str = "csr",
+    partition_size: int = 16,
+) -> np.ndarray:
+    """Compute ``A @ B`` for sparse ``A`` and dense ``B``.
+
+    ``A`` is encoded once (or a pre-built engine is reused); each of
+    ``B``'s columns costs one engine pass.
+    """
+    if isinstance(matrix, PartitionedSpmvEngine):
+        engine = matrix
+    else:
+        engine = PartitionedSpmvEngine(matrix, format_name, partition_size)
+    operand = np.asarray(dense, dtype=np.float64)
+    if operand.ndim == 1:
+        operand = operand[:, np.newaxis]
+    if operand.ndim != 2:
+        raise ShapeError(f"B must be 1-D or 2-D, got ndim={operand.ndim}")
+    if operand.shape[0] != engine.shape[1]:
+        raise ShapeError(
+            f"inner dimensions disagree: A is {engine.shape}, "
+            f"B is {operand.shape}"
+        )
+    out = np.empty((engine.shape[0], operand.shape[1]))
+    for col in range(operand.shape[1]):
+        out[:, col] = engine.multiply(operand[:, col])
+    return out
+
+
+def sparse_sparse_matmul(
+    a: SparseMatrix,
+    b: SparseMatrix,
+    format_name: str = "csr",
+    partition_size: int = 16,
+) -> SparseMatrix:
+    """Compute ``A @ B`` for two sparse operands.
+
+    ``B`` is materialized column-by-column through the engine; the
+    result is re-sparsified (the hardware never recompresses — the
+    paper's platform returns dense vectors — so this is a host-side
+    convenience built on the same kernel).
+    """
+    if a.n_cols != b.n_rows:
+        raise ShapeError(
+            f"inner dimensions disagree: {a.shape} @ {b.shape}"
+        )
+    product = spmm(a, b.to_dense(), format_name, partition_size)
+    return SparseMatrix.from_dense(product)

@@ -1,0 +1,407 @@
+"""Command-line interface.
+
+Everything the library computes is reachable from the shell::
+
+    python -m repro formats
+    python -m repro experiments
+    python -m repro table1
+    python -m repro table2
+    python -m repro characterize --random 512 --density 0.02 -f csr -p 16
+    python -m repro characterize --standin WG --all-formats
+    python -m repro sweep --group band --metric sigma
+    python -m repro advise --standin KR
+
+Each sub-command builds its workload, runs the characterization core,
+and prints plain-text tables (``repro.analysis``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .analysis import (
+    EXPERIMENTS,
+    characterization_report,
+    compare_records,
+    comparison_table,
+    format_table,
+)
+from .core import (
+    SUMMARY_METRICS,
+    SpmvSimulator,
+    explore,
+    load_records,
+    pareto_frontier,
+    summarize,
+)
+from .errors import CopernicusError
+from .formats import ALL_FORMATS, PAPER_FORMATS, get_format
+from .hardware import (
+    PAPER_TABLE2,
+    HardwareConfig,
+    estimate_power,
+    estimate_resources,
+)
+from .matrix import SparseMatrix
+from .partition import PARTITION_SIZES
+from .workloads import (
+    TABLE1,
+    band_matrix,
+    poisson_2d,
+    random_matrix,
+    standin_by_id,
+    workload_group,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--random", type=int, metavar="N",
+        help="uniform random N x N matrix (see --density)",
+    )
+    source.add_argument(
+        "--band", type=int, metavar="N",
+        help="band matrix of size N (see --width)",
+    )
+    source.add_argument(
+        "--poisson", type=int, metavar="GRID",
+        help="2-D Poisson stencil on a GRID x GRID domain",
+    )
+    source.add_argument(
+        "--standin", metavar="ID",
+        help="Table 1 stand-in by two-letter ID (e.g. WG, KR)",
+    )
+    parser.add_argument(
+        "--density", type=float, default=0.01,
+        help="density for --random (default 0.01)",
+    )
+    parser.add_argument(
+        "--width", type=int, default=8,
+        help="band width for --band (default 8)",
+    )
+    parser.add_argument(
+        "--max-dim", type=int, default=2048,
+        help="dimension cap for --standin (default 2048)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default 0)"
+    )
+
+
+def _build_workload(args: argparse.Namespace) -> tuple[str, SparseMatrix]:
+    if args.random is not None:
+        return (
+            f"random-{args.density:g}",
+            random_matrix(args.random, args.density, seed=args.seed),
+        )
+    if args.band is not None:
+        return (
+            f"band-{args.width}",
+            band_matrix(args.band, args.width, seed=args.seed),
+        )
+    if args.poisson is not None:
+        return f"poisson-{args.poisson}", poisson_2d(args.poisson)
+    return (
+        args.standin,
+        standin_by_id(args.standin, max_dim=args.max_dim, seed=args.seed),
+    )
+
+
+def _cmd_formats(_: argparse.Namespace) -> str:
+    rows = []
+    for name in ALL_FORMATS:
+        fmt = get_format(name)
+        flags = []
+        if name in PAPER_FORMATS:
+            flags.append("paper")
+        rows.append([name, type(fmt).__name__, ", ".join(flags)])
+    return format_table(
+        ["name", "class", "notes"], rows, title="Registered sparse formats"
+    )
+
+
+def _cmd_experiments(_: argparse.Namespace) -> str:
+    rows = [
+        [exp.id, exp.artifact, exp.description, exp.benchmark]
+        for exp in EXPERIMENTS
+    ]
+    return format_table(
+        ["id", "artifact", "description", "benchmark"],
+        rows,
+        title="Experiment index (see DESIGN.md)",
+    )
+
+
+def _cmd_table1(_: argparse.Namespace) -> str:
+    rows = [
+        [r.id, r.name, r.dim_millions, r.nnz_millions, r.kind, r.family]
+        for r in TABLE1
+    ]
+    return format_table(
+        ["ID", "Name", "Dim(M)", "NNZ(M)", "Kind", "stand-in family"],
+        rows,
+        title="Table 1: SuiteSparse matrices",
+    )
+
+
+def _cmd_table2(_: argparse.Namespace) -> str:
+    rows = []
+    for paper_row in PAPER_TABLE2:
+        for p in PARTITION_SIZES:
+            config = HardwareConfig(partition_size=p)
+            resources = estimate_resources(paper_row.format_name, config)
+            power = estimate_power(paper_row.format_name, config, resources)
+            published = paper_row.at(p)
+            rows.append(
+                [
+                    paper_row.format_name, p,
+                    resources.bram_18k, published[0],
+                    resources.ff_thousands, published[1],
+                    resources.lut_thousands, published[2],
+                    power.dynamic_w, published[3],
+                ]
+            )
+    return format_table(
+        ["format", "p", "BRAM", "(paper)", "FF k", "(paper)",
+         "LUT k", "(paper)", "dyn W", "(paper)"],
+        rows,
+        title="Table 2: model vs published",
+    )
+
+
+def _cmd_characterize(args: argparse.Namespace) -> str:
+    name, matrix = _build_workload(args)
+    simulator = SpmvSimulator(HardwareConfig(partition_size=args.partition))
+    formats = PAPER_FORMATS if args.all_formats else tuple(args.format)
+    results = simulator.characterize_formats(matrix, formats, workload=name)
+    rows = [
+        [
+            fmt,
+            result.sigma,
+            result.total_seconds * 1e6,
+            result.balance_ratio,
+            result.throughput_bytes_per_s / 1e9,
+            result.bandwidth_utilization,
+            result.dynamic_power_w,
+        ]
+        for fmt, result in results.items()
+    ]
+    return format_table(
+        ["format", "sigma", "latency us", "balance", "thr GB/s",
+         "bw util", "dyn W"],
+        rows,
+        title=f"Characterization of {name} ({matrix.n_rows}x"
+        f"{matrix.n_cols}, nnz={matrix.nnz}, p={args.partition})",
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    workloads = workload_group(args.group)
+    blocks = []
+    for p in args.partitions:
+        simulator = SpmvSimulator(HardwareConfig(partition_size=p))
+        rows = []
+        for load in workloads:
+            profiles = simulator.profiles(load.matrix)
+            values = [
+                getattr(
+                    simulator.run_format(fmt, profiles, load.name),
+                    args.metric,
+                )
+                for fmt in PAPER_FORMATS
+            ]
+            rows.append([load.name] + values)
+        blocks.append(
+            format_table(
+                ["workload"] + list(PAPER_FORMATS),
+                rows,
+                title=f"{args.metric} sweep, group={args.group}, p={p}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    name, matrix = _build_workload(args)
+    return characterization_report(matrix, name)
+
+
+def _cmd_compare(args: argparse.Namespace) -> str:
+    deltas = compare_records(
+        load_records(args.before),
+        load_records(args.after),
+        min_relative=args.threshold,
+    )
+    if not deltas:
+        return "no metric changes above the threshold"
+    return comparison_table(deltas, limit=args.limit)
+
+
+def _cmd_pareto(args: argparse.Namespace) -> str:
+    name, matrix = _build_workload(args)
+    points = explore(matrix, lane_counts=tuple(args.lanes))
+    frontier = pareto_frontier(points, tuple(args.objectives))
+    rows = [
+        [
+            point.format_name,
+            point.partition_size,
+            point.n_lanes,
+        ]
+        + [point.metric(obj) for obj in args.objectives]
+        for point in frontier
+    ]
+    return format_table(
+        ["format", "p", "lanes"] + list(args.objectives),
+        rows,
+        title=f"Pareto frontier for {name} "
+        f"({len(frontier)} of {len(points)} designs)",
+    )
+
+
+def _cmd_advise(args: argparse.Namespace) -> str:
+    name, matrix = _build_workload(args)
+    results = []
+    for p in PARTITION_SIZES:
+        simulator = SpmvSimulator(HardwareConfig(partition_size=p))
+        profiles = simulator.profiles(matrix)
+        results.extend(
+            simulator.run_format(fmt, profiles, name)
+            for fmt in PAPER_FORMATS
+        )
+    scores = sorted(
+        summarize(results, PAPER_FORMATS),
+        key=lambda s: s.overall,
+        reverse=True,
+    )
+    metric_names = list(SUMMARY_METRICS)
+    table = format_table(
+        ["rank", "format"] + metric_names + ["overall"],
+        [
+            [index + 1, score.format_name]
+            + [score.scores[m] for m in metric_names]
+            + [score.overall]
+            for index, score in enumerate(scores)
+        ],
+        title=f"Format recommendation for {name} (1 = best)",
+    )
+    return table + f"\n\nrecommended format: {scores[0].format_name}"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Copernicus sparse-format characterization",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "formats", help="list registered sparse formats"
+    ).set_defaults(handler=_cmd_formats)
+    commands.add_parser(
+        "experiments", help="list the paper's tables and figures"
+    ).set_defaults(handler=_cmd_experiments)
+    commands.add_parser(
+        "table1", help="print Table 1 (workload inventory)"
+    ).set_defaults(handler=_cmd_table1)
+    commands.add_parser(
+        "table2", help="print Table 2 (resources & power, model vs paper)"
+    ).set_defaults(handler=_cmd_table2)
+
+    characterize = commands.add_parser(
+        "characterize", help="characterize formats on one workload"
+    )
+    _add_workload_arguments(characterize)
+    characterize.add_argument(
+        "-f", "--format", action="append", default=None,
+        choices=sorted(ALL_FORMATS), help="format(s) to run",
+    )
+    characterize.add_argument(
+        "--all-formats", action="store_true",
+        help="run all eight paper formats",
+    )
+    characterize.add_argument(
+        "-p", "--partition", type=int, default=16,
+        help="partition size (default 16)",
+    )
+    characterize.set_defaults(handler=_cmd_characterize)
+
+    sweep = commands.add_parser(
+        "sweep", help="sweep a metric over a workload group"
+    )
+    sweep.add_argument(
+        "--group", choices=("suitesparse", "random", "band"),
+        default="random",
+    )
+    sweep.add_argument(
+        "--metric", default="sigma",
+        choices=(
+            "sigma", "balance_ratio", "bandwidth_utilization",
+            "throughput_bytes_per_s", "total_cycles",
+        ),
+    )
+    sweep.add_argument(
+        "--partitions", type=int, nargs="+", default=[16],
+        help="partition sizes (default: 16)",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    advise = commands.add_parser(
+        "advise", help="rank formats for a workload (Figure-14 style)"
+    )
+    _add_workload_arguments(advise)
+    advise.set_defaults(handler=_cmd_advise)
+
+    report = commands.add_parser(
+        "report", help="full characterization report for one workload"
+    )
+    _add_workload_arguments(report)
+    report.set_defaults(handler=_cmd_report)
+
+    compare = commands.add_parser(
+        "compare", help="diff two saved result files (JSON)"
+    )
+    compare.add_argument("before", help="baseline results file")
+    compare.add_argument("after", help="new results file")
+    compare.add_argument(
+        "--threshold", type=float, default=0.01,
+        help="minimum relative change to report (default 1%%)",
+    )
+    compare.add_argument(
+        "--limit", type=int, default=20,
+        help="rows to print (default 20)",
+    )
+    compare.set_defaults(handler=_cmd_compare)
+
+    pareto = commands.add_parser(
+        "pareto", help="Pareto frontier over (format, p, lanes)"
+    )
+    _add_workload_arguments(pareto)
+    pareto.add_argument(
+        "--objectives", nargs="+",
+        default=["total_cycles", "dynamic_power_w"],
+        help="two or more objective metrics",
+    )
+    pareto.add_argument(
+        "--lanes", type=int, nargs="+", default=[1, 2, 4],
+        help="lane counts to explore (default 1 2 4)",
+    )
+    pareto.set_defaults(handler=_cmd_pareto)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "characterize" and not (
+        args.all_formats or args.format
+    ):
+        parser.error("pass -f/--format (repeatable) or --all-formats")
+    try:
+        print(args.handler(args))
+    except CopernicusError as error:
+        parser.exit(2, f"error: {error}\n")
+    return 0

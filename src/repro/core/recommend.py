@@ -1,0 +1,152 @@
+"""Format recommendation under constraints.
+
+The paper's stated purpose is to give architects "hints to ... mindfully
+choose appropriate sparse formats" and to show "which parameters must be
+tuned ... to optimize for a particular metric" (Section 1).  This module
+turns the characterization results into that decision procedure: pick
+the best (format, partition size) pair for a chosen objective, subject
+to the resource and power budgets of a target device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import SimulationError
+from ..hardware.config import DEFAULT_CONFIG, HardwareConfig
+from ..matrix import SparseMatrix
+from ..partition import PARTITION_SIZES
+from .results import CharacterizationResult
+from .simulator import SpmvSimulator
+
+__all__ = ["Objective", "Constraints", "Recommendation", "recommend"]
+
+#: Result attribute and direction per objective name.
+_OBJECTIVES: dict[str, tuple[str, bool]] = {
+    "latency": ("total_cycles", False),
+    "throughput": ("throughput_bytes_per_s", True),
+    "bandwidth": ("bandwidth_utilization", True),
+    "overhead": ("sigma", False),
+    "energy": ("energy_j", False),
+    "power": ("dynamic_power_w", False),
+}
+
+
+@dataclass(frozen=True)
+class Objective:
+    """What to optimize: one of latency / throughput / bandwidth /
+    overhead / energy / power."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in _OBJECTIVES:
+            raise SimulationError(
+                f"unknown objective {self.name!r}; choose from "
+                f"{', '.join(_OBJECTIVES)}"
+            )
+
+    def value(self, result: CharacterizationResult) -> float:
+        attribute, _ = _OBJECTIVES[self.name]
+        return float(getattr(result, attribute))
+
+    def better(self, a: float, b: float) -> bool:
+        """Is ``a`` strictly better than ``b``?"""
+        _, higher = _OBJECTIVES[self.name]
+        return a > b if higher else a < b
+
+
+@dataclass(frozen=True)
+class Constraints:
+    """Device budgets a candidate design must respect.
+
+    Defaults are the xq7z020 the paper targets (Table 2 totals); pass
+    smaller numbers to model a tighter device or a shared fabric.
+    """
+
+    max_bram_18k: int = 140
+    max_ff: int = 106_400
+    max_lut: int = 53_200
+    max_dynamic_power_w: float = float("inf")
+
+    def admits(self, result: CharacterizationResult) -> bool:
+        resources = result.resources
+        return (
+            resources.bram_18k <= self.max_bram_18k
+            and resources.ff <= self.max_ff
+            and resources.lut <= self.max_lut
+            and result.dynamic_power_w <= self.max_dynamic_power_w
+        )
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The chosen design point plus every evaluated alternative."""
+
+    best: CharacterizationResult
+    objective: Objective
+    candidates: tuple[CharacterizationResult, ...]
+    rejected: tuple[CharacterizationResult, ...]
+
+    @property
+    def format_name(self) -> str:
+        return self.best.format_name
+
+    @property
+    def partition_size(self) -> int:
+        return self.best.partition_size
+
+    def ranking(self) -> list[CharacterizationResult]:
+        """Feasible candidates, best first."""
+        return sorted(
+            self.candidates,
+            key=self.objective.value,
+            reverse=_OBJECTIVES[self.objective.name][1],
+        )
+
+
+def recommend(
+    matrix: SparseMatrix,
+    objective: str = "latency",
+    formats: Sequence[str] = (
+        "csr", "bcsr", "csc", "lil", "ell", "coo", "dia",
+    ),
+    partition_sizes: Sequence[int] = PARTITION_SIZES,
+    constraints: Constraints | None = None,
+    base_config: HardwareConfig = DEFAULT_CONFIG,
+) -> Recommendation:
+    """Pick the best (format, partition size) for ``matrix``.
+
+    Every combination is characterized on the hardware model; designs
+    violating ``constraints`` are excluded, and the survivor optimizing
+    ``objective`` wins.
+    """
+    goal = Objective(objective)
+    budget = constraints or Constraints()
+    feasible: list[CharacterizationResult] = []
+    rejected: list[CharacterizationResult] = []
+    for p in partition_sizes:
+        simulator = SpmvSimulator(base_config.with_partition_size(p))
+        profiles = simulator.profiles(matrix)
+        for name in formats:
+            result = simulator.run_format(name, profiles, workload="")
+            if budget.admits(result):
+                feasible.append(result)
+            else:
+                rejected.append(result)
+    if not feasible:
+        raise SimulationError(
+            "no (format, partition) combination satisfies the "
+            "constraints; relax the budgets or widen the search"
+        )
+    best = feasible[0]
+    for candidate in feasible[1:]:
+        if goal.better(goal.value(candidate), goal.value(best)):
+            best = candidate
+    return Recommendation(
+        best=best,
+        objective=goal,
+        candidates=tuple(feasible),
+        rejected=tuple(rejected),
+    )

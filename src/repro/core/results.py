@@ -1,0 +1,118 @@
+"""Result records produced by the characterization simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..formats.base import SizeBreakdown
+from ..hardware.pipeline import PipelineResult
+from ..hardware.power import PowerBreakdown
+from ..hardware.resources import ResourceEstimate
+
+__all__ = ["CharacterizationResult"]
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """Every Copernicus metric for one (matrix, format, partition size).
+
+    Attributes
+    ----------
+    workload / format_name / partition_size:
+        The experiment coordinates.
+    sigma:
+        Decompression latency overhead (Equation 1): this format's
+        compute latency over the dense baseline's on the same non-zero
+        partitions.  Exactly 1.0 for the dense format.
+    pipeline:
+        Full per-partition timing detail.
+    size:
+        Total transferred bytes (values, padding, metadata).
+    clock_mhz:
+        Clock used to convert cycles to seconds.
+    resources / power:
+        The static design-space metrics for this format at this
+        partition size (workload-independent).
+    """
+
+    workload: str
+    format_name: str
+    partition_size: int
+    sigma: float
+    pipeline: PipelineResult
+    size: SizeBreakdown
+    clock_mhz: float
+    resources: ResourceEstimate
+    power: PowerBreakdown
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+    @property
+    def total_cycles(self) -> int:
+        """Pipelined end-to-end cycles for the whole matrix."""
+        return self.pipeline.total_cycles
+
+    @property
+    def total_seconds(self) -> float:
+        return self.total_cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def memory_cycles(self) -> int:
+        return self.pipeline.memory_cycles
+
+    @property
+    def compute_cycles(self) -> int:
+        return self.pipeline.compute_cycles
+
+    @property
+    def decompress_cycles(self) -> int:
+        return self.pipeline.decompress_cycles
+
+    @property
+    def balance_ratio(self) -> float:
+        """Mean memory/compute latency ratio (1 = perfectly balanced)."""
+        return self.pipeline.mean_balance_ratio
+
+    # ------------------------------------------------------------------
+    # Throughput & bandwidth
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return self.size.total_bytes
+
+    @property
+    def throughput_bytes_per_s(self) -> float:
+        """Bytes processed per second (Section 4.2)."""
+        seconds = self.total_seconds
+        if seconds == 0.0:
+            return 0.0
+        return self.total_bytes / seconds
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Useful bytes over all transmitted bytes."""
+        return self.size.bandwidth_utilization
+
+    # ------------------------------------------------------------------
+    # Power / energy
+    # ------------------------------------------------------------------
+    @property
+    def dynamic_power_w(self) -> float:
+        return self.power.dynamic_w
+
+    @property
+    def static_power_w(self) -> float:
+        return self.power.static_w
+
+    @property
+    def energy_j(self) -> float:
+        """Total (dynamic + static) energy of the run."""
+        return self.power.energy_j(self.total_seconds)
+
+    def __repr__(self) -> str:
+        return (
+            f"CharacterizationResult({self.workload!r}, "
+            f"{self.format_name!r}, p={self.partition_size}, "
+            f"sigma={self.sigma:.3g})"
+        )

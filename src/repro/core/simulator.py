@@ -1,0 +1,112 @@
+"""The characterization simulator.
+
+Ties the substrates together: a matrix is profiled into non-zero
+partitions once, then streamed through each format's hardware model to
+produce a :class:`~repro.core.results.CharacterizationResult` holding
+every metric the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import SimulationError
+from ..hardware.config import DEFAULT_CONFIG, HardwareConfig
+from ..hardware.pipeline import StreamingPipeline
+from ..hardware.power import estimate_power
+from ..hardware.resources import estimate_resources
+from ..matrix import SparseMatrix
+from ..partition import PartitionProfile, profile_partitions
+from .results import CharacterizationResult
+
+__all__ = ["SpmvSimulator", "characterize"]
+
+
+class SpmvSimulator:
+    """Characterizes sparse formats on the modelled accelerator.
+
+    Parameters
+    ----------
+    config:
+        Hardware configuration; ``partition_size`` is the tiling and
+        engine width.  Defaults to the paper's platform at 16 x 16.
+    """
+
+    def __init__(self, config: HardwareConfig = DEFAULT_CONFIG) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def profiles(self, matrix: SparseMatrix) -> list[PartitionProfile]:
+        """Profile the matrix's non-zero partitions (reusable)."""
+        return profile_partitions(
+            matrix,
+            self.config.partition_size,
+            block_size=self.config.block_size,
+        )
+
+    def dense_compute_cycles(self, n_partitions: int) -> int:
+        """Equation 1's denominator summed over the partitions."""
+        p = self.config.partition_size
+        return n_partitions * p * self.config.dot_product_cycles()
+
+    def run_format(
+        self,
+        format_name: str,
+        profiles: Sequence[PartitionProfile],
+        workload: str = "",
+    ) -> CharacterizationResult:
+        """Characterize one format over pre-computed profiles."""
+        if not profiles:
+            raise SimulationError(
+                "cannot characterize an all-zero matrix: no non-zero "
+                "partitions to stream"
+            )
+        pipeline = StreamingPipeline(self.config, format_name)
+        result = pipeline.run(profiles)
+        dense_cycles = self.dense_compute_cycles(len(profiles))
+        sigma = result.compute_cycles / dense_cycles
+        resources = estimate_resources(format_name, self.config)
+        return CharacterizationResult(
+            workload=workload,
+            format_name=format_name,
+            partition_size=self.config.partition_size,
+            sigma=sigma,
+            pipeline=result,
+            size=result.transferred,
+            clock_mhz=self.config.clock_mhz,
+            resources=resources,
+            power=estimate_power(format_name, self.config, resources),
+        )
+
+    def characterize(
+        self,
+        matrix: SparseMatrix,
+        format_name: str,
+        workload: str = "",
+    ) -> CharacterizationResult:
+        """Characterize one format on one matrix."""
+        return self.run_format(format_name, self.profiles(matrix), workload)
+
+    def characterize_formats(
+        self,
+        matrix: SparseMatrix,
+        format_names: Sequence[str],
+        workload: str = "",
+    ) -> dict[str, CharacterizationResult]:
+        """Characterize several formats, profiling the matrix once."""
+        profiles = self.profiles(matrix)
+        return {
+            name: self.run_format(name, profiles, workload)
+            for name in format_names
+        }
+
+
+def characterize(
+    matrix: SparseMatrix,
+    format_name: str,
+    partition_size: int = 16,
+    workload: str = "",
+) -> CharacterizationResult:
+    """One-shot convenience wrapper around :class:`SpmvSimulator`."""
+    config = DEFAULT_CONFIG.with_partition_size(partition_size)
+    return SpmvSimulator(config).characterize(matrix, format_name, workload)

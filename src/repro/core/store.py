@@ -1,0 +1,111 @@
+"""Serialization of characterization results.
+
+Sweeps over the full experiment cube take minutes; persisting the
+results lets reporting, plotting and regression tracking run without
+re-simulating.  Records are stored as plain JSON — one flat dict per
+(workload, format, partition size) with every derived metric — so any
+external tool can consume them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from ..errors import SimulationError
+from .results import CharacterizationResult
+
+__all__ = [
+    "result_to_record",
+    "save_results",
+    "load_records",
+    "records_by",
+]
+
+#: Schema version written into every file.
+SCHEMA_VERSION = 1
+
+_METRIC_FIELDS = (
+    "sigma",
+    "total_cycles",
+    "total_seconds",
+    "memory_cycles",
+    "compute_cycles",
+    "decompress_cycles",
+    "balance_ratio",
+    "total_bytes",
+    "throughput_bytes_per_s",
+    "bandwidth_utilization",
+    "dynamic_power_w",
+    "static_power_w",
+    "energy_j",
+)
+
+
+def result_to_record(result: CharacterizationResult) -> dict:
+    """Flatten one result into a JSON-serializable dict."""
+    record = {
+        "workload": result.workload,
+        "format": result.format_name,
+        "partition_size": result.partition_size,
+        "clock_mhz": result.clock_mhz,
+        "n_partitions": result.pipeline.n_partitions,
+        "bram_18k": result.resources.bram_18k,
+        "ff": result.resources.ff,
+        "lut": result.resources.lut,
+    }
+    for field in _METRIC_FIELDS:
+        record[field] = float(getattr(result, field))
+    return record
+
+
+def save_results(
+    results: Sequence[CharacterizationResult],
+    path: str | Path,
+    metadata: dict | None = None,
+) -> None:
+    """Write a result list to a JSON file."""
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "metadata": metadata or {},
+        "records": [result_to_record(r) for r in results],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    )
+
+
+def load_records(path: str | Path) -> list[dict]:
+    """Read the flat records back from a JSON file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SimulationError(
+            f"unsupported results schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    records = payload.get("records")
+    if not isinstance(records, list):
+        raise SimulationError("results file has no record list")
+    return records
+
+
+def records_by(
+    records: Sequence[dict],
+    workload: str | None = None,
+    format_name: str | None = None,
+    partition_size: int | None = None,
+) -> list[dict]:
+    """Filter loaded records by any combination of coordinates."""
+    selected = list(records)
+    if workload is not None:
+        selected = [r for r in selected if r.get("workload") == workload]
+    if format_name is not None:
+        selected = [r for r in selected if r.get("format") == format_name]
+    if partition_size is not None:
+        selected = [
+            r for r in selected
+            if r.get("partition_size") == partition_size
+        ]
+    return selected

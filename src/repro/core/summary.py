@@ -1,0 +1,92 @@
+"""The normalized cross-metric summary (Figure 14).
+
+For each workload group the paper condenses six metrics per format into
+a radar-style score: "normalizing each metric to its maximum achieved
+number so that 1 represents the best case and 0 represents the worst
+case".  Lower-is-better metrics (overhead, latency, power) are inverted
+after normalization; the balance ratio is scored by distance from the
+ideal ratio of one in log space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import SimulationError
+from .results import CharacterizationResult
+from .sweep import group_results, mean_metric
+
+__all__ = ["SUMMARY_METRICS", "FormatScore", "summarize"]
+
+#: Metric name -> (result attribute, higher_is_better).
+SUMMARY_METRICS: dict[str, tuple[str, bool]] = {
+    "overhead": ("sigma", False),
+    "latency": ("total_cycles", False),
+    "balance": ("balance_ratio", None),  # scored by closeness to 1
+    "throughput": ("throughput_bytes_per_s", True),
+    "bandwidth_utilization": ("bandwidth_utilization", True),
+    "power": ("dynamic_power_w", False),
+}
+
+
+@dataclass(frozen=True)
+class FormatScore:
+    """Normalized [0, 1] scores of one format (1 = best, 0 = worst)."""
+
+    format_name: str
+    scores: Mapping[str, float]
+
+    @property
+    def overall(self) -> float:
+        """Unweighted mean across the six metrics."""
+        return sum(self.scores.values()) / len(self.scores)
+
+
+def _raw_value(
+    results: Sequence[CharacterizationResult], metric: str
+) -> float:
+    attribute, higher = SUMMARY_METRICS[metric]
+    value = mean_metric(results, attribute)
+    if higher is None:  # balance: penalize distance from 1 in log space
+        if value <= 0.0:
+            return -math.inf
+        return -abs(math.log(value))
+    return value if higher else -value
+
+
+def summarize(
+    results: Sequence[CharacterizationResult],
+    format_names: Sequence[str],
+) -> list[FormatScore]:
+    """Score each format across all six metrics, normalized per metric."""
+    if not results:
+        raise SimulationError("no results to summarize")
+    raw: dict[str, dict[str, float]] = {}
+    for name in format_names:
+        subset = group_results(results, format_name=name)
+        if not subset:
+            raise SimulationError(f"no results for format {name!r}")
+        raw[name] = {
+            metric: _raw_value(subset, metric) for metric in SUMMARY_METRICS
+        }
+    scores: dict[str, dict[str, float]] = {name: {} for name in format_names}
+    for metric in SUMMARY_METRICS:
+        values = [raw[name][metric] for name in format_names]
+        finite = [v for v in values if math.isfinite(v)]
+        low = min(finite) if finite else 0.0
+        high = max(finite) if finite else 1.0
+        span = high - low
+        for name in format_names:
+            value = raw[name][metric]
+            if not math.isfinite(value):
+                scores[name][metric] = 0.0
+            elif span == 0.0:
+                scores[name][metric] = 1.0
+            else:
+                scores[name][metric] = (value - low) / span
+    return [
+        FormatScore(format_name=name, scores=scores[name])
+        for name in format_names
+    ]

@@ -1,0 +1,115 @@
+"""Hyperparameter sweeps over formats, partition sizes and workloads.
+
+Every figure in the paper is a slice of the same experiment cube
+(workload x format x partition size); this module materializes the
+cube — or any sub-slice — as a flat list of result records that the
+benchmarks and reporting code aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..formats.registry import PAPER_FORMATS
+from ..hardware.config import DEFAULT_CONFIG, HardwareConfig
+from ..partition import PARTITION_SIZES
+from ..workloads.registry import Workload
+from .results import CharacterizationResult
+from .simulator import SpmvSimulator
+
+__all__ = [
+    "sweep_formats",
+    "sweep_partition_sizes",
+    "sweep",
+    "mean_sigma_by_format",
+    "mean_metric",
+    "group_results",
+]
+
+
+def sweep_formats(
+    workload: Workload,
+    format_names: Sequence[str] = PAPER_FORMATS,
+    config: HardwareConfig = DEFAULT_CONFIG,
+) -> list[CharacterizationResult]:
+    """All formats on one workload at one partition size."""
+    simulator = SpmvSimulator(config)
+    results = simulator.characterize_formats(
+        workload.matrix, format_names, workload=workload.name
+    )
+    return [results[name] for name in format_names]
+
+
+def sweep_partition_sizes(
+    workload: Workload,
+    format_names: Sequence[str] = PAPER_FORMATS,
+    partition_sizes: Sequence[int] = PARTITION_SIZES,
+    base_config: HardwareConfig = DEFAULT_CONFIG,
+) -> list[CharacterizationResult]:
+    """All formats x partition sizes on one workload."""
+    results: list[CharacterizationResult] = []
+    for p in partition_sizes:
+        config = base_config.with_partition_size(p)
+        results.extend(sweep_formats(workload, format_names, config))
+    return results
+
+
+def sweep(
+    workloads: Sequence[Workload],
+    format_names: Sequence[str] = PAPER_FORMATS,
+    partition_sizes: Sequence[int] = PARTITION_SIZES,
+    base_config: HardwareConfig = DEFAULT_CONFIG,
+) -> list[CharacterizationResult]:
+    """The full experiment cube over the given workloads."""
+    results: list[CharacterizationResult] = []
+    for workload in workloads:
+        results.extend(
+            sweep_partition_sizes(
+                workload, format_names, partition_sizes, base_config
+            )
+        )
+    return results
+
+
+def group_results(
+    results: Sequence[CharacterizationResult],
+    format_name: str | None = None,
+    partition_size: int | None = None,
+    workload: str | None = None,
+) -> list[CharacterizationResult]:
+    """Filter a result list by any combination of coordinates."""
+    selected = list(results)
+    if format_name is not None:
+        selected = [r for r in selected if r.format_name == format_name]
+    if partition_size is not None:
+        selected = [r for r in selected if r.partition_size == partition_size]
+    if workload is not None:
+        selected = [r for r in selected if r.workload == workload]
+    return selected
+
+
+def mean_metric(
+    results: Sequence[CharacterizationResult], metric: str
+) -> float:
+    """Average a named result attribute over a result list."""
+    if not results:
+        return float("nan")
+    return float(np.mean([getattr(r, metric) for r in results]))
+
+
+def mean_sigma_by_format(
+    results: Sequence[CharacterizationResult],
+    format_names: Sequence[str] = PAPER_FORMATS,
+    partition_size: int | None = None,
+) -> dict[str, float]:
+    """Average sigma per format (the Figure 7 aggregation)."""
+    return {
+        name: mean_metric(
+            group_results(results, format_name=name,
+                          partition_size=partition_size),
+            "sigma",
+        )
+        for name in format_names
+    }

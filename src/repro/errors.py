@@ -1,0 +1,46 @@
+"""Exception hierarchy for the Copernicus reproduction library.
+
+Every error raised by this package derives from :class:`CopernicusError`,
+so callers can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class CopernicusError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class FormatError(CopernicusError):
+    """A sparse-format encode/decode operation failed or was invalid."""
+
+
+class UnknownFormatError(FormatError):
+    """A format name was not found in the registry."""
+
+    def __init__(self, name: str, known: tuple[str, ...]) -> None:
+        self.name = name
+        self.known = known
+        super().__init__(
+            f"unknown sparse format {name!r}; known formats: {', '.join(known)}"
+        )
+
+
+class ShapeError(CopernicusError):
+    """An array or matrix had an incompatible shape."""
+
+
+class PartitionError(CopernicusError):
+    """Matrix partitioning was requested with invalid parameters."""
+
+
+class WorkloadError(CopernicusError):
+    """A workload generator received invalid parameters."""
+
+
+class HardwareConfigError(CopernicusError):
+    """The hardware model was configured with invalid parameters."""
+
+
+class SimulationError(CopernicusError):
+    """The characterization simulator could not complete a run."""

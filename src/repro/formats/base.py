@@ -1,0 +1,209 @@
+"""Abstract base classes for sparse compression formats.
+
+A *format* models how a (partition of a) sparse matrix is laid out for
+transfer to the accelerator: which arrays exist, how many bytes each
+occupies, and how the decompressor traverses them.  Every concrete format
+implements four operations:
+
+``encode``
+    :class:`~repro.matrix.SparseMatrix` → :class:`EncodedMatrix`.
+``decode``
+    The inverse; used to prove round-trip losslessness.
+``spmv``
+    A matrix-vector product that traverses the *encoded* arrays the same
+    way the paper's HLS decompressor does (Listings 1-7), never touching
+    the original matrix.  This is the functional counterpart of the
+    hardware decompressor model in :mod:`repro.hardware.decompressors`.
+``size``
+    Exact byte accounting (useful data / transferred data / metadata),
+    the basis of the memory-latency and bandwidth-utilization metrics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import FormatError, ShapeError
+from ..matrix import SparseMatrix
+
+__all__ = [
+    "VALUE_BYTES",
+    "INDEX_BYTES",
+    "SizeBreakdown",
+    "EncodedMatrix",
+    "SparseFormat",
+]
+
+#: Byte width of one matrix value on the wire (the paper streams 32-bit
+#: words; a COO tuple is therefore three equal 4-byte fields, giving the
+#: constant 1/3 bandwidth utilization reported for COO).
+VALUE_BYTES = 4
+
+#: Byte width of one index/offset field on the wire.
+INDEX_BYTES = 4
+
+
+@dataclass(frozen=True)
+class SizeBreakdown:
+    """Byte-level cost of one encoded matrix (or partition).
+
+    Attributes
+    ----------
+    useful_bytes:
+        Bytes of true non-zero values — the payload the computation
+        actually needs.
+    data_bytes:
+        Bytes of the transferred *values* stream, including any explicit
+        zero padding (e.g. ELL padding, zeros inside BCSR blocks).
+    metadata_bytes:
+        Bytes of indices, offsets, headers and terminators.
+    """
+
+    useful_bytes: int
+    data_bytes: int
+    metadata_bytes: int
+
+    def __post_init__(self) -> None:
+        if min(self.useful_bytes, self.data_bytes, self.metadata_bytes) < 0:
+            raise FormatError("byte counts must be non-negative")
+        if self.useful_bytes > self.data_bytes:
+            raise FormatError(
+                "useful bytes cannot exceed transferred data bytes "
+                f"({self.useful_bytes} > {self.data_bytes})"
+            )
+
+    @property
+    def total_bytes(self) -> int:
+        """All transferred bytes: values stream plus metadata."""
+        return self.data_bytes + self.metadata_bytes
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Useful bytes over all transferred bytes (Section 4.2)."""
+        if self.total_bytes == 0:
+            return 1.0
+        return self.useful_bytes / self.total_bytes
+
+    def __add__(self, other: "SizeBreakdown") -> "SizeBreakdown":
+        return SizeBreakdown(
+            self.useful_bytes + other.useful_bytes,
+            self.data_bytes + other.data_bytes,
+            self.metadata_bytes + other.metadata_bytes,
+        )
+
+    @classmethod
+    def zero(cls) -> "SizeBreakdown":
+        return cls(0, 0, 0)
+
+
+@dataclass(frozen=True)
+class EncodedMatrix:
+    """A matrix compressed into one concrete sparse format.
+
+    Attributes
+    ----------
+    format_name:
+        Registry name of the format that produced this encoding.
+    shape:
+        Logical ``(rows, cols)`` of the matrix.
+    arrays:
+        Named numpy arrays making up the encoding (e.g. ``values``,
+        ``indices``, ``offsets``).  Their meaning is format-specific.
+    nnz:
+        Number of true non-zero entries represented.
+    meta:
+        Format-specific scalar parameters (e.g. ELL width, BCSR block
+        size) needed to interpret ``arrays``.
+    """
+
+    format_name: str
+    shape: tuple[int, int]
+    arrays: Mapping[str, np.ndarray]
+    nnz: int
+    meta: Mapping[str, int] = field(default_factory=dict)
+
+    def array(self, name: str) -> np.ndarray:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise FormatError(
+                f"encoding for {self.format_name!r} has no array {name!r}; "
+                f"available: {sorted(self.arrays)}"
+            ) from None
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+
+class SparseFormat(ABC):
+    """Interface implemented by every sparse compression format."""
+
+    #: Registry name; subclasses must override.
+    name: str = ""
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def encode(self, matrix: SparseMatrix) -> EncodedMatrix:
+        """Compress ``matrix`` into this format."""
+
+    @abstractmethod
+    def decode(self, encoded: EncodedMatrix) -> SparseMatrix:
+        """Reconstruct the matrix from its encoding (lossless)."""
+
+    @abstractmethod
+    def spmv(self, encoded: EncodedMatrix, x: np.ndarray) -> np.ndarray:
+        """Compute ``A @ x`` by traversing the encoded arrays directly."""
+
+    @abstractmethod
+    def size(self, encoded: EncodedMatrix) -> SizeBreakdown:
+        """Exact transfer-size accounting for the encoding."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def encode_dense(self, dense: np.ndarray) -> EncodedMatrix:
+        """Convenience: encode a 2-D numpy array."""
+        return self.encode(SparseMatrix.from_dense(dense))
+
+    def roundtrip(self, matrix: SparseMatrix) -> SparseMatrix:
+        """Encode then decode; equals ``matrix`` for a correct format."""
+        return self.decode(self.encode(matrix))
+
+    def compression_ratio(self, matrix: SparseMatrix) -> float:
+        """Dense transfer bytes divided by this format's transfer bytes."""
+        encoded = self.encode(matrix)
+        total = self.size(encoded).total_bytes
+        dense_bytes = matrix.n_rows * matrix.n_cols * VALUE_BYTES
+        if total == 0:
+            return float("inf")
+        return dense_bytes / total
+
+    def _check_format(self, encoded: EncodedMatrix) -> None:
+        if encoded.format_name != self.name:
+            raise FormatError(
+                f"encoding was produced by {encoded.format_name!r}, "
+                f"not {self.name!r}"
+            )
+
+    def _check_vector(self, encoded: EncodedMatrix, x: np.ndarray) -> np.ndarray:
+        vector = np.asarray(x, dtype=np.float64).ravel()
+        if vector.size != encoded.n_cols:
+            raise ShapeError(
+                f"vector length {vector.size} != matrix columns "
+                f"{encoded.n_cols}"
+            )
+        return vector
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

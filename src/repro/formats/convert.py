@@ -1,0 +1,32 @@
+"""Conversions between encoded formats.
+
+All conversions round-trip through :class:`~repro.matrix.SparseMatrix`,
+which is lossless for every format in the library; a dedicated fast path
+is deliberately not provided because the accelerator model never
+re-compresses (the SpMV output is a dense vector, Section 5.1).
+"""
+
+from __future__ import annotations
+
+from ..matrix import SparseMatrix
+from .base import EncodedMatrix
+from .registry import get_format
+
+__all__ = ["convert", "encode_as", "decode_any"]
+
+
+def decode_any(encoded: EncodedMatrix) -> SparseMatrix:
+    """Decode an encoding of any registered format."""
+    return get_format(encoded.format_name).decode(encoded)
+
+
+def encode_as(matrix: SparseMatrix, format_name: str, **kwargs: int) -> EncodedMatrix:
+    """Encode a matrix into the named format."""
+    return get_format(format_name, **kwargs).encode(matrix)
+
+
+def convert(encoded: EncodedMatrix, target: str, **kwargs: int) -> EncodedMatrix:
+    """Re-encode ``encoded`` into the ``target`` format."""
+    if encoded.format_name == target and not kwargs:
+        return encoded
+    return encode_as(decode_any(encoded), target, **kwargs)

@@ -1,0 +1,84 @@
+"""Compressed Sparse Column (CSC).
+
+The column-major mirror of CSR.  The accelerator consumes *rows*, so a
+row-oriented decompressor must scan every column to rebuild one row —
+the paper's worst case (up to 21-30x slower than dense, Section 6.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix import SparseMatrix
+from .base import (
+    INDEX_BYTES,
+    VALUE_BYTES,
+    EncodedMatrix,
+    SizeBreakdown,
+    SparseFormat,
+)
+
+__all__ = ["CscFormat"]
+
+
+class CscFormat(SparseFormat):
+    """Column-compressed storage with offsets / row indices / values."""
+
+    name = "csc"
+
+    def encode(self, matrix: SparseMatrix) -> EncodedMatrix:
+        transposed = matrix.transpose()
+        offsets = np.zeros(matrix.n_cols + 1, dtype=np.int64)
+        np.cumsum(matrix.col_nnz(), out=offsets[1:])
+        # transposed triplets are sorted by (col, row) of the original.
+        return EncodedMatrix(
+            format_name=self.name,
+            shape=matrix.shape,
+            arrays={
+                "offsets": offsets,
+                "indices": transposed.cols.copy(),  # original row indices
+                "values": transposed.vals.copy(),
+            },
+            nnz=matrix.nnz,
+        )
+
+    def decode(self, encoded: EncodedMatrix) -> SparseMatrix:
+        self._check_format(encoded)
+        offsets = encoded.array("offsets")
+        cols = np.repeat(np.arange(encoded.n_cols), np.diff(offsets))
+        return SparseMatrix(
+            encoded.shape, encoded.array("indices"), cols, encoded.array("values")
+        )
+
+    def spmv(self, encoded: EncodedMatrix, x: np.ndarray) -> np.ndarray:
+        """Row-reconstruction traversal mirroring Listing 3.
+
+        For each output row, *all* columns are walked and each column's
+        entries are searched for the current row index — deliberately
+        inefficient, modelling the format/hardware orientation mismatch
+        the paper quantifies.
+        """
+        self._check_format(encoded)
+        vector = self._check_vector(encoded, x)
+        offsets = encoded.array("offsets")
+        indices = encoded.array("indices")
+        values = encoded.array("values")
+        out = np.zeros(encoded.n_rows)
+        for row in range(encoded.n_rows):
+            acc = 0.0
+            for col in range(encoded.n_cols):
+                start, stop = offsets[col], offsets[col + 1]
+                for k in range(start, stop):
+                    if indices[k] == row:
+                        acc += values[k] * vector[col]
+            out[row] = acc
+        return out
+
+    def size(self, encoded: EncodedMatrix) -> SizeBreakdown:
+        self._check_format(encoded)
+        return SizeBreakdown(
+            useful_bytes=encoded.nnz * VALUE_BYTES,
+            data_bytes=encoded.nnz * VALUE_BYTES,
+            metadata_bytes=encoded.nnz * INDEX_BYTES
+            + encoded.n_cols * INDEX_BYTES,
+        )

@@ -1,0 +1,47 @@
+"""The uncompressed dense baseline format.
+
+Every entry of the matrix — zero or not — is transferred.  This is the
+paper's baseline: its decompression overhead is defined to be
+:math:`\\sigma = 1` and it carries no metadata at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix import SparseMatrix
+from .base import VALUE_BYTES, EncodedMatrix, SizeBreakdown, SparseFormat
+
+__all__ = ["DenseFormat"]
+
+
+class DenseFormat(SparseFormat):
+    """Row-major dense storage of all entries."""
+
+    name = "dense"
+
+    def encode(self, matrix: SparseMatrix) -> EncodedMatrix:
+        return EncodedMatrix(
+            format_name=self.name,
+            shape=matrix.shape,
+            arrays={"values": matrix.to_dense()},
+            nnz=matrix.nnz,
+        )
+
+    def decode(self, encoded: EncodedMatrix) -> SparseMatrix:
+        self._check_format(encoded)
+        return SparseMatrix.from_dense(encoded.array("values"))
+
+    def spmv(self, encoded: EncodedMatrix, x: np.ndarray) -> np.ndarray:
+        self._check_format(encoded)
+        vector = self._check_vector(encoded, x)
+        return encoded.array("values") @ vector
+
+    def size(self, encoded: EncodedMatrix) -> SizeBreakdown:
+        self._check_format(encoded)
+        n_entries = encoded.n_rows * encoded.n_cols
+        return SizeBreakdown(
+            useful_bytes=encoded.nnz * VALUE_BYTES,
+            data_bytes=n_entries * VALUE_BYTES,
+            metadata_bytes=0,
+        )

@@ -1,0 +1,122 @@
+"""Diagonal (DIA) format.
+
+Each non-zero diagonal is stored contiguously, prefixed by its diagonal
+number (Figure 1h): 0 is the main diagonal, negative numbers start on a
+lower row, positive on a higher column.  A diagonal is stored *whole*
+once any of its entries is non-zero, so scattered data that only grazes
+many diagonals transfers mostly zeros — the inefficiency Section 5.2
+highlights for non-banded matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix import SparseMatrix
+from .base import (
+    INDEX_BYTES,
+    VALUE_BYTES,
+    EncodedMatrix,
+    SizeBreakdown,
+    SparseFormat,
+)
+
+__all__ = ["DiaFormat", "diagonal_length", "diagonal_slot"]
+
+
+def diagonal_length(shape: tuple[int, int], offset: int) -> int:
+    """Number of entries on diagonal ``offset`` of a ``shape`` matrix."""
+    n_rows, n_cols = shape
+    if offset >= 0:
+        return max(0, min(n_rows, n_cols - offset))
+    return max(0, min(n_rows + offset, n_cols))
+
+
+def diagonal_slot(row: int, offset: int) -> int:
+    """Position of ``row``'s entry within diagonal ``offset``.
+
+    Mirrors the paper's ``DiaInxForRow``: ``row + d`` for the lower
+    (negative) diagonals, ``row`` otherwise.
+    """
+    return row + offset if offset < 0 else row
+
+
+class DiaFormat(SparseFormat):
+    """Per-diagonal storage with a diagonal-number header each."""
+
+    name = "dia"
+
+    def encode(self, matrix: SparseMatrix) -> EncodedMatrix:
+        offsets = matrix.diagonals()
+        if not offsets.size:
+            offsets = np.array([0], dtype=np.int64)
+        max_len = max(diagonal_length(matrix.shape, int(d)) for d in offsets)
+        diags = np.zeros((offsets.size, max_len))
+        lengths = np.array(
+            [diagonal_length(matrix.shape, int(d)) for d in offsets],
+            dtype=np.int64,
+        )
+        slot_of = {int(d): k for k, d in enumerate(offsets)}
+        for row, col, val in zip(matrix.rows, matrix.cols, matrix.vals):
+            offset = int(col - row)
+            diags[slot_of[offset], diagonal_slot(int(row), offset)] = val
+        return EncodedMatrix(
+            format_name=self.name,
+            shape=matrix.shape,
+            arrays={
+                "offsets": offsets.astype(np.int64),
+                "lengths": lengths,
+                "diagonals": diags,
+            },
+            nnz=matrix.nnz,
+        )
+
+    def decode(self, encoded: EncodedMatrix) -> SparseMatrix:
+        self._check_format(encoded)
+        offsets = encoded.array("offsets")
+        lengths = encoded.array("lengths")
+        diags = encoded.array("diagonals")
+        triplets = []
+        for k, offset in enumerate(offsets):
+            d = int(offset)
+            row_start = max(0, -d)
+            for pos in range(int(lengths[k])):
+                value = diags[k, pos]
+                if value != 0.0:
+                    row = row_start + pos
+                    triplets.append((row, row + d, value))
+        return SparseMatrix.from_triplets(encoded.shape, triplets)
+
+    def spmv(self, encoded: EncodedMatrix, x: np.ndarray) -> np.ndarray:
+        """Per-row scan over all stored diagonals (Listing 7)."""
+        self._check_format(encoded)
+        vector = self._check_vector(encoded, x)
+        offsets = encoded.array("offsets")
+        diags = encoded.array("diagonals")
+        out = np.zeros(encoded.n_rows)
+        for row in range(encoded.n_rows):
+            acc = 0.0
+            for k, offset in enumerate(offsets):
+                d = int(offset)
+                col = row + d
+                if col < 0 or col >= encoded.n_cols:
+                    continue
+                acc += diags[k, diagonal_slot(row, d)] * vector[col]
+            out[row] = acc
+        return out
+
+    def size(self, encoded: EncodedMatrix) -> SizeBreakdown:
+        """Transfer cost of the *padded* 2-D layout of Listing 7.
+
+        The decompressor indexes ``diags[NUM_DIAGONALS][MAX_LEN]``, so
+        every stored diagonal occupies the longest diagonal's slot
+        count on the wire — the reason DIA loses its bandwidth edge on
+        wide bands (Figure 11) even though a ragged encoding would not.
+        """
+        self._check_format(encoded)
+        n_diags, max_len = encoded.array("diagonals").shape
+        return SizeBreakdown(
+            useful_bytes=encoded.nnz * VALUE_BYTES,
+            data_bytes=n_diags * max_len * VALUE_BYTES,
+            metadata_bytes=n_diags * INDEX_BYTES,
+        )

@@ -1,0 +1,136 @@
+"""Jagged Diagonal Storage (JDS).
+
+Section 2 lists JDS among the popular ELL variants: rows are sorted
+from longest to shortest (for vector machines), left-packed, and then
+stored as "jagged diagonals" — the j-th stored column holds the j-th
+non-zero of every row long enough to have one.  A permutation array
+maps sorted positions back to the original rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..matrix import SparseMatrix
+from .base import (
+    INDEX_BYTES,
+    VALUE_BYTES,
+    EncodedMatrix,
+    SizeBreakdown,
+    SparseFormat,
+)
+from .ell import ell_slot_arrays
+
+__all__ = ["JdsFormat"]
+
+
+class JdsFormat(SparseFormat):
+    """Row-sorted jagged-diagonal storage.
+
+    Arrays: ``perm`` (sorted position -> original row), ``jd_lengths``
+    (rows participating in each jagged diagonal), and the flat
+    ``values`` / ``indices`` streams concatenated diagonal by diagonal.
+    """
+
+    name = "jds"
+
+    def encode(self, matrix: SparseMatrix) -> EncodedMatrix:
+        counts = matrix.row_nnz()
+        perm = np.argsort(-counts, kind="stable").astype(np.int64)
+        width = int(counts.max()) if counts.size else 0
+        sorted_counts = counts[perm]
+        if width == 0:
+            return EncodedMatrix(
+                format_name=self.name,
+                shape=matrix.shape,
+                arrays={
+                    "perm": perm,
+                    "jd_lengths": np.zeros(0, dtype=np.int64),
+                    "values": np.zeros(0),
+                    "indices": np.zeros(0, dtype=np.int64),
+                },
+                nnz=0,
+                meta={"width": 0},
+            )
+        slot_values, slot_indices = ell_slot_arrays(matrix, width)
+        # reorder rows longest-first, then read off column-by-column.
+        slot_values = slot_values[perm]
+        slot_indices = slot_indices[perm]
+        jd_lengths = np.array(
+            [int((sorted_counts > j).sum()) for j in range(width)],
+            dtype=np.int64,
+        )
+        value_parts = [
+            slot_values[: jd_lengths[j], j] for j in range(width)
+        ]
+        index_parts = [
+            slot_indices[: jd_lengths[j], j] for j in range(width)
+        ]
+        return EncodedMatrix(
+            format_name=self.name,
+            shape=matrix.shape,
+            arrays={
+                "perm": perm,
+                "jd_lengths": jd_lengths,
+                "values": np.concatenate(value_parts),
+                "indices": np.concatenate(index_parts),
+            },
+            nnz=matrix.nnz,
+            meta={"width": width},
+        )
+
+    def _iter_diagonals(self, encoded: EncodedMatrix):
+        """Yield ``(rows, values, indices)`` per jagged diagonal."""
+        perm = encoded.array("perm")
+        lengths = encoded.array("jd_lengths")
+        values = encoded.array("values")
+        indices = encoded.array("indices")
+        cursor = 0
+        for length in lengths:
+            length = int(length)
+            yield (
+                perm[:length],
+                values[cursor : cursor + length],
+                indices[cursor : cursor + length],
+            )
+            cursor += length
+
+    def decode(self, encoded: EncodedMatrix) -> SparseMatrix:
+        self._check_format(encoded)
+        rows_parts, cols_parts, vals_parts = [], [], []
+        for rows, values, indices in self._iter_diagonals(encoded):
+            keep = values != 0.0
+            rows_parts.append(rows[keep])
+            cols_parts.append(indices[keep])
+            vals_parts.append(values[keep])
+        if not rows_parts:
+            return SparseMatrix.empty(encoded.shape)
+        return SparseMatrix(
+            encoded.shape,
+            np.concatenate(rows_parts),
+            np.concatenate(cols_parts),
+            np.concatenate(vals_parts),
+        )
+
+    def spmv(self, encoded: EncodedMatrix, x: np.ndarray) -> np.ndarray:
+        """Vector-machine style: one pass per jagged diagonal."""
+        self._check_format(encoded)
+        vector = self._check_vector(encoded, x)
+        out = np.zeros(encoded.n_rows)
+        for rows, values, indices in self._iter_diagonals(encoded):
+            out[rows] += values * vector[indices]
+        return out
+
+    def size(self, encoded: EncodedMatrix) -> SizeBreakdown:
+        self._check_format(encoded)
+        width = int(encoded.meta["width"])
+        return SizeBreakdown(
+            useful_bytes=encoded.nnz * VALUE_BYTES,
+            data_bytes=encoded.nnz * VALUE_BYTES,
+            metadata_bytes=(
+                encoded.nnz  # column indices
+                + encoded.n_rows  # permutation
+                + width  # jagged-diagonal lengths
+            )
+            * INDEX_BYTES,
+        )

@@ -1,0 +1,101 @@
+"""Name-based registry of the sparse formats.
+
+The registry gives every tool in the library (simulator, sweeps,
+benchmarks, CLI-style examples) a single way to resolve a format by its
+short name.  The ordering of :data:`PAPER_FORMATS` follows the paper's
+figures: dense baseline first, then the seven characterized formats.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import UnknownFormatError
+from .base import SparseFormat
+from .bcsr import BcsrFormat
+from .bitmap import BitmapFormat
+from .coo import CooFormat
+from .csc import CscFormat
+from .csr import CsrFormat
+from .dense import DenseFormat
+from .dia import DiaFormat
+from .dok import DokFormat
+from .ell import EllFormat
+from .hybrid import EllCooFormat
+from .jds import JdsFormat
+from .lil import LilFormat
+from .sell import SellFormat
+from .sell_c_sigma import SellCSigmaFormat
+
+__all__ = [
+    "ALL_FORMATS",
+    "PAPER_FORMATS",
+    "SPARSE_FORMATS",
+    "get_format",
+    "available_formats",
+    "register_format",
+]
+
+_FACTORIES: dict[str, Callable[[], SparseFormat]] = {
+    DenseFormat.name: DenseFormat,
+    CsrFormat.name: CsrFormat,
+    CscFormat.name: CscFormat,
+    BcsrFormat.name: BcsrFormat,
+    CooFormat.name: CooFormat,
+    DokFormat.name: DokFormat,
+    LilFormat.name: LilFormat,
+    EllFormat.name: EllFormat,
+    SellFormat.name: SellFormat,
+    DiaFormat.name: DiaFormat,
+    JdsFormat.name: JdsFormat,
+    EllCooFormat.name: EllCooFormat,
+    SellCSigmaFormat.name: SellCSigmaFormat,
+    BitmapFormat.name: BitmapFormat,
+}
+
+#: Every format the library ships, including the DOK/SELL extensions.
+ALL_FORMATS: tuple[str, ...] = tuple(_FACTORIES)
+
+#: The formats plotted in the paper's figures, in figure order.
+PAPER_FORMATS: tuple[str, ...] = (
+    "dense",
+    "csr",
+    "bcsr",
+    "csc",
+    "lil",
+    "ell",
+    "coo",
+    "dia",
+)
+
+#: The seven compressed formats (paper set minus the dense baseline).
+SPARSE_FORMATS: tuple[str, ...] = tuple(
+    name for name in PAPER_FORMATS if name != "dense"
+)
+
+
+def get_format(name: str, **kwargs: int) -> SparseFormat:
+    """Instantiate a format by registry name.
+
+    Keyword arguments are forwarded to the format constructor (e.g.
+    ``get_format("bcsr", block_size=8)``).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise UnknownFormatError(name, ALL_FORMATS) from None
+    return factory(**kwargs)
+
+
+def available_formats() -> tuple[str, ...]:
+    """Names of every registered format."""
+    return tuple(_FACTORIES)
+
+
+def register_format(factory: Callable[[], SparseFormat], name: str) -> None:
+    """Register a user-defined format under ``name``.
+
+    Later registrations replace earlier ones, allowing experiments with
+    modified variants of the built-in formats.
+    """
+    _FACTORIES[name] = factory

@@ -1,0 +1,135 @@
+"""SELL-C-sigma.
+
+Section 2: "SELL-C-sigma is a variant of JDS that only sorts rows
+within a window of sigma" — rows are sorted by length inside each
+sigma-sized window (keeping the permutation local and cheap), then
+sliced into chunks of C and padded per slice like SELL.  The format of
+Kreutzer et al. for wide-SIMD machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from ..matrix import SparseMatrix
+from .base import (
+    INDEX_BYTES,
+    EncodedMatrix,
+    SizeBreakdown,
+    SparseFormat,
+)
+from .sell import SellFormat
+
+__all__ = ["SellCSigmaFormat"]
+
+
+class SellCSigmaFormat(SparseFormat):
+    """Window-sorted sliced ELLPACK.
+
+    Parameters
+    ----------
+    slice_height:
+        ``C`` — rows per padded slice.
+    sigma:
+        Sorting-window height; must be a multiple of ``slice_height``
+        (the usual constraint, so slices never straddle windows).
+    """
+
+    name = "sell-c-sigma"
+
+    def __init__(self, slice_height: int = 4, sigma: int = 16) -> None:
+        if slice_height < 1:
+            raise FormatError(
+                f"slice_height must be >= 1, got {slice_height}"
+            )
+        if sigma < slice_height or sigma % slice_height != 0:
+            raise FormatError(
+                f"sigma ({sigma}) must be a positive multiple of "
+                f"slice_height ({slice_height})"
+            )
+        self.slice_height = slice_height
+        self.sigma = sigma
+        self._sell = SellFormat(slice_height)
+
+    def __repr__(self) -> str:
+        return (
+            f"SellCSigmaFormat(slice_height={self.slice_height}, "
+            f"sigma={self.sigma})"
+        )
+
+    def _permutation(self, matrix: SparseMatrix) -> np.ndarray:
+        """Sorted position -> original row, window by window."""
+        counts = matrix.row_nnz()
+        perm = np.arange(matrix.n_rows, dtype=np.int64)
+        for start in range(0, matrix.n_rows, self.sigma):
+            stop = min(start + self.sigma, matrix.n_rows)
+            window = perm[start:stop]
+            order = np.argsort(-counts[window], kind="stable")
+            perm[start:stop] = window[order]
+        return perm
+
+    def _permuted(self, matrix: SparseMatrix, perm: np.ndarray
+                  ) -> SparseMatrix:
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(perm.size)
+        return SparseMatrix(
+            matrix.shape, inverse[matrix.rows], matrix.cols, matrix.vals
+        )
+
+    def encode(self, matrix: SparseMatrix) -> EncodedMatrix:
+        perm = self._permutation(matrix)
+        inner = self._sell.encode(self._permuted(matrix, perm))
+        arrays = dict(inner.arrays)
+        arrays["perm"] = perm
+        return EncodedMatrix(
+            format_name=self.name,
+            shape=matrix.shape,
+            arrays=arrays,
+            nnz=matrix.nnz,
+            meta={
+                "slice_height": self.slice_height,
+                "sigma": self.sigma,
+            },
+        )
+
+    def _inner(self, encoded: EncodedMatrix) -> EncodedMatrix:
+        arrays = {
+            name: array
+            for name, array in encoded.arrays.items()
+            if name != "perm"
+        }
+        return EncodedMatrix(
+            format_name=self._sell.name,
+            shape=encoded.shape,
+            arrays=arrays,
+            nnz=encoded.nnz,
+            meta={"slice_height": self.slice_height},
+        )
+
+    def decode(self, encoded: EncodedMatrix) -> SparseMatrix:
+        self._check_format(encoded)
+        perm = encoded.array("perm")
+        permuted = self._sell.decode(self._inner(encoded))
+        return SparseMatrix(
+            encoded.shape, perm[permuted.rows], permuted.cols, permuted.vals
+        )
+
+    def spmv(self, encoded: EncodedMatrix, x: np.ndarray) -> np.ndarray:
+        self._check_format(encoded)
+        vector = self._check_vector(encoded, x)
+        permuted_out = self._sell.spmv(self._inner(encoded), vector)
+        out = np.zeros(encoded.n_rows)
+        out[encoded.array("perm")] = permuted_out
+        return out
+
+    def size(self, encoded: EncodedMatrix) -> SizeBreakdown:
+        """SELL cost plus the permutation array."""
+        self._check_format(encoded)
+        inner = self._sell.size(self._inner(encoded))
+        return SizeBreakdown(
+            useful_bytes=inner.useful_bytes,
+            data_bytes=inner.data_bytes,
+            metadata_bytes=inner.metadata_bytes
+            + encoded.n_rows * INDEX_BYTES,
+        )

@@ -1,0 +1,182 @@
+"""Structural validation of encoded matrices.
+
+Decoding proves an encoding is *usable*; validation proves it is
+*well-formed* without decoding — the checks a hardware loader would
+perform before streaming (offset monotonicity, index bounds, plane
+shapes, mask sizes).  Useful both as a debugging aid for new formats
+and as a guard when encodings arrive from outside the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+from .base import EncodedMatrix
+
+__all__ = ["validate_encoding"]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise FormatError(f"invalid encoding: {message}")
+
+
+def _validate_compressed_axis(
+    encoded: EncodedMatrix, n_major: int, n_minor: int
+) -> None:
+    """Shared CSR/CSC checks (offsets + minor indices + values)."""
+    offsets = encoded.array("offsets")
+    indices = encoded.array("indices")
+    values = encoded.array("values")
+    _require(offsets.size == n_major + 1, "offsets length mismatch")
+    _require(offsets[0] == 0, "offsets must start at zero")
+    _require(bool(np.all(np.diff(offsets) >= 0)), "offsets not monotone")
+    _require(int(offsets[-1]) == values.size, "offsets do not cover values")
+    _require(indices.size == values.size, "indices/values length mismatch")
+    if indices.size:
+        _require(
+            0 <= int(indices.min()) and int(indices.max()) < n_minor,
+            "minor indices out of bounds",
+        )
+    _require(encoded.nnz == int(np.count_nonzero(values)),
+             "nnz disagrees with stored values")
+
+
+def _validate_coordinates(encoded: EncodedMatrix) -> None:
+    rows = encoded.array("rows")
+    cols = encoded.array("cols")
+    values = encoded.array("values")
+    _require(rows.size == cols.size == values.size,
+             "tuple arrays disagree in length")
+    if rows.size:
+        _require(0 <= int(rows.min()) and int(rows.max()) < encoded.n_rows,
+                 "row indices out of bounds")
+        _require(0 <= int(cols.min()) and int(cols.max()) < encoded.n_cols,
+                 "column indices out of bounds")
+    _require(encoded.nnz == int(np.count_nonzero(values)),
+             "nnz disagrees with stored values")
+
+
+def _validate_padded_planes(encoded: EncodedMatrix) -> None:
+    values = encoded.array("values")
+    indices = encoded.array("indices")
+    _require(values.shape == indices.shape, "plane shapes disagree")
+    _require(values.shape[0] == encoded.n_rows, "plane height mismatch")
+    width = int(encoded.meta["width"])
+    _require(values.shape[1] == width, "plane width disagrees with meta")
+    if indices.size:
+        _require(
+            0 <= int(indices.min()) and int(indices.max()) < encoded.n_cols,
+            "column indices out of bounds",
+        )
+    _require(encoded.nnz == int(np.count_nonzero(values)),
+             "nnz disagrees with stored values")
+
+
+def _validate_lil(encoded: EncodedMatrix) -> None:
+    values = encoded.array("values")
+    indices = encoded.array("indices")
+    _require(values.shape == indices.shape, "plane shapes disagree")
+    _require(values.shape[1] == encoded.n_cols, "plane width mismatch")
+    _require(
+        int(indices.max(initial=0)) <= encoded.n_rows,
+        "row indices exceed the sentinel",
+    )
+    live = indices < encoded.n_rows
+    _require(encoded.nnz == int(np.count_nonzero(values[live])),
+             "nnz disagrees with live values")
+    # top-pushed: sentinels never sit above live entries.
+    for col in range(indices.shape[1]):
+        column = indices[:, col]
+        live_slots = np.nonzero(column < encoded.n_rows)[0]
+        if live_slots.size:
+            _require(
+                int(live_slots.max()) == live_slots.size - 1,
+                f"column {col} is not top-pushed",
+            )
+
+
+def _validate_dia(encoded: EncodedMatrix) -> None:
+    offsets = encoded.array("offsets")
+    lengths = encoded.array("lengths")
+    diags = encoded.array("diagonals")
+    _require(offsets.size == lengths.size == diags.shape[0],
+             "diagonal arrays disagree in count")
+    _require(bool(np.all(np.diff(offsets) > 0)),
+             "diagonal offsets must be strictly increasing")
+    low = 1 - encoded.n_rows
+    high = encoded.n_cols - 1
+    _require(
+        bool(np.all((offsets >= low) & (offsets <= high))),
+        "diagonal offsets out of range",
+    )
+    _require(int(lengths.max(initial=0)) <= diags.shape[1],
+             "diagonal longer than its storage row")
+    _require(encoded.nnz == int(np.count_nonzero(diags)),
+             "nnz disagrees with stored values")
+
+
+def _validate_bcsr(encoded: EncodedMatrix) -> None:
+    offsets = encoded.array("offsets")
+    indices = encoded.array("indices")
+    values = encoded.array("values")
+    b = int(encoded.meta["block_size"])
+    block_rows = -(-encoded.n_rows // b)
+    _require(offsets.size == block_rows + 1, "block-row offsets mismatch")
+    _require(bool(np.all(np.diff(offsets) >= 0)), "offsets not monotone")
+    _require(int(offsets[-1]) == indices.size, "offsets do not cover blocks")
+    _require(values.shape == (indices.size, b * b),
+             "block value plane shape mismatch")
+    if indices.size:
+        _require(
+            bool(np.all(indices % b == 0)),
+            "block first-column indices must be block-aligned",
+        )
+        _require(int(indices.max()) < encoded.n_cols,
+                 "block columns out of bounds")
+    _require(encoded.nnz == int(np.count_nonzero(values)),
+             "nnz disagrees with stored values")
+
+
+def _validate_dense(encoded: EncodedMatrix) -> None:
+    values = encoded.array("values")
+    _require(values.shape == encoded.shape, "dense plane shape mismatch")
+    _require(encoded.nnz == int(np.count_nonzero(values)),
+             "nnz disagrees with stored values")
+
+
+def _validate_bitmap(encoded: EncodedMatrix) -> None:
+    mask = encoded.array("mask")
+    values = encoded.array("values")
+    total = encoded.n_rows * encoded.n_cols
+    _require(mask.size == -(-total // 8), "mask byte count mismatch")
+    bits = np.unpackbits(mask, count=total)
+    _require(int(bits.sum()) == values.size,
+             "mask population disagrees with value count")
+    _require(encoded.nnz == values.size, "nnz disagrees with value count")
+
+
+_VALIDATORS = {
+    "dense": _validate_dense,
+    "csr": lambda e: _validate_compressed_axis(e, e.n_rows, e.n_cols),
+    "csc": lambda e: _validate_compressed_axis(e, e.n_cols, e.n_rows),
+    "coo": _validate_coordinates,
+    "dok": _validate_coordinates,
+    "ell": _validate_padded_planes,
+    "lil": _validate_lil,
+    "dia": _validate_dia,
+    "bcsr": _validate_bcsr,
+    "bitmap": _validate_bitmap,
+}
+
+
+def validate_encoding(encoded: EncodedMatrix) -> None:
+    """Raise :class:`FormatError` if ``encoded`` is malformed.
+
+    Formats without a structural validator (the SELL/JDS variants,
+    whose invariants are exercised through decode) pass trivially.
+    """
+    validator = _VALIDATORS.get(encoded.format_name)
+    if validator is not None:
+        validator(encoded)

@@ -1,0 +1,57 @@
+"""AXI stream transfer model.
+
+The memory-read stage of the pipeline (Figure 2) streams a compressed
+partition — values plus metadata — from DDR3 into BRAM through AXIS
+interfaces.  Several AXIS lines may carry different arrays concurrently
+(Section 5.2 streams CSR's offsets and indices side by side), but they
+all draw from the same DDR3 channel: the aggregate transfer rate is
+bounded by the memory bus, so memory latency is the burst setup plus
+the *total* bytes over the bus bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import HardwareConfigError
+from .config import HardwareConfig
+
+__all__ = ["AxiStreamModel"]
+
+
+class AxiStreamModel:
+    """Cycle cost of streaming byte payloads over the AXIS interfaces."""
+
+    def __init__(self, config: HardwareConfig) -> None:
+        self.config = config
+
+    def stream_cycles(self, n_bytes: int) -> int:
+        """Cycles for the bus to move ``n_bytes`` (excluding setup)."""
+        if n_bytes < 0:
+            raise HardwareConfigError(f"negative byte count: {n_bytes}")
+        return math.ceil(n_bytes / self.config.axi_bytes_per_cycle)
+
+    def transfer_cycles(self, lines: Sequence[int]) -> int:
+        """Cycles to move the payloads in ``lines``.
+
+        The lines run concurrently as AXIS streams, but share the DDR3
+        channel, so the latency is the setup cost plus the aggregate
+        byte count over the bus bandwidth.  (A per-line model would let
+        formats whose payload splits evenly across lines exceed the
+        memory bandwidth, which no format can actually do.)
+        """
+        if not lines:
+            return 0
+        total = 0
+        for payload in lines:
+            if payload < 0:
+                raise HardwareConfigError(
+                    f"negative byte count: {payload}"
+                )
+            total += payload
+        return self.config.axi_setup_cycles + self.stream_cycles(total)
+
+    def single_line_cycles(self, n_bytes: int) -> int:
+        """Setup plus streaming for one payload."""
+        return self.transfer_cycles([n_bytes])

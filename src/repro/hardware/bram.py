@@ -1,0 +1,93 @@
+"""On-chip BRAM model.
+
+Xilinx 7-series block RAM comes in 18 Kbit units with two ports.  The
+model answers two questions the characterization needs:
+
+* how many BRAM_18K units a buffer of a given geometry occupies once
+  it is partitioned into banks for parallel access (resource model,
+  Table 2), and
+* how many cycles a group of accesses costs given the banking
+  (latency model — partitioned arrays answer in one access, while
+  unpartitioned arrays serialize).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import HardwareConfigError
+
+__all__ = ["BRAM_18K_BITS", "BramBuffer", "bram_blocks_for"]
+
+#: Usable bits of one BRAM_18K unit.
+BRAM_18K_BITS = 18 * 1024
+
+
+def bram_blocks_for(bits: int, banks: int = 1) -> int:
+    """BRAM_18K units for ``bits`` of storage split into ``banks``.
+
+    Each bank is a separately addressable physical buffer, so each
+    rounds up to at least one unit — this is why aggressive array
+    partitioning inflates BRAM usage even for small arrays.
+    """
+    if bits < 0:
+        raise HardwareConfigError(f"negative bit count: {bits}")
+    if banks < 1:
+        raise HardwareConfigError(f"banks must be >= 1, got {banks}")
+    if bits == 0:
+        return 0
+    per_bank = math.ceil(bits / banks)
+    return banks * math.ceil(per_bank / BRAM_18K_BITS)
+
+
+@dataclass(frozen=True)
+class BramBuffer:
+    """One on-chip buffer with a banking decision.
+
+    Attributes
+    ----------
+    name:
+        Which array this buffers (diagnostics only).
+    bits:
+        Worst-case capacity that must be reserved (Section 6.4: "we
+        must dedicate enough BRAM blocks to envision the worst-case
+        scenarios even though they occur rarely").
+    banks:
+        Number of banks the array is partitioned into (1 = no
+        ``array_partition`` pragma).
+    access_cycles:
+        Latency of one access to this buffer.
+    """
+
+    name: str
+    bits: int
+    banks: int = 1
+    access_cycles: int = 2
+
+    @property
+    def blocks(self) -> int:
+        """BRAM_18K units occupied."""
+        return bram_blocks_for(self.bits, self.banks)
+
+    @property
+    def fits_in_registers(self) -> bool:
+        """Small single-bank buffers are mapped to FFs by HLS instead.
+
+        This mirrors the paper's observation that small-partition ELL
+        buffers land in flip-flops rather than BRAM (Section 6.4).
+        """
+        return self.banks == 1 and self.bits <= 1024
+
+    def gather_cycles(self, n_elements: int) -> int:
+        """Cycles to read ``n_elements`` spread over the banks."""
+        if n_elements < 0:
+            raise HardwareConfigError(
+                f"negative element count: {n_elements}"
+            )
+        if n_elements == 0:
+            return 0
+        rounds = math.ceil(n_elements / self.banks)
+        # pipelined after the first access: pay full latency once, then
+        # one cycle per additional round.
+        return self.access_cycles + (rounds - 1)

@@ -1,0 +1,140 @@
+"""Hardware platform configuration.
+
+Models the paper's evaluation platform (Section 4.1): a Zynq-7000
+xq7z020 FPGA clocked at 250 MHz, fed from DDR3 through AXI stream
+interfaces.  Every latency in the model is expressed in clock cycles;
+:attr:`HardwareConfig.cycle_seconds` converts to wall time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..errors import HardwareConfigError
+
+__all__ = ["HardwareConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """All tunable parameters of the accelerator model.
+
+    Attributes
+    ----------
+    partition_size:
+        Edge ``p`` of the square partitions; also the dot-product
+        engine width (Section 5.1: "the width of the dot-product
+        engine is the same as the width of the partitions").
+    clock_mhz:
+        Core clock; the paper synthesizes at 250 MHz.
+    value_bytes / index_bytes:
+        On-wire field widths (32-bit words in the paper).
+    axi_bytes_per_cycle:
+        Streaming bandwidth of one AXIS line in bytes per core cycle.
+    axi_setup_cycles:
+        Fixed per-partition burst setup cost.
+    n_stream_lines:
+        Parallel AXIS lines; metadata can stream beside values
+        (Section 5.2 assumes offsets and column indices stream on two
+        lines for CSR).
+    bram_access_cycles:
+        Latency of one (non-overlapped) BRAM read, e.g. the extra
+        offsets access that makes CSR compute-bound.
+    multiplier_cycles:
+        Latency of one pipelined multiplier stage.
+    block_size:
+        BCSR block edge ``b`` (the paper fixes 4).
+    ell_hardware_width:
+        Width of the ELL row slots the compute engine is built for
+        (the paper fixes 6).
+    lil_merge_cycles:
+        Comparator-tree stages charged per LIL merge step beyond the
+        BRAM access (min-index reduction over the columns).
+    write_back:
+        Whether the memory-write stage's output-vector transfer is
+        accounted in the pipeline total.
+    """
+
+    partition_size: int = 16
+    clock_mhz: float = 250.0
+    value_bytes: int = 4
+    index_bytes: int = 4
+    axi_bytes_per_cycle: int = 8
+    axi_setup_cycles: int = 4
+    n_stream_lines: int = 2
+    bram_access_cycles: int = 2
+    multiplier_cycles: int = 1
+    block_size: int = 4
+    ell_hardware_width: int = 6
+    lil_merge_cycles: int = 2
+    write_back: bool = True
+
+    def __post_init__(self) -> None:
+        positive_fields = {
+            "partition_size": self.partition_size,
+            "clock_mhz": self.clock_mhz,
+            "value_bytes": self.value_bytes,
+            "index_bytes": self.index_bytes,
+            "axi_bytes_per_cycle": self.axi_bytes_per_cycle,
+            "n_stream_lines": self.n_stream_lines,
+            "multiplier_cycles": self.multiplier_cycles,
+            "block_size": self.block_size,
+            "ell_hardware_width": self.ell_hardware_width,
+        }
+        for name, value in positive_fields.items():
+            if value <= 0:
+                raise HardwareConfigError(f"{name} must be positive, got {value}")
+        non_negative = {
+            "axi_setup_cycles": self.axi_setup_cycles,
+            "bram_access_cycles": self.bram_access_cycles,
+            "lil_merge_cycles": self.lil_merge_cycles,
+        }
+        for name, value in non_negative.items():
+            if value < 0:
+                raise HardwareConfigError(
+                    f"{name} must be non-negative, got {value}"
+                )
+        if self.block_size > self.partition_size:
+            raise HardwareConfigError(
+                f"block_size {self.block_size} exceeds partition size "
+                f"{self.partition_size}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def cycle_seconds(self) -> float:
+        """Duration of one clock cycle in seconds."""
+        return 1.0 / (self.clock_mhz * 1e6)
+
+    @property
+    def p(self) -> int:
+        """Short alias for the partition size."""
+        return self.partition_size
+
+    def adder_tree_depth(self, width: int) -> int:
+        """Stages of a balanced adder tree reducing ``width`` products."""
+        if width < 1:
+            raise HardwareConfigError(f"width must be >= 1, got {width}")
+        return max(0, math.ceil(math.log2(width)))
+
+    def dot_product_cycles(self, width: int | None = None) -> int:
+        """Latency of one dot product at the given (default: p) width.
+
+        One pipelined multiplier stage plus the adder-tree depth —
+        the per-row ``T_dot`` of Equation 1.
+        """
+        w = self.partition_size if width is None else width
+        return self.multiplier_cycles + self.adder_tree_depth(w)
+
+    def with_partition_size(self, p: int) -> "HardwareConfig":
+        """A copy at a different partition size (the main sweep axis)."""
+        return replace(self, partition_size=p)
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds."""
+        return cycles * self.cycle_seconds
+
+
+#: The paper's platform at the default 16 x 16 partition size.
+DEFAULT_CONFIG = HardwareConfig()

@@ -1,0 +1,74 @@
+"""Per-format decompressor hardware models (Listings 1-7)."""
+
+from ...errors import UnknownFormatError
+from .base import ComputeBreakdown, DecompressorModel
+from .bcsr import BcsrDecompressor
+from .bitmap import BitmapDecompressor
+from .coo import CooDecompressor, DokDecompressor
+from .csc import CscDecompressor
+from .csr import CsrDecompressor
+from .dense import DenseDecompressor
+from .dia import DiaDecompressor
+from .ell import EllDecompressor
+from .lil import LilDecompressor
+from .variants import EllCooDecompressor, JdsDecompressor
+
+__all__ = [
+    "ComputeBreakdown",
+    "DecompressorModel",
+    "DenseDecompressor",
+    "CsrDecompressor",
+    "CscDecompressor",
+    "BcsrDecompressor",
+    "CooDecompressor",
+    "DokDecompressor",
+    "LilDecompressor",
+    "EllDecompressor",
+    "DiaDecompressor",
+    "BitmapDecompressor",
+    "JdsDecompressor",
+    "EllCooDecompressor",
+    "get_decompressor",
+    "MODELED_FORMATS",
+    "VARIANT_FORMATS",
+]
+
+_MODELS = {
+    model.name: model
+    for model in (
+        DenseDecompressor,
+        CsrDecompressor,
+        CscDecompressor,
+        BcsrDecompressor,
+        CooDecompressor,
+        DokDecompressor,
+        LilDecompressor,
+        EllDecompressor,
+        DiaDecompressor,
+    )
+}
+
+#: Formats with a hardware decompressor model (the paper's eight bars
+#: plus DOK).
+MODELED_FORMATS: tuple[str, ...] = tuple(_MODELS)
+
+_MODELS[BitmapDecompressor.name] = BitmapDecompressor
+_MODELS[JdsDecompressor.name] = JdsDecompressor
+_MODELS[EllCooDecompressor.name] = EllCooDecompressor
+
+#: Extension-format models (Section 2's ELL variants); these need the
+#: profile's row-length histogram.
+VARIANT_FORMATS: tuple[str, ...] = (
+    BitmapDecompressor.name,
+    JdsDecompressor.name,
+    EllCooDecompressor.name,
+)
+
+
+def get_decompressor(name: str) -> DecompressorModel:
+    """Instantiate the decompressor model for a format name."""
+    try:
+        model = _MODELS[name]
+    except KeyError:
+        raise UnknownFormatError(name, MODELED_FORMATS) from None
+    return model()

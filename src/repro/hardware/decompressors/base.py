@@ -1,0 +1,96 @@
+"""Base class for per-format decompressor hardware models.
+
+Each model mirrors one of the paper's tailored HLS implementations
+(Listings 1-7): the cycle cost follows the listing's loop structure —
+what is pipelined at II = 1, what is fully unrolled over banked BRAM,
+and where extra BRAM accesses serialize — and the transfer cost follows
+the format's exact byte layout.
+
+The accounting convention matches Equation 1: a partition's compute
+latency is ``T_decomp + rows_processed * T_dot``, where
+``rows_processed`` and the dot-product width are format-specific (the
+dense baseline processes all ``p`` rows at width ``p``, making its
+overhead exactly 1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ...errors import SimulationError
+from ...formats.base import SizeBreakdown
+from ...partition import PartitionProfile
+from ..config import HardwareConfig
+
+__all__ = ["ComputeBreakdown", "DecompressorModel"]
+
+
+@dataclass(frozen=True)
+class ComputeBreakdown:
+    """Compute-stage latency of one partition, in cycles.
+
+    ``decompress_cycles`` covers BRAM accesses and row-reconstruction
+    logic (Figure 2, stage 2); ``dot_cycles`` covers the dot-product
+    engine passes (Figure 2, stage 3).
+    """
+
+    decompress_cycles: int
+    dot_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.decompress_cycles < 0 or self.dot_cycles < 0:
+            raise SimulationError("cycle counts must be non-negative")
+
+    @property
+    def total_cycles(self) -> int:
+        return self.decompress_cycles + self.dot_cycles
+
+
+class DecompressorModel(ABC):
+    """Latency and transfer model of one format's decompressor."""
+
+    #: Format registry name this model corresponds to.
+    name: str = ""
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def compute(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> ComputeBreakdown:
+        """Compute-stage cycles for one non-zero partition."""
+
+    @abstractmethod
+    def transfer_size(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> SizeBreakdown:
+        """Bytes moved by the memory-read stage for one partition.
+
+        Must agree exactly with the corresponding
+        :class:`~repro.formats.base.SparseFormat` ``size()`` on the
+        encoded tile; the test suite enforces this equivalence.
+        """
+
+    # ------------------------------------------------------------------
+    def stream_lines(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> list[int]:
+        """Byte payloads assigned to the parallel AXIS lines.
+
+        Default split: values on one line, metadata on the other —
+        the slower line defines memory latency (Section 5.2).
+        """
+        size = self.transfer_size(profile, config)
+        return [size.data_bytes, size.metadata_bytes]
+
+    def _check_profile(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> None:
+        if profile.p != config.partition_size:
+            raise SimulationError(
+                f"profile partition size {profile.p} != configured "
+                f"{config.partition_size}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,50 @@
+"""BCSR decompressor model (Listing 2).
+
+Like CSR but over 4x4 blocks: one ``offsets`` access per non-zero
+block-row, then one cycle per block — the inner gather over the block's
+``b * b`` entries is fully unrolled because ``values`` and ``colInx``
+are partitioned across BRAM banks (the pragmas at the top of the
+listing).  The cost of that determinism: every row of a non-zero
+block-row is pushed through the dot-product engine, zero or not, and
+the zeros inside non-zero blocks ride along on the wire.
+"""
+
+from __future__ import annotations
+
+from ...formats.base import SizeBreakdown
+from ...partition import PartitionProfile
+from ..config import HardwareConfig
+from .base import ComputeBreakdown, DecompressorModel
+
+__all__ = ["BcsrDecompressor"]
+
+
+class BcsrDecompressor(DecompressorModel):
+
+    name = "bcsr"
+
+    def compute(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> ComputeBreakdown:
+        self._check_profile(profile, config)
+        b = profile.block_size
+        offsets_accesses = profile.nnz_block_rows * config.bram_access_cycles
+        block_gathers = profile.n_blocks  # unrolled: 1 cycle per block
+        rows_processed = profile.nnz_block_rows * b
+        return ComputeBreakdown(
+            decompress_cycles=offsets_accesses + block_gathers,
+            dot_cycles=rows_processed * config.dot_product_cycles(),
+        )
+
+    def transfer_size(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> SizeBreakdown:
+        self._check_profile(profile, config)
+        b = profile.block_size
+        block_rows = -(-config.partition_size // b)
+        return SizeBreakdown(
+            useful_bytes=profile.nnz * config.value_bytes,
+            data_bytes=profile.n_blocks * b * b * config.value_bytes,
+            metadata_bytes=(profile.n_blocks + block_rows)
+            * config.index_bytes,
+        )

@@ -1,0 +1,47 @@
+"""Bitmap decompressor model (the SparTen/SMASH-style extension).
+
+The mask is fixed-size and position-indexed, so row reconstruction is
+fully deterministic: the decompressor scans ``p`` mask words (one
+partition row per cycle, the row's bits decoded combinationally) while
+a popcount prefix steers the packed value stream.  Like ELL, every row
+is processed; unlike ELL, the wire carries no padded values — only the
+constant one-bit-per-position mask.
+"""
+
+from __future__ import annotations
+
+from ...formats.base import SizeBreakdown
+from ...partition import PartitionProfile
+from ..config import HardwareConfig
+from .base import ComputeBreakdown, DecompressorModel
+
+__all__ = ["BitmapDecompressor"]
+
+
+class BitmapDecompressor(DecompressorModel):
+
+    name = "bitmap"
+
+    def compute(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> ComputeBreakdown:
+        self._check_profile(profile, config)
+        p = config.partition_size
+        # one cycle per partition row for the mask decode, plus the
+        # pipelined value-stream walk.
+        return ComputeBreakdown(
+            decompress_cycles=p + profile.nnz,
+            dot_cycles=profile.nnz_rows * config.dot_product_cycles(),
+        )
+
+    def transfer_size(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> SizeBreakdown:
+        self._check_profile(profile, config)
+        p = config.partition_size
+        mask_bytes = -(-(p * p) // 8)
+        return SizeBreakdown(
+            useful_bytes=profile.nnz * config.value_bytes,
+            data_bytes=profile.nnz * config.value_bytes,
+            metadata_bytes=mask_bytes,
+        )

@@ -1,0 +1,48 @@
+"""COO decompressor model (Listing 6).
+
+A single pipelined II = 1 pass over the tuple stream with one simple
+assignment per tuple.  Nothing can be banked — the number of entries
+per row is unknown in advance — so the loop is pipelined, not
+unrolled.  DOK shares this model ("the same procedure is also
+applicable to DOK").
+"""
+
+from __future__ import annotations
+
+from ...formats.base import SizeBreakdown
+from ...partition import PartitionProfile
+from ..config import HardwareConfig
+from .base import ComputeBreakdown, DecompressorModel
+
+__all__ = ["CooDecompressor", "DokDecompressor"]
+
+
+class CooDecompressor(DecompressorModel):
+
+    name = "coo"
+
+    def compute(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> ComputeBreakdown:
+        self._check_profile(profile, config)
+        return ComputeBreakdown(
+            decompress_cycles=profile.nnz,
+            dot_cycles=profile.nnz_rows * config.dot_product_cycles(),
+        )
+
+    def transfer_size(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> SizeBreakdown:
+        self._check_profile(profile, config)
+        return SizeBreakdown(
+            useful_bytes=profile.nnz * config.value_bytes,
+            data_bytes=profile.nnz * config.value_bytes,
+            metadata_bytes=profile.nnz * 2 * config.index_bytes,
+        )
+
+
+class DokDecompressor(CooDecompressor):
+    """DOK streams the same three fields per entry and decompresses
+    with the same pipelined tuple walk as COO."""
+
+    name = "dok"

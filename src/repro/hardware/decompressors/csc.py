@@ -1,0 +1,47 @@
+"""CSC decompressor model (Listing 3) — the orientation-mismatch case.
+
+The hardware needs rows; CSC compresses columns.  Reconstructing each
+output row therefore walks *every* column's entries looking for the
+current row index: a pipelined scan over all ``nnz`` stored entries plus
+the column-pointer advances, repeated for all ``p`` rows.  This is the
+paper's deliberately included worst case (up to 21-30x slower than
+dense).
+"""
+
+from __future__ import annotations
+
+from ...formats.base import SizeBreakdown
+from ...partition import PartitionProfile
+from ..config import HardwareConfig
+from .base import ComputeBreakdown, DecompressorModel
+
+__all__ = ["CscDecompressor"]
+
+
+class CscDecompressor(DecompressorModel):
+
+    name = "csc"
+
+    def compute(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> ComputeBreakdown:
+        self._check_profile(profile, config)
+        p = config.partition_size
+        # per output row: II=1 scan of every stored entry, plus one
+        # offsets access to restart the column walk.
+        per_row = profile.nnz + config.bram_access_cycles
+        return ComputeBreakdown(
+            decompress_cycles=p * per_row,
+            dot_cycles=profile.nnz_rows * config.dot_product_cycles(),
+        )
+
+    def transfer_size(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> SizeBreakdown:
+        self._check_profile(profile, config)
+        return SizeBreakdown(
+            useful_bytes=profile.nnz * config.value_bytes,
+            data_bytes=profile.nnz * config.value_bytes,
+            metadata_bytes=(profile.nnz + config.partition_size)
+            * config.index_bytes,
+        )

@@ -1,0 +1,45 @@
+"""CSR decompressor model (Listing 1).
+
+Per non-zero row: one extra BRAM access to ``offsets`` establishes
+``numVal`` (the access the paper identifies as making CSR
+compute-bound), then a pipelined II = 1 walk over that row's (index,
+value) pairs reconstructs the dense row.  The entry arrays cannot be
+banked — the access pattern is data-dependent — so the walk is strictly
+sequential.
+"""
+
+from __future__ import annotations
+
+from ...formats.base import SizeBreakdown
+from ...partition import PartitionProfile
+from ..config import HardwareConfig
+from .base import ComputeBreakdown, DecompressorModel
+
+__all__ = ["CsrDecompressor"]
+
+
+class CsrDecompressor(DecompressorModel):
+
+    name = "csr"
+
+    def compute(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> ComputeBreakdown:
+        self._check_profile(profile, config)
+        offsets_accesses = profile.nnz_rows * config.bram_access_cycles
+        entry_walk = profile.nnz  # II = 1 over every stored entry
+        return ComputeBreakdown(
+            decompress_cycles=offsets_accesses + entry_walk,
+            dot_cycles=profile.nnz_rows * config.dot_product_cycles(),
+        )
+
+    def transfer_size(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> SizeBreakdown:
+        self._check_profile(profile, config)
+        return SizeBreakdown(
+            useful_bytes=profile.nnz * config.value_bytes,
+            data_bytes=profile.nnz * config.value_bytes,
+            metadata_bytes=(profile.nnz + config.partition_size)
+            * config.index_bytes,
+        )

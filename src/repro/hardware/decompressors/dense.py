@@ -1,0 +1,41 @@
+"""Dense baseline "decompressor": there is nothing to decompress.
+
+All ``p`` rows pass straight to the dot-product engine, so the compute
+latency is exactly ``p * T_dot`` — the denominator of Equation 1 — and
+the transfer moves all ``p * p`` values with zero metadata.
+"""
+
+from __future__ import annotations
+
+from ...formats.base import SizeBreakdown
+from ...partition import PartitionProfile
+from ..config import HardwareConfig
+from .base import ComputeBreakdown, DecompressorModel
+
+__all__ = ["DenseDecompressor"]
+
+
+class DenseDecompressor(DecompressorModel):
+
+    name = "dense"
+
+    def compute(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> ComputeBreakdown:
+        self._check_profile(profile, config)
+        p = config.partition_size
+        return ComputeBreakdown(
+            decompress_cycles=0,
+            dot_cycles=p * config.dot_product_cycles(),
+        )
+
+    def transfer_size(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> SizeBreakdown:
+        self._check_profile(profile, config)
+        p = config.partition_size
+        return SizeBreakdown(
+            useful_bytes=profile.nnz * config.value_bytes,
+            data_bytes=p * p * config.value_bytes,
+            metadata_bytes=0,
+        )

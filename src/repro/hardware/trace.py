@@ -1,0 +1,184 @@
+"""Cycle-accurate event trace of the streaming pipeline.
+
+Section 4.2: "An imbalance streaming leads to idle computation or
+pauses in data transfer", and Section 6.3 reads throughput as "the
+bubbles in the streaming pipeline".  This module schedules every
+partition through the three stages (memory-read → compute →
+memory-write) with a double-buffered input and reports exactly where
+those bubbles and pauses fall:
+
+* the **memory stage** prefetches partition ``i+1`` while compute works
+  on ``i``, but must wait for a free input buffer;
+* the **compute stage** starts a partition once its transfer finished
+  and the previous compute drained;
+* the **write stage** streams each partial output vector back as soon
+  as its compute finishes and the write port is free.
+
+The aggregate pipeline model in :mod:`repro.hardware.pipeline` uses
+the closed form ``sum(max(mem, comp))``; the trace is its
+event-resolved counterpart and agrees with it up to the (bounded)
+write-drain term — a relationship the test suite pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import SimulationError
+from ..partition import PartitionProfile
+from .axi import AxiStreamModel
+from .config import HardwareConfig
+from .decompressors import DecompressorModel, get_decompressor
+
+__all__ = ["StageInterval", "PipelineTrace", "trace_pipeline"]
+
+
+@dataclass(frozen=True)
+class StageInterval:
+    """One stage's busy interval for one partition."""
+
+    partition_index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise SimulationError(
+                f"invalid interval [{self.start}, {self.stop})"
+            )
+
+    @property
+    def duration(self) -> int:
+        return self.stop - self.start
+
+
+def _idle_within(intervals: Sequence[StageInterval], horizon: int) -> int:
+    """Idle cycles of one stage between its first start and ``horizon``."""
+    if not intervals:
+        return 0
+    busy = sum(interval.duration for interval in intervals)
+    return (horizon - intervals[0].start) - busy
+
+
+@dataclass(frozen=True)
+class PipelineTrace:
+    """Full stage schedule of one matrix through one format."""
+
+    format_name: str
+    partition_size: int
+    memory: tuple[StageInterval, ...]
+    compute: tuple[StageInterval, ...]
+    write: tuple[StageInterval, ...]
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.memory)
+
+    @property
+    def total_cycles(self) -> int:
+        """First fetch to last write-back."""
+        if not self.write:
+            return 0
+        return self.write[-1].stop
+
+    # ------------------------------------------------------------------
+    # Bubble / pause analysis (Section 4.2's imbalance symptoms)
+    # ------------------------------------------------------------------
+    @property
+    def compute_idle_cycles(self) -> int:
+        """Bubbles: cycles the compute stage waits on data."""
+        return _idle_within(
+            self.compute, self.compute[-1].stop if self.compute else 0
+        )
+
+    @property
+    def memory_stall_cycles(self) -> int:
+        """Pauses: cycles the memory stage waits on a free buffer."""
+        return _idle_within(
+            self.memory, self.memory[-1].stop if self.memory else 0
+        )
+
+    @property
+    def compute_occupancy(self) -> float:
+        """Busy fraction of the compute stage over the whole run."""
+        if not self.compute or self.total_cycles == 0:
+            return 0.0
+        busy = sum(interval.duration for interval in self.compute)
+        return busy / self.total_cycles
+
+    @property
+    def memory_occupancy(self) -> float:
+        """Busy fraction of the memory stage over the whole run."""
+        if not self.memory or self.total_cycles == 0:
+            return 0.0
+        busy = sum(interval.duration for interval in self.memory)
+        return busy / self.total_cycles
+
+    def bound(self) -> str:
+        """Which stage dominates: ``"memory"`` or ``"compute"``."""
+        if self.memory_occupancy >= self.compute_occupancy:
+            return "memory"
+        return "compute"
+
+
+def trace_pipeline(
+    config: HardwareConfig,
+    decompressor: DecompressorModel | str,
+    profiles: Sequence[PartitionProfile],
+) -> PipelineTrace:
+    """Schedule every partition through the three pipeline stages."""
+    if isinstance(decompressor, str):
+        decompressor = get_decompressor(decompressor)
+    if any(p.p != config.partition_size for p in profiles):
+        raise SimulationError(
+            "all profiles must match the configured partition size"
+        )
+    axi = AxiStreamModel(config)
+    write_cycles = (
+        axi.single_line_cycles(config.partition_size * config.value_bytes)
+        if config.write_back
+        else 0
+    )
+
+    memory: list[StageInterval] = []
+    compute: list[StageInterval] = []
+    write: list[StageInterval] = []
+    mem_free_at = 0  # memory port availability
+    compute_free_at = 0
+    write_free_at = 0
+    # double-buffered input: fetching partition i requires compute on
+    # partition i-2 to have drained its buffer.
+    compute_stop_history: list[int] = []
+
+    for index, profile in enumerate(profiles):
+        lines = decompressor.stream_lines(profile, config)
+        mem_cycles = axi.transfer_cycles(lines)
+        comp = decompressor.compute(profile, config)
+
+        buffer_free_at = (
+            compute_stop_history[index - 2] if index >= 2 else 0
+        )
+        mem_start = max(mem_free_at, buffer_free_at)
+        mem_stop = mem_start + mem_cycles
+        memory.append(StageInterval(index, mem_start, mem_stop))
+        mem_free_at = mem_stop
+
+        comp_start = max(mem_stop, compute_free_at)
+        comp_stop = comp_start + comp.total_cycles
+        compute.append(StageInterval(index, comp_start, comp_stop))
+        compute_free_at = comp_stop
+        compute_stop_history.append(comp_stop)
+
+        write_start = max(comp_stop, write_free_at)
+        write_stop = write_start + write_cycles
+        write.append(StageInterval(index, write_start, write_stop))
+        write_free_at = write_stop
+
+    return PipelineTrace(
+        format_name=decompressor.name,
+        partition_size=config.partition_size,
+        memory=tuple(memory),
+        compute=tuple(compute),
+        write=tuple(write),
+    )

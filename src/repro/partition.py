@@ -1,0 +1,412 @@
+"""Matrix partitioning.
+
+Copernicus never compresses a large matrix whole: formats such as CSR
+would pay per-row metadata even for all-zero rows, so the matrix is
+tiled into ``p x p`` partitions, all-zero partitions are dropped, and
+each non-zero partition is compressed and streamed independently
+(Section 4.1).  ``p`` (8, 16 or 32) is the main hyperparameter.
+
+Two views of the same tiling are provided:
+
+* :func:`partition_matrix` materializes each non-zero tile as a
+  :class:`~repro.matrix.SparseMatrix` — exact, used by functional SpMV,
+  examples, and round-trip tests.
+* :func:`profile_partitions` computes, fully vectorized, the per-tile
+  statistics the hardware model needs (non-zeros, non-zero rows, block
+  and diagonal counts, ...) without building the tiles — this is what
+  makes 8000 x 8000 workloads tractable.
+
+The module also computes the paper's Figure-3 "density and spatial
+locality" statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import PartitionError
+from .matrix import SparseMatrix
+
+__all__ = [
+    "PARTITION_SIZES",
+    "Partition",
+    "PartitionProfile",
+    "PartitionStatistics",
+    "partition_matrix",
+    "profile_partitions",
+    "partition_statistics",
+    "reassemble",
+    "grid_shape",
+    "count_partitions",
+]
+
+#: Partition sizes evaluated throughout the paper.
+PARTITION_SIZES: tuple[int, ...] = (8, 16, 32)
+
+
+def _check_partition_size(p: int) -> None:
+    if p < 1:
+        raise PartitionError(f"partition size must be >= 1, got {p}")
+
+
+def grid_shape(shape: tuple[int, int], p: int) -> tuple[int, int]:
+    """Number of partition rows and columns covering ``shape``."""
+    _check_partition_size(p)
+    return (-(-shape[0] // p), -(-shape[1] // p))
+
+
+def count_partitions(shape: tuple[int, int], p: int) -> int:
+    """Total tile count (zero and non-zero) covering ``shape``."""
+    rows, cols = grid_shape(shape, p)
+    return rows * cols
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One materialized non-zero tile.
+
+    ``block`` always has shape ``(p, p)``; edge tiles are zero-padded so
+    the dot-product engine width is uniform, matching the hardware.
+    """
+
+    grid_row: int
+    grid_col: int
+    block: SparseMatrix
+
+    @property
+    def nnz(self) -> int:
+        return self.block.nnz
+
+
+@dataclass(frozen=True)
+class PartitionProfile:
+    """Aggregate statistics of one non-zero tile.
+
+    These are exactly the quantities the per-format latency and size
+    models depend on; computing them without materializing tiles keeps
+    full-matrix characterization linear in ``nnz``.
+
+    Attributes
+    ----------
+    p:
+        Tile edge length.
+    nnz:
+        Non-zero entries in the tile.
+    nnz_rows / nnz_cols:
+        Rows / columns holding at least one non-zero.
+    max_row_nnz / max_col_nnz:
+        Longest row / column (ELL width; LIL merge depth bound).
+    n_blocks:
+        Non-zero ``b x b`` blocks (BCSR).
+    nnz_block_rows:
+        Block-rows holding at least one non-zero block (BCSR).
+    block_size:
+        ``b`` used for the two block statistics.
+    n_diagonals:
+        Distinct diagonals holding data (DIA).
+    dia_stored_len:
+        Sum of the full lengths of every touched diagonal, zeros
+        included (the ragged-storage lower bound).
+    dia_max_len:
+        Length of the longest touched diagonal; DIA's padded 2-D
+        layout (Listing 7) transfers ``n_diagonals * dia_max_len``
+        value slots.
+    row_nnz_hist:
+        Optional histogram of row lengths: ``row_nnz_hist[k - 1]`` is
+        the number of rows with exactly ``k`` stored entries.  Needed
+        only by the ELL-variant models (JDS, ELL+COO); the core
+        formats work from the scalar statistics alone.
+    """
+
+    p: int
+    nnz: int
+    nnz_rows: int
+    nnz_cols: int
+    max_row_nnz: int
+    max_col_nnz: int
+    n_blocks: int
+    nnz_block_rows: int
+    block_size: int
+    n_diagonals: int
+    dia_stored_len: int
+    dia_max_len: int
+    row_nnz_hist: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.nnz < 1:
+            raise PartitionError("a partition profile must hold data")
+        if not (0 < self.nnz_rows <= self.p and 0 < self.nnz_cols <= self.p):
+            raise PartitionError("non-zero row/col counts out of range")
+        if self.row_nnz_hist:
+            hist = self.row_nnz_hist
+            if sum(hist) != self.nnz_rows:
+                raise PartitionError(
+                    "row histogram rows disagree with nnz_rows"
+                )
+            if sum(k * count for k, count in enumerate(hist, 1)) != self.nnz:
+                raise PartitionError(
+                    "row histogram entries disagree with nnz"
+                )
+
+    # ------------------------------------------------------------------
+    # Row-histogram-derived statistics (ELL-variant models)
+    # ------------------------------------------------------------------
+    def _require_hist(self) -> tuple[int, ...]:
+        if not self.row_nnz_hist:
+            raise PartitionError(
+                "this statistic needs row_nnz_hist; build the profile "
+                "via profile_partitions() or of_block()"
+            )
+        return self.row_nnz_hist
+
+    def ell_overflow(self, width: int) -> int:
+        """Entries past the first ``width`` of their row (ELL+COO)."""
+        if width < 1:
+            raise PartitionError(f"width must be >= 1, got {width}")
+        hist = self._require_hist()
+        return sum(
+            count * max(k - width, 0) for k, count in enumerate(hist, 1)
+        )
+
+    def jds_diagonal_lengths(self) -> tuple[int, ...]:
+        """Rows participating in each jagged diagonal (JDS)."""
+        hist = self._require_hist()
+        return tuple(
+            sum(count for k, count in enumerate(hist, 1) if k > j)
+            for j in range(self.max_row_nnz)
+        )
+
+    @property
+    def density(self) -> float:
+        """Fraction of the tile's ``p * p`` entries that are non-zero."""
+        return self.nnz / (self.p * self.p)
+
+    @property
+    def row_density(self) -> float:
+        """Fraction of non-zero entries within the non-zero rows."""
+        return self.nnz / (self.nnz_rows * self.p)
+
+    @property
+    def nnz_row_fraction(self) -> float:
+        """Fraction of the tile's rows that are non-zero."""
+        return self.nnz_rows / self.p
+
+    @classmethod
+    def of_block(cls, block: SparseMatrix, p: int, block_size: int = 4
+                 ) -> "PartitionProfile":
+        """Profile a single materialized tile (reference implementation)."""
+        row_counts = block.row_nnz()
+        col_counts = block.col_nnz()
+        brows = block.rows // block_size
+        bcols = block.cols // block_size
+        blocks = np.unique(brows * p + bcols)
+        diagonals = block.diagonals()
+        lengths = [p - abs(int(d)) for d in diagonals]
+        nonzero_row_counts = row_counts[row_counts > 0]
+        hist = np.bincount(nonzero_row_counts, minlength=p + 1)[1:]
+        return cls(
+            p=p,
+            nnz=block.nnz,
+            nnz_rows=block.nnz_rows(),
+            nnz_cols=block.nnz_cols(),
+            max_row_nnz=int(row_counts.max()),
+            max_col_nnz=int(col_counts.max()),
+            n_blocks=int(blocks.size),
+            nnz_block_rows=int(np.unique(brows).size),
+            block_size=block_size,
+            n_diagonals=int(diagonals.size),
+            dia_stored_len=int(sum(lengths)),
+            dia_max_len=int(max(lengths)),
+            row_nnz_hist=tuple(int(c) for c in hist),
+        )
+
+
+def partition_matrix(matrix: SparseMatrix, p: int) -> list[Partition]:
+    """Split ``matrix`` into non-zero ``p x p`` tiles (grid order)."""
+    _check_partition_size(p)
+    if not matrix.nnz:
+        return []
+    grid_rows, grid_cols = grid_shape(matrix.shape, p)
+    pid = (matrix.rows // p) * grid_cols + (matrix.cols // p)
+    order = np.argsort(pid, kind="stable")
+    pid_sorted = pid[order]
+    boundaries = np.nonzero(np.diff(pid_sorted))[0] + 1
+    starts = np.concatenate([[0], boundaries])
+    stops = np.concatenate([boundaries, [pid_sorted.size]])
+    partitions = []
+    for start, stop in zip(starts, stops):
+        tile_id = int(pid_sorted[start])
+        grid_row, grid_col = divmod(tile_id, grid_cols)
+        idx = order[start:stop]
+        block = SparseMatrix(
+            (p, p),
+            matrix.rows[idx] - grid_row * p,
+            matrix.cols[idx] - grid_col * p,
+            matrix.vals[idx],
+        )
+        partitions.append(Partition(grid_row, grid_col, block))
+    return partitions
+
+
+def reassemble(
+    shape: tuple[int, int], partitions: list[Partition], p: int
+) -> SparseMatrix:
+    """Inverse of :func:`partition_matrix` (drops padding overflow)."""
+    rows, cols, vals = [], [], []
+    for part in partitions:
+        block = part.block
+        rows.append(block.rows + part.grid_row * p)
+        cols.append(block.cols + part.grid_col * p)
+        vals.append(block.vals)
+    if not rows:
+        return SparseMatrix.empty(shape)
+    all_rows = np.concatenate(rows)
+    all_cols = np.concatenate(cols)
+    all_vals = np.concatenate(vals)
+    keep = (all_rows < shape[0]) & (all_cols < shape[1])
+    return SparseMatrix(shape, all_rows[keep], all_cols[keep], all_vals[keep])
+
+
+def _group_max_counts(
+    group_ids: np.ndarray, inner_keys: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Per group: the largest multiplicity of any inner key.
+
+    ``group_ids`` are dense ints in ``[0, n_groups)``; ``inner_keys``
+    distinguish members within a group (e.g. local row index).
+    """
+    combined = group_ids * np.int64(2**32) + inner_keys
+    unique_combined, counts = np.unique(combined, return_counts=True)
+    owner = (unique_combined // np.int64(2**32)).astype(np.int64)
+    result = np.zeros(n_groups, dtype=np.int64)
+    np.maximum.at(result, owner, counts)
+    return result
+
+
+def _group_unique_counts(
+    group_ids: np.ndarray, inner_keys: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Per group: the number of distinct inner keys."""
+    combined = group_ids * np.int64(2**32) + inner_keys
+    unique_combined = np.unique(combined)
+    owner = (unique_combined // np.int64(2**32)).astype(np.int64)
+    return np.bincount(owner, minlength=n_groups)
+
+
+def profile_partitions(
+    matrix: SparseMatrix, p: int, block_size: int = 4
+) -> list[PartitionProfile]:
+    """Vectorized per-tile profiles for every non-zero tile (grid order)."""
+    _check_partition_size(p)
+    if block_size < 1:
+        raise PartitionError(f"block_size must be >= 1, got {block_size}")
+    if not matrix.nnz:
+        return []
+    grid_cols = grid_shape(matrix.shape, p)[1]
+    pid = (matrix.rows // p) * grid_cols + (matrix.cols // p)
+    tile_ids, dense_pid = np.unique(pid, return_inverse=True)
+    n_tiles = tile_ids.size
+
+    local_rows = matrix.rows % p
+    local_cols = matrix.cols % p
+    nnz = np.bincount(dense_pid, minlength=n_tiles)
+    nnz_rows = _group_unique_counts(dense_pid, local_rows, n_tiles)
+    nnz_cols = _group_unique_counts(dense_pid, local_cols, n_tiles)
+    max_row = _group_max_counts(dense_pid, local_rows, n_tiles)
+    max_col = _group_max_counts(dense_pid, local_cols, n_tiles)
+
+    block_cols_per_tile = -(-p // block_size)
+    block_key = (
+        (local_rows // block_size) * block_cols_per_tile
+        + (local_cols // block_size)
+    )
+    n_blocks = _group_unique_counts(dense_pid, block_key, n_tiles)
+    nnz_block_rows = _group_unique_counts(
+        dense_pid, local_rows // block_size, n_tiles
+    )
+
+    diag = local_cols - local_rows + p  # shift into [1, 2p-1] (>= 0)
+    diag_pairs = np.unique(dense_pid * np.int64(2**32) + diag)
+    diag_owner = (diag_pairs // np.int64(2**32)).astype(np.int64)
+    diag_offset = (diag_pairs % np.int64(2**32)).astype(np.int64) - p
+    # per-(tile, row) entry counts -> per-tile row-length histogram.
+    combined_rows = dense_pid * np.int64(2**32) + local_rows
+    unique_pairs, pair_counts = np.unique(combined_rows, return_counts=True)
+    pair_owner = (unique_pairs // np.int64(2**32)).astype(np.int64)
+    hist_matrix = np.zeros((n_tiles, p), dtype=np.int64)
+    np.add.at(hist_matrix, (pair_owner, pair_counts - 1), 1)
+
+    n_diagonals = np.bincount(diag_owner, minlength=n_tiles)
+    diag_lengths = p - np.abs(diag_offset)
+    stored = np.zeros(n_tiles, dtype=np.int64)
+    np.add.at(stored, diag_owner, diag_lengths)
+    longest = np.zeros(n_tiles, dtype=np.int64)
+    np.maximum.at(longest, diag_owner, diag_lengths)
+
+    return [
+        PartitionProfile(
+            p=p,
+            nnz=int(nnz[t]),
+            nnz_rows=int(nnz_rows[t]),
+            nnz_cols=int(nnz_cols[t]),
+            max_row_nnz=int(max_row[t]),
+            max_col_nnz=int(max_col[t]),
+            n_blocks=int(n_blocks[t]),
+            nnz_block_rows=int(nnz_block_rows[t]),
+            block_size=block_size,
+            n_diagonals=int(n_diagonals[t]),
+            dia_stored_len=int(stored[t]),
+            dia_max_len=int(longest[t]),
+            row_nnz_hist=tuple(int(c) for c in hist_matrix[t]),
+        )
+        for t in range(n_tiles)
+    ]
+
+
+@dataclass(frozen=True)
+class PartitionStatistics:
+    """The Figure-3 aggregate statistics of one matrix at one tile size.
+
+    All three are averages over the *non-zero* tiles, expressed as
+    percentages like the paper's bars.
+    """
+
+    p: int
+    n_partitions: int
+    n_nonzero_partitions: int
+    avg_partition_density: float
+    avg_row_density: float
+    avg_nnz_row_fraction: float
+
+    @property
+    def nonzero_partition_fraction(self) -> float:
+        """Share of tiles that carry any data (the locality win)."""
+        if not self.n_partitions:
+            return 0.0
+        return self.n_nonzero_partitions / self.n_partitions
+
+
+def partition_statistics(
+    matrix: SparseMatrix, p: int, block_size: int = 4
+) -> PartitionStatistics:
+    """Compute the Figure-3 statistics for ``matrix`` at tile size ``p``."""
+    profiles = profile_partitions(matrix, p, block_size=block_size)
+    total = count_partitions(matrix.shape, p)
+    if not profiles:
+        return PartitionStatistics(p, total, 0, 0.0, 0.0, 0.0)
+    return PartitionStatistics(
+        p=p,
+        n_partitions=total,
+        n_nonzero_partitions=len(profiles),
+        avg_partition_density=float(
+            np.mean([prof.density for prof in profiles])
+        ),
+        avg_row_density=float(
+            np.mean([prof.row_density for prof in profiles])
+        ),
+        avg_nnz_row_fraction=float(
+            np.mean([prof.nnz_row_fraction for prof in profiles])
+        ),
+    )

@@ -1,0 +1,78 @@
+"""Workload generators: Table 1 stand-ins, random and band matrices,
+plus the graph and PDE generators used to build them."""
+
+from .band import (
+    PAPER_BAND_SIZE,
+    PAPER_BAND_WIDTHS,
+    band_matrix,
+    diagonal_matrix,
+    half_bandwidth,
+)
+from .graphs import (
+    bipartite_hyperlinks,
+    mesh_graph,
+    power_law_graph,
+    rmat_graph,
+    road_network,
+)
+from .pde import fem_band_matrix, poisson_1d, poisson_2d, poisson_3d
+from .perturb import permute_symmetric, scatter_entries, thicken_rows
+from .random_matrices import PAPER_DENSITIES, random_matrix, random_vector
+from .recommendation import embedding_access_matrix, embedding_access_trace
+from .registry import (
+    WORKLOAD_GROUPS,
+    Workload,
+    band_suite,
+    random_suite,
+    suitesparse_suite,
+    workload_group,
+)
+from .suitesparse import (
+    DEFAULT_STANDIN_DIM,
+    TABLE1,
+    TABLE1_IDS,
+    MatrixRecord,
+    load_or_standin,
+    record_by_id,
+    standin,
+    standin_by_id,
+)
+
+__all__ = [
+    "PAPER_BAND_SIZE",
+    "PAPER_BAND_WIDTHS",
+    "PAPER_DENSITIES",
+    "DEFAULT_STANDIN_DIM",
+    "TABLE1",
+    "TABLE1_IDS",
+    "WORKLOAD_GROUPS",
+    "MatrixRecord",
+    "Workload",
+    "band_matrix",
+    "band_suite",
+    "bipartite_hyperlinks",
+    "diagonal_matrix",
+    "embedding_access_matrix",
+    "embedding_access_trace",
+    "fem_band_matrix",
+    "half_bandwidth",
+    "load_or_standin",
+    "mesh_graph",
+    "permute_symmetric",
+    "poisson_1d",
+    "poisson_2d",
+    "poisson_3d",
+    "power_law_graph",
+    "random_matrix",
+    "random_suite",
+    "random_vector",
+    "record_by_id",
+    "rmat_graph",
+    "road_network",
+    "scatter_entries",
+    "standin",
+    "standin_by_id",
+    "suitesparse_suite",
+    "thicken_rows",
+    "workload_group",
+]

@@ -1,0 +1,87 @@
+"""Band and diagonal matrices.
+
+The paper's second synthetic group (Section 3.2): matrices whose
+non-zeros are confined to a diagonal band of width ``k`` — an entry
+``a[i, j]`` is zero whenever ``|i - j| > k / 2``.  ``k = 1`` is a pure
+diagonal matrix.  The paper evaluates size 8000 with widths 1, 2, 4, 8,
+16, 32 and 64 (Figures 6 and 11 sweep "width ... from 1 to 64").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..matrix import SparseMatrix
+
+__all__ = [
+    "PAPER_BAND_WIDTHS",
+    "PAPER_BAND_SIZE",
+    "band_matrix",
+    "diagonal_matrix",
+    "half_bandwidth",
+]
+
+#: Band widths swept in Figures 6 and 11.
+PAPER_BAND_WIDTHS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: The matrix dimension the paper uses for the band-matrix experiments.
+PAPER_BAND_SIZE = 8000
+
+
+def half_bandwidth(width: int) -> int:
+    """The largest allowed ``|i - j|`` for a band of width ``width``."""
+    if width < 1:
+        raise WorkloadError(f"band width must be >= 1, got {width}")
+    return width // 2
+
+
+def band_matrix(
+    n: int,
+    width: int,
+    fill: float = 1.0,
+    seed: int = 0,
+) -> SparseMatrix:
+    """A size-``n`` band matrix of width ``width``.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension.
+    width:
+        Band width ``k``; non-zeros satisfy ``|i - j| <= k // 2``.
+    fill:
+        Fraction of in-band positions populated (1.0 = a full band,
+        the paper's case; lower values model partially filled bands,
+        the DIA worst case discussed in Section 5.2).
+    """
+    if n < 1:
+        raise WorkloadError(f"matrix size must be >= 1, got {n}")
+    if not 0.0 < fill <= 1.0:
+        raise WorkloadError(f"fill must be in (0, 1], got {fill}")
+    half = half_bandwidth(width)
+    rng = np.random.default_rng(seed)
+    rows_parts: list[np.ndarray] = []
+    cols_parts: list[np.ndarray] = []
+    for offset in range(-half, half + 1):
+        start = max(0, -offset)
+        stop = min(n, n - offset)
+        idx = np.arange(start, stop)
+        if fill < 1.0:
+            keep = rng.random(idx.size) < fill
+            idx = idx[keep]
+            # never drop the whole main diagonal: keep it anchored so
+            # the matrix stays non-singular enough for the solvers.
+            if offset == 0 and not idx.size:
+                idx = np.arange(n)
+        rows_parts.append(idx)
+        cols_parts.append(idx + offset)
+    rows = np.concatenate(rows_parts)
+    cols = np.concatenate(cols_parts)
+    values = rng.uniform(0.5, 1.5, size=rows.size)
+    return SparseMatrix((n, n), rows, cols, values)
+
+
+def diagonal_matrix(n: int, seed: int = 0) -> SparseMatrix:
+    """A pure diagonal matrix (band width 1)."""
+    return band_matrix(n, width=1, seed=seed)

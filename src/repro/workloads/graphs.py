@@ -1,0 +1,176 @@
+"""Graph-structured sparse matrix generators.
+
+Used to synthesize structure-preserving stand-ins for the graph entries
+of Table 1 (directed web/social graphs, road networks, Kronecker
+multigraphs).  Each generator returns the graph's adjacency matrix as a
+:class:`~repro.matrix.SparseMatrix` — exactly the representation the
+paper's SpMV-based graph analytics consume (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..matrix import SparseMatrix
+
+__all__ = [
+    "rmat_graph",
+    "power_law_graph",
+    "road_network",
+    "mesh_graph",
+    "bipartite_hyperlinks",
+]
+
+
+def _adjacency(
+    n: int, src: np.ndarray, dst: np.ndarray, symmetric: bool
+) -> SparseMatrix:
+    if symmetric:
+        src, dst = (
+            np.concatenate([src, dst]),
+            np.concatenate([dst, src]),
+        )
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    return SparseMatrix((n, n), src, dst, np.ones(src.size))
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 16,
+    probabilities: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    seed: int = 0,
+) -> SparseMatrix:
+    """Recursive-matrix (R-MAT / Graph500 Kronecker) generator.
+
+    Stand-in structure for ``kron_g500-logn21``: heavy-tailed degrees
+    concentrated in one corner of the adjacency matrix.
+
+    Parameters
+    ----------
+    scale:
+        ``log2`` of the vertex count.
+    edge_factor:
+        Edges generated per vertex (duplicates collapse, so the final
+        nnz is somewhat lower, as in the real collection).
+    probabilities:
+        Quadrant probabilities ``(a, b, c, d)``; must sum to 1.
+    """
+    if scale < 1 or scale > 24:
+        raise WorkloadError(f"scale must be in [1, 24], got {scale}")
+    a, b, c, d = probabilities
+    if abs(a + b + c + d - 1.0) > 1e-9:
+        raise WorkloadError("quadrant probabilities must sum to 1")
+    n = 1 << scale
+    n_edges = n * edge_factor
+    rng = np.random.default_rng(seed)
+    src = np.zeros(n_edges, dtype=np.int64)
+    dst = np.zeros(n_edges, dtype=np.int64)
+    for _ in range(scale):
+        draw = rng.random(n_edges)
+        right = (draw >= a + c) & (draw < a + b + c) | (draw >= a + b + c)
+        down = (draw >= a) & (draw < a + c) | (draw >= a + b + c)
+        # quadrants: a = (0,0), b = (0,1), c = (1,0), d = (1,1)
+        src = (src << 1) | down.astype(np.int64)
+        dst = (dst << 1) | right.astype(np.int64)
+    return _adjacency(n, src, dst, symmetric=True)
+
+
+def power_law_graph(
+    n: int,
+    avg_degree: float = 10.0,
+    exponent: float = 2.1,
+    seed: int = 0,
+) -> SparseMatrix:
+    """Directed graph with Zipf-distributed in-degrees.
+
+    Stand-in structure for web/social graphs (``web-Google``,
+    ``soc-LiveJournal1``, ``wiki-Talk``, ``flickr``, ...): most columns
+    are nearly empty while a few hub columns are dense.
+    """
+    if n < 2:
+        raise WorkloadError(f"need at least 2 vertices, got {n}")
+    if avg_degree <= 0:
+        raise WorkloadError(f"avg_degree must be positive, got {avg_degree}")
+    rng = np.random.default_rng(seed)
+    n_edges = int(round(n * avg_degree))
+    # heavy-tailed popularity over destination vertices.
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    popularity = ranks ** (-exponent)
+    popularity /= popularity.sum()
+    perm = rng.permutation(n)
+    dst = perm[rng.choice(n, size=n_edges, p=popularity)]
+    src = rng.integers(0, n, size=n_edges)
+    return _adjacency(n, src, dst, symmetric=False)
+
+
+def road_network(n: int, rewire: float = 0.05, seed: int = 0) -> SparseMatrix:
+    """Near-planar low-degree graph resembling a road network.
+
+    A square lattice (average degree ~4, like ``roadNet-TX`` and
+    ``road_central``) with a small fraction of lattice edges rewired to
+    model highways and irregular junctions.
+    """
+    if n < 4:
+        raise WorkloadError(f"need at least 4 vertices, got {n}")
+    if not 0.0 <= rewire < 1.0:
+        raise WorkloadError(f"rewire must be in [0, 1), got {rewire}")
+    side = int(np.floor(np.sqrt(n)))
+    size = side * side
+    rng = np.random.default_rng(seed)
+    node = np.arange(size).reshape(side, side)
+    horizontal = (node[:, :-1].ravel(), node[:, 1:].ravel())
+    vertical = (node[:-1, :].ravel(), node[1:, :].ravel())
+    src = np.concatenate([horizontal[0], vertical[0]])
+    dst = np.concatenate([horizontal[1], vertical[1]])
+    if rewire:
+        flips = rng.random(src.size) < rewire
+        dst = dst.copy()
+        dst[flips] = rng.integers(0, size, size=int(flips.sum()))
+    return _adjacency(size, src, dst, symmetric=True)
+
+
+def mesh_graph(n: int, seed: int = 0) -> SparseMatrix:
+    """Large 2-D mesh with jittered connectivity (``hugebubbles`` style).
+
+    Adds a sparse sprinkling of next-nearest-neighbour links to a
+    lattice, giving the slightly-more-than-4 average degree of the
+    adaptive meshes in the collection.
+    """
+    base = road_network(n, rewire=0.0, seed=seed)
+    side = int(np.floor(np.sqrt(n)))
+    size = side * side
+    rng = np.random.default_rng(seed + 1)
+    node = np.arange(size).reshape(side, side)
+    diagonal = (node[:-1, :-1].ravel(), node[1:, 1:].ravel())
+    keep = rng.random(diagonal[0].size) < 0.5
+    extra = _adjacency(
+        size, diagonal[0][keep], diagonal[1][keep], symmetric=True
+    )
+    return base.add(extra)
+
+
+def bipartite_hyperlinks(
+    n: int, avg_degree: float = 6.0, locality: float = 0.8, seed: int = 0
+) -> SparseMatrix:
+    """Hyperlink-style graph with strong local clustering (``wb-edu``).
+
+    Most edges land near the diagonal (pages link within their site);
+    the remainder follow a heavy-tailed global popularity.
+    """
+    if n < 2:
+        raise WorkloadError(f"need at least 2 vertices, got {n}")
+    if not 0.0 <= locality <= 1.0:
+        raise WorkloadError(f"locality must be in [0, 1], got {locality}")
+    rng = np.random.default_rng(seed)
+    n_edges = int(round(n * avg_degree))
+    src = rng.integers(0, n, size=n_edges)
+    local = rng.random(n_edges) < locality
+    jitter = rng.integers(-32, 33, size=n_edges)
+    dst = np.where(
+        local,
+        np.clip(src + jitter, 0, n - 1),
+        rng.integers(0, n, size=n_edges),
+    )
+    return _adjacency(n, src, dst, symmetric=False)

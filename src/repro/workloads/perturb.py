@@ -1,0 +1,94 @@
+"""Sparsity-pattern perturbations.
+
+Section 8, insight 2: "a generic format better tolerates the
+variations in the distribution of non-zero entries" than a specialist
+like DIA.  These transforms create such variations in a controlled
+way:
+
+* :func:`permute_symmetric` relabels rows and columns together —
+  preserves the graph/degree structure, destroys the spatial layout
+  (band structure, locality);
+* :func:`scatter_entries` relocates a fraction of entries uniformly —
+  models pruning noise and fill-in;
+* :func:`thicken_rows` concentrates extra entries on a few rows —
+  models hub formation and skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..matrix import SparseMatrix
+
+__all__ = ["permute_symmetric", "scatter_entries", "thicken_rows"]
+
+
+def permute_symmetric(matrix: SparseMatrix, seed: int = 0) -> SparseMatrix:
+    """Apply one random permutation to both rows and columns.
+
+    For an adjacency matrix this is a vertex relabeling: the graph is
+    unchanged, but bands and locality vanish.
+    """
+    if not matrix.is_square:
+        raise WorkloadError(
+            f"symmetric permutation needs a square matrix, got "
+            f"{matrix.shape}"
+        )
+    perm = np.random.default_rng(seed).permutation(matrix.n_rows)
+    return SparseMatrix(
+        matrix.shape, perm[matrix.rows], perm[matrix.cols], matrix.vals
+    )
+
+
+def scatter_entries(
+    matrix: SparseMatrix, fraction: float, seed: int = 0
+) -> SparseMatrix:
+    """Relocate ``fraction`` of the entries to uniform random spots.
+
+    The nnz count is preserved up to collisions; values travel with
+    their entries.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise WorkloadError(f"fraction must be in [0, 1], got {fraction}")
+    if not matrix.nnz or fraction == 0.0:
+        return matrix
+    rng = np.random.default_rng(seed)
+    n_move = int(round(fraction * matrix.nnz))
+    move = rng.choice(matrix.nnz, size=n_move, replace=False)
+    rows = matrix.rows.copy()
+    cols = matrix.cols.copy()
+    rows[move] = rng.integers(0, matrix.n_rows, size=n_move)
+    cols[move] = rng.integers(0, matrix.n_cols, size=n_move)
+    return SparseMatrix(matrix.shape, rows, cols, matrix.vals)
+
+
+def thicken_rows(
+    matrix: SparseMatrix,
+    n_rows: int,
+    entries_per_row: int,
+    seed: int = 0,
+) -> SparseMatrix:
+    """Add dense-ish hub rows: ``n_rows`` rows gain ``entries_per_row``
+    uniformly placed entries each."""
+    if n_rows < 1 or n_rows > matrix.n_rows:
+        raise WorkloadError(
+            f"n_rows must be in [1, {matrix.n_rows}], got {n_rows}"
+        )
+    if entries_per_row < 1:
+        raise WorkloadError(
+            f"entries_per_row must be >= 1, got {entries_per_row}"
+        )
+    rng = np.random.default_rng(seed)
+    hubs = rng.choice(matrix.n_rows, size=n_rows, replace=False)
+    new_rows = np.repeat(hubs, entries_per_row)
+    new_cols = rng.integers(
+        0, matrix.n_cols, size=n_rows * entries_per_row
+    )
+    new_vals = rng.uniform(0.5, 1.5, size=new_rows.size)
+    return SparseMatrix(
+        matrix.shape,
+        np.concatenate([matrix.rows, new_rows]),
+        np.concatenate([matrix.cols, new_cols]),
+        np.concatenate([matrix.vals, new_vals]),
+    )

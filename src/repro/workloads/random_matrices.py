@@ -1,0 +1,67 @@
+"""Uniformly random sparse matrices.
+
+The paper's first synthetic group: matrices whose non-zero positions are
+drawn uniformly, with density swept from 0.0001 to 0.5 (Section 3.2).
+The denser end (0.1-0.5) stands in for pruned machine-learning models,
+the sparser end (1e-4 - 1e-2) for unstructured scientific and graph
+problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..matrix import SparseMatrix
+
+__all__ = ["PAPER_DENSITIES", "random_matrix", "random_vector"]
+
+#: The density sweep used in Figures 5 and 10.
+PAPER_DENSITIES: tuple[float, ...] = (
+    0.0001,
+    0.001,
+    0.01,
+    0.1,
+    0.2,
+    0.3,
+    0.4,
+    0.5,
+)
+
+
+def random_matrix(
+    n: int,
+    density: float,
+    seed: int = 0,
+    n_cols: int | None = None,
+) -> SparseMatrix:
+    """A ``n x n_cols`` matrix with uniformly placed non-zeros.
+
+    Exactly ``round(density * n * n_cols)`` distinct positions are
+    chosen (without replacement), so the realized density matches the
+    request as closely as integer counts allow.  Values are uniform in
+    ``[0.5, 1.5]`` to keep them bounded away from zero.
+    """
+    if n < 1:
+        raise WorkloadError(f"matrix size must be >= 1, got {n}")
+    if not 0.0 <= density <= 1.0:
+        raise WorkloadError(f"density must be in [0, 1], got {density}")
+    cols = n if n_cols is None else n_cols
+    if cols < 1:
+        raise WorkloadError(f"n_cols must be >= 1, got {cols}")
+    total = n * cols
+    target = int(round(density * total))
+    if target == 0:
+        return SparseMatrix.empty((n, cols))
+    rng = np.random.default_rng(seed)
+    flat = rng.choice(total, size=target, replace=False)
+    values = rng.uniform(0.5, 1.5, size=target)
+    return SparseMatrix((n, cols), flat // cols, flat % cols, values)
+
+
+def random_vector(n: int, seed: int = 0) -> np.ndarray:
+    """A dense operand vector with entries bounded away from zero."""
+    if n < 1:
+        raise WorkloadError(f"vector size must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.5, 1.5, size=n)

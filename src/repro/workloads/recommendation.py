@@ -1,0 +1,78 @@
+"""Recommendation-model (DLRM-style) sparse access workloads.
+
+Section 3.1: "Although the embedding tables are dense, accesses to them
+are random and sparse."  A batch of embedding lookups is exactly a
+sparse matrix: one row per query, one non-zero per looked-up table row
+(with multiplicity for repeated lookups).  Multiplying that access
+matrix by the dense embedding table is the batched sum-reduction the
+recommendation model needs — and it runs on the same dot-product
+engine as SpMV (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..matrix import SparseMatrix
+
+__all__ = ["embedding_access_trace", "embedding_access_matrix"]
+
+
+def embedding_access_trace(
+    n_queries: int,
+    table_rows: int,
+    lookups_per_query: int,
+    exponent: float = 1.05,
+    seed: int = 0,
+) -> list[list[int]]:
+    """Per-query lists of table indices with Zipf-like popularity.
+
+    Real embedding traffic is heavily skewed — a few hot entries take
+    most lookups; ``exponent`` controls the skew (≈1 is typical).
+    """
+    if n_queries < 1:
+        raise WorkloadError(f"n_queries must be >= 1, got {n_queries}")
+    if table_rows < 1:
+        raise WorkloadError(f"table_rows must be >= 1, got {table_rows}")
+    if lookups_per_query < 1:
+        raise WorkloadError(
+            f"lookups_per_query must be >= 1, got {lookups_per_query}"
+        )
+    if exponent <= 0:
+        raise WorkloadError(f"exponent must be positive, got {exponent}")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, table_rows + 1, dtype=np.float64)
+    popularity = ranks**-exponent
+    popularity /= popularity.sum()
+    shuffled = rng.permutation(table_rows)
+    draws = shuffled[
+        rng.choice(
+            table_rows,
+            size=(n_queries, lookups_per_query),
+            p=popularity,
+        )
+    ]
+    return [list(map(int, row)) for row in draws]
+
+
+def embedding_access_matrix(
+    n_queries: int,
+    table_rows: int,
+    lookups_per_query: int,
+    exponent: float = 1.05,
+    seed: int = 0,
+) -> SparseMatrix:
+    """The batch access matrix ``Q`` with ``Q @ table`` = pooled batch.
+
+    Entry ``Q[q, r]`` counts how often query ``q`` looks up table row
+    ``r``; each matrix row sums to ``lookups_per_query``.
+    """
+    trace = embedding_access_trace(
+        n_queries, table_rows, lookups_per_query, exponent, seed
+    )
+    rows = np.repeat(np.arange(n_queries), lookups_per_query)
+    cols = np.array([index for query in trace for index in query])
+    return SparseMatrix(
+        (n_queries, table_rows), rows, cols, np.ones(rows.size)
+    )

@@ -1,0 +1,120 @@
+"""Named workload suites.
+
+The paper characterizes three workload groups (Section 3): the 20
+SuiteSparse matrices of Table 1, uniformly random matrices over a
+density sweep, and band/diagonal matrices over a width sweep.  This
+module builds each group as a list of named workloads so sweeps,
+benchmarks and examples all iterate the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..matrix import SparseMatrix
+from .band import PAPER_BAND_WIDTHS, band_matrix
+from .random_matrices import PAPER_DENSITIES, random_matrix
+from .suitesparse import DEFAULT_STANDIN_DIM, TABLE1, standin
+
+__all__ = [
+    "Workload",
+    "WORKLOAD_GROUPS",
+    "suitesparse_suite",
+    "random_suite",
+    "band_suite",
+    "workload_group",
+]
+
+#: Group names in paper order.
+WORKLOAD_GROUPS: tuple[str, ...] = ("suitesparse", "random", "band")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named matrix plus the group it belongs to."""
+
+    name: str
+    group: str
+    matrix: SparseMatrix
+    parameter: float = 0.0
+    """Group-specific sweep parameter (density, band width, or 0)."""
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+    @property
+    def density(self) -> float:
+        return self.matrix.density
+
+
+def suitesparse_suite(
+    max_dim: int = DEFAULT_STANDIN_DIM, seed: int = 0
+) -> list[Workload]:
+    """Stand-ins for all 20 Table 1 matrices, in table order."""
+    return [
+        Workload(
+            name=record.id,
+            group="suitesparse",
+            matrix=standin(record, max_dim=max_dim, seed=seed),
+            parameter=record.density,
+        )
+        for record in TABLE1
+    ]
+
+
+def random_suite(
+    n: int = 1024,
+    densities: tuple[float, ...] = PAPER_DENSITIES,
+    seed: int = 0,
+) -> list[Workload]:
+    """Random matrices over the paper's density sweep (Figures 5, 10)."""
+    return [
+        Workload(
+            name=f"rand-{density:g}",
+            group="random",
+            matrix=random_matrix(n, density, seed=seed),
+            parameter=density,
+        )
+        for density in densities
+    ]
+
+
+def band_suite(
+    n: int = 2048,
+    widths: tuple[int, ...] = PAPER_BAND_WIDTHS,
+    seed: int = 0,
+) -> list[Workload]:
+    """Band matrices over the paper's width sweep (Figures 6, 11).
+
+    The paper uses n = 8000; the default here is smaller so the full
+    characterization stays fast, and every benchmark that needs the
+    paper's scale passes ``n=8000`` explicitly.
+    """
+    return [
+        Workload(
+            name=f"band-{width}",
+            group="band",
+            matrix=band_matrix(n, width, seed=seed),
+            parameter=float(width),
+        )
+        for width in widths
+    ]
+
+
+def workload_group(name: str, **kwargs) -> list[Workload]:
+    """Build one of the three paper workload groups by name."""
+    builders = {
+        "suitesparse": suitesparse_suite,
+        "random": random_suite,
+        "band": band_suite,
+    }
+    try:
+        builder = builders[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload group {name!r}; "
+            f"known: {', '.join(WORKLOAD_GROUPS)}"
+        ) from None
+    return builder(**kwargs)

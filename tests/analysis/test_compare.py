@@ -1,0 +1,98 @@
+"""A/B comparison tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.compare import (
+    MetricDelta,
+    compare_records,
+    comparison_table,
+)
+from repro.core import result_to_record, sweep_formats
+from repro.errors import SimulationError
+from repro.workloads import Workload, random_matrix
+
+
+def records_for(seed: int):
+    load = Workload(
+        "w", "random", random_matrix(64, 0.1, seed=seed), 0.1
+    )
+    return [
+        result_to_record(r)
+        for r in sweep_formats(load, ("dense", "csr", "coo"))
+    ]
+
+
+class TestMetricDelta:
+    def test_relative(self):
+        delta = MetricDelta("w", "csr", 16, "sigma", 2.0, 3.0)
+        assert delta.absolute == 1.0
+        assert delta.relative == 0.5
+
+    def test_zero_before(self):
+        delta = MetricDelta("w", "csr", 16, "sigma", 0.0, 1.0)
+        assert delta.relative == float("inf")
+        unchanged = MetricDelta("w", "csr", 16, "sigma", 0.0, 0.0)
+        assert unchanged.relative == 0.0
+
+
+class TestCompareRecords:
+    def test_identical_sets_below_threshold(self):
+        records = records_for(0)
+        deltas = compare_records(records, records, min_relative=1e-12)
+        assert deltas == []
+
+    def test_changed_workload_produces_deltas(self):
+        before = records_for(0)
+        after = records_for(1)  # different matrix -> different metrics
+        deltas = compare_records(before, after, min_relative=1e-12)
+        assert deltas
+        assert all(isinstance(d, MetricDelta) for d in deltas)
+
+    def test_sorted_by_magnitude(self):
+        deltas = compare_records(
+            records_for(0), records_for(1), min_relative=0.0
+        )
+        magnitudes = [abs(d.relative) for d in deltas]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_threshold_filters(self):
+        before = records_for(0)
+        after = [dict(r) for r in before]
+        after[0]["sigma"] = after[0]["sigma"] * 1.5 + 0.1
+        deltas = compare_records(before, after, min_relative=0.10)
+        assert len(deltas) == 1
+        assert deltas[0].metric == "sigma"
+
+    def test_disjoint_sets_rejected(self):
+        before = records_for(0)
+        moved = [dict(r, workload="other") for r in before]
+        with pytest.raises(SimulationError):
+            compare_records(before, moved)
+
+    def test_missing_metric_skipped(self):
+        before = records_for(0)
+        after = [dict(r) for r in before]
+        for record in after:
+            record.pop("sigma")
+        deltas = compare_records(before, after, min_relative=1e-12)
+        assert all(d.metric != "sigma" for d in deltas)
+
+
+class TestComparisonTable:
+    def test_renders(self):
+        deltas = compare_records(
+            records_for(0), records_for(1), min_relative=0.0
+        )
+        table = comparison_table(deltas, limit=5)
+        assert "metric" in table
+        assert "delta" in table
+
+    def test_limit_respected(self):
+        deltas = compare_records(
+            records_for(0), records_for(1), min_relative=0.0
+        )
+        table = comparison_table(deltas, limit=3)
+        # header + underline + title + <= 3 rows
+        assert len(table.splitlines()) <= 6

@@ -1,0 +1,44 @@
+"""Experiment registry tests."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import EXPERIMENTS, experiment, experiment_ids
+from repro.errors import WorkloadError
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_fourteen_experiments(self):
+        """Two tables + twelve figure panels = 14 paper artifacts."""
+        assert len(EXPERIMENTS) == 14
+
+    def test_every_table_and_figure_present(self):
+        ids = set(experiment_ids())
+        expected = {"T1", "T2"} | {f"F{k}" for k in range(3, 15)}
+        assert ids == expected
+
+    def test_lookup(self):
+        exp = experiment("F5")
+        assert exp.artifact == "Figure 5"
+        assert "density" in exp.description.lower()
+
+    def test_unknown_id(self):
+        with pytest.raises(WorkloadError):
+            experiment("F99")
+
+    def test_benchmark_files_exist(self):
+        """Every registered experiment must have its bench on disk."""
+        for exp in EXPERIMENTS:
+            assert (REPO_ROOT / exp.benchmark).exists(), exp.benchmark
+
+    def test_modules_importable(self):
+        import importlib
+
+        for exp in EXPERIMENTS:
+            for module in exp.modules:
+                importlib.import_module(module)

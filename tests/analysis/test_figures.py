@@ -1,0 +1,68 @@
+"""ASCII figure rendering tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import bar_chart, grouped_series, scatter_text
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = bar_chart({"a": 1.0, "b": 2.0})
+        a_line, b_line = text.splitlines()
+        assert b_line.count("#") == 2 * a_line.count("#")
+
+    def test_title_first(self):
+        text = bar_chart({"a": 1.0}, title="Figure 4")
+        assert text.splitlines()[0] == "Figure 4"
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart({"a": 1.0, "b": 100.0})
+        log = bar_chart({"a": 1.0, "b": 100.0}, log_scale=True)
+        a_linear = linear.splitlines()[0].count("#")
+        a_log = log.splitlines()[0].count("#")
+        assert a_log > a_linear
+
+    def test_non_finite_marked(self):
+        text = bar_chart({"a": math.inf})
+        assert "?" in text
+
+    def test_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_values_printed(self):
+        assert "3.25" in bar_chart({"x": 3.25})
+
+
+class TestGroupedSeries:
+    def test_grid_shape(self):
+        text = grouped_series(
+            [8, 16, 32], {"csr": [1.0, 2.0, 3.0], "coo": [0.5, 1.0, 1.5]}
+        )
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 series
+        assert "csr" in lines[1]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_series([1, 2], {"x": [1.0]})
+
+    def test_title(self):
+        text = grouped_series([1], {"x": [1.0]}, title="Fig")
+        assert text.splitlines()[0] == "Fig"
+
+
+class TestScatterText:
+    def test_ratio_column(self):
+        text = scatter_text(
+            {"csr": (2.0, 4.0)}, x_name="mem", y_name="comp"
+        )
+        assert "2" in text and "4" in text
+        assert "mem" in text and "comp" in text
+
+    def test_zero_x_gives_inf(self):
+        text = scatter_text({"x": (0.0, 1.0)}, "a", "b")
+        assert "inf" in text

@@ -1,0 +1,49 @@
+"""Text table rendering tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table, format_value
+
+
+class TestFormatValue:
+    def test_floats_compact(self):
+        assert format_value(1.5) == "1.5"
+        assert format_value(2.0) == "2"
+        assert format_value(0.0) == "0"
+
+    def test_tiny_and_huge_use_scientific(self):
+        assert "e" in format_value(1e-7)
+        assert "e" in format_value(1e7)
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_strings_and_ints(self):
+        assert format_value("csr") == "csr"
+        assert format_value(42) == "42"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["fmt", "sigma"], [["csr", 1.5], ["dense", 1.0]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("fmt")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text

@@ -1,0 +1,78 @@
+"""Conjugate-gradient solver tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import PartitionedSpmvEngine, conjugate_gradient
+from repro.errors import ShapeError
+from repro.matrix import SparseMatrix
+from repro.workloads import fem_band_matrix, poisson_2d, random_vector
+
+
+class TestConjugateGradient:
+    def test_solves_poisson(self):
+        matrix = poisson_2d(6)
+        b = random_vector(36, seed=0)
+        result = conjugate_gradient(matrix, b, tol=1e-10)
+        assert result.converged
+        assert np.allclose(
+            np.linalg.solve(matrix.to_dense(), b), result.x, atol=1e-6
+        )
+
+    @pytest.mark.parametrize("fmt", ["csr", "coo", "ell", "bcsr", "lil"])
+    def test_format_independence(self, fmt):
+        matrix = poisson_2d(5)
+        b = random_vector(25, seed=1)
+        result = conjugate_gradient(matrix, b, format_name=fmt, tol=1e-10)
+        assert result.converged
+        assert np.allclose(matrix.spmv(result.x), b, atol=1e-6)
+
+    def test_fem_system(self):
+        matrix = fem_band_matrix(40, half_bandwidth=4, seed=2)
+        b = random_vector(40, seed=3)
+        result = conjugate_gradient(matrix, b, tol=1e-10)
+        assert result.converged
+        assert np.allclose(matrix.spmv(result.x), b, atol=1e-6)
+
+    def test_counts_spmv_invocations(self):
+        matrix = poisson_2d(4)
+        b = random_vector(16, seed=4)
+        result = conjugate_gradient(matrix, b, tol=1e-10)
+        assert result.spmv_count == result.iterations
+
+    def test_zero_rhs_converges_immediately(self):
+        matrix = poisson_2d(4)
+        result = conjugate_gradient(matrix, np.zeros(16))
+        assert result.converged
+        assert result.iterations == 0
+        assert np.allclose(result.x, 0.0)
+
+    def test_iteration_cap_reported(self):
+        matrix = poisson_2d(6)
+        b = random_vector(36, seed=5)
+        result = conjugate_gradient(matrix, b, tol=1e-14, max_iterations=2)
+        assert not result.converged
+        assert result.iterations == 2
+
+    def test_accepts_prebuilt_engine(self):
+        matrix = poisson_2d(4)
+        engine = PartitionedSpmvEngine(matrix, "coo", partition_size=8)
+        b = random_vector(16, seed=6)
+        result = conjugate_gradient(engine, b, tol=1e-10)
+        assert result.converged
+
+    def test_non_square_rejected(self):
+        matrix = SparseMatrix((3, 4), [0], [0], [1.0])
+        with pytest.raises(ShapeError):
+            conjugate_gradient(matrix, np.ones(3))
+
+    def test_wrong_rhs_length(self):
+        with pytest.raises(ShapeError):
+            conjugate_gradient(poisson_2d(4), np.ones(7))
+
+    def test_indefinite_matrix_flagged(self):
+        matrix = SparseMatrix.identity(4, scale=-1.0)
+        result = conjugate_gradient(matrix, np.ones(4))
+        assert not result.converged

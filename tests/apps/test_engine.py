@@ -1,0 +1,69 @@
+"""Partitioned SpMV engine tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import PartitionedSpmvEngine
+from repro.errors import ShapeError
+from repro.formats import ALL_FORMATS
+from repro.matrix import SparseMatrix
+from repro.workloads import random_matrix, random_vector
+
+
+class TestEngine:
+    def test_matches_reference_for_every_format(self, corpus_matrix, rng):
+        x = rng.uniform(-1, 1, size=corpus_matrix.n_cols)
+        expected = corpus_matrix.spmv(x)
+        for name in ALL_FORMATS:
+            engine = PartitionedSpmvEngine(
+                corpus_matrix, name, partition_size=8
+            )
+            assert np.allclose(engine.multiply(x), expected), name
+
+    @pytest.mark.parametrize("p", [4, 8, 16, 32])
+    def test_partition_size_does_not_change_result(self, p):
+        matrix = random_matrix(50, 0.1, seed=0)
+        x = random_vector(50, seed=1)
+        engine = PartitionedSpmvEngine(matrix, "csr", partition_size=p)
+        assert np.allclose(engine.multiply(x), matrix.spmv(x))
+
+    def test_non_square_matrix(self):
+        matrix = random_matrix(13, 0.2, seed=2, n_cols=29)
+        x = random_vector(29, seed=3)
+        engine = PartitionedSpmvEngine(matrix, "coo", partition_size=8)
+        assert np.allclose(engine.multiply(x), matrix.spmv(x))
+
+    def test_zero_tiles_skipped(self):
+        matrix = SparseMatrix((64, 64), [0], [0], [1.0])
+        engine = PartitionedSpmvEngine(matrix, "csr", partition_size=16)
+        assert engine.n_tiles == 1
+
+    def test_matmul_operator(self):
+        matrix = random_matrix(20, 0.2, seed=4)
+        x = random_vector(20, seed=5)
+        engine = PartitionedSpmvEngine(matrix, "ell", partition_size=8)
+        assert np.allclose(engine @ x, matrix.spmv(x))
+
+    def test_wrong_vector_length(self):
+        engine = PartitionedSpmvEngine(
+            SparseMatrix.identity(8), "csr", partition_size=4
+        )
+        with pytest.raises(ShapeError):
+            engine.multiply(np.ones(9))
+
+    def test_format_kwargs_forwarded(self):
+        matrix = random_matrix(16, 0.3, seed=6)
+        engine = PartitionedSpmvEngine(
+            matrix, "bcsr", partition_size=8, block_size=2
+        )
+        x = random_vector(16, seed=7)
+        assert np.allclose(engine.multiply(x), matrix.spmv(x))
+
+    def test_repr(self):
+        engine = PartitionedSpmvEngine(
+            SparseMatrix.identity(8), "lil", partition_size=4
+        )
+        text = repr(engine)
+        assert "lil" in text and "p=4" in text

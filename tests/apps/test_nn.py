@@ -1,0 +1,143 @@
+"""Sparse neural-network inference tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    SparseLayer,
+    SparseMlp,
+    embedding_reduction,
+    identity,
+    prune_dense_weights,
+    random_pruned_mlp,
+    relu,
+)
+from repro.errors import ShapeError, WorkloadError
+from repro.matrix import SparseMatrix
+
+
+class TestActivations:
+    def test_relu(self):
+        assert np.array_equal(
+            relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )
+
+    def test_identity(self):
+        x = np.array([-1.0, 3.0])
+        assert np.array_equal(identity(x), x)
+
+
+class TestPruning:
+    def test_keeps_largest_magnitudes(self):
+        weights = np.array([[0.1, -5.0], [3.0, 0.2]])
+        pruned = prune_dense_weights(weights, keep_fraction=0.5)
+        dense = pruned.to_dense()
+        assert dense[0, 1] == -5.0
+        assert dense[1, 0] == 3.0
+        assert dense[0, 0] == 0.0
+
+    def test_keep_all(self):
+        weights = np.array([[1.0, 2.0], [3.0, 4.0]])
+        pruned = prune_dense_weights(weights, keep_fraction=1.0)
+        assert pruned.nnz == 4
+
+    def test_invalid_fraction(self):
+        with pytest.raises(WorkloadError):
+            prune_dense_weights(np.ones((2, 2)), 0.0)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ShapeError):
+            prune_dense_weights(np.ones(4), 0.5)
+
+
+class TestSparseLayer:
+    def test_forward_matches_dense(self, rng):
+        weights = SparseMatrix.from_dense(rng.uniform(-1, 1, size=(6, 4)))
+        bias = rng.uniform(size=6)
+        layer = SparseLayer(weights, bias=bias, partition_size=4)
+        x = rng.uniform(size=4)
+        expected = relu(weights.to_dense() @ x + bias)
+        assert np.allclose(layer.forward(x), expected)
+
+    def test_default_zero_bias(self, rng):
+        weights = SparseMatrix.identity(4)
+        layer = SparseLayer(weights, activation=identity, partition_size=4)
+        x = rng.uniform(size=4)
+        assert np.allclose(layer.forward(x), x)
+
+    def test_bias_length_checked(self):
+        with pytest.raises(ShapeError):
+            SparseLayer(SparseMatrix.identity(4), bias=np.ones(5))
+
+    def test_feature_counts(self):
+        weights = SparseMatrix((3, 7), [0], [0], [1.0])
+        layer = SparseLayer(weights, partition_size=4)
+        assert layer.in_features == 7
+        assert layer.out_features == 3
+
+
+class TestSparseMlp:
+    def test_matches_dense_network(self, rng):
+        mlp = random_pruned_mlp(
+            [12, 16, 8, 4], density=0.4, partition_size=8, seed=3
+        )
+        x = rng.uniform(size=12)
+        out = x
+        for layer in mlp.layers:
+            dense_w = np.zeros(
+                (layer.out_features, layer.in_features)
+            )
+            # rebuild the dense weight from the engine's encoded tiles
+            for col in range(layer.in_features):
+                basis = np.zeros(layer.in_features)
+                basis[col] = 1.0
+                dense_w[:, col] = layer.engine.multiply(basis)
+            out = layer.activation(dense_w @ out + layer.bias)
+        assert np.allclose(mlp.forward(x), out)
+
+    @pytest.mark.parametrize("fmt", ["csr", "coo", "ell", "bcsr"])
+    def test_format_independence(self, fmt, rng):
+        x = rng.uniform(size=10)
+        reference = random_pruned_mlp(
+            [10, 8, 4], density=0.5, format_name="csr", seed=1
+        ).forward(x)
+        other = random_pruned_mlp(
+            [10, 8, 4], density=0.5, format_name=fmt, seed=1
+        ).forward(x)
+        assert np.allclose(reference, other)
+
+    def test_layer_size_mismatch_rejected(self):
+        a = SparseLayer(SparseMatrix.identity(4), partition_size=4)
+        b = SparseLayer(SparseMatrix((3, 5), [0], [0], [1.0]),
+                        partition_size=4)
+        with pytest.raises(ShapeError):
+            SparseMlp([a, b])
+
+    def test_empty_mlp_rejected(self):
+        with pytest.raises(WorkloadError):
+            SparseMlp([])
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(WorkloadError):
+            random_pruned_mlp([4])
+
+
+class TestEmbeddingReduction:
+    def test_sums_selected_rows(self):
+        table = np.arange(12.0).reshape(4, 3)
+        out = embedding_reduction(table, [0, 2, 2])
+        assert np.array_equal(out, table[0] + 2 * table[2])
+
+    def test_empty_lookup_is_zero(self):
+        table = np.ones((4, 3))
+        assert np.array_equal(embedding_reduction(table, []), np.zeros(3))
+
+    def test_index_bounds_checked(self):
+        with pytest.raises(ShapeError):
+            embedding_reduction(np.ones((4, 3)), [4])
+
+    def test_table_must_be_2d(self):
+        with pytest.raises(ShapeError):
+            embedding_reduction(np.ones(4), [0])

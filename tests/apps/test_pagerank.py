@@ -1,0 +1,92 @@
+"""PageRank application tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import pagerank, transition_matrix
+from repro.errors import ShapeError, SimulationError
+from repro.matrix import SparseMatrix
+from repro.workloads import power_law_graph
+
+
+def ring_graph(n: int) -> SparseMatrix:
+    idx = np.arange(n)
+    return SparseMatrix((n, n), idx, (idx + 1) % n, np.ones(n))
+
+
+class TestTransitionMatrix:
+    def test_columns_are_stochastic(self):
+        graph = power_law_graph(60, avg_degree=4, seed=0)
+        transition = transition_matrix(graph)
+        sums = transition.to_dense().sum(axis=0)
+        out_deg = graph.row_nnz()
+        assert np.allclose(sums[out_deg > 0], 1.0)
+        assert np.allclose(sums[out_deg == 0], 0.0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ShapeError):
+            transition_matrix(SparseMatrix((2, 3), [0], [0], [1.0]))
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self):
+        graph = power_law_graph(80, avg_degree=5, seed=1)
+        result = pagerank(graph)
+        assert result.converged
+        assert result.ranks.sum() == pytest.approx(1.0)
+        assert np.all(result.ranks > 0.0)
+
+    def test_ring_is_uniform(self):
+        result = pagerank(ring_graph(32))
+        assert np.allclose(result.ranks, 1.0 / 32, atol=1e-8)
+
+    def test_matches_dense_power_iteration(self):
+        graph = power_law_graph(48, avg_degree=4, seed=2)
+        result = pagerank(graph, tol=1e-12)
+        n = graph.n_rows
+        transition = transition_matrix(graph).to_dense()
+        dangling = (graph.row_nnz() == 0).astype(float)
+        ranks = np.full(n, 1.0 / n)
+        for _ in range(result.iterations):
+            ranks = 0.85 * (
+                transition @ ranks + (dangling @ ranks) / n
+            ) + 0.15 / n
+        assert np.allclose(ranks, result.ranks, atol=1e-9)
+
+    @pytest.mark.parametrize("fmt", ["csr", "coo", "ell", "dia"])
+    def test_format_independence(self, fmt):
+        graph = power_law_graph(40, avg_degree=4, seed=3)
+        reference = pagerank(graph, format_name="csr", tol=1e-12)
+        other = pagerank(graph, format_name=fmt, tol=1e-12)
+        assert np.allclose(reference.ranks, other.ranks, atol=1e-10)
+
+    def test_dangling_nodes_handled(self):
+        # vertex 2 has no outgoing edges
+        graph = SparseMatrix((3, 3), [0, 1], [1, 2], [1.0, 1.0])
+        result = pagerank(graph)
+        assert result.converged
+        assert result.ranks.sum() == pytest.approx(1.0)
+
+    def test_hub_ranks_higher(self):
+        # star: everyone points at vertex 0
+        n = 16
+        rows = np.arange(1, n)
+        graph = SparseMatrix(
+            (n, n), rows, np.zeros(n - 1), np.ones(n - 1)
+        )
+        result = pagerank(graph)
+        assert result.ranks[0] == pytest.approx(result.ranks.max())
+
+    def test_invalid_damping(self):
+        with pytest.raises(SimulationError):
+            pagerank(ring_graph(8), damping=1.0)
+
+    def test_invalid_iteration_cap(self):
+        with pytest.raises(SimulationError):
+            pagerank(ring_graph(8), max_iterations=0)
+
+    def test_spmv_count_tracks_iterations(self):
+        result = pagerank(ring_graph(16))
+        assert result.spmv_count == result.iterations

@@ -1,0 +1,114 @@
+"""Property-based tests for the application layer."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    ARITHMETIC,
+    PartitionedSpmvEngine,
+    breadth_first_search,
+    semiring_spmv,
+    single_source_shortest_paths,
+    spmm,
+)
+from repro.formats import ALL_FORMATS
+from repro.matrix import SparseMatrix
+
+
+@st.composite
+def digraphs(draw, max_nodes: int = 14, max_edges: int = 30):
+    n = draw(st.integers(2, max_nodes))
+    n_edges = draw(st.integers(0, max_edges))
+    src = draw(st.lists(st.integers(0, n - 1),
+                        min_size=n_edges, max_size=n_edges))
+    dst = draw(st.lists(st.integers(0, n - 1),
+                        min_size=n_edges, max_size=n_edges))
+    keep = sorted({(s, d) for s, d in zip(src, dst) if s != d})
+    if not keep:
+        return SparseMatrix.empty((n, n))
+    rows, cols = zip(*keep)
+    return SparseMatrix((n, n), rows, cols, np.ones(len(keep)))
+
+
+class TestGraphProperties:
+    @given(digraphs(), st.integers(0, 13))
+    @settings(max_examples=60, deadline=None)
+    def test_bfs_levels_equal_unit_weight_sssp(self, graph, source):
+        """With unit weights, hop counts ARE shortest distances."""
+        source = source % graph.n_rows
+        bfs = breadth_first_search(graph, source)
+        sssp = single_source_shortest_paths(graph, source)
+        for vertex in range(graph.n_rows):
+            level = bfs.levels[vertex]
+            distance = sssp.distances[vertex]
+            if level < 0:
+                assert np.isinf(distance)
+            else:
+                assert distance == level
+
+    @given(digraphs(), st.integers(0, 13))
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_level_gaps_are_at_most_one(self, graph, source):
+        """A vertex at level k has a predecessor at level k - 1."""
+        source = source % graph.n_rows
+        bfs = breadth_first_search(graph, source)
+        transposed = graph.transpose()
+        for vertex in range(graph.n_rows):
+            level = bfs.levels[vertex]
+            if level <= 0:
+                continue
+            preds = transposed.to_dense()[vertex] != 0
+            pred_levels = bfs.levels[preds]
+            valid = pred_levels[pred_levels >= 0]
+            assert valid.size and valid.min() == level - 1
+
+    @given(digraphs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_semiring_arithmetic_matches_dense(self, graph, seed):
+        x = np.random.default_rng(seed).uniform(size=graph.n_cols)
+        assert np.allclose(
+            semiring_spmv(graph, x, ARITHMETIC),
+            graph.to_dense() @ x,
+        )
+
+
+class TestEngineProperties:
+    @given(
+        st.sampled_from(sorted(ALL_FORMATS)),
+        st.integers(0, 2**31 - 1),
+        st.sampled_from([4, 8]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_engine_matches_reference(self, format_name, seed, p):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 20))
+        density = float(rng.uniform(0.05, 0.6))
+        dense = np.where(
+            rng.uniform(size=(n, n)) < density,
+            rng.uniform(-1, 1, size=(n, n)),
+            0.0,
+        )
+        matrix = SparseMatrix.from_dense(dense)
+        x = rng.uniform(size=n)
+        engine = PartitionedSpmvEngine(matrix, format_name, p)
+        assert np.allclose(engine.multiply(x), dense @ x)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_spmm_columns_independent(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 16))
+        dense = np.where(
+            rng.uniform(size=(n, n)) < 0.3,
+            rng.uniform(-1, 1, size=(n, n)),
+            0.0,
+        )
+        matrix = SparseMatrix.from_dense(dense)
+        b = rng.uniform(size=(n, 3))
+        combined = spmm(matrix, b, partition_size=8)
+        for col in range(3):
+            single = spmm(matrix, b[:, col], partition_size=8)
+            assert np.allclose(combined[:, col], single[:, 0])

@@ -1,0 +1,102 @@
+"""Semiring SpMV tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    ARITHMETIC,
+    BOOLEAN_OR_AND,
+    TROPICAL_MIN_PLUS,
+    Semiring,
+    semiring_spmv,
+)
+from repro.errors import ShapeError
+from repro.matrix import SparseMatrix
+from repro.workloads import random_matrix
+
+
+class TestArithmetic:
+    def test_matches_plain_spmv(self, corpus_matrix, rng):
+        x = rng.uniform(-1, 1, size=corpus_matrix.n_cols)
+        assert np.allclose(
+            semiring_spmv(corpus_matrix, x, ARITHMETIC),
+            corpus_matrix.spmv(x),
+        )
+
+    def test_default_semiring_is_arithmetic(self, rng):
+        matrix = random_matrix(16, 0.2, seed=0)
+        x = rng.uniform(size=16)
+        assert np.allclose(semiring_spmv(matrix, x), matrix.spmv(x))
+
+
+class TestTropical:
+    def test_single_edge_relaxation(self):
+        # edge 0 -> 1 of weight 5 (stored at A[0, 1]); relax from
+        # distance vector [0, inf] through the transpose.
+        graph = SparseMatrix((2, 2), [0], [1], [5.0])
+        distances = np.array([0.0, np.inf])
+        relaxed = semiring_spmv(
+            graph.transpose(), distances, TROPICAL_MIN_PLUS
+        )
+        assert relaxed[1] == 5.0
+        assert relaxed[0] == np.inf  # nothing points at 0
+
+    def test_min_over_paths(self):
+        # two edges into vertex 2: weights 3 (from 0) and 1 (from 1)
+        graph = SparseMatrix((3, 3), [0, 1], [2, 2], [3.0, 1.0])
+        distances = np.array([0.0, 0.0, np.inf])
+        relaxed = semiring_spmv(
+            graph.transpose(), distances, TROPICAL_MIN_PLUS
+        )
+        assert relaxed[2] == 1.0
+
+    def test_zero_is_infinity(self):
+        empty = SparseMatrix.empty((3, 3))
+        out = semiring_spmv(empty, np.zeros(3), TROPICAL_MIN_PLUS)
+        assert np.all(np.isinf(out))
+
+
+class TestBoolean:
+    def test_frontier_expansion(self):
+        # 0 -> 1 -> 2 chain
+        graph = SparseMatrix((3, 3), [0, 1], [1, 2], [1.0, 1.0])
+        frontier = np.array([1.0, 0.0, 0.0])
+        expanded = semiring_spmv(
+            graph.transpose(), frontier, BOOLEAN_OR_AND
+        )
+        assert list(expanded) == [0.0, 1.0, 0.0]
+
+    def test_or_of_multiple_sources(self):
+        graph = SparseMatrix((3, 3), [0, 1], [2, 2], [1.0, 1.0])
+        frontier = np.array([1.0, 1.0, 0.0])
+        expanded = semiring_spmv(
+            graph.transpose(), frontier, BOOLEAN_OR_AND
+        )
+        assert expanded[2] == 1.0
+
+
+class TestSemiringMechanics:
+    def test_vector_length_checked(self):
+        with pytest.raises(ShapeError):
+            semiring_spmv(SparseMatrix.identity(3), np.ones(4))
+
+    def test_custom_semiring_with_python_add(self):
+        """Non-ufunc adds fall back to the per-entry fold."""
+        max_plus = Semiring(
+            "max-plus",
+            lambda a, b: np.maximum(a, b),
+            np.add,
+            -np.inf,
+        )
+        graph = SparseMatrix((2, 2), [0, 0], [0, 1], [2.0, 7.0])
+        out = semiring_spmv(graph, np.array([1.0, 1.0]), max_plus)
+        assert out[0] == 8.0  # max(2+1, 7+1)
+        assert out[1] == -np.inf
+
+    def test_reduce_groups(self):
+        out = ARITHMETIC.reduce(
+            np.array([1.0, 2.0, 4.0]), np.array([0, 0, 2]), 3
+        )
+        assert list(out) == [3.0, 0.0, 4.0]

@@ -1,0 +1,113 @@
+"""Jacobi / Gauss-Seidel / power-iteration tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import gauss_seidel, jacobi, power_iteration
+from repro.errors import ShapeError, SimulationError
+from repro.matrix import SparseMatrix
+from repro.workloads import fem_band_matrix, poisson_2d, random_vector
+
+
+class TestJacobi:
+    def test_solves_diagonally_dominant_system(self):
+        matrix = fem_band_matrix(30, half_bandwidth=3, seed=0)
+        b = random_vector(30, seed=1)
+        result = jacobi(matrix, b, tol=1e-12)
+        assert result.converged
+        assert np.allclose(matrix.spmv(result.x), b, atol=1e-8)
+
+    @pytest.mark.parametrize("fmt", ["csr", "coo", "ell"])
+    def test_format_independence(self, fmt):
+        matrix = fem_band_matrix(24, half_bandwidth=2, seed=2)
+        b = random_vector(24, seed=3)
+        result = jacobi(matrix, b, format_name=fmt, tol=1e-12)
+        assert result.converged
+
+    def test_counts_spmvs(self):
+        matrix = fem_band_matrix(16, half_bandwidth=2, seed=4)
+        b = random_vector(16, seed=5)
+        result = jacobi(matrix, b, tol=1e-12)
+        assert result.spmv_count == result.iterations
+
+    def test_zero_diagonal_rejected(self):
+        matrix = SparseMatrix((2, 2), [0], [1], [1.0])
+        with pytest.raises(SimulationError):
+            jacobi(matrix, np.ones(2))
+
+    def test_wrong_rhs(self):
+        with pytest.raises(ShapeError):
+            jacobi(SparseMatrix.identity(3), np.ones(4))
+
+    def test_iteration_cap(self):
+        matrix = poisson_2d(6)  # slow for plain Jacobi
+        b = random_vector(36, seed=6)
+        result = jacobi(matrix, b, tol=1e-14, max_iterations=3)
+        assert not result.converged
+        assert result.iterations == 3
+
+
+class TestGaussSeidel:
+    def test_solves_poisson(self):
+        matrix = poisson_2d(5)
+        b = random_vector(25, seed=0)
+        result = gauss_seidel(matrix, b, tol=1e-11)
+        assert result.converged
+        assert np.allclose(matrix.spmv(result.x), b, atol=1e-7)
+
+    def test_faster_than_jacobi(self):
+        matrix = poisson_2d(5)
+        b = random_vector(25, seed=1)
+        gs = gauss_seidel(matrix, b, tol=1e-10)
+        jac = jacobi(matrix, b, tol=1e-10, max_iterations=20_000)
+        assert gs.converged and jac.converged
+        assert gs.iterations < jac.iterations
+
+    def test_symmetric_variant(self):
+        matrix = poisson_2d(5)
+        b = random_vector(25, seed=2)
+        result = gauss_seidel(matrix, b, tol=1e-11, symmetric=True)
+        assert result.converged
+        # symmetric variant performs two sweeps per iteration.
+        assert result.spmv_count == 2 * result.iterations
+
+    def test_matches_numpy_solution(self):
+        matrix = fem_band_matrix(20, half_bandwidth=3, seed=3)
+        b = random_vector(20, seed=4)
+        result = gauss_seidel(matrix, b, tol=1e-13)
+        expected = np.linalg.solve(matrix.to_dense(), b)
+        assert np.allclose(result.x, expected, atol=1e-7)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            gauss_seidel(SparseMatrix.identity(3), np.ones(2))
+        with pytest.raises(SimulationError):
+            gauss_seidel(SparseMatrix.identity(3), np.ones(3),
+                         max_iterations=0)
+
+
+class TestPowerIteration:
+    def test_finds_dominant_eigenvalue(self):
+        dense = np.diag([5.0, 2.0, 1.0])
+        dense[0, 1] = 0.3
+        matrix = SparseMatrix.from_dense(dense)
+        eigenvalue, vector, _ = power_iteration(matrix, tol=1e-13)
+        expected = np.max(np.abs(np.linalg.eigvals(dense)))
+        assert eigenvalue == pytest.approx(expected, rel=1e-6)
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_symmetric_case_matches_eigh(self):
+        matrix = fem_band_matrix(16, half_bandwidth=2, seed=5)
+        eigenvalue, _, _ = power_iteration(matrix, tol=1e-13)
+        expected = np.max(np.abs(np.linalg.eigvalsh(matrix.to_dense())))
+        assert eigenvalue == pytest.approx(expected, rel=1e-5)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ShapeError):
+            power_iteration(SparseMatrix((2, 3), [0], [0], [1.0]))
+
+    def test_zero_matrix(self):
+        eigenvalue, _, _ = power_iteration(SparseMatrix.empty((4, 4)))
+        assert eigenvalue == 0.0

@@ -1,0 +1,151 @@
+"""SpMM and convolution-lowering tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    PartitionedSpmvEngine,
+    conv2d_as_spmm,
+    im2col,
+    prune_filters,
+    sparse_sparse_matmul,
+    spmm,
+)
+from repro.errors import ShapeError, WorkloadError
+from repro.matrix import SparseMatrix
+from repro.workloads import random_matrix
+
+
+class TestSpmm:
+    def test_matches_dense_product(self, rng):
+        a = random_matrix(12, 0.3, seed=0, n_cols=9)
+        b = rng.uniform(size=(9, 5))
+        assert np.allclose(spmm(a, b, partition_size=8),
+                           a.to_dense() @ b)
+
+    @pytest.mark.parametrize("fmt", ["csr", "coo", "bcsr", "ell"])
+    def test_format_independence(self, fmt, rng):
+        a = random_matrix(10, 0.4, seed=1)
+        b = rng.uniform(size=(10, 3))
+        assert np.allclose(
+            spmm(a, b, format_name=fmt, partition_size=8),
+            a.to_dense() @ b,
+        )
+
+    def test_vector_operand_promoted(self, rng):
+        a = random_matrix(8, 0.5, seed=2)
+        x = rng.uniform(size=8)
+        out = spmm(a, x, partition_size=8)
+        assert out.shape == (8, 1)
+        assert np.allclose(out[:, 0], a.spmv(x))
+
+    def test_engine_reuse(self, rng):
+        a = random_matrix(8, 0.5, seed=3)
+        engine = PartitionedSpmvEngine(a, "csr", 8)
+        b = rng.uniform(size=(8, 2))
+        assert np.allclose(spmm(engine, b), a.to_dense() @ b)
+
+    def test_inner_dimension_checked(self):
+        a = random_matrix(4, 0.5, seed=4)
+        with pytest.raises(ShapeError):
+            spmm(a, np.ones((5, 2)))
+
+    def test_3d_operand_rejected(self):
+        a = random_matrix(4, 0.5, seed=4)
+        with pytest.raises(ShapeError):
+            spmm(a, np.ones((4, 2, 2)))
+
+    def test_sparse_sparse(self):
+        a = random_matrix(8, 0.4, seed=5)
+        b = random_matrix(8, 0.4, seed=6)
+        product = sparse_sparse_matmul(a, b, partition_size=8)
+        assert np.allclose(
+            product.to_dense(), a.to_dense() @ b.to_dense()
+        )
+
+    def test_sparse_sparse_shape_checked(self):
+        a = random_matrix(4, 0.5, seed=7)
+        b = random_matrix(5, 0.5, seed=8)
+        with pytest.raises(ShapeError):
+            sparse_sparse_matmul(a, b)
+
+
+class TestIm2col:
+    def test_patch_matrix_shape(self):
+        image = np.arange(2 * 5 * 5, dtype=float).reshape(2, 5, 5)
+        patches = im2col(image, kernel_size=3)
+        assert patches.shape == (2 * 9, 9)
+
+    def test_stride(self):
+        image = np.ones((1, 5, 5))
+        patches = im2col(image, kernel_size=3, stride=2)
+        assert patches.shape == (9, 4)
+
+    def test_first_patch_contents(self):
+        image = np.arange(9, dtype=float).reshape(1, 3, 3)
+        patches = im2col(image, kernel_size=2)
+        assert list(patches[:, 0]) == [0.0, 1.0, 3.0, 4.0]
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            im2col(np.ones((4, 4)), 2)
+        with pytest.raises(WorkloadError):
+            im2col(np.ones((1, 4, 4)), 0)
+        with pytest.raises(WorkloadError):
+            im2col(np.ones((1, 4, 4)), 2, stride=0)
+        with pytest.raises(ShapeError):
+            im2col(np.ones((1, 2, 2)), 3)
+
+
+class TestConvAsSpmm:
+    def dense_conv(self, image, filters, stride=1):
+        out_ch, in_ch, k, _ = filters.shape
+        _, h, w = image.shape
+        out_h = (h - k) // stride + 1
+        out_w = (w - k) // stride + 1
+        out = np.zeros((out_ch, out_h, out_w))
+        for oc in range(out_ch):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = image[:, i * stride : i * stride + k,
+                                  j * stride : j * stride + k]
+                    out[oc, i, j] = np.sum(patch * filters[oc])
+        return out
+
+    def test_matches_direct_convolution(self, rng):
+        image = rng.normal(size=(3, 8, 8))
+        filters = rng.normal(size=(4, 3, 3, 3))
+        weights = prune_filters(filters, keep_fraction=1.0)
+        out = conv2d_as_spmm(image, weights, kernel_size=3,
+                             partition_size=8)
+        assert np.allclose(out, self.dense_conv(image, filters))
+
+    def test_pruned_filters_match_pruned_direct(self, rng):
+        image = rng.normal(size=(2, 6, 6))
+        filters = rng.normal(size=(3, 2, 3, 3))
+        weights = prune_filters(filters, keep_fraction=0.4)
+        pruned_filters = weights.to_dense().reshape(filters.shape)
+        out = conv2d_as_spmm(image, weights, kernel_size=3,
+                             partition_size=8)
+        assert np.allclose(out, self.dense_conv(image, pruned_filters))
+
+    def test_stride_two(self, rng):
+        image = rng.normal(size=(1, 7, 7))
+        filters = rng.normal(size=(2, 1, 3, 3))
+        weights = prune_filters(filters, keep_fraction=1.0)
+        out = conv2d_as_spmm(image, weights, kernel_size=3, stride=2,
+                             partition_size=8)
+        assert out.shape == (2, 3, 3)
+        assert np.allclose(out, self.dense_conv(image, filters, stride=2))
+
+    def test_weight_height_checked(self, rng):
+        image = rng.normal(size=(1, 5, 5))
+        weights = SparseMatrix.identity(4)
+        with pytest.raises(ShapeError):
+            conv2d_as_spmm(image, weights, kernel_size=3)
+
+    def test_prune_filters_validates_rank(self):
+        with pytest.raises(ShapeError):
+            prune_filters(np.ones((2, 3, 3)), 0.5)

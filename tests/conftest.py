@@ -1,0 +1,57 @@
+"""Shared fixtures for the Copernicus test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import ALL_FORMATS, get_format
+from repro.matrix import SparseMatrix
+from repro.workloads import band_matrix, poisson_2d, random_matrix
+
+
+def small_matrix_corpus() -> dict[str, SparseMatrix]:
+    """Small matrices covering the structural corner cases."""
+    rng = np.random.default_rng(42)
+    dense = rng.uniform(0.5, 1.5, size=(12, 12))
+    single_entry = SparseMatrix((9, 9), [4], [7], [3.5])
+    rectangle = random_matrix(10, 0.2, seed=5, n_cols=17)
+    return {
+        "identity": SparseMatrix.identity(8),
+        "diagonal_scaled": SparseMatrix.identity(11, scale=2.5),
+        "full_dense": SparseMatrix.from_dense(dense),
+        "single_entry": single_entry,
+        "single_row": SparseMatrix((6, 6), [2] * 6, list(range(6)),
+                                   [1, 2, 3, 4, 5, 6]),
+        "single_col": SparseMatrix((7, 7), list(range(7)), [3] * 7,
+                                   np.arange(1.0, 8.0)),
+        "band": band_matrix(20, width=4, seed=1),
+        "sparse_random": random_matrix(24, 0.1, seed=2),
+        "dense_random": random_matrix(16, 0.6, seed=3),
+        "rectangle": rectangle,
+        "poisson": poisson_2d(5),
+        "negative_values": SparseMatrix(
+            (5, 5), [0, 1, 2, 3], [4, 3, 2, 1], [-1.0, 2.0, -3.0, 4.0]
+        ),
+    }
+
+
+CORPUS = small_matrix_corpus()
+CORPUS_IDS = sorted(CORPUS)
+
+
+@pytest.fixture(params=CORPUS_IDS)
+def corpus_matrix(request) -> SparseMatrix:
+    """One small matrix from the structural corpus."""
+    return CORPUS[request.param]
+
+
+@pytest.fixture(params=sorted(ALL_FORMATS))
+def any_format(request):
+    """Every registered sparse format, one at a time."""
+    return get_format(request.param)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

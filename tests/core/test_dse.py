@@ -1,0 +1,126 @@
+"""Design-space exploration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dse import DesignPoint, explore, pareto_frontier
+from repro.errors import SimulationError
+from repro.workloads import random_matrix
+
+
+@pytest.fixture(scope="module")
+def points():
+    matrix = random_matrix(128, 0.1, seed=0)
+    return explore(matrix, lane_counts=(1, 2, 4))
+
+
+class TestExplore:
+    def test_covers_the_grid(self, points):
+        coords = {
+            (p.format_name, p.partition_size, p.n_lanes) for p in points
+        }
+        # 7 formats x 3 partition sizes x 3 lane counts, minus any
+        # device-overflow drops.
+        assert len(coords) == len(points)
+        assert len(points) >= 7 * 3 * 2
+
+    def test_device_fit_enforced(self, points):
+        for point in points:
+            assert point.metric("bram_18k") <= 140
+
+    def test_oversized_designs_dropped(self):
+        matrix = random_matrix(96, 0.1, seed=1)
+        all_points = explore(
+            matrix, lane_counts=(1, 16), fit_device=False
+        )
+        fitting = explore(matrix, lane_counts=(1, 16), fit_device=True)
+        assert len(fitting) < len(all_points)
+
+    def test_lanes_scale_power_and_resources(self, points):
+        by_coord = {
+            (p.format_name, p.partition_size, p.n_lanes): p
+            for p in points
+        }
+        one = by_coord[("csr", 16, 1)]
+        four = by_coord[("csr", 16, 4)]
+        assert four.metric("dynamic_power_w") == pytest.approx(
+            4 * one.metric("dynamic_power_w")
+        )
+        assert four.metric("bram_18k") == 4 * one.metric("bram_18k")
+
+    def test_lanes_never_slower(self, points):
+        by_coord = {
+            (p.format_name, p.partition_size, p.n_lanes): p
+            for p in points
+        }
+        for name in ("csr", "csc", "coo"):
+            one = by_coord[(name, 16, 1)]
+            four = by_coord[(name, 16, 4)]
+            assert (
+                four.metric("total_cycles")
+                <= one.metric("total_cycles") * 1.01
+            )
+
+    def test_unknown_metric_rejected(self, points):
+        with pytest.raises(SimulationError):
+            points[0].metric("nope")
+
+
+class TestParetoFrontier:
+    def test_frontier_is_non_dominated(self, points):
+        objectives = ("total_cycles", "dynamic_power_w")
+        frontier = pareto_frontier(points, objectives)
+        assert frontier
+        for chosen in frontier:
+            assert not any(
+                other.dominates(chosen, objectives) for other in points
+            )
+
+    def test_frontier_sorted_by_first_objective(self, points):
+        frontier = pareto_frontier(
+            points, ("total_cycles", "dynamic_power_w")
+        )
+        cycles = [p.metric("total_cycles") for p in frontier]
+        assert cycles == sorted(cycles)
+
+    def test_every_dominated_point_excluded(self, points):
+        objectives = ("total_cycles", "bram_18k")
+        frontier = set(
+            id(p) for p in pareto_frontier(points, objectives)
+        )
+        for point in points:
+            dominated = any(
+                other.dominates(point, objectives) for other in points
+            )
+            if dominated:
+                assert id(point) not in frontier
+
+    def test_three_way_frontier(self, points):
+        frontier = pareto_frontier(
+            points,
+            ("total_cycles", "dynamic_power_w", "bandwidth_utilization"),
+        )
+        assert len(frontier) >= len(
+            pareto_frontier(points, ("total_cycles", "dynamic_power_w"))
+        )
+
+    def test_objectives_validated(self, points):
+        with pytest.raises(SimulationError):
+            pareto_frontier(points, ("total_cycles",))
+        with pytest.raises(SimulationError):
+            pareto_frontier(points, ("total_cycles", "bogus"))
+
+    def test_dominance_semantics(self):
+        a = DesignPoint("a", 16, 1, {"total_cycles": 10,
+                                     "dynamic_power_w": 1.0})
+        b = DesignPoint("b", 16, 1, {"total_cycles": 20,
+                                     "dynamic_power_w": 1.0})
+        c = DesignPoint("c", 16, 1, {"total_cycles": 5,
+                                     "dynamic_power_w": 2.0})
+        objectives = ("total_cycles", "dynamic_power_w")
+        assert a.dominates(b, objectives)
+        assert not b.dominates(a, objectives)
+        assert not a.dominates(c, objectives)
+        assert not c.dominates(a, objectives)
+        assert not a.dominates(a, objectives)

@@ -1,0 +1,83 @@
+"""Results store tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import sweep_formats
+from repro.core.store import (
+    SCHEMA_VERSION,
+    load_records,
+    records_by,
+    result_to_record,
+    save_results,
+)
+from repro.errors import SimulationError
+from repro.workloads import Workload, random_matrix
+
+
+@pytest.fixture(scope="module")
+def results():
+    load = Workload("w", "random", random_matrix(64, 0.1, seed=0), 0.1)
+    return sweep_formats(load, ("dense", "csr", "coo"))
+
+
+class TestRecords:
+    def test_record_fields(self, results):
+        record = result_to_record(results[0])
+        for key in (
+            "workload", "format", "partition_size", "sigma",
+            "total_cycles", "balance_ratio", "bandwidth_utilization",
+            "bram_18k", "energy_j",
+        ):
+            assert key in record
+
+    def test_record_is_json_serializable(self, results):
+        json.dumps(result_to_record(results[1]))
+
+    def test_dense_record_values(self, results):
+        record = result_to_record(results[0])
+        assert record["format"] == "dense"
+        assert record["sigma"] == 1.0
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path, results):
+        path = tmp_path / "results.json"
+        save_results(results, path, metadata={"note": "unit"})
+        records = load_records(path)
+        assert len(records) == len(results)
+        by_format = {r["format"]: r for r in records}
+        assert by_format["dense"]["sigma"] == 1.0
+
+    def test_metadata_written(self, tmp_path, results):
+        path = tmp_path / "results.json"
+        save_results(results, path, metadata={"seed": 7})
+        payload = json.loads(path.read_text())
+        assert payload["metadata"]["seed"] == 7
+        assert payload["schema_version"] == SCHEMA_VERSION
+
+    def test_version_checked(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 99, "records": []}))
+        with pytest.raises(SimulationError):
+            load_records(path)
+
+    def test_missing_records_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": SCHEMA_VERSION}))
+        with pytest.raises(SimulationError):
+            load_records(path)
+
+
+class TestFiltering:
+    def test_records_by(self, tmp_path, results):
+        path = tmp_path / "results.json"
+        save_results(results, path)
+        records = load_records(path)
+        assert len(records_by(records, format_name="csr")) == 1
+        assert len(records_by(records, workload="w")) == 3
+        assert len(records_by(records, partition_size=16)) == 3
+        assert not records_by(records, partition_size=4)

@@ -1,0 +1,108 @@
+"""Bitmap-format-specific tests (generic coverage comes from the
+ALL_FORMATS fixtures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import BitmapFormat, CooFormat, CsrFormat
+from repro.hardware import HardwareConfig, get_decompressor
+from repro.matrix import SparseMatrix
+from repro.partition import PartitionProfile, partition_matrix
+from repro.workloads import random_matrix
+
+
+class TestBitmapLayout:
+    def test_mask_bits_match_positions(self):
+        matrix = SparseMatrix((2, 3), [0, 1], [2, 0], [5.0, 7.0])
+        encoded = BitmapFormat().encode(matrix)
+        bits = np.unpackbits(encoded.array("mask"), count=6)
+        assert list(bits) == [0, 0, 1, 1, 0, 0]
+        assert list(encoded.array("values")) == [5.0, 7.0]
+
+    def test_mask_is_constant_size(self):
+        fmt = BitmapFormat()
+        sparse = random_matrix(32, 0.01, seed=0)
+        dense = random_matrix(32, 0.5, seed=0)
+        sparse_size = fmt.size(fmt.encode(sparse))
+        dense_size = fmt.size(fmt.encode(dense))
+        assert sparse_size.metadata_bytes == dense_size.metadata_bytes
+        assert sparse_size.metadata_bytes == 32 * 32 // 8
+
+    def test_metadata_beats_coo_at_high_density(self):
+        matrix = random_matrix(32, 0.4, seed=1)
+        bitmap = BitmapFormat()
+        coo = CooFormat()
+        assert (
+            bitmap.size(bitmap.encode(matrix)).total_bytes
+            < coo.size(coo.encode(matrix)).total_bytes
+        )
+
+    def test_metadata_loses_to_csr_at_low_density(self):
+        matrix = random_matrix(64, 0.005, seed=2)
+        bitmap = BitmapFormat()
+        csr = CsrFormat()
+        assert (
+            bitmap.size(bitmap.encode(matrix)).metadata_bytes
+            > csr.size(csr.encode(matrix)).metadata_bytes
+        )
+
+    def test_crossover_density(self):
+        """Mask (2 bits/position at 32b values = fixed) vs COO's 8B:
+        bitmap wins once density > 1/32 per the byte arithmetic."""
+        fmt = BitmapFormat()
+        coo = CooFormat()
+        for density, bitmap_wins in ((0.01, False), (0.1, True)):
+            matrix = random_matrix(64, density, seed=3)
+            b = fmt.size(fmt.encode(matrix)).total_bytes
+            c = coo.size(coo.encode(matrix)).total_bytes
+            assert (b < c) == bitmap_wins, density
+
+
+class TestBitmapHardwareModel:
+    CONFIG = HardwareConfig(partition_size=16)
+
+    def test_transfer_matches_format(self):
+        matrix = random_matrix(64, 0.2, seed=4)
+        fmt = BitmapFormat()
+        model = get_decompressor("bitmap")
+        for tile in partition_matrix(matrix, 16):
+            profile = PartitionProfile.of_block(tile.block, 16)
+            assert model.transfer_size(profile, self.CONFIG) == fmt.size(
+                fmt.encode(tile.block)
+            )
+
+    def test_compute_cycles(self):
+        matrix = random_matrix(64, 0.2, seed=5)
+        model = get_decompressor("bitmap")
+        for tile in partition_matrix(matrix, 16):
+            profile = PartitionProfile.of_block(tile.block, 16)
+            compute = model.compute(profile, self.CONFIG)
+            assert compute.decompress_cycles == 16 + profile.nnz
+            assert compute.dot_cycles == (
+                profile.nnz_rows * self.CONFIG.dot_product_cycles()
+            )
+
+    def test_bandwidth_beats_coo_on_dense_tiles(self):
+        model = get_decompressor("bitmap")
+        coo = get_decompressor("coo")
+        profile = PartitionProfile(
+            p=16, nnz=128, nnz_rows=16, nnz_cols=16, max_row_nnz=12,
+            max_col_nnz=12, n_blocks=16, nnz_block_rows=4, block_size=4,
+            n_diagonals=31, dia_stored_len=256, dia_max_len=16,
+        )
+        bitmap_size = model.transfer_size(profile, self.CONFIG)
+        coo_size = coo.transfer_size(profile, self.CONFIG)
+        assert (
+            bitmap_size.bandwidth_utilization
+            > coo_size.bandwidth_utilization
+        )
+
+    def test_resources_and_power_defined(self):
+        from repro.hardware import estimate_power, estimate_resources
+
+        resources = estimate_resources("bitmap", self.CONFIG)
+        assert resources.bram_18k >= 0
+        power = estimate_power("bitmap", self.CONFIG, resources)
+        assert power.dynamic_w > 0

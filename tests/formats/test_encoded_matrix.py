@@ -1,0 +1,42 @@
+"""EncodedMatrix container behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import EncodedMatrix, get_format
+from repro.matrix import SparseMatrix
+
+
+class TestEncodedMatrix:
+    def test_array_lookup(self):
+        encoded = get_format("csr").encode(SparseMatrix.identity(4))
+        assert encoded.array("values").size == 4
+
+    def test_missing_array_raises_with_available_names(self):
+        encoded = get_format("csr").encode(SparseMatrix.identity(4))
+        with pytest.raises(FormatError) as exc:
+            encoded.array("bogus")
+        assert "offsets" in str(exc.value)
+
+    def test_dimensions(self):
+        encoded = get_format("coo").encode(SparseMatrix((3, 7), [0], [6], [1]))
+        assert encoded.n_rows == 3
+        assert encoded.n_cols == 7
+
+    def test_meta_defaults_empty(self):
+        encoded = EncodedMatrix("x", (2, 2), {}, 0)
+        assert dict(encoded.meta) == {}
+
+    def test_format_mismatch_rejected_on_decode(self):
+        csr = get_format("csr")
+        encoded = get_format("coo").encode(SparseMatrix.identity(3))
+        with pytest.raises(FormatError):
+            csr.decode(encoded)
+
+    def test_format_mismatch_rejected_on_size(self):
+        csr = get_format("csr")
+        encoded = get_format("coo").encode(SparseMatrix.identity(3))
+        with pytest.raises(FormatError):
+            csr.size(encoded)

@@ -1,0 +1,89 @@
+"""Format registry and conversion tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownFormatError
+from repro.formats import (
+    ALL_FORMATS,
+    PAPER_FORMATS,
+    SPARSE_FORMATS,
+    SparseFormat,
+    available_formats,
+    convert,
+    decode_any,
+    encode_as,
+    get_format,
+    register_format,
+)
+from repro.matrix import SparseMatrix
+
+
+class TestRegistry:
+    def test_paper_formats_are_eight(self):
+        assert len(PAPER_FORMATS) == 8
+        assert PAPER_FORMATS[0] == "dense"
+
+    def test_sparse_formats_exclude_dense(self):
+        assert "dense" not in SPARSE_FORMATS
+        assert len(SPARSE_FORMATS) == 7
+
+    def test_paper_formats_subset_of_all(self):
+        assert set(PAPER_FORMATS) <= set(ALL_FORMATS)
+
+    def test_all_formats_instantiable(self):
+        for name in ALL_FORMATS:
+            fmt = get_format(name)
+            assert isinstance(fmt, SparseFormat)
+            assert fmt.name == name
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(UnknownFormatError) as exc:
+            get_format("nope")
+        assert "nope" in str(exc.value)
+
+    def test_constructor_kwargs_forwarded(self):
+        fmt = get_format("bcsr", block_size=8)
+        assert fmt.block_size == 8
+
+    def test_available_formats_lists_everything(self):
+        assert set(available_formats()) == set(ALL_FORMATS)
+
+    def test_register_custom_format(self):
+        class Custom(type(get_format("coo"))):
+            name = "custom-coo"
+
+        register_format(Custom, "custom-coo")
+        try:
+            assert get_format("custom-coo").name == "custom-coo"
+        finally:
+            # re-register COO's class under its own name leaves the
+            # registry unchanged for other tests.
+            import repro.formats.registry as registry
+
+            del registry._FACTORIES["custom-coo"]
+
+
+class TestConvert:
+    def test_convert_between_all_pairs(self, corpus_matrix):
+        source = encode_as(corpus_matrix, "csr")
+        for target in ALL_FORMATS:
+            converted = convert(source, target)
+            assert converted.format_name == target
+            assert decode_any(converted) == corpus_matrix
+
+    def test_convert_identity_is_noop(self):
+        matrix = SparseMatrix.identity(4)
+        encoded = encode_as(matrix, "coo")
+        assert convert(encoded, "coo") is encoded
+
+    def test_encode_as_kwargs(self):
+        matrix = SparseMatrix.identity(8)
+        encoded = encode_as(matrix, "bcsr", block_size=2)
+        assert encoded.meta["block_size"] == 2
+
+    def test_decode_any_dispatches(self, corpus_matrix):
+        for name in ("csr", "ell", "dia"):
+            encoded = encode_as(corpus_matrix, name)
+            assert decode_any(encoded) == corpus_matrix

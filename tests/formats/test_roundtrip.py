@@ -1,0 +1,42 @@
+"""Every format must encode/decode losslessly on the whole corpus."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matrix import SparseMatrix
+
+
+class TestRoundtrip:
+    def test_corpus_roundtrip(self, any_format, corpus_matrix):
+        assert any_format.roundtrip(corpus_matrix) == corpus_matrix
+
+    def test_empty_matrix_roundtrip(self, any_format):
+        empty = SparseMatrix.empty((8, 8))
+        assert any_format.roundtrip(empty) == empty
+
+    def test_roundtrip_preserves_shape(self, any_format):
+        matrix = SparseMatrix((5, 9), [4], [8], [1.0])
+        assert any_format.roundtrip(matrix).shape == (5, 9)
+
+    def test_roundtrip_preserves_negative_values(self, any_format):
+        matrix = SparseMatrix((4, 4), [0, 3], [3, 0], [-2.5, -0.001])
+        assert any_format.roundtrip(matrix) == matrix
+
+    def test_roundtrip_preserves_tiny_values(self, any_format):
+        matrix = SparseMatrix((3, 3), [1], [1], [1e-300])
+        assert any_format.roundtrip(matrix) == matrix
+
+    def test_encode_reports_nnz(self, any_format, corpus_matrix):
+        encoded = any_format.encode(corpus_matrix)
+        assert encoded.nnz == corpus_matrix.nnz
+
+    def test_encode_records_format_name(self, any_format, corpus_matrix):
+        encoded = any_format.encode(corpus_matrix)
+        assert encoded.format_name == any_format.name
+
+    def test_encode_dense_convenience(self, any_format):
+        dense = np.array([[0.0, 1.0], [2.0, 0.0]])
+        encoded = any_format.encode_dense(dense)
+        decoded = any_format.decode(encoded)
+        assert np.array_equal(decoded.to_dense(), dense)

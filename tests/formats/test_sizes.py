@@ -1,0 +1,142 @@
+"""Exact byte accounting per format (the basis of the memory metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import (
+    BcsrFormat,
+    CooFormat,
+    CscFormat,
+    CsrFormat,
+    DenseFormat,
+    DiaFormat,
+    DokFormat,
+    EllFormat,
+    LilFormat,
+    SellFormat,
+    SizeBreakdown,
+    get_format,
+)
+from repro.matrix import SparseMatrix
+
+# The hand-worked example of test_layouts: 4 x 4, nnz = 4, longest
+# row 1, longest column 2, diagonals {-2, 0}.
+A = SparseMatrix.from_dense(
+    [
+        [5.0, 0.0, 0.0, 0.0],
+        [0.0, 8.0, 0.0, 0.0],
+        [0.0, 0.0, 3.0, 0.0],
+        [0.0, 6.0, 0.0, 0.0],
+    ]
+)
+
+
+def size_of(fmt) -> SizeBreakdown:
+    return fmt.size(fmt.encode(A))
+
+
+class TestExactSizes:
+    def test_dense(self):
+        size = size_of(DenseFormat())
+        assert size == SizeBreakdown(16, 64, 0)
+
+    def test_csr(self):
+        # 4 values + 4 indices + 4 row offsets
+        assert size_of(CsrFormat()) == SizeBreakdown(16, 16, 32)
+
+    def test_csc(self):
+        assert size_of(CscFormat()) == SizeBreakdown(16, 16, 32)
+
+    def test_coo(self):
+        assert size_of(CooFormat()) == SizeBreakdown(16, 16, 32)
+
+    def test_dok(self):
+        assert size_of(DokFormat()) == SizeBreakdown(16, 16, 32)
+
+    def test_bcsr(self):
+        # 3 non-zero 2x2 blocks + 3 block indices + 2 block-row offsets
+        assert size_of(BcsrFormat(block_size=2)) == SizeBreakdown(16, 48, 20)
+
+    def test_lil(self):
+        # 4 values + 4 row indices + 4-wide terminator row
+        assert size_of(LilFormat()) == SizeBreakdown(16, 16, 32)
+
+    def test_ell(self):
+        # width 1: 4 value slots + 4 index slots
+        assert size_of(EllFormat()) == SizeBreakdown(16, 16, 16)
+
+    def test_sell(self):
+        # two slices of width 1: 4 slots + 4 slot indices + 2 widths
+        assert size_of(SellFormat(slice_height=2)) == SizeBreakdown(
+            16, 16, 24
+        )
+
+    def test_dia(self):
+        # padded 2-D layout: 2 diagonals x longest length 4, 2 headers
+        assert size_of(DiaFormat()) == SizeBreakdown(16, 32, 8)
+
+
+class TestSizeInvariants:
+    def test_useful_bytes_is_nnz_words(self, any_format, corpus_matrix):
+        size = any_format.size(any_format.encode(corpus_matrix))
+        assert size.useful_bytes == corpus_matrix.nnz * 4
+
+    def test_data_at_least_useful(self, any_format, corpus_matrix):
+        size = any_format.size(any_format.encode(corpus_matrix))
+        assert size.data_bytes >= size.useful_bytes
+
+    def test_utilization_in_unit_interval(self, any_format, corpus_matrix):
+        size = any_format.size(any_format.encode(corpus_matrix))
+        assert 0.0 <= size.bandwidth_utilization <= 1.0
+
+    def test_coo_utilization_is_one_third(self, corpus_matrix):
+        if corpus_matrix.nnz == 0:
+            pytest.skip("utilization undefined for empty matrices")
+        fmt = CooFormat()
+        size = fmt.size(fmt.encode(corpus_matrix))
+        assert size.bandwidth_utilization == pytest.approx(1 / 3)
+
+    def test_dense_utilization_equals_density(self, corpus_matrix):
+        fmt = DenseFormat()
+        size = fmt.size(fmt.encode(corpus_matrix))
+        assert size.bandwidth_utilization == pytest.approx(
+            corpus_matrix.density
+        )
+
+    def test_dia_utilization_one_for_full_diagonal(self):
+        matrix = SparseMatrix.identity(16)
+        fmt = DiaFormat()
+        size = fmt.size(fmt.encode(matrix))
+        # one header word against 16 values
+        assert size.bandwidth_utilization == pytest.approx(16 / 17)
+
+    def test_sell_never_pads_more_than_ell(self, corpus_matrix):
+        ell = get_format("ell")
+        sell = get_format("sell")
+        ell_size = ell.size(ell.encode(corpus_matrix))
+        sell_size = sell.size(sell.encode(corpus_matrix))
+        assert sell_size.data_bytes <= ell_size.data_bytes
+
+    def test_size_addition(self):
+        total = SizeBreakdown(4, 8, 2) + SizeBreakdown(1, 2, 3)
+        assert total == SizeBreakdown(5, 10, 5)
+
+    def test_size_zero(self):
+        zero = SizeBreakdown.zero()
+        assert zero.total_bytes == 0
+        assert zero.bandwidth_utilization == 1.0
+
+    def test_invalid_breakdown_rejected(self):
+        with pytest.raises(FormatError):
+            SizeBreakdown(10, 5, 0)  # useful > data
+        with pytest.raises(FormatError):
+            SizeBreakdown(-1, 5, 0)
+
+    def test_compression_ratio_sparse_beats_one(self):
+        matrix = SparseMatrix((64, 64), [0], [0], [1.0])
+        assert CsrFormat().compression_ratio(matrix) > 1.0
+
+    def test_compression_ratio_dense_is_one(self, corpus_matrix):
+        assert DenseFormat().compression_ratio(corpus_matrix) == 1.0

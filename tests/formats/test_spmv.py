@@ -1,0 +1,56 @@
+"""Every format's traversal-based SpMV must match the reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import get_format
+from repro.matrix import SparseMatrix
+
+
+class TestFormatSpmv:
+    def test_matches_reference(self, any_format, corpus_matrix, rng):
+        x = rng.uniform(-1.0, 1.0, size=corpus_matrix.n_cols)
+        encoded = any_format.encode(corpus_matrix)
+        expected = corpus_matrix.spmv(x)
+        assert np.allclose(any_format.spmv(encoded, x), expected)
+
+    def test_zero_vector_gives_zero(self, any_format, corpus_matrix):
+        encoded = any_format.encode(corpus_matrix)
+        out = any_format.spmv(encoded, np.zeros(corpus_matrix.n_cols))
+        assert np.allclose(out, 0.0)
+
+    def test_empty_matrix_gives_zero(self, any_format):
+        matrix = SparseMatrix.empty((6, 6))
+        encoded = any_format.encode(matrix)
+        assert np.allclose(any_format.spmv(encoded, np.ones(6)), 0.0)
+
+    def test_wrong_vector_length_rejected(self, any_format):
+        encoded = any_format.encode(SparseMatrix.identity(4))
+        with pytest.raises(ShapeError):
+            any_format.spmv(encoded, np.ones(5))
+
+    def test_foreign_encoding_rejected(self, any_format):
+        other_name = "coo" if any_format.name != "coo" else "csr"
+        other = get_format(other_name)
+        encoded = other.encode(SparseMatrix.identity(4))
+        with pytest.raises(FormatError):
+            any_format.spmv(encoded, np.ones(4))
+
+    def test_linearity(self, any_format, rng):
+        matrix = SparseMatrix.from_dense(rng.uniform(size=(8, 8)))
+        encoded = any_format.encode(matrix)
+        x = rng.uniform(size=8)
+        y = rng.uniform(size=8)
+        combined = any_format.spmv(encoded, 3.0 * x - y)
+        separate = 3.0 * any_format.spmv(encoded, x) - any_format.spmv(
+            encoded, y
+        )
+        assert np.allclose(combined, separate)
+
+    def test_identity_spmv_is_identity(self, any_format, rng):
+        encoded = any_format.encode(SparseMatrix.identity(12))
+        x = rng.uniform(size=12)
+        assert np.allclose(any_format.spmv(encoded, x), x)

@@ -1,0 +1,118 @@
+"""Structural-validation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import EncodedMatrix, get_format
+from repro.formats.validate import validate_encoding
+from repro.matrix import SparseMatrix
+from repro.workloads import random_matrix
+
+
+class TestWellFormedEncodingsPass:
+    def test_every_format_on_corpus(self, any_format, corpus_matrix):
+        validate_encoding(any_format.encode(corpus_matrix))
+
+    def test_empty_matrices(self, any_format):
+        validate_encoding(any_format.encode(SparseMatrix.empty((6, 6))))
+
+
+def corrupt(encoded: EncodedMatrix, array: str, **changes) -> EncodedMatrix:
+    """Copy an encoding with one array replaced."""
+    arrays = dict(encoded.arrays)
+    arrays[array] = changes["value"]
+    return EncodedMatrix(
+        format_name=encoded.format_name,
+        shape=encoded.shape,
+        arrays=arrays,
+        nnz=changes.get("nnz", encoded.nnz),
+        meta=encoded.meta,
+    )
+
+
+class TestCorruptionsCaught:
+    def encoded(self, name: str):
+        return get_format(name).encode(random_matrix(12, 0.3, seed=0))
+
+    def test_csr_non_monotone_offsets(self):
+        encoded = self.encoded("csr")
+        offsets = encoded.array("offsets").copy()
+        offsets[2], offsets[3] = offsets[3] + 1, offsets[2]
+        with pytest.raises(FormatError):
+            validate_encoding(corrupt(encoded, "offsets", value=offsets))
+
+    def test_csr_out_of_bounds_index(self):
+        encoded = self.encoded("csr")
+        indices = encoded.array("indices").copy()
+        indices[0] = 99
+        with pytest.raises(FormatError):
+            validate_encoding(corrupt(encoded, "indices", value=indices))
+
+    def test_coo_row_out_of_bounds(self):
+        encoded = self.encoded("coo")
+        rows = encoded.array("rows").copy()
+        rows[0] = 50
+        with pytest.raises(FormatError):
+            validate_encoding(corrupt(encoded, "rows", value=rows))
+
+    def test_coo_length_mismatch(self):
+        encoded = self.encoded("coo")
+        with pytest.raises(FormatError):
+            validate_encoding(
+                corrupt(encoded, "rows",
+                        value=encoded.array("rows")[:-1])
+            )
+
+    def test_ell_plane_shape_mismatch(self):
+        encoded = self.encoded("ell")
+        with pytest.raises(FormatError):
+            validate_encoding(
+                corrupt(encoded, "indices",
+                        value=encoded.array("indices")[:, :-1])
+            )
+
+    def test_lil_not_top_pushed(self):
+        encoded = self.encoded("lil")
+        indices = encoded.array("indices").copy()
+        col = int(np.argmax((indices < 12).sum(axis=0)))
+        # punch a sentinel hole above a live entry
+        indices[0, col] = 12
+        with pytest.raises(FormatError):
+            validate_encoding(corrupt(encoded, "indices", value=indices))
+
+    def test_dia_unsorted_offsets(self):
+        encoded = self.encoded("dia")
+        offsets = encoded.array("offsets").copy()
+        if offsets.size < 2:
+            pytest.skip("need two diagonals")
+        offsets[0], offsets[1] = offsets[1], offsets[0]
+        with pytest.raises(FormatError):
+            validate_encoding(corrupt(encoded, "offsets", value=offsets))
+
+    def test_bcsr_unaligned_block_column(self):
+        encoded = self.encoded("bcsr")
+        indices = encoded.array("indices").copy()
+        indices[0] = 1  # not a multiple of the block size
+        with pytest.raises(FormatError):
+            validate_encoding(corrupt(encoded, "indices", value=indices))
+
+    def test_bitmap_population_mismatch(self):
+        encoded = self.encoded("bitmap")
+        mask = np.full_like(encoded.array("mask"), 0xFF)
+        with pytest.raises(FormatError):
+            validate_encoding(corrupt(encoded, "mask", value=mask))
+
+    def test_dense_wrong_nnz(self):
+        encoded = self.encoded("dense")
+        with pytest.raises(FormatError):
+            validate_encoding(
+                corrupt(encoded, "values",
+                        value=encoded.array("values"), nnz=999)
+            )
+
+    def test_unvalidated_formats_pass_trivially(self):
+        encoded = self.encoded("jds")
+        validate_encoding(encoded)  # no structural validator: no raise

@@ -1,0 +1,131 @@
+"""Tests for the ELL-variant extension formats (JDS, ELL+COO,
+SELL-C-sigma) beyond the generic roundtrip/SpMV coverage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import (
+    EllCooFormat,
+    EllFormat,
+    JdsFormat,
+    SellCSigmaFormat,
+    SellFormat,
+)
+from repro.matrix import SparseMatrix
+from repro.workloads import power_law_graph, random_matrix
+
+
+def skewed_matrix() -> SparseMatrix:
+    """One long row, several short ones — the ELL worst case."""
+    rows = [0] * 10 + [3, 5, 7]
+    cols = list(range(10)) + [1, 2, 3]
+    return SparseMatrix((8, 12), rows, cols, np.arange(1.0, 14.0))
+
+
+class TestJds:
+    def test_rows_sorted_longest_first(self):
+        encoded = JdsFormat().encode(skewed_matrix())
+        perm = encoded.array("perm")
+        assert perm[0] == 0  # the 10-entry row leads
+
+    def test_jd_lengths_non_increasing(self):
+        encoded = JdsFormat().encode(skewed_matrix())
+        lengths = encoded.array("jd_lengths")
+        assert all(a >= b for a, b in zip(lengths, lengths[1:]))
+        assert int(lengths.sum()) == encoded.nnz
+
+    def test_first_diagonal_covers_all_nonzero_rows(self):
+        matrix = skewed_matrix()
+        encoded = JdsFormat().encode(matrix)
+        assert encoded.array("jd_lengths")[0] == matrix.nnz_rows()
+
+    def test_empty_matrix(self):
+        fmt = JdsFormat()
+        empty = SparseMatrix.empty((4, 4))
+        assert fmt.roundtrip(empty) == empty
+
+    def test_no_padding_transferred(self):
+        """JDS ships exactly nnz values — no ELL-style padding."""
+        matrix = skewed_matrix()
+        fmt = JdsFormat()
+        size = fmt.size(fmt.encode(matrix))
+        assert size.data_bytes == matrix.nnz * 4
+
+    def test_beats_ell_on_skewed_rows(self):
+        matrix = skewed_matrix()
+        jds_size = JdsFormat().size(JdsFormat().encode(matrix))
+        ell = EllFormat()
+        ell_size = ell.size(ell.encode(matrix))
+        assert jds_size.total_bytes < ell_size.total_bytes
+
+
+class TestEllCoo:
+    def test_overflow_split(self):
+        matrix = skewed_matrix()
+        encoded = EllCooFormat(width=4).encode(matrix)
+        # row 0 has 10 entries: 4 in the ELL part, 6 overflow
+        assert encoded.array("coo_values").size == 6
+        assert encoded.array("values").shape == (8, 4)
+
+    def test_no_overflow_when_width_suffices(self):
+        matrix = random_matrix(16, 0.1, seed=1)
+        width = int(matrix.row_nnz().max())
+        encoded = EllCooFormat(width=width).encode(matrix)
+        assert encoded.array("coo_values").size == 0
+
+    def test_reduces_padding_vs_plain_ell(self):
+        """The paper's stated purpose: shrink the width of long rows."""
+        matrix = power_law_graph(128, avg_degree=4, seed=2)
+        ell = EllFormat()
+        hybrid = EllCooFormat(width=4)
+        ell_size = ell.size(ell.encode(matrix))
+        hybrid_size = hybrid.size(hybrid.encode(matrix))
+        assert hybrid_size.data_bytes < ell_size.data_bytes
+
+    def test_invalid_width(self):
+        with pytest.raises(FormatError):
+            EllCooFormat(width=0)
+
+    def test_repr(self):
+        assert "width=6" in repr(EllCooFormat())
+
+
+class TestSellCSigma:
+    def test_sigma_must_be_multiple_of_c(self):
+        with pytest.raises(FormatError):
+            SellCSigmaFormat(slice_height=4, sigma=6)
+        with pytest.raises(FormatError):
+            SellCSigmaFormat(slice_height=4, sigma=2)
+        with pytest.raises(FormatError):
+            SellCSigmaFormat(slice_height=0)
+
+    def test_permutation_stays_within_windows(self):
+        matrix = power_law_graph(64, avg_degree=3, seed=3)
+        fmt = SellCSigmaFormat(slice_height=4, sigma=8)
+        perm = fmt.encode(matrix).array("perm")
+        for start in range(0, 64, 8):
+            window = perm[start : start + 8]
+            assert set(window) == set(range(start, min(start + 8, 64)))
+
+    def test_sorting_reduces_padding_vs_plain_sell(self):
+        matrix = power_law_graph(256, avg_degree=4, seed=4)
+        sell = SellFormat(slice_height=4)
+        sorted_sell = SellCSigmaFormat(slice_height=4, sigma=64)
+        plain = sell.size(sell.encode(matrix))
+        windowed = sorted_sell.size(sorted_sell.encode(matrix))
+        assert windowed.data_bytes <= plain.data_bytes
+
+    def test_spmv_unpermutes(self, rng):
+        matrix = power_law_graph(48, avg_degree=3, seed=5)
+        fmt = SellCSigmaFormat(slice_height=4, sigma=16)
+        x = rng.uniform(size=48)
+        assert np.allclose(
+            fmt.spmv(fmt.encode(matrix), x), matrix.spmv(x)
+        )
+
+    def test_repr(self):
+        text = repr(SellCSigmaFormat(slice_height=2, sigma=8))
+        assert "slice_height=2" in text and "sigma=8" in text

@@ -1,0 +1,59 @@
+"""AXI stream transfer model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware import AxiStreamModel, HardwareConfig
+
+
+def model(**kwargs) -> AxiStreamModel:
+    return AxiStreamModel(HardwareConfig(**kwargs))
+
+
+class TestStreamCycles:
+    def test_exact_multiple(self):
+        axi = model(axi_bytes_per_cycle=8)
+        assert axi.stream_cycles(64) == 8
+
+    def test_rounds_up(self):
+        axi = model(axi_bytes_per_cycle=8)
+        assert axi.stream_cycles(65) == 9
+
+    def test_zero_bytes(self):
+        assert model().stream_cycles(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            model().stream_cycles(-1)
+
+
+class TestTransferCycles:
+    def test_empty_lines_is_free(self):
+        assert model().transfer_cycles([]) == 0
+
+    def test_single_line_includes_setup(self):
+        axi = model(axi_bytes_per_cycle=8, axi_setup_cycles=4)
+        assert axi.transfer_cycles([80]) == 4 + 10
+
+    def test_lines_share_the_memory_bus(self):
+        """Splitting a payload over lines cannot beat the bus rate."""
+        axi = model(axi_bytes_per_cycle=8, axi_setup_cycles=0)
+        assert axi.transfer_cycles([40, 40]) == axi.transfer_cycles([80])
+
+    def test_aggregate_of_many_lines(self):
+        axi = model(axi_bytes_per_cycle=8, axi_setup_cycles=0)
+        assert axi.transfer_cycles([16, 16, 16]) == 6
+
+    def test_negative_line_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            model().transfer_cycles([8, -1])
+
+    def test_single_line_cycles_helper(self):
+        axi = model(axi_bytes_per_cycle=4, axi_setup_cycles=2)
+        assert axi.single_line_cycles(10) == 2 + 3
+
+    def test_setup_paid_once_per_partition(self):
+        axi = model(axi_bytes_per_cycle=8, axi_setup_cycles=4)
+        assert axi.transfer_cycles([8, 8]) == 4 + 2

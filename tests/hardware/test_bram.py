@@ -1,0 +1,66 @@
+"""BRAM capacity / banking model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware import BRAM_18K_BITS, BramBuffer, bram_blocks_for
+
+
+class TestBlocksFor:
+    def test_zero_bits(self):
+        assert bram_blocks_for(0) == 0
+
+    def test_one_bit_needs_one_block(self):
+        assert bram_blocks_for(1) == 1
+
+    def test_exact_capacity(self):
+        assert bram_blocks_for(BRAM_18K_BITS) == 1
+
+    def test_one_over_capacity(self):
+        assert bram_blocks_for(BRAM_18K_BITS + 1) == 2
+
+    def test_banking_inflates_small_buffers(self):
+        # 1024 bits in 8 banks: each bank still occupies one block
+        assert bram_blocks_for(1024, banks=8) == 8
+
+    def test_banking_of_large_buffer(self):
+        bits = 4 * BRAM_18K_BITS
+        assert bram_blocks_for(bits, banks=2) == 4
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            bram_blocks_for(-1)
+
+    def test_zero_banks_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            bram_blocks_for(100, banks=0)
+
+
+class TestBramBuffer:
+    def test_blocks_property(self):
+        buffer = BramBuffer("values", bits=2 * BRAM_18K_BITS, banks=2)
+        assert buffer.blocks == 2
+
+    def test_small_single_bank_fits_registers(self):
+        assert BramBuffer("offsets", bits=512).fits_in_registers
+        assert not BramBuffer("values", bits=512, banks=2).fits_in_registers
+        assert not BramBuffer("values", bits=4096).fits_in_registers
+
+    def test_gather_cycles_parallel_banks(self):
+        buffer = BramBuffer("values", bits=8192, banks=8, access_cycles=2)
+        # 8 elements over 8 banks: one round, full latency once
+        assert buffer.gather_cycles(8) == 2
+
+    def test_gather_cycles_serialized(self):
+        buffer = BramBuffer("values", bits=8192, banks=1, access_cycles=2)
+        # 8 rounds: latency + 7 pipelined cycles
+        assert buffer.gather_cycles(8) == 2 + 7
+
+    def test_gather_zero_elements(self):
+        assert BramBuffer("x", bits=64).gather_cycles(0) == 0
+
+    def test_gather_negative_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            BramBuffer("x", bits=64).gather_cycles(-1)

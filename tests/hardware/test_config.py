@@ -1,0 +1,83 @@
+"""HardwareConfig validation and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware import DEFAULT_CONFIG, HardwareConfig
+
+
+class TestValidation:
+    def test_default_is_papers_platform(self):
+        assert DEFAULT_CONFIG.partition_size == 16
+        assert DEFAULT_CONFIG.clock_mhz == 250.0
+        assert DEFAULT_CONFIG.block_size == 4
+        assert DEFAULT_CONFIG.ell_hardware_width == 6
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "partition_size",
+            "clock_mhz",
+            "value_bytes",
+            "index_bytes",
+            "axi_bytes_per_cycle",
+            "n_stream_lines",
+            "multiplier_cycles",
+            "block_size",
+            "ell_hardware_width",
+        ],
+    )
+    def test_positive_fields_rejected_at_zero(self, field):
+        with pytest.raises(HardwareConfigError):
+            HardwareConfig(**{field: 0})
+
+    @pytest.mark.parametrize(
+        "field",
+        ["axi_setup_cycles", "bram_access_cycles", "lil_merge_cycles"],
+    )
+    def test_non_negative_fields_reject_negative(self, field):
+        with pytest.raises(HardwareConfigError):
+            HardwareConfig(**{field: -1})
+
+    def test_block_size_must_fit_partition(self):
+        with pytest.raises(HardwareConfigError):
+            HardwareConfig(partition_size=2, block_size=4)
+
+
+class TestDerived:
+    def test_cycle_seconds(self):
+        config = HardwareConfig(clock_mhz=250.0)
+        assert config.cycle_seconds == pytest.approx(4e-9)
+
+    def test_seconds_conversion(self):
+        config = HardwareConfig(clock_mhz=100.0)
+        assert config.seconds(1000) == pytest.approx(1e-5)
+
+    @pytest.mark.parametrize(
+        "width,depth",
+        [(1, 0), (2, 1), (4, 2), (6, 3), (8, 3), (16, 4), (32, 5)],
+    )
+    def test_adder_tree_depth(self, width, depth):
+        assert DEFAULT_CONFIG.adder_tree_depth(width) == depth
+
+    def test_adder_tree_rejects_zero_width(self):
+        with pytest.raises(HardwareConfigError):
+            DEFAULT_CONFIG.adder_tree_depth(0)
+
+    def test_dot_product_cycles_default_width(self):
+        config = HardwareConfig(partition_size=16)
+        assert config.dot_product_cycles() == 1 + 4
+
+    def test_dot_product_cycles_explicit_width(self):
+        assert DEFAULT_CONFIG.dot_product_cycles(6) == 1 + 3
+
+    def test_with_partition_size(self):
+        other = DEFAULT_CONFIG.with_partition_size(32)
+        assert other.partition_size == 32
+        assert other.clock_mhz == DEFAULT_CONFIG.clock_mhz
+        assert DEFAULT_CONFIG.partition_size == 16  # original untouched
+
+    def test_p_alias(self):
+        assert DEFAULT_CONFIG.p == DEFAULT_CONFIG.partition_size

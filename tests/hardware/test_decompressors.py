@@ -1,0 +1,242 @@
+"""Per-format decompressor model tests.
+
+Covers three layers: the exact cycle formulas on hand-built profiles,
+the paper's cross-format invariants, and — the key glue property — that
+every model's transfer accounting agrees byte-for-byte with the
+corresponding software format's ``size()`` on encoded tiles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError, UnknownFormatError
+from repro.formats import get_format
+from repro.hardware import HardwareConfig, get_decompressor
+from repro.hardware.decompressors import MODELED_FORMATS, ComputeBreakdown
+from repro.partition import PartitionProfile, partition_matrix
+from repro.workloads import band_matrix, random_matrix
+
+CONFIG = HardwareConfig(partition_size=16)
+
+
+def make_profile(**overrides) -> PartitionProfile:
+    """A representative 16 x 16 tile profile with overridable fields."""
+    fields = dict(
+        p=16,
+        nnz=8,
+        nnz_rows=4,
+        nnz_cols=6,
+        max_row_nnz=3,
+        max_col_nnz=2,
+        n_blocks=5,
+        nnz_block_rows=3,
+        block_size=4,
+        n_diagonals=7,
+        dia_stored_len=80,
+        dia_max_len=14,
+    )
+    fields.update(overrides)
+    return PartitionProfile(**fields)
+
+
+FULL = make_profile(
+    nnz=256, nnz_rows=16, nnz_cols=16, max_row_nnz=16, max_col_nnz=16,
+    n_blocks=16, nnz_block_rows=4, n_diagonals=31, dia_stored_len=256,
+    dia_max_len=16,
+)
+
+T_DOT = CONFIG.dot_product_cycles()  # 5 at width 16
+BRAM = CONFIG.bram_access_cycles  # 2
+
+
+class TestComputeFormulas:
+    def test_dense_is_p_times_tdot(self):
+        compute = get_decompressor("dense").compute(make_profile(), CONFIG)
+        assert compute.decompress_cycles == 0
+        assert compute.dot_cycles == 16 * T_DOT
+
+    def test_csr(self):
+        profile = make_profile()
+        compute = get_decompressor("csr").compute(profile, CONFIG)
+        assert compute.decompress_cycles == 4 * BRAM + 8
+        assert compute.dot_cycles == 4 * T_DOT
+
+    def test_csc_scans_all_entries_per_row(self):
+        profile = make_profile()
+        compute = get_decompressor("csc").compute(profile, CONFIG)
+        assert compute.decompress_cycles == 16 * (8 + BRAM)
+
+    def test_bcsr(self):
+        profile = make_profile()
+        compute = get_decompressor("bcsr").compute(profile, CONFIG)
+        assert compute.decompress_cycles == 3 * BRAM + 5
+        # all 4 rows of each of the 3 non-zero block-rows are processed
+        assert compute.dot_cycles == 3 * 4 * T_DOT
+
+    def test_coo_walks_tuples(self):
+        compute = get_decompressor("coo").compute(make_profile(), CONFIG)
+        assert compute.decompress_cycles == 8
+        assert compute.dot_cycles == 4 * T_DOT
+
+    def test_dok_matches_coo(self):
+        profile = make_profile()
+        assert get_decompressor("dok").compute(
+            profile, CONFIG
+        ) == get_decompressor("coo").compute(profile, CONFIG)
+
+    def test_lil_merge_steps(self):
+        profile = make_profile()
+        compute = get_decompressor("lil").compute(profile, CONFIG)
+        per_step = BRAM + CONFIG.lil_merge_cycles
+        assert compute.decompress_cycles == 4 * per_step + BRAM
+
+    def test_ell_processes_all_rows_at_hw_width(self):
+        compute = get_decompressor("ell").compute(make_profile(), CONFIG)
+        assert compute.decompress_cycles == 16
+        assert compute.dot_cycles == 16 * CONFIG.dot_product_cycles(6)
+
+    def test_dia_scan(self):
+        compute = get_decompressor("dia").compute(make_profile(), CONFIG)
+        assert compute.decompress_cycles == 16 + 7 + BRAM
+
+    def test_profile_size_mismatch_rejected(self):
+        wrong = HardwareConfig(partition_size=8)
+        with pytest.raises(SimulationError):
+            get_decompressor("csr").compute(make_profile(), wrong)
+
+    def test_unknown_format(self):
+        with pytest.raises(UnknownFormatError):
+            get_decompressor("nope")
+
+
+class TestPaperInvariants:
+    """Section 6.1's qualitative findings, as executable assertions."""
+
+    def test_dense_sigma_is_one(self):
+        """Eq. 1: the dense overhead is exactly 1 on any profile."""
+        dense = get_decompressor("dense")
+        for profile in (make_profile(), FULL):
+            total = dense.compute(profile, CONFIG).total_cycles
+            assert total == 16 * T_DOT
+
+    def test_csc_is_worst_on_dense_tiles(self):
+        csc_total = get_decompressor("csc").compute(FULL, CONFIG).total_cycles
+        for name in MODELED_FORMATS:
+            if name == "csc":
+                continue
+            other = get_decompressor(name).compute(FULL, CONFIG).total_cycles
+            assert csc_total > other
+
+    def test_csc_20_to_30x_on_dense_tiles(self):
+        csc_total = get_decompressor("csc").compute(FULL, CONFIG).total_cycles
+        dense_total = 16 * T_DOT
+        assert 20 <= csc_total / dense_total <= 60
+
+    def test_ell_is_pattern_independent(self):
+        """ELL's compute must not depend on the sparsity pattern."""
+        ell = get_decompressor("ell")
+        sparse = ell.compute(make_profile(), CONFIG).total_cycles
+        full = ell.compute(FULL, CONFIG).total_cycles
+        assert sparse == full
+
+    def test_ell_beats_dense_at_large_partitions(self):
+        config = HardwareConfig(partition_size=32)
+        profile = make_profile(p=32)
+        ell = get_decompressor("ell").compute(profile, config).total_cycles
+        dense = get_decompressor("dense").compute(profile, config).total_cycles
+        assert ell < dense
+
+    def test_ell_slightly_worse_than_dense_at_8(self):
+        """The paper's 8x8 case: padded width 6 ~ partition width 8."""
+        config = HardwareConfig(partition_size=8)
+        profile = make_profile(
+            p=8, nnz=4, nnz_rows=2, nnz_cols=4, max_row_nnz=2,
+            max_col_nnz=1, n_blocks=2, nnz_block_rows=1,
+            n_diagonals=4, dia_stored_len=20, dia_max_len=7,
+        )
+        ell = get_decompressor("ell").compute(profile, config).total_cycles
+        dense = get_decompressor("dense").compute(profile, config).total_cycles
+        assert dense < ell <= 1.5 * dense
+
+    def test_coo_cheaper_than_csr(self):
+        """CSR pays the extra offsets access per non-zero row."""
+        for profile in (make_profile(), FULL):
+            coo = get_decompressor("coo").compute(profile, CONFIG)
+            csr = get_decompressor("csr").compute(profile, CONFIG)
+            assert coo.total_cycles < csr.total_cycles
+
+    def test_sparse_formats_beat_dense_on_sparse_tiles(self):
+        """One entry per tile: every format but ELL should win."""
+        profile = make_profile(
+            nnz=1, nnz_rows=1, nnz_cols=1, max_row_nnz=1, max_col_nnz=1,
+            n_blocks=1, nnz_block_rows=1, n_diagonals=1, dia_stored_len=16,
+            dia_max_len=16,
+        )
+        dense_total = 16 * T_DOT
+        for name in ("csr", "coo", "lil", "bcsr", "dia"):
+            total = get_decompressor(name).compute(profile, CONFIG).total_cycles
+            assert total < dense_total, name
+
+
+class TestTransferSizes:
+    def test_matches_format_size_on_tiles(self, corpus_matrix):
+        """Model byte accounting == software format byte accounting."""
+        config = HardwareConfig(partition_size=8)
+        tiles = partition_matrix(corpus_matrix, 8)
+        for name in MODELED_FORMATS:
+            if name == "bcsr":
+                fmt = get_format(name, block_size=config.block_size)
+            else:
+                fmt = get_format(name)
+            model = get_decompressor(name)
+            for tile in tiles:
+                profile = PartitionProfile.of_block(
+                    tile.block, 8, block_size=config.block_size
+                )
+                expected = fmt.size(fmt.encode(tile.block))
+                assert model.transfer_size(profile, config) == expected, name
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_on_random_tiles(self, seed):
+        config = HardwareConfig(partition_size=16)
+        matrix = random_matrix(64, 0.15, seed=seed)
+        tiles = partition_matrix(matrix, 16)
+        for name in MODELED_FORMATS:
+            fmt = get_format(name) if name != "bcsr" else get_format(
+                name, block_size=4
+            )
+            model = get_decompressor(name)
+            for tile in tiles:
+                profile = PartitionProfile.of_block(tile.block, 16)
+                assert model.transfer_size(profile, config) == fmt.size(
+                    fmt.encode(tile.block)
+                ), name
+
+    def test_matches_on_band_tiles(self):
+        config = HardwareConfig(partition_size=16)
+        matrix = band_matrix(64, width=8, seed=1)
+        tiles = partition_matrix(matrix, 16)
+        for name in MODELED_FORMATS:
+            fmt = get_format(name) if name != "bcsr" else get_format(
+                name, block_size=4
+            )
+            model = get_decompressor(name)
+            for tile in tiles:
+                profile = PartitionProfile.of_block(tile.block, 16)
+                assert model.transfer_size(profile, config) == fmt.size(
+                    fmt.encode(tile.block)
+                ), name
+
+    def test_stream_lines_cover_total(self):
+        profile = make_profile()
+        for name in MODELED_FORMATS:
+            model = get_decompressor(name)
+            lines = model.stream_lines(profile, CONFIG)
+            size = model.transfer_size(profile, CONFIG)
+            assert sum(lines) == size.total_bytes, name
+
+    def test_compute_breakdown_validation(self):
+        with pytest.raises(SimulationError):
+            ComputeBreakdown(-1, 0)
+        assert ComputeBreakdown(2, 3).total_cycles == 5

@@ -1,0 +1,68 @@
+"""Dot-product engine model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware import DotProductEngine, HardwareConfig
+
+
+class TestStructure:
+    @pytest.mark.parametrize(
+        "width,depth", [(1, 0), (2, 1), (3, 2), (6, 3), (16, 4), (32, 5)]
+    )
+    def test_adder_tree_depth(self, width, depth):
+        assert DotProductEngine(width).adder_tree_depth == depth
+
+    def test_multiplier_count(self):
+        assert DotProductEngine(16).n_multipliers == 16
+
+    def test_adder_count(self):
+        assert DotProductEngine(16).n_adders == 15
+        assert DotProductEngine(1).n_adders == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(HardwareConfigError):
+            DotProductEngine(0)
+
+    def test_invalid_multiplier_latency(self):
+        with pytest.raises(HardwareConfigError):
+            DotProductEngine(4, multiplier_cycles=0)
+
+
+class TestLatency:
+    def test_row_cycles(self):
+        assert DotProductEngine(16).row_cycles == 5
+
+    def test_rows_cycles_scales_linearly(self):
+        engine = DotProductEngine(8)
+        assert engine.rows_cycles(10) == 10 * engine.row_cycles
+
+    def test_zero_rows(self):
+        assert DotProductEngine(8).rows_cycles(0) == 0
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            DotProductEngine(8).rows_cycles(-1)
+
+    def test_for_config_uses_partition_width(self):
+        config = HardwareConfig(partition_size=32)
+        engine = DotProductEngine.for_config(config)
+        assert engine.width == 32
+        assert engine.row_cycles == config.dot_product_cycles()
+
+    def test_for_config_explicit_width(self):
+        config = HardwareConfig(partition_size=32)
+        engine = DotProductEngine.for_config(config, width=6)
+        assert engine.width == 6
+
+    def test_matches_config_dot_cycles(self):
+        config = HardwareConfig(partition_size=16)
+        engine = DotProductEngine.for_config(config)
+        for width in (1, 2, 6, 16):
+            assert (
+                DotProductEngine.for_config(config, width).row_cycles
+                == config.dot_product_cycles(width)
+            )
+        assert engine.row_cycles == config.dot_product_cycles()

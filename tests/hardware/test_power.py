@@ -1,0 +1,103 @@
+"""Power model tests (Table 2 dynamic power, Figure 13, static power)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownFormatError
+from repro.hardware import (
+    HardwareConfig,
+    estimate_power,
+    estimate_resources,
+    static_power_w,
+)
+from repro.hardware.paper_data import PAPER_STATIC_POWER_W
+from repro.hardware.resources import RESOURCE_FORMATS
+
+SIZES = (8, 16, 32)
+
+
+def power(name: str, p: int):
+    return estimate_power(name, HardwareConfig(partition_size=p))
+
+
+class TestStaticPower:
+    def test_reported_values(self):
+        assert static_power_w("dense") == 0.121
+        assert static_power_w("csr") == 0.121
+        assert static_power_w("bcsr") == 0.121
+        assert static_power_w("lil") == 0.121
+        assert static_power_w("ell") == 0.121
+        assert static_power_w("csc") == 0.103
+        assert static_power_w("coo") == 0.103
+        assert static_power_w("dia") == 0.103
+
+    def test_unknown_format(self):
+        with pytest.raises(UnknownFormatError):
+            static_power_w("nope")
+
+    def test_every_paper_format_covered(self):
+        for name in RESOURCE_FORMATS:
+            assert name in PAPER_STATIC_POWER_W
+
+
+class TestDynamicPower:
+    def test_breakdown_components_positive(self):
+        for name in RESOURCE_FORMATS:
+            for p in SIZES:
+                breakdown = power(name, p)
+                assert breakdown.logic_w > 0
+                assert breakdown.bram_w >= 0
+                assert breakdown.signals_w > 0
+
+    def test_total_is_sum(self):
+        breakdown = power("csr", 16)
+        assert breakdown.dynamic_w == pytest.approx(
+            breakdown.logic_w + breakdown.bram_w + breakdown.signals_w
+        )
+        assert breakdown.total_w == pytest.approx(
+            breakdown.dynamic_w + breakdown.static_w
+        )
+
+    def test_magnitudes_match_table2_range(self):
+        """Dynamic totals should land in the paper's 0.01 - 0.2 W band."""
+        for name in RESOURCE_FORMATS:
+            for p in SIZES:
+                dyn = power(name, p).dynamic_w
+                assert 0.005 <= dyn <= 0.25, (name, p, dyn)
+
+    def test_logic_power_non_decreasing_with_p(self):
+        """Figure 13a: logic power rises or holds as partitions grow."""
+        for name in RESOURCE_FORMATS:
+            if name == "ell":
+                continue  # ELL's engine width is capped at 6
+            values = [power(name, p).logic_w for p in SIZES]
+            assert values == sorted(values), name
+
+    def test_signals_dominate_trend(self):
+        """Figure 13: total dynamic power follows signal power."""
+        for name in RESOURCE_FORMATS:
+            for p in SIZES:
+                breakdown = power(name, p)
+                assert breakdown.signals_w >= breakdown.bram_w
+
+    def test_energy_scales_with_time(self):
+        breakdown = power("coo", 16)
+        assert breakdown.energy_j(2.0) == pytest.approx(
+            2.0 * breakdown.energy_j(1.0)
+        )
+
+    def test_precomputed_resources_accepted(self):
+        config = HardwareConfig(partition_size=16)
+        resources = estimate_resources("dia", config)
+        direct = estimate_power("dia", config, resources)
+        indirect = estimate_power("dia", config)
+        assert direct == indirect
+
+    def test_slow_formats_can_lose_on_static_energy(self):
+        """Section 6.4: static energy grows with runtime, so a slower
+        format can need more total energy despite lower dynamic power."""
+        fast = power("bcsr", 16)
+        slow = power("csc", 16)
+        # csc has lower static power but runs ~20x longer on dense tiles
+        assert slow.energy_j(20.0) > fast.energy_j(1.0)

@@ -1,0 +1,135 @@
+"""Resource estimator tests: the Section 6.4 findings as assertions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownFormatError
+from repro.hardware import HardwareConfig, estimate_resources
+from repro.hardware.resources import RESOURCE_FORMATS
+
+SIZES = (8, 16, 32)
+
+
+def estimate(name: str, p: int):
+    return estimate_resources(name, HardwareConfig(partition_size=p))
+
+
+class TestStructure:
+    def test_all_formats_estimable(self):
+        for name in RESOURCE_FORMATS:
+            for p in SIZES:
+                result = estimate(name, p)
+                assert result.bram_18k >= 0
+                assert result.ff > 0
+                assert result.lut > 0
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(UnknownFormatError):
+            estimate_resources("nope", HardwareConfig())
+
+    def test_dense_bram_equals_partition_size(self):
+        """One bank per partition row (Table 2: 8 / 16 / 32)."""
+        for p in SIZES:
+            assert estimate("dense", p).bram_18k == p
+
+    def test_bcsr_bram_matches_dense(self):
+        """Section 6.4: "BCSR utilizes the same blocks as the dense"."""
+        for p in SIZES:
+            assert estimate("bcsr", p).bram_18k == estimate("dense", p).bram_18k
+
+    def test_csr_csc_lowest_bram(self):
+        """Section 6.4: CSR and CSC utilize the fewest BRAM blocks."""
+        for p in SIZES:
+            floor = min(
+                estimate(name, p).bram_18k for name in RESOURCE_FORMATS
+            )
+            assert estimate("csc", p).bram_18k <= estimate("csr", p).bram_18k
+            assert estimate("csr", p).bram_18k <= floor + 2
+
+    def test_bram_non_decreasing_with_partition_size(self):
+        for name in RESOURCE_FORMATS:
+            values = [estimate(name, p).bram_18k for p in SIZES]
+            assert values == sorted(values), name
+
+    def test_ell_ff_collapse_at_32(self):
+        """Table 2: ELL 32x32 uses fewer FFs than 8x8/16x16 because the
+        padded planes move from registers into BRAM."""
+        ff_by_p = {p: estimate("ell", p).ff for p in SIZES}
+        assert ff_by_p[32] < ff_by_p[16]
+        assert ff_by_p[32] < ff_by_p[8]
+
+    def test_ell_small_partitions_are_register_mapped(self):
+        assert estimate("ell", 8).ff_mapped_buffer_bits > 0
+        assert estimate("ell", 32).ff_mapped_buffer_bits == 0
+
+    def test_lil_and_dia_have_highest_ff(self):
+        for p in SIZES:
+            top_two = sorted(
+                RESOURCE_FORMATS,
+                key=lambda name: estimate(name, p).ff,
+                reverse=True,
+            )[:2]
+            assert set(top_two) == {"lil", "dia"}
+
+    def test_coo_lut_grows_fastest(self):
+        """The scatter crossbar makes COO's LUTs the largest at 32x32."""
+        luts = {name: estimate(name, 32).lut for name in RESOURCE_FORMATS}
+        assert max(luts, key=luts.get) in ("coo", "dok")
+
+    def test_everything_fits_the_device(self):
+        """All designs fit the xq7z020 (they were synthesized on it)."""
+        for name in RESOURCE_FORMATS:
+            for p in SIZES:
+                assert estimate(name, p).fits_device, (name, p)
+
+    def test_fractions_in_unit_interval(self):
+        result = estimate("dia", 32)
+        assert 0.0 < result.bram_fraction <= 1.0
+        assert 0.0 < result.ff_fraction <= 1.0
+        assert 0.0 < result.lut_fraction <= 1.0
+
+    def test_thousands_helpers(self):
+        result = estimate("dense", 16)
+        assert result.ff_thousands == pytest.approx(result.ff / 1000)
+        assert result.lut_thousands == pytest.approx(result.lut / 1000)
+
+
+class TestAgainstPaper:
+    """Loose agreement with the published Table 2 values."""
+
+    def test_bram_within_small_absolute_error(self):
+        from repro.hardware import paper_table2_row
+
+        for name in ("dense", "bcsr", "coo", "lil", "ell"):
+            row = paper_table2_row(name)
+            for p in SIZES:
+                published = row.at(p)[0]
+                model = estimate(name, p).bram_18k
+                assert abs(model - published) <= max(
+                    2, 0.5 * published
+                ), (name, p, model, published)
+
+    def test_ff_same_order_of_magnitude(self):
+        from repro.hardware import paper_table2_row
+
+        for name in ("dense", "bcsr", "lil", "ell", "dia", "coo"):
+            row = paper_table2_row(name)
+            for p in SIZES:
+                published_k = row.at(p)[1]
+                model_k = estimate(name, p).ff_thousands
+                assert 0.3 * published_k <= model_k <= 3.0 * published_k, (
+                    name, p, model_k, published_k,
+                )
+
+    def test_lut_same_order_of_magnitude(self):
+        from repro.hardware import paper_table2_row
+
+        for name in ("dense", "csr", "bcsr", "lil", "coo", "dia"):
+            row = paper_table2_row(name)
+            for p in SIZES:
+                published_k = row.at(p)[2]
+                model_k = estimate(name, p).lut_thousands
+                assert 0.3 * published_k <= model_k <= 3.0 * published_k, (
+                    name, p, model_k, published_k,
+                )

@@ -1,0 +1,134 @@
+"""Hardware models of the ELL-variant extension formats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.formats import EllCooFormat, JdsFormat
+from repro.hardware import HardwareConfig, get_decompressor
+from repro.partition import PartitionProfile, partition_matrix
+from repro.workloads import power_law_graph, random_matrix
+
+CONFIG = HardwareConfig(partition_size=16)
+
+
+def profiles_and_tiles(matrix, p=16):
+    tiles = partition_matrix(matrix, p)
+    profiles = [PartitionProfile.of_block(t.block, p) for t in tiles]
+    return profiles, tiles
+
+
+class TestRowHistogram:
+    def test_hist_matches_block(self):
+        matrix = random_matrix(64, 0.1, seed=0)
+        for profile, tile in zip(*profiles_and_tiles(matrix)):
+            counts = tile.block.row_nnz()
+            for k, count in enumerate(profile.row_nnz_hist, 1):
+                assert count == int((counts == k).sum())
+
+    def test_hist_validation(self):
+        with pytest.raises(PartitionError):
+            PartitionProfile(
+                p=8, nnz=3, nnz_rows=2, nnz_cols=3, max_row_nnz=2,
+                max_col_nnz=1, n_blocks=1, nnz_block_rows=1, block_size=4,
+                n_diagonals=3, dia_stored_len=20, dia_max_len=8,
+                row_nnz_hist=(5, 0, 0, 0, 0, 0, 0, 0),  # wrong rows
+            )
+
+    def test_hist_required_for_variant_statistics(self):
+        bare = PartitionProfile(
+            p=8, nnz=3, nnz_rows=2, nnz_cols=3, max_row_nnz=2,
+            max_col_nnz=1, n_blocks=1, nnz_block_rows=1, block_size=4,
+            n_diagonals=3, dia_stored_len=20, dia_max_len=8,
+        )
+        with pytest.raises(PartitionError):
+            bare.ell_overflow(4)
+        with pytest.raises(PartitionError):
+            bare.jds_diagonal_lengths()
+
+    def test_ell_overflow(self):
+        profile = PartitionProfile(
+            p=8, nnz=9, nnz_rows=3, nnz_cols=8, max_row_nnz=6,
+            max_col_nnz=3, n_blocks=4, nnz_block_rows=2, block_size=4,
+            n_diagonals=7, dia_stored_len=40, dia_max_len=8,
+            row_nnz_hist=(1, 1, 0, 0, 0, 1, 0, 0),  # rows of 1, 2, 6
+        )
+        assert profile.ell_overflow(2) == 4  # only the 6-row overflows
+        assert profile.ell_overflow(1) == 6
+        assert profile.ell_overflow(6) == 0
+
+    def test_jds_diagonal_lengths(self):
+        profile = PartitionProfile(
+            p=8, nnz=9, nnz_rows=3, nnz_cols=8, max_row_nnz=6,
+            max_col_nnz=3, n_blocks=4, nnz_block_rows=2, block_size=4,
+            n_diagonals=7, dia_stored_len=40, dia_max_len=8,
+            row_nnz_hist=(1, 1, 0, 0, 0, 1, 0, 0),
+        )
+        assert profile.jds_diagonal_lengths() == (3, 2, 1, 1, 1, 1)
+
+
+class TestVariantTransferSizes:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_jds_matches_format(self, seed):
+        matrix = power_law_graph(64, avg_degree=4, seed=seed)
+        fmt = JdsFormat()
+        model = get_decompressor("jds")
+        for profile, tile in zip(*profiles_and_tiles(matrix)):
+            assert model.transfer_size(profile, CONFIG) == fmt.size(
+                fmt.encode(tile.block)
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ell_coo_matches_format(self, seed):
+        matrix = power_law_graph(64, avg_degree=4, seed=seed)
+        width = CONFIG.ell_hardware_width
+        fmt = EllCooFormat(width=width)
+        model = get_decompressor("ell+coo")
+        for profile, tile in zip(*profiles_and_tiles(matrix)):
+            assert model.transfer_size(profile, CONFIG) == fmt.size(
+                fmt.encode(tile.block)
+            )
+
+
+class TestVariantCompute:
+    def make_profile(self, hist, nnz, nnz_rows, max_row):
+        return PartitionProfile(
+            p=16, nnz=nnz, nnz_rows=nnz_rows, nnz_cols=8,
+            max_row_nnz=max_row, max_col_nnz=4, n_blocks=4,
+            nnz_block_rows=2, block_size=4, n_diagonals=5,
+            dia_stored_len=40, dia_max_len=16, row_nnz_hist=hist,
+        )
+
+    def test_jds_cycles(self):
+        profile = self.make_profile(
+            (2, 2, 0, 2) + (0,) * 12, nnz=14, nnz_rows=6, max_row=4
+        )
+        compute = get_decompressor("jds").compute(profile, CONFIG)
+        assert compute.decompress_cycles == 14 + 6 * 2
+        assert compute.dot_cycles == 6 * CONFIG.dot_product_cycles()
+
+    def test_ell_coo_cycles(self):
+        profile = self.make_profile(
+            (0,) * 9 + (1,) + (0,) * 6, nnz=10, nnz_rows=1, max_row=10
+        )
+        compute = get_decompressor("ell+coo").compute(profile, CONFIG)
+        # one 10-entry row: 4 entries overflow the width-6 planes
+        assert compute.decompress_cycles == 16 + 4
+        assert compute.dot_cycles == 16 * CONFIG.dot_product_cycles(6)
+
+    def test_ell_coo_cheaper_transfer_than_ell_on_skew(self):
+        """The variant's whole point: long rows stop inflating padding."""
+        profile = self.make_profile(
+            (5,) + (0,) * 14 + (1,), nnz=21, nnz_rows=6, max_row=16
+        )
+        hybrid = get_decompressor("ell+coo").transfer_size(profile, CONFIG)
+        plain = get_decompressor("ell").transfer_size(profile, CONFIG)
+        assert hybrid.total_bytes < plain.total_bytes
+
+    def test_jds_never_pads(self):
+        matrix = power_law_graph(64, avg_degree=4, seed=1)
+        model = get_decompressor("jds")
+        for profile, _ in zip(*profiles_and_tiles(matrix)):
+            size = model.transfer_size(profile, CONFIG)
+            assert size.data_bytes == profile.nnz * 4

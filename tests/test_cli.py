@@ -1,0 +1,154 @@
+"""CLI tests (``python -m repro``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestInformational:
+    def test_formats(self, capsys):
+        out = run_cli(capsys, "formats")
+        for name in ("dense", "csr", "coo", "dia", "sell"):
+            assert name in out
+
+    def test_experiments(self, capsys):
+        out = run_cli(capsys, "experiments")
+        assert "Figure 5" in out
+        assert "Table 2" in out
+
+    def test_table1(self, capsys):
+        out = run_cli(capsys, "table1")
+        assert "kron_g500-logn21" in out
+        assert "europe_osm" in out
+
+    def test_table2(self, capsys):
+        out = run_cli(capsys, "table2")
+        assert "BRAM" in out
+        assert "dense" in out
+
+
+class TestCharacterize:
+    def test_single_format_random(self, capsys):
+        out = run_cli(
+            capsys, "characterize", "--random", "128",
+            "--density", "0.05", "-f", "csr",
+        )
+        assert "csr" in out
+        assert "sigma" in out
+
+    def test_all_formats_band(self, capsys):
+        out = run_cli(
+            capsys, "characterize", "--band", "128", "--width", "4",
+            "--all-formats", "-p", "8",
+        )
+        for name in ("dense", "csc", "dia"):
+            assert name in out
+
+    def test_standin(self, capsys):
+        out = run_cli(
+            capsys, "characterize", "--standin", "DW",
+            "--max-dim", "1024", "-f", "coo",
+        )
+        assert "DW" in out
+
+    def test_poisson(self, capsys):
+        out = run_cli(
+            capsys, "characterize", "--poisson", "8", "-f", "dia"
+        )
+        assert "poisson-8" in out
+
+    def test_requires_format_choice(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["characterize", "--random", "64"])
+
+    def test_workload_required(self):
+        with pytest.raises(SystemExit):
+            main(["characterize", "-f", "csr"])
+
+
+class TestSweepAndAdvise:
+    def test_sweep_band(self, capsys):
+        out = run_cli(
+            capsys, "sweep", "--group", "band", "--metric", "sigma",
+        )
+        assert "band-64" in out
+
+    def test_sweep_multiple_partitions(self, capsys):
+        out = run_cli(
+            capsys, "sweep", "--group", "band", "--partitions", "8", "16",
+        )
+        assert "p=8" in out and "p=16" in out
+
+    def test_advise(self, capsys):
+        out = run_cli(capsys, "advise", "--random", "96",
+                      "--density", "0.02")
+        assert "recommended format:" in out
+
+    def test_report(self, capsys):
+        out = run_cli(capsys, "report", "--random", "96",
+                      "--density", "0.05")
+        assert "# Copernicus characterization" in out
+        assert "Pipeline timelines" in out
+
+    def test_pareto(self, capsys):
+        out = run_cli(
+            capsys, "pareto", "--random", "96", "--density", "0.05",
+            "--lanes", "1", "2",
+        )
+        assert "Pareto frontier" in out
+        assert "total_cycles" in out
+
+    def test_compare(self, capsys, tmp_path):
+        from repro.core import save_results, sweep_formats
+        from repro.workloads import Workload, random_matrix
+
+        def results(seed):
+            load = Workload(
+                "w", "random", random_matrix(64, 0.1, seed=seed), 0.1
+            )
+            return sweep_formats(load, ("dense", "coo"))
+
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        save_results(results(0), before)
+        save_results(results(1), after)
+        out = run_cli(
+            capsys, "compare", str(before), str(after),
+            "--threshold", "0.0001",
+        )
+        assert "metric" in out
+
+    def test_compare_no_changes(self, capsys, tmp_path):
+        from repro.core import save_results, sweep_formats
+        from repro.workloads import Workload, random_matrix
+
+        load = Workload(
+            "w", "random", random_matrix(64, 0.1, seed=0), 0.1
+        )
+        path = tmp_path / "same.json"
+        save_results(sweep_formats(load, ("dense",)), path)
+        out = run_cli(capsys, "compare", str(path), str(path))
+        assert "no metric changes" in out
+
+    def test_unknown_standin_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["characterize", "--standin", "XX", "-f", "csr"])
+        assert exc.value.code == 2
+
+
+class TestParser:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["formats"])
+        assert args.command == "formats"
+
+    def test_invalid_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])

@@ -1,0 +1,104 @@
+"""Entry-point and helper-function tests."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.formats import diagonal_length, diagonal_slot
+
+
+class TestModuleEntryPoint:
+    def run_module(self, *args: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+
+    def test_help(self):
+        result = self.run_module("--help")
+        assert result.returncode == 0
+        assert "characterize" in result.stdout
+        assert "pareto" in result.stdout
+
+    def test_formats_listing(self):
+        result = self.run_module("formats")
+        assert result.returncode == 0
+        assert "bitmap" in result.stdout
+
+    def test_bad_command_exits_nonzero(self):
+        result = self.run_module("bogus")
+        assert result.returncode != 0
+
+    def test_error_path_exits_with_code_2(self):
+        result = self.run_module("characterize", "--standin", "XX",
+                                 "-f", "csr")
+        assert result.returncode == 2
+        assert "error:" in result.stderr
+
+
+class TestDiagonalHelpers:
+    @pytest.mark.parametrize(
+        "shape,offset,length",
+        [
+            ((4, 4), 0, 4),
+            ((4, 4), 3, 1),
+            ((4, 4), -3, 1),
+            ((4, 4), 4, 0),
+            ((2, 5), 3, 2),
+            ((5, 2), -4, 1),
+        ],
+    )
+    def test_diagonal_length(self, shape, offset, length):
+        assert diagonal_length(shape, offset) == length
+
+    @pytest.mark.parametrize(
+        "row,offset,slot",
+        [(0, 0, 0), (3, 0, 3), (2, 5, 2), (4, -2, 2), (4, -4, 0)],
+    )
+    def test_diagonal_slot(self, row, offset, slot):
+        assert diagonal_slot(row, offset) == slot
+
+    def test_every_entry_of_a_full_matrix_is_addressable(self):
+        """(row, offset) -> slot must be injective per diagonal and
+        stay within the diagonal's length."""
+        n = 6
+        for offset in range(-(n - 1), n):
+            length = diagonal_length((n, n), offset)
+            rows = range(max(0, -offset), min(n, n - offset))
+            slots = [diagonal_slot(r, offset) for r in rows]
+            assert slots == list(range(length))
+
+
+class TestVersionMetadata:
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.apps
+        import repro.core
+        import repro.formats
+        import repro.hardware
+        import repro.workloads
+
+        for module in (
+            repro.analysis, repro.apps, repro.core,
+            repro.formats, repro.hardware, repro.workloads,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)

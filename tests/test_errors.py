@@ -1,0 +1,60 @@
+"""Exception hierarchy tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CopernicusError,
+    FormatError,
+    HardwareConfigError,
+    PartitionError,
+    ShapeError,
+    SimulationError,
+    UnknownFormatError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            FormatError,
+            ShapeError,
+            PartitionError,
+            WorkloadError,
+            HardwareConfigError,
+            SimulationError,
+        ],
+    )
+    def test_all_derive_from_base(self, error_type):
+        assert issubclass(error_type, CopernicusError)
+
+    def test_unknown_format_is_a_format_error(self):
+        assert issubclass(UnknownFormatError, FormatError)
+
+    def test_unknown_format_message(self):
+        error = UnknownFormatError("xyz", ("csr", "coo"))
+        assert "xyz" in str(error)
+        assert "csr" in str(error)
+        assert error.name == "xyz"
+        assert error.known == ("csr", "coo")
+
+    def test_one_except_catches_library_failures(self):
+        """The documented contract: catch CopernicusError for anything."""
+        from repro.formats import get_format
+        from repro.matrix import SparseMatrix
+        from repro.workloads import random_matrix
+
+        failures = 0
+        for action in (
+            lambda: get_format("bogus"),
+            lambda: SparseMatrix((0, 0), [], [], []),
+            lambda: random_matrix(-1, 0.5),
+        ):
+            try:
+                action()
+            except CopernicusError:
+                failures += 1
+        assert failures == 3

@@ -1,0 +1,48 @@
+"""Smoke tests: every example script must run to completion.
+
+``paper_figures.py`` is exercised separately by the benchmark suite
+(it duplicates the figure sweeps at full scale), so it is excluded
+from the quick smoke set.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+FAST_EXAMPLES = (
+    "quickstart.py",
+    "pde_solver.py",
+    "graph_pagerank.py",
+    "graph_analytics.py",
+    "sparse_inference.py",
+    "recommendation.py",
+    "format_advisor.py",
+    "design_space.py",
+)
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), script
+
+
+def test_all_examples_are_listed():
+    """A new example file must be added to the smoke set (or the
+    documented exclusion) so it cannot silently rot."""
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = set(FAST_EXAMPLES) | {"paper_figures.py"}
+    assert on_disk == covered

@@ -1,0 +1,142 @@
+"""Matrix Market I/O tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FormatError
+from repro.io import dumps, loads, read_matrix_market, write_matrix_market
+from repro.matrix import SparseMatrix
+from repro.workloads import random_matrix
+
+
+class TestRoundtrip:
+    def test_string_roundtrip(self, corpus_matrix):
+        assert loads(dumps(corpus_matrix)) == corpus_matrix
+
+    def test_file_roundtrip(self, tmp_path, corpus_matrix):
+        path = tmp_path / "matrix.mtx"
+        write_matrix_market(corpus_matrix, path)
+        assert read_matrix_market(path) == corpus_matrix
+
+    def test_comment_written(self):
+        text = dumps(SparseMatrix.identity(2), comment="hello\nworld")
+        assert "% hello" in text
+        assert "% world" in text
+
+    def test_values_preserved_exactly(self):
+        matrix = SparseMatrix((2, 2), [0, 1], [1, 0], [1e-300, -2.5])
+        assert loads(dumps(matrix)) == matrix
+
+
+class TestParsing:
+    def test_general_real(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "3 3 2\n"
+            "1 1 5.0\n"
+            "3 2 -1.5\n"
+        )
+        matrix = loads(text)
+        assert matrix.shape == (3, 3)
+        assert matrix.to_dense()[0, 0] == 5.0
+        assert matrix.to_dense()[2, 1] == -1.5
+
+    def test_symmetric_expansion(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 4.0\n"
+            "3 3 1.0\n"
+        )
+        matrix = loads(text)
+        dense = matrix.to_dense()
+        assert dense[1, 0] == 4.0
+        assert dense[0, 1] == 4.0
+        assert dense[2, 2] == 1.0
+        assert matrix.nnz == 3
+
+    def test_pattern_entries_become_ones(self):
+        text = (
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 2\n"
+            "1 2\n"
+            "2 1\n"
+        )
+        matrix = loads(text)
+        assert matrix.to_dense()[0, 1] == 1.0
+        assert matrix.to_dense()[1, 0] == 1.0
+
+    def test_integer_field(self):
+        text = (
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "2 2 1\n"
+            "1 1 7\n"
+        )
+        assert loads(text).to_dense()[0, 0] == 7.0
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "%\n\n"
+            "2 2 1\n"
+            "\n"
+            "% trailing comment\n"
+            "2 2 3.0\n"
+        )
+        assert loads(text).nnz == 1
+
+
+class TestErrors:
+    def test_bad_header(self):
+        with pytest.raises(FormatError):
+            loads("not a header\n1 1 0\n")
+
+    def test_array_layout_rejected(self):
+        with pytest.raises(FormatError):
+            loads("%%MatrixMarket matrix array real general\n")
+
+    def test_complex_field_rejected(self):
+        with pytest.raises(FormatError):
+            loads(
+                "%%MatrixMarket matrix coordinate complex general\n"
+            )
+
+    def test_skew_symmetric_rejected(self):
+        with pytest.raises(FormatError):
+            loads(
+                "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            )
+
+    def test_missing_size_line(self):
+        with pytest.raises(FormatError):
+            loads("%%MatrixMarket matrix coordinate real general\n%\n")
+
+    def test_truncated_entries(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "3 3 5\n"
+            "1 1 1.0\n"
+        )
+        with pytest.raises(FormatError):
+            loads(text)
+
+    def test_malformed_entry(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 1\n"
+        )
+        with pytest.raises(FormatError):
+            loads(text)
+
+
+class TestInterop:
+    def test_scipy_cross_check_if_available(self, tmp_path):
+        scipy_io = pytest.importorskip("scipy.io")
+        matrix = random_matrix(20, 0.2, seed=0)
+        path = tmp_path / "cross.mtx"
+        write_matrix_market(matrix, path)
+        via_scipy = scipy_io.mmread(path).toarray()
+        assert (via_scipy == matrix.to_dense()).all()

@@ -1,0 +1,222 @@
+"""Unit tests for the SparseMatrix container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.matrix import SparseMatrix
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self):
+        dense = np.array([[1.0, 0.0, 2.0], [0.0, 0.0, 0.0], [3.0, 4.0, 0.0]])
+        matrix = SparseMatrix.from_dense(dense)
+        assert matrix.nnz == 4
+        assert np.array_equal(matrix.to_dense(), dense)
+
+    def test_from_dense_rejects_non_2d(self):
+        with pytest.raises(ShapeError):
+            SparseMatrix.from_dense(np.zeros(5))
+        with pytest.raises(ShapeError):
+            SparseMatrix.from_dense(np.zeros((2, 2, 2)))
+
+    def test_explicit_zeros_are_dropped(self):
+        matrix = SparseMatrix((3, 3), [0, 1, 2], [0, 1, 2], [1.0, 0.0, 2.0])
+        assert matrix.nnz == 2
+
+    def test_duplicates_are_summed(self):
+        matrix = SparseMatrix((3, 3), [1, 1, 1], [2, 2, 0], [1.0, 2.5, 4.0])
+        assert matrix.nnz == 2
+        assert matrix.to_dense()[1, 2] == pytest.approx(3.5)
+
+    def test_duplicates_summing_to_zero_are_dropped(self):
+        matrix = SparseMatrix((2, 2), [0, 0], [1, 1], [3.0, -3.0])
+        assert matrix.nnz == 0
+
+    def test_triplets_sorted_row_major(self):
+        matrix = SparseMatrix(
+            (3, 3), [2, 0, 1, 0], [0, 2, 1, 0], [1.0, 2.0, 3.0, 4.0]
+        )
+        keys = matrix.rows * 3 + matrix.cols
+        assert np.all(np.diff(keys) > 0)
+
+    def test_out_of_bounds_rows_rejected(self):
+        with pytest.raises(ShapeError):
+            SparseMatrix((2, 2), [2], [0], [1.0])
+        with pytest.raises(ShapeError):
+            SparseMatrix((2, 2), [-1], [0], [1.0])
+
+    def test_out_of_bounds_cols_rejected(self):
+        with pytest.raises(ShapeError):
+            SparseMatrix((2, 2), [0], [5], [1.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ShapeError):
+            SparseMatrix((3, 3), [0, 1], [0], [1.0, 2.0])
+
+    def test_non_positive_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            SparseMatrix((0, 3), [], [], [])
+        with pytest.raises(ShapeError):
+            SparseMatrix((3, -1), [], [], [])
+
+    def test_non_integer_indices_rejected(self):
+        with pytest.raises(ShapeError):
+            SparseMatrix((3, 3), [0.5], [0], [1.0])
+
+    def test_integer_valued_floats_accepted(self):
+        matrix = SparseMatrix((3, 3), [1.0], [2.0], [5.0])
+        assert matrix.rows.dtype == np.int64
+
+    def test_from_triplets(self):
+        matrix = SparseMatrix.from_triplets((4, 4), [(0, 1, 2.0), (3, 3, 1.0)])
+        assert matrix.nnz == 2
+        assert matrix.to_dense()[0, 1] == 2.0
+
+    def test_from_triplets_empty(self):
+        matrix = SparseMatrix.from_triplets((4, 4), [])
+        assert matrix.nnz == 0
+
+    def test_empty(self):
+        matrix = SparseMatrix.empty((5, 7))
+        assert matrix.shape == (5, 7)
+        assert matrix.nnz == 0
+        assert matrix.density == 0.0
+
+    def test_identity(self):
+        matrix = SparseMatrix.identity(4, scale=3.0)
+        assert np.array_equal(matrix.to_dense(), 3.0 * np.eye(4))
+
+
+class TestProperties:
+    def test_basic_dimensions(self):
+        matrix = SparseMatrix((3, 5), [0], [4], [1.0])
+        assert matrix.n_rows == 3
+        assert matrix.n_cols == 5
+        assert not matrix.is_square
+
+    def test_density(self):
+        matrix = SparseMatrix.identity(4)
+        assert matrix.density == pytest.approx(4 / 16)
+
+    def test_equality(self):
+        a = SparseMatrix((2, 2), [0], [1], [2.0])
+        b = SparseMatrix((2, 2), [0], [1], [2.0])
+        c = SparseMatrix((2, 2), [0], [1], [3.0])
+        assert a == b
+        assert a != c
+        assert a != "not a matrix"
+
+    def test_repr_mentions_shape_and_nnz(self):
+        text = repr(SparseMatrix.identity(3))
+        assert "(3, 3)" in text
+        assert "nnz=3" in text
+
+
+class TestStatistics:
+    def test_row_and_col_nnz(self):
+        matrix = SparseMatrix((3, 3), [0, 0, 2], [0, 1, 1], [1, 1, 1])
+        assert list(matrix.row_nnz()) == [2, 0, 1]
+        assert list(matrix.col_nnz()) == [1, 2, 0]
+
+    def test_nnz_rows_and_cols(self):
+        matrix = SparseMatrix((4, 4), [0, 0, 3], [1, 2, 1], [1, 1, 1])
+        assert matrix.nnz_rows() == 2
+        assert matrix.nnz_cols() == 2
+
+    def test_diagonals(self):
+        matrix = SparseMatrix((4, 4), [0, 1, 2], [0, 3, 0], [1, 1, 1])
+        assert list(matrix.diagonals()) == [-2, 0, 2]
+
+    def test_diagonals_empty(self):
+        assert SparseMatrix.empty((3, 3)).diagonals().size == 0
+
+    def test_bandwidth(self):
+        matrix = SparseMatrix((5, 5), [0, 4], [3, 4], [1, 1])
+        assert matrix.bandwidth() == 3
+        assert SparseMatrix.empty((3, 3)).bandwidth() == 0
+
+    def test_identity_statistics(self):
+        matrix = SparseMatrix.identity(6)
+        assert matrix.nnz_rows() == 6
+        assert list(matrix.diagonals()) == [0]
+        assert matrix.bandwidth() == 0
+
+
+class TestTransforms:
+    def test_transpose(self, corpus_matrix):
+        transposed = corpus_matrix.transpose()
+        assert np.array_equal(
+            transposed.to_dense(), corpus_matrix.to_dense().T
+        )
+
+    def test_transpose_involution(self, corpus_matrix):
+        assert corpus_matrix.transpose().transpose() == corpus_matrix
+
+    def test_scaled(self):
+        matrix = SparseMatrix.identity(3)
+        assert np.array_equal(matrix.scaled(2.0).to_dense(), 2.0 * np.eye(3))
+
+    def test_scaled_by_zero_is_empty(self):
+        assert SparseMatrix.identity(3).scaled(0.0).nnz == 0
+
+    def test_submatrix(self):
+        dense = np.arange(16.0).reshape(4, 4)
+        matrix = SparseMatrix.from_dense(dense)
+        sub = matrix.submatrix(1, 3, 2, 4)
+        assert np.array_equal(sub.to_dense(), dense[1:3, 2:4])
+
+    def test_submatrix_bad_slice(self):
+        matrix = SparseMatrix.identity(4)
+        with pytest.raises(ShapeError):
+            matrix.submatrix(3, 1, 0, 4)
+        with pytest.raises(ShapeError):
+            matrix.submatrix(0, 4, 0, 5)
+
+    def test_with_shape_embeds(self):
+        matrix = SparseMatrix((2, 2), [1], [1], [5.0])
+        bigger = matrix.with_shape((4, 4))
+        assert bigger.shape == (4, 4)
+        assert bigger.to_dense()[1, 1] == 5.0
+
+    def test_add(self):
+        a = SparseMatrix((2, 2), [0], [0], [1.0])
+        b = SparseMatrix((2, 2), [0, 1], [0, 1], [2.0, 3.0])
+        total = a.add(b)
+        assert total.to_dense()[0, 0] == 3.0
+        assert total.to_dense()[1, 1] == 3.0
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            SparseMatrix.identity(2).add(SparseMatrix.identity(3))
+
+    def test_add_cancellation(self):
+        a = SparseMatrix((2, 2), [0], [0], [1.0])
+        total = a.add(a.scaled(-1.0))
+        assert total.nnz == 0
+
+
+class TestSpmv:
+    def test_matches_dense(self, corpus_matrix, rng):
+        x = rng.uniform(-1, 1, size=corpus_matrix.n_cols)
+        expected = corpus_matrix.to_dense() @ x
+        assert np.allclose(corpus_matrix.spmv(x), expected)
+
+    def test_wrong_vector_length(self):
+        with pytest.raises(ShapeError):
+            SparseMatrix.identity(3).spmv(np.ones(4))
+
+    def test_empty_matrix_gives_zero(self):
+        out = SparseMatrix.empty((3, 3)).spmv(np.ones(3))
+        assert np.array_equal(out, np.zeros(3))
+
+    def test_linearity(self, rng):
+        matrix = SparseMatrix.from_dense(rng.uniform(size=(6, 6)))
+        x = rng.uniform(size=6)
+        y = rng.uniform(size=6)
+        assert np.allclose(
+            matrix.spmv(2.0 * x + y),
+            2.0 * matrix.spmv(x) + matrix.spmv(y),
+        )

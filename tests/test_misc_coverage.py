@@ -1,0 +1,122 @@
+"""Focused tests for paths the main suites touch only lightly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import scatter_text
+from repro.errors import ShapeError, WorkloadError
+from repro.formats import SizeBreakdown
+from repro.hardware import (
+    DEFAULT_CONFIG,
+    HardwareConfig,
+    paper_table2_row,
+)
+from repro.matrix import SparseMatrix
+from repro.workloads import random_matrix
+
+
+class TestPaperData:
+    def test_row_lookup(self):
+        row = paper_table2_row("lil")
+        assert row.bram_18k == (4, 4, 6)
+        assert row.at(16) == (4, 5.8, 2.7, 0.08)
+
+    def test_unknown_row(self):
+        with pytest.raises(WorkloadError):
+            paper_table2_row("sell")
+
+    def test_unknown_partition_size(self):
+        with pytest.raises(WorkloadError):
+            paper_table2_row("csr").at(64)
+
+    def test_table_totals_match_device(self):
+        from repro.hardware import TOTAL_BRAM_18K, TOTAL_FF, TOTAL_LUT
+
+        assert TOTAL_BRAM_18K == 140
+        assert TOTAL_FF == 106_400
+        assert TOTAL_LUT == 53_200
+
+
+class TestMatrixEdgeCases:
+    def test_with_shape_cannot_shrink_below_entries(self):
+        matrix = SparseMatrix((4, 4), [3], [3], [1.0])
+        with pytest.raises(ShapeError):
+            matrix.with_shape((3, 3))
+
+    def test_submatrix_of_empty_region(self):
+        matrix = SparseMatrix((6, 6), [5], [5], [1.0])
+        sub = matrix.submatrix(0, 3, 0, 3)
+        assert sub.nnz == 0
+        assert sub.shape == (3, 3)
+
+    def test_large_indices_canonicalize(self):
+        """Key arithmetic must survive shapes beyond 2**16."""
+        n = 70_000
+        matrix = SparseMatrix(
+            (n, n), [0, n - 1], [n - 1, 0], [1.0, 2.0]
+        )
+        assert matrix.nnz == 2
+        assert matrix.bandwidth() == n - 1
+
+    def test_add_accumulates_not_overwrites(self):
+        a = SparseMatrix((2, 2), [0], [0], [1.5])
+        total = a.add(a).add(a)
+        assert total.to_dense()[0, 0] == 4.5
+
+
+class TestScatterText:
+    def test_lists_points(self):
+        text = scatter_text(
+            {"csr": (10.0, 5.0), "coo": (8.0, 8.0)},
+            x_name="mem",
+            y_name="comp",
+            title="balance",
+        )
+        assert text.splitlines()[0] == "balance"
+        assert "csr" in text and "coo" in text
+        assert "0.5" in text  # csr ratio
+
+
+class TestConfigInteractions:
+    def test_default_config_is_shared_but_immutable(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.partition_size = 8  # frozen dataclass
+
+    def test_seconds_roundtrip(self):
+        config = HardwareConfig(clock_mhz=250.0)
+        assert config.seconds(250_000_000) == pytest.approx(1.0)
+
+    def test_size_breakdown_equality_and_hash(self):
+        a = SizeBreakdown(4, 8, 2)
+        b = SizeBreakdown(4, 8, 2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestNumericalStability:
+    def test_spmv_with_extreme_values(self):
+        matrix = SparseMatrix(
+            (3, 3), [0, 1, 2], [0, 1, 2], [1e200, 1e-200, -1e200]
+        )
+        out = matrix.spmv(np.ones(3))
+        assert out[0] == 1e200
+        assert out[1] == 1e-200
+        assert out[2] == -1e200
+
+    def test_format_roundtrip_with_extreme_values(self):
+        from repro.formats import get_format
+
+        matrix = SparseMatrix((3, 3), [0, 2], [2, 0], [1e300, 1e-300])
+        for name in ("csr", "coo", "dia", "ell", "bitmap"):
+            assert get_format(name).roundtrip(matrix) == matrix
+
+    def test_characterization_deterministic(self):
+        from repro.core import characterize
+
+        matrix = random_matrix(64, 0.1, seed=0)
+        a = characterize(matrix, "csr")
+        b = characterize(matrix, "csr")
+        assert a.sigma == b.sigma
+        assert a.total_cycles == b.total_cycles

@@ -1,0 +1,164 @@
+"""Unit tests for matrix partitioning and partition profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.matrix import SparseMatrix
+from repro.partition import (
+    PARTITION_SIZES,
+    PartitionProfile,
+    count_partitions,
+    grid_shape,
+    partition_matrix,
+    partition_statistics,
+    profile_partitions,
+    reassemble,
+)
+from repro.workloads import band_matrix, random_matrix
+
+
+class TestGrid:
+    def test_grid_shape_exact(self):
+        assert grid_shape((32, 32), 16) == (2, 2)
+
+    def test_grid_shape_ragged(self):
+        assert grid_shape((33, 17), 16) == (3, 2)
+
+    def test_count_partitions(self):
+        assert count_partitions((32, 32), 8) == 16
+        assert count_partitions((33, 33), 8) == 25
+
+    def test_invalid_partition_size(self):
+        with pytest.raises(PartitionError):
+            grid_shape((8, 8), 0)
+
+
+class TestPartitionMatrix:
+    def test_all_zero_tiles_skipped(self):
+        matrix = SparseMatrix((32, 32), [0, 31], [0, 31], [1.0, 2.0])
+        parts = partition_matrix(matrix, 16)
+        assert len(parts) == 2
+        coords = {(p.grid_row, p.grid_col) for p in parts}
+        assert coords == {(0, 0), (1, 1)}
+
+    def test_tiles_are_padded_to_p(self):
+        matrix = SparseMatrix((10, 10), [9], [9], [1.0])
+        parts = partition_matrix(matrix, 8)
+        assert parts[0].block.shape == (8, 8)
+
+    def test_empty_matrix(self):
+        assert partition_matrix(SparseMatrix.empty((16, 16)), 8) == []
+
+    def test_tile_contents(self):
+        matrix = SparseMatrix((8, 8), [1, 5], [2, 6], [3.0, 4.0])
+        parts = partition_matrix(matrix, 4)
+        by_coord = {(p.grid_row, p.grid_col): p for p in parts}
+        assert by_coord[(0, 0)].block.to_dense()[1, 2] == 3.0
+        assert by_coord[(1, 1)].block.to_dense()[1, 2] == 4.0
+
+    @pytest.mark.parametrize("p", PARTITION_SIZES)
+    def test_reassemble_roundtrip(self, p, corpus_matrix):
+        parts = partition_matrix(corpus_matrix, p)
+        rebuilt = reassemble(corpus_matrix.shape, parts, p)
+        assert rebuilt == corpus_matrix
+
+    def test_nnz_preserved(self):
+        matrix = random_matrix(100, 0.05, seed=9)
+        parts = partition_matrix(matrix, 16)
+        assert sum(p.nnz for p in parts) == matrix.nnz
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("p", [4, 8, 16])
+    def test_vectorized_matches_reference(self, p, corpus_matrix):
+        """profile_partitions must agree with the per-tile reference."""
+        profiles = profile_partitions(corpus_matrix, p)
+        tiles = partition_matrix(corpus_matrix, p)
+        assert len(profiles) == len(tiles)
+        for profile, tile in zip(profiles, tiles):
+            expected = PartitionProfile.of_block(tile.block, p)
+            assert profile == expected
+
+    def test_identity_profiles(self):
+        profiles = profile_partitions(SparseMatrix.identity(32), 16)
+        assert len(profiles) == 2
+        for profile in profiles:
+            assert profile.nnz == 16
+            assert profile.nnz_rows == 16
+            assert profile.max_row_nnz == 1
+            assert profile.n_diagonals == 1
+            assert profile.dia_stored_len == 16
+            assert profile.dia_max_len == 16
+
+    def test_full_tile_profile(self):
+        matrix = SparseMatrix.from_dense(np.ones((8, 8)))
+        (profile,) = profile_partitions(matrix, 8)
+        assert profile.density == 1.0
+        assert profile.row_density == 1.0
+        assert profile.nnz_row_fraction == 1.0
+        assert profile.n_diagonals == 15
+        assert profile.dia_stored_len == 64
+        assert profile.dia_max_len == 8
+        assert profile.n_blocks == 4
+        assert profile.nnz_block_rows == 2
+
+    def test_block_statistics(self):
+        # single entry touches exactly one block and one block-row
+        matrix = SparseMatrix((8, 8), [5], [6], [1.0])
+        (profile,) = profile_partitions(matrix, 8, block_size=4)
+        assert profile.n_blocks == 1
+        assert profile.nnz_block_rows == 1
+
+    def test_profile_requires_data(self):
+        with pytest.raises(PartitionError):
+            PartitionProfile(
+                p=8, nnz=0, nnz_rows=1, nnz_cols=1, max_row_nnz=1,
+                max_col_nnz=1, n_blocks=1, nnz_block_rows=1, block_size=4,
+                n_diagonals=1, dia_stored_len=1, dia_max_len=1,
+            )
+
+    def test_invalid_block_size(self):
+        with pytest.raises(PartitionError):
+            profile_partitions(SparseMatrix.identity(8), 8, block_size=0)
+
+    def test_band_matrix_diag_counts(self):
+        matrix = band_matrix(64, width=4, seed=0)
+        for profile in profile_partitions(matrix, 16):
+            assert profile.n_diagonals <= 5
+
+
+class TestStatistics:
+    def test_dense_matrix_statistics(self):
+        matrix = SparseMatrix.from_dense(np.ones((16, 16)))
+        stats = partition_statistics(matrix, 8)
+        assert stats.n_partitions == 4
+        assert stats.n_nonzero_partitions == 4
+        assert stats.avg_partition_density == 1.0
+        assert stats.avg_row_density == 1.0
+        assert stats.avg_nnz_row_fraction == 1.0
+        assert stats.nonzero_partition_fraction == 1.0
+
+    def test_empty_matrix_statistics(self):
+        stats = partition_statistics(SparseMatrix.empty((16, 16)), 8)
+        assert stats.n_nonzero_partitions == 0
+        assert stats.nonzero_partition_fraction == 0.0
+
+    def test_identity_statistics(self):
+        stats = partition_statistics(SparseMatrix.identity(32), 8)
+        # only the 4 diagonal tiles are non-zero
+        assert stats.n_partitions == 16
+        assert stats.n_nonzero_partitions == 4
+        assert stats.avg_partition_density == pytest.approx(8 / 64)
+        assert stats.avg_row_density == pytest.approx(1 / 8)
+        assert stats.avg_nnz_row_fraction == 1.0
+
+    def test_row_density_at_least_partition_density(self, corpus_matrix):
+        stats = partition_statistics(corpus_matrix, 8)
+        if stats.n_nonzero_partitions:
+            assert (
+                stats.avg_row_density
+                >= stats.avg_partition_density - 1e-12
+            )

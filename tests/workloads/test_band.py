@@ -1,0 +1,75 @@
+"""Band/diagonal matrix generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    PAPER_BAND_SIZE,
+    PAPER_BAND_WIDTHS,
+    band_matrix,
+    diagonal_matrix,
+    half_bandwidth,
+)
+
+
+class TestHalfBandwidth:
+    @pytest.mark.parametrize(
+        "width,half", [(1, 0), (2, 1), (4, 2), (16, 8), (64, 32)]
+    )
+    def test_values(self, width, half):
+        assert half_bandwidth(width) == half
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            half_bandwidth(0)
+
+
+class TestBandMatrix:
+    @pytest.mark.parametrize("width", PAPER_BAND_WIDTHS)
+    def test_entries_confined_to_band(self, width):
+        matrix = band_matrix(64, width, seed=0)
+        assert matrix.bandwidth() <= width // 2
+
+    def test_width_one_is_diagonal(self):
+        matrix = band_matrix(32, 1, seed=0)
+        assert list(matrix.diagonals()) == [0]
+        assert matrix.nnz == 32
+
+    def test_full_band_nnz(self):
+        n, width = 64, 8
+        matrix = band_matrix(n, width, seed=0)
+        half = width // 2
+        expected = n + 2 * sum(n - k for k in range(1, half + 1))
+        assert matrix.nnz == expected
+
+    def test_partial_fill_reduces_nnz(self):
+        full = band_matrix(64, 16, fill=1.0, seed=0)
+        partial = band_matrix(64, 16, fill=0.3, seed=0)
+        assert partial.nnz < full.nnz
+
+    def test_partial_fill_keeps_main_diagonal_anchor(self):
+        matrix = band_matrix(32, 4, fill=0.01, seed=0)
+        assert matrix.nnz > 0
+
+    def test_deterministic(self):
+        assert band_matrix(32, 4, seed=5) == band_matrix(32, 4, seed=5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            band_matrix(0, 4)
+        with pytest.raises(WorkloadError):
+            band_matrix(8, 4, fill=0.0)
+        with pytest.raises(WorkloadError):
+            band_matrix(8, 0)
+
+    def test_diagonal_matrix_helper(self):
+        matrix = diagonal_matrix(16, seed=1)
+        assert list(matrix.diagonals()) == [0]
+        assert np.all(matrix.vals != 0.0)
+
+    def test_paper_constants(self):
+        assert PAPER_BAND_SIZE == 8000
+        assert PAPER_BAND_WIDTHS == (1, 2, 4, 8, 16, 32, 64)

@@ -1,0 +1,117 @@
+"""Graph generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    bipartite_hyperlinks,
+    mesh_graph,
+    power_law_graph,
+    rmat_graph,
+    road_network,
+)
+
+
+class TestRmat:
+    def test_vertex_count_is_power_of_two(self):
+        graph = rmat_graph(scale=6, edge_factor=4, seed=0)
+        assert graph.shape == (64, 64)
+
+    def test_symmetric(self):
+        graph = rmat_graph(scale=5, edge_factor=4, seed=0)
+        dense = graph.to_dense()
+        assert np.array_equal(dense != 0, (dense != 0).T)
+
+    def test_no_self_loops(self):
+        graph = rmat_graph(scale=5, edge_factor=8, seed=1)
+        assert not np.any(graph.rows == graph.cols)
+
+    def test_heavy_tail(self):
+        """Kronecker graphs have max degree far above the mean."""
+        graph = rmat_graph(scale=8, edge_factor=8, seed=0)
+        degrees = graph.row_nnz()
+        assert degrees.max() > 4 * degrees[degrees > 0].mean()
+
+    def test_invalid_scale(self):
+        with pytest.raises(WorkloadError):
+            rmat_graph(scale=0)
+        with pytest.raises(WorkloadError):
+            rmat_graph(scale=30)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(WorkloadError):
+            rmat_graph(scale=4, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+
+class TestPowerLaw:
+    def test_shape_and_no_self_loops(self):
+        graph = power_law_graph(200, avg_degree=5, seed=0)
+        assert graph.shape == (200, 200)
+        assert not np.any(graph.rows == graph.cols)
+
+    def test_hub_columns_exist(self):
+        graph = power_law_graph(500, avg_degree=8, exponent=2.0, seed=0)
+        in_degrees = graph.col_nnz()
+        assert in_degrees.max() > 10 * max(1.0, np.median(in_degrees))
+
+    def test_average_degree_roughly_matches(self):
+        graph = power_law_graph(400, avg_degree=6, seed=0)
+        # duplicates collapse, so realized degree is below the target
+        assert 1.5 <= graph.nnz / 400 <= 6.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            power_law_graph(1)
+        with pytest.raises(WorkloadError):
+            power_law_graph(10, avg_degree=0)
+
+
+class TestRoadAndMesh:
+    def test_road_is_lattice_sized(self):
+        graph = road_network(100, seed=0)
+        assert graph.shape == (100, 100)
+
+    def test_road_low_degree(self):
+        graph = road_network(400, rewire=0.0, seed=0)
+        assert graph.row_nnz().max() <= 4
+
+    def test_road_rewire_adds_long_edges(self):
+        local = road_network(400, rewire=0.0, seed=0)
+        rewired = road_network(400, rewire=0.3, seed=0)
+        assert rewired.bandwidth() > local.bandwidth()
+
+    def test_road_invalid(self):
+        with pytest.raises(WorkloadError):
+            road_network(2)
+        with pytest.raises(WorkloadError):
+            road_network(100, rewire=1.0)
+
+    def test_mesh_denser_than_road(self):
+        road = road_network(400, rewire=0.0, seed=0)
+        mesh = mesh_graph(400, seed=0)
+        assert mesh.nnz > road.nnz
+
+    def test_mesh_symmetric(self):
+        dense = mesh_graph(100, seed=0).to_dense()
+        assert np.array_equal(dense != 0, (dense != 0).T)
+
+
+class TestHyperlinks:
+    def test_locality_concentrates_near_diagonal(self):
+        local = bipartite_hyperlinks(500, locality=1.0, seed=0)
+        spread = np.abs(local.rows - local.cols)
+        assert np.median(spread) <= 32
+
+    def test_global_links_without_locality(self):
+        scattered = bipartite_hyperlinks(500, locality=0.0, seed=0)
+        spread = np.abs(scattered.rows - scattered.cols)
+        assert np.median(spread) > 32
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            bipartite_hyperlinks(1)
+        with pytest.raises(WorkloadError):
+            bipartite_hyperlinks(10, locality=1.5)

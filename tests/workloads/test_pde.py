@@ -1,0 +1,91 @@
+"""PDE matrix generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    fem_band_matrix,
+    poisson_1d,
+    poisson_2d,
+    poisson_3d,
+)
+
+
+def is_symmetric(matrix) -> bool:
+    dense = matrix.to_dense()
+    return np.allclose(dense, dense.T)
+
+
+def is_positive_definite(matrix) -> bool:
+    return bool(np.all(np.linalg.eigvalsh(matrix.to_dense()) > 0))
+
+
+class TestPoisson:
+    def test_1d_structure(self):
+        matrix = poisson_1d(5)
+        dense = matrix.to_dense()
+        assert np.all(np.diag(dense) == 2.0)
+        assert matrix.bandwidth() == 1
+        assert matrix.nnz == 5 + 2 * 4
+
+    def test_1d_spd(self):
+        assert is_symmetric(poisson_1d(8))
+        assert is_positive_definite(poisson_1d(8))
+
+    def test_2d_shape_and_stencil(self):
+        matrix = poisson_2d(4)
+        assert matrix.shape == (16, 16)
+        dense = matrix.to_dense()
+        assert np.all(np.diag(dense) == 4.0)
+        # interior point has 4 neighbours
+        assert matrix.row_nnz().max() == 5
+
+    def test_2d_band_structure(self):
+        grid = 5
+        matrix = poisson_2d(grid)
+        assert matrix.bandwidth() == grid
+
+    def test_2d_spd(self):
+        assert is_symmetric(poisson_2d(4))
+        assert is_positive_definite(poisson_2d(4))
+
+    def test_3d_shape(self):
+        matrix = poisson_3d(3)
+        assert matrix.shape == (27, 27)
+        assert matrix.row_nnz().max() == 7
+
+    def test_3d_spd(self):
+        assert is_symmetric(poisson_3d(3))
+        assert is_positive_definite(poisson_3d(3))
+
+    def test_invalid_grids(self):
+        for builder in (poisson_1d, poisson_2d, poisson_3d):
+            with pytest.raises(WorkloadError):
+                builder(1)
+
+
+class TestFemBand:
+    def test_confined_to_band(self):
+        matrix = fem_band_matrix(50, half_bandwidth=5, seed=0)
+        assert matrix.bandwidth() <= 5
+
+    def test_symmetric_positive_definite(self):
+        matrix = fem_band_matrix(30, half_bandwidth=4, seed=1)
+        assert is_symmetric(matrix)
+        assert is_positive_definite(matrix)
+
+    def test_fill_controls_density(self):
+        sparse = fem_band_matrix(60, 8, fill=0.1, seed=0)
+        dense = fem_band_matrix(60, 8, fill=0.9, seed=0)
+        assert sparse.nnz < dense.nnz
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            fem_band_matrix(1, 2)
+        with pytest.raises(WorkloadError):
+            fem_band_matrix(10, 0)
+        with pytest.raises(WorkloadError):
+            fem_band_matrix(10, 2, fill=0.0)

@@ -1,0 +1,91 @@
+"""Pattern-perturbation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.matrix import SparseMatrix
+from repro.workloads import (
+    band_matrix,
+    permute_symmetric,
+    power_law_graph,
+    scatter_entries,
+    thicken_rows,
+)
+
+
+class TestPermuteSymmetric:
+    def test_preserves_nnz_and_values(self):
+        matrix = band_matrix(64, 8, seed=0)
+        shuffled = permute_symmetric(matrix, seed=1)
+        assert shuffled.nnz == matrix.nnz
+        assert sorted(shuffled.vals) == sorted(matrix.vals)
+
+    def test_preserves_degree_sequence(self):
+        graph = power_law_graph(100, avg_degree=4, seed=0)
+        shuffled = permute_symmetric(graph, seed=2)
+        assert sorted(graph.row_nnz()) == sorted(shuffled.row_nnz())
+
+    def test_destroys_band_structure(self):
+        matrix = band_matrix(128, 4, seed=0)
+        shuffled = permute_symmetric(matrix, seed=3)
+        assert shuffled.bandwidth() > 4 * matrix.bandwidth()
+        assert shuffled.diagonals().size > 10 * matrix.diagonals().size
+
+    def test_preserves_spectrum_symmetrically(self):
+        """P A P^T is similar to A: eigenvalues survive."""
+        matrix = band_matrix(16, 4, seed=4)
+        symmetric = matrix.add(matrix.transpose())
+        shuffled = permute_symmetric(symmetric, seed=5)
+        original = np.sort(np.linalg.eigvalsh(symmetric.to_dense()))
+        permuted = np.sort(np.linalg.eigvalsh(shuffled.to_dense()))
+        assert np.allclose(original, permuted)
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(WorkloadError):
+            permute_symmetric(SparseMatrix((2, 3), [0], [0], [1.0]))
+
+
+class TestScatterEntries:
+    def test_zero_fraction_is_identity(self):
+        matrix = band_matrix(32, 4, seed=0)
+        assert scatter_entries(matrix, 0.0) is matrix
+
+    def test_nnz_roughly_preserved(self):
+        matrix = band_matrix(128, 8, seed=0)
+        scattered = scatter_entries(matrix, 0.5, seed=1)
+        assert scattered.nnz <= matrix.nnz
+        assert scattered.nnz > 0.9 * matrix.nnz  # few collisions
+
+    def test_full_scatter_leaves_no_band(self):
+        matrix = band_matrix(128, 2, seed=0)
+        scattered = scatter_entries(matrix, 1.0, seed=2)
+        assert scattered.bandwidth() > matrix.bandwidth()
+
+    def test_invalid_fraction(self):
+        matrix = band_matrix(16, 2, seed=0)
+        with pytest.raises(WorkloadError):
+            scatter_entries(matrix, 1.5)
+
+
+class TestThickenRows:
+    def test_adds_hub_rows(self):
+        matrix = band_matrix(64, 2, seed=0)
+        thick = thicken_rows(matrix, n_rows=2, entries_per_row=30, seed=1)
+        assert thick.row_nnz().max() > matrix.row_nnz().max() + 10
+
+    def test_nnz_grows(self):
+        matrix = band_matrix(64, 2, seed=0)
+        thick = thicken_rows(matrix, n_rows=3, entries_per_row=10, seed=2)
+        assert thick.nnz > matrix.nnz
+
+    def test_validation(self):
+        matrix = band_matrix(16, 2, seed=0)
+        with pytest.raises(WorkloadError):
+            thicken_rows(matrix, n_rows=0, entries_per_row=2)
+        with pytest.raises(WorkloadError):
+            thicken_rows(matrix, n_rows=99, entries_per_row=2)
+        with pytest.raises(WorkloadError):
+            thicken_rows(matrix, n_rows=1, entries_per_row=0)

@@ -1,0 +1,74 @@
+"""Random-matrix generator tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import PAPER_DENSITIES, random_matrix, random_vector
+
+
+class TestRandomMatrix:
+    @pytest.mark.parametrize("density", [0.001, 0.01, 0.1, 0.5])
+    def test_density_is_exact_in_counts(self, density):
+        n = 100
+        matrix = random_matrix(n, density, seed=0)
+        assert matrix.nnz == round(density * n * n)
+
+    def test_deterministic_by_seed(self):
+        a = random_matrix(50, 0.1, seed=7)
+        b = random_matrix(50, 0.1, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_matrix(50, 0.1, seed=7)
+        b = random_matrix(50, 0.1, seed=8)
+        assert a != b
+
+    def test_values_bounded_away_from_zero(self):
+        matrix = random_matrix(50, 0.2, seed=0)
+        assert np.all(np.abs(matrix.vals) >= 0.5)
+
+    def test_rectangular(self):
+        matrix = random_matrix(10, 0.2, seed=0, n_cols=30)
+        assert matrix.shape == (10, 30)
+        assert matrix.nnz == round(0.2 * 300)
+
+    def test_zero_density(self):
+        assert random_matrix(10, 0.0).nnz == 0
+
+    def test_full_density(self):
+        assert random_matrix(8, 1.0, seed=0).density == 1.0
+
+    def test_invalid_density(self):
+        with pytest.raises(WorkloadError):
+            random_matrix(10, 1.5)
+        with pytest.raises(WorkloadError):
+            random_matrix(10, -0.1)
+
+    def test_invalid_size(self):
+        with pytest.raises(WorkloadError):
+            random_matrix(0, 0.1)
+        with pytest.raises(WorkloadError):
+            random_matrix(4, 0.1, n_cols=0)
+
+    def test_paper_densities_span_expected_range(self):
+        assert min(PAPER_DENSITIES) == 0.0001
+        assert max(PAPER_DENSITIES) == 0.5
+        assert list(PAPER_DENSITIES) == sorted(PAPER_DENSITIES)
+
+
+class TestRandomVector:
+    def test_length_and_bounds(self):
+        vec = random_vector(32, seed=1)
+        assert vec.size == 32
+        assert np.all(vec >= 0.5) and np.all(vec <= 1.5)
+
+    def test_deterministic(self):
+        assert np.array_equal(random_vector(8, seed=3),
+                              random_vector(8, seed=3))
+
+    def test_invalid_size(self):
+        with pytest.raises(WorkloadError):
+            random_vector(0)

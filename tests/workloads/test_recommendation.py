@@ -1,0 +1,74 @@
+"""DLRM-style embedding workload tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import embedding_reduction, spmm
+from repro.errors import WorkloadError
+from repro.workloads import (
+    embedding_access_matrix,
+    embedding_access_trace,
+)
+
+
+class TestTrace:
+    def test_shape(self):
+        trace = embedding_access_trace(10, 100, 4, seed=0)
+        assert len(trace) == 10
+        assert all(len(query) == 4 for query in trace)
+
+    def test_indices_in_range(self):
+        trace = embedding_access_trace(20, 50, 8, seed=1)
+        flat = [index for query in trace for index in query]
+        assert min(flat) >= 0 and max(flat) < 50
+
+    def test_skewed_popularity(self):
+        trace = embedding_access_trace(
+            400, 1000, 16, exponent=1.2, seed=2
+        )
+        flat = np.array([i for q in trace for i in q])
+        _, counts = np.unique(flat, return_counts=True)
+        # hot entries dominate: top entry far above the mean.
+        assert counts.max() > 5 * counts.mean()
+
+    def test_deterministic(self):
+        assert embedding_access_trace(5, 20, 3, seed=7) == (
+            embedding_access_trace(5, 20, 3, seed=7)
+        )
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            embedding_access_trace(0, 10, 2)
+        with pytest.raises(WorkloadError):
+            embedding_access_trace(1, 0, 2)
+        with pytest.raises(WorkloadError):
+            embedding_access_trace(1, 10, 0)
+        with pytest.raises(WorkloadError):
+            embedding_access_trace(1, 10, 2, exponent=0.0)
+
+
+class TestAccessMatrix:
+    def test_row_sums_are_lookup_counts(self):
+        matrix = embedding_access_matrix(12, 64, 5, seed=3)
+        sums = matrix.to_dense().sum(axis=1)
+        assert np.all(sums == 5)
+
+    def test_repeated_lookups_accumulate(self):
+        matrix = embedding_access_matrix(200, 16, 8, exponent=2.0, seed=4)
+        assert matrix.to_dense().max() > 1.0
+
+    def test_matmul_equals_per_query_reduction(self, rng):
+        table = rng.normal(size=(64, 8))
+        trace = embedding_access_trace(6, 64, 4, seed=5)
+        matrix = embedding_access_matrix(6, 64, 4, seed=5)
+        batched = spmm(matrix, table, partition_size=16)
+        for q, indices in enumerate(trace):
+            assert np.allclose(
+                batched[q], embedding_reduction(table, indices)
+            )
+
+    def test_matrix_is_sparse(self):
+        matrix = embedding_access_matrix(32, 4096, 8, seed=6)
+        assert matrix.density < 0.01

@@ -1,0 +1,61 @@
+"""Workload suite registry tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    PAPER_BAND_WIDTHS,
+    PAPER_DENSITIES,
+    WORKLOAD_GROUPS,
+    band_suite,
+    random_suite,
+    suitesparse_suite,
+    workload_group,
+)
+
+
+class TestSuites:
+    def test_suitesparse_suite_covers_table1(self):
+        suite = suitesparse_suite(max_dim=128)
+        assert len(suite) == 20
+        assert all(w.group == "suitesparse" for w in suite)
+        assert all(w.nnz > 0 for w in suite)
+
+    def test_random_suite_follows_density_sweep(self):
+        suite = random_suite(n=64)
+        assert [w.parameter for w in suite] == list(PAPER_DENSITIES)
+        for load in suite:
+            if load.parameter >= 0.01:
+                assert load.density == pytest.approx(
+                    load.parameter, rel=0.05
+                )
+
+    def test_band_suite_follows_width_sweep(self):
+        suite = band_suite(n=128)
+        assert [w.parameter for w in suite] == [
+            float(w) for w in PAPER_BAND_WIDTHS
+        ]
+        for load, width in zip(suite, PAPER_BAND_WIDTHS):
+            assert load.matrix.bandwidth() <= width // 2
+
+    def test_group_names(self):
+        assert WORKLOAD_GROUPS == ("suitesparse", "random", "band")
+
+    def test_workload_group_dispatch(self):
+        suite = workload_group("random", n=32)
+        assert len(suite) == len(PAPER_DENSITIES)
+
+    def test_workload_group_kwargs(self):
+        suite = workload_group("band", n=64, widths=(2, 4))
+        assert len(suite) == 2
+
+    def test_unknown_group(self):
+        with pytest.raises(WorkloadError):
+            workload_group("nope")
+
+    def test_workload_properties(self):
+        load = random_suite(n=32)[3]
+        assert load.nnz == load.matrix.nnz
+        assert load.density == load.matrix.density

@@ -1,0 +1,109 @@
+"""Table 1 stand-in tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    TABLE1,
+    TABLE1_IDS,
+    record_by_id,
+    standin,
+    standin_by_id,
+)
+
+
+class TestTable1Records:
+    def test_twenty_matrices(self):
+        assert len(TABLE1) == 20
+        assert len(set(TABLE1_IDS)) == 20
+
+    def test_lookup_by_id(self):
+        record = record_by_id("KR")
+        assert record.name == "kron_g500-logn21"
+        assert record.kind == "Undirected Multigraph"
+
+    def test_unknown_id(self):
+        with pytest.raises(WorkloadError):
+            record_by_id("XX")
+
+    def test_published_numbers(self):
+        eo = record_by_id("EO")
+        assert eo.dim == 50_900_000
+        assert eo.nnz == 108_000_000
+        assert eo.avg_degree == pytest.approx(108.0 / 50.9)
+
+    def test_density_definition(self):
+        dw = record_by_id("DW")
+        assert dw.density == pytest.approx(dw.nnz / dw.dim**2)
+
+    def test_every_family_is_known(self):
+        families = {record.family for record in TABLE1}
+        assert families <= {
+            "power_law", "road", "mesh", "rmat", "hyperlink",
+            "fem", "circuit", "linear_programming",
+        }
+
+
+class TestStandins:
+    @pytest.mark.parametrize("matrix_id", TABLE1_IDS)
+    def test_every_standin_generates(self, matrix_id):
+        matrix = standin_by_id(matrix_id, max_dim=256, seed=0)
+        assert matrix.nnz > 0
+        assert matrix.n_rows <= 256 or matrix.n_rows == record_by_id(
+            matrix_id
+        ).dim
+
+    @pytest.mark.parametrize("matrix_id", ["EO", "KR", "WG", "RO", "TH"])
+    def test_degree_roughly_preserved(self, matrix_id):
+        record = record_by_id(matrix_id)
+        matrix = standin(record, max_dim=1024, seed=0)
+        realized = matrix.nnz / matrix.n_rows
+        assert realized <= record.avg_degree * 1.2
+        assert realized >= min(record.avg_degree, 1.0) * 0.3
+
+    def test_small_matrix_uses_true_dimension(self):
+        matrix = standin_by_id("DW", max_dim=4096)
+        assert matrix.n_rows == 918
+
+    def test_deterministic(self):
+        a = standin_by_id("WG", max_dim=256, seed=3)
+        b = standin_by_id("WG", max_dim=256, seed=3)
+        assert a == b
+
+    def test_max_dim_validated(self):
+        with pytest.raises(WorkloadError):
+            standin_by_id("WG", max_dim=4)
+
+    def test_fem_standins_stay_banded(self):
+        matrix = standin_by_id("TH", max_dim=512)
+        assert matrix.bandwidth() < 512 // 4
+
+    def test_circuit_standin_has_full_diagonal_bias(self):
+        matrix = standin_by_id("FR", max_dim=512)
+        diagonal_entries = int((matrix.rows == matrix.cols).sum())
+        assert diagonal_entries > 0.3 * matrix.n_rows
+
+
+class TestLoadOrStandin:
+    def test_falls_back_to_standin(self, tmp_path):
+        from repro.workloads import load_or_standin
+
+        matrix = load_or_standin("DW", directory=tmp_path, max_dim=1024)
+        assert matrix == standin_by_id("DW", max_dim=1024)
+
+    def test_loads_real_file_when_present(self, tmp_path):
+        from repro.io import write_matrix_market
+        from repro.matrix import SparseMatrix
+        from repro.workloads import load_or_standin
+
+        real = SparseMatrix.identity(918, scale=3.0)
+        write_matrix_market(real, tmp_path / "dwt_918.mtx")
+        assert load_or_standin("DW", directory=tmp_path) == real
+
+    def test_no_directory_means_standin(self):
+        from repro.workloads import load_or_standin
+
+        matrix = load_or_standin("RE", max_dim=256, seed=1)
+        assert matrix == standin_by_id("RE", max_dim=256, seed=1)
