@@ -12,8 +12,11 @@ minutes; Figure 9 keeps the paper's 8000 x 8000 scale.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.engine import SweepRunner
 from repro.hardware import HardwareConfig
 from repro.workloads import band_suite, random_suite, suitesparse_suite
 
@@ -23,9 +26,19 @@ PARTITION_SIZES = (8, 16, 32)
 #: Figure order of the format bars.
 FORMATS = ("dense", "csr", "bcsr", "csc", "lil", "ell", "coo", "dia")
 
+#: Worker processes for the sweep engine; export REPRO_BENCH_WORKERS=N
+#: to fan the figure cubes out over N processes.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
 
 def config_at(p: int) -> HardwareConfig:
     return HardwareConfig(partition_size=p)
+
+
+@pytest.fixture(scope="session")
+def sweep_runner() -> SweepRunner:
+    """The shared engine every figure benchmark sweeps through."""
+    return SweepRunner(max_workers=BENCH_WORKERS)
 
 
 @pytest.fixture(scope="session")

@@ -9,29 +9,27 @@ wins bandwidth utilization on the structured band group.
 
 from __future__ import annotations
 
-from conftest import FORMATS, config_at
+from conftest import FORMATS
 
 from repro.analysis import format_table
-from repro.core import SUMMARY_METRICS, SpmvSimulator, summarize
+from repro.core import SUMMARY_METRICS, summarize
 
 
-def build_scores(groups):
-    scores = {}
-    for group_name, workloads in groups.items():
-        simulator = SpmvSimulator(config_at(16))
-        results = []
-        for load in workloads:
-            profiles = simulator.profiles(load.matrix)
-            results.extend(
-                simulator.run_format(name, profiles, load.name)
-                for name in FORMATS
-            )
-        scores[group_name] = summarize(results, FORMATS)
-    return scores
+def build_scores(runner, groups):
+    return {
+        group_name: summarize(
+            runner.run_grid(
+                workloads, FORMATS, partition_sizes=(16,)
+            ).results,
+            FORMATS,
+        )
+        for group_name, workloads in groups.items()
+    }
 
 
 def test_fig14_summary(
-    benchmark, suitesparse_workloads, random_workloads, band_workloads
+    benchmark, sweep_runner,
+    suitesparse_workloads, random_workloads, band_workloads,
 ):
     groups = {
         "suitesparse": suitesparse_workloads,
@@ -39,7 +37,7 @@ def test_fig14_summary(
         "band": band_workloads,
     }
     scores = benchmark.pedantic(
-        build_scores, args=(groups,), rounds=1, iterations=1
+        build_scores, args=(sweep_runner, groups), rounds=1, iterations=1
     )
     print()
     metric_names = list(SUMMARY_METRICS)

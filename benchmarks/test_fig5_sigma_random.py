@@ -7,27 +7,24 @@ more; ELL's sigma is flat (its compute is pattern-independent).
 
 from __future__ import annotations
 
-from conftest import FORMATS, config_at
+from conftest import FORMATS
 
 from repro.analysis import grouped_series
-from repro.core import SpmvSimulator
 
 
-def build_series(workloads):
-    simulator = SpmvSimulator(config_at(16))
-    series = {name: [] for name in FORMATS}
-    for load in workloads:
-        results = simulator.characterize_formats(
-            load.matrix, FORMATS, workload=load.name
-        )
-        for name in FORMATS:
-            series[name].append(results[name].sigma)
-    return series
+def build_series(runner, workloads):
+    outcome = runner.run_grid(workloads, FORMATS, partition_sizes=(16,))
+    cube = outcome.by_coords()
+    return {
+        name: [cube[(load.name, name, 16)].sigma for load in workloads]
+        for name in FORMATS
+    }
 
 
-def test_fig5_sigma_random(benchmark, random_workloads):
+def test_fig5_sigma_random(benchmark, sweep_runner, random_workloads):
     series = benchmark.pedantic(
-        build_series, args=(random_workloads,), rounds=1, iterations=1
+        build_series, args=(sweep_runner, random_workloads),
+        rounds=1, iterations=1,
     )
     densities = [load.parameter for load in random_workloads]
     print()

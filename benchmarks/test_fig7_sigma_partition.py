@@ -9,33 +9,32 @@ products).
 
 from __future__ import annotations
 
-from conftest import FORMATS, PARTITION_SIZES, config_at
+from conftest import FORMATS, PARTITION_SIZES
 
 from repro.analysis import grouped_series
-from repro.core import SpmvSimulator
 
 
-def build_table(groups):
+def build_table(runner, groups):
     table = {}
     for group_name, workloads in groups.items():
-        series = {name: [] for name in FORMATS}
-        for p in PARTITION_SIZES:
-            simulator = SpmvSimulator(config_at(p))
-            sums = {name: 0.0 for name in FORMATS}
-            for load in workloads:
-                profiles = simulator.profiles(load.matrix)
-                for name in FORMATS:
-                    sums[name] += simulator.run_format(
-                        name, profiles, load.name
-                    ).sigma
-            for name in FORMATS:
-                series[name].append(sums[name] / len(workloads))
-        table[group_name] = series
+        cube = runner.run_grid(
+            workloads, FORMATS, partition_sizes=PARTITION_SIZES
+        ).by_coords()
+        table[group_name] = {
+            name: [
+                sum(
+                    cube[(load.name, name, p)].sigma for load in workloads
+                ) / len(workloads)
+                for p in PARTITION_SIZES
+            ]
+            for name in FORMATS
+        }
     return table
 
 
 def test_fig7_sigma_partition(
-    benchmark, suitesparse_workloads, random_workloads, band_workloads
+    benchmark, sweep_runner,
+    suitesparse_workloads, random_workloads, band_workloads,
 ):
     groups = {
         "suitesparse": suitesparse_workloads,
@@ -43,7 +42,7 @@ def test_fig7_sigma_partition(
         "band": band_workloads,
     }
     table = benchmark.pedantic(
-        build_table, args=(groups,), rounds=1, iterations=1
+        build_table, args=(sweep_runner, groups), rounds=1, iterations=1
     )
     print()
     for group_name, series in table.items():

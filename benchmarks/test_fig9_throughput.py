@@ -14,48 +14,40 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import FORMATS, PARTITION_SIZES, config_at
+from conftest import FORMATS, PARTITION_SIZES
 
 from repro.analysis import format_table
-from repro.core import SpmvSimulator
-from repro.workloads import band_matrix, random_matrix
+from repro.engine import WorkloadSpec
 
 N = 8000
 
 
 @pytest.fixture(scope="module")
-def matrices_8000():
+def specs_8000():
+    """Lazy specs: each worker materializes its own 8000 x 8000 matrix."""
+    return [
+        WorkloadSpec.band(N, 4, seed=0),
+        WorkloadSpec.band(N, 16, seed=0),
+        WorkloadSpec.band(N, 64, seed=0),
+        WorkloadSpec.random(N, 0.0001, seed=0),
+        WorkloadSpec.random(N, 0.001, seed=0),
+        WorkloadSpec.random(N, 0.01, seed=0),
+    ]
+
+
+def build_points(runner, specs):
+    cube = runner.run_grid(
+        specs, FORMATS, partition_sizes=PARTITION_SIZES
+    ).by_coords()
     return {
-        "band-4": band_matrix(N, 4, seed=0),
-        "band-16": band_matrix(N, 16, seed=0),
-        "band-64": band_matrix(N, 64, seed=0),
-        "rand-0.0001": random_matrix(N, 0.0001, seed=0),
-        "rand-0.001": random_matrix(N, 0.001, seed=0),
-        "rand-0.01": random_matrix(N, 0.01, seed=0),
+        (fmt, p, name): (result.total_seconds, result.throughput_bytes_per_s)
+        for (name, fmt, p), result in cube.items()
     }
 
 
-def build_points(matrices):
-    points = {}
-    for p in PARTITION_SIZES:
-        simulator = SpmvSimulator(config_at(p))
-        profile_cache = {
-            name: simulator.profiles(matrix)
-            for name, matrix in matrices.items()
-        }
-        for fmt in FORMATS:
-            for name, profiles in profile_cache.items():
-                result = simulator.run_format(fmt, profiles, name)
-                points[(fmt, p, name)] = (
-                    result.total_seconds,
-                    result.throughput_bytes_per_s,
-                )
-    return points
-
-
-def test_fig9_throughput(benchmark, matrices_8000):
+def test_fig9_throughput(benchmark, sweep_runner, specs_8000):
     points = benchmark.pedantic(
-        build_points, args=(matrices_8000,), rounds=1, iterations=1
+        build_points, args=(sweep_runner, specs_8000), rounds=1, iterations=1
     )
     print()
     rows = [

@@ -7,10 +7,22 @@ for the full design-space exploration".  This example enumerates the
 matrix, prints the latency-vs-power Pareto frontier, and shows how a
 tight BRAM budget moves the chosen design.
 
-Run:  python examples/design_space.py
+Run:  python examples/design_space.py [--workers N]
 """
 
 from __future__ import annotations
+
+import argparse
+
+try:
+    import repro  # noqa: F401 — probe for an installed package
+except ModuleNotFoundError:  # running from a source checkout
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
 
 from repro.analysis import format_table
 from repro.core import Constraints, explore, pareto_frontier, recommend
@@ -18,11 +30,19 @@ from repro.workloads import random_matrix
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep engine (default: 1)",
+    )
+    args = parser.parse_args()
     weights = random_matrix(1024, density=0.2, seed=6)
     print(f"workload: pruned weight matrix {weights!r}")
     print()
 
-    points = explore(weights, lane_counts=(1, 2, 4))
+    points = explore(
+        weights, lane_counts=(1, 2, 4), max_workers=args.workers
+    )
     frontier = pareto_frontier(
         points, ("total_cycles", "dynamic_power_w")
     )

@@ -12,6 +12,16 @@ Run:  python examples/format_advisor.py
 
 from __future__ import annotations
 
+try:
+    import repro  # noqa: F401 — probe for an installed package
+except ModuleNotFoundError:  # running from a source checkout
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+
 from repro import SpmvSimulator, HardwareConfig
 from repro.analysis import format_table
 from repro.core import SUMMARY_METRICS, summarize

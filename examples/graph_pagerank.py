@@ -14,6 +14,16 @@ Run:  python examples/graph_pagerank.py
 
 from __future__ import annotations
 
+try:
+    import repro  # noqa: F401 — probe for an installed package
+except ModuleNotFoundError:  # running from a source checkout
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+
 import numpy as np
 
 from repro import SpmvSimulator, HardwareConfig

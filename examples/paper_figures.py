@@ -6,23 +6,45 @@ figure's numbers printed, and the full result cube saved to
 ``copernicus_results.json`` for external plotting.  For the asserted,
 full-scale versions run ``pytest benchmarks/ --benchmark-only -s``.
 
-Run:  python examples/paper_figures.py [output.json]
+The whole cube runs through the sweep engine; pass ``--workers N`` to
+fan the workloads out over N processes.
+
+Run:  python examples/paper_figures.py [output.json] [--workers N]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
-from repro import SpmvSimulator, HardwareConfig
+try:
+    import repro  # noqa: F401 — probe for an installed package
+except ModuleNotFoundError:  # running from a source checkout
+    import pathlib
+    import sys
+
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parents[1] / "src")
+    )
+
 from repro.analysis import bar_chart, grouped_series
 from repro.core import save_results, summarize
+from repro.engine import SweepRunner
 from repro.formats import PAPER_FORMATS
 from repro.partition import PARTITION_SIZES, partition_statistics
 from repro.workloads import band_suite, random_suite, suitesparse_suite
 
 
 def main() -> None:
-    output = sys.argv[1] if len(sys.argv) > 1 else "copernicus_results.json"
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "output", nargs="?", default="copernicus_results.json"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep engine (default: 1)",
+    )
+    args = parser.parse_args()
+    output = args.output
     groups = {
         "suitesparse": suitesparse_suite(max_dim=1024, seed=0),
         "random": random_suite(n=512, seed=0),
@@ -40,17 +62,22 @@ def main() -> None:
     print(bar_chart(densities, log_scale=True))
     print()
 
-    # Figures 4-7 and 10-12 come from the same cube.
+    # Figures 4-7 and 10-12 come from the same cube, swept through the
+    # engine: partition profiles are computed once per (workload, p)
+    # and shared by all eight formats.
+    runner = SweepRunner(max_workers=args.workers)
     cube: dict[tuple[str, str, int], object] = {}
     for group_name, workloads in groups.items():
-        for p in PARTITION_SIZES:
-            simulator = SpmvSimulator(HardwareConfig(partition_size=p))
-            for load in workloads:
-                profiles = simulator.profiles(load.matrix)
-                for fmt in PAPER_FORMATS:
-                    result = simulator.run_format(fmt, profiles, load.name)
-                    cube[(load.name, fmt, p)] = result
-                    all_results.append(result)
+        outcome = runner.run_grid(
+            workloads, PAPER_FORMATS, partition_sizes=PARTITION_SIZES
+        )
+        cube.update(outcome.by_coords())
+        all_results.extend(outcome.results)
+        print(
+            f"swept {group_name}: {len(outcome)} cells, "
+            f"{outcome.stats.total_hits} cache hits"
+        )
+    print()
 
     def series(group: str, metric: str, p: int = 16):
         workloads = groups[group]

@@ -17,8 +17,9 @@ Quickstart::
     print(result.sigma, result.balance_ratio)
 """
 
-from . import analysis, apps, core, formats, hardware, io, workloads
+from . import analysis, apps, core, engine, formats, hardware, io, workloads
 from .core import CharacterizationResult, SpmvSimulator, characterize
+from .engine import SweepRunner, WorkloadSpec, run_sweep
 from .errors import (
     CopernicusError,
     FormatError,
@@ -49,6 +50,10 @@ __all__ = [
     "analysis",
     "apps",
     "core",
+    "engine",
+    "SweepRunner",
+    "WorkloadSpec",
+    "run_sweep",
     "formats",
     "hardware",
     "io",

@@ -9,6 +9,7 @@ Everything the library computes is reachable from the shell::
     python -m repro characterize --random 512 --density 0.02 -f csr -p 16
     python -m repro characterize --standin WG --all-formats
     python -m repro sweep --group band --metric sigma
+    python -m repro sweep --group random --workers 4
     python -m repro advise --standin KR
 
 Each sub-command builds its workload, runs the characterization core,
@@ -35,6 +36,7 @@ from .core import (
     pareto_frontier,
     summarize,
 )
+from .engine import SweepRunner
 from .errors import CopernicusError
 from .formats import ALL_FORMATS, PAPER_FORMATS, get_format
 from .hardware import (
@@ -47,6 +49,7 @@ from .matrix import SparseMatrix
 from .partition import PARTITION_SIZES
 from .workloads import (
     TABLE1,
+    Workload,
     band_matrix,
     poisson_2d,
     random_matrix,
@@ -201,20 +204,20 @@ def _cmd_characterize(args: argparse.Namespace) -> str:
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
     workloads = workload_group(args.group)
+    runner = SweepRunner(max_workers=args.workers)
+    cube = runner.run_grid(
+        workloads, PAPER_FORMATS, partition_sizes=tuple(args.partitions)
+    ).by_coords()
     blocks = []
     for p in args.partitions:
-        simulator = SpmvSimulator(HardwareConfig(partition_size=p))
-        rows = []
-        for load in workloads:
-            profiles = simulator.profiles(load.matrix)
-            values = [
-                getattr(
-                    simulator.run_format(fmt, profiles, load.name),
-                    args.metric,
-                )
+        rows = [
+            [load.name]
+            + [
+                getattr(cube[(load.name, fmt, p)], args.metric)
                 for fmt in PAPER_FORMATS
             ]
-            rows.append([load.name] + values)
+            for load in workloads
+        ]
         blocks.append(
             format_table(
                 ["workload"] + list(PAPER_FORMATS),
@@ -264,14 +267,10 @@ def _cmd_pareto(args: argparse.Namespace) -> str:
 
 def _cmd_advise(args: argparse.Namespace) -> str:
     name, matrix = _build_workload(args)
-    results = []
-    for p in PARTITION_SIZES:
-        simulator = SpmvSimulator(HardwareConfig(partition_size=p))
-        profiles = simulator.profiles(matrix)
-        results.extend(
-            simulator.run_format(fmt, profiles, name)
-            for fmt in PAPER_FORMATS
-        )
+    workload = Workload(name=name, group="cli", matrix=matrix)
+    results = SweepRunner().run_grid(
+        [workload], PAPER_FORMATS, partition_sizes=PARTITION_SIZES
+    ).results
     scores = sorted(
         summarize(results, PAPER_FORMATS),
         key=lambda s: s.overall,
@@ -346,6 +345,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--partitions", type=int, nargs="+", default=[16],
         help="partition sizes (default: 16)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep engine (default: 1)",
     )
     sweep.set_defaults(handler=_cmd_sweep)
 

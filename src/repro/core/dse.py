@@ -87,20 +87,32 @@ def explore(
     lane_counts: Sequence[int] = (1,),
     base_config: HardwareConfig = DEFAULT_CONFIG,
     fit_device: bool = True,
+    max_workers: int = 1,
 ) -> list[DesignPoint]:
     """Evaluate every (format, partition size, lanes) combination.
 
     Multi-lane points scale resources linearly and take their timing
     from the shared-bus lane model; ``fit_device`` drops designs that
-    exceed the xq7z020.
+    exceed the xq7z020.  The single-lane characterizations run through
+    the sweep engine, so ``max_workers > 1`` fans the (format,
+    partition size) grid out over worker processes.
     """
+    # imported here: repro.engine depends on repro.core at import time
+    from ..engine import SweepRunner
+    from ..workloads.registry import Workload
+
+    workload = Workload(name="dse", group="dse", matrix=matrix)
+    cube = SweepRunner(max_workers=max_workers).run_grid(
+        [workload], formats, partition_sizes, base_config
+    ).by_coords()
+
     points: list[DesignPoint] = []
     for p in partition_sizes:
         config = base_config.with_partition_size(p)
         simulator = SpmvSimulator(config)
-        profiles = simulator.profiles(matrix)
+        profiles: list | None = None
         for name in formats:
-            single = simulator.run_format(name, profiles, workload="")
+            single = cube[("dse", name, p)]
             for lanes in lane_counts:
                 pipeline = MultiLanePipeline(config, name, lanes)
                 resources = pipeline.resources()
@@ -109,6 +121,8 @@ def explore(
                 if lanes == 1:
                     total_cycles = single.total_cycles
                 else:
+                    if profiles is None:
+                        profiles = simulator.profiles(matrix)
                     total_cycles = pipeline.run(profiles).total_cycles
                 seconds = config.seconds(total_cycles)
                 power_w = single.dynamic_power_w * lanes

@@ -1,0 +1,131 @@
+"""Sweep grids: the experiment cube as an explicit list of cells.
+
+Every figure in the paper is a slice of the same cube — (workload,
+format, partition size) at one hardware configuration.  A
+:class:`SweepCell` names one cube cell; :func:`build_grid` expands the
+cross product in deterministic workload-major order, which is also the
+order the runner returns results in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..formats.base import SizeBreakdown
+from ..formats.registry import PAPER_FORMATS
+from ..hardware.config import DEFAULT_CONFIG, HardwareConfig
+from ..partition import PARTITION_SIZES
+from ..workloads.registry import Workload
+from .cache import CacheStats
+from .specs import WorkloadSpec
+from ..core.results import CharacterizationResult
+
+__all__ = ["SweepCell", "EncodeSummary", "SweepOutcome", "build_grid"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (workload, format, partition size) cell of the cube.
+
+    ``workload`` is either a materialized :class:`Workload` or a lazy
+    :class:`WorkloadSpec` (materialized inside the worker, through its
+    matrix cache).  ``config`` is the *base* hardware configuration;
+    the runner applies ``partition_size`` on top of it, so one grid can
+    mix partition sizes without pre-building a config per cell.
+    """
+
+    workload: Workload | WorkloadSpec
+    format_name: str
+    partition_size: int
+    config: HardwareConfig = DEFAULT_CONFIG
+
+    @property
+    def workload_name(self) -> str:
+        return self.workload.name
+
+    @property
+    def coords(self) -> tuple[str, str, int]:
+        """The (workload, format, partition size) coordinate triple."""
+        return (self.workload.name, self.format_name, self.partition_size)
+
+    @property
+    def resolved_config(self) -> HardwareConfig:
+        """The base config with this cell's partition size applied."""
+        return self.config.with_partition_size(self.partition_size)
+
+
+@dataclass(frozen=True)
+class EncodeSummary:
+    """Functional, whole-matrix accounting of one (workload, format).
+
+    Produced by the runner's optional encode stage from a real
+    :class:`~repro.formats.base.EncodedMatrix` rather than the profile
+    model, so it reflects exact array sizes.
+    """
+
+    workload: str
+    format_name: str
+    nnz: int
+    size: SizeBreakdown
+    compression_ratio: float
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one sweep run produced.
+
+    ``results`` is in grid (cell) order regardless of worker count or
+    completion order; ``stats`` aggregates the cache counters of every
+    worker; ``encodings`` is populated only when the runner ran with
+    ``encode=True``.
+    """
+
+    results: list[CharacterizationResult]
+    stats: CacheStats
+    encodings: Mapping[tuple[str, str], EncodeSummary] = field(
+        default_factory=dict
+    )
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def by_coords(
+        self,
+    ) -> dict[tuple[str, str, int], CharacterizationResult]:
+        """Index the results by (workload, format, partition size)."""
+        return {
+            (r.workload, r.format_name, r.partition_size): r
+            for r in self.results
+        }
+
+    def result(
+        self, workload: str, format_name: str, partition_size: int
+    ) -> CharacterizationResult:
+        """Look up one cell's result by its coordinates."""
+        return self.by_coords()[(workload, format_name, partition_size)]
+
+
+def build_grid(
+    workloads: Iterable[Workload | WorkloadSpec],
+    format_names: Sequence[str] = PAPER_FORMATS,
+    partition_sizes: Sequence[int] = PARTITION_SIZES,
+    base_config: HardwareConfig = DEFAULT_CONFIG,
+) -> list[SweepCell]:
+    """Expand the experiment cube in workload-major deterministic order.
+
+    Cells sharing a workload are adjacent, which is what lets the
+    runner chunk them onto one worker and share the profile and encode
+    caches between them.
+    """
+    return [
+        SweepCell(
+            workload=workload,
+            format_name=name,
+            partition_size=p,
+            config=base_config,
+        )
+        for workload in workloads
+        for p in partition_sizes
+        for name in format_names
+    ]

@@ -1,0 +1,259 @@
+"""Parallel sweep execution with shared-work caching.
+
+The runner turns a grid of sweep cells into characterization results:
+
+1.  Cells are grouped into *chunks* by workload, so every cell that can
+    share cached intermediates (partition profiles across formats,
+    whole-matrix encodings across partition sizes, the generated matrix
+    itself for spec-based cells) lands on the same worker.
+2.  Chunks are dispatched to a ``ProcessPoolExecutor``; with
+    ``max_workers=1`` the same chunk code runs in-process with one
+    cache shared across *all* chunks, so the sequential path is both a
+    fallback and the maximal-caching configuration.  Both paths produce
+    identical results cell-for-cell.
+3.  A failure inside any cell — in either path — is re-raised as
+    :class:`~repro.errors.SweepCellError` carrying the failing cell's
+    (workload, format, partition size) coordinates.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from ..core.results import CharacterizationResult
+from ..core.simulator import SpmvSimulator
+from ..errors import SweepCellError
+from ..formats.base import VALUE_BYTES
+from ..formats.registry import PAPER_FORMATS, get_format
+from ..hardware.config import DEFAULT_CONFIG, HardwareConfig
+from ..partition import PARTITION_SIZES, profile_partitions
+from ..workloads.registry import Workload
+from .cache import CacheStats, ContentKeyedCache
+from .grid import EncodeSummary, SweepCell, SweepOutcome, build_grid
+from .specs import WorkloadSpec
+
+__all__ = ["SweepRunner", "run_sweep"]
+
+#: One chunk: (cell index in the grid, cell) pairs sharing a workload.
+_Chunk = list[tuple[int, SweepCell]]
+
+
+def _materialize(cell: SweepCell, cache: ContentKeyedCache) -> Workload:
+    """The cell's workload, building spec-based cells through the cache."""
+    workload = cell.workload
+    if isinstance(workload, WorkloadSpec):
+        return cache.get_or_create(workload.cache_key, workload.build)
+    return workload
+
+
+def _run_cell(
+    cell: SweepCell, cache: ContentKeyedCache
+) -> CharacterizationResult:
+    """Characterize one cell, reusing cached profiles where possible."""
+    workload = _materialize(cell, cache)
+    config = cell.resolved_config
+    matrix_key = cache.matrix_key(workload.matrix)
+    profiles = cache.get_or_create(
+        ("profiles", matrix_key, config.partition_size, config.block_size),
+        lambda: profile_partitions(
+            workload.matrix,
+            config.partition_size,
+            block_size=config.block_size,
+        ),
+    )
+    simulator = SpmvSimulator(config)
+    return simulator.run_format(cell.format_name, profiles, workload.name)
+
+
+def _encode_cell(
+    cell: SweepCell, cache: ContentKeyedCache
+) -> EncodeSummary:
+    """Whole-matrix encode accounting, shared across partition sizes."""
+    workload = _materialize(cell, cache)
+    matrix = workload.matrix
+    matrix_key = cache.matrix_key(matrix)
+
+    def build() -> EncodeSummary:
+        fmt = get_format(cell.format_name)
+        size = fmt.size(fmt.encode(matrix))
+        dense_bytes = matrix.n_rows * matrix.n_cols * VALUE_BYTES
+        ratio = (
+            float("inf")
+            if size.total_bytes == 0
+            else dense_bytes / size.total_bytes
+        )
+        return EncodeSummary(
+            workload=workload.name,
+            format_name=cell.format_name,
+            nnz=matrix.nnz,
+            size=size,
+            compression_ratio=ratio,
+        )
+
+    return cache.get_or_create(
+        ("encode", matrix_key, cell.format_name), build
+    )
+
+
+def _run_chunk(
+    chunk: _Chunk,
+    encode: bool,
+    cache: ContentKeyedCache | None = None,
+) -> tuple[
+    list[tuple[int, CharacterizationResult]],
+    dict[tuple[str, str], EncodeSummary],
+    CacheStats,
+]:
+    """Execute one chunk of cells against one shared cache.
+
+    This is the single code path both the sequential and the parallel
+    runner use; workers call it with a fresh cache, the sequential
+    runner threads one cache through every chunk.
+    """
+    if cache is None:
+        cache = ContentKeyedCache()
+    results: list[tuple[int, CharacterizationResult]] = []
+    encodings: dict[tuple[str, str], EncodeSummary] = {}
+    for index, cell in chunk:
+        try:
+            result = _run_cell(cell, cache)
+            if encode:
+                summary = _encode_cell(cell, cache)
+                encodings[(summary.workload, summary.format_name)] = summary
+        except SweepCellError:
+            raise
+        except Exception as error:  # noqa: BLE001 — annotate with coords
+            raise SweepCellError(cell.coords, f"{type(error).__name__}: "
+                                 f"{error}") from error
+        results.append((index, result))
+    return results, encodings, cache.stats
+
+
+class SweepRunner:
+    """Executes sweep grids, concurrently when asked.
+
+    Parameters
+    ----------
+    max_workers:
+        Process count.  ``1`` (the default) runs everything in-process
+        with a single cache shared across the whole grid; ``> 1``
+        dispatches workload-chunks to a ``ProcessPoolExecutor``.
+    encode:
+        Also run each (workload, format) through the format's real
+        ``encode``/``size`` path, caching the result across partition
+        sizes, and report the exact whole-matrix transfer accounting in
+        :attr:`SweepOutcome.encodings`.  Off by default because a dense
+        encode of a paper-scale (8000 x 8000) matrix materializes the
+        full array.
+    """
+
+    def __init__(self, max_workers: int = 1, encode: bool = False) -> None:
+        if max_workers < 1:
+            raise ValueError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self.max_workers = max_workers
+        self.encode = encode
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def chunk_cells(
+        cells: Sequence[SweepCell], target_chunks: int = 1
+    ) -> list[_Chunk]:
+        """Group indexed cells for dispatch, preserving first-seen order.
+
+        Cells of one workload share partition profiles (across formats)
+        and encodings (across partition sizes), so the workload is the
+        unit of cache affinity — and therefore the default unit of
+        dispatch.  When that yields fewer chunks than
+        ``target_chunks`` (e.g. one workload on many workers), chunks
+        are refined to (workload, partition size) granularity; profile
+        sharing across formats is preserved either way.
+        """
+        by_workload: dict[str, _Chunk] = {}
+        for index, cell in enumerate(cells):
+            by_workload.setdefault(
+                cell.workload_name, []
+            ).append((index, cell))
+        if len(by_workload) >= target_chunks:
+            return list(by_workload.values())
+        refined: dict[tuple[str, int], _Chunk] = {}
+        for index, cell in enumerate(cells):
+            key = (cell.workload_name, cell.partition_size)
+            refined.setdefault(key, []).append((index, cell))
+        return list(refined.values())
+
+    # ------------------------------------------------------------------
+    def run(self, cells: Sequence[SweepCell]) -> SweepOutcome:
+        """Execute every cell; results come back in grid order."""
+        cells = list(cells)
+        if not cells:
+            return SweepOutcome(results=[], stats=CacheStats())
+        chunks = self.chunk_cells(cells, target_chunks=self.max_workers)
+        if self.max_workers == 1 or len(chunks) == 1:
+            outputs = self._run_sequential(chunks)
+        else:
+            outputs = self._run_parallel(chunks)
+
+        indexed: dict[int, CharacterizationResult] = {}
+        encodings: dict[tuple[str, str], EncodeSummary] = {}
+        stats = CacheStats()
+        for chunk_results, chunk_encodings, chunk_stats in outputs:
+            indexed.update(dict(chunk_results))
+            encodings.update(chunk_encodings)
+            stats = stats.merged(chunk_stats)
+        return SweepOutcome(
+            results=[indexed[i] for i in range(len(cells))],
+            stats=stats,
+            encodings=encodings,
+        )
+
+    def run_grid(
+        self,
+        workloads: Sequence[Workload | WorkloadSpec],
+        format_names: Sequence[str] = PAPER_FORMATS,
+        partition_sizes: Sequence[int] = PARTITION_SIZES,
+        base_config: HardwareConfig = DEFAULT_CONFIG,
+    ) -> SweepOutcome:
+        """Expand the cube with :func:`build_grid` and run it."""
+        return self.run(
+            build_grid(workloads, format_names, partition_sizes, base_config)
+        )
+
+    # ------------------------------------------------------------------
+    def _run_sequential(self, chunks: list[_Chunk]):
+        cache = ContentKeyedCache()
+        outputs = []
+        for chunk in chunks:
+            results, encodings, _ = _run_chunk(chunk, self.encode, cache)
+            outputs.append((results, encodings, CacheStats()))
+        # the cache is shared, so its stats are reported once
+        outputs[-1] = (outputs[-1][0], outputs[-1][1], cache.stats)
+        return outputs
+
+    def _run_parallel(self, chunks: list[_Chunk]):
+        workers = min(self.max_workers, len(chunks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_chunk, chunk, self.encode)
+                for chunk in chunks
+            ]
+            # collect in submission order for deterministic merging;
+            # .result() re-raises a worker's SweepCellError verbatim
+            return [future.result() for future in futures]
+
+
+def run_sweep(
+    workloads: Sequence[Workload | WorkloadSpec],
+    format_names: Sequence[str] = PAPER_FORMATS,
+    partition_sizes: Sequence[int] = PARTITION_SIZES,
+    base_config: HardwareConfig = DEFAULT_CONFIG,
+    max_workers: int = 1,
+    encode: bool = False,
+) -> SweepOutcome:
+    """One-shot convenience wrapper around :class:`SweepRunner`."""
+    runner = SweepRunner(max_workers=max_workers, encode=encode)
+    return runner.run_grid(
+        workloads, format_names, partition_sizes, base_config
+    )

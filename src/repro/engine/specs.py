@@ -1,0 +1,114 @@
+"""Lazy workload specifications for cheap cross-process dispatch.
+
+A :class:`WorkloadSpec` names a workload by its generator and
+parameters instead of carrying the materialized matrix.  Cells built
+from specs pickle in a few hundred bytes, and the worker materializes
+the matrix through its content-keyed cache — so a spec shared by many
+cells is generated once per worker, observable as ``"matrix"`` cache
+hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..errors import WorkloadError
+from ..workloads.band import band_matrix
+from ..workloads.pde import poisson_2d
+from ..workloads.random_matrices import random_matrix
+from ..workloads.registry import Workload
+from ..workloads.suitesparse import standin_by_id
+
+__all__ = ["WorkloadSpec"]
+
+_BUILDERS = {
+    "random": random_matrix,
+    "band": band_matrix,
+    "poisson": poisson_2d,
+    "standin": standin_by_id,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, picklable recipe for one workload matrix."""
+
+    kind: str
+    name: str
+    params: tuple[tuple[str, Hashable], ...]
+    group: str = ""
+    parameter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _BUILDERS:
+            raise WorkloadError(
+                f"unknown workload spec kind {self.kind!r}; "
+                f"known: {', '.join(sorted(_BUILDERS))}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors for the three generator families
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls, n: int, density: float, seed: int = 0, name: str = ""
+    ) -> "WorkloadSpec":
+        return cls(
+            kind="random",
+            name=name or f"rand-{density:g}",
+            params=(("n", n), ("density", density), ("seed", seed)),
+            group="random",
+            parameter=density,
+        )
+
+    @classmethod
+    def band(
+        cls, n: int, width: int, seed: int = 0, name: str = ""
+    ) -> "WorkloadSpec":
+        return cls(
+            kind="band",
+            name=name or f"band-{width}",
+            params=(("n", n), ("width", width), ("seed", seed)),
+            group="band",
+            parameter=float(width),
+        )
+
+    @classmethod
+    def poisson(cls, grid: int, name: str = "") -> "WorkloadSpec":
+        return cls(
+            kind="poisson",
+            name=name or f"poisson-{grid}",
+            params=(("grid", grid),),
+            group="pde",
+        )
+
+    @classmethod
+    def standin(
+        cls, table1_id: str, max_dim: int = 2048, seed: int = 0
+    ) -> "WorkloadSpec":
+        return cls(
+            kind="standin",
+            name=table1_id,
+            params=(
+                ("matrix_id", table1_id),
+                ("max_dim", max_dim),
+                ("seed", seed),
+            ),
+            group="suitesparse",
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_key(self) -> tuple:
+        return ("matrix", self.kind, self.name, self.params)
+
+    def build(self) -> Workload:
+        """Materialize the workload (called through the cache)."""
+        matrix = _BUILDERS[self.kind](**dict(self.params))
+        return Workload(
+            name=self.name,
+            group=self.group or self.kind,
+            matrix=matrix,
+            parameter=self.parameter,
+        )

@@ -44,3 +44,23 @@ class HardwareConfigError(CopernicusError):
 
 class SimulationError(CopernicusError):
     """The characterization simulator could not complete a run."""
+
+
+class SweepCellError(SimulationError):
+    """One cell of a sweep grid failed.
+
+    Carries the failing cell's (workload, format, partition size)
+    coordinates so a failure inside a worker process still names the
+    exact experiment that died.
+    """
+
+    def __init__(self, coords: tuple[str, str, int], reason: str) -> None:
+        self.coords = tuple(coords)
+        self.reason = reason
+        super().__init__(
+            f"sweep cell (workload={coords[0]!r}, format={coords[1]!r}, "
+            f"p={coords[2]}) failed: {reason}"
+        )
+
+    def __reduce__(self):  # keep coords across process boundaries
+        return (SweepCellError, (self.coords, self.reason))

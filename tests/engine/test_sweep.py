@@ -1,0 +1,230 @@
+"""The sweep engine: parallel == sequential, caching, error surfacing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    CacheStats,
+    ContentKeyedCache,
+    SweepCell,
+    SweepRunner,
+    WorkloadSpec,
+    build_grid,
+    matrix_content_key,
+    run_sweep,
+)
+from repro.errors import SweepCellError
+from repro.formats import PAPER_FORMATS
+from repro.partition import PARTITION_SIZES
+from repro.workloads import Workload, band_matrix, random_matrix
+
+#: A compact Figure-9-style grid: band + random workloads crossed with
+#: every paper format and partition size.
+FIG9_SPECS = (
+    WorkloadSpec.band(128, 4, seed=0),
+    WorkloadSpec.band(128, 16, seed=0),
+    WorkloadSpec.random(128, 0.01, seed=0),
+    WorkloadSpec.random(128, 0.05, seed=0),
+)
+
+
+def small_workloads() -> list[Workload]:
+    return [
+        Workload("rand-a", "random", random_matrix(96, 0.05, seed=1)),
+        Workload("band-b", "band", band_matrix(96, 4, seed=1)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Grid construction
+# ----------------------------------------------------------------------
+class TestGrid:
+    def test_build_grid_order_and_size(self):
+        workloads = small_workloads()
+        cells = build_grid(workloads, ("csr", "coo"), (8, 16))
+        assert len(cells) == 2 * 2 * 2
+        # workload-major, then partition size, then format.
+        assert [c.coords for c in cells[:4]] == [
+            ("rand-a", "csr", 8),
+            ("rand-a", "coo", 8),
+            ("rand-a", "csr", 16),
+            ("rand-a", "coo", 16),
+        ]
+
+    def test_cell_resolved_config_applies_partition(self):
+        cell = build_grid(small_workloads(), ("csr",), (32,))[0]
+        assert cell.resolved_config.partition_size == 32
+
+    def test_chunking_groups_by_workload(self):
+        cells = build_grid(small_workloads(), ("csr", "coo"), (8, 16))
+        chunks = SweepRunner.chunk_cells(cells, target_chunks=2)
+        assert len(chunks) == 2
+        for chunk in chunks:
+            names = {cell.workload_name for _, cell in chunk}
+            assert len(names) == 1
+
+    def test_chunking_refines_when_workloads_are_scarce(self):
+        cells = build_grid(small_workloads()[:1], ("csr", "coo"), (8, 16))
+        chunks = SweepRunner.chunk_cells(cells, target_chunks=4)
+        # one workload cannot fill four workers at workload granularity,
+        # so chunks split by partition size (formats stay together).
+        assert len(chunks) == 2
+        for chunk in chunks:
+            sizes = {cell.partition_size for _, cell in chunk}
+            assert len(sizes) == 1
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_content_key_ignores_object_identity(self):
+        a = random_matrix(64, 0.1, seed=9)
+        b = random_matrix(64, 0.1, seed=9)
+        assert a is not b
+        assert matrix_content_key(a) == matrix_content_key(b)
+
+    def test_content_key_distinguishes_content(self):
+        a = random_matrix(64, 0.1, seed=9)
+        b = random_matrix(64, 0.1, seed=10)
+        assert matrix_content_key(a) != matrix_content_key(b)
+
+    def test_get_or_create_counts_hits_and_misses(self):
+        cache = ContentKeyedCache()
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_create(
+                ("profiles", "k"), lambda: calls.append(1) or "v"
+            )
+            assert value == "v"
+        assert len(calls) == 1
+        assert cache.stats.hits_for("profiles") == 2
+        assert cache.stats.misses_for("profiles") == 1
+
+    def test_stats_merge(self):
+        a = CacheStats({"x": 1}, {"x": 2})
+        b = CacheStats({"x": 10, "y": 1}, {})
+        merged = a.merged(b)
+        assert merged.hits == {"x": 11, "y": 1}
+        assert merged.misses == {"x": 2}
+        assert merged.total_hits == 12
+        assert merged.total_misses == 2
+
+
+# ----------------------------------------------------------------------
+# Sequential vs parallel equivalence (the acceptance criterion)
+# ----------------------------------------------------------------------
+class TestRunnerEquivalence:
+    def test_fig9_style_parallel_matches_sequential(self):
+        """A Figure-9-style sweep: identical results on 1 vs 4 workers,
+        with the encode cache demonstrably hitting."""
+        sequential = run_sweep(
+            FIG9_SPECS, PAPER_FORMATS, PARTITION_SIZES,
+            max_workers=1, encode=True,
+        )
+        parallel = run_sweep(
+            FIG9_SPECS, PAPER_FORMATS, PARTITION_SIZES,
+            max_workers=4, encode=True,
+        )
+        assert len(sequential) == len(FIG9_SPECS) * len(PAPER_FORMATS) * len(
+            PARTITION_SIZES
+        )
+        # cell-for-cell identity, in grid order.
+        assert len(sequential) == len(parallel)
+        for left, right in zip(sequential.results, parallel.results):
+            assert left == right
+        # one encoding per (workload, format), identical accounting.
+        assert sequential.encodings.keys() == parallel.encodings.keys()
+        for key, summary in sequential.encodings.items():
+            assert parallel.encodings[key] == summary
+        # the encode cache hit in both modes: each (workload, format)
+        # encodes once and is reused for the other partition sizes.
+        assert sequential.stats.hits_for("encode") > 0
+        assert parallel.stats.hits_for("encode") > 0
+
+    def test_materialized_workloads_match_specs(self):
+        specs = [WorkloadSpec.random(96, 0.05, seed=1, name="rand-a"),
+                 WorkloadSpec.band(96, 4, seed=1, name="band-b")]
+        from_specs = run_sweep(specs, ("csr", "dia"), (16,))
+        from_workloads = run_sweep(small_workloads(), ("csr", "dia"), (16,))
+        assert from_specs.results == from_workloads.results
+
+    def test_empty_grid(self):
+        outcome = SweepRunner().run([])
+        assert outcome.results == []
+        assert outcome.stats.total_hits == 0
+
+
+# ----------------------------------------------------------------------
+# Cache observability through the runner
+# ----------------------------------------------------------------------
+class TestRunnerCaching:
+    def test_profile_cache_hits_across_formats(self):
+        outcome = run_sweep(small_workloads(), ("csr", "coo", "ell"), (16,))
+        # per workload: one profile miss, then two hits (coo, ell).
+        assert outcome.stats.misses_for("profiles") == 2
+        assert outcome.stats.hits_for("profiles") == 4
+
+    def test_matrix_cache_hits_for_spec_cells(self):
+        outcome = run_sweep(
+            [WorkloadSpec.random(96, 0.05, seed=1)], ("csr", "coo"), (8, 16),
+        )
+        # the matrix materializes once; the other three cells hit.
+        assert outcome.stats.misses_for("matrix") == 1
+        assert outcome.stats.hits_for("matrix") == 3
+
+    def test_sequential_cache_is_shared_across_chunks(self):
+        # two workloads with *identical* content dedupe across chunks
+        # in the sequential path (one cache spans the whole grid).
+        twins = [
+            Workload("twin-a", "random", random_matrix(96, 0.05, seed=7)),
+            Workload("twin-b", "random", random_matrix(96, 0.05, seed=7)),
+        ]
+        outcome = run_sweep(twins, ("csr",), (16,))
+        assert outcome.stats.misses_for("profiles") == 1
+        assert outcome.stats.hits_for("profiles") == 1
+
+    def test_outcome_lookup(self):
+        outcome = run_sweep(small_workloads(), ("csr",), (16,))
+        result = outcome.result("rand-a", "csr", 16)
+        assert result.workload == "rand-a"
+        assert result.format_name == "csr"
+        assert result.partition_size == 16
+
+
+# ----------------------------------------------------------------------
+# Failure surfacing
+# ----------------------------------------------------------------------
+class TestRunnerErrors:
+    def bad_grid(self) -> list[SweepCell]:
+        cells = build_grid(small_workloads(), ("csr",), (16,))
+        bad = SweepCell(
+            workload=cells[-1].workload,
+            format_name="no-such-format",
+            partition_size=16,
+        )
+        return cells + [bad]
+
+    def test_sequential_failure_names_the_cell(self):
+        with pytest.raises(SweepCellError) as excinfo:
+            SweepRunner(max_workers=1).run(self.bad_grid())
+        assert excinfo.value.coords == ("band-b", "no-such-format", 16)
+        assert "no-such-format" in str(excinfo.value)
+
+    def test_parallel_failure_names_the_cell(self):
+        with pytest.raises(SweepCellError) as excinfo:
+            SweepRunner(max_workers=2).run(self.bad_grid())
+        assert excinfo.value.coords == ("band-b", "no-such-format", 16)
+
+    def test_all_zero_matrix_failure_is_annotated(self):
+        from repro.matrix import SparseMatrix
+
+        empty = Workload("empty", "test", SparseMatrix.empty((32, 32)))
+        with pytest.raises(SweepCellError) as excinfo:
+            run_sweep([empty], ("csr",), (16,))
+        assert excinfo.value.coords == ("empty", "csr", 16)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(max_workers=0)

@@ -1,0 +1,88 @@
+"""Differential testing of every registered format.
+
+Two oracles per (format, matrix) pair:
+
+* ``decode(encode(m))`` must equal ``m`` exactly (lossless storage);
+* ``spmv`` over the *encoded* arrays must match ``scipy.sparse``
+  (skipped when scipy is not installed) and the library's own
+  triplet-reference SpMV bit-for-bit up to float tolerance.
+
+The corpus deliberately includes pathological shapes: matrices with
+fully empty rows and columns, a single stored element, and a fully
+dense block — the places index bookkeeping usually breaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats import ALL_FORMATS, get_format
+from repro.matrix import SparseMatrix
+from repro.workloads import band_matrix, random_matrix
+
+scipy_sparse = pytest.importorskip(
+    "scipy.sparse", reason="scipy is optional; differential SpMV needs it"
+)
+
+
+def _empty_row_col_matrix() -> SparseMatrix:
+    """Rows 0/3 and columns 1/4 carry no data at all."""
+    return SparseMatrix(
+        (6, 6),
+        [1, 1, 2, 4, 5],
+        [0, 5, 2, 3, 0],
+        [1.5, -2.0, 3.0, 0.5, 4.0],
+    )
+
+
+DIFFERENTIAL_CORPUS: dict[str, SparseMatrix] = {
+    "random-sparse": random_matrix(48, 0.05, seed=11),
+    "random-dense": random_matrix(32, 0.4, seed=12),
+    "random-rect": random_matrix(24, 0.15, seed=13, n_cols=37),
+    "band-narrow": band_matrix(40, 2, seed=14),
+    "band-wide": band_matrix(40, 12, seed=15),
+    "empty-row-col": _empty_row_col_matrix(),
+    "single-element": SparseMatrix((7, 9), [3], [5], [2.25]),
+    "fully-dense": SparseMatrix.from_dense(
+        np.random.default_rng(16).uniform(0.5, 1.5, size=(10, 10))
+    ),
+}
+
+
+@pytest.fixture(params=sorted(DIFFERENTIAL_CORPUS))
+def case_matrix(request) -> SparseMatrix:
+    return DIFFERENTIAL_CORPUS[request.param]
+
+
+@pytest.mark.parametrize("format_name", sorted(ALL_FORMATS))
+class TestDifferential:
+    def test_roundtrip_exact(self, format_name, case_matrix):
+        fmt = get_format(format_name)
+        decoded = fmt.decode(fmt.encode(case_matrix))
+        assert decoded.shape == case_matrix.shape
+        assert np.array_equal(decoded.rows, case_matrix.rows)
+        assert np.array_equal(decoded.cols, case_matrix.cols)
+        assert np.array_equal(decoded.vals, case_matrix.vals)
+
+    def test_spmv_matches_scipy(self, format_name, case_matrix):
+        fmt = get_format(format_name)
+        encoded = fmt.encode(case_matrix)
+        rng = np.random.default_rng(99)
+        x = rng.uniform(-1.0, 1.0, size=case_matrix.n_cols)
+        reference = scipy_sparse.coo_matrix(
+            (case_matrix.vals, (case_matrix.rows, case_matrix.cols)),
+            shape=case_matrix.shape,
+        ).tocsr() @ x
+        np.testing.assert_allclose(
+            fmt.spmv(encoded, x), reference, rtol=1e-12, atol=1e-12
+        )
+
+    def test_spmv_matches_triplet_reference(self, format_name, case_matrix):
+        fmt = get_format(format_name)
+        encoded = fmt.encode(case_matrix)
+        x = np.random.default_rng(7).uniform(-1.0, 1.0, case_matrix.n_cols)
+        np.testing.assert_allclose(
+            fmt.spmv(encoded, x), case_matrix.spmv(x),
+            rtol=1e-12, atol=1e-12,
+        )

@@ -7,13 +7,15 @@ from the quick smoke set.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+EXAMPLES_DIR = REPO_ROOT / "examples"
 
 FAST_EXAMPLES = (
     "quickstart.py",
@@ -27,6 +29,20 @@ FAST_EXAMPLES = (
 )
 
 
+def example_env() -> dict[str, str]:
+    """The test runner's env with the source tree on PYTHONPATH.
+
+    The examples also bootstrap ``src/`` onto ``sys.path`` themselves,
+    but the explicit env keeps the subprocess working even if a script
+    drops the shim.
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
 @pytest.mark.parametrize("script", FAST_EXAMPLES)
 def test_example_runs(script, tmp_path):
     result = subprocess.run(
@@ -35,6 +51,7 @@ def test_example_runs(script, tmp_path):
         text=True,
         timeout=300,
         cwd=tmp_path,
+        env=example_env(),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), script

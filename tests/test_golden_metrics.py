@@ -1,0 +1,123 @@
+"""Golden-value regression tests for sigma (Eq. 1) and balance ratio.
+
+The sweep engine, the pipeline vectorization, or any other refactor
+of the characterization path must not perturb the paper's figure
+numbers.  These values were produced by the reference implementation
+on a small fixed workload set and are asserted to fourteen significant
+digits: a drift here means the model now computes *different physics*,
+not just different code.
+
+If a deliberate model change invalidates them, regenerate with::
+
+    PYTHONPATH=src python tests/test_golden_metrics.py
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SpmvSimulator
+from repro.hardware import HardwareConfig
+from repro.workloads import band_matrix, poisson_2d, random_matrix
+
+FORMATS = ("dense", "csr", "bcsr", "csc", "lil", "ell", "coo", "dia")
+
+#: (workload, format) -> (sigma, balance_ratio) at p = 16.
+GOLDEN = {
+    ("random-256", "dense"): (1.0, 1.6500000000000001),
+    ("random-256", "csr"): (0.4562007874015748, 0.5383870832338408),
+    ("random-256", "bcsr"): (0.8768700787401574, 0.6428236380785199),
+    ("random-256", "csc"): (1.7120570866141733, 0.13336643414827845),
+    ("random-256", "lil"): (0.5285925196850394, 0.4541840395191871),
+    ("random-256", "ell"): (1.0, 0.35472440944881894),
+    ("random-256", "coo"): (0.3442913385826772, 0.4667078003794873),
+    ("random-256", "dia"): (0.5642224409448819, 0.8913317493577241),
+    ("band-256", "dense"): (1.0, 1.6500000000000008),
+    ("band-256", "csr"): (1.3358695652173913, 0.5780165225148353),
+    ("band-256", "bcsr"): (0.6135869565217391, 0.7483121793140697),
+    ("band-256", "csc"): (10.841304347826087, 0.09024729317611105),
+    ("band-256", "lil"): (0.9445652173913044, 0.7015767530798406),
+    ("band-256", "ell"): (1.0, 1.1978260869565218),
+    ("band-256", "coo"): (1.1315217391304349, 0.7369991474850809),
+    ("band-256", "dia"): (0.8076086956521739, 0.480698902885006),
+    ("poisson-16", "dense"): (1.0, 1.6500000000000008),
+    ("poisson-16", "csr"): (1.7304347826086957, 0.2703460374243258),
+    ("poisson-16", "bcsr"): (1.1760869565217391, 0.6065352416959222),
+    ("poisson-16", "csc"): (6.6869565217391305, 0.07341191996290616),
+    ("poisson-16", "lil"): (1.825, 0.26325193567599753),
+    ("poisson-16", "ell"): (1.0, 0.3891304347826086),
+    ("poisson-16", "coo"): (1.3304347826086957, 0.3917356797791581),
+    ("poisson-16", "dia"): (1.246195652173913, 0.18895367797649332),
+}
+
+
+def golden_workloads():
+    return {
+        "random-256": random_matrix(256, 0.02, seed=3),
+        "band-256": band_matrix(256, 8, seed=3),
+        "poisson-16": poisson_2d(16),
+    }
+
+
+@pytest.fixture(scope="module")
+def characterized():
+    simulator = SpmvSimulator(HardwareConfig(partition_size=16))
+    return {
+        name: simulator.characterize_formats(matrix, FORMATS, workload=name)
+        for name, matrix in golden_workloads().items()
+    }
+
+
+@pytest.mark.parametrize("workload,format_name", sorted(GOLDEN))
+def test_sigma_matches_golden(characterized, workload, format_name):
+    expected_sigma, _ = GOLDEN[(workload, format_name)]
+    actual = characterized[workload][format_name].sigma
+    assert actual == pytest.approx(expected_sigma, rel=1e-14, abs=0.0)
+
+
+@pytest.mark.parametrize("workload,format_name", sorted(GOLDEN))
+def test_balance_ratio_matches_golden(characterized, workload, format_name):
+    _, expected_balance = GOLDEN[(workload, format_name)]
+    actual = characterized[workload][format_name].balance_ratio
+    assert actual == pytest.approx(expected_balance, rel=1e-12, abs=0.0)
+
+
+def test_engine_reproduces_golden_sigma():
+    """The sweep engine path must agree with the direct simulator path."""
+    from repro.engine import run_sweep
+    from repro.workloads import Workload
+
+    workloads = [
+        Workload(name, "golden", matrix)
+        for name, matrix in golden_workloads().items()
+    ]
+    outcome = run_sweep(workloads, FORMATS, partition_sizes=(16,))
+    for result in outcome.results:
+        expected_sigma, expected_balance = GOLDEN[
+            (result.workload, result.format_name)
+        ]
+        assert result.sigma == pytest.approx(
+            expected_sigma, rel=1e-14, abs=0.0
+        )
+        assert result.balance_ratio == pytest.approx(
+            expected_balance, rel=1e-12, abs=0.0
+        )
+
+
+def _regenerate() -> None:  # pragma: no cover — maintenance helper
+    simulator = SpmvSimulator(HardwareConfig(partition_size=16))
+    print("GOLDEN = {")
+    for name, matrix in golden_workloads().items():
+        results = simulator.characterize_formats(
+            matrix, FORMATS, workload=name
+        )
+        for fmt, r in results.items():
+            print(
+                f'    ("{name}", "{fmt}"): '
+                f"({r.sigma!r}, {r.balance_ratio!r}),"
+            )
+    print("}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()
