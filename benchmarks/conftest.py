@@ -13,6 +13,8 @@ minutes; Figure 9 keeps the paper's 8000 x 8000 scale.
 from __future__ import annotations
 
 import os
+import re
+from pathlib import Path
 
 import pytest
 
@@ -30,15 +32,61 @@ FORMATS = ("dense", "csr", "bcsr", "csc", "lil", "ell", "coo", "dia")
 #: to fan the figure cubes out over N processes.
 BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
+#: Where each figure's run manifest lands; export
+#: REPRO_BENCH_MANIFEST_DIR to redirect, or set it empty to disable.
+BENCH_MANIFEST_DIR = os.environ.get(
+    "REPRO_BENCH_MANIFEST_DIR",
+    str(Path(__file__).resolve().parent / "manifests"),
+)
+
 
 def config_at(p: int) -> HardwareConfig:
     return HardwareConfig(partition_size=p)
 
 
+class ManifestingSweepRunner(SweepRunner):
+    """A telemetry-enabled runner that drops one manifest per sweep.
+
+    Manifests are named after the pytest test driving the sweep (via
+    ``PYTEST_CURRENT_TEST``), with a sequence suffix when one test
+    sweeps more than once, so every figure's numbers come with the
+    machine-readable record of the run that produced them:
+    ``repro stats benchmarks/manifests/<test>.manifest.jsonl``.
+    """
+
+    def __init__(self, *args, manifest_dir: str = "", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.manifest_dir = manifest_dir
+        self._sequence: dict[str, int] = {}
+
+    def _manifest_path(self) -> Path:
+        current = os.environ.get("PYTEST_CURRENT_TEST", "sweep")
+        name = current.split("::")[-1].split(" ")[0] or "sweep"
+        name = re.sub(r"[^A-Za-z0-9_.-]+", "_", name)
+        count = self._sequence.get(name, 0) + 1
+        self._sequence[name] = count
+        suffix = "" if count == 1 else f"-{count}"
+        return Path(self.manifest_dir) / f"{name}{suffix}.manifest.jsonl"
+
+    def run(self, cells):
+        outcome = super().run(cells)
+        if (
+            self.manifest_dir
+            and outcome.telemetry is not None
+            and outcome.telemetry.cells
+        ):
+            outcome.write_manifest(self._manifest_path())
+        return outcome
+
+
 @pytest.fixture(scope="session")
 def sweep_runner() -> SweepRunner:
     """The shared engine every figure benchmark sweeps through."""
-    return SweepRunner(max_workers=BENCH_WORKERS)
+    return ManifestingSweepRunner(
+        max_workers=BENCH_WORKERS,
+        telemetry=True,
+        manifest_dir=BENCH_MANIFEST_DIR,
+    )
 
 
 @pytest.fixture(scope="session")

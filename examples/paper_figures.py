@@ -43,6 +43,11 @@ def main() -> None:
         "--workers", type=int, default=1,
         help="worker processes for the sweep engine (default: 1)",
     )
+    parser.add_argument(
+        "--emit-metrics", action="store_true",
+        help="drop one run manifest per workload group next to the "
+        "output JSON (inspect with `python -m repro stats`)",
+    )
     args = parser.parse_args()
     output = args.output
     groups = {
@@ -65,7 +70,9 @@ def main() -> None:
     # Figures 4-7 and 10-12 come from the same cube, swept through the
     # engine: partition profiles are computed once per (workload, p)
     # and shared by all eight formats.
-    runner = SweepRunner(max_workers=args.workers)
+    runner = SweepRunner(
+        max_workers=args.workers, telemetry=args.emit_metrics
+    )
     cube: dict[tuple[str, str, int], object] = {}
     for group_name, workloads in groups.items():
         outcome = runner.run_grid(
@@ -77,6 +84,12 @@ def main() -> None:
             f"swept {group_name}: {len(outcome)} cells, "
             f"{outcome.stats.total_hits} cache hits"
         )
+        if args.emit_metrics:
+            manifest = outcome.write_manifest(
+                f"{output}.{group_name}.manifest.jsonl",
+                extra={"group": group_name, "source": "paper_figures"},
+            )
+            print(f"  manifest: {manifest}")
     print()
 
     def series(group: str, metric: str, p: int = 16):

@@ -17,19 +17,33 @@ Quickstart::
     print(result.sigma, result.balance_ratio)
 """
 
-from . import analysis, apps, core, engine, formats, hardware, io, workloads
+from . import (
+    analysis,
+    apps,
+    core,
+    engine,
+    formats,
+    hardware,
+    io,
+    observability,
+    workloads,
+)
 from .core import CharacterizationResult, SpmvSimulator, characterize
 from .engine import SweepRunner, WorkloadSpec, run_sweep
 from .errors import (
     CopernicusError,
     FormatError,
     HardwareConfigError,
+    ManifestError,
+    ObservabilityError,
     PartitionError,
     ShapeError,
     SimulationError,
+    SweepConfigError,
     UnknownFormatError,
     WorkloadError,
 )
+from .observability import MetricsRegistry, read_manifest
 from .formats import PAPER_FORMATS, SPARSE_FORMATS, get_format
 from .hardware import DEFAULT_CONFIG, HardwareConfig
 from .matrix import SparseMatrix
@@ -57,16 +71,22 @@ __all__ = [
     "formats",
     "hardware",
     "io",
+    "observability",
     "workloads",
+    "MetricsRegistry",
+    "read_manifest",
     "CharacterizationResult",
     "SpmvSimulator",
     "characterize",
     "CopernicusError",
     "FormatError",
     "HardwareConfigError",
+    "ManifestError",
+    "ObservabilityError",
     "PartitionError",
     "ShapeError",
     "SimulationError",
+    "SweepConfigError",
     "UnknownFormatError",
     "WorkloadError",
     "PAPER_FORMATS",

@@ -3,12 +3,20 @@
 from .experiments import EXPERIMENTS, Experiment, experiment, experiment_ids
 from .compare import MetricDelta, compare_records, comparison_table
 from .figures import bar_chart, grouped_series, scatter_text
+from .manifests import (
+    manifest_diff_table,
+    manifest_summary_table,
+    profile_table,
+)
 from .report import characterization_report
 from .tables import format_table, format_value
 from .timeline import render_timeline
 
 __all__ = [
     "EXPERIMENTS",
+    "manifest_diff_table",
+    "manifest_summary_table",
+    "profile_table",
     "Experiment",
     "experiment",
     "experiment_ids",

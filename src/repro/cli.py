@@ -9,7 +9,10 @@ Everything the library computes is reachable from the shell::
     python -m repro characterize --random 512 --density 0.02 -f csr -p 16
     python -m repro characterize --standin WG --all-formats
     python -m repro sweep --group band --metric sigma
-    python -m repro sweep --group random --workers 4
+    python -m repro sweep --group random --workers 4 --profile
+    python -m repro sweep --group band --emit-metrics run.jsonl
+    python -m repro stats run.jsonl
+    python -m repro stats run.jsonl --against baseline.jsonl
     python -m repro advise --standin KR
 
 Each sub-command builds its workload, runs the characterization core,
@@ -27,6 +30,9 @@ from .analysis import (
     compare_records,
     comparison_table,
     format_table,
+    manifest_diff_table,
+    manifest_summary_table,
+    profile_table,
 )
 from .core import (
     SUMMARY_METRICS,
@@ -204,10 +210,12 @@ def _cmd_characterize(args: argparse.Namespace) -> str:
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
     workloads = workload_group(args.group)
-    runner = SweepRunner(max_workers=args.workers)
-    cube = runner.run_grid(
+    telemetry = args.profile or args.emit_metrics is not None
+    runner = SweepRunner(max_workers=args.workers, telemetry=telemetry)
+    outcome = runner.run_grid(
         workloads, PAPER_FORMATS, partition_sizes=tuple(args.partitions)
-    ).by_coords()
+    )
+    cube = outcome.by_coords()
     blocks = []
     for p in args.partitions:
         rows = [
@@ -225,7 +233,27 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
                 title=f"{args.metric} sweep, group={args.group}, p={p}",
             )
         )
+    if args.profile:
+        blocks.append(profile_table(outcome.telemetry))
+    if args.emit_metrics is not None:
+        path = outcome.write_manifest(args.emit_metrics)
+        blocks.append(f"run manifest written to {path}")
     return "\n\n".join(blocks)
+
+
+def _cmd_stats(args: argparse.Namespace) -> str:
+    from .observability import read_manifest
+
+    manifest = read_manifest(args.manifest)
+    if args.against is not None:
+        baseline = read_manifest(args.against)
+        return manifest_diff_table(
+            baseline,
+            manifest,
+            min_relative=args.threshold,
+            limit=args.limit,
+        )
+    return manifest_summary_table(manifest, slowest=args.slowest)
 
 
 def _cmd_report(args: argparse.Namespace) -> str:
@@ -350,7 +378,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes for the sweep engine (default: 1)",
     )
+    sweep.add_argument(
+        "--profile", action="store_true",
+        help="collect telemetry and print a run profile "
+        "(cache counters, slowest cells)",
+    )
+    sweep.add_argument(
+        "--emit-metrics", metavar="PATH", default=None,
+        help="write a JSON-lines run manifest to PATH "
+        "(read it back with `repro stats`)",
+    )
     sweep.set_defaults(handler=_cmd_sweep)
+
+    stats = commands.add_parser(
+        "stats", help="summarize or diff sweep run manifests"
+    )
+    stats.add_argument("manifest", help="manifest file (JSON lines)")
+    stats.add_argument(
+        "--against", metavar="BASELINE", default=None,
+        help="baseline manifest to diff against (regression check)",
+    )
+    stats.add_argument(
+        "--slowest", type=int, default=5,
+        help="slowest cells to list in the summary (default 5)",
+    )
+    stats.add_argument(
+        "--threshold", type=float, default=0.01,
+        help="minimum relative change to report with --against "
+        "(default 1%%)",
+    )
+    stats.add_argument(
+        "--limit", type=int, default=20,
+        help="diff rows to print with --against (default 20)",
+    )
+    stats.set_defaults(handler=_cmd_stats)
 
     advise = commands.add_parser(
         "advise", help="rank formats for a workload (Figure-14 style)"

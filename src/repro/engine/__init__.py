@@ -8,16 +8,20 @@ content-keyed cache and fans chunks out over worker processes::
     from repro.engine import SweepRunner, WorkloadSpec
 
     specs = [WorkloadSpec.random(1024, d) for d in (0.001, 0.01, 0.1)]
-    outcome = SweepRunner(max_workers=4, encode=True).run_grid(specs)
+    runner = SweepRunner(max_workers=4, encode=True, telemetry=True)
+    outcome = runner.run_grid(specs)
     outcome.result("rand-0.01", "csr", 16).sigma
     outcome.stats          # cache hit/miss counters per kind
     outcome.encodings      # exact whole-matrix transfer accounting
+    outcome.telemetry      # per-cell spans + merged worker metrics
+    outcome.write_manifest("run.jsonl")   # -> python -m repro stats
 """
 
 from .cache import CacheStats, ContentKeyedCache, matrix_content_key
 from .grid import EncodeSummary, SweepCell, SweepOutcome, build_grid
 from .runner import SweepRunner, run_sweep
 from .specs import WorkloadSpec
+from .telemetry import CellTelemetry, RunTelemetry, workload_recipe_digest
 
 __all__ = [
     "CacheStats",
@@ -30,4 +34,7 @@ __all__ = [
     "SweepRunner",
     "run_sweep",
     "WorkloadSpec",
+    "CellTelemetry",
+    "RunTelemetry",
+    "workload_recipe_digest",
 ]

@@ -10,6 +10,7 @@ order the runner returns results in.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 from ..formats.base import SizeBreakdown
@@ -19,6 +20,7 @@ from ..partition import PARTITION_SIZES
 from ..workloads.registry import Workload
 from .cache import CacheStats
 from .specs import WorkloadSpec
+from .telemetry import RunTelemetry
 from ..core.results import CharacterizationResult
 
 __all__ = ["SweepCell", "EncodeSummary", "SweepOutcome", "build_grid"]
@@ -78,7 +80,9 @@ class SweepOutcome:
     ``results`` is in grid (cell) order regardless of worker count or
     completion order; ``stats`` aggregates the cache counters of every
     worker; ``encodings`` is populated only when the runner ran with
-    ``encode=True``.
+    ``encode=True``; ``telemetry`` (per-cell spans, merged worker
+    metrics, workload recipe digests) only when it ran with
+    ``telemetry=True``.
     """
 
     results: list[CharacterizationResult]
@@ -86,6 +90,7 @@ class SweepOutcome:
     encodings: Mapping[tuple[str, str], EncodeSummary] = field(
         default_factory=dict
     )
+    telemetry: "RunTelemetry | None" = None
 
     def __len__(self) -> int:
         return len(self.results)
@@ -104,6 +109,18 @@ class SweepOutcome:
     ) -> CharacterizationResult:
         """Look up one cell's result by its coordinates."""
         return self.by_coords()[(workload, format_name, partition_size)]
+
+    def write_manifest(
+        self, path: str | Path, extra: Mapping | None = None
+    ) -> Path:
+        """Write this run's JSON-lines manifest (telemetry required).
+
+        See :mod:`repro.observability.manifest` for the schema and
+        ``python -m repro stats`` for the reader.
+        """
+        from ..observability.manifest import write_sweep_manifest
+
+        return write_sweep_manifest(self, path, extra=extra)
 
 
 def build_grid(

@@ -1,4 +1,4 @@
-"""Parallel sweep execution with shared-work caching.
+"""Parallel sweep execution with shared-work caching and telemetry.
 
 The runner turns a grid of sweep cells into characterization results:
 
@@ -14,29 +14,48 @@ The runner turns a grid of sweep cells into characterization results:
 3.  A failure inside any cell — in either path — is re-raised as
     :class:`~repro.errors.SweepCellError` carrying the failing cell's
     (workload, format, partition size) coordinates.
+4.  With ``telemetry=True`` every worker additionally records one
+    :class:`~repro.engine.telemetry.CellTelemetry` span per cell plus
+    chunk-level timers; the parent merges them (with the run-level
+    cache counters) into :attr:`SweepOutcome.telemetry`, from which
+    :meth:`SweepOutcome.write_manifest` emits a JSON-lines run
+    manifest.  Telemetry is off by default and costs one branch per
+    cell when disabled.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
 from ..core.results import CharacterizationResult
 from ..core.simulator import SpmvSimulator
-from ..errors import SweepCellError
+from ..errors import SweepCellError, SweepConfigError
 from ..formats.base import VALUE_BYTES
 from ..formats.registry import PAPER_FORMATS, get_format
 from ..hardware.config import DEFAULT_CONFIG, HardwareConfig
+from ..observability import MetricsRegistry
 from ..partition import PARTITION_SIZES, profile_partitions
 from ..workloads.registry import Workload
 from .cache import CacheStats, ContentKeyedCache
 from .grid import EncodeSummary, SweepCell, SweepOutcome, build_grid
 from .specs import WorkloadSpec
+from .telemetry import CellTelemetry, RunTelemetry, workload_recipe_digest
 
 __all__ = ["SweepRunner", "run_sweep"]
 
 #: One chunk: (cell index in the grid, cell) pairs sharing a workload.
 _Chunk = list[tuple[int, SweepCell]]
+
+#: One chunk's outputs: results, encodings, cache stats, telemetry.
+_ChunkOutput = tuple[
+    list[tuple[int, CharacterizationResult]],
+    dict[tuple[str, str], EncodeSummary],
+    CacheStats,
+    "list[CellTelemetry] | None",
+    "MetricsRegistry | None",
+]
 
 
 def _materialize(cell: SweepCell, cache: ContentKeyedCache) -> Workload:
@@ -49,8 +68,8 @@ def _materialize(cell: SweepCell, cache: ContentKeyedCache) -> Workload:
 
 def _run_cell(
     cell: SweepCell, cache: ContentKeyedCache
-) -> CharacterizationResult:
-    """Characterize one cell, reusing cached profiles where possible."""
+) -> tuple[CharacterizationResult, str]:
+    """Characterize one cell; returns the result and its matrix key."""
     workload = _materialize(cell, cache)
     config = cell.resolved_config
     matrix_key = cache.matrix_key(workload.matrix)
@@ -63,7 +82,8 @@ def _run_cell(
         ),
     )
     simulator = SpmvSimulator(config)
-    return simulator.run_format(cell.format_name, profiles, workload.name)
+    result = simulator.run_format(cell.format_name, profiles, workload.name)
+    return result, matrix_key
 
 
 def _encode_cell(
@@ -100,24 +120,30 @@ def _run_chunk(
     chunk: _Chunk,
     encode: bool,
     cache: ContentKeyedCache | None = None,
-) -> tuple[
-    list[tuple[int, CharacterizationResult]],
-    dict[tuple[str, str], EncodeSummary],
-    CacheStats,
-]:
+    telemetry: bool = False,
+) -> _ChunkOutput:
     """Execute one chunk of cells against one shared cache.
 
     This is the single code path both the sequential and the parallel
     runner use; workers call it with a fresh cache, the sequential
-    runner threads one cache through every chunk.
+    runner threads one cache through every chunk.  With ``telemetry``
+    the chunk also returns one :class:`CellTelemetry` per cell and a
+    worker-local :class:`MetricsRegistry`; both are picklable, so they
+    aggregate across process boundaries exactly like the results do.
     """
     if cache is None:
         cache = ContentKeyedCache()
     results: list[tuple[int, CharacterizationResult]] = []
     encodings: dict[tuple[str, str], EncodeSummary] = {}
+    spans: list[CellTelemetry] | None = [] if telemetry else None
+    metrics: MetricsRegistry | None = (
+        MetricsRegistry() if telemetry else None
+    )
+    chunk_start = time.perf_counter() if telemetry else 0.0
     for index, cell in chunk:
+        cell_start = time.perf_counter() if telemetry else 0.0
         try:
-            result = _run_cell(cell, cache)
+            result, matrix_key = _run_cell(cell, cache)
             if encode:
                 summary = _encode_cell(cell, cache)
                 encodings[(summary.workload, summary.format_name)] = summary
@@ -127,7 +153,26 @@ def _run_chunk(
             raise SweepCellError(cell.coords, f"{type(error).__name__}: "
                                  f"{error}") from error
         results.append((index, result))
-    return results, encodings, cache.stats
+        if telemetry:
+            wall = time.perf_counter() - cell_start
+            spans.append(
+                CellTelemetry(
+                    index=index,
+                    workload=result.workload,
+                    format_name=cell.format_name,
+                    partition_size=cell.partition_size,
+                    cache_key=matrix_key,
+                    wall_s=wall,
+                )
+            )
+            metrics.incr("sweep.cells")
+            metrics.observe("sweep.cell", wall)
+    if telemetry:
+        metrics.observe(
+            "sweep.chunk", time.perf_counter() - chunk_start
+        )
+        metrics.incr("sweep.chunks")
+    return results, encodings, cache.stats, spans, metrics
 
 
 class SweepRunner:
@@ -146,15 +191,33 @@ class SweepRunner:
         :attr:`SweepOutcome.encodings`.  Off by default because a dense
         encode of a paper-scale (8000 x 8000) matrix materializes the
         full array.
+    telemetry:
+        Record per-cell spans, worker timers and workload recipe
+        digests into :attr:`SweepOutcome.telemetry` (the input for
+        :meth:`SweepOutcome.write_manifest`).  Off by default; when off
+        the run path is unchanged except for one branch per cell.
     """
 
-    def __init__(self, max_workers: int = 1, encode: bool = False) -> None:
+    def __init__(
+        self,
+        max_workers: int = 1,
+        encode: bool = False,
+        telemetry: bool = False,
+    ) -> None:
+        if not isinstance(max_workers, int) or isinstance(
+            max_workers, bool
+        ):
+            raise SweepConfigError(
+                f"max_workers must be an integer, got "
+                f"{max_workers!r} ({type(max_workers).__name__})"
+            )
         if max_workers < 1:
-            raise ValueError(
+            raise SweepConfigError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
         self.max_workers = max_workers
         self.encode = encode
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -188,8 +251,17 @@ class SweepRunner:
     def run(self, cells: Sequence[SweepCell]) -> SweepOutcome:
         """Execute every cell; results come back in grid order."""
         cells = list(cells)
+        run_start = time.perf_counter() if self.telemetry else 0.0
         if not cells:
-            return SweepOutcome(results=[], stats=CacheStats())
+            return SweepOutcome(
+                results=[],
+                stats=CacheStats(),
+                telemetry=(
+                    RunTelemetry(workers=self.max_workers, n_chunks=0)
+                    if self.telemetry
+                    else None
+                ),
+            )
         chunks = self.chunk_cells(cells, target_chunks=self.max_workers)
         if self.max_workers == 1 or len(chunks) == 1:
             outputs = self._run_sequential(chunks)
@@ -199,14 +271,49 @@ class SweepRunner:
         indexed: dict[int, CharacterizationResult] = {}
         encodings: dict[tuple[str, str], EncodeSummary] = {}
         stats = CacheStats()
-        for chunk_results, chunk_encodings, chunk_stats in outputs:
+        spans: list[CellTelemetry] = []
+        metrics = MetricsRegistry()
+        for (
+            chunk_results,
+            chunk_encodings,
+            chunk_stats,
+            chunk_spans,
+            chunk_metrics,
+        ) in outputs:
             indexed.update(dict(chunk_results))
             encodings.update(chunk_encodings)
             stats = stats.merged(chunk_stats)
+            if chunk_spans:
+                spans.extend(chunk_spans)
+            if chunk_metrics is not None:
+                metrics = metrics.merged(chunk_metrics)
+
+        telemetry: RunTelemetry | None = None
+        if self.telemetry:
+            spans.sort(key=lambda span: span.index)
+            for kind, count in sorted(stats.hits.items()):
+                metrics.incr(f"cache.{kind}.hits", count)
+            for kind, count in sorted(stats.misses.items()):
+                metrics.incr(f"cache.{kind}.misses", count)
+            recipes: dict[str, str] = {}
+            for cell in cells:
+                if cell.workload_name not in recipes:
+                    recipes[cell.workload_name] = workload_recipe_digest(
+                        cell.workload
+                    )
+            telemetry = RunTelemetry(
+                cells=spans,
+                metrics=metrics,
+                recipes=recipes,
+                wall_s=time.perf_counter() - run_start,
+                workers=self.max_workers,
+                n_chunks=len(chunks),
+            )
         return SweepOutcome(
             results=[indexed[i] for i in range(len(cells))],
             stats=stats,
             encodings=encodings,
+            telemetry=telemetry,
         )
 
     def run_grid(
@@ -222,21 +329,31 @@ class SweepRunner:
         )
 
     # ------------------------------------------------------------------
-    def _run_sequential(self, chunks: list[_Chunk]):
+    def _run_sequential(self, chunks: list[_Chunk]) -> list[_ChunkOutput]:
         cache = ContentKeyedCache()
-        outputs = []
+        outputs: list[_ChunkOutput] = []
         for chunk in chunks:
-            results, encodings, _ = _run_chunk(chunk, self.encode, cache)
-            outputs.append((results, encodings, CacheStats()))
+            results, encodings, _, spans, metrics = _run_chunk(
+                chunk, self.encode, cache, telemetry=self.telemetry
+            )
+            outputs.append(
+                (results, encodings, CacheStats(), spans, metrics)
+            )
         # the cache is shared, so its stats are reported once
-        outputs[-1] = (outputs[-1][0], outputs[-1][1], cache.stats)
+        last = outputs[-1]
+        outputs[-1] = (last[0], last[1], cache.stats, last[3], last[4])
         return outputs
 
-    def _run_parallel(self, chunks: list[_Chunk]):
+    def _run_parallel(self, chunks: list[_Chunk]) -> list[_ChunkOutput]:
         workers = min(self.max_workers, len(chunks))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(_run_chunk, chunk, self.encode)
+                pool.submit(
+                    _run_chunk,
+                    chunk,
+                    self.encode,
+                    telemetry=self.telemetry,
+                )
                 for chunk in chunks
             ]
             # collect in submission order for deterministic merging;
@@ -251,9 +368,12 @@ def run_sweep(
     base_config: HardwareConfig = DEFAULT_CONFIG,
     max_workers: int = 1,
     encode: bool = False,
+    telemetry: bool = False,
 ) -> SweepOutcome:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
-    runner = SweepRunner(max_workers=max_workers, encode=encode)
+    runner = SweepRunner(
+        max_workers=max_workers, encode=encode, telemetry=telemetry
+    )
     return runner.run_grid(
         workloads, format_names, partition_sizes, base_config
     )

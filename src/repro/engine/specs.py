@@ -10,6 +10,7 @@ hits.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Hashable
 
@@ -102,6 +103,19 @@ class WorkloadSpec:
     @property
     def cache_key(self) -> tuple:
         return ("matrix", self.kind, self.name, self.params)
+
+    @property
+    def recipe_digest(self) -> str:
+        """Stable content digest of the generator recipe.
+
+        Computed from the spec parameters alone (no matrix
+        materialization); used by run manifests to identify workloads
+        across runs and machines.
+        """
+        payload = repr(("spec", self.kind, self.name, self.params))
+        return hashlib.blake2b(
+            payload.encode("utf-8"), digest_size=16
+        ).hexdigest()
 
     def build(self) -> Workload:
         """Materialize the workload (called through the cache)."""

@@ -1,0 +1,100 @@
+"""Per-cell sweep telemetry, aggregated correctly across processes.
+
+Each worker records one :class:`CellTelemetry` span per executed cell
+plus worker-local counters and timers in a
+:class:`~repro.observability.MetricsRegistry`; the parent process
+merges everything into one :class:`RunTelemetry` whose cells are in
+grid order regardless of which worker ran them.  All objects here are
+plain picklable dataclasses — they are the payload that crosses the
+``ProcessPoolExecutor`` boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..observability import MetricsRegistry
+from ..workloads.registry import Workload
+from .cache import matrix_content_key
+from .specs import WorkloadSpec
+
+__all__ = ["CellTelemetry", "RunTelemetry", "workload_recipe_digest"]
+
+
+def workload_recipe_digest(workload: Workload | WorkloadSpec) -> str:
+    """Content digest of how a workload is produced.
+
+    Spec-built workloads digest their generator recipe (kind + params),
+    so the digest is stable without materializing the matrix;
+    materialized workloads digest the matrix triplets themselves.  Two
+    runs of the same grid therefore carry identical digests, which is
+    what lets ``repro stats --against`` align them.
+    """
+    if isinstance(workload, WorkloadSpec):
+        return workload.recipe_digest
+    return matrix_content_key(workload.matrix)
+
+
+@dataclass(frozen=True)
+class CellTelemetry:
+    """One executed cell's span: coordinates, cache key, wall time."""
+
+    index: int
+    workload: str
+    format_name: str
+    partition_size: int
+    cache_key: str
+    wall_s: float
+
+    @property
+    def coords(self) -> tuple[str, str, int]:
+        return (self.workload, self.format_name, self.partition_size)
+
+
+@dataclass
+class RunTelemetry:
+    """Everything one sweep run recorded about itself.
+
+    ``cells`` is in grid order; ``metrics`` is the merge of every
+    worker's registry plus the run-level cache counters
+    (``cache.<kind>.hits`` / ``cache.<kind>.misses``); ``recipes`` maps
+    workload names to their recipe digests.
+    """
+
+    cells: list[CellTelemetry] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    recipes: dict[str, str] = field(default_factory=dict)
+    wall_s: float = 0.0
+    workers: int = 1
+    n_chunks: int = 1
+
+    def cell(self, index: int) -> CellTelemetry:
+        for cell in self.cells:
+            if cell.index == index:
+                return cell
+        raise KeyError(index)
+
+    def cache_keys(self) -> set[str]:
+        return {cell.cache_key for cell in self.cells}
+
+    @property
+    def cells_wall_s(self) -> float:
+        return sum(cell.wall_s for cell in self.cells)
+
+    def digest(self) -> str:
+        """Order-insensitive digest of what the run *did* (not timing).
+
+        Covers the cell coordinate set, the cache-key set and the
+        workload recipes — two semantically equivalent runs (same grid,
+        any worker count) produce the same digest.
+        """
+        payload = repr((
+            sorted(
+                (c.coords, c.cache_key) for c in self.cells
+            ),
+            sorted(self.recipes.items()),
+        ))
+        return hashlib.blake2b(
+            payload.encode("utf-8"), digest_size=16
+        ).hexdigest()

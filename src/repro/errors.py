@@ -46,6 +46,23 @@ class SimulationError(CopernicusError):
     """The characterization simulator could not complete a run."""
 
 
+class SweepConfigError(SimulationError, ValueError):
+    """The sweep engine was configured with invalid parameters.
+
+    Derives from both :class:`CopernicusError` (via
+    :class:`SimulationError`) and :class:`ValueError`, so the CLI can
+    report it cleanly while ``except ValueError`` callers keep working.
+    """
+
+
+class ObservabilityError(CopernicusError):
+    """A metrics or telemetry operation failed."""
+
+
+class ManifestError(ObservabilityError):
+    """A run manifest could not be written, read or interpreted."""
+
+
 class SweepCellError(SimulationError):
     """One cell of a sweep grid failed.
 

@@ -18,12 +18,21 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..formats.base import SizeBreakdown
+from ..observability import Histogram, MetricsRegistry, log2_edges
 from ..partition import PartitionProfile
 from .axi import AxiStreamModel
 from .config import HardwareConfig
 from .decompressors import DecompressorModel, get_decompressor
 
-__all__ = ["PartitionTiming", "PipelineResult", "StreamingPipeline"]
+__all__ = [
+    "PartitionTiming",
+    "PipelineResult",
+    "StreamingPipeline",
+    "PIPELINE_STAGES",
+]
+
+#: Per-partition cycle series exposed by :meth:`PipelineResult.stage_cycles`.
+PIPELINE_STAGES = ("memory", "decompress", "dot")
 
 
 @dataclass(frozen=True)
@@ -113,6 +122,54 @@ class PipelineResult:
             data_bytes=sum(t.size.data_bytes for t in sizes),
             metadata_bytes=sum(t.size.metadata_bytes for t in sizes),
         )
+
+    # ------------------------------------------------------------------
+    # Observability: per-stage series, histograms, metric export
+    # ------------------------------------------------------------------
+    def stage_cycles(self) -> dict[str, np.ndarray]:
+        """Per-partition cycle counts of each pipeline stage."""
+        memory, decompress, dot = self._cycle_columns
+        return {"memory": memory, "decompress": decompress, "dot": dot}
+
+    def stage_histograms(
+        self, edges: Sequence[float] | None = None
+    ) -> dict[str, Histogram]:
+        """Per-stage cycle histograms over the non-zero partitions.
+
+        With no explicit ``edges`` the bins are power-of-two cycle
+        buckets covering the largest observed count, shared by all
+        three stages so the histograms compare (and merge) directly.
+        """
+        columns = self.stage_cycles()
+        if edges is None:
+            upper = max(
+                (int(c.max()) for c in columns.values() if c.size),
+                default=0,
+            )
+            edges = log2_edges(upper)
+        return {
+            stage: Histogram.of(cycles.tolist(), edges)
+            for stage, cycles in columns.items()
+        }
+
+    def record_metrics(
+        self, metrics: MetricsRegistry, prefix: str = "pipeline"
+    ) -> None:
+        """Export this result's cycle accounting as counters.
+
+        Counter names are ``{prefix}.{stage}_cycles`` plus the fill /
+        drain terms and the partition count — all additive, so
+        recording many results into one registry yields fleet totals.
+        """
+        metrics.incr(f"{prefix}.partitions", self.n_partitions)
+        metrics.incr(f"{prefix}.memory_cycles", self.memory_cycles)
+        metrics.incr(
+            f"{prefix}.decompress_cycles", self.decompress_cycles
+        )
+        metrics.incr(f"{prefix}.dot_cycles", self.dot_cycles)
+        metrics.incr(f"{prefix}.fill_cycles", self.fill_cycles)
+        metrics.incr(f"{prefix}.drain_cycles", self.drain_cycles)
+        metrics.incr(f"{prefix}.total_cycles", self.total_cycles)
 
     @property
     def mean_balance_ratio(self) -> float:

@@ -26,12 +26,21 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import SimulationError
+from ..observability import Histogram, MetricsRegistry, log2_edges
 from ..partition import PartitionProfile
 from .axi import AxiStreamModel
 from .config import HardwareConfig
 from .decompressors import DecompressorModel, get_decompressor
 
-__all__ = ["StageInterval", "PipelineTrace", "trace_pipeline"]
+__all__ = [
+    "StageInterval",
+    "PipelineTrace",
+    "trace_pipeline",
+    "TRACE_STAGES",
+]
+
+#: Stage names used by the trace's per-stage accessors.
+TRACE_STAGES = ("memory", "compute", "write")
 
 
 @dataclass(frozen=True)
@@ -115,11 +124,82 @@ class PipelineTrace:
         busy = sum(interval.duration for interval in self.memory)
         return busy / self.total_cycles
 
+    @property
+    def write_idle_cycles(self) -> int:
+        """Cycles the write port sits idle between its first and last use."""
+        return _idle_within(
+            self.write, self.write[-1].stop if self.write else 0
+        )
+
     def bound(self) -> str:
         """Which stage dominates: ``"memory"`` or ``"compute"``."""
         if self.memory_occupancy >= self.compute_occupancy:
             return "memory"
         return "compute"
+
+    # ------------------------------------------------------------------
+    # Observability: per-stage series, histograms, metric export
+    # ------------------------------------------------------------------
+    def stage_intervals(self) -> dict[str, tuple[StageInterval, ...]]:
+        return {
+            "memory": self.memory,
+            "compute": self.compute,
+            "write": self.write,
+        }
+
+    def stage_histograms(
+        self, edges: Sequence[float] | None = None
+    ) -> dict[str, Histogram]:
+        """Per-stage busy-duration histograms over all partitions.
+
+        The counterpart of
+        :meth:`repro.hardware.pipeline.PipelineResult.stage_histograms`
+        for the event-resolved schedule; with no explicit ``edges`` the
+        bins are shared power-of-two cycle buckets.
+        """
+        stages = self.stage_intervals()
+        if edges is None:
+            upper = max(
+                (
+                    max(i.duration for i in intervals)
+                    for intervals in stages.values()
+                    if intervals
+                ),
+                default=0,
+            )
+            edges = log2_edges(upper)
+        return {
+            stage: Histogram.of(
+                (i.duration for i in intervals), edges
+            )
+            for stage, intervals in stages.items()
+        }
+
+    def bubble_accounting(self) -> dict[str, int]:
+        """Section 4.2's imbalance symptoms as one flat counter dict.
+
+        Busy cycles per stage plus the idle terms: ``compute_idle``
+        (bubbles), ``memory_stall`` (pauses) and ``write_idle``.
+        """
+        accounting = {
+            "total_cycles": self.total_cycles,
+            "compute_idle_cycles": self.compute_idle_cycles,
+            "memory_stall_cycles": self.memory_stall_cycles,
+            "write_idle_cycles": self.write_idle_cycles,
+        }
+        for stage, intervals in self.stage_intervals().items():
+            accounting[f"{stage}_busy_cycles"] = sum(
+                interval.duration for interval in intervals
+            )
+        return accounting
+
+    def record_metrics(
+        self, metrics: MetricsRegistry, prefix: str = "trace"
+    ) -> None:
+        """Export the bubble accounting as additive counters."""
+        metrics.incr(f"{prefix}.partitions", self.n_partitions)
+        for name, value in self.bubble_accounting().items():
+            metrics.incr(f"{prefix}.{name}", value)
 
 
 def trace_pipeline(

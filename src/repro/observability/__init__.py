@@ -1,0 +1,46 @@
+"""Observability: structured metrics, tracing and run manifests.
+
+The measurement substrate the paper's argument rests on — σ, balance
+ratios, pipeline bubbles — needs a record of *how* each number was
+produced.  This package provides:
+
+* :class:`MetricsRegistry` — counters, timers and span events; zero
+  dependencies, picklable, mergeable across worker processes, and a
+  no-op when disabled;
+* :class:`Histogram` — fixed-edge cycle histograms the hardware models
+  expose per pipeline stage;
+* run manifests — JSON-lines files recording every sweep cell's
+  coordinates, cache keys, wall time and cycle results
+  (:func:`write_sweep_manifest` / :func:`read_manifest`), summarized
+  and diffed by ``python -m repro stats``.
+"""
+
+from .manifest import (
+    MANIFEST_KIND,
+    SCHEMA_VERSION,
+    Manifest,
+    read_manifest,
+    write_sweep_manifest,
+)
+from .metrics import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    SpanEvent,
+    TimerStat,
+    log2_edges,
+)
+
+__all__ = [
+    "MANIFEST_KIND",
+    "SCHEMA_VERSION",
+    "Manifest",
+    "read_manifest",
+    "write_sweep_manifest",
+    "NULL_METRICS",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanEvent",
+    "TimerStat",
+    "log2_edges",
+]

@@ -1,0 +1,401 @@
+"""Lightweight metrics primitives: counters, timers, histograms, spans.
+
+The observability layer the rest of the stack reports through.  Design
+constraints, in order:
+
+* **zero dependencies** — standard library only, so the hardware
+  models and the sweep engine can import it unconditionally;
+* **picklable and mergeable** — worker processes build their own
+  registries and the parent merges them, so every object here survives
+  a round-trip through ``pickle`` and defines an associative
+  ``merged``;
+* **near-free when disabled** — a disabled registry short-circuits to
+  a shared no-op context manager; the only cost on the hot path is one
+  attribute check, so production sweeps pay nothing for the
+  instrumentation they do not ask for.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from dataclasses import dataclass, field
+from math import inf
+from typing import Iterable, Mapping
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "TimerStat",
+    "SpanEvent",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "log2_edges",
+]
+
+
+# ----------------------------------------------------------------------
+# Timers
+# ----------------------------------------------------------------------
+@dataclass
+class TimerStat:
+    """Aggregate of one named timer: count, total and extrema."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = inf
+    max_s: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ObservabilityError(
+                f"timer observation must be >= 0, got {seconds}"
+            )
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def merged(self, other: "TimerStat") -> "TimerStat":
+        return TimerStat(
+            count=self.count + other.count,
+            total_s=self.total_s + other.total_s,
+            min_s=min(self.min_s, other.min_s),
+            max_s=max(self.max_s, other.max_s),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s if self.count else None,
+            "max_s": self.max_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TimerStat":
+        min_s = data.get("min_s")
+        return cls(
+            count=int(data["count"]),
+            total_s=float(data["total_s"]),
+            min_s=inf if min_s is None else float(min_s),
+            max_s=float(data["max_s"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed, labelled interval of work."""
+
+    name: str
+    duration_s: float
+    labels: tuple[tuple[str, object], ...] = ()
+
+    def label(self, key: str, default: object = None) -> object:
+        for label_key, value in self.labels:
+            if label_key == key:
+                return value
+        return default
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "labels": dict(self.labels),
+        }
+
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+def log2_edges(upper: float) -> tuple[float, ...]:
+    """Power-of-two bin edges ``(0, 1, 2, 4, ...)`` covering ``upper``.
+
+    Deterministic for a given ``upper``, so histograms built from the
+    same data range are mergeable.
+    """
+    if upper < 0:
+        raise ObservabilityError(f"histogram upper bound < 0: {upper}")
+    edges = [0.0, 1.0]
+    while edges[-1] <= upper:
+        edges.append(edges[-1] * 2.0)
+    return tuple(edges)
+
+
+@dataclass
+class Histogram:
+    """Fixed-edge counting histogram with explicit under/overflow.
+
+    ``edges`` are the ``n + 1`` ascending bin boundaries; value ``v``
+    lands in bin ``i`` when ``edges[i] <= v < edges[i + 1]``.
+    """
+
+    edges: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    underflow: int = 0
+    overflow: int = 0
+    total_value: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.edges = tuple(float(e) for e in self.edges)
+        if len(self.edges) < 2 or any(
+            a >= b for a, b in zip(self.edges, self.edges[1:])
+        ):
+            raise ObservabilityError(
+                f"histogram edges must be >= 2 strictly ascending values, "
+                f"got {self.edges}"
+            )
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) - 1)
+        if len(self.counts) != len(self.edges) - 1:
+            raise ObservabilityError(
+                f"histogram has {len(self.edges)} edges but "
+                f"{len(self.counts)} counts"
+            )
+
+    @classmethod
+    def of(
+        cls, values: Iterable[float], edges: Iterable[float]
+    ) -> "Histogram":
+        histogram = cls(edges=tuple(edges))
+        for value in values:
+            histogram.add(value)
+        return histogram
+
+    def add(self, value: float) -> None:
+        self.total_value += value
+        if value < self.edges[0]:
+            self.underflow += 1
+        elif value >= self.edges[-1]:
+            self.overflow += 1
+        else:
+            self.counts[bisect.bisect_right(self.edges, value) - 1] += 1
+
+    @property
+    def total_count(self) -> int:
+        return sum(self.counts) + self.underflow + self.overflow
+
+    @property
+    def mean(self) -> float:
+        count = self.total_count
+        return self.total_value / count if count else 0.0
+
+    def merged(self, other: "Histogram") -> "Histogram":
+        if self.edges != other.edges:
+            raise ObservabilityError(
+                "cannot merge histograms with different edges: "
+                f"{self.edges} vs {other.edges}"
+            )
+        return Histogram(
+            edges=self.edges,
+            counts=[a + b for a, b in zip(self.counts, other.counts)],
+            underflow=self.underflow + other.underflow,
+            overflow=self.overflow + other.overflow,
+            total_value=self.total_value + other.total_value,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+            "total_value": self.total_value,
+        }
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+class _NullContext:
+    """Shared no-op context manager for disabled registries."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class _TimerContext:
+    __slots__ = ("_registry", "_name", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._start = time.perf_counter()
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._registry.observe(
+            self._name, time.perf_counter() - self._start
+        )
+        return False
+
+
+class _SpanContext:
+    __slots__ = ("_registry", "_name", "_labels", "_start")
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        labels: tuple[tuple[str, object], ...],
+    ) -> None:
+        self._registry = registry
+        self._name = name
+        self._labels = labels
+
+    def __enter__(self) -> None:
+        self._start = time.perf_counter()
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._registry.add_span(
+            self._name,
+            time.perf_counter() - self._start,
+            self._labels,
+        )
+        return False
+
+
+class MetricsRegistry:
+    """Named counters, timers and spans with worker-safe merging.
+
+    One registry per worker (or per run); merge with :meth:`merged`.
+    A registry constructed with ``enabled=False`` turns every recording
+    method into a no-op.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, TimerStat] = {}
+        self.spans: list[SpanEvent] = []
+
+    # -- recording ------------------------------------------------------
+    def incr(self, name: str, value: int = 1) -> None:
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, seconds: float) -> None:
+        if not self.enabled:
+            return
+        stat = self.timers.get(name)
+        if stat is None:
+            stat = self.timers[name] = TimerStat()
+        stat.add(seconds)
+
+    def add_span(
+        self,
+        name: str,
+        duration_s: float,
+        labels: tuple[tuple[str, object], ...] = (),
+    ) -> None:
+        if not self.enabled:
+            return
+        self.spans.append(SpanEvent(name, duration_s, labels))
+
+    def time(self, name: str):
+        """Context manager recording its duration into timer ``name``."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _TimerContext(self, name)
+
+    def span(self, name: str, **labels: object):
+        """Context manager recording a labelled :class:`SpanEvent`."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _SpanContext(self, name, tuple(sorted(labels.items())))
+
+    # -- reading --------------------------------------------------------
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def timer(self, name: str) -> TimerStat:
+        return self.timers.get(name, TimerStat())
+
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        return {
+            name: value
+            for name, value in self.counters.items()
+            if name.startswith(prefix)
+        }
+
+    # -- merging & serialization ---------------------------------------
+    def merged(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Combined registry (associative; identity = empty registry)."""
+        merged = MetricsRegistry(enabled=self.enabled or other.enabled)
+        merged.counters = dict(self.counters)
+        for name, value in other.counters.items():
+            merged.counters[name] = merged.counters.get(name, 0) + value
+        merged.timers = {
+            name: TimerStat(
+                stat.count, stat.total_s, stat.min_s, stat.max_s
+            )
+            for name, stat in self.timers.items()
+        }
+        for name, stat in other.timers.items():
+            mine = merged.timers.get(name)
+            merged.timers[name] = (
+                stat.merged(TimerStat()) if mine is None
+                else mine.merged(stat)
+            )
+        merged.spans = list(self.spans) + list(other.spans)
+        return merged
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view (used by the run manifest)."""
+        return {
+            "counters": dict(self.counters),
+            "timers": {
+                name: stat.to_dict()
+                for name, stat in sorted(self.timers.items())
+            },
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Mapping) -> "MetricsRegistry":
+        registry = cls()
+        registry.counters = {
+            str(k): int(v) for k, v in data.get("counters", {}).items()
+        }
+        registry.timers = {
+            str(name): TimerStat.from_dict(stat)
+            for name, stat in data.get("timers", {}).items()
+        }
+        registry.spans = [
+            SpanEvent(
+                name=str(span["name"]),
+                duration_s=float(span["duration_s"]),
+                labels=tuple(sorted(dict(span.get("labels", {})).items())),
+            )
+            for span in data.get("spans", ())
+        ]
+        return registry
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(enabled={self.enabled}, "
+            f"{len(self.counters)} counters, {len(self.timers)} timers, "
+            f"{len(self.spans)} spans)"
+        )
+
+
+#: Shared disabled registry: every recording call is a no-op.
+NULL_METRICS = MetricsRegistry(enabled=False)

@@ -2,19 +2,25 @@
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 
 from repro.engine import (
     CacheStats,
+    CellTelemetry,
     ContentKeyedCache,
+    RunTelemetry,
     SweepCell,
     SweepRunner,
     WorkloadSpec,
     build_grid,
     matrix_content_key,
     run_sweep,
+    workload_recipe_digest,
 )
-from repro.errors import SweepCellError
+from repro.errors import CopernicusError, SweepCellError, SweepConfigError
+from repro.observability import read_manifest
 from repro.formats import PAPER_FORMATS
 from repro.partition import PARTITION_SIZES
 from repro.workloads import Workload, band_matrix, random_matrix
@@ -228,3 +234,194 @@ class TestRunnerErrors:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError):
             SweepRunner(max_workers=0)
+
+    @pytest.mark.parametrize("workers", [0, -1, -16])
+    def test_bad_worker_counts_raise_copernicus_error(self, workers):
+        """`--workers 0` and friends must fail as a library error the
+        CLI can render, not a raw traceback."""
+        with pytest.raises(CopernicusError) as excinfo:
+            SweepRunner(max_workers=workers)
+        assert isinstance(excinfo.value, SweepConfigError)
+        assert str(workers) in str(excinfo.value)
+
+    def test_non_integer_worker_count_rejected(self):
+        with pytest.raises(SweepConfigError):
+            SweepRunner(max_workers=2.5)
+        with pytest.raises(SweepConfigError):
+            SweepRunner(max_workers=True)
+
+
+# ----------------------------------------------------------------------
+# Process-boundary contracts: everything a worker returns must pickle
+# ----------------------------------------------------------------------
+class TestPickling:
+    def test_sweep_cell_error_keeps_coords(self):
+        error = SweepCellError(("band-b", "csr", 16), "boom")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, SweepCellError)
+        assert clone.coords == ("band-b", "csr", 16)
+        assert clone.reason == "boom"
+        assert "band-b" in str(clone)
+
+    def test_cell_telemetry_pickles(self):
+        cell = CellTelemetry(
+            index=3,
+            workload="band-4",
+            format_name="csr",
+            partition_size=16,
+            cache_key="ab" * 16,
+            wall_s=0.25,
+        )
+        clone = pickle.loads(pickle.dumps(cell))
+        assert clone == cell
+        assert clone.coords == ("band-4", "csr", 16)
+
+    def test_run_telemetry_pickles_with_metrics(self):
+        outcome = run_sweep(
+            [WorkloadSpec.random(96, 0.05, seed=1)],
+            ("csr",),
+            (16,),
+            telemetry=True,
+        )
+        clone = pickle.loads(pickle.dumps(outcome.telemetry))
+        assert isinstance(clone, RunTelemetry)
+        assert [c.index for c in clone.cells] == [
+            c.index for c in outcome.telemetry.cells
+        ]
+        assert (
+            clone.metrics.counters == outcome.telemetry.metrics.counters
+        )
+        assert clone.digest() == outcome.telemetry.digest()
+
+    def test_cache_stats_pickle(self):
+        stats = CacheStats({"profiles": 2}, {"profiles": 1})
+        assert pickle.loads(pickle.dumps(stats)) == stats
+
+
+# ----------------------------------------------------------------------
+# Telemetry: 1-worker and 2-worker runs are semantically equivalent
+# ----------------------------------------------------------------------
+class TestTelemetryEquivalence:
+    """The observability acceptance criterion: same grid, different
+    worker counts -> identical cell results AND semantically equivalent
+    manifests (same cells, same cache-key set, merged counters)."""
+
+    GRID = (
+        WorkloadSpec.random(96, 0.05, seed=1),
+        WorkloadSpec.band(96, 4, seed=1),
+    )
+    FORMATS = ("csr", "coo", "dia")
+    PARTITIONS = (8, 16)
+
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("manifests")
+        outcomes, manifests = {}, {}
+        for workers in (1, 2):
+            outcome = run_sweep(
+                self.GRID,
+                self.FORMATS,
+                self.PARTITIONS,
+                max_workers=workers,
+                telemetry=True,
+            )
+            outcomes[workers] = outcome
+            manifests[workers] = read_manifest(
+                outcome.write_manifest(tmp / f"w{workers}.jsonl")
+            )
+        return outcomes, manifests
+
+    def test_cell_results_identical(self, runs):
+        outcomes, _ = runs
+        assert outcomes[1].results == outcomes[2].results
+
+    def test_manifest_cells_and_cache_keys_match(self, runs):
+        _, manifests = runs
+        assert (
+            manifests[1].cell_coords() == manifests[2].cell_coords()
+        )
+        assert manifests[1].cache_keys() == manifests[2].cache_keys()
+        assert manifests[1].recipes() == manifests[2].recipes()
+        # deterministic model metrics agree cell by cell.
+        def by_coords(manifest):
+            return {
+                (c["workload"], c["format"], c["partition_size"]): c
+                for c in manifest.cells
+            }
+
+        one, two = by_coords(manifests[1]), by_coords(manifests[2])
+        for coords, cell in one.items():
+            for metric in ("total_cycles", "sigma", "total_bytes"):
+                assert cell[metric] == two[coords][metric], coords
+
+    def test_run_digests_match(self, runs):
+        outcomes, _ = runs
+        assert (
+            outcomes[1].telemetry.digest()
+            == outcomes[2].telemetry.digest()
+        )
+
+    def test_counters_are_merged_not_lost(self, runs):
+        outcomes, manifests = runs
+        for workers in (1, 2):
+            outcome, manifest = outcomes[workers], manifests[workers]
+            counters = manifest.counters()
+            # every executed cell is counted exactly once...
+            assert counters["sweep.cells"] == len(outcome.results)
+            # ...and the manifest's cache counters equal the runner's
+            # merged stats (the sum over all workers).
+            for kind, count in outcome.stats.hits.items():
+                assert counters[f"cache.{kind}.hits"] == count
+            for kind, count in outcome.stats.misses.items():
+                assert counters[f"cache.{kind}.misses"] == count
+            timer = outcome.telemetry.metrics.timer("sweep.cell")
+            assert timer.count == len(outcome.results)
+
+    def test_telemetry_off_produces_identical_results(self, runs):
+        outcomes, _ = runs
+        plain = run_sweep(
+            self.GRID, self.FORMATS, self.PARTITIONS, max_workers=1
+        )
+        assert plain.telemetry is None
+        assert plain.results == outcomes[1].results
+        assert plain.stats.hits == outcomes[1].stats.hits
+        assert plain.stats.misses == outcomes[1].stats.misses
+
+
+# ----------------------------------------------------------------------
+# Telemetry plumbing details
+# ----------------------------------------------------------------------
+class TestTelemetryPlumbing:
+    def test_cells_come_back_in_grid_order(self):
+        outcome = run_sweep(
+            small_workloads(), ("csr", "coo"), (8, 16),
+            max_workers=2, telemetry=True,
+        )
+        indexes = [cell.index for cell in outcome.telemetry.cells]
+        assert indexes == list(range(len(outcome.results)))
+        for cell, result in zip(
+            outcome.telemetry.cells, outcome.results
+        ):
+            assert cell.coords == (
+                result.workload,
+                result.format_name,
+                result.partition_size,
+            )
+
+    def test_empty_grid_with_telemetry(self):
+        outcome = SweepRunner(telemetry=True).run([])
+        assert outcome.telemetry is not None
+        assert outcome.telemetry.cells == []
+        assert outcome.telemetry.n_chunks == 0
+
+    def test_recipe_digest_spec_vs_materialized(self):
+        spec = WorkloadSpec.random(96, 0.05, seed=1, name="rand-a")
+        materialized = Workload(
+            "rand-a", "random", random_matrix(96, 0.05, seed=1)
+        )
+        # spec digests hash the recipe, matrices hash their content —
+        # both are deterministic, but deliberately different spaces.
+        assert workload_recipe_digest(spec) == spec.recipe_digest
+        assert workload_recipe_digest(materialized) == (
+            matrix_content_key(materialized.matrix)
+        )

@@ -122,3 +122,51 @@ class TestPipelineRun:
         for name in ("csr", "coo", "lil"):
             sparse = self.run(name)
             assert sparse.memory_cycles < dense.memory_cycles
+
+
+class TestObservabilityHooks:
+    def result(self):
+        matrix = random_matrix(64, 0.1, seed=2)
+        profiles = profile_partitions(matrix, 16)
+        return StreamingPipeline(CONFIG, "csr").run(profiles)
+
+    def test_stage_cycles_match_timings(self):
+        result = self.result()
+        cycles = result.stage_cycles()
+        assert set(cycles) == {"memory", "decompress", "dot"}
+        assert cycles["memory"].sum() == result.memory_cycles
+        assert cycles["dot"].sum() == sum(
+            t.dot_cycles for t in result.timings
+        )
+
+    def test_stage_histograms_cover_all_partitions(self):
+        result = self.result()
+        histograms = result.stage_histograms()
+        assert set(histograms) == {"memory", "decompress", "dot"}
+        for histogram in histograms.values():
+            assert histogram.total_count == len(result.timings)
+        # shared edges so stage histograms are comparable / mergeable.
+        edges = {h.edges for h in histograms.values()}
+        assert len(edges) == 1
+
+    def test_stage_histograms_custom_edges(self):
+        result = self.result()
+        edges = (0.0, 1e6)
+        histogram = result.stage_histograms(edges)["memory"]
+        assert histogram.edges == edges
+        assert histogram.counts[0] == len(result.timings)
+
+    def test_record_metrics_is_additive(self):
+        from repro.observability import MetricsRegistry
+
+        result = self.result()
+        metrics = MetricsRegistry()
+        result.record_metrics(metrics)
+        result.record_metrics(metrics)
+        assert metrics.counter("pipeline.partitions") == 2 * len(
+            result.timings
+        )
+        assert (
+            metrics.counter("pipeline.total_cycles")
+            == 2 * result.total_cycles
+        )

@@ -113,3 +113,49 @@ class TestImbalanceAnalysis:
                 trace.compute_idle_cycles + trace.memory_stall_cycles
             ) / trace.total_cycles
         assert waste["dense"] < waste["csc"]
+
+
+class TestObservabilityHooks:
+    def trace(self, format_name: str = "csr"):
+        matrix = random_matrix(96, 0.08, seed=5)
+        profiles = profile_partitions(matrix, 16)
+        return trace_pipeline(CONFIG, format_name, profiles), profiles
+
+    def test_bubble_accounting_balances(self):
+        trace, _ = self.trace()
+        accounting = trace.bubble_accounting()
+        total = accounting["total_cycles"]
+        assert total == trace.total_cycles
+        # busy + idle partitions each stage's own active window
+        # (first start to last stop).
+        idle_names = {
+            "memory": "memory_stall_cycles",
+            "compute": "compute_idle_cycles",
+            "write": "write_idle_cycles",
+        }
+        for stage, intervals in trace.stage_intervals().items():
+            window = intervals[-1].stop - intervals[0].start
+            assert (
+                accounting[f"{stage}_busy_cycles"]
+                + accounting[idle_names[stage]]
+                == window
+            )
+            assert 0 <= accounting[f"{stage}_busy_cycles"] <= total
+
+    def test_stage_histograms_count_intervals(self):
+        trace, profiles = self.trace()
+        histograms = trace.stage_histograms()
+        assert set(histograms) == {"memory", "compute", "write"}
+        for histogram in histograms.values():
+            assert histogram.total_count == len(profiles)
+
+    def test_record_metrics_emits_accounting(self):
+        from repro.observability import MetricsRegistry
+
+        trace, _ = self.trace()
+        metrics = MetricsRegistry()
+        trace.record_metrics(metrics)
+        assert (
+            metrics.counter("trace.total_cycles") == trace.total_cycles
+        )
+        assert metrics.counter("trace.compute_idle_cycles") >= 0

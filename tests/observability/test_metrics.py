@@ -1,0 +1,273 @@
+"""Metric primitives: merge laws, pickling, disabled-mode, histograms.
+
+The merge property tests are what license the sweep runner's
+aggregation strategy: workers merge in arbitrary grouping order, so
+``merged`` must be associative with the empty registry as identity,
+and counter merges must be exact (integer) while timer merges are
+exact up to float addition.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObservabilityError
+from repro.observability import (
+    NULL_METRICS,
+    Histogram,
+    MetricsRegistry,
+    SpanEvent,
+    TimerStat,
+    log2_edges,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+counter_names = st.sampled_from(
+    ["sweep.cells", "cache.matrix.hits", "cache.profiles.misses", "x"]
+)
+durations = st.floats(
+    min_value=0.0, max_value=100.0,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+@st.composite
+def registries(draw) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for name, value in draw(
+        st.lists(
+            st.tuples(counter_names, st.integers(1, 1000)), max_size=6
+        )
+    ):
+        registry.incr(name, value)
+    for name, seconds in draw(
+        st.lists(st.tuples(counter_names, durations), max_size=6)
+    ):
+        registry.observe(name, seconds)
+    for name, seconds in draw(
+        st.lists(st.tuples(counter_names, durations), max_size=3)
+    ):
+        registry.add_span(name, seconds, (("cell", "c"),))
+    return registry
+
+
+def assert_equivalent(a: MetricsRegistry, b: MetricsRegistry) -> None:
+    assert a.counters == b.counters
+    assert a.timers.keys() == b.timers.keys()
+    for name in a.timers:
+        left, right = a.timers[name], b.timers[name]
+        assert left.count == right.count
+        assert left.total_s == pytest.approx(right.total_s)
+        assert left.min_s == right.min_s
+        assert left.max_s == right.max_s
+    assert sorted(a.spans, key=repr) == sorted(b.spans, key=repr)
+
+
+# ----------------------------------------------------------------------
+# Merge laws
+# ----------------------------------------------------------------------
+class TestMergeProperties:
+    @given(registries(), registries(), registries())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        assert_equivalent(
+            a.merged(b).merged(c), a.merged(b.merged(c))
+        )
+
+    @given(registries(), registries())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_counters_commute(self, a, b):
+        assert a.merged(b).counters == b.merged(a).counters
+
+    @given(registries())
+    @settings(max_examples=60, deadline=None)
+    def test_empty_registry_is_identity(self, a):
+        empty = MetricsRegistry()
+        assert_equivalent(a.merged(empty), a)
+        assert_equivalent(empty.merged(a), a)
+
+    @given(registries(), registries())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_does_not_mutate_operands(self, a, b):
+        before_a = pickle.dumps(a.snapshot())
+        before_b = pickle.dumps(b.snapshot())
+        a.merged(b)
+        assert pickle.dumps(a.snapshot()) == before_a
+        assert pickle.dumps(b.snapshot()) == before_b
+
+    @given(registries(), registries())
+    @settings(max_examples=60, deadline=None)
+    def test_merged_counts_are_sums(self, a, b):
+        merged = a.merged(b)
+        for name in set(a.counters) | set(b.counters):
+            assert merged.counter(name) == a.counter(name) + b.counter(
+                name
+            )
+        for name in set(a.timers) | set(b.timers):
+            assert (
+                merged.timer(name).count
+                == a.timer(name).count + b.timer(name).count
+            )
+
+
+# ----------------------------------------------------------------------
+# Snapshot / pickle round-trips (the process-boundary contract)
+# ----------------------------------------------------------------------
+class TestSerialization:
+    @given(registries())
+    @settings(max_examples=40, deadline=None)
+    def test_pickle_roundtrip(self, registry):
+        clone = pickle.loads(pickle.dumps(registry))
+        assert_equivalent(clone, registry)
+        assert clone.enabled == registry.enabled
+
+    @given(registries())
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_roundtrip(self, registry):
+        clone = MetricsRegistry.from_snapshot(registry.snapshot())
+        assert_equivalent(clone, registry)
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.incr("a", 2)
+        registry.observe("t", 0.5)
+        registry.add_span("s", 0.25, (("k", "v"),))
+        parsed = json.loads(json.dumps(registry.snapshot()))
+        assert parsed["counters"] == {"a": 2}
+        assert parsed["timers"]["t"]["count"] == 1
+        assert parsed["spans"][0]["labels"] == {"k": "v"}
+
+    def test_timerstat_pickles(self):
+        stat = TimerStat()
+        stat.add(1.5)
+        stat.add(0.5)
+        clone = pickle.loads(pickle.dumps(stat))
+        assert clone == stat
+
+    def test_span_event_pickles(self):
+        span = SpanEvent("cell", 0.125, (("workload", "band-4"),))
+        assert pickle.loads(pickle.dumps(span)) == span
+
+
+# ----------------------------------------------------------------------
+# Recording semantics
+# ----------------------------------------------------------------------
+class TestRecording:
+    def test_time_context_records_one_observation(self):
+        registry = MetricsRegistry()
+        with registry.time("work"):
+            pass
+        stat = registry.timer("work")
+        assert stat.count == 1
+        assert stat.total_s >= 0.0
+        assert stat.min_s == stat.max_s == stat.total_s
+
+    def test_span_context_records_labels(self):
+        registry = MetricsRegistry()
+        with registry.span("cell", workload="band-4", p=16):
+            pass
+        (span,) = registry.spans
+        assert span.name == "cell"
+        assert span.label("workload") == "band-4"
+        assert span.label("p") == 16
+        assert span.label("missing", "x") == "x"
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().observe("t", -1.0)
+
+    def test_counters_with_prefix(self):
+        registry = MetricsRegistry()
+        registry.incr("cache.matrix.hits", 3)
+        registry.incr("sweep.cells", 8)
+        assert registry.counters_with_prefix("cache.") == {
+            "cache.matrix.hits": 3
+        }
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.incr("a")
+        registry.observe("t", 1.0)
+        registry.add_span("s", 1.0)
+        with registry.time("t2"):
+            pass
+        with registry.span("s2"):
+            pass
+        assert registry.counters == {}
+        assert registry.timers == {}
+        assert registry.spans == []
+
+    def test_null_metrics_time_is_shared_noop(self):
+        # the disabled fast path hands back one shared context manager
+        assert NULL_METRICS.time("a") is NULL_METRICS.time("b")
+
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+class TestHistogram:
+    def test_binning_and_flows(self):
+        histogram = Histogram.of([0, 1, 1.5, 2, 3.99, 4, -1], (1, 2, 4))
+        assert histogram.counts == [2, 2]  # [1,2): 1,1.5  [2,4): 2,3.99
+        assert histogram.underflow == 2  # 0, -1
+        assert histogram.overflow == 1  # 4
+        assert histogram.total_count == 7
+
+    def test_log2_edges_cover_upper(self):
+        edges = log2_edges(100)
+        assert edges[0] == 0.0
+        assert edges[-1] > 100
+        assert all(b == 2 * a for a, b in zip(edges[2:], edges[3:]))
+
+    def test_log2_edges_zero(self):
+        assert log2_edges(0) == (0.0, 1.0)
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=0.0, max_value=1000.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+            max_size=40,
+        ),
+        st.lists(
+            st.floats(
+                min_value=0.0, max_value=1000.0,
+                allow_nan=False, allow_infinity=False,
+            ),
+            max_size=40,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_histogram_of_concatenation(self, xs, ys):
+        edges = log2_edges(1000)
+        merged = Histogram.of(xs, edges).merged(Histogram.of(ys, edges))
+        combined = Histogram.of(xs + ys, edges)
+        assert merged.counts == combined.counts
+        assert merged.underflow == combined.underflow
+        assert merged.overflow == combined.overflow
+        assert merged.total_value == pytest.approx(
+            combined.total_value
+        )
+
+    def test_merge_rejects_mismatched_edges(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(edges=(0, 1)).merged(Histogram(edges=(0, 2)))
+
+    def test_invalid_edges_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(edges=(1,))
+        with pytest.raises(ObservabilityError):
+            Histogram(edges=(2, 1))
+
+    def test_pickles(self):
+        histogram = Histogram.of([1, 2, 3], (0, 2, 4))
+        assert pickle.loads(pickle.dumps(histogram)) == histogram

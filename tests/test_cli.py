@@ -143,6 +143,83 @@ class TestSweepAndAdvise:
         assert exc.value.code == 2
 
 
+class TestObservabilityCli:
+    def test_sweep_profile(self, capsys):
+        out = run_cli(
+            capsys, "sweep", "--group", "band", "--partitions", "8",
+            "--profile",
+        )
+        assert "Sweep profile" in out
+        assert "Cache counters" in out
+        assert "Slowest" in out
+
+    def test_sweep_emit_metrics_then_stats(self, capsys, tmp_path):
+        manifest = tmp_path / "run.jsonl"
+        out = run_cli(
+            capsys, "sweep", "--group", "band", "--partitions", "8",
+            "--emit-metrics", str(manifest),
+        )
+        assert f"run manifest written to {manifest}" in out
+        assert manifest.exists()
+        out = run_cli(capsys, "stats", str(manifest))
+        assert "Sweep run manifest" in out
+        assert "Cache effectiveness" in out
+        assert "Per-workload totals" in out
+
+    def test_stats_against_self_reports_no_model_changes(
+        self, capsys, tmp_path
+    ):
+        manifest = tmp_path / "run.jsonl"
+        run_cli(
+            capsys, "sweep", "--group", "band", "--partitions", "8",
+            "--emit-metrics", str(manifest),
+        )
+        out = run_cli(
+            capsys, "stats", str(manifest), "--against", str(manifest)
+        )
+        assert "no metric changes" in out
+
+    def test_stats_against_detects_model_drift(self, capsys, tmp_path):
+        import json
+
+        baseline = tmp_path / "baseline.jsonl"
+        run_cli(
+            capsys, "sweep", "--group", "band", "--partitions", "8",
+            "--emit-metrics", str(baseline),
+        )
+        # simulate a model regression: inflate one cell's cycle count.
+        drifted = tmp_path / "drifted.jsonl"
+        records = [
+            json.loads(line)
+            for line in baseline.read_text().splitlines()
+        ]
+        for record in records:
+            if record["type"] == "cell" and record["index"] == 0:
+                record["total_cycles"] *= 2
+        drifted.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        out = run_cli(
+            capsys, "stats", str(drifted), "--against", str(baseline)
+        )
+        assert "total_cycles" in out
+
+    def test_stats_missing_manifest_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["stats", "/nonexistent/run.jsonl"])
+        assert exc.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("workers", ["0", "-2"])
+    def test_invalid_worker_count_exits_cleanly(self, capsys, workers):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--group", "band", "--workers", workers])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+
 class TestParser:
     def test_parser_builds(self):
         parser = build_parser()

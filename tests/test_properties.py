@@ -127,6 +127,133 @@ class TestFormatProperties:
         assert 0.0 <= size.bandwidth_utilization <= 1.0
 
 
+@st.composite
+def edge_case_matrices(draw) -> SparseMatrix:
+    """Degenerate structures the uniform strategy rarely produces.
+
+    Covers the shapes that historically break format codecs: rows and
+    columns that are entirely empty, a lone nonzero in an extreme
+    corner, heavily rectangular shapes, and matrices whose nonzeros
+    all cluster in one tile so that almost every partition is empty.
+    """
+    kind = draw(
+        st.sampled_from(
+            ["empty-bands", "single-element", "rectangular", "clustered"]
+        )
+    )
+    if kind == "empty-bands":
+        # interleave populated and guaranteed-empty rows/columns.
+        n = draw(st.integers(4, 24))
+        stride = draw(st.integers(2, 4))
+        live = [i for i in range(n) if i % stride == 0]
+        entries = draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(live),
+                    st.sampled_from(live),
+                    st.floats(
+                        min_value=-50.0, max_value=50.0,
+                        allow_nan=False, allow_infinity=False,
+                    ),
+                ),
+                max_size=20,
+            )
+        )
+        rows = [r for r, _, _ in entries]
+        cols = [c for _, c, _ in entries]
+        values = [v for _, _, v in entries]
+        return SparseMatrix((n, n), rows, cols, values)
+    if kind == "single-element":
+        n_rows = draw(st.integers(1, 40))
+        n_cols = draw(st.integers(1, 40))
+        r = draw(st.sampled_from([0, n_rows - 1]))
+        c = draw(st.sampled_from([0, n_cols - 1]))
+        value = draw(
+            st.floats(
+                min_value=-50.0, max_value=50.0,
+                allow_nan=False, allow_infinity=False,
+            ).filter(lambda v: v != 0.0)
+        )
+        return SparseMatrix((n_rows, n_cols), [r], [c], [value])
+    if kind == "rectangular":
+        long_side = draw(st.integers(16, 48))
+        short_side = draw(st.integers(1, 3))
+        tall = draw(st.booleans())
+        shape = (
+            (long_side, short_side) if tall else (short_side, long_side)
+        )
+        return draw(
+            sparse_matrices(
+                max_rows=shape[0], max_cols=shape[1], max_entries=15
+            ).map(
+                lambda m: SparseMatrix(shape, m.rows, m.cols, m.vals)
+            )
+        )
+    # clustered: every nonzero inside one corner tile, so all other
+    # partitions are empty after tiling.
+    n = draw(st.integers(16, 32))
+    tile = draw(st.integers(2, 4))
+    corner = draw(st.sampled_from(["tl", "br"]))
+    offset = 0 if corner == "tl" else n - tile
+    entries = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, tile - 1),
+                st.integers(0, tile - 1),
+                st.floats(
+                    min_value=-50.0, max_value=50.0,
+                    allow_nan=False, allow_infinity=False,
+                ),
+            ),
+            max_size=10,
+        )
+    )
+    rows = [offset + r for r, _, _ in entries]
+    cols = [offset + c for _, c, _ in entries]
+    values = [v for _, _, v in entries]
+    return SparseMatrix((n, n), rows, cols, values)
+
+
+class TestEdgeCaseFormatProperties:
+    """Satellite pass: every registered format must survive the
+    degenerate shapes — encode/decode losslessly and agree with the
+    dense reference SpMV."""
+
+    @given(edge_case_matrices(), st.sampled_from(sorted(ALL_FORMATS)))
+    @settings(max_examples=150, deadline=None)
+    def test_encode_decode_roundtrip(self, matrix, format_name):
+        fmt = get_format(format_name)
+        decoded = fmt.decode(fmt.encode(matrix))
+        assert decoded == matrix
+        assert np.array_equal(decoded.to_dense(), matrix.to_dense())
+
+    @given(
+        edge_case_matrices(),
+        st.sampled_from(sorted(ALL_FORMATS)),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_spmv_matches_dense_reference(
+        self, matrix, format_name, seed
+    ):
+        fmt = get_format(format_name)
+        x = np.random.default_rng(seed).uniform(
+            -1, 1, size=matrix.n_cols
+        )
+        result = fmt.spmv(fmt.encode(matrix), x)
+        assert result.shape == (matrix.n_rows,)
+        assert np.allclose(result, matrix.to_dense() @ x, atol=1e-9)
+
+    @given(edge_case_matrices(), st.sampled_from([4, 8, 16]))
+    @settings(max_examples=100, deadline=None)
+    def test_partitioning_survives_edge_cases(self, matrix, p):
+        # all-zero tiles are dropped, never crash, and the survivors
+        # reassemble into exactly the original matrix.
+        parts = partition_matrix(matrix, p)
+        assert all(tile.block.nnz > 0 for tile in parts)
+        assert reassemble(matrix.shape, parts, p) == matrix
+
+
 class TestPartitionProperties:
     @given(sparse_matrices(max_rows=30, max_cols=30, max_entries=60),
            st.sampled_from([4, 8, 16]))
