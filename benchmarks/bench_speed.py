@@ -1,0 +1,125 @@
+"""Scalar-vs-batch pipeline speed benchmark (``BENCH_pipeline.json``).
+
+Times the struct-of-arrays batch path of
+:class:`repro.hardware.pipeline.StreamingPipeline` against the
+per-profile scalar reference on paper-scale synthetic workloads and
+writes the machine-readable report::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py            # 8000 x 8000
+    PYTHONPATH=src python benchmarks/bench_speed.py --quick    # CI smoke
+
+Exits non-zero when any (workload, format) pair runs slower on the
+batch path than on the scalar path, so CI can gate on the speedup.
+The same harness backs ``repro bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.bench import bench_pipeline, bench_report, write_report
+from repro.formats.registry import PAPER_FORMATS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--n", type=int, default=8000,
+        help="matrix dimension (default 8000, the paper scale)",
+    )
+    parser.add_argument(
+        "-p", "--partition", type=int, default=8,
+        help="partition size (default 8)",
+    )
+    parser.add_argument(
+        "--density", type=float, default=0.01,
+        help="density of the random workload (default 0.01)",
+    )
+    parser.add_argument(
+        "--band-width", type=int, default=64,
+        help="width of the band workload (default 64)",
+    )
+    parser.add_argument(
+        "--formats", nargs="+", default=list(PAPER_FORMATS),
+        help="formats to bench (default: the eight paper formats)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="timing repeats, best-of reported (default 1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="generator seed (default 0)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="1024 x 1024 smoke run (CI-sized)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_pipeline.json",
+        help="JSON report path (default BENCH_pipeline.json)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    n = 1024 if args.quick else args.n
+    results = bench_pipeline(
+        n=n,
+        p=args.partition,
+        density=args.density,
+        band_width=args.band_width,
+        formats=tuple(args.formats),
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    report = bench_report(
+        results,
+        n=n,
+        p=args.partition,
+        density=args.density,
+        band_width=args.band_width,
+        repeats=args.repeats,
+    )
+    path = write_report(report, args.output)
+
+    header = (
+        f"{'workload':<14} {'format':<8} {'tiles':>8} "
+        f"{'scalar ms':>10} {'batch ms':>9} {'speedup':>8} "
+        f"{'Mcells/s':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        print(
+            f"{r.workload:<14} {r.format_name:<8} {r.n_tiles:>8} "
+            f"{r.scalar_s * 1e3:>10.2f} {r.batch_s * 1e3:>9.2f} "
+            f"{r.speedup:>7.1f}x {r.batch_cells_per_s / 1e6:>9.0f}"
+        )
+    summary = report["summary"]
+    print(
+        f"\nspeedup: min {summary['min_speedup']:.1f}x, "
+        f"geomean {summary['geomean_speedup']:.1f}x, "
+        f"max {summary['max_speedup']:.1f}x"
+    )
+    print(f"report written to {path}")
+
+    if summary["min_speedup"] < 1.0:
+        print(
+            "FAIL: batch path slower than the scalar reference",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,9 +52,11 @@ from .partition import (
     Partition,
     PartitionProfile,
     PartitionStatistics,
+    ProfileTable,
     partition_matrix,
     partition_statistics,
     profile_partitions,
+    profile_table,
 )
 
 __version__ = "1.0.0"
@@ -99,7 +101,9 @@ __all__ = [
     "Partition",
     "PartitionProfile",
     "PartitionStatistics",
+    "ProfileTable",
     "partition_matrix",
     "partition_statistics",
     "profile_partitions",
+    "profile_table",
 ]

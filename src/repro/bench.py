@@ -1,0 +1,210 @@
+"""Scalar-vs-batch pipeline benchmark.
+
+Times :meth:`~repro.hardware.pipeline.StreamingPipeline.run` (the
+struct-of-arrays batch path) against
+:meth:`~repro.hardware.pipeline.StreamingPipeline.run_scalar` (the
+per-profile reference loop) on paper-scale synthetic workloads, checks
+the two agree bit for bit, and reports throughput as cells/sec (matrix
+cells swept per second) and tiles/sec (non-zero partitions timed per
+second).
+
+Used by ``benchmarks/bench_speed.py`` and the ``repro bench``
+sub-command; both write the ``BENCH_pipeline.json`` report.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from .errors import SimulationError
+from .formats.registry import PAPER_FORMATS
+from .hardware.config import HardwareConfig
+from .hardware.pipeline import StreamingPipeline
+from .matrix import SparseMatrix
+from .partition import profile_table
+from .workloads import band_matrix, random_matrix
+
+__all__ = [
+    "BenchResult",
+    "bench_pipeline",
+    "bench_report",
+    "write_report",
+    "BENCH_REPORT_SCHEMA",
+]
+
+#: Schema tag stamped into every report for forward compatibility.
+BENCH_REPORT_SCHEMA = "bench_pipeline/v1"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One (workload, format) scalar-vs-batch timing comparison."""
+
+    workload: str
+    format_name: str
+    partition_size: int
+    n: int
+    nnz: int
+    n_tiles: int
+    scalar_s: float
+    batch_s: float
+
+    @property
+    def speedup(self) -> float:
+        if self.batch_s == 0:
+            return float("inf")
+        return self.scalar_s / self.batch_s
+
+    @property
+    def cells(self) -> int:
+        """Matrix cells covered by one pipeline evaluation."""
+        return self.n * self.n
+
+    @property
+    def batch_cells_per_s(self) -> float:
+        return self.cells / self.batch_s if self.batch_s else float("inf")
+
+    @property
+    def scalar_cells_per_s(self) -> float:
+        return (
+            self.cells / self.scalar_s if self.scalar_s else float("inf")
+        )
+
+    @property
+    def batch_tiles_per_s(self) -> float:
+        return (
+            self.n_tiles / self.batch_s if self.batch_s else float("inf")
+        )
+
+    @property
+    def scalar_tiles_per_s(self) -> float:
+        return (
+            self.n_tiles / self.scalar_s if self.scalar_s else float("inf")
+        )
+
+    def as_dict(self) -> dict:
+        record = asdict(self)
+        record.update(
+            speedup=self.speedup,
+            cells=self.cells,
+            batch_cells_per_s=self.batch_cells_per_s,
+            scalar_cells_per_s=self.scalar_cells_per_s,
+            batch_tiles_per_s=self.batch_tiles_per_s,
+            scalar_tiles_per_s=self.scalar_tiles_per_s,
+        )
+        return record
+
+
+def _best_time(run: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``run`` (min filters noise)."""
+    best = math.inf
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_workloads(
+    n: int, density: float, band_width: int, seed: int
+) -> list[tuple[str, SparseMatrix]]:
+    return [
+        (f"random-{density:g}", random_matrix(n, density, seed=seed)),
+        (f"band-{band_width}", band_matrix(n, band_width, seed=seed)),
+    ]
+
+
+def bench_pipeline(
+    n: int = 8000,
+    p: int = 8,
+    density: float = 0.01,
+    band_width: int = 64,
+    formats: Sequence[str] = PAPER_FORMATS,
+    repeats: int = 1,
+    seed: int = 0,
+) -> list[BenchResult]:
+    """Time batch vs scalar ``StreamingPipeline.run`` on both workloads.
+
+    Profiles each matrix once; the batch path consumes the
+    :class:`~repro.partition.ProfileTable` directly and the scalar path
+    consumes the pre-materialized profile objects, so the comparison
+    isolates the pipeline evaluation itself.  Every pair is checked for
+    bit-identical totals before it is reported.
+    """
+    config = HardwareConfig(partition_size=p)
+    results: list[BenchResult] = []
+    for workload, matrix in _bench_workloads(n, density, band_width, seed):
+        table = profile_table(matrix, p, block_size=config.block_size)
+        profiles = table.profiles()
+        for format_name in formats:
+            pipeline = StreamingPipeline(config, format_name)
+            batch_s = _best_time(lambda: pipeline.run(table), repeats)
+            scalar_s = _best_time(
+                lambda: pipeline.run_scalar(profiles), repeats
+            )
+            batch = pipeline.run(table)
+            scalar = pipeline.run_scalar(profiles)
+            if batch != scalar:
+                raise SimulationError(
+                    f"batch/scalar mismatch for {format_name} on "
+                    f"{workload}: {batch.total_cycles} != "
+                    f"{scalar.total_cycles} total cycles"
+                )
+            results.append(
+                BenchResult(
+                    workload=workload,
+                    format_name=format_name,
+                    partition_size=p,
+                    n=n,
+                    nnz=matrix.nnz,
+                    n_tiles=table.n_tiles,
+                    scalar_s=scalar_s,
+                    batch_s=batch_s,
+                )
+            )
+    return results
+
+
+def bench_report(
+    results: Sequence[BenchResult],
+    n: int,
+    p: int,
+    density: float,
+    band_width: int,
+    repeats: int,
+) -> dict:
+    """The ``BENCH_pipeline.json`` payload for a finished run."""
+    speedups = [r.speedup for r in results]
+    geomean = (
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        if speedups
+        else 0.0
+    )
+    return {
+        "schema": BENCH_REPORT_SCHEMA,
+        "config": {
+            "n": n,
+            "partition_size": p,
+            "density": density,
+            "band_width": band_width,
+            "repeats": repeats,
+        },
+        "results": [r.as_dict() for r in results],
+        "summary": {
+            "min_speedup": min(speedups, default=0.0),
+            "max_speedup": max(speedups, default=0.0),
+            "geomean_speedup": geomean,
+        },
+    }
+
+
+def write_report(report: dict, path: str | Path) -> Path:
+    """Write the report as indented JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path

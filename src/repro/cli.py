@@ -293,6 +293,58 @@ def _cmd_pareto(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_bench(args: argparse.Namespace) -> str:
+    from .bench import bench_pipeline, bench_report, write_report
+
+    n = 1024 if args.quick else args.n
+    formats = (
+        tuple(args.format) if args.format else PAPER_FORMATS
+    )
+    results = bench_pipeline(
+        n=n,
+        p=args.partition,
+        density=args.density,
+        band_width=args.band_width,
+        formats=formats,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    report = bench_report(
+        results,
+        n=n,
+        p=args.partition,
+        density=args.density,
+        band_width=args.band_width,
+        repeats=args.repeats,
+    )
+    path = write_report(report, args.output)
+    rows = [
+        [
+            r.workload,
+            r.format_name,
+            r.n_tiles,
+            r.scalar_s * 1e3,
+            r.batch_s * 1e3,
+            r.speedup,
+            r.batch_cells_per_s / 1e6,
+        ]
+        for r in results
+    ]
+    summary = report["summary"]
+    table = format_table(
+        ["workload", "format", "tiles", "scalar ms", "batch ms",
+         "speedup", "Mcells/s"],
+        rows,
+        title=f"Pipeline batch vs scalar, {n}x{n}, p={args.partition}",
+    )
+    return table + (
+        f"\n\nspeedup: min {summary['min_speedup']:.1f}x, "
+        f"geomean {summary['geomean_speedup']:.1f}x, "
+        f"max {summary['max_speedup']:.1f}x"
+        f"\nreport written to {path}"
+    )
+
+
 def _cmd_advise(args: argparse.Namespace) -> str:
     name, matrix = _build_workload(args)
     workload = Workload(name=name, group="cli", matrix=matrix)
@@ -418,6 +470,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(advise)
     advise.set_defaults(handler=_cmd_advise)
+
+    bench = commands.add_parser(
+        "bench",
+        help="time the batch pipeline against the scalar reference",
+    )
+    bench.add_argument(
+        "--n", type=int, default=8000,
+        help="matrix dimension (default 8000, the paper scale)",
+    )
+    bench.add_argument(
+        "-p", "--partition", type=int, default=8,
+        help="partition size (default 8)",
+    )
+    bench.add_argument(
+        "--density", type=float, default=0.01,
+        help="density of the random workload (default 0.01)",
+    )
+    bench.add_argument(
+        "--band-width", type=int, default=64,
+        help="width of the band workload (default 64)",
+    )
+    bench.add_argument(
+        "-f", "--format", action="append", default=None,
+        choices=sorted(ALL_FORMATS),
+        help="format(s) to bench (default: the eight paper formats)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=1,
+        help="timing repeats, best-of reported (default 1)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default 0)"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="1024 x 1024 smoke run (CI-sized)",
+    )
+    bench.add_argument(
+        "--output", metavar="PATH", default="BENCH_pipeline.json",
+        help="JSON report path (default BENCH_pipeline.json)",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     report = commands.add_parser(
         "report", help="full characterization report for one workload"

@@ -16,7 +16,12 @@ from ..hardware.pipeline import StreamingPipeline
 from ..hardware.power import estimate_power
 from ..hardware.resources import estimate_resources
 from ..matrix import SparseMatrix
-from ..partition import PartitionProfile, profile_partitions
+from ..partition import (
+    PartitionProfile,
+    ProfileTable,
+    profile_partitions,
+    profile_table,
+)
 from .results import CharacterizationResult
 
 __all__ = ["SpmvSimulator", "characterize"]
@@ -44,6 +49,14 @@ class SpmvSimulator:
             block_size=self.config.block_size,
         )
 
+    def profile_table(self, matrix: SparseMatrix) -> ProfileTable:
+        """Columnar profile of the non-zero partitions (the fast path)."""
+        return profile_table(
+            matrix,
+            self.config.partition_size,
+            block_size=self.config.block_size,
+        )
+
     def dense_compute_cycles(self, n_partitions: int) -> int:
         """Equation 1's denominator summed over the partitions."""
         p = self.config.partition_size
@@ -52,11 +65,15 @@ class SpmvSimulator:
     def run_format(
         self,
         format_name: str,
-        profiles: Sequence[PartitionProfile],
+        profiles: ProfileTable | Sequence[PartitionProfile],
         workload: str = "",
     ) -> CharacterizationResult:
-        """Characterize one format over pre-computed profiles."""
-        if not profiles:
+        """Characterize one format over pre-computed profiles.
+
+        Accepts a :class:`ProfileTable` (preferred — the pipeline stays
+        on the vectorized batch path) or a profile sequence.
+        """
+        if not len(profiles):
             raise SimulationError(
                 "cannot characterize an all-zero matrix: no non-zero "
                 "partitions to stream"
@@ -85,7 +102,9 @@ class SpmvSimulator:
         workload: str = "",
     ) -> CharacterizationResult:
         """Characterize one format on one matrix."""
-        return self.run_format(format_name, self.profiles(matrix), workload)
+        return self.run_format(
+            format_name, self.profile_table(matrix), workload
+        )
 
     def characterize_formats(
         self,
@@ -94,9 +113,9 @@ class SpmvSimulator:
         workload: str = "",
     ) -> dict[str, CharacterizationResult]:
         """Characterize several formats, profiling the matrix once."""
-        profiles = self.profiles(matrix)
+        table = self.profile_table(matrix)
         return {
-            name: self.run_format(name, profiles, workload)
+            name: self.run_format(name, table, workload)
             for name in format_names
         }
 

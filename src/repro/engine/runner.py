@@ -36,7 +36,7 @@ from ..formats.base import VALUE_BYTES
 from ..formats.registry import PAPER_FORMATS, get_format
 from ..hardware.config import DEFAULT_CONFIG, HardwareConfig
 from ..observability import MetricsRegistry
-from ..partition import PARTITION_SIZES, profile_partitions
+from ..partition import PARTITION_SIZES, profile_table
 from ..workloads.registry import Workload
 from .cache import CacheStats, ContentKeyedCache
 from .grid import EncodeSummary, SweepCell, SweepOutcome, build_grid
@@ -73,16 +73,16 @@ def _run_cell(
     workload = _materialize(cell, cache)
     config = cell.resolved_config
     matrix_key = cache.matrix_key(workload.matrix)
-    profiles = cache.get_or_create(
+    table = cache.get_or_create(
         ("profiles", matrix_key, config.partition_size, config.block_size),
-        lambda: profile_partitions(
+        lambda: profile_table(
             workload.matrix,
             config.partition_size,
             block_size=config.block_size,
         ),
     )
     simulator = SpmvSimulator(config)
-    result = simulator.run_format(cell.format_name, profiles, workload.name)
+    result = simulator.run_format(cell.format_name, table, workload.name)
     return result, matrix_key
 
 

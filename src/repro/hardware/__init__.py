@@ -13,7 +13,9 @@ from .decompressors import (
     MODELED_FORMATS,
     VARIANT_FORMATS,
     ComputeBreakdown,
+    ComputeColumns,
     DecompressorModel,
+    SizeColumns,
     get_decompressor,
 )
 from .dot_product import DotProductEngine
@@ -45,7 +47,12 @@ from .schedule import (
     partition_costs,
     schedule_gain,
 )
-from .pipeline import PartitionTiming, PipelineResult, StreamingPipeline
+from .pipeline import (
+    PartitionTiming,
+    PipelineResult,
+    StreamingPipeline,
+    resolve_profile_table,
+)
 from .trace import PipelineTrace, StageInterval, trace_pipeline
 from .power import PowerBreakdown, estimate_power, static_power_w
 from .resources import (
@@ -64,6 +71,8 @@ __all__ = [
     "MODELED_FORMATS",
     "VARIANT_FORMATS",
     "ComputeBreakdown",
+    "ComputeColumns",
+    "SizeColumns",
     "DecompressorModel",
     "get_decompressor",
     "DotProductEngine",
@@ -94,6 +103,7 @@ __all__ = [
     "PartitionTiming",
     "PipelineResult",
     "StreamingPipeline",
+    "resolve_profile_table",
     "PipelineTrace",
     "StageInterval",
     "trace_pipeline",

@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
 from ..errors import HardwareConfigError
 from .config import HardwareConfig
 
@@ -51,6 +53,22 @@ class AxiStreamModel:
                 )
             total += payload
         return self.config.axi_setup_cycles + self.stream_cycles(total)
+
+    def transfer_cycles_batch(self, total_bytes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`transfer_cycles` over per-tile byte totals.
+
+        ``total_bytes`` holds each tile's aggregate payload (its AXIS
+        lines already summed); the result is the per-tile memory-stage
+        latency as an ``(n,)`` integer array, bit-identical to calling
+        the scalar method tile by tile.
+        """
+        total = np.ascontiguousarray(total_bytes, dtype=np.int64)
+        if total.size and int(total.min()) < 0:
+            raise HardwareConfigError(
+                f"negative byte count: {int(total.min())}"
+            )
+        per_cycle = self.config.axi_bytes_per_cycle
+        return self.config.axi_setup_cycles + -(-total // per_cycle)
 
     def single_line_cycles(self, n_bytes: int) -> int:
         """Setup plus streaming for one payload."""

@@ -1,7 +1,12 @@
 """Per-format decompressor hardware models (Listings 1-7)."""
 
 from ...errors import UnknownFormatError
-from .base import ComputeBreakdown, DecompressorModel
+from .base import (
+    ComputeBreakdown,
+    ComputeColumns,
+    DecompressorModel,
+    SizeColumns,
+)
 from .bcsr import BcsrDecompressor
 from .bitmap import BitmapDecompressor
 from .coo import CooDecompressor, DokDecompressor
@@ -15,6 +20,8 @@ from .variants import EllCooDecompressor, JdsDecompressor
 
 __all__ = [
     "ComputeBreakdown",
+    "ComputeColumns",
+    "SizeColumns",
     "DecompressorModel",
     "DenseDecompressor",
     "CsrDecompressor",

@@ -18,12 +18,19 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+import numpy as np
+
 from ...errors import SimulationError
 from ...formats.base import SizeBreakdown
-from ...partition import PartitionProfile
+from ...partition import PartitionProfile, ProfileTable
 from ..config import HardwareConfig
 
-__all__ = ["ComputeBreakdown", "DecompressorModel"]
+__all__ = [
+    "ComputeBreakdown",
+    "ComputeColumns",
+    "SizeColumns",
+    "DecompressorModel",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +52,74 @@ class ComputeBreakdown:
     @property
     def total_cycles(self) -> int:
         return self.decompress_cycles + self.dot_cycles
+
+
+@dataclass(frozen=True, eq=False)
+class ComputeColumns:
+    """Compute-stage latency of every tile in a table, in cycles.
+
+    The ``(n,)``-array counterpart of :class:`ComputeBreakdown`.
+    """
+
+    decompress_cycles: np.ndarray
+    dot_cycles: np.ndarray
+
+    @property
+    def total_cycles(self) -> np.ndarray:
+        return self.decompress_cycles + self.dot_cycles
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ComputeColumns):
+            return NotImplemented
+        return np.array_equal(
+            self.decompress_cycles, other.decompress_cycles
+        ) and np.array_equal(self.dot_cycles, other.dot_cycles)
+
+    __hash__ = object.__hash__
+
+
+@dataclass(frozen=True, eq=False)
+class SizeColumns:
+    """Transfer-size accounting of every tile in a table, in bytes.
+
+    The ``(n,)``-array counterpart of
+    :class:`~repro.formats.base.SizeBreakdown`.
+    """
+
+    useful_bytes: np.ndarray
+    data_bytes: np.ndarray
+    metadata_bytes: np.ndarray
+
+    @property
+    def total_bytes(self) -> np.ndarray:
+        return self.data_bytes + self.metadata_bytes
+
+    def totals(self) -> SizeBreakdown:
+        """All tiles summed into one scalar breakdown."""
+        return SizeBreakdown(
+            useful_bytes=int(self.useful_bytes.sum()),
+            data_bytes=int(self.data_bytes.sum()),
+            metadata_bytes=int(self.metadata_bytes.sum()),
+        )
+
+    def breakdown(self, index: int) -> SizeBreakdown:
+        """One tile's scalar breakdown."""
+        return SizeBreakdown(
+            useful_bytes=int(self.useful_bytes[index]),
+            data_bytes=int(self.data_bytes[index]),
+            metadata_bytes=int(self.metadata_bytes[index]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SizeColumns):
+            return NotImplemented
+        return (
+            np.array_equal(self.useful_bytes, other.useful_bytes)
+            and np.array_equal(self.data_bytes, other.data_bytes)
+            and np.array_equal(self.metadata_bytes, other.metadata_bytes)
+        )
+
+    __hash__ = object.__hash__
 
 
 class DecompressorModel(ABC):
@@ -83,12 +158,90 @@ class DecompressorModel(ABC):
         size = self.transfer_size(profile, config)
         return [size.data_bytes, size.metadata_bytes]
 
+    # ------------------------------------------------------------------
+    # Batch kernels over a ProfileTable (the struct-of-arrays fast path)
+    # ------------------------------------------------------------------
+    # The base-class implementations loop the scalar methods, so any
+    # third-party model that only defines compute()/transfer_size()
+    # keeps working on the batch path; every model shipped with the
+    # package overrides them with true vectorized kernels.  The
+    # differential test suite pins scalar and batch bit-identical.
+
+    def compute_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> ComputeColumns:
+        """Compute-stage cycles of every tile as ``(n,)`` arrays."""
+        self._check_table(table, config)
+        n = table.n_tiles
+        decompress = np.empty(n, dtype=np.int64)
+        dot = np.empty(n, dtype=np.int64)
+        for index, profile in enumerate(table.profiles()):
+            breakdown = self.compute(profile, config)
+            decompress[index] = breakdown.decompress_cycles
+            dot[index] = breakdown.dot_cycles
+        return ComputeColumns(decompress_cycles=decompress, dot_cycles=dot)
+
+    def transfer_size_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> SizeColumns:
+        """Memory-read bytes of every tile as ``(n,)`` arrays."""
+        self._check_table(table, config)
+        n = table.n_tiles
+        useful = np.empty(n, dtype=np.int64)
+        data = np.empty(n, dtype=np.int64)
+        metadata = np.empty(n, dtype=np.int64)
+        for index, profile in enumerate(table.profiles()):
+            size = self.transfer_size(profile, config)
+            useful[index] = size.useful_bytes
+            data[index] = size.data_bytes
+            metadata[index] = size.metadata_bytes
+        return SizeColumns(
+            useful_bytes=useful, data_bytes=data, metadata_bytes=metadata
+        )
+
+    def stream_lines_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> np.ndarray:
+        """Per-tile AXIS line payloads as an ``(n_lines, n)`` array.
+
+        Default split mirrors :meth:`stream_lines`: row 0 carries the
+        values stream, row 1 the metadata stream.  Models overriding
+        the scalar split must override this too (or inherit this
+        generic fallback, which loops the scalar method whenever the
+        scalar split is overridden).
+        """
+        if type(self).stream_lines is DecompressorModel.stream_lines:
+            size = self.transfer_size_batch(table, config)
+            return np.stack([size.data_bytes, size.metadata_bytes])
+        self._check_table(table, config)
+        lines = [
+            self.stream_lines(profile, config)
+            for profile in table.profiles()
+        ]
+        if len({len(payloads) for payloads in lines}) == 1 and lines:
+            return np.asarray(lines, dtype=np.int64).T
+        # ragged line counts: collapse to one aggregate line per tile
+        # (the AXI model is bounded by the summed payload either way)
+        totals = np.asarray(
+            [sum(payloads) for payloads in lines], dtype=np.int64
+        )
+        return totals[np.newaxis, :]
+
     def _check_profile(
         self, profile: PartitionProfile, config: HardwareConfig
     ) -> None:
         if profile.p != config.partition_size:
             raise SimulationError(
                 f"profile partition size {profile.p} != configured "
+                f"{config.partition_size}"
+            )
+
+    def _check_table(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> None:
+        if table.p != config.partition_size:
+            raise SimulationError(
+                f"profile table partition size {table.p} != configured "
                 f"{config.partition_size}"
             )
 

@@ -12,9 +12,14 @@ the zeros inside non-zero blocks ride along on the wire.
 from __future__ import annotations
 
 from ...formats.base import SizeBreakdown
-from ...partition import PartitionProfile
+from ...partition import PartitionProfile, ProfileTable
 from ..config import HardwareConfig
-from .base import ComputeBreakdown, DecompressorModel
+from .base import (
+    ComputeBreakdown,
+    ComputeColumns,
+    DecompressorModel,
+    SizeColumns,
+)
 
 __all__ = ["BcsrDecompressor"]
 
@@ -36,6 +41,19 @@ class BcsrDecompressor(DecompressorModel):
             dot_cycles=rows_processed * config.dot_product_cycles(),
         )
 
+    def compute_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> ComputeColumns:
+        self._check_table(table, config)
+        b = table.block_size
+        return ComputeColumns(
+            decompress_cycles=table.nnz_block_rows
+            * config.bram_access_cycles
+            + table.n_blocks,
+            dot_cycles=table.nnz_block_rows
+            * (b * config.dot_product_cycles()),
+        )
+
     def transfer_size(
         self, profile: PartitionProfile, config: HardwareConfig
     ) -> SizeBreakdown:
@@ -46,5 +64,18 @@ class BcsrDecompressor(DecompressorModel):
             useful_bytes=profile.nnz * config.value_bytes,
             data_bytes=profile.n_blocks * b * b * config.value_bytes,
             metadata_bytes=(profile.n_blocks + block_rows)
+            * config.index_bytes,
+        )
+
+    def transfer_size_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> SizeColumns:
+        self._check_table(table, config)
+        b = table.block_size
+        block_rows = -(-config.partition_size // b)
+        return SizeColumns(
+            useful_bytes=table.nnz * config.value_bytes,
+            data_bytes=table.n_blocks * (b * b * config.value_bytes),
+            metadata_bytes=(table.n_blocks + block_rows)
             * config.index_bytes,
         )

@@ -10,10 +10,17 @@ constant one-bit-per-position mask.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ...formats.base import SizeBreakdown
-from ...partition import PartitionProfile
+from ...partition import PartitionProfile, ProfileTable
 from ..config import HardwareConfig
-from .base import ComputeBreakdown, DecompressorModel
+from .base import (
+    ComputeBreakdown,
+    ComputeColumns,
+    DecompressorModel,
+    SizeColumns,
+)
 
 __all__ = ["BitmapDecompressor"]
 
@@ -34,6 +41,15 @@ class BitmapDecompressor(DecompressorModel):
             dot_cycles=profile.nnz_rows * config.dot_product_cycles(),
         )
 
+    def compute_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> ComputeColumns:
+        self._check_table(table, config)
+        return ComputeColumns(
+            decompress_cycles=table.nnz + config.partition_size,
+            dot_cycles=table.nnz_rows * config.dot_product_cycles(),
+        )
+
     def transfer_size(
         self, profile: PartitionProfile, config: HardwareConfig
     ) -> SizeBreakdown:
@@ -44,4 +60,19 @@ class BitmapDecompressor(DecompressorModel):
             useful_bytes=profile.nnz * config.value_bytes,
             data_bytes=profile.nnz * config.value_bytes,
             metadata_bytes=mask_bytes,
+        )
+
+    def transfer_size_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> SizeColumns:
+        self._check_table(table, config)
+        p = config.partition_size
+        mask_bytes = -(-(p * p) // 8)
+        values = table.nnz * config.value_bytes
+        return SizeColumns(
+            useful_bytes=values,
+            data_bytes=values,
+            metadata_bytes=np.full(
+                table.n_tiles, mask_bytes, dtype=np.int64
+            ),
         )

@@ -10,9 +10,14 @@ applicable to DOK").
 from __future__ import annotations
 
 from ...formats.base import SizeBreakdown
-from ...partition import PartitionProfile
+from ...partition import PartitionProfile, ProfileTable
 from ..config import HardwareConfig
-from .base import ComputeBreakdown, DecompressorModel
+from .base import (
+    ComputeBreakdown,
+    ComputeColumns,
+    DecompressorModel,
+    SizeColumns,
+)
 
 __all__ = ["CooDecompressor", "DokDecompressor"]
 
@@ -30,6 +35,15 @@ class CooDecompressor(DecompressorModel):
             dot_cycles=profile.nnz_rows * config.dot_product_cycles(),
         )
 
+    def compute_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> ComputeColumns:
+        self._check_table(table, config)
+        return ComputeColumns(
+            decompress_cycles=table.nnz.copy(),
+            dot_cycles=table.nnz_rows * config.dot_product_cycles(),
+        )
+
     def transfer_size(
         self, profile: PartitionProfile, config: HardwareConfig
     ) -> SizeBreakdown:
@@ -38,6 +52,17 @@ class CooDecompressor(DecompressorModel):
             useful_bytes=profile.nnz * config.value_bytes,
             data_bytes=profile.nnz * config.value_bytes,
             metadata_bytes=profile.nnz * 2 * config.index_bytes,
+        )
+
+    def transfer_size_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> SizeColumns:
+        self._check_table(table, config)
+        values = table.nnz * config.value_bytes
+        return SizeColumns(
+            useful_bytes=values,
+            data_bytes=values,
+            metadata_bytes=table.nnz * (2 * config.index_bytes),
         )
 
 

@@ -11,9 +11,14 @@ dense).
 from __future__ import annotations
 
 from ...formats.base import SizeBreakdown
-from ...partition import PartitionProfile
+from ...partition import PartitionProfile, ProfileTable
 from ..config import HardwareConfig
-from .base import ComputeBreakdown, DecompressorModel
+from .base import (
+    ComputeBreakdown,
+    ComputeColumns,
+    DecompressorModel,
+    SizeColumns,
+)
 
 __all__ = ["CscDecompressor"]
 
@@ -35,6 +40,16 @@ class CscDecompressor(DecompressorModel):
             dot_cycles=profile.nnz_rows * config.dot_product_cycles(),
         )
 
+    def compute_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> ComputeColumns:
+        self._check_table(table, config)
+        p = config.partition_size
+        return ComputeColumns(
+            decompress_cycles=p * (table.nnz + config.bram_access_cycles),
+            dot_cycles=table.nnz_rows * config.dot_product_cycles(),
+        )
+
     def transfer_size(
         self, profile: PartitionProfile, config: HardwareConfig
     ) -> SizeBreakdown:
@@ -43,5 +58,17 @@ class CscDecompressor(DecompressorModel):
             useful_bytes=profile.nnz * config.value_bytes,
             data_bytes=profile.nnz * config.value_bytes,
             metadata_bytes=(profile.nnz + config.partition_size)
+            * config.index_bytes,
+        )
+
+    def transfer_size_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> SizeColumns:
+        self._check_table(table, config)
+        values = table.nnz * config.value_bytes
+        return SizeColumns(
+            useful_bytes=values,
+            data_bytes=values,
+            metadata_bytes=(table.nnz + config.partition_size)
             * config.index_bytes,
         )

@@ -7,10 +7,17 @@ the transfer moves all ``p * p`` values with zero metadata.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ...formats.base import SizeBreakdown
-from ...partition import PartitionProfile
+from ...partition import PartitionProfile, ProfileTable
 from ..config import HardwareConfig
-from .base import ComputeBreakdown, DecompressorModel
+from .base import (
+    ComputeBreakdown,
+    ComputeColumns,
+    DecompressorModel,
+    SizeColumns,
+)
 
 __all__ = ["DenseDecompressor"]
 
@@ -29,6 +36,19 @@ class DenseDecompressor(DecompressorModel):
             dot_cycles=p * config.dot_product_cycles(),
         )
 
+    def compute_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> ComputeColumns:
+        self._check_table(table, config)
+        p = config.partition_size
+        n = table.n_tiles
+        return ComputeColumns(
+            decompress_cycles=np.zeros(n, dtype=np.int64),
+            dot_cycles=np.full(
+                n, p * config.dot_product_cycles(), dtype=np.int64
+            ),
+        )
+
     def transfer_size(
         self, profile: PartitionProfile, config: HardwareConfig
     ) -> SizeBreakdown:
@@ -38,4 +58,18 @@ class DenseDecompressor(DecompressorModel):
             useful_bytes=profile.nnz * config.value_bytes,
             data_bytes=p * p * config.value_bytes,
             metadata_bytes=0,
+        )
+
+    def transfer_size_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> SizeColumns:
+        self._check_table(table, config)
+        p = config.partition_size
+        n = table.n_tiles
+        return SizeColumns(
+            useful_bytes=table.nnz * config.value_bytes,
+            data_bytes=np.full(
+                n, p * p * config.value_bytes, dtype=np.int64
+            ),
+            metadata_bytes=np.zeros(n, dtype=np.int64),
         )

@@ -13,9 +13,14 @@ multiple diagonals but do not completely fill them").
 from __future__ import annotations
 
 from ...formats.base import SizeBreakdown
-from ...partition import PartitionProfile
+from ...partition import PartitionProfile, ProfileTable
 from ..config import HardwareConfig
-from .base import ComputeBreakdown, DecompressorModel
+from .base import (
+    ComputeBreakdown,
+    ComputeColumns,
+    DecompressorModel,
+    SizeColumns,
+)
 
 __all__ = ["DiaDecompressor"]
 
@@ -35,6 +40,17 @@ class DiaDecompressor(DecompressorModel):
             dot_cycles=profile.nnz_rows * config.dot_product_cycles(),
         )
 
+    def compute_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> ComputeColumns:
+        self._check_table(table, config)
+        p = config.partition_size
+        return ComputeColumns(
+            decompress_cycles=table.n_diagonals
+            + (p + config.bram_access_cycles),
+            dot_cycles=table.nnz_rows * config.dot_product_cycles(),
+        )
+
     def transfer_size(
         self, profile: PartitionProfile, config: HardwareConfig
     ) -> SizeBreakdown:
@@ -44,4 +60,16 @@ class DiaDecompressor(DecompressorModel):
             useful_bytes=profile.nnz * config.value_bytes,
             data_bytes=padded_slots * config.value_bytes,
             metadata_bytes=profile.n_diagonals * config.index_bytes,
+        )
+
+    def transfer_size_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> SizeColumns:
+        self._check_table(table, config)
+        return SizeColumns(
+            useful_bytes=table.nnz * config.value_bytes,
+            data_bytes=table.n_diagonals
+            * table.dia_max_len
+            * config.value_bytes,
+            metadata_bytes=table.n_diagonals * config.index_bytes,
         )

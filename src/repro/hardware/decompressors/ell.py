@@ -12,10 +12,17 @@ partition width.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ...formats.base import SizeBreakdown
-from ...partition import PartitionProfile
+from ...partition import PartitionProfile, ProfileTable
 from ..config import HardwareConfig
-from .base import ComputeBreakdown, DecompressorModel
+from .base import (
+    ComputeBreakdown,
+    ComputeColumns,
+    DecompressorModel,
+    SizeColumns,
+)
 
 __all__ = ["EllDecompressor"]
 
@@ -35,6 +42,20 @@ class EllDecompressor(DecompressorModel):
             dot_cycles=p * config.dot_product_cycles(width),
         )
 
+    def compute_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> ComputeColumns:
+        self._check_table(table, config)
+        p = config.partition_size
+        width = min(config.ell_hardware_width, p)
+        n = table.n_tiles
+        return ComputeColumns(
+            decompress_cycles=np.full(n, p, dtype=np.int64),
+            dot_cycles=np.full(
+                n, p * config.dot_product_cycles(width), dtype=np.int64
+            ),
+        )
+
     def encoded_width(self, profile: PartitionProfile) -> int:
         """Padded width of the tile's encoding (its longest row)."""
         return max(1, profile.max_row_nnz)
@@ -46,6 +67,17 @@ class EllDecompressor(DecompressorModel):
         slots = config.partition_size * self.encoded_width(profile)
         return SizeBreakdown(
             useful_bytes=profile.nnz * config.value_bytes,
+            data_bytes=slots * config.value_bytes,
+            metadata_bytes=slots * config.index_bytes,
+        )
+
+    def transfer_size_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> SizeColumns:
+        self._check_table(table, config)
+        slots = config.partition_size * np.maximum(1, table.max_row_nnz)
+        return SizeColumns(
+            useful_bytes=table.nnz * config.value_bytes,
             data_bytes=slots * config.value_bytes,
             metadata_bytes=slots * config.index_bytes,
         )

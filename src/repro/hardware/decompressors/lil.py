@@ -16,10 +16,17 @@ column".
 
 from __future__ import annotations
 
+import numpy as np
+
 from ...formats.base import SizeBreakdown
-from ...partition import PartitionProfile
+from ...partition import PartitionProfile, ProfileTable
 from ..config import HardwareConfig
-from .base import ComputeBreakdown, DecompressorModel
+from .base import (
+    ComputeBreakdown,
+    ComputeColumns,
+    DecompressorModel,
+    SizeColumns,
+)
 
 __all__ = ["LilDecompressor"]
 
@@ -40,6 +47,18 @@ class LilDecompressor(DecompressorModel):
             dot_cycles=profile.nnz_rows * config.dot_product_cycles(),
         )
 
+    def compute_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> ComputeColumns:
+        self._check_table(table, config)
+        merge_steps = np.maximum(table.nnz_rows, table.max_col_nnz)
+        per_step = config.bram_access_cycles + config.lil_merge_cycles
+        return ComputeColumns(
+            decompress_cycles=merge_steps * per_step
+            + config.bram_access_cycles,
+            dot_cycles=table.nnz_rows * config.dot_product_cycles(),
+        )
+
     def transfer_size(
         self, profile: PartitionProfile, config: HardwareConfig
     ) -> SizeBreakdown:
@@ -49,4 +68,16 @@ class LilDecompressor(DecompressorModel):
             useful_bytes=profile.nnz * config.value_bytes,
             data_bytes=profile.nnz * config.value_bytes,
             metadata_bytes=(profile.nnz + width) * config.index_bytes,
+        )
+
+    def transfer_size_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> SizeColumns:
+        self._check_table(table, config)
+        values = table.nnz * config.value_bytes
+        return SizeColumns(
+            useful_bytes=values,
+            data_bytes=values,
+            metadata_bytes=(table.nnz + config.partition_size)
+            * config.index_bytes,
         )

@@ -9,10 +9,17 @@ row-length histogram the partition profiler records.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ...formats.base import SizeBreakdown
-from ...partition import PartitionProfile
+from ...partition import PartitionProfile, ProfileTable
 from ..config import HardwareConfig
-from .base import ComputeBreakdown, DecompressorModel
+from .base import (
+    ComputeBreakdown,
+    ComputeColumns,
+    DecompressorModel,
+    SizeColumns,
+)
 
 __all__ = ["JdsDecompressor", "EllCooDecompressor"]
 
@@ -39,6 +46,16 @@ class JdsDecompressor(DecompressorModel):
             dot_cycles=profile.nnz_rows * config.dot_product_cycles(),
         )
 
+    def compute_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> ComputeColumns:
+        self._check_table(table, config)
+        return ComputeColumns(
+            decompress_cycles=table.nnz
+            + table.nnz_rows * config.bram_access_cycles,
+            dot_cycles=table.nnz_rows * config.dot_product_cycles(),
+        )
+
     def transfer_size(
         self, profile: PartitionProfile, config: HardwareConfig
     ) -> SizeBreakdown:
@@ -51,6 +68,20 @@ class JdsDecompressor(DecompressorModel):
                 profile.nnz  # column indices
                 + p  # permutation
                 + profile.max_row_nnz  # jagged-diagonal lengths
+            )
+            * config.index_bytes,
+        )
+
+    def transfer_size_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> SizeColumns:
+        self._check_table(table, config)
+        values = table.nnz * config.value_bytes
+        return SizeColumns(
+            useful_bytes=values,
+            data_bytes=values,
+            metadata_bytes=(
+                table.nnz + config.partition_size + table.max_row_nnz
             )
             * config.index_bytes,
         )
@@ -84,6 +115,22 @@ class EllCooDecompressor(DecompressorModel):
             dot_cycles=p * config.dot_product_cycles(width),
         )
 
+    def compute_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> ComputeColumns:
+        self._check_table(table, config)
+        p = config.partition_size
+        width = min(config.ell_hardware_width, p)
+        overflow = table.ell_overflow(config.ell_hardware_width)
+        return ComputeColumns(
+            decompress_cycles=overflow + p,
+            dot_cycles=np.full(
+                table.n_tiles,
+                p * config.dot_product_cycles(width),
+                dtype=np.int64,
+            ),
+        )
+
     def transfer_size(
         self, profile: PartitionProfile, config: HardwareConfig
     ) -> SizeBreakdown:
@@ -96,4 +143,18 @@ class EllCooDecompressor(DecompressorModel):
             data_bytes=(slots + overflow) * config.value_bytes,
             metadata_bytes=slots * config.index_bytes
             + overflow * 2 * config.index_bytes,
+        )
+
+    def transfer_size_batch(
+        self, table: ProfileTable, config: HardwareConfig
+    ) -> SizeColumns:
+        self._check_table(table, config)
+        p = config.partition_size
+        slots = p * config.ell_hardware_width
+        overflow = table.ell_overflow(config.ell_hardware_width)
+        return SizeColumns(
+            useful_bytes=table.nnz * config.value_bytes,
+            data_bytes=(overflow + slots) * config.value_bytes,
+            metadata_bytes=overflow * (2 * config.index_bytes)
+            + slots * config.index_bytes,
         )

@@ -24,11 +24,12 @@ import heapq
 from dataclasses import dataclass
 from typing import Sequence
 
-from ..errors import HardwareConfigError, SimulationError
-from ..partition import PartitionProfile
+from ..errors import HardwareConfigError
+from ..partition import PartitionProfile, ProfileTable
 from .axi import AxiStreamModel
 from .config import HardwareConfig
 from .decompressors import DecompressorModel, get_decompressor
+from .pipeline import resolve_profile_table
 from .resources import ResourceEstimate, estimate_resources
 
 __all__ = ["LaneAssignment", "MultiLaneResult", "MultiLanePipeline"]
@@ -130,20 +131,30 @@ class MultiLanePipeline:
             ),
         )
 
-    def run(self, profiles: Sequence[PartitionProfile]) -> MultiLaneResult:
+    def run(
+        self, profiles: ProfileTable | Sequence[PartitionProfile]
+    ) -> MultiLaneResult:
         """Dispatch every partition and total the run."""
-        if any(p.p != self.config.partition_size for p in profiles):
-            raise SimulationError(
-                "all profiles must match the configured partition size"
+        table = resolve_profile_table(self.config, profiles)
+        if table is None or table.n_tiles == 0:
+            compute_cycles = memory_cycles = ()
+        else:
+            lines = self.decompressor.stream_lines_batch(
+                table, self.config
             )
-        costs = []
-        total_memory = 0
-        for index, profile in enumerate(profiles):
-            compute = self.decompressor.compute(profile, self.config)
-            lines = self.decompressor.stream_lines(profile, self.config)
-            memory = self.axi.transfer_cycles(lines)
-            costs.append((compute.total_cycles, memory, index))
-            total_memory += memory
+            memory_cycles = self.axi.transfer_cycles_batch(
+                lines.sum(axis=0)
+            )
+            compute_cycles = self.decompressor.compute_batch(
+                table, self.config
+            ).total_cycles
+        costs = [
+            (int(compute), int(memory), index)
+            for index, (compute, memory) in enumerate(
+                zip(compute_cycles, memory_cycles)
+            )
+        ]
+        total_memory = int(sum(memory_cycles))
 
         # longest-processing-time greedy onto the least-loaded lane.
         lanes = [(0, 0, lane, [])

@@ -6,30 +6,81 @@ partition is the *maximum* of its memory latency and compute latency
 (Section 6.2: "the sum of their maximum for each partition defines the
 total latency"); the ends of the pipeline add one fill and one drain
 term.
+
+:meth:`StreamingPipeline.run` evaluates the whole matrix through the
+batch kernels of the decompressor models: one :class:`ProfileTable` in,
+a handful of array operations out, with no per-tile Python objects on
+the hot path.  The resulting :class:`PipelineResult` stores the
+per-partition cycle and byte columns directly; the tuple-of-timings
+view is materialized lazily for callers that still want objects.
+:meth:`StreamingPipeline.run_scalar` keeps the original per-profile
+loop as the differential/bench reference.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..errors import SimulationError
 from ..formats.base import SizeBreakdown
 from ..observability import Histogram, MetricsRegistry, log2_edges
-from ..partition import PartitionProfile
+from ..partition import PartitionProfile, ProfileTable
 from .axi import AxiStreamModel
 from .config import HardwareConfig
-from .decompressors import DecompressorModel, get_decompressor
+from .decompressors import (
+    ComputeColumns,
+    DecompressorModel,
+    SizeColumns,
+    get_decompressor,
+)
 
 __all__ = [
     "PartitionTiming",
     "PipelineResult",
     "StreamingPipeline",
+    "resolve_profile_table",
     "PIPELINE_STAGES",
 ]
+
+
+def resolve_profile_table(
+    config: HardwareConfig,
+    profiles: ProfileTable | Sequence[PartitionProfile],
+) -> ProfileTable | None:
+    """Partition-size-checked :class:`ProfileTable` from either input.
+
+    Returns ``None`` for an empty sequence.  For a table the check is
+    one comparison; for a sequence the error names the first tile
+    whose partition size disagrees with the configuration.
+    """
+    p = config.partition_size
+    if isinstance(profiles, ProfileTable):
+        if profiles.p != p:
+            raise SimulationError(
+                f"profile table partition size {profiles.p} != "
+                f"configured {p}"
+            )
+        return profiles
+    profiles = tuple(profiles)
+    if not profiles:
+        return None
+    sizes = np.fromiter(
+        (profile.p for profile in profiles),
+        dtype=np.int64,
+        count=len(profiles),
+    )
+    mismatched = np.nonzero(sizes != p)[0]
+    if mismatched.size:
+        index = int(mismatched[0])
+        raise SimulationError(
+            f"profile {index} has partition size {int(sizes[index])} "
+            f"!= configured {p}"
+        )
+    return ProfileTable.from_profiles(profiles)
 
 #: Per-partition cycle series exposed by :meth:`PipelineResult.stage_cycles`.
 PIPELINE_STAGES = ("memory", "decompress", "dot")
@@ -61,75 +112,154 @@ class PartitionTiming:
         return max(self.memory_cycles, self.compute_cycles)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class PipelineResult:
-    """Aggregate timing of a whole matrix streamed partition by partition."""
+    """Aggregate timing of a whole matrix streamed partition by partition.
+
+    The per-partition series are stored as columns — the memory-stage
+    cycles plus the decompressor's :class:`ComputeColumns` and
+    :class:`SizeColumns` — so every aggregate below is a single numpy
+    reduction.  :attr:`timings` materializes the classic tuple of
+    :class:`PartitionTiming` objects on first access only.
+    """
 
     format_name: str
     partition_size: int
-    timings: tuple[PartitionTiming, ...]
+    memory_per_partition: np.ndarray
+    compute: ComputeColumns
+    sizes: SizeColumns
     fill_cycles: int
     drain_cycles: int
 
+    def __post_init__(self) -> None:
+        memory = np.ascontiguousarray(
+            self.memory_per_partition, dtype=np.int64
+        )
+        object.__setattr__(self, "memory_per_partition", memory)
+        n = memory.size
+        for column in (
+            self.compute.decompress_cycles,
+            self.compute.dot_cycles,
+            self.sizes.useful_bytes,
+            self.sizes.data_bytes,
+            self.sizes.metadata_bytes,
+        ):
+            if column.shape != (n,):
+                raise SimulationError(
+                    f"pipeline column shape {column.shape} != ({n},)"
+                )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PipelineResult):
+            return NotImplemented
+        return (
+            self.format_name == other.format_name
+            and self.partition_size == other.partition_size
+            and self.fill_cycles == other.fill_cycles
+            and self.drain_cycles == other.drain_cycles
+            and np.array_equal(
+                self.memory_per_partition, other.memory_per_partition
+            )
+            and self.compute == other.compute
+            and self.sizes == other.sizes
+        )
+
+    __hash__ = object.__hash__
+
     @property
     def n_partitions(self) -> int:
-        return len(self.timings)
+        return self.memory_per_partition.size
 
     @cached_property
-    def _cycle_columns(self) -> np.ndarray:
-        """Per-partition cycle counts as a ``(3, n)`` integer array.
+    def timings(self) -> tuple[PartitionTiming, ...]:
+        """Per-partition object view, materialized once and cached."""
+        return tuple(
+            PartitionTiming(
+                memory_cycles=int(self.memory_per_partition[i]),
+                decompress_cycles=int(self.compute.decompress_cycles[i]),
+                dot_cycles=int(self.compute.dot_cycles[i]),
+                size=self.sizes.breakdown(i),
+            )
+            for i in range(self.n_partitions)
+        )
 
-        Rows are memory, decompress and dot cycles.  Aggregations over
-        thousands of partitions reduce over this array instead of
-        looping the timing tuple, which is what keeps large sweeps'
-        single-cell latency low.
-        """
-        n = len(self.timings)
-        columns = np.empty((3, n), dtype=np.int64)
-        for i, t in enumerate(self.timings):
+    @classmethod
+    def from_timings(
+        cls,
+        format_name: str,
+        partition_size: int,
+        timings: Iterable[PartitionTiming],
+        fill_cycles: int,
+        drain_cycles: int,
+    ) -> "PipelineResult":
+        """Columnar result from already-materialized timing objects."""
+        timings = tuple(timings)
+        n = len(timings)
+        columns = np.empty((6, n), dtype=np.int64)
+        for i, t in enumerate(timings):
             columns[0, i] = t.memory_cycles
             columns[1, i] = t.decompress_cycles
             columns[2, i] = t.dot_cycles
-        return columns
+            columns[3, i] = t.size.useful_bytes
+            columns[4, i] = t.size.data_bytes
+            columns[5, i] = t.size.metadata_bytes
+        result = cls(
+            format_name=format_name,
+            partition_size=partition_size,
+            memory_per_partition=columns[0],
+            compute=ComputeColumns(
+                decompress_cycles=columns[1], dot_cycles=columns[2]
+            ),
+            sizes=SizeColumns(
+                useful_bytes=columns[3],
+                data_bytes=columns[4],
+                metadata_bytes=columns[5],
+            ),
+            fill_cycles=fill_cycles,
+            drain_cycles=drain_cycles,
+        )
+        result.__dict__["timings"] = timings
+        return result
 
     @property
     def total_cycles(self) -> int:
-        memory, decompress, dot = self._cycle_columns
-        steady = int(np.maximum(memory, decompress + dot).sum())
+        steady = int(
+            np.maximum(
+                self.memory_per_partition, self.compute.total_cycles
+            ).sum()
+        )
         return steady + self.fill_cycles + self.drain_cycles
 
     @property
     def memory_cycles(self) -> int:
-        return int(self._cycle_columns[0].sum())
+        return int(self.memory_per_partition.sum())
 
     @property
     def compute_cycles(self) -> int:
-        return int(self._cycle_columns[1:].sum())
+        return self.decompress_cycles + self.dot_cycles
 
     @property
     def decompress_cycles(self) -> int:
-        return int(self._cycle_columns[1].sum())
+        return int(self.compute.decompress_cycles.sum())
 
     @property
     def dot_cycles(self) -> int:
-        return int(self._cycle_columns[2].sum())
+        return int(self.compute.dot_cycles.sum())
 
     @cached_property
     def transferred(self) -> SizeBreakdown:
-        sizes = self.timings
-        return SizeBreakdown(
-            useful_bytes=sum(t.size.useful_bytes for t in sizes),
-            data_bytes=sum(t.size.data_bytes for t in sizes),
-            metadata_bytes=sum(t.size.metadata_bytes for t in sizes),
-        )
+        return self.sizes.totals()
 
     # ------------------------------------------------------------------
     # Observability: per-stage series, histograms, metric export
     # ------------------------------------------------------------------
     def stage_cycles(self) -> dict[str, np.ndarray]:
         """Per-partition cycle counts of each pipeline stage."""
-        memory, decompress, dot = self._cycle_columns
-        return {"memory": memory, "decompress": decompress, "dot": dot}
+        return {
+            "memory": self.memory_per_partition,
+            "decompress": self.compute.decompress_cycles,
+            "dot": self.compute.dot_cycles,
+        }
 
     def stage_histograms(
         self, edges: Sequence[float] | None = None
@@ -148,7 +278,7 @@ class PipelineResult:
             )
             edges = log2_edges(upper)
         return {
-            stage: Histogram.of(cycles.tolist(), edges)
+            stage: Histogram.of(cycles, edges)
             for stage, cycles in columns.items()
         }
 
@@ -174,12 +304,11 @@ class PipelineResult:
     @property
     def mean_balance_ratio(self) -> float:
         """Average memory/compute ratio over the non-zero partitions."""
-        if not self.timings:
+        if not self.n_partitions:
             return 1.0
-        memory, decompress, dot = self._cycle_columns
-        compute = decompress + dot
+        compute = self.compute.total_cycles
         ratios = np.divide(
-            memory.astype(np.float64),
+            self.memory_per_partition.astype(np.float64),
             compute,
             out=np.full(compute.size, np.inf),
             where=compute != 0,
@@ -219,16 +348,74 @@ class StreamingPipeline:
         out_bytes = self.config.partition_size * self.config.value_bytes
         return self.axi.single_line_cycles(out_bytes)
 
-    def run(self, profiles: Sequence[PartitionProfile]) -> PipelineResult:
-        """Stream every non-zero partition and total the pipeline."""
-        if any(p.p != self.config.partition_size for p in profiles):
-            raise SimulationError(
-                "all profiles must match the configured partition size"
-            )
+    def _empty_result(self) -> PipelineResult:
+        empty = np.empty(0, dtype=np.int64)
+        return PipelineResult(
+            format_name=self.decompressor.name,
+            partition_size=self.config.partition_size,
+            memory_per_partition=empty,
+            compute=ComputeColumns(
+                decompress_cycles=empty, dot_cycles=empty.copy()
+            ),
+            sizes=SizeColumns(
+                useful_bytes=empty,
+                data_bytes=empty.copy(),
+                metadata_bytes=empty.copy(),
+            ),
+            fill_cycles=0,
+            drain_cycles=0,
+        )
+
+    def run(
+        self, profiles: ProfileTable | Sequence[PartitionProfile]
+    ) -> PipelineResult:
+        """Stream every non-zero partition and total the pipeline.
+
+        Accepts a :class:`ProfileTable` (the fast path — everything
+        stays columnar) or a sequence of :class:`PartitionProfile`
+        objects (columnarized first).  Both produce results
+        bit-identical to :meth:`run_scalar`.
+        """
+        table = resolve_profile_table(self.config, profiles)
+        if table is None or table.n_tiles == 0:
+            return self._empty_result()
+        lines = self.decompressor.stream_lines_batch(table, self.config)
+        memory = self.axi.transfer_cycles_batch(lines.sum(axis=0))
+        compute = self.decompressor.compute_batch(table, self.config)
+        sizes = self.decompressor.transfer_size_batch(table, self.config)
+        return PipelineResult(
+            format_name=self.decompressor.name,
+            partition_size=self.config.partition_size,
+            memory_per_partition=memory,
+            compute=compute,
+            sizes=sizes,
+            fill_cycles=int(memory[0]),
+            drain_cycles=self._write_back_cycles(),
+        )
+
+    def run_scalar(
+        self, profiles: ProfileTable | Sequence[PartitionProfile]
+    ) -> PipelineResult:
+        """Per-profile reference loop (the pre-batch implementation).
+
+        Kept as the differential-test and benchmark baseline; the
+        batch :meth:`run` must match it bit for bit.
+        """
+        if isinstance(profiles, ProfileTable):
+            profiles = profiles.profiles()
+        else:
+            profiles = tuple(profiles)
+        p = self.config.partition_size
+        for index, profile in enumerate(profiles):
+            if profile.p != p:
+                raise SimulationError(
+                    f"profile {index} has partition size {profile.p} "
+                    f"!= configured {p}"
+                )
         timings = tuple(self.time_partition(p) for p in profiles)
         fill = timings[0].memory_cycles if timings else 0
         drain = self._write_back_cycles() if timings else 0
-        return PipelineResult(
+        return PipelineResult.from_timings(
             format_name=self.decompressor.name,
             partition_size=self.config.partition_size,
             timings=timings,

@@ -26,10 +26,11 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..errors import SimulationError
-from ..partition import PartitionProfile
+from ..partition import PartitionProfile, ProfileTable
 from .axi import AxiStreamModel
 from .config import HardwareConfig
 from .decompressors import DecompressorModel, get_decompressor
+from .pipeline import resolve_profile_table
 from .trace import trace_pipeline
 
 __all__ = [
@@ -58,24 +59,26 @@ class PartitionCost:
 def partition_costs(
     config: HardwareConfig,
     decompressor: DecompressorModel | str,
-    profiles: Sequence[PartitionProfile],
+    profiles: ProfileTable | Sequence[PartitionProfile],
 ) -> list[PartitionCost]:
     """Per-partition memory and compute cycles."""
     if isinstance(decompressor, str):
         decompressor = get_decompressor(decompressor)
+    table = resolve_profile_table(config, profiles)
+    if table is None or table.n_tiles == 0:
+        return []
     axi = AxiStreamModel(config)
-    costs = []
-    for index, profile in enumerate(profiles):
-        lines = decompressor.stream_lines(profile, config)
-        compute = decompressor.compute(profile, config)
-        costs.append(
-            PartitionCost(
-                index=index,
-                memory_cycles=axi.transfer_cycles(lines),
-                compute_cycles=compute.total_cycles,
-            )
+    lines = decompressor.stream_lines_batch(table, config)
+    memory = axi.transfer_cycles_batch(lines.sum(axis=0))
+    compute = decompressor.compute_batch(table, config).total_cycles
+    return [
+        PartitionCost(
+            index=index,
+            memory_cycles=int(memory[index]),
+            compute_cycles=int(compute[index]),
         )
-    return costs
+        for index in range(table.n_tiles)
+    ]
 
 
 def imbalance_order(costs: Sequence[PartitionCost]) -> list[int]:
@@ -109,7 +112,7 @@ def johnson_order(costs: Sequence[PartitionCost]) -> list[int]:
 def schedule_gain(
     config: HardwareConfig,
     decompressor: DecompressorModel | str,
-    profiles: Sequence[PartitionProfile],
+    profiles: ProfileTable | Sequence[PartitionProfile],
 ) -> dict[str, int]:
     """Trace makespans under the three orders.
 

@@ -25,12 +25,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from ..errors import SimulationError
 from ..observability import Histogram, MetricsRegistry, log2_edges
-from ..partition import PartitionProfile
+from ..partition import PartitionProfile, ProfileTable
 from .axi import AxiStreamModel
 from .config import HardwareConfig
 from .decompressors import DecompressorModel, get_decompressor
+from .pipeline import resolve_profile_table
 
 __all__ = [
     "StageInterval",
@@ -205,21 +208,33 @@ class PipelineTrace:
 def trace_pipeline(
     config: HardwareConfig,
     decompressor: DecompressorModel | str,
-    profiles: Sequence[PartitionProfile],
+    profiles: ProfileTable | Sequence[PartitionProfile],
 ) -> PipelineTrace:
-    """Schedule every partition through the three pipeline stages."""
+    """Schedule every partition through the three pipeline stages.
+
+    The per-partition stage durations come from the decompressor's
+    batch kernels (one array pass over the whole matrix); only the
+    inherently sequential event scheduling remains a Python loop.
+    """
     if isinstance(decompressor, str):
         decompressor = get_decompressor(decompressor)
-    if any(p.p != config.partition_size for p in profiles):
-        raise SimulationError(
-            "all profiles must match the configured partition size"
-        )
+    table = resolve_profile_table(config, profiles)
     axi = AxiStreamModel(config)
     write_cycles = (
         axi.single_line_cycles(config.partition_size * config.value_bytes)
         if config.write_back
         else 0
     )
+
+    if table is None or table.n_tiles == 0:
+        mem_cycles = np.empty(0, dtype=np.int64)
+        comp_cycles = np.empty(0, dtype=np.int64)
+    else:
+        lines = decompressor.stream_lines_batch(table, config)
+        mem_cycles = axi.transfer_cycles_batch(lines.sum(axis=0))
+        comp_cycles = decompressor.compute_batch(
+            table, config
+        ).total_cycles
 
     memory: list[StageInterval] = []
     compute: list[StageInterval] = []
@@ -231,21 +246,17 @@ def trace_pipeline(
     # partition i-2 to have drained its buffer.
     compute_stop_history: list[int] = []
 
-    for index, profile in enumerate(profiles):
-        lines = decompressor.stream_lines(profile, config)
-        mem_cycles = axi.transfer_cycles(lines)
-        comp = decompressor.compute(profile, config)
-
+    for index in range(mem_cycles.size):
         buffer_free_at = (
             compute_stop_history[index - 2] if index >= 2 else 0
         )
         mem_start = max(mem_free_at, buffer_free_at)
-        mem_stop = mem_start + mem_cycles
+        mem_stop = mem_start + int(mem_cycles[index])
         memory.append(StageInterval(index, mem_start, mem_stop))
         mem_free_at = mem_stop
 
         comp_start = max(mem_stop, compute_free_at)
-        comp_stop = comp_start + comp.total_cycles
+        comp_stop = comp_start + int(comp_cycles[index])
         compute.append(StageInterval(index, comp_start, comp_stop))
         compute_free_at = comp_stop
         compute_stop_history.append(comp_stop)

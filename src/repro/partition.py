@@ -11,10 +11,15 @@ Two views of the same tiling are provided:
 * :func:`partition_matrix` materializes each non-zero tile as a
   :class:`~repro.matrix.SparseMatrix` — exact, used by functional SpMV,
   examples, and round-trip tests.
-* :func:`profile_partitions` computes, fully vectorized, the per-tile
+* :func:`profile_table` computes, fully vectorized, the per-tile
   statistics the hardware model needs (non-zeros, non-zero rows, block
-  and diagonal counts, ...) without building the tiles — this is what
-  makes 8000 x 8000 workloads tractable.
+  and diagonal counts, ...) without building the tiles, and keeps them
+  columnar in a :class:`ProfileTable` — this is what makes 8000 x 8000
+  workloads tractable and lets the hardware model evaluate its
+  closed-form cycle/size formulas over whole matrices in one shot.
+* :func:`profile_partitions` is the per-object view of the same data:
+  a list of :class:`PartitionProfile` records materialized from the
+  table.
 
 The module also computes the paper's Figure-3 "density and spatial
 locality" statistics.
@@ -23,6 +28,7 @@ locality" statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -33,9 +39,12 @@ __all__ = [
     "PARTITION_SIZES",
     "Partition",
     "PartitionProfile",
+    "PROFILE_COLUMNS",
+    "ProfileTable",
     "PartitionStatistics",
     "partition_matrix",
     "profile_partitions",
+    "profile_table",
     "partition_statistics",
     "reassemble",
     "grid_shape",
@@ -295,15 +304,227 @@ def _group_unique_counts(
     return np.bincount(owner, minlength=n_groups)
 
 
-def profile_partitions(
+#: 1-D integer columns of a :class:`ProfileTable`, in field order.
+PROFILE_COLUMNS: tuple[str, ...] = (
+    "nnz",
+    "nnz_rows",
+    "nnz_cols",
+    "max_row_nnz",
+    "max_col_nnz",
+    "n_blocks",
+    "nnz_block_rows",
+    "n_diagonals",
+    "dia_stored_len",
+    "dia_max_len",
+)
+
+
+@dataclass(frozen=True, eq=False)
+class ProfileTable:
+    """Struct-of-arrays view of every non-zero tile's profile.
+
+    Holds the same quantities as a list of :class:`PartitionProfile`
+    records, but as ``(n,)`` int64 columns (plus the ``(n, p)``
+    row-length histogram), so the per-format latency and size models
+    can be evaluated over all tiles with numpy expressions instead of
+    one Python call per tile.  ``p`` and ``block_size`` are uniform
+    across a table by construction.
+
+    :meth:`profiles` materializes the compatible per-object view
+    lazily; batch and object views are exactly equivalent, which the
+    differential test suite pins down.
+    """
+
+    p: int
+    block_size: int
+    nnz: np.ndarray
+    nnz_rows: np.ndarray
+    nnz_cols: np.ndarray
+    max_row_nnz: np.ndarray
+    max_col_nnz: np.ndarray
+    n_blocks: np.ndarray
+    nnz_block_rows: np.ndarray
+    n_diagonals: np.ndarray
+    dia_stored_len: np.ndarray
+    dia_max_len: np.ndarray
+    row_nnz_hist: np.ndarray
+
+    def __post_init__(self) -> None:
+        _check_partition_size(self.p)
+        if self.block_size < 1:
+            raise PartitionError(
+                f"block_size must be >= 1, got {self.block_size}"
+            )
+        for name in PROFILE_COLUMNS:
+            column = np.ascontiguousarray(getattr(self, name), dtype=np.int64)
+            if column.ndim != 1:
+                raise PartitionError(f"column {name} must be 1-D")
+            object.__setattr__(self, name, column)
+        hist = np.ascontiguousarray(self.row_nnz_hist, dtype=np.int64)
+        if hist.ndim != 2 or hist.shape != (self.nnz.size, self.p):
+            raise PartitionError(
+                f"row_nnz_hist must have shape ({self.nnz.size}, {self.p}), "
+                f"got {hist.shape}"
+            )
+        object.__setattr__(self, "row_nnz_hist", hist)
+        lengths = {getattr(self, name).size for name in PROFILE_COLUMNS}
+        if len(lengths) != 1:
+            raise PartitionError(
+                f"profile table columns disagree in length: {lengths}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tiles(self) -> int:
+        """Number of non-zero tiles in the table."""
+        return self.nnz.size
+
+    def __len__(self) -> int:
+        return self.n_tiles
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """The 1-D statistic columns by name (histogram excluded)."""
+        return {name: getattr(self, name) for name in PROFILE_COLUMNS}
+
+    # ------------------------------------------------------------------
+    # Batch statistics used by the hardware models
+    # ------------------------------------------------------------------
+    def ell_overflow(self, width: int) -> np.ndarray:
+        """Per tile: entries past the first ``width`` of their row."""
+        if width < 1:
+            raise PartitionError(f"width must be >= 1, got {width}")
+        if np.any(self.row_nnz_hist.sum(axis=1) != self.nnz_rows):
+            # all-zero rows mark profiles recorded without a histogram
+            raise PartitionError(
+                "this statistic needs row_nnz_hist; build the table "
+                "via profile_table() or from fully-profiled tiles"
+            )
+        weights = np.maximum(np.arange(1, self.p + 1) - width, 0)
+        return self.row_nnz_hist @ weights
+
+    @property
+    def density(self) -> np.ndarray:
+        """Per tile: fraction of the ``p * p`` entries that are non-zero."""
+        return self.nnz / float(self.p * self.p)
+
+    @property
+    def row_density(self) -> np.ndarray:
+        """Per tile: fraction of non-zeros within the non-zero rows."""
+        return self.nnz / (self.nnz_rows * self.p)
+
+    @property
+    def nnz_row_fraction(self) -> np.ndarray:
+        """Per tile: fraction of the tile's rows that are non-zero."""
+        return self.nnz_rows / self.p
+
+    # ------------------------------------------------------------------
+    # Object-view materialization (compatibility path)
+    # ------------------------------------------------------------------
+    def __getitem__(self, index: int) -> PartitionProfile:
+        """Materialize the profile of one tile."""
+        if not -self.n_tiles <= index < self.n_tiles:
+            raise IndexError(index)
+        return PartitionProfile(
+            p=self.p,
+            nnz=int(self.nnz[index]),
+            nnz_rows=int(self.nnz_rows[index]),
+            nnz_cols=int(self.nnz_cols[index]),
+            max_row_nnz=int(self.max_row_nnz[index]),
+            max_col_nnz=int(self.max_col_nnz[index]),
+            n_blocks=int(self.n_blocks[index]),
+            nnz_block_rows=int(self.nnz_block_rows[index]),
+            block_size=self.block_size,
+            n_diagonals=int(self.n_diagonals[index]),
+            dia_stored_len=int(self.dia_stored_len[index]),
+            dia_max_len=int(self.dia_max_len[index]),
+            # an all-zero row marks a profile recorded without a
+            # histogram (a real histogram always sums to nnz_rows >= 1)
+            row_nnz_hist=(
+                tuple(int(c) for c in self.row_nnz_hist[index])
+                if self.row_nnz_hist[index].any()
+                else ()
+            ),
+        )
+
+    def __iter__(self):
+        return iter(self.profiles())
+
+    def profiles(self) -> list[PartitionProfile]:
+        """The per-object view, materialized once and cached."""
+        cached = self.__dict__.get("_profiles")
+        if cached is None:
+            cached = [self[t] for t in range(self.n_tiles)]
+            self.__dict__["_profiles"] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_profiles(
+        cls, profiles: Sequence["PartitionProfile"]
+    ) -> "ProfileTable":
+        """Columnar view of already-materialized profiles.
+
+        All profiles must share one partition size and block size; the
+        error names the first offending tile so callers streaming
+        mixed tilings can point at the culprit.
+        """
+        profiles = list(profiles)
+        if not profiles:
+            raise PartitionError(
+                "cannot build a profile table from zero profiles; use "
+                "profile_table() for possibly-empty matrices"
+            )
+        p = profiles[0].p
+        block_size = profiles[0].block_size
+        for index, profile in enumerate(profiles):
+            if profile.p != p or profile.block_size != block_size:
+                raise PartitionError(
+                    f"profile {index} has (p={profile.p}, "
+                    f"b={profile.block_size}) but the table is "
+                    f"(p={p}, b={block_size})"
+                )
+        n = len(profiles)
+        columns = {
+            name: np.fromiter(
+                (getattr(profile, name) for profile in profiles),
+                dtype=np.int64,
+                count=n,
+            )
+            for name in PROFILE_COLUMNS
+        }
+        hist = np.zeros((n, p), dtype=np.int64)
+        for index, profile in enumerate(profiles):
+            # profiles without a histogram keep an all-zero row; the
+            # histogram-derived batch statistics reject such tables
+            # exactly like the scalar accessors reject the profile.
+            row = profile.row_nnz_hist
+            hist[index, : len(row)] = row
+        table = cls(p=p, block_size=block_size, row_nnz_hist=hist, **columns)
+        table.__dict__["_profiles"] = profiles
+        return table
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfileTable(p={self.p}, block_size={self.block_size}, "
+            f"n_tiles={self.n_tiles})"
+        )
+
+
+def profile_table(
     matrix: SparseMatrix, p: int, block_size: int = 4
-) -> list[PartitionProfile]:
-    """Vectorized per-tile profiles for every non-zero tile (grid order)."""
+) -> ProfileTable:
+    """Vectorized per-tile statistics, columnar, in grid order."""
     _check_partition_size(p)
     if block_size < 1:
         raise PartitionError(f"block_size must be >= 1, got {block_size}")
     if not matrix.nnz:
-        return []
+        empty = np.zeros(0, dtype=np.int64)
+        return ProfileTable(
+            p=p,
+            block_size=block_size,
+            row_nnz_hist=np.zeros((0, p), dtype=np.int64),
+            **{name: empty for name in PROFILE_COLUMNS},
+        )
     grid_cols = grid_shape(matrix.shape, p)[1]
     pid = (matrix.rows // p) * grid_cols + (matrix.cols // p)
     tile_ids, dense_pid = np.unique(pid, return_inverse=True)
@@ -345,24 +566,32 @@ def profile_partitions(
     longest = np.zeros(n_tiles, dtype=np.int64)
     np.maximum.at(longest, diag_owner, diag_lengths)
 
-    return [
-        PartitionProfile(
-            p=p,
-            nnz=int(nnz[t]),
-            nnz_rows=int(nnz_rows[t]),
-            nnz_cols=int(nnz_cols[t]),
-            max_row_nnz=int(max_row[t]),
-            max_col_nnz=int(max_col[t]),
-            n_blocks=int(n_blocks[t]),
-            nnz_block_rows=int(nnz_block_rows[t]),
-            block_size=block_size,
-            n_diagonals=int(n_diagonals[t]),
-            dia_stored_len=int(stored[t]),
-            dia_max_len=int(longest[t]),
-            row_nnz_hist=tuple(int(c) for c in hist_matrix[t]),
-        )
-        for t in range(n_tiles)
-    ]
+    return ProfileTable(
+        p=p,
+        block_size=block_size,
+        nnz=nnz,
+        nnz_rows=nnz_rows,
+        nnz_cols=nnz_cols,
+        max_row_nnz=max_row,
+        max_col_nnz=max_col,
+        n_blocks=n_blocks,
+        nnz_block_rows=nnz_block_rows,
+        n_diagonals=n_diagonals,
+        dia_stored_len=stored,
+        dia_max_len=longest,
+        row_nnz_hist=hist_matrix,
+    )
+
+
+def profile_partitions(
+    matrix: SparseMatrix, p: int, block_size: int = 4
+) -> list[PartitionProfile]:
+    """Vectorized per-tile profiles for every non-zero tile (grid order).
+
+    The object view of :func:`profile_table`; prefer the table for
+    anything that feeds the hardware model's batch kernels.
+    """
+    return profile_table(matrix, p, block_size=block_size).profiles()
 
 
 @dataclass(frozen=True)
@@ -392,21 +621,15 @@ def partition_statistics(
     matrix: SparseMatrix, p: int, block_size: int = 4
 ) -> PartitionStatistics:
     """Compute the Figure-3 statistics for ``matrix`` at tile size ``p``."""
-    profiles = profile_partitions(matrix, p, block_size=block_size)
+    table = profile_table(matrix, p, block_size=block_size)
     total = count_partitions(matrix.shape, p)
-    if not profiles:
+    if not table.n_tiles:
         return PartitionStatistics(p, total, 0, 0.0, 0.0, 0.0)
     return PartitionStatistics(
         p=p,
         n_partitions=total,
-        n_nonzero_partitions=len(profiles),
-        avg_partition_density=float(
-            np.mean([prof.density for prof in profiles])
-        ),
-        avg_row_density=float(
-            np.mean([prof.row_density for prof in profiles])
-        ),
-        avg_nnz_row_fraction=float(
-            np.mean([prof.nnz_row_fraction for prof in profiles])
-        ),
+        n_nonzero_partitions=table.n_tiles,
+        avg_partition_density=float(np.mean(table.density)),
+        avg_row_density=float(np.mean(table.row_density)),
+        avg_nnz_row_fraction=float(np.mean(table.nnz_row_fraction)),
     )

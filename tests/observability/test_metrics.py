@@ -271,3 +271,34 @@ class TestHistogram:
     def test_pickles(self):
         histogram = Histogram.of([1, 2, 3], (0, 2, 4))
         assert pickle.loads(pickle.dumps(histogram)) == histogram
+
+    def test_of_accepts_ndarray(self):
+        import numpy as np
+
+        values = [0, 1, 1.5, 2, 3.99, 4, -1]
+        from_list = Histogram.of(values, (1, 2, 4))
+        from_array = Histogram.of(np.asarray(values), (1, 2, 4))
+        assert from_array == from_list
+
+    def test_add_array_matches_scalar_adds(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 1000, size=500)
+        edges = log2_edges(1000)
+        scalar = Histogram(edges=edges)
+        for value in values:
+            scalar.add(int(value))
+        batched = Histogram(edges=edges)
+        batched.add_array(values)
+        assert batched.counts == scalar.counts
+        assert batched.underflow == scalar.underflow
+        assert batched.overflow == scalar.overflow
+        assert batched.total_value == pytest.approx(scalar.total_value)
+
+    def test_add_array_empty_is_noop(self):
+        import numpy as np
+
+        histogram = Histogram(edges=(0, 1, 2))
+        histogram.add_array(np.empty(0))
+        assert histogram.total_count == 0

@@ -9,12 +9,15 @@ from repro.errors import PartitionError
 from repro.matrix import SparseMatrix
 from repro.partition import (
     PARTITION_SIZES,
+    PROFILE_COLUMNS,
     PartitionProfile,
+    ProfileTable,
     count_partitions,
     grid_shape,
     partition_matrix,
     partition_statistics,
     profile_partitions,
+    profile_table,
     reassemble,
 )
 from repro.workloads import band_matrix, random_matrix
@@ -128,6 +131,82 @@ class TestProfiles:
         matrix = band_matrix(64, width=4, seed=0)
         for profile in profile_partitions(matrix, 16):
             assert profile.n_diagonals <= 5
+
+
+class TestProfileTable:
+    def test_columns_match_materialized_profiles(self):
+        matrix = random_matrix(64, 0.1, seed=2)
+        table = profile_table(matrix, 16)
+        profiles = profile_partitions(matrix, 16)
+        assert table.n_tiles == len(profiles)
+        assert len(table) == len(profiles)
+        for name in PROFILE_COLUMNS:
+            column = getattr(table, name)
+            assert column.dtype == np.int64
+            assert list(column) == [getattr(p, name) for p in profiles]
+
+    def test_views_equal_scalar_profiles(self):
+        matrix = band_matrix(64, width=4, seed=0)
+        table = profile_table(matrix, 16)
+        assert table.profiles() == profile_partitions(matrix, 16)
+        assert table[0] == table.profiles()[0]
+        assert list(table) == table.profiles()
+
+    def test_profiles_cached(self):
+        table = profile_table(random_matrix(32, 0.1, seed=1), 8)
+        assert table.profiles() is table.profiles()
+
+    def test_from_profiles_round_trip(self):
+        matrix = random_matrix(48, 0.1, seed=3)
+        table = profile_table(matrix, 8)
+        rebuilt = ProfileTable.from_profiles(table.profiles())
+        for name in PROFILE_COLUMNS:
+            assert np.array_equal(
+                getattr(table, name), getattr(rebuilt, name)
+            )
+        assert np.array_equal(table.row_nnz_hist, rebuilt.row_nnz_hist)
+
+    def test_from_profiles_rejects_empty(self):
+        with pytest.raises(PartitionError):
+            ProfileTable.from_profiles([])
+
+    def test_from_profiles_names_mixed_tile(self):
+        eights = profile_partitions(random_matrix(32, 0.2, seed=1), 8)
+        sixteens = profile_partitions(random_matrix(32, 0.2, seed=1), 16)
+        mixed = [eights[0], eights[1], sixteens[0]]
+        with pytest.raises(PartitionError, match="profile 2"):
+            ProfileTable.from_profiles(mixed)
+
+    def test_ell_overflow_matches_scalar(self):
+        matrix = random_matrix(64, 0.15, seed=4)
+        table = profile_table(matrix, 16)
+        overflow = table.ell_overflow(6)
+        for index, profile in enumerate(table.profiles()):
+            assert int(overflow[index]) == profile.ell_overflow(6)
+
+    def test_ell_overflow_requires_histogram(self):
+        profile = PartitionProfile(
+            p=8, nnz=2, nnz_rows=1, nnz_cols=2, max_row_nnz=2,
+            max_col_nnz=1, n_blocks=1, nnz_block_rows=1, block_size=4,
+            n_diagonals=2, dia_stored_len=4, dia_max_len=2,
+        )
+        table = ProfileTable.from_profiles([profile])
+        with pytest.raises(PartitionError):
+            table.ell_overflow(6)
+
+    def test_empty_matrix_gives_empty_table(self):
+        table = profile_table(SparseMatrix.empty((32, 32)), 16)
+        assert table.n_tiles == 0
+        assert table.profiles() == []
+
+    def test_density_columns(self):
+        matrix = random_matrix(64, 0.1, seed=2)
+        table = profile_table(matrix, 16)
+        for index, profile in enumerate(table.profiles()):
+            assert table.density[index] == pytest.approx(profile.density)
+            assert table.row_density[index] == pytest.approx(
+                profile.row_density
+            )
 
 
 class TestStatistics:
