@@ -39,6 +39,10 @@ BENCH_MANIFEST_DIR = os.environ.get(
     str(Path(__file__).resolve().parent / "manifests"),
 )
 
+#: Worker-crash retries per chunk; export REPRO_BENCH_MAX_RETRIES=N
+#: to tolerate flaky CI machines (0 disables retries).
+BENCH_MAX_RETRIES = int(os.environ.get("REPRO_BENCH_MAX_RETRIES", "2"))
+
 
 def config_at(p: int) -> HardwareConfig:
     return HardwareConfig(partition_size=p)
@@ -82,10 +86,14 @@ class ManifestingSweepRunner(SweepRunner):
 @pytest.fixture(scope="session")
 def sweep_runner() -> SweepRunner:
     """The shared engine every figure benchmark sweeps through."""
+    # fail fast: a benchmark asserting on a partial cube would report
+    # a bogus figure shape instead of the failure that caused it
     return ManifestingSweepRunner(
         max_workers=BENCH_WORKERS,
         telemetry=True,
         manifest_dir=BENCH_MANIFEST_DIR,
+        error_policy="fail_fast",
+        max_retries=BENCH_MAX_RETRIES,
     )
 
 

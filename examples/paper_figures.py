@@ -71,7 +71,9 @@ def main() -> None:
     # engine: partition profiles are computed once per (workload, p)
     # and shared by all eight formats.
     runner = SweepRunner(
-        max_workers=args.workers, telemetry=args.emit_metrics
+        max_workers=args.workers,
+        telemetry=args.emit_metrics,
+        error_policy="fail_fast",
     )
     cube: dict[tuple[str, str, int], object] = {}
     for group_name, workloads in groups.items():

@@ -64,10 +64,29 @@ def manifest_summary_table(
             ["workers", manifest.workers],
             ["chunks", header.get("n_chunks", 1)],
             ["wall time (s)", f"{manifest.wall_s:.3f}"],
+            ["failed cells", manifest.n_failed],
         ],
         title="Sweep run manifest",
     )
     blocks = [overview]
+
+    if manifest.failed:
+        blocks.append(
+            format_table(
+                ["workload", "format", "p", "error", "attempts"],
+                [
+                    [
+                        f["workload"],
+                        f["format"],
+                        f["partition_size"],
+                        f"{f['error_type']}: {f['message']}"[:60],
+                        f.get("attempts", 1),
+                    ]
+                    for f in manifest.failed
+                ],
+                title=f"Failed cells ({manifest.n_failed})",
+            )
+        )
 
     cache_rows = _cache_rows(manifest.cache_counters())
     if cache_rows:
@@ -187,6 +206,24 @@ def profile_table(telemetry, slowest: int = 5) -> str:
                     for name, value in sorted(cache_counters.items())
                 ],
                 title="Cache counters",
+            )
+        )
+    recovery_names = (
+        "sweep.cells.failed", "sweep.cells.replayed",
+        "sweep.pool_restarts", "sweep.chunk_retries",
+        "sweep.chunk_bisections", "sweep.degraded",
+    )
+    recovery = {
+        name: metrics.counter(name)
+        for name in recovery_names
+        if metrics.counter(name)
+    }
+    if recovery:
+        blocks.append(
+            format_table(
+                ["counter", "value"],
+                [[name, value] for name, value in sorted(recovery.items())],
+                title="Robustness counters",
             )
         )
     if slowest > 0 and telemetry.cells:

@@ -11,6 +11,9 @@ Everything the library computes is reachable from the shell::
     python -m repro sweep --group band --metric sigma
     python -m repro sweep --group random --workers 4 --profile
     python -m repro sweep --group band --emit-metrics run.jsonl
+    python -m repro sweep --group band --checkpoint ckpt.jsonl
+    python -m repro sweep --group band --checkpoint ckpt.jsonl --resume
+    python -m repro sweep --group random --error-policy fail_fast
     python -m repro stats run.jsonl
     python -m repro stats run.jsonl --against baseline.jsonl
     python -m repro advise --standin KR
@@ -43,7 +46,7 @@ from .core import (
     summarize,
 )
 from .engine import SweepRunner
-from .errors import CopernicusError
+from .errors import CopernicusError, SweepCellError
 from .formats import ALL_FORMATS, PAPER_FORMATS, get_format
 from .hardware import (
     PAPER_TABLE2,
@@ -211,26 +214,54 @@ def _cmd_characterize(args: argparse.Namespace) -> str:
 def _cmd_sweep(args: argparse.Namespace) -> str:
     workloads = workload_group(args.group)
     telemetry = args.profile or args.emit_metrics is not None
-    runner = SweepRunner(max_workers=args.workers, telemetry=telemetry)
+    runner = SweepRunner(
+        max_workers=args.workers,
+        telemetry=telemetry,
+        error_policy=args.error_policy,
+        max_retries=args.max_retries,
+        chunk_timeout=args.chunk_timeout,
+        faults=args.inject_faults,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+    )
     outcome = runner.run_grid(
         workloads, PAPER_FORMATS, partition_sizes=tuple(args.partitions)
     )
     cube = outcome.by_coords()
     blocks = []
     for p in args.partitions:
-        rows = [
-            [load.name]
-            + [
-                getattr(cube[(load.name, fmt, p)], args.metric)
-                for fmt in PAPER_FORMATS
-            ]
-            for load in workloads
-        ]
+        rows = []
+        for load in workloads:
+            row: list = [load.name]
+            for fmt in PAPER_FORMATS:
+                result = cube.get((load.name, fmt, p))
+                row.append(
+                    "FAILED" if result is None
+                    else getattr(result, args.metric)
+                )
+            rows.append(row)
         blocks.append(
             format_table(
                 ["workload"] + list(PAPER_FORMATS),
                 rows,
                 title=f"{args.metric} sweep, group={args.group}, p={p}",
+            )
+        )
+    if outcome.failures:
+        blocks.append(
+            format_table(
+                ["workload", "format", "p", "error", "attempts"],
+                [
+                    [
+                        f.workload,
+                        f.format_name,
+                        f.partition_size,
+                        f"{f.error_type}: {f.message}"[:60],
+                        f.attempts,
+                    ]
+                    for f in outcome.failures
+                ],
+                title=f"Failed cells ({outcome.n_failed})",
             )
         )
     if args.profile:
@@ -348,7 +379,7 @@ def _cmd_bench(args: argparse.Namespace) -> str:
 def _cmd_advise(args: argparse.Namespace) -> str:
     name, matrix = _build_workload(args)
     workload = Workload(name=name, group="cli", matrix=matrix)
-    results = SweepRunner().run_grid(
+    results = SweepRunner(error_policy="fail_fast").run_grid(
         [workload], PAPER_FORMATS, partition_sizes=PARTITION_SIZES
     ).results
     scores = sorted(
@@ -439,6 +470,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--emit-metrics", metavar="PATH", default=None,
         help="write a JSON-lines run manifest to PATH "
         "(read it back with `repro stats`)",
+    )
+    sweep.add_argument(
+        "--error-policy", choices=("collect", "fail_fast"),
+        default="collect",
+        help="collect: isolate per-cell failures and keep sweeping "
+        "(default); fail_fast: abort on the first failure",
+    )
+    sweep.add_argument(
+        "--max-retries", type=int, default=2,
+        help="dispatch retries per chunk after a worker crash "
+        "(default 2)",
+    )
+    sweep.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per chunk; a chunk exceeding it is "
+        "treated like a crashed chunk (default: no budget)",
+    )
+    sweep.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="append finished cells to a JSON-lines checkpoint at "
+        "PATH as they complete",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="replay cells already recorded in --checkpoint and "
+        "execute only the rest",
+    )
+    sweep.add_argument(
+        # deterministic fault injection for testing the recovery
+        # machinery; see repro.engine.faults for the spec grammar
+        "--inject-faults", metavar="SPECS", default=None,
+        help=argparse.SUPPRESS,
     )
     sweep.set_defaults(handler=_cmd_sweep)
 
@@ -558,8 +621,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.all_formats or args.format
     ):
         parser.error("pass -f/--format (repeatable) or --all-formats")
+    if args.command == "sweep" and args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
     try:
         print(args.handler(args))
+    except SweepCellError as error:
+        message = f"error: {error}\n"
+        if error.traceback_text:
+            message = f"{error.traceback_text}\n{message}"
+        parser.exit(2, message)
     except CopernicusError as error:
         parser.exit(2, f"error: {error}\n")
     return 0

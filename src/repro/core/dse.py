@@ -102,7 +102,11 @@ def explore(
     from ..workloads.registry import Workload
 
     workload = Workload(name="dse", group="dse", matrix=matrix)
-    cube = SweepRunner(max_workers=max_workers).run_grid(
+    # fail fast: the DSE indexes the full cube, a missing cell would
+    # only surface later as an opaque KeyError
+    cube = SweepRunner(
+        max_workers=max_workers, error_policy="fail_fast"
+    ).run_grid(
         [workload], formats, partition_sizes, base_config
     ).by_coords()
 

@@ -15,11 +15,32 @@ content-keyed cache and fans chunks out over worker processes::
     outcome.encodings      # exact whole-matrix transfer accounting
     outcome.telemetry      # per-cell spans + merged worker metrics
     outcome.write_manifest("run.jsonl")   # -> python -m repro stats
+
+The runner is fault tolerant: ``error_policy="collect"`` (default)
+isolates per-cell failures into :class:`FailedCell` records on
+``outcome.failures``, worker crashes are retried / bisected /
+degraded to the in-process path, ``checkpoint=``/``resume=`` give
+crash recovery with bit-identical replay, and
+:class:`~repro.engine.faults.FaultPlan` injects deterministic faults
+for testing all of it.
 """
 
 from .cache import CacheStats, ContentKeyedCache, matrix_content_key
-from .grid import EncodeSummary, SweepCell, SweepOutcome, build_grid
-from .runner import SweepRunner, run_sweep
+from .checkpoint import (
+    CheckpointState,
+    CheckpointWriter,
+    cell_digest,
+    load_checkpoint,
+)
+from .faults import FaultPlan, FaultSpec, InjectedFault
+from .grid import (
+    EncodeSummary,
+    FailedCell,
+    SweepCell,
+    SweepOutcome,
+    build_grid,
+)
+from .runner import ERROR_POLICIES, SweepRunner, run_sweep
 from .specs import WorkloadSpec
 from .telemetry import CellTelemetry, RunTelemetry, workload_recipe_digest
 
@@ -27,10 +48,19 @@ __all__ = [
     "CacheStats",
     "ContentKeyedCache",
     "matrix_content_key",
+    "CheckpointState",
+    "CheckpointWriter",
+    "cell_digest",
+    "load_checkpoint",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "EncodeSummary",
+    "FailedCell",
     "SweepCell",
     "SweepOutcome",
     "build_grid",
+    "ERROR_POLICIES",
     "SweepRunner",
     "run_sweep",
     "WorkloadSpec",

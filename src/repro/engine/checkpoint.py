@@ -1,0 +1,273 @@
+"""Append-only JSONL sweep checkpoints for crash recovery and resume.
+
+A checkpoint is the durable sibling of a run manifest: one JSON line
+per *completed* cell, appended (and flushed) the moment the parent
+process sees the result, so a sweep killed at any point leaves behind
+every finished cell.  Resuming replays those cells from disk and
+executes only the remainder — and because the replay payload is the
+pickled :class:`~repro.core.results.CharacterizationResult` itself
+(zlib-compressed, base64-armored inside the JSON record), a resumed
+sweep's outcome is bit-identical to an uninterrupted run's.
+
+Records are keyed by the **cell recipe digest** — a content digest of
+(workload recipe, format, partition size, hardware config) — not by
+grid position, so a checkpoint survives grid reordering, grid
+extension, and partial overlap: any cell whose recipe matches replays,
+everything else runs.
+
+Wire format (one JSON object per line)::
+
+    {"type": "header", "kind": "copernicus-sweep-checkpoint", ...}
+    {"type": "cell", "digest": ..., "workload": ..., "format": ...,
+     "partition_size": ..., "wall_s": ..., "cache_key": ...,
+     "payload": "<base64(zlib(pickle(result)))>"}
+    {"type": "encoding", "workload": ..., "format": ...,
+     "payload": "<base64(zlib(pickle(EncodeSummary)))>"}
+
+The file is append-only; re-executed cells simply append again and the
+loader keeps the latest record per digest.  A torn final line (the
+process died mid-append) is detected and ignored on load; corruption
+anywhere earlier raises :class:`~repro.errors.CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, TYPE_CHECKING
+
+from ..errors import CheckpointError
+from .telemetry import workload_recipe_digest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.results import CharacterizationResult
+    from .grid import EncodeSummary, SweepCell
+
+__all__ = [
+    "CHECKPOINT_KIND",
+    "CHECKPOINT_SCHEMA",
+    "cell_digest",
+    "CheckpointState",
+    "CheckpointWriter",
+    "load_checkpoint",
+]
+
+#: Value of the header's ``kind`` field.
+CHECKPOINT_KIND = "copernicus-sweep-checkpoint"
+
+#: Bump on any backwards-incompatible record change.
+CHECKPOINT_SCHEMA = 1
+
+
+def cell_digest(cell: "SweepCell") -> str:
+    """Content digest identifying one cell's complete recipe.
+
+    Two cells collide iff they would compute the same result: same
+    workload recipe (generator parameters for specs, matrix content
+    for materialized workloads), same format, same partition size and
+    same base hardware configuration.
+    """
+    payload = repr((
+        workload_recipe_digest(cell.workload),
+        cell.format_name,
+        cell.partition_size,
+        cell.config,
+    ))
+    return hashlib.blake2b(
+        payload.encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+def _encode_payload(obj) -> str:
+    return base64.b64encode(
+        zlib.compress(pickle.dumps(obj, protocol=4))
+    ).decode("ascii")
+
+
+def _decode_payload(text: str):
+    try:
+        return pickle.loads(zlib.decompress(base64.b64decode(text)))
+    except Exception as error:
+        raise CheckpointError(
+            f"undecodable checkpoint payload: "
+            f"{type(error).__name__}: {error}"
+        ) from error
+
+
+@dataclass
+class CheckpointState:
+    """Everything a checkpoint file holds, latest record per key.
+
+    ``results`` maps cell recipe digests to
+    ``(result, wall_s, cache_key)`` triples; ``encodings`` maps
+    (workload, format) pairs to their :class:`EncodeSummary`.
+    """
+
+    results: dict = field(default_factory=dict)
+    encodings: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def result_for(self, digest: str):
+        return self.results.get(digest)
+
+
+class CheckpointWriter:
+    """Appends completed cells to a checkpoint file, flushing each.
+
+    Opening a missing or empty file writes the header line first;
+    opening an existing checkpoint validates its header and appends.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = (
+            not self.path.exists() or self.path.stat().st_size == 0
+        )
+        if not fresh:
+            _validate_header(self.path)
+        self._stream: IO[str] = self.path.open(
+            "a", encoding="utf-8"
+        )
+        if fresh:
+            self._append({
+                "type": "header",
+                "kind": CHECKPOINT_KIND,
+                "schema": CHECKPOINT_SCHEMA,
+            })
+
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        self._stream.write(json.dumps(record, sort_keys=True))
+        self._stream.write("\n")
+        self._stream.flush()
+
+    def record_result(
+        self,
+        digest: str,
+        cell: "SweepCell",
+        result: "CharacterizationResult",
+        wall_s: float = 0.0,
+        cache_key: str = "",
+    ) -> None:
+        """Append one completed cell (called as each cell finishes)."""
+        self._append({
+            "type": "cell",
+            "digest": digest,
+            "workload": result.workload,
+            "format": cell.format_name,
+            "partition_size": cell.partition_size,
+            "wall_s": wall_s,
+            "cache_key": cache_key,
+            "payload": _encode_payload(result),
+        })
+
+    def record_encoding(self, summary: "EncodeSummary") -> None:
+        """Append one (workload, format) encode summary."""
+        self._append({
+            "type": "encoding",
+            "workload": summary.workload,
+            "format": summary.format_name,
+            "payload": _encode_payload(summary),
+        })
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _validate_header(path: Path) -> dict:
+    with path.open("r", encoding="utf-8") as stream:
+        first = stream.readline()
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"{path}: first line is not JSON: {error}"
+        ) from error
+    if not isinstance(header, dict) or header.get("type") != "header":
+        raise CheckpointError(f"{path}: missing checkpoint header")
+    if header.get("kind") != CHECKPOINT_KIND:
+        raise CheckpointError(
+            f"{path}: not a sweep checkpoint "
+            f"(kind={header.get('kind')!r})"
+        )
+    if header.get("schema") != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint schema "
+            f"{header.get('schema')!r} (expected {CHECKPOINT_SCHEMA})"
+        )
+    return header
+
+
+def load_checkpoint(path: str | Path) -> CheckpointState:
+    """Parse a checkpoint, keeping the latest record per cell digest.
+
+    A torn final line — the tell-tale of a process killed mid-append —
+    is silently dropped; malformed records anywhere else raise
+    :class:`CheckpointError` because they mean the file cannot be
+    trusted as a whole.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {error}"
+        ) from error
+    _validate_header(path)
+
+    lines = text.splitlines()
+    state = CheckpointState()
+    last_index = len(lines) - 1
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            if lineno == last_index and not text.endswith("\n"):
+                break  # torn tail from a mid-append kill
+            raise CheckpointError(
+                f"{path}:{lineno + 1}: invalid JSON: {error}"
+            ) from error
+        if not isinstance(record, dict):
+            raise CheckpointError(
+                f"{path}:{lineno + 1}: checkpoint records must be "
+                f"objects"
+            )
+        kind = record.get("type")
+        if kind == "cell":
+            try:
+                digest = record["digest"]
+                payload = record["payload"]
+            except KeyError as error:
+                raise CheckpointError(
+                    f"{path}:{lineno + 1}: cell record missing "
+                    f"{error}"
+                ) from None
+            state.results[digest] = (
+                _decode_payload(payload),
+                float(record.get("wall_s", 0.0)),
+                str(record.get("cache_key", "")),
+            )
+        elif kind == "encoding":
+            summary = _decode_payload(record["payload"])
+            state.encodings[
+                (record["workload"], record["format"])
+            ] = summary
+        # header handled above; unknown types skipped for forward
+        # compatibility
+    return state

@@ -1,0 +1,282 @@
+"""Deterministic fault injection for the sweep engine.
+
+The robustness machinery in :mod:`repro.engine.runner` — error
+policies, worker-crash recovery, chunk bisection, checkpoint/resume —
+only earns its keep if its failure paths are *testable*.  This module
+makes failure a first-class, reproducible input: a :class:`FaultPlan`
+is a picklable set of :class:`FaultSpec` rules that the runner
+evaluates immediately before executing each cell, so the same plan
+produces the same faults at the same cells on every run, any worker
+count, and every retry attempt.
+
+Three fault kinds cover the interesting failure classes:
+
+``raise``
+    Raise :class:`InjectedFault` inside the cell — an ordinary Python
+    exception, exercising the ``collect`` / ``fail_fast`` error
+    policies.
+``crash``
+    Kill the worker process with ``os._exit`` — the un-catchable
+    death that surfaces as ``BrokenProcessPool`` in the parent,
+    exercising retry, bisection and pool-degradation.  On the
+    in-process path (where ``os._exit`` would take the whole run
+    down) it raises :class:`~repro.errors.WorkerCrashError` instead.
+``delay``
+    Sleep ``delay_s`` seconds before the cell runs, exercising the
+    per-chunk wall-clock budget.
+
+Faults are *attempt-gated*: ``times=N`` trips only on the first N
+dispatch attempts of the cell's chunk, so a "transient" crash that
+succeeds on retry is one spec away.  ``times=None`` makes the fault
+persistent.
+
+Plans parse from a compact spec string (the hidden
+``repro sweep --inject-faults`` flag uses this)::
+
+    raise@rand-0.01:csr:16          # one exact cell
+    crash@*:coo:*                   # every coo cell, first attempt
+    crash@*:coo:*#times=none        # ... on every attempt
+    delay@every:5#delay=0.25        # every 5th grid cell sleeps 250 ms
+    raise@band-4:*:8,raise@band-8:*:8   # comma-separated plans compose
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import SweepConfigError, WorkerCrashError
+
+__all__ = ["InjectedFault", "FaultSpec", "FaultPlan", "FAULT_KINDS"]
+
+#: The supported fault kinds.
+FAULT_KINDS = ("raise", "crash", "delay")
+
+#: Exit status a ``crash`` fault kills its worker with (any non-zero
+#: status breaks the pool; a recognizable one helps post-mortems).
+CRASH_EXIT_STATUS = 86
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise`` fault throws inside a cell."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault rule.
+
+    A spec matches a cell by coordinates (``None`` fields are
+    wildcards) or by grid position (``every_nth`` trips on cell
+    indexes divisible by N); ``times`` gates it to the first N
+    dispatch attempts of the chunk carrying the cell (``None`` =
+    every attempt).
+    """
+
+    kind: str
+    workload: str | None = None
+    format_name: str | None = None
+    partition_size: int | None = None
+    every_nth: int | None = None
+    times: int | None = 1
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise SweepConfigError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {', '.join(FAULT_KINDS)}"
+            )
+        if self.every_nth is not None and self.every_nth < 1:
+            raise SweepConfigError(
+                f"every_nth must be >= 1, got {self.every_nth}"
+            )
+        if self.times is not None and self.times < 1:
+            raise SweepConfigError(
+                f"times must be >= 1 (or None for always), "
+                f"got {self.times}"
+            )
+        if self.delay_s < 0:
+            raise SweepConfigError(
+                f"delay_s must be >= 0, got {self.delay_s}"
+            )
+
+    # ------------------------------------------------------------------
+    def matches(self, coords: tuple[str, str, int], index: int) -> bool:
+        """Does this spec target the cell at ``coords`` / ``index``?"""
+        if self.every_nth is not None:
+            return index % self.every_nth == 0
+        workload, format_name, partition_size = coords
+        return (
+            (self.workload is None or self.workload == workload)
+            and (
+                self.format_name is None
+                or self.format_name == format_name
+            )
+            and (
+                self.partition_size is None
+                or self.partition_size == partition_size
+            )
+        )
+
+    def should_fire(
+        self, coords: tuple[str, str, int], index: int, attempt: int
+    ) -> bool:
+        """Whether the fault trips for this (cell, dispatch attempt)."""
+        if self.times is not None and attempt >= self.times:
+            return False
+        return self.matches(coords, index)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        where = (
+            f"every:{self.every_nth}"
+            if self.every_nth is not None
+            else ":".join(
+                "*" if part is None else str(part)
+                for part in (
+                    self.workload, self.format_name, self.partition_size
+                )
+            )
+        )
+        return f"{self.kind}@{where}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, picklable set of fault rules.
+
+    The runner calls :meth:`before_cell` immediately before executing
+    each cell; the first matching spec fires.  Plans cross the
+    ``ProcessPoolExecutor`` boundary with the chunk, so workers and
+    the in-process path evaluate identical rules.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def before_cell(
+        self,
+        coords: tuple[str, str, int],
+        index: int,
+        attempt: int = 0,
+        in_worker: bool = False,
+    ) -> None:
+        """Inject the first matching fault, if any.
+
+        ``attempt`` is the chunk's dispatch attempt (0-based);
+        ``in_worker`` tells a ``crash`` fault whether it may actually
+        kill the process (worker) or must raise
+        :class:`WorkerCrashError` instead (in-process path).
+        """
+        for spec in self.specs:
+            if not spec.should_fire(coords, index, attempt):
+                continue
+            if spec.kind == "delay":
+                time.sleep(spec.delay_s)
+                continue
+            if spec.kind == "raise":
+                raise InjectedFault(
+                    f"injected fault {spec.describe()} at cell "
+                    f"{coords} (attempt {attempt})"
+                )
+            # kind == "crash"
+            if in_worker:
+                os._exit(CRASH_EXIT_STATUS)
+            raise WorkerCrashError(
+                f"injected crash {spec.describe()} at cell {coords} "
+                f"(attempt {attempt}, in-process path)"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a comma-separated compact spec string (see module doc)."""
+        specs = []
+        for part in text.split(","):
+            part = part.strip()
+            if part:
+                specs.append(_parse_one(part))
+        if not specs:
+            raise SweepConfigError(
+                f"fault plan {text!r} contains no fault specs"
+            )
+        return cls(specs=tuple(specs))
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultPlan":
+        return cls(specs=tuple(specs))
+
+    def describe(self) -> str:
+        return ",".join(spec.describe() for spec in self.specs)
+
+
+def _parse_options(chunks: Iterable[str]) -> dict:
+    options: dict = {}
+    for chunk in chunks:
+        key, sep, value = chunk.partition("=")
+        if not sep:
+            raise SweepConfigError(
+                f"fault option {chunk!r} is not key=value"
+            )
+        if key == "times":
+            options["times"] = (
+                None if value.lower() == "none" else _parse_int(value, key)
+            )
+        elif key == "delay":
+            try:
+                options["delay_s"] = float(value)
+            except ValueError:
+                raise SweepConfigError(
+                    f"fault option delay={value!r} is not a number"
+                ) from None
+        else:
+            raise SweepConfigError(
+                f"unknown fault option {key!r}; known: times, delay"
+            )
+    return options
+
+
+def _parse_int(value: str, label: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise SweepConfigError(
+            f"fault option {label}={value!r} is not an integer"
+        ) from None
+
+
+def _parse_one(text: str) -> FaultSpec:
+    head, *option_chunks = text.split("#")
+    kind, sep, where = head.partition("@")
+    if not sep or not where:
+        raise SweepConfigError(
+            f"fault spec {text!r} must look like kind@target "
+            f"(e.g. raise@rand-0.01:csr:16, crash@every:5)"
+        )
+    options = _parse_options(option_chunks)
+    if where.startswith("every:"):
+        return FaultSpec(
+            kind=kind,
+            every_nth=_parse_int(where[len("every:"):], "every"),
+            **options,
+        )
+    parts = where.split(":")
+    if len(parts) != 3:
+        raise SweepConfigError(
+            f"fault target {where!r} must be workload:format:p "
+            f"('*' wildcards) or every:N"
+        )
+    workload, format_name, partition = parts
+    return FaultSpec(
+        kind=kind,
+        workload=None if workload == "*" else workload,
+        format_name=None if format_name == "*" else format_name,
+        partition_size=(
+            None if partition == "*" else _parse_int(partition, "p")
+        ),
+        **options,
+    )

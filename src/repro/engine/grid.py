@@ -23,7 +23,13 @@ from .specs import WorkloadSpec
 from .telemetry import RunTelemetry
 from ..core.results import CharacterizationResult
 
-__all__ = ["SweepCell", "EncodeSummary", "SweepOutcome", "build_grid"]
+__all__ = [
+    "SweepCell",
+    "EncodeSummary",
+    "FailedCell",
+    "SweepOutcome",
+    "build_grid",
+]
 
 
 @dataclass(frozen=True)
@@ -73,14 +79,51 @@ class EncodeSummary:
     compression_ratio: float
 
 
+@dataclass(frozen=True)
+class FailedCell:
+    """Structured record of one cell that failed to produce a result.
+
+    Produced by the runner under ``error_policy="collect"`` — from an
+    exception inside the cell, a worker-process crash
+    (``error_type="WorkerCrashError"``) or an exhausted chunk
+    wall-clock budget (``error_type="ChunkTimeout"``).  The formatted
+    traceback is captured *inside* the worker, so it survives the
+    pickle across the process boundary that would otherwise strip the
+    exception chain.
+    """
+
+    index: int
+    workload: str
+    format_name: str
+    partition_size: int
+    recipe_digest: str
+    error_type: str
+    message: str
+    traceback_text: str = ""
+    attempts: int = 1
+
+    @property
+    def coords(self) -> tuple[str, str, int]:
+        return (self.workload, self.format_name, self.partition_size)
+
+    def __repr__(self) -> str:
+        return (
+            f"FailedCell({self.workload!r}, {self.format_name!r}, "
+            f"p={self.partition_size}, {self.error_type}: "
+            f"{self.message})"
+        )
+
+
 @dataclass
 class SweepOutcome:
     """Everything one sweep run produced.
 
     ``results`` is in grid (cell) order regardless of worker count or
-    completion order; ``stats`` aggregates the cache counters of every
-    worker; ``encodings`` is populated only when the runner ran with
-    ``encode=True``; ``telemetry`` (per-cell spans, merged worker
+    completion order; under ``error_policy="collect"`` failed cells
+    are *absent* from ``results`` and listed in ``failures`` instead
+    (also in grid order).  ``stats`` aggregates the cache counters of
+    every worker; ``encodings`` is populated only when the runner ran
+    with ``encode=True``; ``telemetry`` (per-cell spans, merged worker
     metrics, workload recipe digests) only when it ran with
     ``telemetry=True``.
     """
@@ -91,9 +134,49 @@ class SweepOutcome:
         default_factory=dict
     )
     telemetry: "RunTelemetry | None" = None
+    failures: list[FailedCell] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.results)
+
+    @property
+    def ok(self) -> bool:
+        """True iff every grid cell produced a result."""
+        return not self.failures
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failures)
+
+    def failure(
+        self, workload: str, format_name: str, partition_size: int
+    ) -> FailedCell:
+        """Look up one failed cell by its coordinates."""
+        for failed in self.failures:
+            if failed.coords == (workload, format_name, partition_size):
+                return failed
+        raise KeyError((workload, format_name, partition_size))
+
+    def raise_if_failed(self) -> "SweepOutcome":
+        """Raise a :class:`SweepCellError` for the first failure.
+
+        Lets a caller run with ``error_policy="collect"`` (keeping
+        every healthy result) and still get fail-fast semantics at the
+        point where completeness matters.
+        """
+        if self.failures:
+            from ..errors import SweepCellError
+
+            first = self.failures[0]
+            raise SweepCellError(
+                first.coords,
+                f"{first.error_type}: {first.message} "
+                f"(+{len(self.failures) - 1} more failed cells)",
+                traceback_text=first.traceback_text,
+                recipe_digest=first.recipe_digest,
+                attempts=first.attempts,
+            )
+        return self
 
     def by_coords(
         self,

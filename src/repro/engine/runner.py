@@ -1,4 +1,4 @@
-"""Parallel sweep execution with shared-work caching and telemetry.
+"""Parallel sweep execution with caching, telemetry and fault tolerance.
 
 The runner turns a grid of sweep cells into characterization results:
 
@@ -11,23 +11,49 @@ The runner turns a grid of sweep cells into characterization results:
     cache shared across *all* chunks, so the sequential path is both a
     fallback and the maximal-caching configuration.  Both paths produce
     identical results cell-for-cell.
-3.  A failure inside any cell — in either path — is re-raised as
-    :class:`~repro.errors.SweepCellError` carrying the failing cell's
-    (workload, format, partition size) coordinates.
-4.  With ``telemetry=True`` every worker additionally records one
+3.  A failure inside any cell is handled by the runner's **error
+    policy**: ``"collect"`` (the default) isolates it into a
+    :class:`~repro.engine.grid.FailedCell` record — coordinates,
+    recipe digest, exception type and the worker-side formatted
+    traceback — on :attr:`SweepOutcome.failures` while every healthy
+    cell still completes; ``"fail_fast"`` re-raises it immediately as
+    :class:`~repro.errors.SweepCellError`.
+4.  A **worker crash** (``BrokenProcessPool``) or an exhausted
+    per-chunk wall-clock budget triggers recovery: the lost chunks are
+    re-dispatched with bounded deterministic retries, then bisected to
+    fence the poisonous cell down to a single-cell failure, and if the
+    pool keeps dying the runner degrades to the in-process sequential
+    path for whatever work remains.
+5.  With ``checkpoint=...`` every completed cell is appended (and
+    flushed) to an append-only JSONL checkpoint as soon as the parent
+    sees it; ``resume=True`` replays checkpointed cells by recipe
+    digest and executes only the remainder, producing a bit-identical
+    :class:`SweepOutcome`.
+6.  With ``telemetry=True`` every worker additionally records one
     :class:`~repro.engine.telemetry.CellTelemetry` span per cell plus
     chunk-level timers; the parent merges them (with the run-level
-    cache counters) into :attr:`SweepOutcome.telemetry`, from which
-    :meth:`SweepOutcome.write_manifest` emits a JSON-lines run
-    manifest.  Telemetry is off by default and costs one branch per
-    cell when disabled.
+    cache counters and the recovery counters ``sweep.pool_restarts`` /
+    ``sweep.chunk_retries`` / ``sweep.chunk_bisections`` /
+    ``sweep.degraded`` / ``sweep.cells.failed`` /
+    ``sweep.cells.replayed``) into :attr:`SweepOutcome.telemetry`,
+    from which :meth:`SweepOutcome.write_manifest` emits a JSON-lines
+    run manifest.
+7.  A :class:`~repro.engine.faults.FaultPlan` (``faults=...``) injects
+    deterministic exceptions, worker crashes or delays at chosen
+    cells — the test harness for everything above.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+import traceback
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Callable, Sequence
 
 from ..core.results import CharacterizationResult
 from ..core.simulator import SpmvSimulator
@@ -39,22 +65,29 @@ from ..observability import MetricsRegistry
 from ..partition import PARTITION_SIZES, profile_table
 from ..workloads.registry import Workload
 from .cache import CacheStats, ContentKeyedCache
-from .grid import EncodeSummary, SweepCell, SweepOutcome, build_grid
+from .checkpoint import CheckpointState, CheckpointWriter, cell_digest, load_checkpoint
+from .faults import FaultPlan
+from .grid import EncodeSummary, FailedCell, SweepCell, SweepOutcome, build_grid
 from .specs import WorkloadSpec
 from .telemetry import CellTelemetry, RunTelemetry, workload_recipe_digest
 
-__all__ = ["SweepRunner", "run_sweep"]
+__all__ = ["SweepRunner", "run_sweep", "ERROR_POLICIES"]
+
+#: The supported per-cell error policies.
+ERROR_POLICIES = ("collect", "fail_fast")
 
 #: One chunk: (cell index in the grid, cell) pairs sharing a workload.
 _Chunk = list[tuple[int, SweepCell]]
 
-#: One chunk's outputs: results, encodings, cache stats, telemetry.
+#: One chunk's outputs: results, encodings, cache stats, telemetry,
+#: and (under the "collect" policy) per-cell failure records.
 _ChunkOutput = tuple[
     list[tuple[int, CharacterizationResult]],
     dict[tuple[str, str], EncodeSummary],
     CacheStats,
     "list[CellTelemetry] | None",
     "MetricsRegistry | None",
+    list[FailedCell],
 ]
 
 
@@ -116,11 +149,33 @@ def _encode_cell(
     )
 
 
+def _failed_cell(
+    index: int, cell: SweepCell, error: Exception, attempt: int
+) -> FailedCell:
+    """Build the structured failure record for one raised cell."""
+    return FailedCell(
+        index=index,
+        workload=cell.workload_name,
+        format_name=cell.format_name,
+        partition_size=cell.partition_size,
+        recipe_digest=workload_recipe_digest(cell.workload),
+        error_type=type(error).__name__,
+        message=str(error),
+        traceback_text=traceback.format_exc(),
+        attempts=attempt + 1,
+    )
+
+
 def _run_chunk(
     chunk: _Chunk,
     encode: bool,
     cache: ContentKeyedCache | None = None,
     telemetry: bool = False,
+    error_policy: str = "fail_fast",
+    faults: FaultPlan | None = None,
+    attempt: int = 0,
+    in_worker: bool = True,
+    on_cell: "Callable | None" = None,
 ) -> _ChunkOutput:
     """Execute one chunk of cells against one shared cache.
 
@@ -130,31 +185,53 @@ def _run_chunk(
     the chunk also returns one :class:`CellTelemetry` per cell and a
     worker-local :class:`MetricsRegistry`; both are picklable, so they
     aggregate across process boundaries exactly like the results do.
+
+    ``error_policy="collect"`` turns per-cell exceptions into
+    :class:`FailedCell` records (with the traceback formatted *here*,
+    on the worker side of the pickle boundary); ``"fail_fast"``
+    re-raises them as annotated :class:`SweepCellError`.  ``faults``
+    and ``attempt`` drive deterministic fault injection; ``on_cell``
+    (in-process only — it does not pickle) is invoked after every
+    completed cell so the caller can checkpoint at cell granularity.
     """
     if cache is None:
         cache = ContentKeyedCache()
     results: list[tuple[int, CharacterizationResult]] = []
     encodings: dict[tuple[str, str], EncodeSummary] = {}
+    failures: list[FailedCell] = []
     spans: list[CellTelemetry] | None = [] if telemetry else None
     metrics: MetricsRegistry | None = (
         MetricsRegistry() if telemetry else None
     )
+    timed = telemetry or on_cell is not None
     chunk_start = time.perf_counter() if telemetry else 0.0
     for index, cell in chunk:
-        cell_start = time.perf_counter() if telemetry else 0.0
+        cell_start = time.perf_counter() if timed else 0.0
         try:
+            if faults is not None:
+                faults.before_cell(
+                    cell.coords, index, attempt, in_worker
+                )
             result, matrix_key = _run_cell(cell, cache)
             if encode:
                 summary = _encode_cell(cell, cache)
                 encodings[(summary.workload, summary.format_name)] = summary
-        except SweepCellError:
-            raise
-        except Exception as error:  # noqa: BLE001 — annotate with coords
-            raise SweepCellError(cell.coords, f"{type(error).__name__}: "
-                                 f"{error}") from error
+        except Exception as error:  # noqa: BLE001 — policy decides
+            if error_policy == "fail_fast":
+                if isinstance(error, SweepCellError):
+                    raise
+                raise SweepCellError(
+                    cell.coords,
+                    f"{type(error).__name__}: {error}",
+                    traceback_text=traceback.format_exc(),
+                    recipe_digest=workload_recipe_digest(cell.workload),
+                    attempts=attempt + 1,
+                ) from error
+            failures.append(_failed_cell(index, cell, error, attempt))
+            continue
         results.append((index, result))
+        wall = time.perf_counter() - cell_start if timed else 0.0
         if telemetry:
-            wall = time.perf_counter() - cell_start
             spans.append(
                 CellTelemetry(
                     index=index,
@@ -167,16 +244,18 @@ def _run_chunk(
             )
             metrics.incr("sweep.cells")
             metrics.observe("sweep.cell", wall)
+        if on_cell is not None:
+            on_cell(index, cell, result, wall, matrix_key)
     if telemetry:
         metrics.observe(
             "sweep.chunk", time.perf_counter() - chunk_start
         )
         metrics.incr("sweep.chunks")
-    return results, encodings, cache.stats, spans, metrics
+    return results, encodings, cache.stats, spans, metrics, failures
 
 
 class SweepRunner:
-    """Executes sweep grids, concurrently when asked.
+    """Executes sweep grids, concurrently and fault-tolerantly.
 
     Parameters
     ----------
@@ -196,6 +275,35 @@ class SweepRunner:
         digests into :attr:`SweepOutcome.telemetry` (the input for
         :meth:`SweepOutcome.write_manifest`).  Off by default; when off
         the run path is unchanged except for one branch per cell.
+    error_policy:
+        ``"collect"`` (default): a failing cell becomes a
+        :class:`FailedCell` on :attr:`SweepOutcome.failures` and every
+        other cell still runs.  ``"fail_fast"``: the first failure
+        aborts the sweep with :class:`SweepCellError` (the pre-existing
+        behavior).
+    max_retries:
+        How many times a chunk lost to a worker crash or chunk timeout
+        is re-dispatched verbatim before it is bisected (multi-cell
+        chunks) or declared failed (single cells).
+    chunk_timeout:
+        Optional per-chunk wall-clock budget in seconds for the
+        parallel path; a chunk that exceeds it is treated like a
+        crashed chunk (retried, bisected, then failed with
+        ``error_type="ChunkTimeout"``).
+    faults:
+        A :class:`FaultPlan` (or its compact string form) injecting
+        deterministic failures for testing; ``None`` disables.
+    checkpoint:
+        Path of an append-only JSONL checkpoint; every completed cell
+        is appended and flushed as soon as the parent sees it.
+    resume:
+        Replay cells found in ``checkpoint`` (matched by recipe
+        digest) instead of executing them.  Requires ``checkpoint``.
+    max_pool_restarts:
+        Pool rebuilds tolerated before the runner stops trusting the
+        process pool and degrades to the in-process sequential path
+        for the remaining work.  Default: scaled from ``max_retries``
+        and the bisection depth of the largest chunk.
     """
 
     def __init__(
@@ -203,6 +311,13 @@ class SweepRunner:
         max_workers: int = 1,
         encode: bool = False,
         telemetry: bool = False,
+        error_policy: str = "collect",
+        max_retries: int = 2,
+        chunk_timeout: float | None = None,
+        faults: "FaultPlan | str | None" = None,
+        checkpoint: "str | Path | None" = None,
+        resume: bool = False,
+        max_pool_restarts: int | None = None,
     ) -> None:
         if not isinstance(max_workers, int) or isinstance(
             max_workers, bool
@@ -215,11 +330,62 @@ class SweepRunner:
             raise SweepConfigError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
+        if error_policy not in ERROR_POLICIES:
+            raise SweepConfigError(
+                f"error_policy must be one of "
+                f"{', '.join(ERROR_POLICIES)}; got {error_policy!r}"
+            )
+        if not isinstance(max_retries, int) or isinstance(
+            max_retries, bool
+        ) or max_retries < 0:
+            raise SweepConfigError(
+                f"max_retries must be an integer >= 0, got "
+                f"{max_retries!r}"
+            )
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise SweepConfigError(
+                f"chunk_timeout must be > 0 seconds, got {chunk_timeout}"
+            )
+        if max_pool_restarts is not None and max_pool_restarts < 0:
+            raise SweepConfigError(
+                f"max_pool_restarts must be >= 0, got {max_pool_restarts}"
+            )
+        if resume and checkpoint is None:
+            raise SweepConfigError(
+                "resume=True requires a checkpoint path"
+            )
+        if isinstance(faults, str):
+            faults = FaultPlan.parse(faults)
         self.max_workers = max_workers
         self.encode = encode
         self.telemetry = telemetry
+        self.error_policy = error_policy
+        self.max_retries = max_retries
+        self.chunk_timeout = chunk_timeout
+        self.faults = faults
+        self.checkpoint = None if checkpoint is None else Path(checkpoint)
+        self.resume = resume
+        self.max_pool_restarts = max_pool_restarts
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def chunk_indexed(
+        indexed: Sequence[tuple[int, SweepCell]], target_chunks: int = 1
+    ) -> list[_Chunk]:
+        """Group pre-indexed cells for dispatch (see :meth:`chunk_cells`)."""
+        by_workload: dict[str, _Chunk] = {}
+        for index, cell in indexed:
+            by_workload.setdefault(
+                cell.workload_name, []
+            ).append((index, cell))
+        if len(by_workload) >= target_chunks:
+            return list(by_workload.values())
+        refined: dict[tuple[str, int], _Chunk] = {}
+        for index, cell in indexed:
+            key = (cell.workload_name, cell.partition_size)
+            refined.setdefault(key, []).append((index, cell))
+        return list(refined.values())
+
     @staticmethod
     def chunk_cells(
         cells: Sequence[SweepCell], target_chunks: int = 1
@@ -234,18 +400,9 @@ class SweepRunner:
         are refined to (workload, partition size) granularity; profile
         sharing across formats is preserved either way.
         """
-        by_workload: dict[str, _Chunk] = {}
-        for index, cell in enumerate(cells):
-            by_workload.setdefault(
-                cell.workload_name, []
-            ).append((index, cell))
-        if len(by_workload) >= target_chunks:
-            return list(by_workload.values())
-        refined: dict[tuple[str, int], _Chunk] = {}
-        for index, cell in enumerate(cells):
-            key = (cell.workload_name, cell.partition_size)
-            refined.setdefault(key, []).append((index, cell))
-        return list(refined.values())
+        return SweepRunner.chunk_indexed(
+            list(enumerate(cells)), target_chunks
+        )
 
     # ------------------------------------------------------------------
     def run(self, cells: Sequence[SweepCell]) -> SweepOutcome:
@@ -262,16 +419,66 @@ class SweepRunner:
                     else None
                 ),
             )
-        chunks = self.chunk_cells(cells, target_chunks=self.max_workers)
-        if self.max_workers == 1 or len(chunks) == 1:
-            outputs = self._run_sequential(chunks)
-        else:
-            outputs = self._run_parallel(chunks)
 
-        indexed: dict[int, CharacterizationResult] = {}
-        encodings: dict[tuple[str, str], EncodeSummary] = {}
+        digests: list[str] | None = None
+        replayed: dict[int, CharacterizationResult] = {}
+        replay_spans: list[CellTelemetry] = []
+        replay_encodings: dict[tuple[str, str], EncodeSummary] = {}
+        writer: CheckpointWriter | None = None
+        if self.checkpoint is not None:
+            digests = [cell_digest(cell) for cell in cells]
+            if self.resume:
+                state = self._load_resume_state()
+                for index, digest in enumerate(digests):
+                    found = state.result_for(digest)
+                    if found is None:
+                        continue
+                    result, wall_s, cache_key = found
+                    replayed[index] = result
+                    replay_spans.append(
+                        CellTelemetry(
+                            index=index,
+                            workload=result.workload,
+                            format_name=cells[index].format_name,
+                            partition_size=cells[index].partition_size,
+                            cache_key=cache_key,
+                            wall_s=wall_s,
+                        )
+                    )
+                if self.encode:
+                    replay_encodings = dict(state.encodings)
+            writer = CheckpointWriter(self.checkpoint)
+
+        pending = [
+            (index, cell)
+            for index, cell in enumerate(cells)
+            if index not in replayed
+        ]
+        chunks = self.chunk_indexed(
+            pending, target_chunks=self.max_workers
+        )
+        recovery_failures: list[FailedCell] = []
+        recovery_counters: dict[str, int] = {}
+        try:
+            if not chunks:
+                outputs: list[_ChunkOutput] = []
+            elif self.max_workers == 1 or len(chunks) == 1:
+                outputs = self._run_sequential(chunks, writer, digests)
+            else:
+                outputs, recovery_failures, recovery_counters = (
+                    self._run_parallel(chunks, writer, digests)
+                )
+        finally:
+            if writer is not None:
+                writer.close()
+
+        indexed: dict[int, CharacterizationResult] = dict(replayed)
+        encodings: dict[tuple[str, str], EncodeSummary] = dict(
+            replay_encodings
+        )
+        failures: list[FailedCell] = list(recovery_failures)
         stats = CacheStats()
-        spans: list[CellTelemetry] = []
+        spans: list[CellTelemetry] = list(replay_spans)
         metrics = MetricsRegistry()
         for (
             chunk_results,
@@ -279,14 +486,17 @@ class SweepRunner:
             chunk_stats,
             chunk_spans,
             chunk_metrics,
+            chunk_failures,
         ) in outputs:
             indexed.update(dict(chunk_results))
             encodings.update(chunk_encodings)
             stats = stats.merged(chunk_stats)
+            failures.extend(chunk_failures)
             if chunk_spans:
                 spans.extend(chunk_spans)
             if chunk_metrics is not None:
                 metrics = metrics.merged(chunk_metrics)
+        failures.sort(key=lambda failed: failed.index)
 
         telemetry: RunTelemetry | None = None
         if self.telemetry:
@@ -295,6 +505,12 @@ class SweepRunner:
                 metrics.incr(f"cache.{kind}.hits", count)
             for kind, count in sorted(stats.misses.items()):
                 metrics.incr(f"cache.{kind}.misses", count)
+            for name, count in sorted(recovery_counters.items()):
+                metrics.incr(name, count)
+            if failures:
+                metrics.incr("sweep.cells.failed", len(failures))
+            if replayed:
+                metrics.incr("sweep.cells.replayed", len(replayed))
             recipes: dict[str, str] = {}
             for cell in cells:
                 if cell.workload_name not in recipes:
@@ -308,12 +524,19 @@ class SweepRunner:
                 wall_s=time.perf_counter() - run_start,
                 workers=self.max_workers,
                 n_chunks=len(chunks),
+                n_failed=len(failures),
+                n_replayed=len(replayed),
             )
         return SweepOutcome(
-            results=[indexed[i] for i in range(len(cells))],
+            results=[
+                indexed[index]
+                for index in range(len(cells))
+                if index in indexed
+            ],
             stats=stats,
             encodings=encodings,
             telemetry=telemetry,
+            failures=failures,
         )
 
     def run_grid(
@@ -329,36 +552,285 @@ class SweepRunner:
         )
 
     # ------------------------------------------------------------------
-    def _run_sequential(self, chunks: list[_Chunk]) -> list[_ChunkOutput]:
+    def _load_resume_state(self) -> CheckpointState:
+        if (
+            self.checkpoint.exists()
+            and self.checkpoint.stat().st_size > 0
+        ):
+            return load_checkpoint(self.checkpoint)
+        return CheckpointState()
+
+    def _checkpoint_chunk(
+        self,
+        writer: CheckpointWriter | None,
+        digests: list[str] | None,
+        chunk: _Chunk,
+        output: _ChunkOutput,
+        recorded_encodings: set,
+    ) -> None:
+        """Append one completed chunk's results to the checkpoint."""
+        if writer is None:
+            return
+        results, chunk_encodings, _, chunk_spans, _, _ = output
+        spans_by_index = {
+            span.index: span for span in (chunk_spans or ())
+        }
+        by_index = dict(chunk)
+        for index, result in results:
+            span = spans_by_index.get(index)
+            writer.record_result(
+                digests[index],
+                by_index[index],
+                result,
+                wall_s=span.wall_s if span is not None else 0.0,
+                cache_key=span.cache_key if span is not None else "",
+            )
+        for key, summary in chunk_encodings.items():
+            if key not in recorded_encodings:
+                recorded_encodings.add(key)
+                writer.record_encoding(summary)
+
+    # ------------------------------------------------------------------
+    def _run_sequential(
+        self,
+        chunks: list[_Chunk],
+        writer: CheckpointWriter | None = None,
+        digests: list[str] | None = None,
+    ) -> list[_ChunkOutput]:
         cache = ContentKeyedCache()
+        recorded_encodings: set = set()
+        on_cell = None
+        if writer is not None:
+            cells_by_index = {
+                index: cell
+                for chunk in chunks
+                for index, cell in chunk
+            }
+
+            def on_cell(index, cell, result, wall_s, matrix_key):
+                writer.record_result(
+                    digests[index],
+                    cells_by_index[index],
+                    result,
+                    wall_s=wall_s,
+                    cache_key=matrix_key,
+                )
+
         outputs: list[_ChunkOutput] = []
         for chunk in chunks:
-            results, encodings, _, spans, metrics = _run_chunk(
-                chunk, self.encode, cache, telemetry=self.telemetry
+            output = _run_chunk(
+                chunk,
+                self.encode,
+                cache,
+                telemetry=self.telemetry,
+                error_policy=self.error_policy,
+                faults=self.faults,
+                in_worker=False,
+                on_cell=on_cell,
             )
+            results, encodings, _, spans, metrics, failures = output
             outputs.append(
-                (results, encodings, CacheStats(), spans, metrics)
+                (results, encodings, CacheStats(), spans, metrics, failures)
             )
+            if writer is not None:
+                for key, summary in encodings.items():
+                    if key not in recorded_encodings:
+                        recorded_encodings.add(key)
+                        writer.record_encoding(summary)
         # the cache is shared, so its stats are reported once
         last = outputs[-1]
-        outputs[-1] = (last[0], last[1], cache.stats, last[3], last[4])
+        outputs[-1] = (
+            last[0], last[1], cache.stats, last[3], last[4], last[5]
+        )
         return outputs
 
-    def _run_parallel(self, chunks: list[_Chunk]) -> list[_ChunkOutput]:
-        workers = min(self.max_workers, len(chunks))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
-                    _run_chunk,
-                    chunk,
-                    self.encode,
-                    telemetry=self.telemetry,
+    # ------------------------------------------------------------------
+    def _restart_budget(self, chunks: list[_Chunk]) -> int:
+        if self.max_pool_restarts is not None:
+            return self.max_pool_restarts
+        biggest = max(len(chunk) for chunk in chunks)
+        # each (retry budget + 1) dispatch cascade can recur once per
+        # bisection level of the largest chunk
+        depth = max(1, biggest.bit_length())
+        return (self.max_retries + 1) * (depth + 1)
+
+    def _run_parallel(
+        self,
+        chunks: list[_Chunk],
+        writer: CheckpointWriter | None = None,
+        digests: list[str] | None = None,
+    ) -> tuple[list[_ChunkOutput], list[FailedCell], dict[str, int]]:
+        pending: list[tuple[_Chunk, int]] = [
+            (chunk, 0) for chunk in chunks
+        ]
+        outputs: list[_ChunkOutput] = []
+        crash_failures: list[FailedCell] = []
+        counters: dict[str, int] = {}
+        recorded_encodings: set = set()
+        restarts = 0
+        max_restarts = self._restart_budget(chunks)
+        degraded = False
+
+        def bump(name: str, count: int = 1) -> None:
+            counters[name] = counters.get(name, 0) + count
+
+        def abandon(
+            chunk: _Chunk, attempt: int, error_type: str, message: str
+        ) -> None:
+            """Retry, bisect, or give up on one lost chunk.
+
+            Only called once dispatch is down to one chunk per pool
+            (isolation rounds), so a loss is attributable to the chunk
+            itself rather than to a pool-mate's crash.
+            """
+            next_attempt = attempt + 1
+            if next_attempt <= self.max_retries:
+                bump("sweep.chunk_retries")
+                pending.append((chunk, next_attempt))
+                return
+            if len(chunk) > 1:
+                bump("sweep.chunk_bisections")
+                mid = len(chunk) // 2
+                pending.append((chunk[:mid], 0))
+                pending.append((chunk[mid:], 0))
+                return
+            index, cell = chunk[0]
+            digest = workload_recipe_digest(cell.workload)
+            if self.error_policy == "fail_fast":
+                raise SweepCellError(
+                    cell.coords,
+                    f"{error_type}: {message}",
+                    recipe_digest=digest,
+                    attempts=next_attempt,
                 )
-                for chunk in chunks
-            ]
-            # collect in submission order for deterministic merging;
-            # .result() re-raises a worker's SweepCellError verbatim
-            return [future.result() for future in futures]
+            crash_failures.append(
+                FailedCell(
+                    index=index,
+                    workload=cell.workload_name,
+                    format_name=cell.format_name,
+                    partition_size=cell.partition_size,
+                    recipe_digest=digest,
+                    error_type=error_type,
+                    message=message,
+                    attempts=next_attempt,
+                )
+            )
+
+        # After the first pool break, dispatch one chunk per pool
+        # ("isolation rounds"): inside a shared pool one crashing cell
+        # takes every co-scheduled chunk down with it, so retry budgets
+        # would be burned by innocent-bystander losses and bisection
+        # could never exonerate the healthy half.
+        isolating = False
+        while pending:
+            if degraded:
+                # the pool cannot be trusted; finish in-process, where
+                # an injected crash raises WorkerCrashError instead of
+                # killing anything
+                batch, pending = pending, []
+                for chunk, attempt in batch:
+                    output = _run_chunk(
+                        chunk,
+                        self.encode,
+                        telemetry=self.telemetry,
+                        error_policy=self.error_policy,
+                        faults=self.faults,
+                        attempt=attempt,
+                        in_worker=False,
+                    )
+                    outputs.append(output)
+                    self._checkpoint_chunk(
+                        writer, digests, chunk, output, recorded_encodings
+                    )
+                continue
+
+            if isolating:
+                batch = [pending.pop(0)]
+            else:
+                batch, pending = pending, []
+            workers = min(self.max_workers, len(batch))
+            lost: list[tuple[_Chunk, int, str, str]] = []
+            timed_out = False
+            pool = ProcessPoolExecutor(max_workers=workers)
+            try:
+                futures = [
+                    (
+                        pool.submit(
+                            _run_chunk,
+                            chunk,
+                            self.encode,
+                            telemetry=self.telemetry,
+                            error_policy=self.error_policy,
+                            faults=self.faults,
+                            attempt=attempt,
+                            in_worker=True,
+                        ),
+                        chunk,
+                        attempt,
+                    )
+                    for chunk, attempt in batch
+                ]
+                # collect in submission order for deterministic merging
+                for future, chunk, attempt in futures:
+                    try:
+                        output = future.result(
+                            timeout=self.chunk_timeout
+                        )
+                    except FuturesTimeoutError:
+                        timed_out = True
+                        future.cancel()
+                        lost.append((
+                            chunk,
+                            attempt,
+                            "ChunkTimeout",
+                            f"chunk of {len(chunk)} cell(s) exceeded "
+                            f"the {self.chunk_timeout}s wall budget",
+                        ))
+                    except BrokenProcessPool as error:
+                        lost.append((
+                            chunk,
+                            attempt,
+                            "WorkerCrashError",
+                            str(error)
+                            or "worker process terminated abruptly",
+                        ))
+                    else:
+                        outputs.append(output)
+                        self._checkpoint_chunk(
+                            writer, digests, chunk, output,
+                            recorded_encodings,
+                        )
+                if timed_out:
+                    # the budget-blowing workers are still running;
+                    # reclaim them before abandoning the pool
+                    for process in list(
+                        getattr(pool, "_processes", {}).values()
+                    ):
+                        try:
+                            process.terminate()
+                        except Exception:  # noqa: BLE001 — best effort
+                            pass
+            finally:
+                pool.shutdown(wait=not timed_out, cancel_futures=True)
+
+            if lost:
+                restarts += 1
+                counters["sweep.pool_restarts"] = restarts
+                if restarts > max_restarts:
+                    degraded = True
+                    counters["sweep.degraded"] = 1
+                if isolating:
+                    for item in lost:
+                        abandon(*item)
+                else:
+                    # a shared-pool loss is not attributable — any
+                    # pool-mate may have crashed the pool — so
+                    # re-enqueue verbatim (no retry budget burned) and
+                    # switch to one-chunk-per-pool isolation rounds
+                    isolating = True
+                    for chunk, attempt, _error_type, _message in lost:
+                        pending.append((chunk, attempt))
+        return outputs, crash_failures, counters
 
 
 def run_sweep(
@@ -369,10 +841,24 @@ def run_sweep(
     max_workers: int = 1,
     encode: bool = False,
     telemetry: bool = False,
+    error_policy: str = "collect",
+    max_retries: int = 2,
+    chunk_timeout: float | None = None,
+    faults: "FaultPlan | str | None" = None,
+    checkpoint: "str | Path | None" = None,
+    resume: bool = False,
 ) -> SweepOutcome:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
     runner = SweepRunner(
-        max_workers=max_workers, encode=encode, telemetry=telemetry
+        max_workers=max_workers,
+        encode=encode,
+        telemetry=telemetry,
+        error_policy=error_policy,
+        max_retries=max_retries,
+        chunk_timeout=chunk_timeout,
+        faults=faults,
+        checkpoint=checkpoint,
+        resume=resume,
     )
     return runner.run_grid(
         workloads, format_names, partition_sizes, base_config

@@ -68,6 +68,10 @@ class RunTelemetry:
     wall_s: float = 0.0
     workers: int = 1
     n_chunks: int = 1
+    #: Cells that produced no result (error_policy="collect").
+    n_failed: int = 0
+    #: Cells replayed from a checkpoint instead of executed.
+    n_replayed: int = 0
 
     def cell(self, index: int) -> CellTelemetry:
         for cell in self.cells:

@@ -63,21 +63,60 @@ class ManifestError(ObservabilityError):
     """A run manifest could not be written, read or interpreted."""
 
 
+class WorkerCrashError(SimulationError):
+    """A sweep worker process died (or was fenced off) mid-chunk.
+
+    Raised in the parent when a ``ProcessPoolExecutor`` worker
+    disappears and the lost cells cannot be recovered within the retry
+    budget; raised directly by the fault-injection harness when a
+    ``crash`` fault trips on the in-process path (where actually
+    killing the process would take the whole run down with it).
+    """
+
+
+class CheckpointError(CopernicusError):
+    """A sweep checkpoint file could not be written, read or trusted."""
+
+
 class SweepCellError(SimulationError):
     """One cell of a sweep grid failed.
 
     Carries the failing cell's (workload, format, partition size)
     coordinates so a failure inside a worker process still names the
-    exact experiment that died.
+    exact experiment that died, plus — because exception chains do not
+    survive pickling across the process boundary — the formatted
+    worker-side traceback (``traceback_text``) and the workload's
+    recipe digest (``recipe_digest``) so the failure is debuggable and
+    attributable from the parent process.
     """
 
-    def __init__(self, coords: tuple[str, str, int], reason: str) -> None:
+    def __init__(
+        self,
+        coords: tuple[str, str, int],
+        reason: str,
+        traceback_text: str = "",
+        recipe_digest: str = "",
+        attempts: int = 1,
+    ) -> None:
         self.coords = tuple(coords)
         self.reason = reason
+        self.traceback_text = traceback_text
+        self.recipe_digest = recipe_digest
+        self.attempts = attempts
+        recipe = f", recipe={recipe_digest[:12]}" if recipe_digest else ""
         super().__init__(
             f"sweep cell (workload={coords[0]!r}, format={coords[1]!r}, "
-            f"p={coords[2]}) failed: {reason}"
+            f"p={coords[2]}{recipe}) failed: {reason}"
         )
 
-    def __reduce__(self):  # keep coords across process boundaries
-        return (SweepCellError, (self.coords, self.reason))
+    def __reduce__(self):  # keep every attribute across process boundaries
+        return (
+            SweepCellError,
+            (
+                self.coords,
+                self.reason,
+                self.traceback_text,
+                self.recipe_digest,
+                self.attempts,
+            ),
+        )

@@ -59,8 +59,11 @@ def _read_stream(stream: TextIO) -> SparseMatrix:
         n_rows, n_cols, n_entries = (int(x) for x in size_line.split())
     except ValueError:
         raise FormatError(f"bad size line: {size_line!r}") from None
+    if n_rows < 0 or n_cols < 0 or n_entries < 0:
+        raise FormatError(f"negative size line: {size_line!r}")
 
     rows, cols, vals = [], [], []
+    n_seen = 0
     for line in stream:
         stripped = line.strip()
         if not stripped or stripped.startswith("%"):
@@ -73,8 +76,22 @@ def _read_stream(stream: TextIO) -> SparseMatrix:
         else:
             if len(parts) != 3:
                 raise FormatError(f"bad entry: {stripped!r}")
-            value = float(parts[2])
-        row, col = int(parts[0]) - 1, int(parts[1]) - 1
+            try:
+                value = float(parts[2])
+            except ValueError:
+                raise FormatError(
+                    f"bad entry value: {stripped!r}"
+                ) from None
+        try:
+            row, col = int(parts[0]) - 1, int(parts[1]) - 1
+        except ValueError:
+            raise FormatError(f"bad entry indices: {stripped!r}") from None
+        if not (0 <= row < n_rows and 0 <= col < n_cols):
+            raise FormatError(
+                f"entry ({row + 1}, {col + 1}) outside the declared "
+                f"{n_rows} x {n_cols} shape"
+            )
+        n_seen += 1
         rows.append(row)
         cols.append(col)
         vals.append(value)
@@ -82,9 +99,11 @@ def _read_stream(stream: TextIO) -> SparseMatrix:
             rows.append(col)
             cols.append(row)
             vals.append(value)
-    if len([v for v in vals]) < n_entries:
+    # count raw file entries, not the post-symmetry-expansion triplets
+    if n_seen != n_entries:
         raise FormatError(
-            f"file declares {n_entries} entries but provides fewer"
+            f"file declares {n_entries} entries but provides {n_seen} "
+            f"(truncated or corrupt file?)"
         )
     return SparseMatrix((n_rows, n_cols), rows, cols, vals)
 

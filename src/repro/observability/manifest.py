@@ -12,9 +12,16 @@ grids stream instead of buffering:
   key, the cell's wall-clock seconds and its cycle-level results
   (fields named to match :mod:`repro.core.store` records, so
   :func:`repro.analysis.compare_records` can diff manifests directly);
+* one ``failed_cell`` record per cell that produced no result under
+  ``error_policy="collect"``: coordinates, the workload recipe digest,
+  the exception type, message, the worker-side formatted traceback and
+  the number of dispatch attempts;
 * a final ``summary`` record: total wall time, merged cache hit/miss
   counters and the merged :class:`~repro.observability.MetricsRegistry`
-  snapshot.
+  snapshot (which carries the robustness counters —
+  ``sweep.cells.failed``, ``sweep.cells.replayed``,
+  ``sweep.pool_restarts``, ``sweep.chunk_retries``,
+  ``sweep.chunk_bisections``, ``sweep.degraded``).
 
 ``python -m repro stats <manifest>`` renders the summary;
 ``python -m repro stats <manifest> --against <baseline>`` diffs two
@@ -58,17 +65,36 @@ CELL_METRIC_FIELDS = (
 )
 
 
+#: Fields of a ``failed_cell`` record (see README "FailedCell record").
+FAILED_CELL_FIELDS = (
+    "index",
+    "workload",
+    "format",
+    "partition_size",
+    "recipe_digest",
+    "error_type",
+    "message",
+    "traceback",
+    "attempts",
+)
+
+
 @dataclass(frozen=True)
 class Manifest:
-    """A parsed run manifest: header, cell records, summary."""
+    """A parsed run manifest: header, cell records, failures, summary."""
 
     header: dict
     cells: tuple[dict, ...]
     summary: dict
+    failed: tuple[dict, ...] = ()
 
     @property
     def n_cells(self) -> int:
         return len(self.cells)
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failed)
 
     @property
     def wall_s(self) -> float:
@@ -83,6 +109,13 @@ class Manifest:
         return {
             (c["workload"], c["format"], c["partition_size"])
             for c in self.cells
+        }
+
+    def failed_coords(self) -> set[tuple[str, str, int]]:
+        """The coordinates of every cell that produced no result."""
+        return {
+            (c["workload"], c["format"], c["partition_size"])
+            for c in self.failed
         }
 
     def cache_keys(self) -> set[str]:
@@ -154,6 +187,21 @@ def _cell_record(cell, result) -> dict:
     return record
 
 
+def _failed_record(failed) -> dict:
+    return {
+        "type": "failed_cell",
+        "index": failed.index,
+        "workload": failed.workload,
+        "format": failed.format_name,
+        "partition_size": failed.partition_size,
+        "recipe_digest": failed.recipe_digest,
+        "error_type": failed.error_type,
+        "message": failed.message,
+        "traceback": failed.traceback_text,
+        "attempts": failed.attempts,
+    }
+
+
 def _summary_record(outcome) -> dict:
     telemetry = outcome.telemetry
     return {
@@ -184,15 +232,19 @@ def write_sweep_manifest(
             "telemetry=True (CLI: --profile / --emit-metrics) to emit "
             "a manifest"
         )
-    by_index = {cell.index: cell for cell in telemetry.cells}
-    if len(by_index) != len(outcome.results):
+    spans = sorted(telemetry.cells, key=lambda cell: cell.index)
+    if len(spans) != len(outcome.results):
         raise ManifestError(
-            f"telemetry covers {len(by_index)} cells but the outcome "
+            f"telemetry covers {len(spans)} cells but the outcome "
             f"has {len(outcome.results)} results"
         )
     records = [_header_record(outcome, extra)]
-    for index, result in enumerate(outcome.results):
-        records.append(_cell_record(by_index[index], result))
+    # spans and results are both in grid order (failed cells absent
+    # from both), so they align positionally
+    for cell, result in zip(spans, outcome.results):
+        records.append(_cell_record(cell, result))
+    for failed in getattr(outcome, "failures", ()):
+        records.append(_failed_record(failed))
     records.append(_summary_record(outcome))
 
     path = Path(path)
@@ -216,6 +268,7 @@ def read_manifest(path: str | Path) -> Manifest:
 
     header: dict | None = None
     cells: list[dict] = []
+    failed: list[dict] = []
     summary: dict | None = None
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
@@ -237,6 +290,8 @@ def read_manifest(path: str | Path) -> Manifest:
             header = record
         elif kind == "cell":
             cells.append(record)
+        elif kind == "failed_cell":
+            failed.append(record)
         elif kind == "summary":
             summary = record
         # unknown record types are skipped for forward compatibility
@@ -256,4 +311,9 @@ def read_manifest(path: str | Path) -> Manifest:
         raise ManifestError(
             f"{path}: no summary record (truncated manifest?)"
         )
-    return Manifest(header=header, cells=tuple(cells), summary=summary)
+    return Manifest(
+        header=header,
+        cells=tuple(cells),
+        summary=summary,
+        failed=tuple(failed),
+    )

@@ -238,6 +238,7 @@ def load_or_standin(
     directory: "str | None" = None,
     max_dim: int = DEFAULT_STANDIN_DIM,
     seed: int = 0,
+    on_parse_error: str = "raise",
 ) -> SparseMatrix:
     """Load the real matrix from a ``.mtx`` file if present, else the
     stand-in.
@@ -245,14 +246,35 @@ def load_or_standin(
     Looks for ``<directory>/<name>.mtx`` (e.g. ``web-Google.mtx``), so
     dropping the downloaded SuiteSparse originals into a directory
     upgrades the characterization to real data with no code changes.
+
+    A present-but-unreadable file (truncated download, corrupt text,
+    permission problem) raises :class:`WorkloadError` naming the file
+    and the parse failure by default; pass ``on_parse_error="standin"``
+    to log nothing and fall back to the synthetic stand-in instead.
+    Silently substituting synthetic data for a file the caller clearly
+    meant to use is never the default.
     """
+    if on_parse_error not in ("raise", "standin"):
+        raise WorkloadError(
+            f"on_parse_error must be 'raise' or 'standin', "
+            f"got {on_parse_error!r}"
+        )
     record = record_by_id(matrix_id)
     if directory is not None:
         from pathlib import Path
 
+        from ..errors import FormatError
         from ..io import read_matrix_market
 
         path = Path(directory) / f"{record.name}.mtx"
         if path.exists():
-            return read_matrix_market(path)
+            try:
+                return read_matrix_market(path)
+            except (FormatError, ValueError, IndexError, OSError) as error:
+                if on_parse_error == "raise":
+                    raise WorkloadError(
+                        f"cannot load {path}: {error} "
+                        f"(pass on_parse_error='standin' to fall back "
+                        f"to the synthetic stand-in)"
+                    ) from error
     return standin(record, max_dim=max_dim, seed=seed)

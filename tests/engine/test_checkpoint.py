@@ -1,0 +1,289 @@
+"""Checkpoint/resume: bit-identical replay, torn tails, corruption.
+
+The acceptance property: a sweep killed mid-run and resumed from its
+checkpoint produces a bit-identical ``SweepOutcome`` while executing
+only the unfinished cells — verified here via result equality, the
+telemetry digest, and the executed-vs-replayed counters.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import (
+    CheckpointWriter,
+    SweepRunner,
+    WorkloadSpec,
+    build_grid,
+    cell_digest,
+    load_checkpoint,
+)
+from repro.engine.checkpoint import CHECKPOINT_KIND, CHECKPOINT_SCHEMA
+from repro.errors import CheckpointError, SweepCellError, SweepConfigError
+
+SPECS = (
+    WorkloadSpec.random(96, 0.05, seed=1),
+    WorkloadSpec.band(96, 4, seed=1),
+)
+FORMATS = ("csr", "coo")
+PARTITIONS = (8, 16)
+N_CELLS = len(SPECS) * len(FORMATS) * len(PARTITIONS)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    outcome = SweepRunner(
+        telemetry=True, error_policy="fail_fast"
+    ).run_grid(SPECS, FORMATS, partition_sizes=PARTITIONS)
+    assert outcome.ok
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Cell digests
+# ----------------------------------------------------------------------
+class TestCellDigest:
+    def test_digest_is_a_pure_function_of_the_recipe(self):
+        grid_a = build_grid(SPECS, FORMATS, PARTITIONS)
+        grid_b = build_grid(SPECS, FORMATS, PARTITIONS)
+        assert [cell_digest(c) for c in grid_a] == [
+            cell_digest(c) for c in grid_b
+        ]
+
+    def test_digest_distinguishes_every_coordinate(self):
+        grid = build_grid(SPECS, FORMATS, PARTITIONS)
+        digests = {cell_digest(c) for c in grid}
+        assert len(digests) == len(grid)
+
+    def test_digest_sees_the_hardware_config(self):
+        from repro.hardware import HardwareConfig
+
+        grid_default = build_grid(SPECS[:1], ("csr",), (16,))
+        grid_other = build_grid(
+            SPECS[:1], ("csr",), (16,),
+            base_config=HardwareConfig(clock_mhz=150.0),
+        )
+        assert cell_digest(grid_default[0]) != cell_digest(grid_other[0])
+
+
+# ----------------------------------------------------------------------
+# Writer / loader round trip
+# ----------------------------------------------------------------------
+class TestWriterLoader:
+    def test_round_trip_keeps_results_bit_identical(
+        self, baseline, tmp_path
+    ):
+        path = tmp_path / "ck.jsonl"
+        grid = build_grid(SPECS, FORMATS, PARTITIONS)
+        with CheckpointWriter(path) as writer:
+            for cell, result in zip(grid, baseline.results):
+                writer.record_result(
+                    cell_digest(cell), cell, result,
+                    wall_s=0.5, cache_key="ab" * 16,
+                )
+        state = load_checkpoint(path)
+        assert len(state) == N_CELLS
+        for cell, result in zip(grid, baseline.results):
+            stored, wall_s, cache_key = state.result_for(
+                cell_digest(cell)
+            )
+            assert stored == result
+            assert wall_s == 0.5
+            assert cache_key == "ab" * 16
+
+    def test_header_written_once_across_reopens(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        CheckpointWriter(path).close()
+        CheckpointWriter(path).close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        header = json.loads(lines[0])
+        assert header["kind"] == CHECKPOINT_KIND
+        assert header["schema"] == CHECKPOINT_SCHEMA
+
+    def test_latest_record_per_digest_wins(self, baseline, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        grid = build_grid(SPECS, FORMATS, PARTITIONS)
+        cell, result = grid[0], baseline.results[0]
+        with CheckpointWriter(path) as writer:
+            writer.record_result(
+                cell_digest(cell), cell, result, wall_s=1.0
+            )
+            writer.record_result(
+                cell_digest(cell), cell, result, wall_s=2.0
+            )
+        state = load_checkpoint(path)
+        assert len(state) == 1
+        assert state.result_for(cell_digest(cell))[1] == 2.0
+
+
+# ----------------------------------------------------------------------
+# Interrupt, then resume
+# ----------------------------------------------------------------------
+class TestResume:
+    def interrupted_checkpoint(self, path):
+        """A sweep killed partway through, leaving a real checkpoint."""
+        with pytest.raises(SweepCellError):
+            SweepRunner(
+                telemetry=True,
+                error_policy="fail_fast",
+                checkpoint=path,
+                faults="raise@band-4:csr:16",
+            ).run_grid(SPECS, FORMATS, partition_sizes=PARTITIONS)
+        state = load_checkpoint(path)
+        assert 0 < len(state) < N_CELLS
+        return len(state)
+
+    def test_resume_is_bit_identical_and_replays_only_done_cells(
+        self, baseline, tmp_path
+    ):
+        path = tmp_path / "ck.jsonl"
+        n_checkpointed = self.interrupted_checkpoint(path)
+        resumed = SweepRunner(
+            telemetry=True,
+            error_policy="fail_fast",
+            checkpoint=path,
+            resume=True,
+        ).run_grid(SPECS, FORMATS, partition_sizes=PARTITIONS)
+        assert resumed.ok
+        assert resumed.results == baseline.results
+        assert (
+            resumed.telemetry.digest() == baseline.telemetry.digest()
+        )
+        # the cache/telemetry counters prove only the unfinished cells
+        # were re-executed
+        counters = resumed.telemetry.metrics.counters
+        assert resumed.telemetry.n_replayed == n_checkpointed
+        assert counters["sweep.cells.replayed"] == n_checkpointed
+        assert counters["sweep.cells"] == N_CELLS - n_checkpointed
+
+    def test_resume_from_complete_checkpoint_executes_nothing(
+        self, baseline, tmp_path
+    ):
+        path = tmp_path / "ck.jsonl"
+        SweepRunner(
+            telemetry=True, error_policy="fail_fast", checkpoint=path
+        ).run_grid(SPECS, FORMATS, partition_sizes=PARTITIONS)
+        resumed = SweepRunner(
+            telemetry=True,
+            error_policy="fail_fast",
+            checkpoint=path,
+            resume=True,
+        ).run_grid(SPECS, FORMATS, partition_sizes=PARTITIONS)
+        assert resumed.results == baseline.results
+        counters = resumed.telemetry.metrics.counters
+        assert resumed.telemetry.n_replayed == N_CELLS
+        assert "sweep.cells" not in counters
+
+    def test_parallel_resume_matches_sequential_baseline(
+        self, baseline, tmp_path
+    ):
+        path = tmp_path / "ck.jsonl"
+        self.interrupted_checkpoint(path)
+        resumed = SweepRunner(
+            telemetry=True,
+            max_workers=2,
+            error_policy="fail_fast",
+            checkpoint=path,
+            resume=True,
+        ).run_grid(SPECS, FORMATS, partition_sizes=PARTITIONS)
+        assert resumed.results == baseline.results
+        assert (
+            resumed.telemetry.digest() == baseline.telemetry.digest()
+        )
+
+    def test_resume_without_checkpoint_is_a_config_error(self):
+        with pytest.raises(SweepConfigError):
+            SweepRunner(resume=True)
+
+    def test_resume_with_missing_file_runs_everything(
+        self, baseline, tmp_path
+    ):
+        resumed = SweepRunner(
+            telemetry=True,
+            error_policy="fail_fast",
+            checkpoint=tmp_path / "absent.jsonl",
+            resume=True,
+        ).run_grid(SPECS, FORMATS, partition_sizes=PARTITIONS)
+        assert resumed.results == baseline.results
+        assert resumed.telemetry.n_replayed == 0
+
+    def test_encodings_replay_too(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        first = SweepRunner(
+            encode=True, error_policy="fail_fast", checkpoint=path
+        ).run_grid(SPECS, ("csr",), partition_sizes=(16,))
+        resumed = SweepRunner(
+            encode=True,
+            error_policy="fail_fast",
+            checkpoint=path,
+            resume=True,
+        ).run_grid(SPECS, ("csr",), partition_sizes=(16,))
+        assert resumed.encodings == first.encodings
+
+
+# ----------------------------------------------------------------------
+# Corruption handling
+# ----------------------------------------------------------------------
+class TestCorruption:
+    def valid_checkpoint(self, tmp_path) -> str:
+        path = tmp_path / "ck.jsonl"
+        SweepRunner(
+            error_policy="fail_fast", checkpoint=path
+        ).run_grid(SPECS[:1], ("csr",), partition_sizes=(16,))
+        return path
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = self.valid_checkpoint(tmp_path)
+        complete = len(load_checkpoint(path))
+        with path.open("a") as stream:
+            stream.write('{"type": "cell", "digest": "dead')  # no \n
+        state = load_checkpoint(path)
+        assert len(state) == complete
+        # ... and the writer can still append after the torn tail is
+        # superseded by a fresh run
+        resumed = SweepRunner(
+            error_policy="fail_fast", checkpoint=path, resume=True
+        ).run_grid(SPECS[:1], ("csr",), partition_sizes=(16,))
+        assert len(resumed.results) == 1
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = self.valid_checkpoint(tmp_path)
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{not json")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_undecodable_payload_raises(self, tmp_path):
+        path = self.valid_checkpoint(tmp_path)
+        with path.open("a") as stream:
+            stream.write(
+                json.dumps({
+                    "type": "cell", "digest": "d", "payload": "!!!",
+                }) + "\n"
+            )
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_alien_file_is_rejected(self, tmp_path):
+        path = tmp_path / "alien.jsonl"
+        path.write_text('{"type": "header", "kind": "other"}\n')
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+        with pytest.raises(CheckpointError):
+            CheckpointWriter(path)
+
+    def test_unsupported_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({
+                "type": "header",
+                "kind": CHECKPOINT_KIND,
+                "schema": 999,
+            }) + "\n"
+        )
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)

@@ -214,21 +214,37 @@ class TestRunnerErrors:
 
     def test_sequential_failure_names_the_cell(self):
         with pytest.raises(SweepCellError) as excinfo:
-            SweepRunner(max_workers=1).run(self.bad_grid())
+            SweepRunner(
+                max_workers=1, error_policy="fail_fast"
+            ).run(self.bad_grid())
         assert excinfo.value.coords == ("band-b", "no-such-format", 16)
         assert "no-such-format" in str(excinfo.value)
 
     def test_parallel_failure_names_the_cell(self):
         with pytest.raises(SweepCellError) as excinfo:
-            SweepRunner(max_workers=2).run(self.bad_grid())
+            SweepRunner(
+                max_workers=2, error_policy="fail_fast"
+            ).run(self.bad_grid())
         assert excinfo.value.coords == ("band-b", "no-such-format", 16)
+
+    def test_default_policy_collects_instead_of_raising(self):
+        # error_policy defaults to "collect": the bad cell becomes a
+        # FailedCell and every healthy cell still gets its result.
+        outcome = SweepRunner(max_workers=1).run(self.bad_grid())
+        assert not outcome.ok
+        assert outcome.n_failed == 1
+        failed = outcome.failure("band-b", "no-such-format", 16)
+        assert "no-such-format" in failed.message
+        assert len(outcome.results) == len(self.bad_grid()) - 1
+        with pytest.raises(SweepCellError):
+            outcome.raise_if_failed()
 
     def test_all_zero_matrix_failure_is_annotated(self):
         from repro.matrix import SparseMatrix
 
         empty = Workload("empty", "test", SparseMatrix.empty((32, 32)))
         with pytest.raises(SweepCellError) as excinfo:
-            run_sweep([empty], ("csr",), (16,))
+            run_sweep([empty], ("csr",), (16,), error_policy="fail_fast")
         assert excinfo.value.coords == ("empty", "csr", 16)
 
     def test_invalid_worker_count_rejected(self):

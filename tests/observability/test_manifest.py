@@ -43,6 +43,10 @@ GOLDEN_CELL_FIELDS = {
     "total_bytes", "bandwidth_utilization",
 }
 GOLDEN_SUMMARY_FIELDS = {"type", "cells", "wall_s", "cache", "metrics"}
+GOLDEN_FAILED_CELL_FIELDS = {
+    "type", "index", "workload", "format", "partition_size",
+    "recipe_digest", "error_type", "message", "traceback", "attempts",
+}
 
 
 @pytest.fixture(scope="module")
@@ -144,6 +148,56 @@ class TestRoundTrip:
             stream.write('{"type": "future-extension", "x": 1}\n')
         manifest = read_manifest(manifest_path)
         assert manifest.n_cells == 8
+
+
+class TestFailedCellRecords:
+    """failed_cell records: golden field set and round-trip."""
+
+    @pytest.fixture(scope="class")
+    def faulty_manifest(self, tmp_path_factory):
+        outcome = SweepRunner(
+            telemetry=True,
+            faults="raise@band-4:csr:16",
+        ).run_grid(SPECS, FORMATS, partition_sizes=PARTITIONS)
+        assert outcome.n_failed == 1
+        path = tmp_path_factory.mktemp("faulty") / "run.jsonl"
+        return write_sweep_manifest(outcome, path), outcome
+
+    def test_failed_record_fields(self, faulty_manifest):
+        path, _ = faulty_manifest
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        failed = [r for r in records if r["type"] == "failed_cell"]
+        assert len(failed) == 1
+        record = failed[0]
+        assert set(record) == GOLDEN_FAILED_CELL_FIELDS
+        assert record["workload"] == "band-4"
+        assert record["format"] == "csr"
+        assert record["partition_size"] == 16
+        assert record["error_type"] == "InjectedFault"
+        assert "InjectedFault" in record["traceback"]
+        assert record["recipe_digest"] == SPECS[1].recipe_digest
+        # failed records sit between the cells and the summary
+        assert records[-1]["type"] == "summary"
+        assert records[-2]["type"] == "failed_cell"
+
+    def test_round_trip_and_counts(self, faulty_manifest):
+        path, outcome = faulty_manifest
+        manifest = read_manifest(path)
+        assert manifest.n_cells == 7
+        assert manifest.n_failed == 1
+        assert manifest.failed_coords() == {("band-4", "csr", 16)}
+        assert manifest.cell_coords() == {
+            (r.workload, r.format_name, r.partition_size)
+            for r in outcome.results
+        }
+        assert manifest.counters()["sweep.cells.failed"] == 1
+
+    def test_healthy_manifest_has_no_failed_records(self, manifest_path):
+        manifest = read_manifest(manifest_path)
+        assert manifest.n_failed == 0
+        assert manifest.failed_coords() == set()
 
 
 class TestFailureModes:

@@ -131,6 +131,71 @@ class TestErrors:
         with pytest.raises(FormatError):
             loads(text)
 
+    def test_non_numeric_indices(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "one 1 1.0\n"
+        )
+        with pytest.raises(FormatError, match="bad entry indices"):
+            loads(text)
+
+    def test_non_numeric_value(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 1 not-a-number\n"
+        )
+        with pytest.raises(FormatError, match="bad entry value"):
+            loads(text)
+
+    def test_out_of_bounds_entry(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "3 1 1.0\n"
+        )
+        with pytest.raises(FormatError, match="outside the declared"):
+            loads(text)
+
+    def test_zero_index_rejected(self):
+        # MatrixMarket is one-based; a 0 index is corrupt data
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "0 1 1.0\n"
+        )
+        with pytest.raises(FormatError, match="outside the declared"):
+            loads(text)
+
+    def test_negative_size_line(self):
+        with pytest.raises(FormatError, match="negative size"):
+            loads(
+                "%%MatrixMarket matrix coordinate real general\n"
+                "-2 2 1\n"
+            )
+
+    def test_excess_entries_rejected(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "1 1 1.0\n"
+            "2 2 2.0\n"
+        )
+        with pytest.raises(FormatError, match="declares 1 entries"):
+            loads(text)
+
+    def test_symmetric_count_is_of_stored_entries(self):
+        # the declared count is of *stored* (lower-triangle) entries,
+        # not of the post-expansion triplets
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "2 1 4.0\n"
+            "3 3 1.0\n"
+        )
+        assert loads(text).nnz == 3
+
 
 class TestInterop:
     def test_scipy_cross_check_if_available(self, tmp_path):

@@ -107,3 +107,46 @@ class TestLoadOrStandin:
 
         matrix = load_or_standin("RE", max_dim=256, seed=1)
         assert matrix == standin_by_id("RE", max_dim=256, seed=1)
+
+    def test_corrupt_file_raises_naming_file_and_cause(self, tmp_path):
+        from repro.errors import WorkloadError
+        from repro.workloads import load_or_standin
+
+        path = tmp_path / "dwt_918.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n")
+        with pytest.raises(WorkloadError) as excinfo:
+            load_or_standin("DW", directory=tmp_path, max_dim=1024)
+        assert "dwt_918.mtx" in str(excinfo.value)
+        assert "missing size line" in str(excinfo.value)
+
+    def test_truncated_file_raises(self, tmp_path):
+        from repro.errors import WorkloadError
+        from repro.workloads import load_or_standin
+
+        (tmp_path / "dwt_918.mtx").write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "918 918 100\n"
+            "1 1 1.0\n"
+        )
+        with pytest.raises(WorkloadError) as excinfo:
+            load_or_standin("DW", directory=tmp_path, max_dim=1024)
+        assert "declares 100 entries" in str(excinfo.value)
+
+    def test_corrupt_file_falls_back_when_permitted(self, tmp_path):
+        from repro.workloads import load_or_standin
+
+        (tmp_path / "dwt_918.mtx").write_text("garbage\n")
+        matrix = load_or_standin(
+            "DW",
+            directory=tmp_path,
+            max_dim=1024,
+            on_parse_error="standin",
+        )
+        assert matrix == standin_by_id("DW", max_dim=1024)
+
+    def test_unknown_policy_rejected(self):
+        from repro.errors import WorkloadError
+        from repro.workloads import load_or_standin
+
+        with pytest.raises(WorkloadError):
+            load_or_standin("DW", on_parse_error="ignore")
