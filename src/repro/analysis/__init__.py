@@ -3,6 +3,11 @@
 from .experiments import EXPERIMENTS, Experiment, experiment, experiment_ids
 from .compare import MetricDelta, compare_records, comparison_table
 from .figures import bar_chart, grouped_series, scatter_text
+from .integrity import (
+    detection_coverage_table,
+    integrity_cost_table,
+    integrity_report_text,
+)
 from .manifests import (
     manifest_diff_table,
     manifest_summary_table,
@@ -30,4 +35,7 @@ __all__ = [
     "format_value",
     "render_timeline",
     "characterization_report",
+    "detection_coverage_table",
+    "integrity_cost_table",
+    "integrity_report_text",
 ]

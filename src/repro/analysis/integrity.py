@@ -1,0 +1,95 @@
+"""Rendered tables for integrity-campaign reports.
+
+Companion of :mod:`repro.core.integrity`: turns an
+:class:`~repro.core.integrity.IntegrityReport` into the aligned
+plain-text tables ``repro integrity`` prints — per-format detection
+coverage (split by corruption kind) and the cost side (framing byte
+overhead, integrity-check cycle overhead).
+"""
+
+from __future__ import annotations
+
+from ..core.integrity import IntegrityReport
+from .tables import format_table
+
+__all__ = [
+    "detection_coverage_table",
+    "integrity_cost_table",
+    "integrity_report_text",
+]
+
+
+def detection_coverage_table(report: IntegrityReport) -> str:
+    """Per (format, kind): how injected corruption was caught."""
+    rows = []
+    for summary in report.summaries:
+        for kc in summary.coverage:
+            rows.append([
+                summary.format_name,
+                kc.kind,
+                kc.injections,
+                kc.structural,
+                kc.crc,
+                kc.harmless,
+                kc.silent,
+                kc.uncaught,
+                kc.detected_fraction,
+            ])
+    return format_table(
+        [
+            "format", "kind", "inject", "struct", "crc",
+            "harmless", "silent", "uncaught", "detected",
+        ],
+        rows,
+        title=(
+            f"Detection coverage ({report.shape[0]}x{report.shape[1]}, "
+            f"nnz={report.nnz}, seed={report.seed})"
+        ),
+    )
+
+
+def integrity_cost_table(report: IntegrityReport) -> str:
+    """Per format: framing byte overhead and check cycle overhead."""
+    rows = []
+    for summary in report.summaries:
+        if summary.check_overheads:
+            for co in summary.check_overheads:
+                rows.append([
+                    summary.format_name,
+                    co.partition_size,
+                    summary.raw_bytes,
+                    summary.framed_bytes,
+                    summary.framing_overhead_fraction,
+                    co.base_cycles,
+                    co.checked_cycles,
+                    co.overhead_fraction,
+                ])
+        else:
+            # formats without a hardware decompressor model still have
+            # the byte-accounting side
+            rows.append([
+                summary.format_name, "-",
+                summary.raw_bytes, summary.framed_bytes,
+                summary.framing_overhead_fraction, "-", "-", "-",
+            ])
+    return format_table(
+        [
+            "format", "p", "raw_B", "framed_B", "frame_ovh",
+            "cycles", "checked", "cycle_ovh",
+        ],
+        rows,
+        title="Integrity cost (framing bytes, check cycles)",
+    )
+
+
+def integrity_report_text(report: IntegrityReport) -> str:
+    """Both tables plus the campaign-level verdict line."""
+    verdict = (
+        f"{report.total_injections} injections, "
+        f"{report.total_uncaught} uncaught non-taxonomy exception(s)"
+    )
+    return "\n\n".join([
+        detection_coverage_table(report),
+        integrity_cost_table(report),
+        verdict,
+    ])

@@ -28,6 +28,7 @@ MANIFEST_DIFF_METRICS = (
     "sigma",
     "balance_ratio",
     "total_bytes",
+    "framed_total_bytes",
     "wall_s",
 )
 

@@ -14,8 +14,10 @@ Everything the library computes is reachable from the shell::
     python -m repro sweep --group band --checkpoint ckpt.jsonl
     python -m repro sweep --group band --checkpoint ckpt.jsonl --resume
     python -m repro sweep --group random --error-policy fail_fast
+    python -m repro sweep --group band --integrity-check
     python -m repro stats run.jsonl
     python -m repro stats run.jsonl --against baseline.jsonl
+    python -m repro integrity --random 64 --density 0.08 --injections 50
     python -m repro advise --standin KR
 
 Each sub-command builds its workload, runs the characterization core,
@@ -33,6 +35,7 @@ from .analysis import (
     compare_records,
     comparison_table,
     format_table,
+    integrity_report_text,
     manifest_diff_table,
     manifest_summary_table,
     profile_table,
@@ -43,12 +46,14 @@ from .core import (
     explore,
     load_records,
     pareto_frontier,
+    run_integrity_campaign,
     summarize,
 )
 from .engine import SweepRunner
 from .errors import CopernicusError, SweepCellError
-from .formats import ALL_FORMATS, PAPER_FORMATS, get_format
+from .formats import ALL_FORMATS, CORRUPTION_KINDS, PAPER_FORMATS, get_format
 from .hardware import (
+    DEFAULT_CONFIG,
     PAPER_TABLE2,
     HardwareConfig,
     estimate_power,
@@ -224,8 +229,16 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         checkpoint=args.checkpoint,
         resume=args.resume,
     )
+    base_config = (
+        HardwareConfig(integrity_check=True)
+        if args.integrity_check
+        else DEFAULT_CONFIG
+    )
     outcome = runner.run_grid(
-        workloads, PAPER_FORMATS, partition_sizes=tuple(args.partitions)
+        workloads,
+        PAPER_FORMATS,
+        partition_sizes=tuple(args.partitions),
+        base_config=base_config,
     )
     cube = outcome.by_coords()
     blocks = []
@@ -270,6 +283,32 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         path = outcome.write_manifest(args.emit_metrics)
         blocks.append(f"run manifest written to {path}")
     return "\n\n".join(blocks)
+
+
+def _cmd_integrity(args: argparse.Namespace) -> str:
+    name, matrix = _build_workload(args)
+    formats = (
+        tuple(args.format) if args.format else ALL_FORMATS
+    )
+    report = run_integrity_campaign(
+        matrix,
+        format_names=formats,
+        partition_sizes=tuple(args.partitions),
+        kinds=tuple(args.kinds),
+        injections=args.injections,
+        seed=args.seed,
+    )
+    text = f"Integrity campaign on {name}\n\n" + integrity_report_text(
+        report
+    )
+    if args.emit is not None:
+        from pathlib import Path
+
+        path = Path(args.emit)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json(indent=2) + "\n")
+        text += f"\n\ndetection-coverage report written to {path}"
+    return text
 
 
 def _cmd_stats(args: argparse.Namespace) -> str:
@@ -503,7 +542,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--inject-faults", metavar="SPECS", default=None,
         help=argparse.SUPPRESS,
     )
+    sweep.add_argument(
+        "--integrity-check", action="store_true",
+        help="charge CRC/structural check cycles in the memory-read "
+        "stage (IntegrityCheckModel)",
+    )
     sweep.set_defaults(handler=_cmd_sweep)
+
+    integrity = commands.add_parser(
+        "integrity",
+        help="seeded corruption campaign: detection coverage per format",
+    )
+    _add_workload_arguments(integrity)
+    integrity.add_argument(
+        "-f", "--format", action="append", default=None,
+        choices=sorted(ALL_FORMATS),
+        help="format(s) to campaign (default: all registered)",
+    )
+    integrity.add_argument(
+        "--partitions", type=int, nargs="+", default=[8],
+        help="partition sizes to tile and frame (default: 8)",
+    )
+    integrity.add_argument(
+        "--kinds", nargs="+", default=list(CORRUPTION_KINDS),
+        choices=list(CORRUPTION_KINDS),
+        help="corruption kinds to inject (default: all)",
+    )
+    integrity.add_argument(
+        "--injections", type=int, default=60,
+        help="injections per (format, kind) (default 60)",
+    )
+    integrity.add_argument(
+        "--emit", metavar="PATH", default=None,
+        help="also write the report as JSON to PATH",
+    )
+    integrity.set_defaults(handler=_cmd_integrity)
 
     stats = commands.add_parser(
         "stats", help="summarize or diff sweep run manifests"

@@ -1,6 +1,15 @@
 """Characterization core: simulator, sweeps, and summaries."""
 
 from .dse import DesignPoint, explore, pareto_frontier
+from .integrity import (
+    CLASSIFICATIONS,
+    CheckOverhead,
+    FormatIntegritySummary,
+    IntegrityReport,
+    KindCoverage,
+    classify_damaged_frame,
+    run_integrity_campaign,
+)
 from .recommend import Constraints, Objective, Recommendation, recommend
 from .results import CharacterizationResult
 from .simulator import SpmvSimulator, characterize
@@ -24,6 +33,13 @@ __all__ = [
     "DesignPoint",
     "explore",
     "pareto_frontier",
+    "CLASSIFICATIONS",
+    "CheckOverhead",
+    "FormatIntegritySummary",
+    "IntegrityReport",
+    "KindCoverage",
+    "classify_damaged_frame",
+    "run_integrity_campaign",
     "Constraints",
     "Objective",
     "Recommendation",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..formats.base import SizeBreakdown
+from ..formats.integrity import frame_overhead_bytes
 from ..hardware.pipeline import PipelineResult
 from ..hardware.power import PowerBreakdown
 from ..hardware.resources import ResourceEstimate
@@ -93,6 +94,20 @@ class CharacterizationResult:
     def bandwidth_utilization(self) -> float:
         """Useful bytes over all transmitted bytes."""
         return self.size.bandwidth_utilization
+
+    @property
+    def framing_overhead_bytes(self) -> int:
+        """Container-header bytes if every tile ships as a checksummed
+        frame (:func:`repro.formats.integrity.frame`): one fixed-size
+        header per streamed partition."""
+        return self.pipeline.n_partitions * frame_overhead_bytes(
+            self.format_name
+        )
+
+    @property
+    def framed_total_bytes(self) -> int:
+        """Total transferred bytes under checksummed tile framing."""
+        return self.total_bytes + self.framing_overhead_bytes
 
     # ------------------------------------------------------------------
     # Power / energy

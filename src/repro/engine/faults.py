@@ -24,6 +24,16 @@ Three fault kinds cover the interesting failure classes:
 ``delay``
     Sleep ``delay_s`` seconds before the cell runs, exercising the
     per-chunk wall-clock budget.
+``corrupt``
+    Damage the cell's encoded matrix stream before characterization:
+    the runner encodes the workload in the cell's format, applies a
+    seeded :class:`~repro.formats.corrupt.CorruptionSpec` injection,
+    and decodes it back under the spec's
+    :data:`~repro.formats.integrity.DECODE_MODES` policy.  Under
+    ``mode=strict`` a detected corruption surfaces as a
+    :class:`~repro.errors.FormatIntegrityError` cell failure;
+    ``repair`` / ``lenient`` let the (possibly altered) matrix flow
+    through the pipeline, exercising silent-corruption paths.
 
 Faults are *attempt-gated*: ``times=N`` trips only on the first N
 dispatch attempts of the cell's chunk, so a "transient" crash that
@@ -38,6 +48,7 @@ Plans parse from a compact spec string (the hidden
     crash@*:coo:*#times=none        # ... on every attempt
     delay@every:5#delay=0.25        # every 5th grid cell sleeps 250 ms
     raise@band-4:*:8,raise@band-8:*:8   # comma-separated plans compose
+    corrupt@*:csr:*#ckind=bitflip#ber=0.001#mode=strict
 """
 
 from __future__ import annotations
@@ -48,11 +59,12 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from ..errors import SweepConfigError, WorkerCrashError
+from ..formats.corrupt import CorruptionSpec
 
 __all__ = ["InjectedFault", "FaultSpec", "FaultPlan", "FAULT_KINDS"]
 
 #: The supported fault kinds.
-FAULT_KINDS = ("raise", "crash", "delay")
+FAULT_KINDS = ("raise", "crash", "delay", "corrupt")
 
 #: Exit status a ``crash`` fault kills its worker with (any non-zero
 #: status breaks the pool; a recognizable one helps post-mortems).
@@ -81,6 +93,10 @@ class FaultSpec:
     every_nth: int | None = None
     times: int | None = 1
     delay_s: float = 0.05
+    corrupt_kind: str = "bitflip"
+    plane: str = "*"
+    ber: float = 1e-3
+    decode_mode: str = "strict"
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -88,6 +104,9 @@ class FaultSpec:
                 f"unknown fault kind {self.kind!r}; "
                 f"known: {', '.join(FAULT_KINDS)}"
             )
+        if self.kind == "corrupt":
+            # constructing the spec validates ckind / ber / mode
+            self.corruption_spec()
         if self.every_nth is not None and self.every_nth < 1:
             raise SweepConfigError(
                 f"every_nth must be >= 1, got {self.every_nth}"
@@ -129,6 +148,16 @@ class FaultSpec:
         return self.matches(coords, index)
 
     # ------------------------------------------------------------------
+    def corruption_spec(self) -> CorruptionSpec:
+        """The stream-corruption rule a ``corrupt`` fault applies."""
+        return CorruptionSpec(
+            kind=self.corrupt_kind,
+            plane=self.plane,
+            ber=self.ber,
+            decode_mode=self.decode_mode,
+        )
+
+    # ------------------------------------------------------------------
     def describe(self) -> str:
         where = (
             f"every:{self.every_nth}"
@@ -140,7 +169,10 @@ class FaultSpec:
                 )
             )
         )
-        return f"{self.kind}@{where}"
+        text = f"{self.kind}@{where}"
+        if self.kind == "corrupt":
+            text += f"#ckind={self.corrupt_kind}#mode={self.decode_mode}"
+        return text
 
 
 @dataclass(frozen=True)
@@ -175,6 +207,11 @@ class FaultPlan:
         for spec in self.specs:
             if not spec.should_fire(coords, index, attempt):
                 continue
+            if spec.kind == "corrupt":
+                # corruption is not an exception at this point: the
+                # runner applies it to the cell's encoded stream via
+                # :meth:`corruption_for`
+                continue
             if spec.kind == "delay":
                 time.sleep(spec.delay_s)
                 continue
@@ -190,6 +227,25 @@ class FaultPlan:
                 f"injected crash {spec.describe()} at cell {coords} "
                 f"(attempt {attempt}, in-process path)"
             )
+
+    def corruption_for(
+        self,
+        coords: tuple[str, str, int],
+        index: int,
+        attempt: int = 0,
+    ) -> CorruptionSpec | None:
+        """The corruption rule (if any) firing for this cell.
+
+        The first matching ``corrupt`` spec wins; evaluated with the
+        same attempt-gating as :meth:`before_cell`, so a transient
+        ``times=1`` corruption clears on retry.
+        """
+        for spec in self.specs:
+            if spec.kind != "corrupt":
+                continue
+            if spec.should_fire(coords, index, attempt):
+                return spec.corruption_spec()
+        return None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -233,9 +289,23 @@ def _parse_options(chunks: Iterable[str]) -> dict:
                 raise SweepConfigError(
                     f"fault option delay={value!r} is not a number"
                 ) from None
+        elif key == "ckind":
+            options["corrupt_kind"] = value
+        elif key == "plane":
+            options["plane"] = value
+        elif key == "ber":
+            try:
+                options["ber"] = float(value)
+            except ValueError:
+                raise SweepConfigError(
+                    f"fault option ber={value!r} is not a number"
+                ) from None
+        elif key == "mode":
+            options["decode_mode"] = value
         else:
             raise SweepConfigError(
-                f"unknown fault option {key!r}; known: times, delay"
+                f"unknown fault option {key!r}; known: times, delay, "
+                f"ckind, plane, ber, mode"
             )
     return options
 

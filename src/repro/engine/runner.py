@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import time
 import traceback
+import zlib
 from concurrent.futures import (
     ProcessPoolExecutor,
     TimeoutError as FuturesTimeoutError,
@@ -59,6 +60,8 @@ from ..core.results import CharacterizationResult
 from ..core.simulator import SpmvSimulator
 from ..errors import SweepCellError, SweepConfigError
 from ..formats.base import VALUE_BYTES
+from ..formats.corrupt import CorruptionSpec, StreamCorruptor
+from ..formats.integrity import safe_decode
 from ..formats.registry import PAPER_FORMATS, get_format
 from ..hardware.config import DEFAULT_CONFIG, HardwareConfig
 from ..observability import MetricsRegistry
@@ -99,11 +102,47 @@ def _materialize(cell: SweepCell, cache: ContentKeyedCache) -> Workload:
     return workload
 
 
+def _corrupt_workload(
+    workload: Workload, cell: SweepCell, corruption: CorruptionSpec
+) -> Workload:
+    """Run the cell's matrix through a seeded encode-damage-decode loop.
+
+    The stream corruption a ``corrupt`` fault models happens on the
+    *encoded* representation: the matrix is encoded in the cell's own
+    format, one plane is damaged (seeded by the cell coordinates, so
+    every retry and every worker sees identical damage), and the
+    result is decoded back under the spec's decode mode.  Strict
+    decoding raises :class:`~repro.errors.FormatIntegrityError` for
+    detected damage — surfacing as an ordinary cell failure — while
+    repair / lenient modes let a best-effort matrix continue into the
+    characterization.
+    """
+    fmt = get_format(cell.format_name)
+    encoded = fmt.encode(workload.matrix)
+    corruptor = StreamCorruptor(
+        seed=zlib.crc32(repr(cell.coords).encode("utf-8"))
+    )
+    damaged = corruptor.corrupt_encoding(
+        encoded, corruption, key=cell.coords
+    )
+    matrix, _report = safe_decode(damaged, mode=corruption.decode_mode)
+    return Workload(
+        name=workload.name,
+        group=workload.group,
+        matrix=matrix,
+        parameter=workload.parameter,
+    )
+
+
 def _run_cell(
-    cell: SweepCell, cache: ContentKeyedCache
+    cell: SweepCell,
+    cache: ContentKeyedCache,
+    corruption: CorruptionSpec | None = None,
 ) -> tuple[CharacterizationResult, str]:
     """Characterize one cell; returns the result and its matrix key."""
     workload = _materialize(cell, cache)
+    if corruption is not None:
+        workload = _corrupt_workload(workload, cell, corruption)
     config = cell.resolved_config
     matrix_key = cache.matrix_key(workload.matrix)
     table = cache.get_or_create(
@@ -208,11 +247,15 @@ def _run_chunk(
     for index, cell in chunk:
         cell_start = time.perf_counter() if timed else 0.0
         try:
+            corruption = None
             if faults is not None:
                 faults.before_cell(
                     cell.coords, index, attempt, in_worker
                 )
-            result, matrix_key = _run_cell(cell, cache)
+                corruption = faults.corruption_for(
+                    cell.coords, index, attempt
+                )
+            result, matrix_key = _run_cell(cell, cache, corruption)
             if encode:
                 summary = _encode_cell(cell, cache)
                 encodings[(summary.workload, summary.format_name)] = summary

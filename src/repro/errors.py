@@ -15,6 +15,76 @@ class FormatError(CopernicusError):
     """A sparse-format encode/decode operation failed or was invalid."""
 
 
+class FormatIntegrityError(FormatError):
+    """An encoded stream failed an integrity check.
+
+    The structured counterpart of the free-text :class:`FormatError`
+    messages raised by :mod:`repro.formats.validate`: every check names
+    the format, the plane (array) it inspected, a stable check id, the
+    offending element offset when one is attributable, and the *kind*
+    of violation (``"crc"``, ``"truncation"``, ``"bounds"``,
+    ``"monotonicity"``, ``"duplicate"``, ``"padding"``, ...), so
+    corruption campaigns can aggregate detections by taxonomy instead
+    of string-matching messages.  Subclasses :class:`FormatError`, so
+    pre-existing ``except FormatError`` callers keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        format_name: str = "",
+        plane: str = "",
+        check: str = "",
+        offset: "int | None" = None,
+        kind: str = "structure",
+    ) -> None:
+        self.format_name = format_name
+        self.plane = plane
+        self.check = check
+        self.offset = offset
+        self.kind = kind
+        where = format_name or "stream"
+        if plane:
+            where = f"{where}.{plane}"
+        if offset is not None:
+            where = f"{where}[{offset}]"
+        tag = f"[{kind}:{check}] " if check else f"[{kind}] "
+        super().__init__(f"invalid encoding: {tag}{where}: {message}")
+
+    def __reduce__(self):  # keep the taxonomy across process boundaries
+        return (
+            _rebuild_integrity_error,
+            (
+                self.args[0],
+                self.format_name,
+                self.plane,
+                self.check,
+                self.offset,
+                self.kind,
+            ),
+        )
+
+
+def _rebuild_integrity_error(
+    message: str,
+    format_name: str,
+    plane: str,
+    check: str,
+    offset: "int | None",
+    kind: str,
+) -> FormatIntegrityError:
+    """Unpickle helper: rebuild without re-deriving the message."""
+    error = FormatIntegrityError.__new__(FormatIntegrityError)
+    Exception.__init__(error, message)
+    error.format_name = format_name
+    error.plane = plane
+    error.check = check
+    error.offset = offset
+    error.kind = kind
+    return error
+
+
 class UnknownFormatError(FormatError):
     """A format name was not found in the registry."""
 

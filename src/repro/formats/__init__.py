@@ -34,8 +34,30 @@ from .registry import (
     get_format,
     register_format,
 )
+from .corrupt import (
+    CORRUPTION_KINDS,
+    CorruptionSpec,
+    StreamCorruptor,
+    parse_corruption,
+)
+from .integrity import (
+    DECODE_MODES,
+    FRAME_MAGIC,
+    FrameLayout,
+    PlaneSpan,
+    RepairAction,
+    RepairReport,
+    decode_framed,
+    format_for,
+    frame,
+    frame_layout,
+    frame_overhead_bytes,
+    repair_encoding,
+    safe_decode,
+    unframe,
+)
 from .sell import DEFAULT_SLICE_HEIGHT, SellFormat
-from .validate import validate_encoding
+from .validate import VALIDATED_FORMATS, validate_encoding
 
 __all__ = [
     "INDEX_BYTES",
@@ -73,4 +95,23 @@ __all__ = [
     "diagonal_length",
     "diagonal_slot",
     "validate_encoding",
+    "VALIDATED_FORMATS",
+    "FRAME_MAGIC",
+    "DECODE_MODES",
+    "FrameLayout",
+    "PlaneSpan",
+    "RepairAction",
+    "RepairReport",
+    "frame",
+    "unframe",
+    "frame_layout",
+    "frame_overhead_bytes",
+    "format_for",
+    "safe_decode",
+    "decode_framed",
+    "repair_encoding",
+    "CORRUPTION_KINDS",
+    "CorruptionSpec",
+    "StreamCorruptor",
+    "parse_corruption",
 ]

@@ -10,14 +10,20 @@ from __future__ import annotations
 
 from ..matrix import SparseMatrix
 from .base import EncodedMatrix
+from .integrity import format_for
 from .registry import get_format
 
 __all__ = ["convert", "encode_as", "decode_any"]
 
 
 def decode_any(encoded: EncodedMatrix) -> SparseMatrix:
-    """Decode an encoding of any registered format."""
-    return get_format(encoded.format_name).decode(encoded)
+    """Decode an encoding of any registered format.
+
+    The codec is instantiated with the parameters the encoding's meta
+    declares (block size, slice height, sigma, hybrid width), so
+    encodings produced by non-default codec instances decode correctly.
+    """
+    return format_for(encoded).decode(encoded)
 
 
 def encode_as(matrix: SparseMatrix, format_name: str, **kwargs: int) -> EncodedMatrix:

@@ -3,89 +3,364 @@
 Decoding proves an encoding is *usable*; validation proves it is
 *well-formed* without decoding — the checks a hardware loader would
 perform before streaming (offset monotonicity, index bounds, plane
-shapes, mask sizes).  Useful both as a debugging aid for new formats
-and as a guard when encodings arrive from outside the library.
+shapes, mask sizes, padding sentinels).  Useful both as a debugging aid
+for new formats and as a guard when encodings arrive from outside the
+library — which is exactly what strict-mode decoding in
+:mod:`repro.formats.integrity` does with it.
+
+Every check raises :class:`~repro.errors.FormatIntegrityError` carrying
+the failing format name, the plane it inspected, a stable check id and
+a violation kind, so corruption campaigns can aggregate detections by
+taxonomy.  The error subclasses :class:`~repro.errors.FormatError`, so
+pre-existing ``except FormatError`` callers keep working.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..errors import FormatError
+from ..errors import FormatIntegrityError
 from .base import EncodedMatrix
 
-__all__ = ["validate_encoding"]
+__all__ = ["validate_encoding", "VALIDATED_FORMATS"]
 
 
-def _require(condition: bool, message: str) -> None:
+def _require(
+    condition: bool,
+    message: str,
+    *,
+    format_name: str,
+    check: str,
+    plane: str = "",
+    offset: int | None = None,
+    kind: str = "structure",
+) -> None:
     if not condition:
-        raise FormatError(f"invalid encoding: {message}")
+        raise FormatIntegrityError(
+            message,
+            format_name=format_name,
+            plane=plane,
+            check=check,
+            offset=offset,
+            kind=kind,
+        )
 
 
+def _first_bad(bad: np.ndarray) -> int | None:
+    """Index of the first offending element of a boolean mask."""
+    hits = np.nonzero(bad)[0]
+    return int(hits[0]) if hits.size else None
+
+
+def _check_bounds(
+    array: np.ndarray,
+    low: int,
+    high: int,
+    *,
+    format_name: str,
+    plane: str,
+    check: str,
+) -> None:
+    """Every element must lie in ``[low, high)``."""
+    if not array.size:
+        return
+    bad = (array < low) | (array >= high)
+    if bad.any():
+        offset = _first_bad(bad.ravel())
+        raise FormatIntegrityError(
+            f"index {int(array.ravel()[offset])} outside [{low}, {high})",
+            format_name=format_name,
+            plane=plane,
+            check=check,
+            offset=offset,
+            kind="bounds",
+        )
+
+
+def _check_nnz(
+    encoded: EncodedMatrix, observed: int, *, plane: str = "values"
+) -> None:
+    _require(
+        encoded.nnz == observed,
+        f"nnz={encoded.nnz} disagrees with stored values ({observed})",
+        format_name=encoded.format_name,
+        check="nnz-count",
+        plane=plane,
+        kind="count",
+    )
+
+
+def _check_padding_sentinel(
+    values: np.ndarray,
+    indices: np.ndarray,
+    *,
+    format_name: str,
+    check: str = "padding-sentinel",
+) -> None:
+    """Padding slots (value 0) must carry the sentinel column index 0.
+
+    ``ell_slot_arrays`` zero-initializes both planes and only writes
+    live slots, so a non-zero column index under a zero value is
+    corruption (a lost value or a tampered index), never a valid
+    encoding — the zero/zero convention is what makes padding a no-op
+    for decode and SpMV.
+    """
+    padding = values == 0.0
+    if not padding.any():
+        return
+    bad = padding & (indices != 0)
+    if bad.any():
+        raise FormatIntegrityError(
+            "padding slot carries a non-sentinel column index",
+            format_name=format_name,
+            plane="indices",
+            check=check,
+            offset=_first_bad(bad.ravel()),
+            kind="padding",
+        )
+
+
+def _check_permutation(
+    perm: np.ndarray, n: int, *, format_name: str
+) -> None:
+    _require(
+        perm.size == n,
+        f"permutation length {perm.size} != {n} rows",
+        format_name=format_name,
+        check="perm-length",
+        plane="perm",
+        kind="length",
+    )
+    _check_bounds(
+        perm, 0, max(n, 1),
+        format_name=format_name, plane="perm", check="perm-bounds",
+    )
+    if perm.size:
+        seen = np.zeros(n, dtype=bool)
+        seen[perm] = True
+        if not seen.all():
+            raise FormatIntegrityError(
+                "permutation has duplicate entries",
+                format_name=format_name,
+                plane="perm",
+                check="perm-bijective",
+                kind="duplicate",
+            )
+
+
+# ----------------------------------------------------------------------
+# Per-format validators
+# ----------------------------------------------------------------------
 def _validate_compressed_axis(
     encoded: EncodedMatrix, n_major: int, n_minor: int
 ) -> None:
     """Shared CSR/CSC checks (offsets + minor indices + values)."""
+    name = encoded.format_name
     offsets = encoded.array("offsets")
     indices = encoded.array("indices")
     values = encoded.array("values")
-    _require(offsets.size == n_major + 1, "offsets length mismatch")
-    _require(offsets[0] == 0, "offsets must start at zero")
-    _require(bool(np.all(np.diff(offsets) >= 0)), "offsets not monotone")
-    _require(int(offsets[-1]) == values.size, "offsets do not cover values")
-    _require(indices.size == values.size, "indices/values length mismatch")
-    if indices.size:
-        _require(
-            0 <= int(indices.min()) and int(indices.max()) < n_minor,
-            "minor indices out of bounds",
+    _require(
+        offsets.size == n_major + 1,
+        f"offsets length {offsets.size} != {n_major + 1}",
+        format_name=name, check="offsets-length", plane="offsets",
+        kind="length",
+    )
+    _require(
+        int(offsets[0]) == 0, "offsets must start at zero",
+        format_name=name, check="offsets-origin", plane="offsets",
+        offset=0, kind="structure",
+    )
+    steps = np.diff(offsets)
+    if (steps < 0).any():
+        raise FormatIntegrityError(
+            "offsets not monotone",
+            format_name=name, plane="offsets",
+            check="offsets-monotone",
+            offset=_first_bad(steps < 0),
+            kind="monotonicity",
         )
-    _require(encoded.nnz == int(np.count_nonzero(values)),
-             "nnz disagrees with stored values")
+    _require(
+        int(offsets[-1]) == values.size,
+        f"offsets cover {int(offsets[-1])} values, stored {values.size}",
+        format_name=name, check="offsets-coverage", plane="offsets",
+        offset=offsets.size - 1, kind="truncation",
+    )
+    _require(
+        indices.size == values.size,
+        f"{indices.size} indices vs {values.size} values",
+        format_name=name, check="plane-lengths", plane="indices",
+        kind="length",
+    )
+    _check_bounds(
+        indices, 0, n_minor,
+        format_name=name, plane="indices", check="index-bounds",
+    )
+    _check_nnz(encoded, int(np.count_nonzero(values)))
 
 
-def _validate_coordinates(encoded: EncodedMatrix) -> None:
+def _validate_coordinates(
+    encoded: EncodedMatrix, *, require_sorted: bool
+) -> None:
+    """COO/DOK tuple checks; COO additionally requires row-major order.
+
+    DOK is conceptually a hash table, so its wire order carries no
+    invariant beyond uniqueness of the keys; COO's decompressor relies
+    on the row-major sorted stream, so out-of-order (or duplicate)
+    tuples are flagged there.
+    """
+    name = encoded.format_name
     rows = encoded.array("rows")
     cols = encoded.array("cols")
     values = encoded.array("values")
-    _require(rows.size == cols.size == values.size,
-             "tuple arrays disagree in length")
+    _require(
+        rows.size == cols.size == values.size,
+        "tuple arrays disagree in length",
+        format_name=name, check="plane-lengths", plane="rows",
+        kind="length",
+    )
+    _check_bounds(
+        rows, 0, encoded.n_rows,
+        format_name=name, plane="rows", check="row-bounds",
+    )
+    _check_bounds(
+        cols, 0, encoded.n_cols,
+        format_name=name, plane="cols", check="col-bounds",
+    )
     if rows.size:
-        _require(0 <= int(rows.min()) and int(rows.max()) < encoded.n_rows,
-                 "row indices out of bounds")
-        _require(0 <= int(cols.min()) and int(cols.max()) < encoded.n_cols,
-                 "column indices out of bounds")
-    _require(encoded.nnz == int(np.count_nonzero(values)),
-             "nnz disagrees with stored values")
+        keys = rows.astype(np.int64) * encoded.n_cols + cols
+        if require_sorted:
+            steps = np.diff(keys)
+            if (steps < 0).any():
+                raise FormatIntegrityError(
+                    "tuples not in row-major order",
+                    format_name=name, plane="rows",
+                    check="row-major-order",
+                    offset=_first_bad(steps < 0),
+                    kind="monotonicity",
+                )
+        duplicate = _duplicate_mask(keys)
+        if duplicate.any():
+            raise FormatIntegrityError(
+                "duplicate coordinate",
+                format_name=name, plane="rows",
+                check="coordinate-unique",
+                offset=_first_bad(duplicate),
+                kind="duplicate",
+            )
+    _check_nnz(encoded, int(np.count_nonzero(values)))
+
+
+def _duplicate_mask(keys: np.ndarray) -> np.ndarray:
+    """Mask of keys that occur more than once (order-independent)."""
+    _, inverse, counts = np.unique(
+        keys, return_inverse=True, return_counts=True
+    )
+    return counts[inverse] > 1
 
 
 def _validate_padded_planes(encoded: EncodedMatrix) -> None:
+    name = encoded.format_name
     values = encoded.array("values")
     indices = encoded.array("indices")
-    _require(values.shape == indices.shape, "plane shapes disagree")
-    _require(values.shape[0] == encoded.n_rows, "plane height mismatch")
+    _require(
+        values.shape == indices.shape, "plane shapes disagree",
+        format_name=name, check="plane-shapes", plane="values",
+        kind="length",
+    )
+    _require(
+        values.ndim == 2 and values.shape[0] == encoded.n_rows,
+        f"plane height {values.shape[0] if values.ndim else 0} != "
+        f"{encoded.n_rows} rows",
+        format_name=name, check="plane-height", plane="values",
+        kind="length",
+    )
     width = int(encoded.meta["width"])
-    _require(values.shape[1] == width, "plane width disagrees with meta")
-    if indices.size:
-        _require(
-            0 <= int(indices.min()) and int(indices.max()) < encoded.n_cols,
-            "column indices out of bounds",
-        )
-    _require(encoded.nnz == int(np.count_nonzero(values)),
-             "nnz disagrees with stored values")
+    _require(
+        values.shape[1] == width,
+        f"plane width {values.shape[1]} disagrees with meta {width}",
+        format_name=name, check="meta-width", plane="values",
+        kind="meta",
+    )
+    _check_bounds(
+        indices, 0, encoded.n_cols,
+        format_name=name, plane="indices", check="index-bounds",
+    )
+    _check_padding_sentinel(values, indices, format_name=name)
+    _check_nnz(encoded, int(np.count_nonzero(values)))
+
+
+def _validate_ell_coo(encoded: EncodedMatrix) -> None:
+    name = encoded.format_name
+    values = encoded.array("values")
+    indices = encoded.array("indices")
+    _require(
+        values.shape == indices.shape, "ELL plane shapes disagree",
+        format_name=name, check="plane-shapes", plane="values",
+        kind="length",
+    )
+    _require(
+        values.ndim == 2 and values.shape[0] == encoded.n_rows,
+        "ELL plane height mismatch",
+        format_name=name, check="plane-height", plane="values",
+        kind="length",
+    )
+    width = int(encoded.meta["width"])
+    _require(
+        values.shape[1] == width,
+        f"ELL plane width {values.shape[1]} disagrees with meta {width}",
+        format_name=name, check="meta-width", plane="values",
+        kind="meta",
+    )
+    _check_bounds(
+        indices, 0, encoded.n_cols,
+        format_name=name, plane="indices", check="index-bounds",
+    )
+    _check_padding_sentinel(values, indices, format_name=name)
+    coo_rows = encoded.array("coo_rows")
+    coo_cols = encoded.array("coo_cols")
+    coo_values = encoded.array("coo_values")
+    _require(
+        coo_rows.size == coo_cols.size == coo_values.size,
+        "overflow tuple arrays disagree in length",
+        format_name=name, check="overflow-lengths", plane="coo_rows",
+        kind="length",
+    )
+    _check_bounds(
+        coo_rows, 0, encoded.n_rows,
+        format_name=name, plane="coo_rows", check="overflow-row-bounds",
+    )
+    _check_bounds(
+        coo_cols, 0, encoded.n_cols,
+        format_name=name, plane="coo_cols", check="overflow-col-bounds",
+    )
+    observed = int(np.count_nonzero(values)) + int(
+        np.count_nonzero(coo_values)
+    )
+    _check_nnz(encoded, observed)
 
 
 def _validate_lil(encoded: EncodedMatrix) -> None:
+    name = encoded.format_name
     values = encoded.array("values")
     indices = encoded.array("indices")
-    _require(values.shape == indices.shape, "plane shapes disagree")
-    _require(values.shape[1] == encoded.n_cols, "plane width mismatch")
     _require(
-        int(indices.max(initial=0)) <= encoded.n_rows,
-        "row indices exceed the sentinel",
+        values.shape == indices.shape, "plane shapes disagree",
+        format_name=name, check="plane-shapes", plane="values",
+        kind="length",
+    )
+    _require(
+        values.ndim == 2 and values.shape[1] == encoded.n_cols,
+        "plane width mismatch",
+        format_name=name, check="plane-width", plane="values",
+        kind="length",
+    )
+    # the sentinel row index n_rows is one past the last valid row
+    _check_bounds(
+        indices, 0, encoded.n_rows + 1,
+        format_name=name, plane="indices", check="row-bounds",
     )
     live = indices < encoded.n_rows
-    _require(encoded.nnz == int(np.count_nonzero(values[live])),
-             "nnz disagrees with live values")
+    _check_nnz(encoded, int(np.count_nonzero(values[live])))
     # top-pushed: sentinels never sit above live entries.
     for col in range(indices.shape[1]):
         column = indices[:, col]
@@ -94,88 +369,293 @@ def _validate_lil(encoded: EncodedMatrix) -> None:
             _require(
                 int(live_slots.max()) == live_slots.size - 1,
                 f"column {col} is not top-pushed",
+                format_name=name, check="top-pushed", plane="indices",
+                offset=col, kind="structure",
             )
 
 
 def _validate_dia(encoded: EncodedMatrix) -> None:
+    name = encoded.format_name
     offsets = encoded.array("offsets")
     lengths = encoded.array("lengths")
     diags = encoded.array("diagonals")
-    _require(offsets.size == lengths.size == diags.shape[0],
-             "diagonal arrays disagree in count")
-    _require(bool(np.all(np.diff(offsets) > 0)),
-             "diagonal offsets must be strictly increasing")
+    _require(
+        diags.ndim == 2
+        and offsets.size == lengths.size == diags.shape[0],
+        "diagonal arrays disagree in count",
+        format_name=name, check="plane-lengths", plane="offsets",
+        kind="length",
+    )
+    if np.unique(offsets).size != offsets.size:
+        raise FormatIntegrityError(
+            "duplicate diagonal offset",
+            format_name=name, plane="offsets",
+            check="offsets-unique", kind="duplicate",
+        )
+    steps = np.diff(offsets)
+    if (steps <= 0).any():
+        raise FormatIntegrityError(
+            "diagonal offsets must be strictly increasing",
+            format_name=name, plane="offsets",
+            check="offsets-monotone",
+            offset=_first_bad(steps <= 0),
+            kind="monotonicity",
+        )
     low = 1 - encoded.n_rows
     high = encoded.n_cols - 1
-    _require(
-        bool(np.all((offsets >= low) & (offsets <= high))),
-        "diagonal offsets out of range",
+    _check_bounds(
+        offsets, low, high + 1,
+        format_name=name, plane="offsets", check="offset-range",
     )
-    _require(int(lengths.max(initial=0)) <= diags.shape[1],
-             "diagonal longer than its storage row")
-    _require(encoded.nnz == int(np.count_nonzero(diags)),
-             "nnz disagrees with stored values")
+    _require(
+        int(lengths.max(initial=0)) <= diags.shape[1],
+        "diagonal longer than its storage row",
+        format_name=name, check="length-fits-storage", plane="lengths",
+        kind="truncation",
+    )
+    _require(
+        int(lengths.min(initial=0)) >= 0,
+        "negative diagonal length",
+        format_name=name, check="length-non-negative", plane="lengths",
+        kind="bounds",
+    )
+    _check_nnz(encoded, int(np.count_nonzero(diags)), plane="diagonals")
 
 
 def _validate_bcsr(encoded: EncodedMatrix) -> None:
+    name = encoded.format_name
     offsets = encoded.array("offsets")
     indices = encoded.array("indices")
     values = encoded.array("values")
     b = int(encoded.meta["block_size"])
+    _require(
+        b >= 1, f"block size {b} must be >= 1",
+        format_name=name, check="meta-block-size", kind="meta",
+    )
     block_rows = -(-encoded.n_rows // b)
-    _require(offsets.size == block_rows + 1, "block-row offsets mismatch")
-    _require(bool(np.all(np.diff(offsets) >= 0)), "offsets not monotone")
-    _require(int(offsets[-1]) == indices.size, "offsets do not cover blocks")
-    _require(values.shape == (indices.size, b * b),
-             "block value plane shape mismatch")
-    if indices.size:
-        _require(
-            bool(np.all(indices % b == 0)),
-            "block first-column indices must be block-aligned",
+    _require(
+        offsets.size == block_rows + 1,
+        f"block-row offsets length {offsets.size} != {block_rows + 1}",
+        format_name=name, check="offsets-length", plane="offsets",
+        kind="length",
+    )
+    steps = np.diff(offsets)
+    if (steps < 0).any():
+        raise FormatIntegrityError(
+            "offsets not monotone",
+            format_name=name, plane="offsets",
+            check="offsets-monotone",
+            offset=_first_bad(steps < 0),
+            kind="monotonicity",
         )
-        _require(int(indices.max()) < encoded.n_cols,
-                 "block columns out of bounds")
-    _require(encoded.nnz == int(np.count_nonzero(values)),
-             "nnz disagrees with stored values")
+    _require(
+        int(offsets[-1]) == indices.size,
+        "offsets do not cover blocks",
+        format_name=name, check="offsets-coverage", plane="offsets",
+        offset=offsets.size - 1, kind="truncation",
+    )
+    _require(
+        values.shape == (indices.size, b * b),
+        f"block value plane shape {values.shape} != "
+        f"({indices.size}, {b * b})",
+        format_name=name, check="block-plane-shape", plane="values",
+        kind="length",
+    )
+    if indices.size:
+        aligned = indices % b == 0
+        _require(
+            bool(aligned.all()),
+            "block first-column indices must be block-aligned",
+            format_name=name, check="block-alignment", plane="indices",
+            offset=_first_bad(~aligned), kind="structure",
+        )
+        _check_bounds(
+            indices, 0, encoded.n_cols,
+            format_name=name, plane="indices", check="index-bounds",
+        )
+    _check_nnz(encoded, int(np.count_nonzero(values)))
 
 
 def _validate_dense(encoded: EncodedMatrix) -> None:
-    values = encoded.array("values")
-    _require(values.shape == encoded.shape, "dense plane shape mismatch")
-    _require(encoded.nnz == int(np.count_nonzero(values)),
-             "nnz disagrees with stored values")
+    _require(
+        encoded.array("values").shape == encoded.shape,
+        "dense plane shape mismatch",
+        format_name=encoded.format_name, check="plane-shape",
+        plane="values", kind="length",
+    )
+    _check_nnz(
+        encoded, int(np.count_nonzero(encoded.array("values")))
+    )
 
 
 def _validate_bitmap(encoded: EncodedMatrix) -> None:
+    name = encoded.format_name
     mask = encoded.array("mask")
     values = encoded.array("values")
     total = encoded.n_rows * encoded.n_cols
-    _require(mask.size == -(-total // 8), "mask byte count mismatch")
-    bits = np.unpackbits(mask, count=total)
-    _require(int(bits.sum()) == values.size,
-             "mask population disagrees with value count")
-    _require(encoded.nnz == values.size, "nnz disagrees with value count")
+    _require(
+        mask.size == -(-total // 8),
+        f"mask byte count {mask.size} != {-(-total // 8)}",
+        format_name=name, check="mask-bytes", plane="mask",
+        kind="length",
+    )
+    bits = np.unpackbits(np.ascontiguousarray(mask, dtype=np.uint8))
+    _require(
+        not bits[total:].any(),
+        "mask tail bits beyond the matrix extent are set",
+        format_name=name, check="mask-tail", plane="mask",
+        kind="padding",
+    )
+    _require(
+        int(bits[:total].sum()) == values.size,
+        "mask population disagrees with value count",
+        format_name=name, check="mask-population", plane="mask",
+        kind="count",
+    )
+    _check_nnz(encoded, values.size)
+
+
+def _sell_inner_checks(
+    encoded: EncodedMatrix, slice_height: int, name: str
+) -> None:
+    """Shared SELL / SELL-C-sigma slice-layout checks."""
+    values = encoded.array("values")
+    indices = encoded.array("indices")
+    widths = encoded.array("widths")
+    _require(
+        slice_height >= 1,
+        f"slice height {slice_height} must be >= 1",
+        format_name=name, check="meta-slice-height", kind="meta",
+    )
+    n_slices = -(-encoded.n_rows // slice_height)
+    _require(
+        widths.size == n_slices,
+        f"{widths.size} slice widths for {n_slices} slices",
+        format_name=name, check="slice-count", plane="widths",
+        kind="length",
+    )
+    _require(
+        int(widths.min(initial=1)) >= 1,
+        "slice width must be >= 1",
+        format_name=name, check="width-positive", plane="widths",
+        kind="bounds",
+    )
+    rows_per_slice = np.minimum(
+        slice_height,
+        encoded.n_rows - slice_height * np.arange(widths.size),
+    )
+    expected_slots = int((rows_per_slice * widths).sum())
+    _require(
+        values.size == expected_slots and indices.size == expected_slots,
+        f"slot planes hold {values.size}/{indices.size} entries, "
+        f"slices require {expected_slots}",
+        format_name=name, check="slot-coverage", plane="values",
+        kind="truncation",
+    )
+    _check_bounds(
+        indices, 0, encoded.n_cols,
+        format_name=name, plane="indices", check="index-bounds",
+    )
+    _check_padding_sentinel(values, indices, format_name=name)
+    _check_nnz(encoded, int(np.count_nonzero(values)))
+
+
+def _validate_sell(encoded: EncodedMatrix) -> None:
+    _sell_inner_checks(
+        encoded,
+        int(encoded.meta["slice_height"]),
+        encoded.format_name,
+    )
+
+
+def _validate_sell_c_sigma(encoded: EncodedMatrix) -> None:
+    name = encoded.format_name
+    slice_height = int(encoded.meta["slice_height"])
+    sigma = int(encoded.meta["sigma"])
+    _require(
+        slice_height >= 1
+        and sigma >= slice_height
+        and sigma % slice_height == 0,
+        f"sigma {sigma} must be a positive multiple of the slice "
+        f"height {slice_height}",
+        format_name=name, check="meta-sigma", kind="meta",
+    )
+    _check_permutation(
+        encoded.array("perm"), encoded.n_rows, format_name=name
+    )
+    _sell_inner_checks(encoded, slice_height, name)
+
+
+def _validate_jds(encoded: EncodedMatrix) -> None:
+    name = encoded.format_name
+    lengths = encoded.array("jd_lengths")
+    values = encoded.array("values")
+    indices = encoded.array("indices")
+    _check_permutation(
+        encoded.array("perm"), encoded.n_rows, format_name=name
+    )
+    width = int(encoded.meta["width"])
+    _require(
+        lengths.size == width,
+        f"{lengths.size} jagged diagonals, meta width {width}",
+        format_name=name, check="meta-width", plane="jd_lengths",
+        kind="meta",
+    )
+    _check_bounds(
+        lengths, 0, encoded.n_rows + 1,
+        format_name=name, plane="jd_lengths", check="length-bounds",
+    )
+    steps = np.diff(lengths)
+    if (steps > 0).any():
+        raise FormatIntegrityError(
+            "jagged-diagonal lengths must be non-increasing",
+            format_name=name, plane="jd_lengths",
+            check="lengths-monotone",
+            offset=_first_bad(steps > 0),
+            kind="monotonicity",
+        )
+    total = int(lengths.sum())
+    _require(
+        values.size == total and indices.size == total,
+        f"streams hold {values.size}/{indices.size} entries, "
+        f"lengths require {total}",
+        format_name=name, check="stream-coverage", plane="values",
+        kind="truncation",
+    )
+    _check_bounds(
+        indices, 0, encoded.n_cols,
+        format_name=name, plane="indices", check="index-bounds",
+    )
+    _check_nnz(encoded, int(np.count_nonzero(values)))
 
 
 _VALIDATORS = {
     "dense": _validate_dense,
     "csr": lambda e: _validate_compressed_axis(e, e.n_rows, e.n_cols),
     "csc": lambda e: _validate_compressed_axis(e, e.n_cols, e.n_rows),
-    "coo": _validate_coordinates,
-    "dok": _validate_coordinates,
+    "coo": lambda e: _validate_coordinates(e, require_sorted=True),
+    "dok": lambda e: _validate_coordinates(e, require_sorted=False),
     "ell": _validate_padded_planes,
+    "ell+coo": _validate_ell_coo,
     "lil": _validate_lil,
     "dia": _validate_dia,
     "bcsr": _validate_bcsr,
     "bitmap": _validate_bitmap,
+    "sell": _validate_sell,
+    "sell-c-sigma": _validate_sell_c_sigma,
+    "jds": _validate_jds,
 }
+
+#: Formats with a structural validator — every registered format.
+VALIDATED_FORMATS: tuple[str, ...] = tuple(sorted(_VALIDATORS))
 
 
 def validate_encoding(encoded: EncodedMatrix) -> None:
-    """Raise :class:`FormatError` if ``encoded`` is malformed.
+    """Raise :class:`FormatIntegrityError` if ``encoded`` is malformed.
 
-    Formats without a structural validator (the SELL/JDS variants,
-    whose invariants are exercised through decode) pass trivially.
+    Formats without a structural validator pass trivially (none of the
+    built-in formats fall in that bucket anymore, but user-registered
+    formats do until they add one).
     """
     validator = _VALIDATORS.get(encoded.format_name)
     if validator is not None:

@@ -19,6 +19,7 @@ from .decompressors import (
     get_decompressor,
 )
 from .dot_product import DotProductEngine
+from .integrity import IntegrityCheckModel
 from .hls import (
     LISTING_BUILDERS,
     BramAccess,
@@ -76,6 +77,7 @@ __all__ = [
     "DecompressorModel",
     "get_decompressor",
     "DotProductEngine",
+    "IntegrityCheckModel",
     "LISTING_BUILDERS",
     "BramAccess",
     "DotProductPass",

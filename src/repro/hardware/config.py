@@ -54,6 +54,18 @@ class HardwareConfig:
     write_back:
         Whether the memory-write stage's output-vector transfer is
         accounted in the pipeline total.
+    integrity_check:
+        Whether the memory-read stage verifies each tile's framing
+        (CRC over the streamed bytes plus a fixed header check) before
+        handing it to the decompressor.  Off by default — the paper's
+        baseline accelerator trusts its streams.
+    crc_bytes_per_cycle:
+        Bytes the CRC/structural checker digests per cycle.  A checker
+        slower than the AXI link (``< axi_bytes_per_cycle``) makes
+        checking the memory-stage bottleneck; a matching rate hides
+        entirely behind the transfer.
+    integrity_header_cycles:
+        Fixed per-tile cost of parsing and checking the frame header.
     """
 
     partition_size: int = 16
@@ -69,6 +81,9 @@ class HardwareConfig:
     ell_hardware_width: int = 6
     lil_merge_cycles: int = 2
     write_back: bool = True
+    integrity_check: bool = False
+    crc_bytes_per_cycle: int = 4
+    integrity_header_cycles: int = 8
 
     def __post_init__(self) -> None:
         positive_fields = {
@@ -81,6 +96,7 @@ class HardwareConfig:
             "multiplier_cycles": self.multiplier_cycles,
             "block_size": self.block_size,
             "ell_hardware_width": self.ell_hardware_width,
+            "crc_bytes_per_cycle": self.crc_bytes_per_cycle,
         }
         for name, value in positive_fields.items():
             if value <= 0:
@@ -89,6 +105,7 @@ class HardwareConfig:
             "axi_setup_cycles": self.axi_setup_cycles,
             "bram_access_cycles": self.bram_access_cycles,
             "lil_merge_cycles": self.lil_merge_cycles,
+            "integrity_header_cycles": self.integrity_header_cycles,
         }
         for name, value in non_negative.items():
             if value < 0:

@@ -1,0 +1,77 @@
+"""Hardware cost model of in-line stream integrity checking.
+
+A checked accelerator verifies each tile's frame — CRC over the
+streamed bytes plus a fixed header parse — inside the memory-read
+stage, before the decompressor sees a word.  The checker runs
+*concurrently* with the AXI transfer (hardware CRC units digest the
+stream as it arrives), so the stage's latency becomes::
+
+    max(transfer_cycles, axi_setup + ceil(bytes / crc_bytes_per_cycle))
+        + integrity_header_cycles
+
+When the checker matches or beats the link rate
+(``crc_bytes_per_cycle >= axi_bytes_per_cycle``) only the constant
+header term remains visible; a slower checker turns the memory stage
+into a CRC-bound pipe.  Both a scalar and a struct-of-arrays batch
+form are provided and are bit-identical, mirroring the
+``run``/``run_scalar`` contract of the streaming pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import HardwareConfig
+
+__all__ = ["IntegrityCheckModel"]
+
+
+class IntegrityCheckModel:
+    """Cycle cost of CRC + header checking in the memory-read stage."""
+
+    def __init__(self, config: HardwareConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Scalar path (time_partition / run_scalar)
+    # ------------------------------------------------------------------
+    def check_cycles(self, total_bytes: int) -> int:
+        """Cycles the checker itself needs for one tile's stream."""
+        rate = self.config.crc_bytes_per_cycle
+        crc = self.config.axi_setup_cycles + -(-int(total_bytes) // rate)
+        return crc + self.config.integrity_header_cycles
+
+    def checked_transfer_cycles(
+        self, transfer_cycles: int, total_bytes: int
+    ) -> int:
+        """Memory-stage latency with the checker overlapping the burst."""
+        rate = self.config.crc_bytes_per_cycle
+        crc = self.config.axi_setup_cycles + -(-int(total_bytes) // rate)
+        return (
+            max(int(transfer_cycles), crc)
+            + self.config.integrity_header_cycles
+        )
+
+    def overhead_cycles(
+        self, transfer_cycles: int, total_bytes: int
+    ) -> int:
+        """Extra cycles checking adds on top of the bare transfer."""
+        return (
+            self.checked_transfer_cycles(transfer_cycles, total_bytes)
+            - int(transfer_cycles)
+        )
+
+    # ------------------------------------------------------------------
+    # Batch path (run / trace) — bit-identical to the scalar form
+    # ------------------------------------------------------------------
+    def checked_transfer_cycles_batch(
+        self, transfer_cycles: np.ndarray, total_bytes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`checked_transfer_cycles` over all tiles."""
+        rate = self.config.crc_bytes_per_cycle
+        total = np.asarray(total_bytes, dtype=np.int64)
+        crc = self.config.axi_setup_cycles + -(-total // rate)
+        return (
+            np.maximum(np.asarray(transfer_cycles, dtype=np.int64), crc)
+            + self.config.integrity_header_cycles
+        )

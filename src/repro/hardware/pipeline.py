@@ -37,6 +37,7 @@ from .decompressors import (
     SizeColumns,
     get_decompressor,
 )
+from .integrity import IntegrityCheckModel
 
 __all__ = [
     "PartitionTiming",
@@ -329,13 +330,21 @@ class StreamingPipeline:
             decompressor = get_decompressor(decompressor)
         self.decompressor = decompressor
         self.axi = AxiStreamModel(config)
+        self.integrity = (
+            IntegrityCheckModel(config) if config.integrity_check else None
+        )
 
     def time_partition(self, profile: PartitionProfile) -> PartitionTiming:
         """Memory and compute latency of one non-zero partition."""
         lines = self.decompressor.stream_lines(profile, self.config)
         compute = self.decompressor.compute(profile, self.config)
+        memory_cycles = self.axi.transfer_cycles(lines)
+        if self.integrity is not None:
+            memory_cycles = self.integrity.checked_transfer_cycles(
+                memory_cycles, int(sum(lines))
+            )
         return PartitionTiming(
-            memory_cycles=self.axi.transfer_cycles(lines),
+            memory_cycles=memory_cycles,
             decompress_cycles=compute.decompress_cycles,
             dot_cycles=compute.dot_cycles,
             size=self.decompressor.transfer_size(profile, self.config),
@@ -380,7 +389,12 @@ class StreamingPipeline:
         if table is None or table.n_tiles == 0:
             return self._empty_result()
         lines = self.decompressor.stream_lines_batch(table, self.config)
-        memory = self.axi.transfer_cycles_batch(lines.sum(axis=0))
+        total_bytes = lines.sum(axis=0)
+        memory = self.axi.transfer_cycles_batch(total_bytes)
+        if self.integrity is not None:
+            memory = self.integrity.checked_transfer_cycles_batch(
+                memory, total_bytes
+            )
         compute = self.decompressor.compute_batch(table, self.config)
         sizes = self.decompressor.transfer_size_batch(table, self.config)
         return PipelineResult(

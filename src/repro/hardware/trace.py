@@ -33,6 +33,7 @@ from ..partition import PartitionProfile, ProfileTable
 from .axi import AxiStreamModel
 from .config import HardwareConfig
 from .decompressors import DecompressorModel, get_decompressor
+from .integrity import IntegrityCheckModel
 from .pipeline import resolve_profile_table
 
 __all__ = [
@@ -231,7 +232,12 @@ def trace_pipeline(
         comp_cycles = np.empty(0, dtype=np.int64)
     else:
         lines = decompressor.stream_lines_batch(table, config)
-        mem_cycles = axi.transfer_cycles_batch(lines.sum(axis=0))
+        total_bytes = lines.sum(axis=0)
+        mem_cycles = axi.transfer_cycles_batch(total_bytes)
+        if config.integrity_check:
+            mem_cycles = IntegrityCheckModel(
+                config
+            ).checked_transfer_cycles_batch(mem_cycles, total_bytes)
         comp_cycles = decompressor.compute_batch(
             table, config
         ).total_cycles

@@ -47,7 +47,9 @@ __all__ = [
 ]
 
 #: Bump on any backwards-incompatible record change.
-SCHEMA_VERSION = 1
+#: 2: cell records gained the framed-transfer accounting
+#: (``framed_total_bytes`` / ``framing_overhead_bytes``).
+SCHEMA_VERSION = 2
 
 #: Value of the header's ``kind`` field.
 MANIFEST_KIND = "copernicus-sweep-manifest"
@@ -61,6 +63,8 @@ CELL_METRIC_FIELDS = (
     "sigma",
     "balance_ratio",
     "total_bytes",
+    "framed_total_bytes",
+    "framing_overhead_bytes",
     "bandwidth_utilization",
 )
 

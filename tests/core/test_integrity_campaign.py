@@ -1,0 +1,129 @@
+"""Integrity campaign: determinism, coverage floors, accounting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.integrity import (
+    CLASSIFICATIONS,
+    classify_damaged_frame,
+    run_integrity_campaign,
+)
+from repro.analysis.integrity import (
+    detection_coverage_table,
+    integrity_cost_table,
+    integrity_report_text,
+)
+from repro.formats import ALL_FORMATS, frame, get_format
+from repro.workloads import random_matrix
+
+FORMATS = ("csr", "coo", "ell", "bitmap")
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return random_matrix(48, 0.1, seed=4)
+
+
+@pytest.fixture(scope="module")
+def report(matrix):
+    return run_integrity_campaign(
+        matrix, format_names=FORMATS, injections=25, seed=11
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self, matrix, report):
+        again = run_integrity_campaign(
+            matrix, format_names=FORMATS, injections=25, seed=11
+        )
+        assert report.to_json() == again.to_json()
+
+    def test_different_seed_differs(self, matrix, report):
+        other = run_integrity_campaign(
+            matrix, format_names=FORMATS, injections=25, seed=12
+        )
+        assert report.to_json() != other.to_json()
+
+
+class TestCoverage:
+    def test_no_uncaught_exceptions(self, report):
+        assert report.total_uncaught == 0
+
+    def test_crc_catches_payload_bitflips(self, report):
+        for summary in report.summaries:
+            assert summary.kind("bitflip").detected_fraction >= 0.99
+
+    def test_truncation_always_detected(self, report):
+        for summary in report.summaries:
+            assert summary.kind("truncate").detected_fraction == 1.0
+
+    def test_counts_partition_injections(self, report):
+        for summary in report.summaries:
+            for kc in summary.coverage:
+                assert kc.injections == 25
+                assert (
+                    kc.structural + kc.crc + kc.harmless
+                    + kc.silent + kc.uncaught
+                ) == kc.injections
+
+    def test_all_formats_covered_by_default(self, matrix):
+        tiny = run_integrity_campaign(matrix, injections=2, seed=0)
+        assert tuple(
+            s.format_name for s in tiny.summaries
+        ) == ALL_FORMATS
+        assert tiny.total_uncaught == 0
+
+
+class TestAccounting:
+    def test_framed_bytes_exceed_raw(self, report):
+        for summary in report.summaries:
+            assert summary.framed_bytes > summary.raw_bytes > 0
+            assert summary.framing_overhead_fraction > 0
+
+    def test_check_overhead_positive(self, report):
+        for summary in report.summaries:
+            for co in summary.check_overheads:
+                assert co.checked_cycles > co.base_cycles
+                assert 0 < co.overhead_fraction
+
+
+class TestClassifier:
+    def test_clean_frame_is_harmless(self, matrix):
+        codec = get_format("csr")
+        encoded = codec.encode(matrix)
+        outcome = classify_damaged_frame(
+            frame(encoded), codec.decode(encoded)
+        )
+        assert outcome == "harmless"
+
+    def test_garbage_is_structural(self, matrix):
+        codec = get_format("csr")
+        truth = codec.decode(codec.encode(matrix))
+        assert classify_damaged_frame(b"garbage", truth) == "structural"
+
+    def test_outcomes_are_closed_set(self, report):
+        for summary in report.summaries:
+            for kc in summary.coverage:
+                assert kc.kind in report.kinds
+        assert set(CLASSIFICATIONS) == {
+            "structural", "crc", "harmless", "silent", "uncaught"
+        }
+
+
+class TestRendering:
+    def test_json_round_trips(self, report):
+        payload = json.loads(report.to_json())
+        assert payload["total_uncaught"] == 0
+        assert len(payload["formats"]) == len(FORMATS)
+
+    def test_tables_render_every_format(self, report):
+        coverage = detection_coverage_table(report)
+        cost = integrity_cost_table(report)
+        text = integrity_report_text(report)
+        for name in FORMATS:
+            assert name in coverage
+            assert name in cost
+        assert "0 uncaught" in text

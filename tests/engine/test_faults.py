@@ -67,7 +67,7 @@ class TestFaultSpec:
             FaultSpec("delay", delay_s=-1.0)
 
     def test_known_kinds(self):
-        assert FAULT_KINDS == ("raise", "crash", "delay")
+        assert FAULT_KINDS == ("raise", "crash", "delay", "corrupt")
 
 
 # ----------------------------------------------------------------------
@@ -169,6 +169,58 @@ class TestParse:
 
 
 # ----------------------------------------------------------------------
+# Corrupt faults: parsing and plan routing
+# ----------------------------------------------------------------------
+class TestCorruptFaults:
+    def test_parse_full_selector(self):
+        plan = FaultPlan.parse(
+            "corrupt@*:csr:*#ckind=bitflip#ber=0.01#mode=strict"
+        )
+        (spec,) = plan.specs
+        assert spec.kind == "corrupt"
+        assert spec.corrupt_kind == "bitflip"
+        assert spec.ber == 0.01
+        assert spec.decode_mode == "strict"
+        corruption = spec.corruption_spec()
+        assert corruption.kind == "bitflip"
+        assert corruption.ber == 0.01
+        assert corruption.decode_mode == "strict"
+
+    def test_corruption_for_matches_and_misses(self):
+        plan = FaultPlan.parse("corrupt@*:csr:*#ckind=tamper#mode=lenient")
+        hit = plan.corruption_for(("w", "csr", 8), index=0)
+        assert hit is not None
+        assert hit.kind == "tamper"
+        assert hit.decode_mode == "lenient"
+        assert plan.corruption_for(("w", "coo", 8), index=0) is None
+
+    def test_before_cell_is_a_no_op_for_corrupt_specs(self):
+        plan = FaultPlan.parse("corrupt@*:csr:*#ckind=bitflip")
+        # the runner applies corruption via corruption_for; before_cell
+        # must not consume the spec's fire budget or raise
+        plan.before_cell(("w", "csr", 8), index=0)
+        assert plan.corruption_for(("w", "csr", 8), index=0) is not None
+
+    def test_describe_includes_corruption_options(self):
+        text = FaultPlan.parse("corrupt@*:csr:*#ckind=truncate").describe()
+        assert "ckind=truncate" in text
+        assert "corrupt@*:csr:*" in text
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "corrupt@*:csr:*#ckind=melt",
+            "corrupt@*:csr:*#ber=lots",
+            "corrupt@*:csr:*#mode=optimistic",
+            "corrupt@*:csr:*#plane=",
+        ],
+    )
+    def test_bad_corruption_options_rejected(self, text):
+        with pytest.raises(SweepConfigError):
+            FaultPlan.parse(text)
+
+
+# ----------------------------------------------------------------------
 # Through the runner (in-process paths)
 # ----------------------------------------------------------------------
 class TestRunnerIntegration:
@@ -197,3 +249,22 @@ class TestRunnerIntegration:
         ).run_grid(small_workloads(), ("csr",), (16,))
         failed = outcome.failure("band-b", "csr", 16)
         assert failed.error_type == "WorkerCrashError"
+
+    def test_strict_corruption_surfaces_as_integrity_failure(self):
+        outcome = SweepRunner(
+            faults="corrupt@band-b:csr:*#ckind=truncate#mode=strict"
+        ).run_grid(small_workloads(), ("csr",), (16,))
+        failed = outcome.failure("band-b", "csr", 16)
+        assert failed.error_type == "FormatIntegrityError"
+
+    def test_lenient_corruption_completes_deterministically(self):
+        runner = SweepRunner(
+            faults="corrupt@*:csr:*#ckind=bitflip#ber=0.01#mode=lenient"
+        )
+        first = runner.run_grid(small_workloads(), ("csr",), (16,))
+        second = runner.run_grid(small_workloads(), ("csr",), (16,))
+        assert first.n_failed == 0
+        assert len(first.results) == 2
+        assert [r.total_cycles for r in first.results] == [
+            r.total_cycles for r in second.results
+        ]

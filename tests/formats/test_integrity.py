@@ -1,0 +1,229 @@
+"""Checksummed tile framing and hardened decoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CopernicusError, FormatError, FormatIntegrityError
+from repro.formats import (
+    ALL_FORMATS,
+    EncodedMatrix,
+    get_format,
+)
+from repro.formats.integrity import (
+    DECODE_MODES,
+    FRAME_MAGIC,
+    decode_framed,
+    format_for,
+    frame,
+    frame_layout,
+    frame_overhead_bytes,
+    repair_encoding,
+    safe_decode,
+    unframe,
+)
+from repro.matrix import SparseMatrix
+from repro.workloads import band_matrix, random_matrix
+
+
+@pytest.fixture(scope="module")
+def matrix() -> SparseMatrix:
+    return random_matrix(24, 0.15, seed=5)
+
+
+# ----------------------------------------------------------------------
+# Framing round-trip
+# ----------------------------------------------------------------------
+class TestFrameRoundTrip:
+    def test_every_format(self, any_format, corpus_matrix):
+        encoded = any_format.encode(corpus_matrix)
+        data = frame(encoded)
+        assert data.startswith(FRAME_MAGIC)
+        restored, report = unframe(data)
+        assert not report
+        assert restored.format_name == encoded.format_name
+        assert restored.shape == encoded.shape
+        assert restored.nnz == encoded.nnz
+        assert dict(restored.meta) == dict(encoded.meta)
+        for name, array in encoded.arrays.items():
+            np.testing.assert_array_equal(
+                restored.array(name), np.asarray(array)
+            )
+
+    def test_decode_framed_recovers_matrix(self, any_format, matrix):
+        encoded = any_format.encode(matrix)
+        decoded, report = decode_framed(frame(encoded))
+        assert not report
+        assert decoded == any_format.decode(encoded)
+
+    def test_layout_accounts_every_byte(self, matrix):
+        encoded = get_format("csr").encode(matrix)
+        data = frame(encoded)
+        layout = frame_layout(data)
+        assert layout.declared_bytes == len(data)
+        assert layout.header_bytes + sum(
+            span.nbytes for span in layout.planes
+        ) == len(data)
+        assert {span.name for span in layout.planes} == set(
+            encoded.arrays
+        )
+
+    def test_overhead_is_constant_per_format(self, matrix):
+        for name in ALL_FORMATS:
+            codec = get_format(name)
+            overhead = frame_overhead_bytes(name)
+            assert overhead > 0
+            encoded = codec.encode(matrix)
+            payload = sum(
+                np.asarray(a).nbytes for a in encoded.arrays.values()
+            )
+            assert len(frame(encoded)) == payload + overhead
+
+
+# ----------------------------------------------------------------------
+# Detection in strict mode
+# ----------------------------------------------------------------------
+class TestStrictDetection:
+    def test_payload_bitflip_caught_by_crc(self, any_format, matrix):
+        encoded = any_format.encode(matrix)
+        data = bytearray(frame(encoded))
+        layout = frame_layout(bytes(data))
+        data[layout.header_bytes] ^= 0x10  # first payload byte
+        with pytest.raises(FormatIntegrityError) as excinfo:
+            unframe(bytes(data))
+        assert excinfo.value.kind == "crc"
+
+    def test_header_bitflip_caught(self, matrix):
+        data = bytearray(frame(get_format("coo").encode(matrix)))
+        data[6] ^= 0x01  # inside the format-name field
+        with pytest.raises(FormatIntegrityError):
+            unframe(bytes(data))
+
+    def test_truncation_caught_without_crc(self, matrix):
+        data = frame(get_format("csr").encode(matrix))
+        with pytest.raises(FormatIntegrityError) as excinfo:
+            unframe(data[:-3], verify_crc=False)
+        assert excinfo.value.kind == "truncation"
+
+    def test_trailing_garbage_caught(self, matrix):
+        data = frame(get_format("csr").encode(matrix))
+        with pytest.raises(FormatIntegrityError):
+            unframe(data + b"\x00\x01", verify_crc=False)
+
+    def test_not_a_frame(self):
+        with pytest.raises(FormatIntegrityError):
+            unframe(b"XXXX not a frame at all")
+
+
+# ----------------------------------------------------------------------
+# Repair / lenient modes
+# ----------------------------------------------------------------------
+class TestRepairMode:
+    def test_truncated_frame_repairs(self, matrix):
+        encoded = get_format("csr").encode(matrix)
+        data = frame(encoded)
+        restored, report = unframe(data[:-5], mode="repair")
+        assert report  # actions were taken
+        assert restored.format_name == "csr"
+        # the repaired stream decodes without escaping the taxonomy
+        try:
+            safe_decode(restored, mode="repair")
+        except CopernicusError:
+            pass
+
+    def test_lenient_equals_strict_on_clean_input(
+        self, any_format, matrix
+    ):
+        encoded = any_format.encode(matrix)
+        data = frame(encoded)
+        strict, _ = decode_framed(data, mode="strict")
+        lenient, report = decode_framed(data, mode="lenient")
+        assert not report
+        assert strict == lenient
+
+    def test_repair_clean_input_is_identity(self, any_format, matrix):
+        encoded = any_format.encode(matrix)
+        repaired, report = repair_encoding(encoded)
+        assert not report.actions
+        assert repaired is encoded
+
+    def test_repair_fixes_out_of_bounds_index(self, matrix):
+        encoded = get_format("coo").encode(matrix)
+        cols = encoded.array("cols").copy()
+        cols[0] = 9999
+        damaged = EncodedMatrix(
+            format_name="coo",
+            shape=encoded.shape,
+            arrays={**dict(encoded.arrays), "cols": cols},
+            nnz=encoded.nnz,
+        )
+        repaired, report = repair_encoding(damaged)
+        assert report.actions
+        from repro.formats.validate import validate_encoding
+
+        validate_encoding(repaired)
+
+    def test_unknown_format_is_unrepairable(self, matrix):
+        encoded = get_format("coo").encode(matrix)
+        alien = EncodedMatrix(
+            format_name="alien",
+            shape=encoded.shape,
+            arrays=dict(encoded.arrays),
+            nnz=encoded.nnz,
+        )
+        with pytest.raises(FormatIntegrityError) as excinfo:
+            repair_encoding(alien)
+        assert excinfo.value.kind == "unrepairable"
+
+    def test_unknown_mode_rejected(self, matrix):
+        encoded = get_format("coo").encode(matrix)
+        with pytest.raises(FormatError):
+            safe_decode(encoded, mode="optimistic")
+        assert "optimistic" not in DECODE_MODES
+
+
+# ----------------------------------------------------------------------
+# Meta-aware codec resolution
+# ----------------------------------------------------------------------
+class TestFormatFor:
+    def test_non_default_parameters_round_trip(self):
+        matrix = band_matrix(20, 6, seed=2)
+        for name, kwargs in (
+            ("bcsr", {"block_size": 2}),
+            ("sell", {"slice_height": 2}),
+            ("sell-c-sigma", {"slice_height": 2, "sigma": 4}),
+            ("ell+coo", {"width": 1}),
+        ):
+            codec = get_format(name, **kwargs)
+            encoded = codec.encode(matrix)
+            resolved = format_for(encoded)
+            assert resolved.decode(encoded) == matrix
+
+    def test_framed_non_default_parameters_round_trip(self):
+        matrix = band_matrix(20, 6, seed=2)
+        codec = get_format("sell-c-sigma", slice_height=2, sigma=4)
+        encoded = codec.encode(matrix)
+        decoded, report = decode_framed(frame(encoded))
+        assert not report
+        assert decoded == matrix
+
+
+# ----------------------------------------------------------------------
+# Allocation guard
+# ----------------------------------------------------------------------
+class TestAllocationGuard:
+    def test_implausible_plane_size_rejected(self, matrix):
+        encoded = get_format("dense").encode(matrix)
+        layout = frame_layout(frame(encoded))
+        span = layout.planes[0]
+        from repro.formats.integrity import _guard_alloc
+
+        with pytest.raises(FormatIntegrityError) as excinfo:
+            _guard_alloc(
+                10**12,
+                span.nbytes,
+                format_name="dense",
+                plane=span.name,
+            )
+        assert excinfo.value.kind == "implausible"

@@ -5,9 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import FormatError
-from repro.formats import EncodedMatrix, get_format
-from repro.formats.validate import validate_encoding
+from repro.errors import FormatError, FormatIntegrityError
+from repro.formats import ALL_FORMATS, EncodedMatrix, get_format
+from repro.formats.validate import VALIDATED_FORMATS, validate_encoding
 from repro.matrix import SparseMatrix
 from repro.workloads import random_matrix
 
@@ -113,6 +113,135 @@ class TestCorruptionsCaught:
                         value=encoded.array("values"), nnz=999)
             )
 
-    def test_unvalidated_formats_pass_trivially(self):
-        encoded = self.encoded("jds")
-        validate_encoding(encoded)  # no structural validator: no raise
+    def test_every_registered_format_is_validated(self):
+        assert set(VALIDATED_FORMATS) == set(ALL_FORMATS)
+
+    def test_unknown_formats_pass_trivially(self):
+        encoded = self.encoded("coo")
+        alien = EncodedMatrix(
+            format_name="not-registered",
+            shape=encoded.shape,
+            arrays=dict(encoded.arrays),
+            nnz=encoded.nnz,
+        )
+        validate_encoding(alien)  # no structural validator: no raise
+
+
+class TestCoordinateInvariants:
+    """Sorted/duplicate coordinate checks for COO and DOK."""
+
+    def encoded(self, name: str):
+        return get_format(name).encode(random_matrix(12, 0.3, seed=0))
+
+    def test_coo_unsorted_rows_rejected(self):
+        encoded = self.encoded("coo")
+        rows = encoded.array("rows").copy()
+        rows[0], rows[-1] = rows[-1], rows[0]
+        with pytest.raises(FormatIntegrityError) as excinfo:
+            validate_encoding(corrupt(encoded, "rows", value=rows))
+        assert excinfo.value.format_name == "coo"
+
+    def test_coo_duplicate_coordinate_rejected(self):
+        encoded = self.encoded("coo")
+        rows = encoded.array("rows").copy()
+        cols = encoded.array("cols").copy()
+        rows[1], cols[1] = rows[0], cols[0]
+        damaged = corrupt(encoded, "rows", value=rows)
+        damaged = corrupt(damaged, "cols", value=cols)
+        with pytest.raises(FormatIntegrityError):
+            validate_encoding(damaged)
+
+    def test_dok_duplicate_coordinate_rejected(self):
+        encoded = self.encoded("dok")
+        rows = encoded.array("rows").copy()
+        cols = encoded.array("cols").copy()
+        rows[1], cols[1] = rows[0], cols[0]
+        damaged = corrupt(encoded, "rows", value=rows)
+        damaged = corrupt(damaged, "cols", value=cols)
+        with pytest.raises(FormatIntegrityError):
+            validate_encoding(damaged)
+
+
+class TestPaddingInvariants:
+    """ELL / SELL padding-slot consistency."""
+
+    def encoded(self, name: str):
+        return get_format(name).encode(random_matrix(12, 0.3, seed=0))
+
+    def _break_padding(self, encoded):
+        values = encoded.array("values").copy()
+        indices = encoded.array("indices").copy()
+        padding = values == 0.0
+        if not padding.any():
+            pytest.skip("no padding slot in this encoding")
+        slot = np.transpose(np.nonzero(padding))[0]
+        indices[tuple(slot)] = 3  # padding slot must carry index 0
+        return corrupt(encoded, "indices", value=indices)
+
+    def test_ell_padding_slot_index_must_be_zero(self):
+        with pytest.raises(FormatIntegrityError) as excinfo:
+            validate_encoding(self._break_padding(self.encoded("ell")))
+        assert excinfo.value.kind == "padding"
+
+    def test_sell_padding_slot_index_must_be_zero(self):
+        with pytest.raises(FormatIntegrityError):
+            validate_encoding(self._break_padding(self.encoded("sell")))
+
+
+class TestDiaInvariants:
+    def encoded(self):
+        return get_format("dia").encode(random_matrix(12, 0.3, seed=0))
+
+    def test_duplicate_offsets_rejected(self):
+        encoded = self.encoded()
+        offsets = encoded.array("offsets").copy()
+        if offsets.size < 2:
+            pytest.skip("need two diagonals")
+        offsets[1] = offsets[0]
+        with pytest.raises(FormatIntegrityError) as excinfo:
+            validate_encoding(corrupt(encoded, "offsets", value=offsets))
+        assert excinfo.value.format_name == "dia"
+
+
+class TestJdsInvariants:
+    def encoded(self):
+        return get_format("jds").encode(random_matrix(12, 0.3, seed=0))
+
+    def test_non_bijective_permutation_rejected(self):
+        encoded = self.encoded()
+        perm = encoded.array("perm").copy()
+        perm[1] = perm[0]
+        with pytest.raises(FormatIntegrityError):
+            validate_encoding(corrupt(encoded, "perm", value=perm))
+
+    def test_increasing_jd_lengths_rejected(self):
+        encoded = self.encoded()
+        lengths = encoded.array("jd_lengths").copy()
+        if lengths.size < 2:
+            pytest.skip("need two jagged diagonals")
+        lengths[-1] = lengths[0] + 1
+        with pytest.raises(FormatIntegrityError):
+            validate_encoding(
+                corrupt(encoded, "jd_lengths", value=lengths)
+            )
+
+
+class TestErrorTaxonomy:
+    """FormatIntegrityError carries the failing format, check and plane."""
+
+    def test_fields_populated(self):
+        encoded = get_format("csr").encode(random_matrix(12, 0.3, seed=0))
+        indices = encoded.array("indices").copy()
+        indices[0] = 99
+        with pytest.raises(FormatIntegrityError) as excinfo:
+            validate_encoding(corrupt(encoded, "indices", value=indices))
+        error = excinfo.value
+        assert error.format_name == "csr"
+        assert error.plane == "indices"
+        assert error.check
+        assert error.kind == "bounds"
+        assert "csr" in str(error)
+
+    def test_is_a_format_error(self):
+        # pre-existing `except FormatError` call sites keep working
+        assert issubclass(FormatIntegrityError, FormatError)

@@ -1,0 +1,101 @@
+"""IntegrityCheckModel: cycle charging and pipeline wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware import (
+    DEFAULT_CONFIG,
+    HardwareConfig,
+    IntegrityCheckModel,
+    StreamingPipeline,
+    trace_pipeline,
+)
+from repro.hardware.decompressors import MODELED_FORMATS
+from repro.partition import profile_table
+from repro.workloads import random_matrix
+
+
+@pytest.fixture(scope="module")
+def checked_config() -> HardwareConfig:
+    return HardwareConfig(partition_size=8, integrity_check=True)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return profile_table(random_matrix(64, 0.08, seed=2), 8)
+
+
+class TestModel:
+    def test_check_cycles_scale_with_bytes(self, checked_config):
+        model = IntegrityCheckModel(checked_config)
+        assert model.check_cycles(0) < model.check_cycles(4096)
+
+    def test_checked_transfer_never_faster(self, checked_config):
+        model = IntegrityCheckModel(checked_config)
+        for transfer, nbytes in ((10, 64), (1000, 64), (10, 4096)):
+            assert (
+                model.checked_transfer_cycles(transfer, nbytes) > transfer
+            )
+
+    def test_header_cycles_floor(self, checked_config):
+        model = IntegrityCheckModel(checked_config)
+        # even a zero-byte transfer pays the header check
+        assert model.checked_transfer_cycles(0, 0) >= (
+            checked_config.integrity_header_cycles
+        )
+
+    def test_batch_matches_scalar(self, checked_config):
+        model = IntegrityCheckModel(checked_config)
+        transfers = np.array([3, 70, 1500, 0], dtype=np.int64)
+        sizes = np.array([16, 512, 4096, 0], dtype=np.int64)
+        batch = model.checked_transfer_cycles_batch(transfers, sizes)
+        scalar = [
+            model.checked_transfer_cycles(int(t), int(b))
+            for t, b in zip(transfers, sizes)
+        ]
+        assert batch.tolist() == scalar
+
+
+class TestConfigFields:
+    def test_defaults_off(self):
+        assert DEFAULT_CONFIG.integrity_check is False
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(HardwareConfigError):
+            HardwareConfig(crc_bytes_per_cycle=0)
+        with pytest.raises(HardwareConfigError):
+            HardwareConfig(integrity_header_cycles=-1)
+
+
+class TestPipelineWiring:
+    @pytest.mark.parametrize("name", sorted(MODELED_FORMATS))
+    def test_check_slows_memory_stage(self, name, table, checked_config):
+        base_config = HardwareConfig(partition_size=8)
+        base = StreamingPipeline(base_config, name).run(table)
+        checked = StreamingPipeline(checked_config, name).run(table)
+        assert checked.total_cycles > base.total_cycles
+        assert checked.memory_cycles > base.memory_cycles
+        # compute is untouched: the check rides the memory-read stage
+        assert checked.compute_cycles == base.compute_cycles
+
+    @pytest.mark.parametrize("name", sorted(MODELED_FORMATS))
+    def test_batch_equals_scalar_with_check(
+        self, name, table, checked_config
+    ):
+        pipeline = StreamingPipeline(checked_config, name)
+        batch = pipeline.run(table)
+        scalar = pipeline.run_scalar(table)
+        assert batch.total_cycles == scalar.total_cycles
+        assert batch.memory_cycles == scalar.memory_cycles
+
+    def test_trace_agrees_with_pipeline_memory_stage(
+        self, table, checked_config
+    ):
+        result = StreamingPipeline(checked_config, "csr").run(table)
+        trace = trace_pipeline(checked_config, "csr", table)
+        assert [
+            interval.duration for interval in trace.memory
+        ] == result.memory_per_partition.tolist()

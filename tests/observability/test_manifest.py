@@ -40,7 +40,8 @@ GOLDEN_CELL_FIELDS = {
     "type", "index", "workload", "format", "partition_size",
     "cache_key", "wall_s", "total_cycles", "memory_cycles",
     "compute_cycles", "decompress_cycles", "sigma", "balance_ratio",
-    "total_bytes", "bandwidth_utilization",
+    "total_bytes", "framed_total_bytes", "framing_overhead_bytes",
+    "bandwidth_utilization",
 }
 GOLDEN_SUMMARY_FIELDS = {"type", "cells", "wall_s", "cache", "metrics"}
 GOLDEN_FAILED_CELL_FIELDS = {
@@ -76,7 +77,7 @@ class TestGoldenSchema:
         header = json.loads(manifest_path.read_text().splitlines()[0])
         assert set(header) == GOLDEN_HEADER_FIELDS
         assert header["kind"] == MANIFEST_KIND
-        assert header["schema"] == SCHEMA_VERSION == 1
+        assert header["schema"] == SCHEMA_VERSION == 2
         assert header["n_cells"] == 8
         assert header["formats"] == ["csr", "coo"]
         assert header["partition_sizes"] == [8, 16]
@@ -100,6 +101,14 @@ class TestGoldenSchema:
             assert record["partition_size"] == result.partition_size
             assert record["total_cycles"] == result.total_cycles
             assert record["sigma"] == pytest.approx(result.sigma)
+            assert (
+                record["framing_overhead_bytes"]
+                == result.framing_overhead_bytes
+                > 0
+            )
+            assert record["framed_total_bytes"] == (
+                result.total_bytes + result.framing_overhead_bytes
+            )
             assert record["wall_s"] >= 0.0
             assert len(record["cache_key"]) == 32  # blake2b-128 hex
 

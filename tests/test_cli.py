@@ -220,6 +220,50 @@ class TestObservabilityCli:
         assert "Traceback" not in err
 
 
+class TestIntegrityCli:
+    def test_integrity_campaign(self, capsys):
+        out = run_cli(
+            capsys, "integrity", "--random", "48", "--density", "0.1",
+            "-f", "csr", "-f", "coo", "--injections", "10",
+        )
+        assert "Integrity campaign" in out
+        assert "csr" in out and "coo" in out
+        assert "bitflip" in out and "truncate" in out
+        assert "0 uncaught" in out
+
+    def test_integrity_emit_json(self, capsys, tmp_path):
+        import json
+
+        artifact = tmp_path / "coverage.json"
+        out = run_cli(
+            capsys, "integrity", "--random", "32", "--density", "0.1",
+            "-f", "csr", "--injections", "5", "--kinds", "bitflip",
+            "--emit", str(artifact),
+        )
+        assert f"coverage report written to {artifact}" in out
+        payload = json.loads(artifact.read_text())
+        assert payload["total_uncaught"] == 0
+        assert [f["format"] for f in payload["formats"]] == ["csr"]
+
+    def test_integrity_deterministic_output(self, capsys):
+        argv = (
+            "integrity", "--random", "32", "--density", "0.1",
+            "-f", "ell", "--injections", "8", "--seed", "3",
+        )
+        assert run_cli(capsys, *argv) == run_cli(capsys, *argv)
+
+    def test_sweep_integrity_check_flag(self, capsys):
+        out = run_cli(
+            capsys, "sweep", "--group", "band", "--partitions", "8",
+            "--integrity-check",
+        )
+        assert "band-64" in out
+
+    def test_integrity_rejects_unknown_format(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["integrity", "--random", "32", "-f", "bogus"])
+
+
 class TestParser:
     def test_parser_builds(self):
         parser = build_parser()

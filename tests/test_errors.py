@@ -7,6 +7,7 @@ import pytest
 from repro.errors import (
     CopernicusError,
     FormatError,
+    FormatIntegrityError,
     HardwareConfigError,
     PartitionError,
     ShapeError,
@@ -33,6 +34,27 @@ class TestHierarchy:
 
     def test_unknown_format_is_a_format_error(self):
         assert issubclass(UnknownFormatError, FormatError)
+
+    def test_integrity_error_is_a_format_error(self):
+        # pre-existing `except FormatError` handlers keep catching
+        # integrity failures after the taxonomy migration
+        assert issubclass(FormatIntegrityError, FormatError)
+
+    def test_integrity_error_carries_taxonomy_fields(self):
+        error = FormatIntegrityError(
+            "csr stream failed crc",
+            format_name="csr",
+            plane="indices",
+            check="crc32",
+            kind="crc",
+            offset=17,
+        )
+        assert error.format_name == "csr"
+        assert error.plane == "indices"
+        assert error.check == "crc32"
+        assert error.kind == "crc"
+        assert error.offset == 17
+        assert "crc" in str(error)
 
     def test_unknown_format_message(self):
         error = UnknownFormatError("xyz", ("csr", "coo"))
