@@ -19,6 +19,9 @@ Everything the library computes is reachable from the shell::
     python -m repro stats run.jsonl --against baseline.jsonl
     python -m repro integrity --random 64 --density 0.08 --injections 50
     python -m repro advise --standin KR
+    python -m repro serve --port 8787 --budget-s 5
+    python -m repro loadgen --port 8787 --mix hot --requests 200
+    python -m repro loadgen --spawn --requests 200 --seed 7
 
 Each sub-command builds its workload, runs the characterization core,
 and prints plain-text tables (``repro.analysis``).
@@ -312,8 +315,25 @@ def _cmd_integrity(args: argparse.Namespace) -> str:
 
 
 def _cmd_stats(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from .errors import ManifestError
     from .observability import read_manifest
 
+    # fail with a per-argument message before read_manifest's generic
+    # one: with --against the user needs to know *which* path is bad
+    hint = (
+        "pass a JSON-lines manifest written by "
+        "`repro sweep --emit-metrics PATH`"
+    )
+    if not Path(args.manifest).is_file():
+        raise ManifestError(
+            f"manifest not found: {args.manifest} ({hint})"
+        )
+    if args.against is not None and not Path(args.against).is_file():
+        raise ManifestError(
+            f"--against baseline not found: {args.against} ({hint})"
+        )
     manifest = read_manifest(args.manifest)
     if args.against is not None:
         baseline = read_manifest(args.against)
@@ -438,6 +458,121 @@ def _cmd_advise(args: argparse.Namespace) -> str:
         title=f"Format recommendation for {name} (1 = best)",
     )
     return table + f"\n\nrecommended format: {scores[0].format_name}"
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    import asyncio
+
+    from .serve import CharacterizationServer
+
+    async def _run() -> None:
+        server = CharacterizationServer(
+            args.host,
+            args.port,
+            max_inflight=args.max_inflight,
+            queue_limit=args.queue_limit,
+            budget_s=args.budget_s,
+            cache_size=args.cache_size,
+            max_dim=args.max_dim,
+            faults=args.inject_faults,
+        )
+        await server.start()
+        print(
+            f"serving on http://{server.host}:{server.port}  "
+            "(POST /characterize, POST /advise, GET /metrics, "
+            "GET /healthz; Ctrl-C stops)",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    return "server stopped"
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> str:
+    import asyncio
+    import json
+    from pathlib import Path
+
+    from .errors import LoadGenError
+    from .serve import CharacterizationServer
+    from .serve.loadgen import run_loadgen
+
+    async def _run() -> dict:
+        server = None
+        host, port = args.host, args.port
+        if args.spawn:
+            server = CharacterizationServer(
+                host,
+                0,
+                max_inflight=args.max_inflight,
+                budget_s=args.budget_s,
+            )
+            await server.start()
+            port = server.port
+        elif port is None:
+            raise LoadGenError(
+                "pass --port of a running `repro serve`, or --spawn "
+                "to boot a private server for the run"
+            )
+        try:
+            return await run_loadgen(
+                host,
+                port,
+                mix=args.mix,
+                requests=args.requests,
+                seed=args.seed,
+                concurrency=args.concurrency,
+            )
+        finally:
+            if server is not None:
+                await server.aclose()
+
+    report = asyncio.run(_run())
+    path = Path(args.output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    if args.require_zero_5xx and report["n_5xx"]:
+        raise LoadGenError(
+            f"{report['n_5xx']} of {report['requests']} responses "
+            f"were 5xx (statuses: {report['statuses']})"
+        )
+    server_stats = report["server"]
+    if args.require_coalesce and server_stats["coalesce_hits"] == 0:
+        raise LoadGenError(
+            "no request coalesced onto an in-flight computation; "
+            "expected coalesce hits under this mix "
+            f"({report['mix']}, concurrency {report['concurrency']})"
+        )
+    latency = report["latency_ms"]
+    lines = [
+        f"mix={report['mix']} requests={report['requests']} "
+        f"seed={report['seed']} concurrency={report['concurrency']}",
+        f"throughput: {report['throughput_rps']:.1f} req/s "
+        f"over {report['wall_s']:.2f}s",
+        "latency ms: "
+        f"p50={latency['p50']:.2f} p90={latency['p90']:.2f} "
+        f"p99={latency['p99']:.2f} max={latency['max']:.2f}",
+        f"statuses: {report['statuses']} (5xx: {report['n_5xx']}, "
+        f"degraded: {report['n_degraded']})",
+        f"sources: {report['sources']}",
+        "server: "
+        f"coalesce {server_stats['coalesce_hits']} hits "
+        f"({server_stats['coalesce_hit_rate']:.0%}), "
+        f"cache {server_stats['cache_hits']} hits "
+        f"({server_stats['cache_hit_rate']:.0%}), "
+        f"{server_stats['computations']} backend computations",
+        f"report written to {path}",
+    ]
+    return "\n".join(lines)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -606,6 +741,106 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(advise)
     advise.set_defaults(handler=_cmd_advise)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the characterization query server (HTTP/JSON)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8787,
+        help="bind port; 0 picks an ephemeral port (default 8787)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=4,
+        help="concurrent backend computations (default 4)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="computations allowed to queue before new work is "
+        "refused with 429 (default 16)",
+    )
+    serve.add_argument(
+        "--budget-s", type=float, default=None, metavar="SECONDS",
+        help="per-request time budget; over budget a request degrades "
+        "to an approximate answer instead of hanging "
+        "(default: no budget)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="LRU result-cache capacity in entries (default 256)",
+    )
+    serve.add_argument(
+        "--max-dim", type=int, default=2048,
+        help="largest workload dimension a query may ask for "
+        "(default 2048)",
+    )
+    serve.add_argument(
+        # deterministic fault injection into every backend sweep;
+        # robustness testing only (see repro.engine.faults)
+        "--inject-faults", metavar="SPECS", default=None,
+        help=argparse.SUPPRESS,
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="replay a seeded traffic mix against a serve instance",
+    )
+    loadgen.add_argument(
+        "--host", default="127.0.0.1", help="server address"
+    )
+    loadgen.add_argument(
+        "--port", type=int, default=None,
+        help="server port (omit with --spawn)",
+    )
+    loadgen.add_argument(
+        "--spawn", action="store_true",
+        help="boot a private in-process server for this run instead "
+        "of targeting a running one",
+    )
+    loadgen.add_argument(
+        "--mix", choices=("hot", "unique", "mixed"), default="mixed",
+        help="traffic mix: hot = hot-key skew, unique = all-miss "
+        "flood, mixed = both plus /advise traffic (default mixed)",
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=200,
+        help="requests to send (default 200)",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=7,
+        help="traffic-plan seed; same (mix, requests, seed) replays "
+        "identical traffic (default 7)",
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=8,
+        help="client connections in flight (default 8)",
+    )
+    loadgen.add_argument(
+        "--max-inflight", type=int, default=4,
+        help="backend concurrency of the --spawn server (default 4)",
+    )
+    loadgen.add_argument(
+        "--budget-s", type=float, default=None, metavar="SECONDS",
+        help="request budget of the --spawn server (default: none)",
+    )
+    loadgen.add_argument(
+        "--output", metavar="PATH", default="BENCH_serve.json",
+        help="bench_serve/v1 report path (default BENCH_serve.json)",
+    )
+    loadgen.add_argument(
+        "--require-zero-5xx", action="store_true",
+        help="exit non-zero if any response was a 5xx (CI gate)",
+    )
+    loadgen.add_argument(
+        "--require-coalesce", action="store_true",
+        help="exit non-zero if no request coalesced onto an "
+        "in-flight computation (CI gate)",
+    )
+    loadgen.set_defaults(handler=_cmd_loadgen)
 
     bench = commands.add_parser(
         "bench",

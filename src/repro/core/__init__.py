@@ -10,7 +10,14 @@ from .integrity import (
     classify_damaged_frame,
     run_integrity_campaign,
 )
-from .recommend import Constraints, Objective, Recommendation, recommend
+from .recommend import (
+    OBJECTIVES,
+    Constraints,
+    Objective,
+    Recommendation,
+    recommend,
+    recommend_from_results,
+)
 from .results import CharacterizationResult
 from .simulator import SpmvSimulator, characterize
 from .store import (
@@ -40,10 +47,12 @@ __all__ = [
     "KindCoverage",
     "classify_damaged_frame",
     "run_integrity_campaign",
+    "OBJECTIVES",
     "Constraints",
     "Objective",
     "Recommendation",
     "recommend",
+    "recommend_from_results",
     "CharacterizationResult",
     "SpmvSimulator",
     "characterize",

@@ -20,7 +20,14 @@ from ..partition import PARTITION_SIZES
 from .results import CharacterizationResult
 from .simulator import SpmvSimulator
 
-__all__ = ["Objective", "Constraints", "Recommendation", "recommend"]
+__all__ = [
+    "OBJECTIVES",
+    "Objective",
+    "Constraints",
+    "Recommendation",
+    "recommend",
+    "recommend_from_results",
+]
 
 #: Result attribute and direction per objective name.
 _OBJECTIVES: dict[str, tuple[str, bool]] = {
@@ -31,6 +38,9 @@ _OBJECTIVES: dict[str, tuple[str, bool]] = {
     "energy": ("energy_j", False),
     "power": ("dynamic_power_w", False),
 }
+
+#: The recognized objective names, in declaration order.
+OBJECTIVES: tuple[str, ...] = tuple(_OBJECTIVES)
 
 
 @dataclass(frozen=True)
@@ -122,19 +132,38 @@ def recommend(
     violating ``constraints`` are excluded, and the survivor optimizing
     ``objective`` wins.
     """
-    goal = Objective(objective)
-    budget = constraints or Constraints()
-    feasible: list[CharacterizationResult] = []
-    rejected: list[CharacterizationResult] = []
+    results: list[CharacterizationResult] = []
     for p in partition_sizes:
         simulator = SpmvSimulator(base_config.with_partition_size(p))
         profiles = simulator.profiles(matrix)
         for name in formats:
-            result = simulator.run_format(name, profiles, workload="")
-            if budget.admits(result):
-                feasible.append(result)
-            else:
-                rejected.append(result)
+            results.append(
+                simulator.run_format(name, profiles, workload="")
+            )
+    return recommend_from_results(results, objective, constraints)
+
+
+def recommend_from_results(
+    results: Sequence[CharacterizationResult],
+    objective: str = "latency",
+    constraints: Constraints | None = None,
+) -> Recommendation:
+    """Rank already-characterized design points.
+
+    The constraint/objective half of :func:`recommend`, split out so
+    callers that computed the characterization elsewhere — the sweep
+    engine, the characterization server's cached results — can reuse
+    the decision procedure without re-simulating.
+    """
+    goal = Objective(objective)
+    budget = constraints or Constraints()
+    feasible: list[CharacterizationResult] = []
+    rejected: list[CharacterizationResult] = []
+    for result in results:
+        if budget.admits(result):
+            feasible.append(result)
+        else:
+            rejected.append(result)
     if not feasible:
         raise SimulationError(
             "no (format, partition) combination satisfies the "

@@ -41,6 +41,7 @@ from .grid import (
     build_grid,
 )
 from .runner import ERROR_POLICIES, SweepRunner, run_sweep
+from .singleflight import SingleFlight, SingleFlightStats
 from .specs import WorkloadSpec
 from .telemetry import CellTelemetry, RunTelemetry, workload_recipe_digest
 
@@ -63,6 +64,8 @@ __all__ = [
     "ERROR_POLICIES",
     "SweepRunner",
     "run_sweep",
+    "SingleFlight",
+    "SingleFlightStats",
     "WorkloadSpec",
     "CellTelemetry",
     "RunTelemetry",

@@ -148,6 +148,43 @@ class CheckpointError(CopernicusError):
     """A sweep checkpoint file could not be written, read or trusted."""
 
 
+class ServeError(CopernicusError):
+    """The characterization server (or its client) failed.
+
+    Every subclass carries an HTTP ``status`` so the server can map a
+    raised error to a structured JSON response without inspecting
+    types, and so the taxonomy doubles as the wire contract: the
+    ``error.type`` field of a ``serve/v1`` error payload is the
+    exception class name.
+    """
+
+    status: int = 500
+
+
+class ServeRequestError(ServeError):
+    """A query was malformed or referenced unknown formats/workloads."""
+
+    status = 400
+
+
+class ServeOverloadedError(ServeError):
+    """Admission control rejected the request (queue full)."""
+
+    status = 429
+
+
+class ServeBudgetError(ServeError):
+    """The per-request time budget expired with no degradable answer."""
+
+    status = 504
+
+
+class LoadGenError(ServeError):
+    """The load generator could not complete, or a --require gate failed."""
+
+    status = 500
+
+
 class SweepCellError(SimulationError):
     """One cell of a sweep grid failed.
 

@@ -15,6 +15,7 @@ produced.  This package provides:
   and diffed by ``python -m repro stats``.
 """
 
+from .export import METRICS_SCHEMA, metrics_payload
 from .manifest import (
     MANIFEST_KIND,
     SCHEMA_VERSION,
@@ -32,6 +33,8 @@ from .metrics import (
 )
 
 __all__ = [
+    "METRICS_SCHEMA",
+    "metrics_payload",
     "MANIFEST_KIND",
     "SCHEMA_VERSION",
     "Manifest",

@@ -1,0 +1,52 @@
+"""Versioned metrics export payloads (the ``GET /metrics`` contract).
+
+The :class:`~repro.observability.MetricsRegistry` snapshot is an
+internal shape; anything crossing an HTTP boundary needs an explicit
+schema so dashboards and load tests can rely on it.  This module wraps
+a registry snapshot in a ``metrics/v1`` envelope — counters, timers
+and the most recent spans, plus a caller-supplied ``extra`` block for
+subsystem gauges (cache occupancy, in-flight request counts) that are
+point-in-time state rather than monotonic series.
+
+Like the manifest schema, any backwards-incompatible field change must
+bump :data:`METRICS_SCHEMA`; the golden-schema suite pins the field
+sets.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .metrics import MetricsRegistry
+
+__all__ = ["METRICS_SCHEMA", "metrics_payload"]
+
+#: Version tag of the export envelope; bump on incompatible change.
+METRICS_SCHEMA = "metrics/v1"
+
+#: Spans included in a payload (most recent first); registries can
+#: hold many more, but an HTTP response should stay bounded.
+MAX_EXPORTED_SPANS = 256
+
+
+def metrics_payload(
+    registry: MetricsRegistry,
+    extra: Mapping | None = None,
+    max_spans: int = MAX_EXPORTED_SPANS,
+) -> dict:
+    """JSON-serializable ``metrics/v1`` view of one registry.
+
+    ``extra`` carries subsystem gauges alongside the registry data;
+    spans are truncated to the ``max_spans`` most recent so payload
+    size stays bounded on long-running servers.
+    """
+    snapshot = registry.snapshot()
+    spans = snapshot["spans"]
+    return {
+        "schema": METRICS_SCHEMA,
+        "counters": snapshot["counters"],
+        "timers": snapshot["timers"],
+        "spans": spans[-max_spans:][::-1],
+        "n_spans_total": len(spans),
+        "extra": dict(extra or {}),
+    }

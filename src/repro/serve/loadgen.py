@@ -1,0 +1,437 @@
+"""Deterministic load generator for the characterization server.
+
+``repro loadgen`` replays a seeded traffic mix against a running
+``repro serve`` instance and writes a ``bench_serve/v1`` report with
+latency percentiles, throughput, and the server-side coalesce/cache
+hit rates (measured as ``GET /metrics`` counter deltas, so a shared
+server with prior traffic still reports this run's rates).
+
+Traffic mixes (:data:`MIXES`):
+
+* ``hot`` — heavy hot-key skew over a pool of
+  :data:`HOT_POOL_SIZE` distinct queries (Zipf-ish weights), the
+  coalescing/caching best case;
+* ``unique`` — every request carries a never-before-seen workload
+  seed, so every digest misses: the cache-flood worst case;
+* ``mixed`` — hot and unique ``/characterize`` traffic interleaved
+  with hot ``/advise`` traffic, the realistic middle.
+
+Everything is driven by one ``random.Random(seed)``: the same
+``(mix, requests, seed)`` triple plans the identical request sequence
+every run, which is what makes the CI smoke's assertions (zero 5xx,
+coalesce-hit rate above zero on hot traffic) reproducible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass
+from random import Random
+
+from ..errors import LoadGenError
+from .protocol import canonical_json
+
+__all__ = [
+    "BENCH_SERVE_SCHEMA",
+    "MIXES",
+    "PlannedRequest",
+    "RequestOutcome",
+    "plan_requests",
+    "http_request",
+    "fetch_metrics",
+    "run_load",
+    "run_loadgen",
+    "bench_report",
+    "percentile",
+]
+
+#: Version tag of the loadgen report; bump on incompatible change.
+BENCH_SERVE_SCHEMA = "bench_serve/v1"
+
+#: The traffic-mix grammar accepted by ``repro loadgen --mix``.
+MIXES = ("hot", "unique", "mixed")
+
+#: Distinct queries in the hot pool (skew-weighted).
+HOT_POOL_SIZE = 4
+
+#: Weight of hot-pool entry ``i`` is ``2 ** (HOT_POOL_SIZE - i)``:
+#: the hottest key draws half the hot traffic.
+_HOT_WEIGHTS = tuple(2 ** (HOT_POOL_SIZE - i) for i in range(HOT_POOL_SIZE))
+
+#: Client-side ceiling for one request round-trip.
+CLIENT_TIMEOUT_S = 120.0
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One request the generator will send, fixed at plan time."""
+
+    endpoint: str
+    payload: dict
+
+    def body(self) -> bytes:
+        return canonical_json(self.payload)
+
+
+# ----------------------------------------------------------------------
+# Traffic planning (pure, seeded)
+# ----------------------------------------------------------------------
+def _hot_pool(rng: Random) -> list[dict]:
+    """The mix's small pool of distinct workloads, sized for speed:
+    every entry stays well under a second of backend compute."""
+    pool: list[dict] = []
+    for _ in range(HOT_POOL_SIZE):
+        kind = rng.choice(("random", "band"))
+        if kind == "random":
+            workload = {
+                "kind": "random",
+                "n": rng.randrange(48, 97),
+                "density": round(rng.uniform(0.05, 0.2), 3),
+                "seed": rng.randrange(1000),
+            }
+        else:
+            workload = {
+                "kind": "band",
+                "n": rng.randrange(48, 97),
+                "width": rng.randrange(3, 9),
+                "seed": rng.randrange(1000),
+            }
+        pool.append(workload)
+    return pool
+
+
+def _pick_hot(rng: Random, pool: list[dict]) -> dict:
+    return rng.choices(pool, weights=_HOT_WEIGHTS, k=1)[0]
+
+
+def _unique_workload(rng: Random, index: int) -> dict:
+    # the seed folds in the request index so no two unique-mix
+    # requests (nor any hot-pool entry, which stays under seed 1000)
+    # ever share a digest
+    return {
+        "kind": "random",
+        "n": rng.randrange(48, 97),
+        "density": round(rng.uniform(0.05, 0.2), 3),
+        "seed": 1000 + index,
+    }
+
+
+_FORMATS = ["coo", "csr", "ell"]
+_PARTITIONS = [8, 16]
+
+
+def _characterize(workload: dict) -> PlannedRequest:
+    return PlannedRequest(
+        endpoint="characterize",
+        payload={
+            "workload": workload,
+            "formats": _FORMATS,
+            "partitions": _PARTITIONS,
+        },
+    )
+
+
+def _advise(workload: dict, objective: str) -> PlannedRequest:
+    return PlannedRequest(
+        endpoint="advise",
+        payload={
+            "workload": workload,
+            "formats": _FORMATS,
+            "partitions": _PARTITIONS,
+            "objective": objective,
+        },
+    )
+
+
+def plan_requests(
+    mix: str, n_requests: int, seed: int
+) -> list[PlannedRequest]:
+    """The full request sequence for ``(mix, n_requests, seed)``.
+
+    Pure and deterministic: planning happens before any I/O, so the
+    generated traffic is independent of server timing.
+    """
+    if mix not in MIXES:
+        raise LoadGenError(
+            f"unknown mix {mix!r}; choose from {', '.join(MIXES)}"
+        )
+    if n_requests < 1:
+        raise LoadGenError(
+            f"requests must be >= 1, got {n_requests}"
+        )
+    rng = Random(seed)
+    pool = _hot_pool(rng)
+    planned: list[PlannedRequest] = []
+    for index in range(n_requests):
+        if mix == "hot":
+            planned.append(_characterize(_pick_hot(rng, pool)))
+        elif mix == "unique":
+            planned.append(_characterize(_unique_workload(rng, index)))
+        else:  # mixed
+            draw = rng.random()
+            if draw < 0.5:
+                planned.append(_characterize(_pick_hot(rng, pool)))
+            elif draw < 0.75:
+                planned.append(
+                    _characterize(_unique_workload(rng, index))
+                )
+            else:
+                objective = rng.choice(("latency", "throughput"))
+                planned.append(
+                    _advise(_pick_hot(rng, pool), objective)
+                )
+    return planned
+
+
+# ----------------------------------------------------------------------
+# The HTTP client (stdlib asyncio streams, one connection per request)
+# ----------------------------------------------------------------------
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes = b"",
+    timeout_s: float = CLIENT_TIMEOUT_S,
+) -> tuple[int, dict, bytes]:
+    """One ``Connection: close`` round-trip; returns
+    ``(status, headers, body)``."""
+
+    async def _round_trip() -> tuple[int, dict, bytes]:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            request = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Content-Type: application/json\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1") + body
+            writer.write(request)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(maxsplit=2)
+            if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+                raise LoadGenError(
+                    f"malformed status line: {status_line!r}"
+                )
+            status = int(parts[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", 0))
+            payload = (
+                await reader.readexactly(length) if length else b""
+            )
+            return status, headers, payload
+        finally:
+            writer.close()
+
+    try:
+        return await asyncio.wait_for(_round_trip(), timeout=timeout_s)
+    except asyncio.TimeoutError:
+        raise LoadGenError(
+            f"{method} {path} exceeded the client timeout "
+            f"({timeout_s}s)"
+        ) from None
+    except (ConnectionError, asyncio.IncompleteReadError) as error:
+        raise LoadGenError(
+            f"{method} {path} failed: {type(error).__name__}: {error}"
+        ) from None
+
+
+async def fetch_metrics(host: str, port: int) -> dict:
+    """The server's live ``metrics/v1`` payload."""
+    status, _, body = await http_request(host, port, "GET", "/metrics")
+    if status != 200:
+        raise LoadGenError(
+            f"GET /metrics answered {status}, expected 200"
+        )
+    return json.loads(body)
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """What one planned request came back as."""
+
+    endpoint: str
+    status: int
+    latency_s: float
+    source: str
+    degraded: str
+
+
+async def run_load(
+    host: str,
+    port: int,
+    planned: list[PlannedRequest],
+    concurrency: int = 8,
+) -> tuple[list[RequestOutcome], float]:
+    """Replay ``planned`` with bounded client concurrency.
+
+    Returns per-request outcomes **in plan order** plus total wall
+    time.  Transport-level failures (connection refused, client
+    timeout) raise; HTTP error statuses are outcomes, not failures —
+    the report counts them.
+    """
+    if concurrency < 1:
+        raise LoadGenError(
+            f"concurrency must be >= 1, got {concurrency}"
+        )
+    gate = asyncio.Semaphore(concurrency)
+
+    async def _one(request: PlannedRequest) -> RequestOutcome:
+        async with gate:
+            start = time.perf_counter()
+            status, headers, _ = await http_request(
+                host, port, "POST", f"/{request.endpoint}",
+                request.body(),
+            )
+            return RequestOutcome(
+                endpoint=request.endpoint,
+                status=status,
+                latency_s=time.perf_counter() - start,
+                source=headers.get("x-copernicus-source", ""),
+                degraded=headers.get("x-copernicus-degraded", ""),
+            )
+
+    started = time.perf_counter()
+    outcomes = await asyncio.gather(*(_one(r) for r in planned))
+    return list(outcomes), time.perf_counter() - started
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def percentile(values: list[float], pct: float) -> float:
+    """Nearest-rank percentile of ``values`` (need not be sorted)."""
+    if not values:
+        raise LoadGenError("percentile of an empty sample")
+    if not 0 < pct <= 100:
+        raise LoadGenError(f"percentile must be in (0, 100], got {pct}")
+    ordered = sorted(values)
+    rank = math.ceil(pct / 100 * len(ordered))
+    return ordered[rank - 1]
+
+
+def _counter_delta(before: dict, after: dict, name: str) -> int:
+    return int(after["counters"].get(name, 0)) - int(
+        before["counters"].get(name, 0)
+    )
+
+
+def _rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def bench_report(
+    *,
+    mix: str,
+    seed: int,
+    concurrency: int,
+    outcomes: list[RequestOutcome],
+    wall_s: float,
+    metrics_before: dict,
+    metrics_after: dict,
+) -> dict:
+    """The ``bench_serve/v1`` report for one loadgen run."""
+    latencies_ms = [o.latency_s * 1000.0 for o in outcomes]
+    statuses: dict[str, int] = {}
+    sources: dict[str, int] = {}
+    for outcome in outcomes:
+        statuses[str(outcome.status)] = (
+            statuses.get(str(outcome.status), 0) + 1
+        )
+        if outcome.source:
+            sources[outcome.source] = sources.get(outcome.source, 0) + 1
+    coalesce_hits = _counter_delta(
+        metrics_before, metrics_after, "serve.coalesce.hits"
+    )
+    coalesce_misses = _counter_delta(
+        metrics_before, metrics_after, "serve.coalesce.misses"
+    )
+    cache_hits = _counter_delta(
+        metrics_before, metrics_after, "serve.cache.hits"
+    )
+    cache_misses = _counter_delta(
+        metrics_before, metrics_after, "serve.cache.misses"
+    )
+    return {
+        "schema": BENCH_SERVE_SCHEMA,
+        "mix": mix,
+        "seed": seed,
+        "requests": len(outcomes),
+        "concurrency": concurrency,
+        "wall_s": wall_s,
+        "throughput_rps": len(outcomes) / wall_s if wall_s else 0.0,
+        "latency_ms": {
+            "p50": percentile(latencies_ms, 50),
+            "p90": percentile(latencies_ms, 90),
+            "p99": percentile(latencies_ms, 99),
+            "mean": sum(latencies_ms) / len(latencies_ms),
+            "max": max(latencies_ms),
+        },
+        "statuses": statuses,
+        "n_5xx": sum(
+            count
+            for status, count in statuses.items()
+            if status.startswith("5")
+        ),
+        "n_degraded": sum(1 for o in outcomes if o.degraded),
+        "sources": sources,
+        "server": {
+            "coalesce_hits": coalesce_hits,
+            "coalesce_misses": coalesce_misses,
+            "coalesce_hit_rate": _rate(coalesce_hits, coalesce_misses),
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
+            "cache_hit_rate": _rate(cache_hits, cache_misses),
+            "computations": (
+                int(
+                    metrics_after["extra"]["server"]["computations"]
+                )
+                - int(
+                    metrics_before["extra"]["server"]["computations"]
+                )
+            ),
+        },
+    }
+
+
+async def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    mix: str = "mixed",
+    requests: int = 200,
+    seed: int = 7,
+    concurrency: int = 8,
+) -> dict:
+    """Plan, replay, and report one load-test run.
+
+    The full ``repro loadgen`` path minus argument parsing and file
+    output, so tests can drive it in-process.
+    """
+    planned = plan_requests(mix, requests, seed)
+    metrics_before = await fetch_metrics(host, port)
+    outcomes, wall_s = await run_load(
+        host, port, planned, concurrency=concurrency
+    )
+    metrics_after = await fetch_metrics(host, port)
+    return bench_report(
+        mix=mix,
+        seed=seed,
+        concurrency=concurrency,
+        outcomes=outcomes,
+        wall_s=wall_s,
+        metrics_before=metrics_before,
+        metrics_after=metrics_after,
+    )

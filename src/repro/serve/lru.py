@@ -1,0 +1,83 @@
+"""Bounded LRU result cache for the characterization server.
+
+The engine's :class:`~repro.engine.cache.ContentKeyedCache` lives for
+one sweep and never evicts; a long-running server needs the opposite:
+a cache that survives across requests but holds a bounded number of
+entries.  Keys are query digests, values are the canonical response
+body bytes, so a cache hit is a pure memcpy-to-socket — no
+re-serialization, and byte-for-byte identical to the originally
+computed response.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, TypeVar
+
+from ..errors import ServeError
+
+__all__ = ["LRUCache"]
+
+V = TypeVar("V")
+
+
+class LRUCache:
+    """A fixed-capacity least-recently-used mapping with counters."""
+
+    def __init__(self, capacity: int) -> None:
+        if not isinstance(capacity, int) or isinstance(capacity, bool):
+            raise ServeError(
+                f"cache capacity must be an integer, got {capacity!r}"
+            )
+        if capacity < 1:
+            raise ServeError(
+                f"cache capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default: V | None = None) -> V | None:
+        """The cached value (freshened to most-recent) or ``default``."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return default
+
+    def peek(self, key: Hashable, default: V | None = None) -> V | None:
+        """Read without touching recency or the hit/miss counters."""
+        return self._entries.get(key, default)
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert or refresh ``key``, evicting the oldest at capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def gauges(self) -> dict:
+        """Point-in-time state for the metrics ``extra`` block."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

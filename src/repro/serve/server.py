@@ -1,0 +1,541 @@
+"""Characterization-as-a-service: the asyncio HTTP/JSON query server.
+
+A long-running server answering "characterize this matrix / advise a
+format" queries over the sweep engine, stdlib only::
+
+    POST /characterize   {"workload": {...}, "formats": [...], ...}
+    POST /advise         {... "objective": "latency", "constraints": {}}
+    GET  /metrics        metrics/v1 snapshot (live telemetry)
+    GET  /healthz        liveness probe
+
+The concurrency mechanics, in the order a request meets them:
+
+1. **LRU result cache** — completed responses, keyed by query digest,
+   stored as canonical bytes.  A hit skips everything below.
+2. **Single-flight coalescing** — concurrent requests with one digest
+   share one backend computation
+   (:class:`~repro.engine.SingleFlight`); waiters receive the same
+   bytes, and a cancelled or timed-out waiter never cancels the
+   shared work.
+3. **Admission control** — at most ``max_inflight`` backend
+   computations run concurrently; at most ``queue_limit`` leaders may
+   wait for a slot.  Beyond that the server answers ``429`` with a
+   structured body instead of building an unbounded backlog.
+4. **Per-request budget** — with ``budget_s`` set, a request that
+   cannot be answered in time *degrades* instead of hanging: first to
+   a cached answer for the cheaper approximate form of the query (its
+   smallest partition size), then to computing that approximate
+   answer within a grace budget, and only then to a structured ``504``.
+   The original computation keeps running and lands in the cache for
+   the next asker.  Degraded responses are marked with the
+   ``X-Copernicus-Degraded`` header — never in the body, which stays
+   byte-identical per digest.
+5. **Telemetry** — every request increments counters and records a
+   labelled span in the server's
+   :class:`~repro.observability.MetricsRegistry`, exported live at
+   ``GET /metrics`` (``metrics/v1``).
+
+Backend failures (including injected faults) surface as structured
+``serve/v1`` error bodies; the connection handler never lets a raw
+traceback reach the wire and the server keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from ..engine.faults import FaultPlan
+from ..engine.singleflight import SingleFlight
+from ..errors import (
+    CopernicusError,
+    ServeBudgetError,
+    ServeError,
+    ServeOverloadedError,
+    ServeRequestError,
+)
+from ..observability import MetricsRegistry, metrics_payload
+from .backend import SweepBackend
+from .lru import LRUCache
+from .protocol import (
+    DEFAULT_MAX_DIM,
+    ENDPOINTS,
+    Query,
+    canonical_json,
+    error_payload,
+    health_payload,
+    parse_query,
+    query_digest,
+)
+
+__all__ = ["CharacterizationServer", "HTTP_REASONS"]
+
+#: Reason phrases for the statuses the server emits.
+HTTP_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+#: Hard caps on what one HTTP request may look like.
+MAX_BODY_BYTES = 1 << 20
+MAX_HEADER_LINES = 64
+MAX_LINE_BYTES = 8192
+
+#: Socket-read budget (malformed/stalled clients, not query compute).
+READ_TIMEOUT_S = 30.0
+
+#: Spans kept in the live registry (oldest dropped beyond this).
+SPAN_CAP = 2048
+
+
+class _ProtocolError(ServeError):
+    """Malformed HTTP from the client; carries the reply status."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class CharacterizationServer:
+    """The asyncio HTTP server over one :class:`SweepBackend`.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address; port ``0`` picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    max_inflight:
+        Concurrent backend computations (also the thread-pool width).
+    queue_limit:
+        Leaders allowed to wait for a backend slot before new work is
+        refused with ``429``.
+    budget_s:
+        Optional per-request wall budget in seconds; ``None`` disables
+        degradation and lets requests wait for the full computation.
+    cache_size:
+        LRU result-cache capacity (entries, one per query digest).
+    max_dim:
+        Largest workload dimension a query may request.
+    faults:
+        Deterministic :class:`~repro.engine.faults.FaultPlan` (or its
+        string form) injected into every backend sweep — testing only.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_inflight: int = 4,
+        queue_limit: int = 16,
+        budget_s: float | None = None,
+        cache_size: int = 256,
+        max_dim: int = DEFAULT_MAX_DIM,
+        faults: "FaultPlan | str | None" = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ServeError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if queue_limit < 1:
+            raise ServeError(
+                f"queue_limit must be >= 1, got {queue_limit}"
+            )
+        if budget_s is not None and budget_s <= 0:
+            raise ServeError(
+                f"budget_s must be > 0 seconds, got {budget_s}"
+            )
+        self.host = host
+        self.port = port
+        self.max_inflight = max_inflight
+        self.queue_limit = queue_limit
+        self.budget_s = budget_s
+        self.max_dim = max_dim
+        self.metrics = MetricsRegistry()
+        self.cache: LRUCache = LRUCache(cache_size)
+        self.flight = SingleFlight()
+        self.backend = SweepBackend(faults=faults)
+        self._semaphore: asyncio.Semaphore | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._waiting = 0
+        self._running = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._semaphore = asyncio.Semaphore(self.max_inflight)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_inflight,
+            thread_name_prefix="repro-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting and release the backend threads."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, body, extra_headers = 500, b"{}", {}
+        try:
+            method, path, request_body = await asyncio.wait_for(
+                self._read_request(reader), timeout=READ_TIMEOUT_S
+            )
+            status, body, extra_headers = await self._dispatch(
+                method, path, request_body
+            )
+        except _ProtocolError as error:
+            status = error.status
+            body = canonical_json(
+                error_payload(type(error).__name__, str(error), status)
+            )
+        except (asyncio.TimeoutError, ConnectionError, EOFError):
+            writer.close()
+            return
+        except Exception as error:  # noqa: BLE001 — last-resort guard
+            # nothing unstructured may reach the wire; the typed paths
+            # are all handled inside _dispatch
+            status = 500
+            body = canonical_json(
+                error_payload(type(error).__name__, str(error), status)
+            )
+        try:
+            writer.write(_response_bytes(status, body, extra_headers))
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise EOFError
+        if len(request_line) > MAX_LINE_BYTES:
+            raise _ProtocolError("request line too long", 400)
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _ProtocolError("malformed request line", 400)
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        for _ in range(MAX_HEADER_LINES):
+            line = await reader.readline()
+            if len(line) > MAX_LINE_BYTES:
+                raise _ProtocolError("header line too long", 400)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _ProtocolError(
+                        "invalid Content-Length", 400
+                    ) from None
+        else:
+            raise _ProtocolError("too many headers", 400)
+        if content_length < 0:
+            raise _ProtocolError("invalid Content-Length", 400)
+        if content_length > MAX_BODY_BYTES:
+            raise _ProtocolError(
+                f"body exceeds {MAX_BODY_BYTES} bytes", 413
+            )
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return method, path, body
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, bytes, dict]:
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return 200, canonical_json(self._metrics_view()), {}
+        if path == "/healthz":
+            if method != "GET":
+                return self._method_not_allowed("GET")
+            return 200, canonical_json(health_payload()), {}
+        endpoint = path.lstrip("/")
+        if endpoint in ENDPOINTS:
+            if method != "POST":
+                return self._method_not_allowed("POST")
+            return await self._handle_query(endpoint, body)
+        self.metrics.incr("serve.http.404")
+        return 404, canonical_json(
+            error_payload("NotFound", f"no route for {path}", 404)
+        ), {}
+
+    @staticmethod
+    def _method_not_allowed(allow: str) -> tuple[int, bytes, dict]:
+        return 405, canonical_json(
+            error_payload("MethodNotAllowed", f"use {allow}", 405)
+        ), {"Allow": allow}
+
+    # ------------------------------------------------------------------
+    # The query path: cache -> single-flight -> admission -> backend
+    # ------------------------------------------------------------------
+    async def _handle_query(
+        self, endpoint: str, body: bytes
+    ) -> tuple[int, bytes, dict]:
+        start = time.perf_counter()
+        self.metrics.incr("serve.requests")
+        self.metrics.incr(f"serve.requests.{endpoint}")
+        status, source, degraded = 500, "error", ""
+        digest = ""
+        try:
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as error:
+                raise ServeRequestError(
+                    f"request body is not valid JSON: {error}"
+                ) from None
+            query = parse_query(endpoint, payload, max_dim=self.max_dim)
+            digest = query_digest(query)
+            response, source, degraded = await self._answer(
+                query, digest
+            )
+            status = 200
+            headers = {
+                "X-Copernicus-Digest": digest,
+                "X-Copernicus-Source": source,
+            }
+            if degraded:
+                headers["X-Copernicus-Degraded"] = degraded
+            return status, response, headers
+        except CopernicusError as error:
+            status = getattr(error, "status", 500)
+            self.metrics.incr(f"serve.errors.{type(error).__name__}")
+            return status, canonical_json(
+                error_payload(type(error).__name__, str(error), status)
+            ), {}
+        finally:
+            if status >= 500:
+                self.metrics.incr("serve.http.5xx")
+            self.metrics.incr(f"serve.http.{status}")
+            self.metrics.observe(
+                "serve.request", time.perf_counter() - start
+            )
+            self._record_span(
+                endpoint, status, source, degraded, digest,
+                time.perf_counter() - start,
+            )
+
+    async def _answer(
+        self, query: Query, digest: str
+    ) -> tuple[bytes, str, str]:
+        """Response bytes plus (source, degraded) markers."""
+        cached = self.cache.get(digest)
+        if cached is not None:
+            self.metrics.incr("serve.cache.hits")
+            return cached, "cache", ""
+        self.metrics.incr("serve.cache.misses")
+        waiter = self._shared_flight(query, digest)
+        if self.budget_s is None:
+            body, led = await waiter
+            return body, self._flight_source(led), ""
+        try:
+            body, led = await asyncio.wait_for(
+                waiter, timeout=self.budget_s
+            )
+            return body, self._flight_source(led), ""
+        except asyncio.TimeoutError:
+            # the shared computation keeps running for future askers;
+            # this request degrades instead of hanging
+            self.metrics.incr("serve.budget.expired")
+            return await self._degrade(query)
+
+    def _flight_source(self, led: bool) -> str:
+        """Source marker + coalesce counters for one completed flight.
+
+        Leadership is ground truth — only the leader's factory ran —
+        so the coalesce counters agree exactly with the backend
+        computation count, with no check-then-await race.
+        """
+        self.metrics.incr(
+            "serve.coalesce.misses" if led else "serve.coalesce.hits"
+        )
+        return "computed" if led else "coalesced"
+
+    async def _shared_flight(
+        self, query: Query, digest: str
+    ) -> tuple[bytes, bool]:
+        """Coalesced response bytes plus whether this caller led.
+
+        ``led`` is True only when this request's factory actually ran
+        (i.e. it started the shared computation); every other caller
+        piggy-backed on an in-flight future.
+        """
+        led = False
+
+        async def factory() -> bytes:
+            nonlocal led
+            led = True
+            body = await self._admitted_compute(query)
+            self.cache.put(digest, body)
+            return body
+
+        body = await self.flight.run(digest, factory)
+        return body, led
+
+    async def _admitted_compute(self, query: Query) -> bytes:
+        """Run the backend under admission control (leaders only)."""
+        if self._waiting >= self.queue_limit:
+            self.metrics.incr("serve.http.429.refused")
+            raise ServeOverloadedError(
+                f"server at capacity: {self._running} computations "
+                f"running, {self._waiting} queued (limit "
+                f"{self.queue_limit}); retry later"
+            )
+        self._waiting += 1
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self._waiting -= 1
+        self._running += 1
+        try:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._executor,
+                functools.partial(self.backend.execute_bytes, query),
+            )
+        finally:
+            self._running -= 1
+            self._semaphore.release()
+
+    async def _degrade(self, query: Query) -> tuple[bytes, str, str]:
+        """Answer a budget-blown request with the approximate query.
+
+        Cached approximate answers are free; otherwise the approximate
+        computation gets one grace budget.  A query with no cheaper
+        form (single partition size) cannot degrade.
+        """
+        approximate = query.approximate()
+        if approximate is None:
+            raise ServeBudgetError(
+                f"request budget of {self.budget_s}s expired and the "
+                "query has no cheaper approximate form; retry later "
+                "(the full computation continues in the background)"
+            )
+        approx_digest = query_digest(approximate)
+        cached = self.cache.get(approx_digest)
+        if cached is not None:
+            self.metrics.incr("serve.degraded.cached")
+            return cached, "cache", "cached-approximate"
+        waiter = self._shared_flight(approximate, approx_digest)
+        try:
+            body, _ = await asyncio.wait_for(
+                waiter, timeout=self.budget_s
+            )
+        except asyncio.TimeoutError:
+            raise ServeBudgetError(
+                f"request budget of {self.budget_s}s expired twice "
+                "(full and approximate query); retry later (both "
+                "computations continue in the background)"
+            ) from None
+        self.metrics.incr("serve.degraded.computed")
+        return body, "computed", "approximate"
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _record_span(
+        self,
+        endpoint: str,
+        status: int,
+        source: str,
+        degraded: str,
+        digest: str,
+        wall_s: float,
+    ) -> None:
+        self.metrics.add_span(
+            "serve.request",
+            wall_s,
+            labels=(
+                ("degraded", degraded),
+                ("digest", digest[:12]),
+                ("endpoint", endpoint),
+                ("source", source),
+                ("status", status),
+            ),
+        )
+        overflow = len(self.metrics.spans) - SPAN_CAP
+        if overflow > 0:
+            del self.metrics.spans[:overflow]
+
+    def _metrics_view(self) -> dict:
+        return metrics_payload(
+            self.metrics,
+            extra={
+                "server": {
+                    "max_inflight": self.max_inflight,
+                    "queue_limit": self.queue_limit,
+                    "budget_s": self.budget_s,
+                    "running": self._running,
+                    "waiting": self._waiting,
+                    "inflight_digests": len(self.flight),
+                    "computations": self.backend.computations,
+                },
+                "cache": self.cache.gauges(),
+                "singleflight": {
+                    "leaders": self.flight.stats.leaders,
+                    "coalesced": self.flight.stats.coalesced,
+                    "failures": self.flight.stats.failures,
+                },
+            },
+        )
+
+
+def _response_bytes(status: int, body: bytes, extra: dict) -> bytes:
+    reason = HTTP_REASONS.get(status, "Unknown")
+    headers = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    if status == 429:
+        headers.append("Retry-After: 1")
+    headers.extend(f"{name}: {value}" for name, value in extra.items())
+    head = "\r\n".join(headers) + "\r\n\r\n"
+    return head.encode("latin-1") + body

@@ -1,0 +1,60 @@
+"""Shared plumbing for the serve test suite.
+
+Every test boots a real :class:`CharacterizationServer` on an
+ephemeral port and talks to it over actual sockets with the loadgen
+HTTP client — the suites exercise the full wire path, not handler
+internals.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+
+from repro.serve import CharacterizationServer, http_request
+
+#: A small, fast workload most tests query.
+WORKLOAD = {"kind": "random", "n": 32, "density": 0.1, "seed": 1}
+
+
+@contextlib.asynccontextmanager
+async def running_server(**kwargs):
+    """One started server, closed on exit."""
+    server = CharacterizationServer(**kwargs)
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.aclose()
+
+
+async def post_json(
+    server: CharacterizationServer, endpoint: str, payload: dict
+) -> tuple[int, dict, bytes]:
+    """POST ``payload`` to ``/<endpoint>``; returns
+    ``(status, headers, body bytes)``."""
+    return await http_request(
+        server.host,
+        server.port,
+        "POST",
+        f"/{endpoint}",
+        json.dumps(payload).encode(),
+    )
+
+
+async def get_path(
+    server: CharacterizationServer, path: str
+) -> tuple[int, dict, bytes]:
+    return await http_request(server.host, server.port, "GET", path)
+
+
+def characterize_payload(
+    formats: list[str] | None = None,
+    partitions: list[int] | None = None,
+    workload: dict | None = None,
+) -> dict:
+    return {
+        "workload": dict(workload or WORKLOAD),
+        "formats": formats or ["coo", "csr"],
+        "partitions": partitions or [8],
+    }

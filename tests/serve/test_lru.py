@@ -1,0 +1,81 @@
+"""Unit tests for the server's bounded LRU result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import LRUCache
+
+
+class TestBasics:
+    def test_get_put_and_counters(self) -> None:
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", b"one")
+        assert cache.get("a") == b"one"
+        assert "a" in cache
+        assert len(cache) == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_peek_touches_nothing(self) -> None:
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.peek("a") == 1
+        assert cache.peek("missing") is None
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_put_refreshes_existing_key(self) -> None:
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+        assert cache.evictions == 0
+
+
+class TestEviction:
+    def test_capacity_evicts_least_recently_used(self) -> None:
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts a
+        assert cache.peek("a") is None
+        assert cache.peek("b") == 2
+        assert cache.peek("c") == 3
+        assert cache.evictions == 1
+
+    def test_get_freshens_recency(self) -> None:
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # a is now the most recent
+        cache.put("c", 3)  # evicts b, not a
+        assert cache.peek("a") == 1
+        assert cache.peek("b") is None
+
+    def test_gauges(self) -> None:
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("x")
+        assert cache.gauges() == {
+            "capacity": 2,
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+        }
+
+
+class TestValidation:
+    @pytest.mark.parametrize("capacity", [0, -1, 2.5, "8", True])
+    def test_bad_capacity_raises(self, capacity) -> None:
+        with pytest.raises(ServeError):
+            LRUCache(capacity)
+
+    def test_empty_hit_rate_is_zero(self) -> None:
+        assert LRUCache(1).hit_rate == 0.0

@@ -1,0 +1,288 @@
+"""Concurrency properties of the single-flight primitive.
+
+The server's correctness rests on three invariants, checked here with
+hypothesis-driven schedules (random caller counts, key assignments,
+and cancellation points) executed on real event loops:
+
+* N concurrent same-key callers → exactly ONE backend computation,
+  and all N receive byte-for-byte identical results;
+* distinct keys never coalesce;
+* cancelling any waiter (leader's request included) never cancels the
+  shared computation — the remaining waiters still get the answer.
+
+Each property drives asyncio from a synchronous test via
+``asyncio.run`` so the suite needs no asyncio plugin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import SingleFlight
+
+# event-loop scheduling makes wall time noisy; hypothesis deadlines
+# would flake
+RELAXED = settings(deadline=None, max_examples=25)
+
+
+def test_single_caller_runs_factory_once() -> None:
+    async def main() -> None:
+        flight = SingleFlight()
+        calls = 0
+
+        async def factory() -> str:
+            nonlocal calls
+            calls += 1
+            return "answer"
+
+        assert await flight.run("k", factory) == "answer"
+        assert calls == 1
+        assert flight.stats.leaders == 1
+        assert flight.stats.coalesced == 0
+        assert len(flight) == 0
+
+    asyncio.run(main())
+
+
+@RELAXED
+@given(n_callers=st.integers(min_value=2, max_value=24))
+def test_concurrent_same_key_callers_share_one_computation(
+    n_callers: int,
+) -> None:
+    async def main() -> None:
+        flight = SingleFlight()
+        computations = 0
+        release = asyncio.Event()
+
+        async def factory() -> bytes:
+            nonlocal computations
+            computations += 1
+            await release.wait()
+            # bytes built inside the computation: identity below
+            # proves every waiter got THIS object, not a re-run
+            return f"result-{computations}".encode()
+
+        async def caller() -> bytes:
+            return await flight.run("digest", factory)
+
+        tasks = [
+            asyncio.ensure_future(caller()) for _ in range(n_callers)
+        ]
+        # let every caller reach the await before the factory finishes
+        await asyncio.sleep(0)
+        release.set()
+        results = await asyncio.gather(*tasks)
+
+        assert computations == 1
+        assert flight.stats.leaders == 1
+        assert flight.stats.coalesced == n_callers - 1
+        first = results[0]
+        assert all(r == first for r in results)
+        assert all(r is first for r in results)
+        assert first == b"result-1"
+        assert len(flight) == 0
+
+    asyncio.run(main())
+
+
+@RELAXED
+@given(
+    assignment=st.lists(
+        st.integers(min_value=0, max_value=5),
+        min_size=2,
+        max_size=30,
+    )
+)
+def test_distinct_keys_never_coalesce(assignment: list[int]) -> None:
+    """One computation per distinct key, never fewer."""
+
+    async def main() -> None:
+        flight = SingleFlight()
+        runs_per_key: dict[int, int] = {}
+        release = asyncio.Event()
+
+        def make_factory(key: int):
+            async def factory() -> int:
+                runs_per_key[key] = runs_per_key.get(key, 0) + 1
+                await release.wait()
+                return key * 1000
+
+            return factory
+
+        tasks = [
+            asyncio.ensure_future(
+                flight.run(key, make_factory(key))
+            )
+            for key in assignment
+        ]
+        await asyncio.sleep(0)
+        release.set()
+        results = await asyncio.gather(*tasks)
+
+        distinct = set(assignment)
+        assert runs_per_key == {key: 1 for key in distinct}
+        assert flight.stats.leaders == len(distinct)
+        assert flight.stats.coalesced == len(assignment) - len(distinct)
+        for key, result in zip(assignment, results):
+            assert result == key * 1000
+
+    asyncio.run(main())
+
+
+@RELAXED
+@given(
+    n_callers=st.integers(min_value=3, max_value=12),
+    data=st.data(),
+)
+def test_cancelled_waiter_never_cancels_shared_computation(
+    n_callers: int, data
+) -> None:
+    """Any strict subset of waiters may die; the rest still answer.
+
+    The cancelled subset is drawn by hypothesis and explicitly
+    includes index 0 — the leader — in many examples: the caller that
+    *started* the computation aborting must not take the shared work
+    down with it.
+    """
+    cancel_indices = data.draw(
+        st.sets(
+            st.integers(min_value=0, max_value=n_callers - 1),
+            min_size=1,
+            max_size=n_callers - 1,
+        )
+    )
+
+    async def main() -> None:
+        flight = SingleFlight()
+        computations = 0
+        cancelled_inside = 0
+        release = asyncio.Event()
+
+        async def factory() -> str:
+            nonlocal computations, cancelled_inside
+            computations += 1
+            try:
+                await release.wait()
+            except asyncio.CancelledError:
+                cancelled_inside += 1
+                raise
+            return "shared"
+
+        tasks = [
+            asyncio.ensure_future(flight.run("key", factory))
+            for _ in range(n_callers)
+        ]
+        await asyncio.sleep(0)
+        for index in cancel_indices:
+            tasks[index].cancel()
+        await asyncio.sleep(0)
+        release.set()
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+
+        assert computations == 1
+        # the shared factory never observed a cancellation
+        assert cancelled_inside == 0
+        for index, result in enumerate(results):
+            if index in cancel_indices:
+                assert isinstance(result, asyncio.CancelledError)
+            else:
+                assert result == "shared"
+        assert len(flight) == 0
+
+    asyncio.run(main())
+
+
+def test_factory_failure_propagates_to_every_waiter() -> None:
+    async def main() -> None:
+        flight = SingleFlight()
+        release = asyncio.Event()
+
+        async def factory() -> None:
+            await release.wait()
+            raise ValueError("backend exploded")
+
+        tasks = [
+            asyncio.ensure_future(flight.run("key", factory))
+            for _ in range(4)
+        ]
+        await asyncio.sleep(0)
+        release.set()
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        assert len(results) == 4
+        for result in results:
+            assert isinstance(result, ValueError)
+            assert str(result) == "backend exploded"
+        assert flight.stats.failures == 1
+        # failure clears the key: the next call starts fresh
+        assert len(flight) == 0
+
+    asyncio.run(main())
+
+
+def test_failed_flight_does_not_poison_the_key() -> None:
+    async def main() -> None:
+        flight = SingleFlight()
+        attempts = 0
+
+        async def factory() -> str:
+            nonlocal attempts
+            attempts += 1
+            if attempts == 1:
+                raise RuntimeError("first attempt fails")
+            return "second attempt succeeds"
+
+        with pytest.raises(RuntimeError):
+            await flight.run("key", factory)
+        assert await flight.run("key", factory) == (
+            "second attempt succeeds"
+        )
+        assert attempts == 2
+
+    asyncio.run(main())
+
+
+def test_sequential_calls_do_not_coalesce() -> None:
+    """Single-flight dedupes *concurrent* work only — a key whose
+    flight completed must recompute (caching is the LRU's job)."""
+
+    async def main() -> None:
+        flight = SingleFlight()
+        calls = 0
+
+        async def factory() -> int:
+            nonlocal calls
+            calls += 1
+            return calls
+
+        assert await flight.run("key", factory) == 1
+        assert await flight.run("key", factory) == 2
+        assert flight.stats.leaders == 2
+        assert flight.stats.coalesced == 0
+
+    asyncio.run(main())
+
+
+def test_stats_rates() -> None:
+    async def main() -> None:
+        flight = SingleFlight()
+        release = asyncio.Event()
+
+        async def factory() -> str:
+            await release.wait()
+            return "x"
+
+        tasks = [
+            asyncio.ensure_future(flight.run("key", factory))
+            for _ in range(4)
+        ]
+        await asyncio.sleep(0)
+        release.set()
+        await asyncio.gather(*tasks)
+        assert flight.stats.calls == 4
+        assert flight.stats.coalesce_rate == pytest.approx(0.75)
+
+    asyncio.run(main())

@@ -273,3 +273,120 @@ class TestParser:
     def test_invalid_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bogus"])
+
+
+class TestStatsPathErrors:
+    """`repro stats` must fail loudly and clearly, never with a
+    traceback, when either manifest path is missing or the baseline
+    speaks an incompatible schema."""
+
+    def _make_manifest(self, capsys, tmp_path, name="run.jsonl"):
+        manifest = tmp_path / name
+        run_cli(
+            capsys, "sweep", "--group", "band", "--partitions", "8",
+            "--emit-metrics", str(manifest),
+        )
+        return manifest
+
+    def test_missing_manifest_names_the_path(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["stats", "/nonexistent/run.jsonl"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "manifest not found: /nonexistent/run.jsonl" in err
+        assert "repro sweep --emit-metrics" in err
+        assert "Traceback" not in err
+
+    def test_missing_against_baseline_names_the_argument(
+        self, capsys, tmp_path
+    ):
+        manifest = self._make_manifest(capsys, tmp_path)
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "stats", str(manifest),
+                "--against", "/nonexistent/baseline.jsonl",
+            ])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert (
+            "--against baseline not found: /nonexistent/baseline.jsonl"
+            in err
+        )
+        assert "Traceback" not in err
+
+    def test_schema_incompatible_baseline_exits_cleanly(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        manifest = self._make_manifest(capsys, tmp_path)
+        stale = tmp_path / "stale.jsonl"
+        records = [
+            json.loads(line)
+            for line in manifest.read_text().splitlines()
+        ]
+        records[0]["schema"] = 1  # a manifest from an older build
+        stale.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        with pytest.raises(SystemExit) as exc:
+            main(["stats", str(manifest), "--against", str(stale)])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unsupported manifest schema" in err
+        assert "Traceback" not in err
+
+    def test_non_manifest_file_exits_cleanly(self, capsys, tmp_path):
+        bogus = tmp_path / "notes.txt"
+        bogus.write_text("not a manifest\n")
+        with pytest.raises(SystemExit) as exc:
+            main(["stats", str(bogus)])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+
+class TestServeLoadgenCli:
+    def test_loadgen_spawn_smoke(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "BENCH_serve.json"
+        out = run_cli(
+            capsys, "loadgen", "--spawn", "--mix", "hot",
+            "--requests", "25", "--seed", "7",
+            "--output", str(report_path),
+            "--require-zero-5xx", "--require-coalesce",
+        )
+        assert f"report written to {report_path}" in out
+        assert "throughput:" in out
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "bench_serve/v1"
+        assert report["requests"] == 25
+        assert report["n_5xx"] == 0
+        assert report["server"]["coalesce_hits"] > 0
+
+    def test_loadgen_needs_port_or_spawn(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["loadgen", "--requests", "5"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--spawn" in err
+        assert "Traceback" not in err
+
+    def test_serve_rejects_bad_budget(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--budget-s", "-1"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "budget_s" in err
+        assert "Traceback" not in err
+
+    def test_serve_and_loadgen_are_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "0"])
+        assert args.command == "serve"
+        args = parser.parse_args(["loadgen", "--spawn"])
+        assert args.mix == "mixed"
+        assert args.requests == 200
+        assert args.seed == 7
