@@ -1,0 +1,289 @@
+"""Cheap matrix features for the learned fast-path advisor.
+
+The exact characterization pays a full :func:`~repro.partition.profile_table`
+pass per partition size plus one hardware-model evaluation per format.
+The advisor replaces all of that with one O(features) prediction, so
+the feature extractor has to be cheap, deterministic, and robust:
+
+* **cheap** — the matrix is subsampled to at most :data:`SAMPLE_CAP`
+  entries (a deterministic stride over the canonical sorted triplets)
+  before the single profile pass, so extraction cost is bounded no
+  matter how large the workload is;
+* **deterministic** — the same ``(matrix, p)`` always yields the same
+  vector, bit for bit, and every reduction over per-tile statistics
+  sorts its operands first, so the vector is invariant to the tile
+  iteration order of the :class:`~repro.partition.ProfileTable` it was
+  computed from (the hypothesis suite pins both properties);
+* **robust** — every entry is finite for the degenerate inputs the
+  serve layer can produce: empty matrices, fully dense tiles,
+  single-row matrices.
+
+The vector layout is :data:`FEATURE_NAMES`; it is part of the
+``advisor_model/v1`` artifact contract, so reordering, adding or
+removing a feature requires retraining and bumping the artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AdvisorError
+from ..matrix import SparseMatrix
+from ..partition import ProfileTable, count_partitions, profile_table
+
+__all__ = [
+    "FEATURE_NAMES",
+    "DEFAULT_FEATURE_P",
+    "SAMPLE_CAP",
+    "Features",
+    "MatrixSummary",
+    "matrix_summary",
+    "sample_matrix",
+    "features_from_table",
+    "extract_features",
+]
+
+#: Partition size the advisor profiles at (one pass, not three).
+DEFAULT_FEATURE_P = 16
+
+#: Entries kept by the deterministic subsample before profiling.
+SAMPLE_CAP = 8192
+
+#: The feature vector layout — part of the advisor_model/v1 contract.
+FEATURE_NAMES: tuple[str, ...] = (
+    "log_nnz",
+    "log_rows",
+    "log_cols",
+    "density",
+    "bandwidth",
+    "nonzero_tile_fraction",
+    "tile_density_mean",
+    "tile_density_var",
+    "tile_density_skew",
+    "row_density_mean",
+    "row_density_var",
+    "nnz_row_fraction_mean",
+    "max_row_nnz_mean",
+    "max_row_nnz_max",
+    "max_col_nnz_mean",
+    "row_len_cv_mean",
+    "diag_count_mean",
+    "dia_fill_mean",
+    "dia_span_mean",
+    "block_fill_mean",
+    "block_row_fraction_mean",
+    "log_csr_size",
+    "log_ell_size",
+    "log_dia_size",
+    "log_bcsr_size",
+    "log_dense_size",
+)
+
+
+@dataclass(frozen=True)
+class MatrixSummary:
+    """Whole-matrix scalars that survive subsampling.
+
+    Computed from the full triplets (all O(nnz) or O(1)), unlike the
+    tile statistics, which are computed on the subsample.
+    """
+
+    n_rows: int
+    n_cols: int
+    nnz: int
+    bandwidth: int
+
+
+@dataclass(frozen=True)
+class Features:
+    """One extracted feature vector plus the tiling it was built at."""
+
+    p: int
+    block_size: int
+    vector: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.vector) != len(FEATURE_NAMES):
+            raise AdvisorError(
+                f"feature vector has {len(self.vector)} entries; the "
+                f"schema defines {len(FEATURE_NAMES)}"
+            )
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.vector, dtype=np.float64)
+
+
+def matrix_summary(matrix: SparseMatrix) -> MatrixSummary:
+    """Full-matrix scalars: shape, nnz and bandwidth (max ``|c - r|``)."""
+    if matrix.nnz:
+        spread = np.abs(
+            matrix.cols.astype(np.int64) - matrix.rows.astype(np.int64)
+        )
+        bandwidth = int(spread.max())
+    else:
+        bandwidth = 0
+    return MatrixSummary(
+        n_rows=matrix.n_rows,
+        n_cols=matrix.n_cols,
+        nnz=matrix.nnz,
+        bandwidth=bandwidth,
+    )
+
+
+def sample_matrix(
+    matrix: SparseMatrix, cap: int = SAMPLE_CAP
+) -> SparseMatrix:
+    """Deterministic stride subsample down to at most ``cap`` entries.
+
+    The triplets are already canonically sorted (row-major), so an
+    evenly spaced index stride keeps the spatial structure while
+    bounding the profiling cost.  Matrices at or under the cap are
+    returned unchanged.
+    """
+    if cap < 1:
+        raise AdvisorError(f"sample cap must be >= 1, got {cap}")
+    if matrix.nnz <= cap:
+        return matrix
+    index = (np.arange(cap, dtype=np.int64) * matrix.nnz) // cap
+    return SparseMatrix(
+        matrix.shape,
+        matrix.rows[index],
+        matrix.cols[index],
+        matrix.vals[index],
+    )
+
+
+def _sorted_sum(values: np.ndarray) -> float:
+    """Order-invariant float sum: identical bytes for any permutation."""
+    if values.size == 0:
+        return 0.0
+    return float(np.sort(values, kind="stable").sum())
+
+
+def _mean(values: np.ndarray) -> float:
+    if values.size == 0:
+        return 0.0
+    return _sorted_sum(values) / values.size
+
+
+def _moments(values: np.ndarray) -> tuple[float, float, float]:
+    """(mean, variance, skew) from order-invariant power sums."""
+    if values.size == 0:
+        return 0.0, 0.0, 0.0
+    m1 = _mean(values)
+    m2 = _mean(values * values)
+    m3 = _mean(values * values * values)
+    var = max(m2 - m1 * m1, 0.0)
+    if var <= 1e-18:
+        return m1, var, 0.0
+    skew = (m3 - 3.0 * m1 * m2 + 2.0 * m1**3) / var**1.5
+    return m1, var, skew
+
+
+def features_from_table(
+    table: ProfileTable, summary: MatrixSummary
+) -> tuple[float, ...]:
+    """Assemble the :data:`FEATURE_NAMES` vector from a profile table.
+
+    Shared by :func:`extract_features` and the round-trip property
+    suite (a table rebuilt via ``ProfileTable.from_profiles`` must
+    yield the identical vector).
+    """
+    p = float(table.p)
+    values: dict[str, float] = dict.fromkeys(FEATURE_NAMES, 0.0)
+    values["log_nnz"] = float(np.log1p(summary.nnz))
+    values["log_rows"] = float(np.log1p(summary.n_rows))
+    values["log_cols"] = float(np.log1p(summary.n_cols))
+    cells = summary.n_rows * summary.n_cols
+    values["density"] = summary.nnz / cells if cells else 0.0
+    values["bandwidth"] = summary.bandwidth / max(
+        max(summary.n_rows, summary.n_cols) - 1, 1
+    )
+    total_tiles = count_partitions(
+        (summary.n_rows, summary.n_cols), table.p
+    )
+    values["nonzero_tile_fraction"] = (
+        table.n_tiles / total_tiles if total_tiles else 0.0
+    )
+    if table.n_tiles:
+        mean, var, skew = _moments(table.density)
+        values["tile_density_mean"] = mean
+        values["tile_density_var"] = var
+        values["tile_density_skew"] = skew
+        mean, var, _ = _moments(table.row_density)
+        values["row_density_mean"] = mean
+        values["row_density_var"] = var
+        values["nnz_row_fraction_mean"] = _mean(table.nnz_row_fraction)
+        values["max_row_nnz_mean"] = _mean(table.max_row_nnz / p)
+        values["max_row_nnz_max"] = float(table.max_row_nnz.max()) / p
+        values["max_col_nnz_mean"] = _mean(table.max_col_nnz / p)
+        # per-tile coefficient of variation of row lengths, from the
+        # occupancy histogram: hist[k-1] rows hold exactly k entries
+        lengths = np.arange(1, table.p + 1, dtype=np.float64)
+        len_m1 = table.nnz / table.nnz_rows
+        len_m2 = (table.row_nnz_hist @ (lengths * lengths)) / table.nnz_rows
+        len_var = np.maximum(len_m2 - len_m1 * len_m1, 0.0)
+        values["row_len_cv_mean"] = _mean(np.sqrt(len_var) / len_m1)
+        values["diag_count_mean"] = _mean(
+            table.n_diagonals / (2.0 * p - 1.0)
+        )
+        values["dia_fill_mean"] = _mean(
+            table.nnz / (table.n_diagonals * table.dia_max_len)
+        )
+        values["dia_span_mean"] = _mean(table.dia_max_len / p)
+        block = float(table.block_size)
+        values["block_fill_mean"] = _mean(
+            table.nnz / (table.n_blocks * block * block)
+        )
+        block_rows = float(-(-table.p // table.block_size))
+        values["block_row_fraction_mean"] = _mean(
+            table.nnz_block_rows / block_rows
+        )
+        # Per-format storage proxies.  The paper's latency model is
+        # dominated by compressed bytes moved per tile, so the log of
+        # each format's storage footprint is the single most predictive
+        # regressor a per-format head can get.  Computed on the sample
+        # and rescaled to the full matrix by the kept-nnz ratio.
+        sample_nnz = _sorted_sum(table.nnz.astype(np.float64))
+        rescale = summary.nnz / max(sample_nnz, 1.0)
+        sizes = {
+            "log_csr_size": sample_nnz
+            + _sorted_sum(table.nnz_rows.astype(np.float64)),
+            "log_ell_size": p
+            * _sorted_sum(table.max_row_nnz.astype(np.float64)),
+            "log_dia_size": _sorted_sum(
+                table.dia_stored_len.astype(np.float64)
+            ),
+            "log_bcsr_size": block
+            * block
+            * _sorted_sum(table.n_blocks.astype(np.float64)),
+        }
+        for name, size in sizes.items():
+            values[name] = float(np.log1p(rescale * size))
+    values["log_dense_size"] = float(
+        np.log1p(summary.n_rows * summary.n_cols)
+    )
+    return tuple(values[name] for name in FEATURE_NAMES)
+
+
+def extract_features(
+    matrix: SparseMatrix,
+    p: int = DEFAULT_FEATURE_P,
+    block_size: int = 4,
+    sample_cap: int = SAMPLE_CAP,
+) -> Features:
+    """The advisor's O(features) view of one matrix.
+
+    One bounded profile pass at one partition size — compare with the
+    exact path's full pass per requested partition size.
+    """
+    summary = matrix_summary(matrix)
+    sampled = sample_matrix(matrix, sample_cap)
+    table = profile_table(sampled, p, block_size=block_size)
+    return Features(
+        p=p,
+        block_size=block_size,
+        vector=features_from_table(table, summary),
+    )

@@ -1,0 +1,285 @@
+"""The ``advisor_model/v1`` artifact: a ridge head per design point.
+
+The advisor is deliberately small: standardized features feed one
+closed-form ridge regression per ``(format, partition size)`` head,
+each predicting ``log1p(total_cycles)``.  Prediction is a handful of
+dot products — O(features) — and training is a single
+``numpy.linalg.solve`` per head, so the whole model trains from a
+sweep manifest in well under a second and serializes to a few KB of
+canonical JSON.
+
+The artifact is versioned and self-verifying:
+
+* ``schema`` tags the layout (reject-on-unknown-version);
+* ``features`` embeds the feature schema the weights were trained
+  against, checked on load against the running library's
+  :data:`~repro.advisor.features.FEATURE_NAMES`;
+* ``digest`` is a content digest over the canonical encoding of
+  everything else, so corrupt or hand-edited artifacts are refused
+  with a typed :class:`~repro.errors.AdvisorModelError` instead of
+  silently mispredicting;
+* ``training`` records where the weights came from (zoo seed, split,
+  row-set digest) so a benchmark run can reconstruct the exact
+  held-out split the model never saw.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import AdvisorModelError
+from .features import FEATURE_NAMES, Features, extract_features
+
+__all__ = [
+    "ADVISOR_MODEL_SCHEMA",
+    "RidgeHead",
+    "AdvisorModel",
+    "model_from_payload",
+    "save_model",
+    "load_model",
+]
+
+#: Version tag of the serialized artifact; bump on incompatible change.
+ADVISOR_MODEL_SCHEMA = "advisor_model/v1"
+
+
+def _canonical_bytes(payload: dict) -> bytes:
+    """Deterministic encoding — the byte-identity/digest guarantee."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def _payload_digest(payload: dict) -> str:
+    body = {k: v for k, v in payload.items() if k != "digest"}
+    return hashlib.blake2b(
+        _canonical_bytes(body), digest_size=16
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class RidgeHead:
+    """One trained target: predicts log1p(cycles) for a design point."""
+
+    format_name: str
+    partition_size: int
+    bias: float
+    weights: tuple[float, ...]
+
+    def predict(self, standardized: np.ndarray) -> float:
+        return self.bias + float(
+            np.dot(np.asarray(self.weights), standardized)
+        )
+
+
+@dataclass(frozen=True)
+class AdvisorModel:
+    """A trained fast-path advisor, ready to rank design points."""
+
+    feature_p: int
+    block_size: int
+    sample_cap: int
+    ridge_lambda: float
+    mean: tuple[float, ...]
+    scale: tuple[float, ...]
+    heads: tuple[RidgeHead, ...]
+    training: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(FEATURE_NAMES)
+        if len(self.mean) != n or len(self.scale) != n:
+            raise AdvisorModelError(
+                "standardization vectors must match the feature schema "
+                f"({n} features); got mean[{len(self.mean)}], "
+                f"scale[{len(self.scale)}]"
+            )
+        if not self.heads:
+            raise AdvisorModelError("an advisor model needs >= 1 head")
+        for head in self.heads:
+            if len(head.weights) != n:
+                raise AdvisorModelError(
+                    f"head ({head.format_name}, p={head.partition_size}) "
+                    f"has {len(head.weights)} weights; expected {n}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def formats(self) -> tuple[str, ...]:
+        return tuple(sorted({h.format_name for h in self.heads}))
+
+    @property
+    def partitions(self) -> tuple[int, ...]:
+        return tuple(sorted({h.partition_size for h in self.heads}))
+
+    def covers(self, formats, partitions) -> list[str]:
+        """Design points the model has no head for (empty = covered)."""
+        trained = {(h.format_name, h.partition_size) for h in self.heads}
+        return [
+            f"({name}, p={p})"
+            for p in partitions
+            for name in formats
+            if (name, p) not in trained
+        ]
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def standardize(self, features: Features) -> np.ndarray:
+        return (features.as_array() - np.asarray(self.mean)) / np.asarray(
+            self.scale
+        )
+
+    def predict_log_cycles(
+        self, features: Features
+    ) -> dict[tuple[str, int], float]:
+        """Predicted ``log1p(total_cycles)`` per trained design point."""
+        z = self.standardize(features)
+        return {
+            (head.format_name, head.partition_size): head.predict(z)
+            for head in self.heads
+        }
+
+    def predict_matrix(self, matrix) -> dict[tuple[str, int], float]:
+        """Predicted cycles (not log) straight from a matrix."""
+        features = extract_features(
+            matrix, self.feature_p, self.block_size, self.sample_cap
+        )
+        return {
+            key: float(np.expm1(value))
+            for key, value in self.predict_log_cycles(features).items()
+        }
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        payload = {
+            "schema": ADVISOR_MODEL_SCHEMA,
+            "feature_p": self.feature_p,
+            "block_size": self.block_size,
+            "sample_cap": self.sample_cap,
+            "ridge_lambda": self.ridge_lambda,
+            "features": list(FEATURE_NAMES),
+            "standardize": {
+                "mean": list(self.mean),
+                "scale": list(self.scale),
+            },
+            "heads": [
+                {
+                    "format": head.format_name,
+                    "partition_size": head.partition_size,
+                    "bias": head.bias,
+                    "weights": list(head.weights),
+                }
+                for head in self.heads
+            ],
+            "training": dict(self.training),
+        }
+        payload["digest"] = _payload_digest(payload)
+        return payload
+
+    def to_bytes(self) -> bytes:
+        return _canonical_bytes(self.to_payload()) + b"\n"
+
+    @property
+    def digest(self) -> str:
+        # Cached in __dict__ (the dataclass is frozen): the digest is
+        # re-read on every fast query's provenance stamp, and
+        # re-serializing the whole artifact each time would eat a
+        # measurable slice of the fast path's latency budget.
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = self.to_payload()["digest"]
+            self.__dict__["_digest"] = cached
+        return cached
+
+
+def model_from_payload(payload: object) -> AdvisorModel:
+    """Validate a parsed artifact payload into an :class:`AdvisorModel`.
+
+    Strict: unknown schema versions, a feature schema that disagrees
+    with the running library, and digest mismatches are all refused.
+    """
+    if not isinstance(payload, dict):
+        raise AdvisorModelError(
+            "advisor model must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    schema = payload.get("schema")
+    if schema != ADVISOR_MODEL_SCHEMA:
+        raise AdvisorModelError(
+            f"unsupported advisor model schema {schema!r} "
+            f"(expected {ADVISOR_MODEL_SCHEMA}); retrain with "
+            "`repro advisor train`"
+        )
+    features = payload.get("features")
+    if tuple(features or ()) != FEATURE_NAMES:
+        raise AdvisorModelError(
+            "feature schema mismatch: the artifact was trained on "
+            f"{features!r} but this library computes "
+            f"{list(FEATURE_NAMES)!r}; retrain with "
+            "`repro advisor train`"
+        )
+    recorded = payload.get("digest")
+    expected = _payload_digest(payload)
+    if recorded != expected:
+        raise AdvisorModelError(
+            f"advisor model digest mismatch: recorded {recorded!r}, "
+            f"recomputed {expected!r} (corrupt or edited artifact)"
+        )
+    try:
+        standardize = payload["standardize"]
+        heads = tuple(
+            RidgeHead(
+                format_name=str(entry["format"]),
+                partition_size=int(entry["partition_size"]),
+                bias=float(entry["bias"]),
+                weights=tuple(float(w) for w in entry["weights"]),
+            )
+            for entry in payload["heads"]
+        )
+        return AdvisorModel(
+            feature_p=int(payload["feature_p"]),
+            block_size=int(payload["block_size"]),
+            sample_cap=int(payload["sample_cap"]),
+            ridge_lambda=float(payload["ridge_lambda"]),
+            mean=tuple(float(v) for v in standardize["mean"]),
+            scale=tuple(float(v) for v in standardize["scale"]),
+            heads=heads,
+            training=dict(payload.get("training", {})),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise AdvisorModelError(
+            f"malformed advisor model payload: {error!r}"
+        ) from error
+
+
+def save_model(model: AdvisorModel, path: str | Path) -> Path:
+    """Write the canonical artifact bytes (digest included)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(model.to_bytes())
+    return path
+
+
+def load_model(path: str | Path) -> AdvisorModel:
+    """Read, parse and verify an ``advisor_model/v1`` artifact."""
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise AdvisorModelError(
+            f"cannot read advisor model {path}: {error}"
+        ) from error
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise AdvisorModelError(
+            f"{path} is not valid JSON: {error}"
+        ) from error
+    return model_from_payload(payload)

@@ -1,0 +1,191 @@
+"""``recommend_fast``: O(features) format advice with exact fallback.
+
+The fast path, end to end:
+
+1. extract the bounded feature vector (one subsampled profile pass);
+2. score every trained ``(format, partition size)`` head — a handful
+   of dot products;
+3. filter through the *exact* constraint check (resources and power
+   are workload-independent, precomputed per design point);
+4. rank by the predicted objective.
+
+The prediction carries a **margin** — the relative gap between the
+top two design points.  Below the caller's confidence threshold the
+advice is not trusted: with ``verify=True`` the exact vectorized
+model re-ranks the candidates and its answer wins; with
+``verify=False`` (the serve layer, which has its own exact path) the
+advice is returned flagged ``low_margin`` so the caller can fall back
+itself.
+
+Only the ``latency`` objective is predictable (the heads model cycle
+counts); any other objective raises :class:`~repro.errors.AdvisorError`
+so callers degrade to the exact path instead of getting a silently
+wrong ranking.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.recommend import (
+    Constraints,
+    PredictedCandidate,
+    PredictedRecommendation,
+    Recommendation,
+    rank_predictions,
+    recommend,
+)
+from ..errors import AdvisorError
+from ..hardware import DEFAULT_CONFIG, estimate_power, estimate_resources
+from ..matrix import SparseMatrix
+from .features import extract_features
+from .model import AdvisorModel
+
+__all__ = ["FastAdvice", "recommend_fast", "static_estimates"]
+
+
+@functools.lru_cache(maxsize=256)
+def _static_estimates(format_name: str, partition_size: int):
+    """Workload-independent (resources, dynamic W) per design point.
+
+    Cached so repeated fast queries never re-run the resource model.
+    """
+    config = DEFAULT_CONFIG.with_partition_size(partition_size)
+    resources = estimate_resources(format_name, config)
+    power = estimate_power(format_name, config, resources)
+    return resources, power.dynamic_w
+
+
+def static_estimates(format_name: str, partition_size: int):
+    """Public, cached view of the exact static estimates."""
+    return _static_estimates(format_name, partition_size)
+
+
+@dataclass(frozen=True)
+class FastAdvice:
+    """The fast path's answer, with its provenance spelled out.
+
+    ``verified`` means the exact model produced the ranking (the
+    margin fell below the threshold and ``verify=True``);
+    ``low_margin`` means the prediction was below threshold whether or
+    not it was verified.
+    """
+
+    objective: str
+    model_digest: str
+    prediction: PredictedRecommendation
+    margin: float
+    margin_threshold: float
+    low_margin: bool
+    verified: bool
+    exact: Recommendation | None = None
+
+    @property
+    def ranking(self) -> tuple[PredictedCandidate, ...]:
+        return self.prediction.ranking
+
+    @property
+    def best_format(self) -> str:
+        if self.exact is not None:
+            return self.exact.format_name
+        return self.prediction.format_name
+
+    @property
+    def best_partition_size(self) -> int:
+        if self.exact is not None:
+            return self.exact.partition_size
+        return self.prediction.partition_size
+
+    @property
+    def n_rejected(self) -> int:
+        return len(self.prediction.rejected)
+
+    @property
+    def source(self) -> str:
+        return "verified" if self.verified else "fast"
+
+
+def recommend_fast(
+    matrix: SparseMatrix,
+    model: AdvisorModel,
+    objective: str = "latency",
+    formats: Sequence[str] | None = None,
+    partitions: Sequence[int] | None = None,
+    constraints: Constraints | None = None,
+    margin_threshold: float = 0.0,
+    verify: bool = True,
+) -> FastAdvice:
+    """Rank design points for ``matrix`` in O(features).
+
+    Raises :class:`AdvisorError` when the question is outside the
+    model's coverage (objective other than latency, or a format /
+    partition size with no trained head) — the caller's cue to use
+    the exact path.
+    """
+    if objective != "latency":
+        raise AdvisorError(
+            f"the fast advisor predicts the 'latency' objective only; "
+            f"{objective!r} needs the exact path"
+        )
+    if margin_threshold < 0:
+        raise AdvisorError(
+            f"margin threshold must be >= 0, got {margin_threshold}"
+        )
+    formats = tuple(formats) if formats is not None else model.formats
+    partitions = (
+        tuple(partitions) if partitions is not None
+        else model.partitions
+    )
+    missing = model.covers(formats, partitions)
+    if missing:
+        raise AdvisorError(
+            "the advisor model has no trained head for "
+            + ", ".join(missing)
+            + "; retrain with these design points or use the exact path"
+        )
+    features = extract_features(
+        matrix, model.feature_p, model.block_size, model.sample_cap
+    )
+    predicted_log = model.predict_log_cycles(features)
+    candidates = []
+    for p in sorted(partitions):
+        for name in sorted(formats):
+            resources, dynamic_w = _static_estimates(name, p)
+            candidates.append(
+                PredictedCandidate(
+                    format_name=name,
+                    partition_size=p,
+                    value=float(np.expm1(predicted_log[(name, p)])),
+                    resources=resources,
+                    dynamic_power_w=dynamic_w,
+                )
+            )
+    prediction = rank_predictions(candidates, objective, constraints)
+    margin = prediction.margin
+    low_margin = (
+        math.isfinite(margin) and margin < margin_threshold
+    )
+    exact = None
+    if low_margin and verify:
+        exact = recommend(
+            matrix,
+            objective=objective,
+            formats=formats,
+            partition_sizes=partitions,
+            constraints=constraints,
+        )
+    return FastAdvice(
+        objective=objective,
+        model_digest=model.digest,
+        prediction=prediction,
+        margin=margin,
+        margin_threshold=margin_threshold,
+        low_margin=low_margin,
+        verified=exact is not None,
+        exact=exact,
+    )

@@ -1,0 +1,151 @@
+"""Closed-form ridge training for the fast-path advisor.
+
+Pure numpy, no solver dependencies: features are standardized over the
+training workloads, and each ``(format, partition size)`` head solves
+
+    (Zᵀ Z + λ I) w = Zᵀ y,    y = log1p(total_cycles)
+
+via ``numpy.linalg.solve``.  Everything is deterministic — workloads
+are processed in sorted-name order, observations are deduplicated by
+content, and the resulting artifact is byte-identical across sweep
+worker counts and manifest orderings (the determinism suite pins
+this).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..engine.runner import SweepRunner
+from ..engine.specs import WorkloadSpec
+from ..errors import AdvisorError
+from .dataset import (
+    TrainingRow,
+    features_for_specs,
+    rows_digest,
+    rows_from_outcome,
+)
+from .features import DEFAULT_FEATURE_P, SAMPLE_CAP
+from .model import AdvisorModel, RidgeHead
+
+__all__ = ["sweep_training_rows", "train_model"]
+
+
+def sweep_training_rows(
+    specs: Sequence[WorkloadSpec],
+    formats: Sequence[str],
+    partitions: Sequence[int],
+    workers: int = 1,
+) -> list[TrainingRow]:
+    """Run the exact model over ``specs`` and collect training rows."""
+    runner = SweepRunner(max_workers=workers, error_policy="fail_fast")
+    outcome = runner.run_grid(
+        list(specs), tuple(formats), partition_sizes=tuple(partitions)
+    )
+    return rows_from_outcome(outcome, specs)
+
+
+def _standardize(
+    matrix: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    mean = matrix.mean(axis=0)
+    scale = matrix.std(axis=0)
+    scale = np.where(scale > 1e-12, scale, 1.0)
+    return (matrix - mean) / scale, mean, scale
+
+
+def train_model(
+    specs: Sequence[WorkloadSpec],
+    rows: Sequence[TrainingRow],
+    *,
+    feature_p: int = DEFAULT_FEATURE_P,
+    block_size: int = 4,
+    sample_cap: int = SAMPLE_CAP,
+    ridge_lambda: float = 0.3,
+    training: Mapping | None = None,
+) -> AdvisorModel:
+    """Fit one ridge head per observed (format, partition size).
+
+    ``specs`` supplies the matrices (features are extracted once per
+    workload); ``rows`` supplies the targets.  Rows whose recipe
+    digest matches none of ``specs`` are ignored; a head is trained on
+    exactly the workloads it was observed on.
+    """
+    if not rows:
+        raise AdvisorError("no training rows; run or point at a sweep")
+    known = {spec.recipe_digest for spec in specs}
+    unique: dict[tuple, TrainingRow] = {}
+    for row in rows:
+        if row.recipe_digest in known:
+            unique[row.key()] = row
+    rows = sorted(unique.values(), key=TrainingRow.key)
+    if not rows:
+        raise AdvisorError(
+            "no training rows match the given workloads (recipe "
+            "digests disagree); was the manifest produced from a "
+            "different zoo seed?"
+        )
+    observed = {row.recipe_digest for row in rows}
+    used = sorted(
+        (s for s in specs if s.recipe_digest in observed),
+        key=lambda s: s.name,
+    )
+    features = features_for_specs(
+        used, feature_p, block_size, sample_cap
+    )
+    design = np.array(
+        [features[s.recipe_digest].vector for s in used],
+        dtype=np.float64,
+    )
+    standardized, mean, scale = _standardize(design)
+    row_index = {s.recipe_digest: i for i, s in enumerate(used)}
+
+    by_head: dict[tuple[str, int], list[TrainingRow]] = {}
+    for row in rows:
+        by_head.setdefault(
+            (row.format_name, row.partition_size), []
+        ).append(row)
+
+    heads: list[RidgeHead] = []
+    identity = np.eye(design.shape[1])
+    for (format_name, p), head_rows in sorted(by_head.items()):
+        index = np.array(
+            [row_index[r.recipe_digest] for r in head_rows]
+        )
+        z = standardized[index]
+        y = np.log1p(
+            np.array(
+                [r.total_cycles for r in head_rows], dtype=np.float64
+            )
+        )
+        bias = float(y.mean())
+        weights = np.linalg.solve(
+            z.T @ z + ridge_lambda * identity, z.T @ (y - bias)
+        )
+        heads.append(
+            RidgeHead(
+                format_name=format_name,
+                partition_size=p,
+                bias=bias,
+                weights=tuple(float(w) for w in weights),
+            )
+        )
+
+    meta = dict(training or {})
+    meta.update(
+        n_workloads=len(used),
+        n_rows=len(rows),
+        data_digest=rows_digest(rows),
+    )
+    return AdvisorModel(
+        feature_p=feature_p,
+        block_size=block_size,
+        sample_cap=sample_cap,
+        ridge_lambda=ridge_lambda,
+        mean=tuple(float(v) for v in mean),
+        scale=tuple(float(v) for v in scale),
+        heads=tuple(heads),
+        training=meta,
+    )

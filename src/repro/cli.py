@@ -19,7 +19,13 @@ Everything the library computes is reachable from the shell::
     python -m repro stats run.jsonl --against baseline.jsonl
     python -m repro integrity --random 64 --density 0.08 --injections 50
     python -m repro advise --standin KR
+    python -m repro advisor train --out advisor_model.json
+    python -m repro advisor train --from-manifest run.jsonl
+    python -m repro advisor bench --model advisor_model.json
+    python -m repro advise --random 512 --density 0.02 --fast \
+        --model advisor_model.json
     python -m repro serve --port 8787 --budget-s 5
+    python -m repro serve --port 8787 --fast-model advisor_model.json
     python -m repro loadgen --port 8787 --mix hot --requests 200
     python -m repro loadgen --spawn --requests 200 --seed 7
 
@@ -436,6 +442,8 @@ def _cmd_bench(args: argparse.Namespace) -> str:
 
 
 def _cmd_advise(args: argparse.Namespace) -> str:
+    if args.fast:
+        return _cmd_advise_fast(args)
     name, matrix = _build_workload(args)
     workload = Workload(name=name, group="cli", matrix=matrix)
     results = SweepRunner(error_policy="fail_fast").run_grid(
@@ -460,10 +468,247 @@ def _cmd_advise(args: argparse.Namespace) -> str:
     return table + f"\n\nrecommended format: {scores[0].format_name}"
 
 
+def _cmd_advise_fast(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from .advisor import load_model, recommend_fast
+    from .errors import AdvisorModelError
+
+    # fail with a per-argument message before load_model's generic
+    # one: the fix (train a model, or fix the path) is specific to
+    # this flag
+    if not Path(args.model).is_file():
+        raise AdvisorModelError(
+            f"--model not found: {args.model} (train one with "
+            "`repro advisor train --out PATH`)"
+        )
+    model = load_model(args.model)
+    name, matrix = _build_workload(args)
+    advice = recommend_fast(
+        matrix, model, margin_threshold=args.margin, verify=True
+    )
+    rows = [
+        [index + 1, candidate.format_name, candidate.partition_size,
+         round(candidate.value)]
+        for index, candidate in enumerate(advice.ranking)
+    ]
+    table = format_table(
+        ["rank", "format", "p", "predicted cycles"],
+        rows,
+        title=f"Fast format advice for {name} (1 = best)",
+    )
+    if advice.verified:
+        provenance = (
+            "margin below threshold; the exact model verified the "
+            "answer"
+        )
+    else:
+        provenance = "predicted (margin cleared the threshold)"
+    return table + (
+        f"\n\nrecommended: {advice.best_format} at "
+        f"p={advice.best_partition_size}"
+        f"\nmargin: {advice.margin:.4f} "
+        f"(threshold {advice.margin_threshold:g}) — {provenance}"
+        f"\nmodel: {advice.model_digest}"
+    )
+
+
+def _cmd_advisor_train(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from .advisor import (
+        rows_from_manifest,
+        rows_from_outcome,
+        save_model,
+        split_holdout,
+        train_model,
+        workload_zoo,
+    )
+    from .errors import AdvisorError
+
+    zoo = workload_zoo(args.zoo_seed)
+    train_specs, heldout = split_holdout(
+        zoo, args.holdout, args.split_seed
+    )
+    formats = (
+        tuple(args.formats) if args.formats else PAPER_FORMATS
+    )
+    partitions = tuple(args.partitions)
+    lines: list[str] = []
+    if args.from_manifest:
+        hint = (
+            "pass a JSON-lines manifest written by `repro advisor "
+            "train --emit-manifest PATH` or `repro sweep "
+            "--emit-metrics PATH`"
+        )
+        for path in args.from_manifest:
+            if not Path(path).is_file():
+                raise AdvisorError(
+                    f"--from-manifest not found: {path} ({hint})"
+                )
+        rows = []
+        for path in args.from_manifest:
+            found, skipped = rows_from_manifest(path, train_specs)
+            rows.extend(found)
+            lines.append(
+                f"{path}: {len(found)} training rows"
+                + (
+                    f", {len(skipped)} foreign workloads skipped"
+                    if skipped
+                    else ""
+                )
+            )
+    else:
+        runner = SweepRunner(
+            max_workers=args.workers,
+            telemetry=args.emit_manifest is not None,
+            error_policy="fail_fast",
+        )
+        outcome = runner.run_grid(
+            list(train_specs), formats, partition_sizes=partitions
+        )
+        rows = rows_from_outcome(outcome, train_specs)
+        lines.append(
+            f"swept {len(train_specs)} workloads x {len(formats)} "
+            f"formats x {len(partitions)} partition sizes: "
+            f"{len(rows)} training rows"
+        )
+        if args.emit_manifest is not None:
+            path = outcome.write_manifest(args.emit_manifest)
+            lines.append(f"training manifest written to {path}")
+    model = train_model(
+        train_specs,
+        rows,
+        feature_p=args.feature_p,
+        ridge_lambda=args.ridge_lambda,
+        # no row-provenance field here: a model trained from a sweep
+        # and one trained from that sweep's manifest must be
+        # byte-identical (data_digest already pins the observations)
+        training={
+            "zoo_seed": args.zoo_seed,
+            "split_seed": args.split_seed,
+            "holdout_fraction": args.holdout,
+            "formats": sorted(formats),
+            "partitions": sorted(partitions),
+        },
+    )
+    out = save_model(model, args.out)
+    lines.append(
+        f"trained {len(model.heads)} heads on "
+        f"{model.training['n_workloads']} workloads "
+        f"({len(heldout)} held out)"
+    )
+    lines.append(f"model digest: {model.digest}")
+    lines.append(f"advisor model written to {out}")
+    return "\n".join(lines)
+
+
+def _cmd_advisor_bench(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from .advisor import (
+        bench_advisor,
+        default_latency_specs,
+        load_model,
+        split_holdout,
+        workload_zoo,
+        write_advisor_report,
+    )
+    from .errors import AdvisorError, AdvisorModelError
+
+    if not Path(args.model).is_file():
+        raise AdvisorModelError(
+            f"--model not found: {args.model} (train one with "
+            "`repro advisor train --out PATH`)"
+        )
+    model = load_model(args.model)
+    meta = model.training
+    zoo = workload_zoo(int(meta.get("zoo_seed", 0)))
+    _, heldout = split_holdout(
+        zoo,
+        float(meta.get("holdout_fraction", 0.25)),
+        int(meta.get("split_seed", 0)),
+    )
+    report = bench_advisor(
+        model,
+        heldout,
+        repeats=args.repeats,
+        latency_specs=default_latency_specs(args.latency_n),
+    )
+    path = write_advisor_report(report, args.output)
+    accuracy = report["accuracy"]
+    latency = report["latency"]
+    lines = [
+        f"held-out accuracy over {report['config']['n_heldout']} "
+        f"workloads x {report['config']['n_cells']} design points:",
+        f"  spearman: mean {accuracy['spearman_mean']:.4f}, "
+        f"min {accuracy['spearman_min']:.4f}",
+        f"  agreement: top-1 {accuracy['top1_agreement']:.3f}, "
+        f"top-3 {accuracy['top3_agreement']:.3f}",
+        "advise latency (exact vs fast path):",
+    ]
+    for row in latency["per_workload"]:
+        lines.append(
+            f"  {row['workload']}: {row['exact_ms']:.1f} ms -> "
+            f"{row['fast_ms']:.2f} ms ({row['speedup']:.0f}x)"
+        )
+    lines.append(
+        f"  speedup: geomean {latency['speedup_geomean']:.0f}x, "
+        f"min {latency['speedup_min']:.0f}x"
+    )
+    lines.append(f"report written to {path}")
+    failures = []
+    if (
+        args.require_spearman is not None
+        and accuracy["spearman_mean"] < args.require_spearman
+    ):
+        failures.append(
+            f"spearman_mean {accuracy['spearman_mean']:.4f} < "
+            f"required {args.require_spearman}"
+        )
+    if (
+        args.require_top3 is not None
+        and accuracy["top3_agreement"] < args.require_top3
+    ):
+        failures.append(
+            f"top3_agreement {accuracy['top3_agreement']:.3f} < "
+            f"required {args.require_top3}"
+        )
+    if (
+        args.require_speedup is not None
+        and latency["speedup_min"] < args.require_speedup
+    ):
+        failures.append(
+            f"speedup_min {latency['speedup_min']:.1f}x < "
+            f"required {args.require_speedup}x"
+        )
+    if failures:
+        raise AdvisorError(
+            "accuracy contract not met: " + "; ".join(failures)
+        )
+    return "\n".join(lines)
+
+
 def _cmd_serve(args: argparse.Namespace) -> str:
     import asyncio
+    from pathlib import Path
 
     from .serve import CharacterizationServer
+
+    advisor_model = None
+    if args.fast_model is not None:
+        from .advisor import load_model
+        from .errors import AdvisorModelError
+
+        # load eagerly so a missing or corrupt artifact fails the boot
+        # with a per-argument message instead of silently serving the
+        # exact path only
+        if not Path(args.fast_model).is_file():
+            raise AdvisorModelError(
+                f"--fast-model not found: {args.fast_model} (train "
+                "one with `repro advisor train --out PATH`)"
+            )
+        advisor_model = load_model(args.fast_model)
 
     async def _run() -> None:
         server = CharacterizationServer(
@@ -475,6 +720,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             cache_size=args.cache_size,
             max_dim=args.max_dim,
             faults=args.inject_faults,
+            advisor_model=advisor_model,
+            advisor_margin=args.fast_margin,
         )
         await server.start()
         print(
@@ -740,7 +987,124 @@ def build_parser() -> argparse.ArgumentParser:
         "advise", help="rank formats for a workload (Figure-14 style)"
     )
     _add_workload_arguments(advise)
+    advise.add_argument(
+        "--fast", action="store_true",
+        help="answer from the learned advisor (O(features)) instead "
+        "of simulating every design point; requires --model",
+    )
+    advise.add_argument(
+        "--model", metavar="PATH", default=None,
+        help="advisor_model/v1 artifact for --fast "
+        "(train one with `repro advisor train`)",
+    )
+    advise.add_argument(
+        "--margin", type=float, default=0.05,
+        help="confidence threshold for --fast: predictions whose "
+        "best-vs-runner-up gap falls below it are re-checked by the "
+        "exact model (default 0.05)",
+    )
     advise.set_defaults(handler=_cmd_advise)
+
+    advisor = commands.add_parser(
+        "advisor",
+        help="train / benchmark the learned fast-path advisor",
+    )
+    advisor_commands = advisor.add_subparsers(
+        dest="advisor_command", required=True
+    )
+    advisor_train = advisor_commands.add_parser(
+        "train",
+        help="fit the advisor on the workload zoo (or sweep manifests)",
+    )
+    advisor_train.add_argument(
+        "--from-manifest", action="append", metavar="PATH",
+        default=None,
+        help="train from JSON-lines run manifest(s) joined to the zoo "
+        "by recipe digest (repeatable; default: sweep in-process)",
+    )
+    advisor_train.add_argument(
+        "--out", metavar="PATH", default="advisor_model.json",
+        help="artifact path (default advisor_model.json)",
+    )
+    advisor_train.add_argument(
+        "--zoo-seed", type=int, default=0,
+        help="workload-zoo seed (default 0)",
+    )
+    advisor_train.add_argument(
+        "--holdout", type=float, default=0.25,
+        help="held-out workload fraction, never trained on "
+        "(default 0.25)",
+    )
+    advisor_train.add_argument(
+        "--split-seed", type=int, default=0,
+        help="train/held-out split seed (default 0)",
+    )
+    advisor_train.add_argument(
+        "--workers", type=int, default=1,
+        help="sweep worker processes (default 1; the artifact is "
+        "byte-identical for any worker count)",
+    )
+    advisor_train.add_argument(
+        "--formats", nargs="+", default=None,
+        choices=sorted(ALL_FORMATS),
+        help="formats to train heads for (default: the eight paper "
+        "formats)",
+    )
+    advisor_train.add_argument(
+        "--partitions", type=int, nargs="+",
+        default=list(PARTITION_SIZES),
+        help="partition sizes to train heads for (default: 8 16 32)",
+    )
+    advisor_train.add_argument(
+        "--feature-p", type=int, default=16,
+        help="partition size the feature extractor profiles at "
+        "(default 16)",
+    )
+    advisor_train.add_argument(
+        "--ridge-lambda", type=float, default=0.3,
+        help="ridge regularization strength (default 0.3)",
+    )
+    advisor_train.add_argument(
+        "--emit-manifest", metavar="PATH", default=None,
+        help="also write the training sweep's run manifest to PATH "
+        "(feed it back with --from-manifest to reproduce the model)",
+    )
+    advisor_train.set_defaults(handler=_cmd_advisor_train)
+    advisor_bench = advisor_commands.add_parser(
+        "bench",
+        help="measure the accuracy contract (bench_advisor/v1)",
+    )
+    advisor_bench.add_argument(
+        "--model", metavar="PATH", required=True,
+        help="advisor_model/v1 artifact to benchmark",
+    )
+    advisor_bench.add_argument(
+        "--output", metavar="PATH", default="BENCH_advisor.json",
+        help="report path (default BENCH_advisor.json)",
+    )
+    advisor_bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="latency timing repeats, best-of reported (default 3)",
+    )
+    advisor_bench.add_argument(
+        "--latency-n", type=int, default=2048,
+        help="matrix dimension of the exact-vs-fast latency contest "
+        "(default 2048)",
+    )
+    advisor_bench.add_argument(
+        "--require-spearman", type=float, default=None, metavar="X",
+        help="exit non-zero if held-out mean Spearman < X (CI gate)",
+    )
+    advisor_bench.add_argument(
+        "--require-top3", type=float, default=None, metavar="X",
+        help="exit non-zero if held-out top-3 agreement < X (CI gate)",
+    )
+    advisor_bench.add_argument(
+        "--require-speedup", type=float, default=None, metavar="X",
+        help="exit non-zero if the minimum fast-path speedup < Xx "
+        "(CI gate)",
+    )
+    advisor_bench.set_defaults(handler=_cmd_advisor_bench)
 
     serve = commands.add_parser(
         "serve",
@@ -782,6 +1146,16 @@ def build_parser() -> argparse.ArgumentParser:
         # robustness testing only (see repro.engine.faults)
         "--inject-faults", metavar="SPECS", default=None,
         help=argparse.SUPPRESS,
+    )
+    serve.add_argument(
+        "--fast-model", metavar="PATH", default=None,
+        help="advisor_model/v1 artifact: answer confident /advise "
+        "queries from the learned fast path without simulating",
+    )
+    serve.add_argument(
+        "--fast-margin", type=float, default=0.05,
+        help="margin below which a fast prediction is not trusted "
+        "and the exact path answers (default 0.05)",
     )
     serve.set_defaults(handler=_cmd_serve)
 
@@ -931,6 +1305,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("pass -f/--format (repeatable) or --all-formats")
     if args.command == "sweep" and args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint")
+    if args.command == "advise":
+        if args.fast and args.model is None:
+            parser.error("--fast requires --model PATH")
+        if args.model is not None and not args.fast:
+            parser.error("--model requires --fast")
     try:
         print(args.handler(args))
     except SweepCellError as error:

@@ -25,8 +25,11 @@ __all__ = [
     "Objective",
     "Constraints",
     "Recommendation",
+    "PredictedCandidate",
+    "PredictedRecommendation",
     "recommend",
     "recommend_from_results",
+    "rank_predictions",
 ]
 
 #: Result attribute and direction per objective name.
@@ -81,13 +84,25 @@ class Constraints:
     max_dynamic_power_w: float = float("inf")
 
     def admits(self, result: CharacterizationResult) -> bool:
-        resources = result.resources
-        return (
+        return self.admits_static(
+            result.resources, result.dynamic_power_w
+        )
+
+    def admits_static(self, resources, dynamic_power_w: float) -> bool:
+        """Constraint check from resources/power alone.
+
+        Resources and power are workload-independent, so the learned
+        fast path can apply the *exact* constraint filter to predicted
+        candidates without running a single simulation.  ``resources``
+        may be ``None`` to skip the fabric budgets.
+        """
+        if resources is not None and not (
             resources.bram_18k <= self.max_bram_18k
             and resources.ff <= self.max_ff
             and resources.lut <= self.max_lut
-            and result.dynamic_power_w <= self.max_dynamic_power_w
-        )
+        ):
+            return False
+        return dynamic_power_w <= self.max_dynamic_power_w
 
 
 @dataclass(frozen=True)
@@ -114,6 +129,98 @@ class Recommendation:
             key=self.objective.value,
             reverse=_OBJECTIVES[self.objective.name][1],
         )
+
+
+@dataclass(frozen=True)
+class PredictedCandidate:
+    """One design point scored by a predictor instead of simulation.
+
+    ``value`` is the predicted objective value (cycles for the latency
+    objective); ``resources`` / ``dynamic_power_w`` carry the *exact*
+    workload-independent estimates so constraint filtering stays
+    exact even on the fast path.
+    """
+
+    format_name: str
+    partition_size: int
+    value: float
+    resources: object = None
+    dynamic_power_w: float = 0.0
+
+
+@dataclass(frozen=True)
+class PredictedRecommendation:
+    """A predicted ranking plus the margin the verifier gates on."""
+
+    objective: Objective
+    ranking: tuple[PredictedCandidate, ...]
+    rejected: tuple[PredictedCandidate, ...]
+
+    @property
+    def best(self) -> PredictedCandidate:
+        return self.ranking[0]
+
+    @property
+    def format_name(self) -> str:
+        return self.best.format_name
+
+    @property
+    def partition_size(self) -> int:
+        return self.best.partition_size
+
+    @property
+    def margin(self) -> float:
+        """Relative gap between the predicted best and the runner-up.
+
+        The fast path's confidence signal: a small margin means the
+        top two design points are predicted too close to call, and the
+        caller should fall back to the exact model.  Infinite when
+        there is no runner-up.
+        """
+        if len(self.ranking) < 2:
+            return float("inf")
+        first = self.ranking[0].value
+        second = self.ranking[1].value
+        return abs(second - first) / max(abs(first), 1e-12)
+
+
+def rank_predictions(
+    candidates: Sequence[PredictedCandidate],
+    objective: str = "latency",
+    constraints: Constraints | None = None,
+) -> PredictedRecommendation:
+    """Rank predicted design points under the exact constraint filter.
+
+    The prediction-side counterpart of :func:`recommend_from_results`:
+    same objective directions, same constraint semantics, same
+    no-feasible-candidate failure.
+    """
+    goal = Objective(objective)
+    budget = constraints or Constraints()
+    feasible: list[PredictedCandidate] = []
+    rejected: list[PredictedCandidate] = []
+    for candidate in candidates:
+        if budget.admits_static(
+            candidate.resources, candidate.dynamic_power_w
+        ):
+            feasible.append(candidate)
+        else:
+            rejected.append(candidate)
+    if not feasible:
+        raise SimulationError(
+            "no (format, partition) combination satisfies the "
+            "constraints; relax the budgets or widen the search"
+        )
+    ranking = sorted(
+        feasible,
+        key=lambda c: c.value,
+        reverse=_OBJECTIVES[goal.name][1],
+    )
+    return PredictedRecommendation(
+        objective=goal,
+        ranking=tuple(ranking),
+        rejected=tuple(rejected),
+    )
 
 
 def recommend(

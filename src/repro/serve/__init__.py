@@ -31,6 +31,7 @@ from .protocol import (
     ENDPOINTS,
     SERVE_SCHEMA,
     Query,
+    advise_fast_payload,
     advise_payload,
     canonical_json,
     characterize_payload,
@@ -56,6 +57,7 @@ __all__ = [
     "ENDPOINTS",
     "SERVE_SCHEMA",
     "Query",
+    "advise_fast_payload",
     "advise_payload",
     "canonical_json",
     "characterize_payload",

@@ -12,25 +12,32 @@ The concurrency mechanics, in the order a request meets them:
 
 1. **LRU result cache** — completed responses, keyed by query digest,
    stored as canonical bytes.  A hit skips everything below.
-2. **Single-flight coalescing** — concurrent requests with one digest
+2. **Learned fast path** (``/advise``, with an advisor model loaded)
+   — O(features) predicted rankings answered without simulating,
+   margin-gated: low-confidence predictions fall through to the exact
+   path below.  Fast bodies are cached under ``fast:<digest>`` and
+   marked ``X-Copernicus-Source: advised-fast``.
+3. **Single-flight coalescing** — concurrent requests with one digest
    share one backend computation
    (:class:`~repro.engine.SingleFlight`); waiters receive the same
    bytes, and a cancelled or timed-out waiter never cancels the
    shared work.
-3. **Admission control** — at most ``max_inflight`` backend
+4. **Admission control** — at most ``max_inflight`` backend
    computations run concurrently; at most ``queue_limit`` leaders may
    wait for a slot.  Beyond that the server answers ``429`` with a
    structured body instead of building an unbounded backlog.
-4. **Per-request budget** — with ``budget_s`` set, a request that
+5. **Per-request budget** — with ``budget_s`` set, a request that
    cannot be answered in time *degrades* instead of hanging: first to
-   a cached answer for the cheaper approximate form of the query (its
-   smallest partition size), then to computing that approximate
+   a fast-path prediction for the full query (margin gating waived —
+   an unverified answer beats no answer), then to a cached answer for
+   the cheaper approximate form of the query (its smallest partition
+   size), then to computing that approximate
    answer within a grace budget, and only then to a structured ``504``.
    The original computation keeps running and lands in the cache for
    the next asker.  Degraded responses are marked with the
    ``X-Copernicus-Degraded`` header — never in the body, which stays
    byte-identical per digest.
-5. **Telemetry** — every request increments counters and records a
+6. **Telemetry** — every request increments counters and records a
    labelled span in the server's
    :class:`~repro.observability.MetricsRegistry`, exported live at
    ``GET /metrics`` (``metrics/v1``).
@@ -48,9 +55,11 @@ import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from ..advisor import AdvisorModel, load_model, recommend_fast
 from ..engine.faults import FaultPlan
 from ..engine.singleflight import SingleFlight
 from ..errors import (
+    AdvisorError,
     CopernicusError,
     ServeBudgetError,
     ServeError,
@@ -64,6 +73,7 @@ from .protocol import (
     DEFAULT_MAX_DIM,
     ENDPOINTS,
     Query,
+    advise_fast_payload,
     canonical_json,
     error_payload,
     health_payload,
@@ -129,6 +139,19 @@ class CharacterizationServer:
     faults:
         Deterministic :class:`~repro.engine.faults.FaultPlan` (or its
         string form) injected into every backend sweep — testing only.
+    advisor_model:
+        Optional learned fast-path advisor: a loaded
+        :class:`~repro.advisor.AdvisorModel` or a path to an
+        ``advisor_model/v1`` artifact.  With a model, ``/advise``
+        queries whose prediction margin clears ``advisor_margin`` are
+        answered in O(features) without simulating
+        (``X-Copernicus-Source: advised-fast``); low-margin queries
+        fall through to the exact path, and a model that fails to load
+        disables the fast path (typed error counter) instead of
+        failing the server.
+    advisor_margin:
+        Relative best-vs-runner-up gap below which a fast prediction
+        is not trusted and the exact path answers instead.
     """
 
     def __init__(
@@ -142,6 +165,8 @@ class CharacterizationServer:
         cache_size: int = 256,
         max_dim: int = DEFAULT_MAX_DIM,
         faults: "FaultPlan | str | None" = None,
+        advisor_model: "AdvisorModel | str | None" = None,
+        advisor_margin: float = 0.05,
     ) -> None:
         if max_inflight < 1:
             raise ServeError(
@@ -155,6 +180,10 @@ class CharacterizationServer:
             raise ServeError(
                 f"budget_s must be > 0 seconds, got {budget_s}"
             )
+        if advisor_margin < 0:
+            raise ServeError(
+                f"advisor_margin must be >= 0, got {advisor_margin}"
+            )
         self.host = host
         self.port = port
         self.max_inflight = max_inflight
@@ -165,6 +194,21 @@ class CharacterizationServer:
         self.cache: LRUCache = LRUCache(cache_size)
         self.flight = SingleFlight()
         self.backend = SweepBackend(faults=faults)
+        self.advisor_margin = advisor_margin
+        self.advisor: AdvisorModel | None = None
+        if isinstance(advisor_model, AdvisorModel):
+            self.advisor = advisor_model
+        elif advisor_model is not None:
+            # a broken artifact must not take the server down: the
+            # exact path still answers everything, so degrade to it
+            # and leave a typed counter behind for the operator
+            try:
+                self.advisor = load_model(advisor_model)
+            except CopernicusError as error:
+                self.metrics.incr("serve.advisor.load_failures")
+                self.metrics.incr(
+                    f"serve.advisor.errors.{type(error).__name__}"
+                )
         self._semaphore: asyncio.Semaphore | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -370,6 +414,10 @@ class CharacterizationServer:
             self.metrics.incr("serve.cache.hits")
             return cached, "cache", ""
         self.metrics.incr("serve.cache.misses")
+        if self.advisor is not None and query.endpoint == "advise":
+            fast = await self._fast_advise(query, digest)
+            if fast is not None:
+                return fast, "advised-fast", ""
         waiter = self._shared_flight(query, digest)
         if self.budget_s is None:
             body, led = await waiter
@@ -383,7 +431,7 @@ class CharacterizationServer:
             # the shared computation keeps running for future askers;
             # this request degrades instead of hanging
             self.metrics.incr("serve.budget.expired")
-            return await self._degrade(query)
+            return await self._degrade(query, digest)
 
     def _flight_source(self, led: bool) -> str:
         """Source marker + coalesce counters for one completed flight.
@@ -443,13 +491,96 @@ class CharacterizationServer:
             self._running -= 1
             self._semaphore.release()
 
-    async def _degrade(self, query: Query) -> tuple[bytes, str, str]:
-        """Answer a budget-blown request with the approximate query.
+    # ------------------------------------------------------------------
+    # The learned fast path
+    # ------------------------------------------------------------------
+    async def _fast_advise(
+        self, query: Query, digest: str
+    ) -> bytes | None:
+        """One fast-path attempt; ``None`` means use the exact path.
 
-        Cached approximate answers are free; otherwise the approximate
-        computation gets one grace budget.  A query with no cheaper
-        form (single partition size) cannot degrade.
+        Fast bodies are cached under ``fast:<digest>`` — never under
+        the exact digest, so a fast answer can never impersonate an
+        exact one.  Only confident (margin-clearing) bodies land in
+        this cache.
         """
+        key = "fast:" + digest
+        cached = self.cache.get(key)
+        if cached is not None:
+            self.metrics.incr("serve.advisor.fast_hits")
+            self.metrics.incr("serve.advisor.cache_hits")
+            return cached
+        body = await self._advisor_executor(query, ignore_margin=False)
+        if body is None:
+            return None
+        self.metrics.incr("serve.advisor.fast_hits")
+        self.cache.put(key, body)
+        return body
+
+    async def _advisor_executor(
+        self, query: Query, ignore_margin: bool
+    ) -> bytes | None:
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                self._executor,
+                functools.partial(
+                    self._advisor_answer, query, ignore_margin
+                ),
+            )
+        except AdvisorError as error:
+            # outside the model's coverage (objective, formats,
+            # partition sizes): the exact path owns this query
+            self.metrics.incr(
+                f"serve.advisor.errors.{type(error).__name__}"
+            )
+            self.metrics.incr("serve.advisor.fallbacks")
+            return None
+
+    def _advisor_answer(
+        self, query: Query, ignore_margin: bool
+    ) -> bytes | None:
+        """Synchronous fast prediction (runs on the executor).
+
+        ``None`` means the margin came in under the threshold — the
+        serve layer's verification is the exact path itself, so the
+        caller falls through to it.
+        """
+        matrix = query.spec.build().matrix
+        advice = recommend_fast(
+            matrix,
+            self.advisor,
+            objective=query.objective,
+            formats=query.formats,
+            partitions=query.partitions,
+            constraints=query.recommend_constraints(),
+            margin_threshold=(
+                0.0 if ignore_margin else self.advisor_margin
+            ),
+            verify=False,
+        )
+        if advice.low_margin:
+            self.metrics.incr("serve.advisor.verifies")
+            return None
+        return canonical_json(advise_fast_payload(query, advice))
+
+    async def _degrade(
+        self, query: Query, digest: str
+    ) -> tuple[bytes, str, str]:
+        """Answer a budget-blown request without the full computation.
+
+        The degradation ladder: a confident fast prediction for the
+        *full* query (when an advisor is loaded — margin gating is
+        waived, an unverified answer beats no answer), then a cached
+        answer for the approximate query (its smallest partition
+        size), then computing that approximate answer within one grace
+        budget, then a structured ``504``.
+        """
+        if self.advisor is not None and query.endpoint == "advise":
+            fast = await self._degraded_fast(query, digest)
+            if fast is not None:
+                self.metrics.incr("serve.degraded.fast")
+                return fast, "advised-fast", "fast-predicted"
         approximate = query.approximate()
         if approximate is None:
             raise ServeBudgetError(
@@ -475,6 +606,25 @@ class CharacterizationServer:
             ) from None
         self.metrics.incr("serve.degraded.computed")
         return body, "computed", "approximate"
+
+    async def _degraded_fast(
+        self, query: Query, digest: str
+    ) -> bytes | None:
+        """Fast body for a budget-blown query, margin gating waived.
+
+        A confident cached fast body is reused; an unconfident one is
+        cached under ``fast-degraded:<digest>`` only, so the normal
+        fast path never serves a below-threshold prediction.
+        """
+        for key in ("fast:" + digest, "fast-degraded:" + digest):
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.metrics.incr("serve.advisor.cache_hits")
+                return cached
+        body = await self._advisor_executor(query, ignore_margin=True)
+        if body is not None:
+            self.cache.put("fast-degraded:" + digest, body)
+        return body
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -521,6 +671,15 @@ class CharacterizationServer:
                     "leaders": self.flight.stats.leaders,
                     "coalesced": self.flight.stats.coalesced,
                     "failures": self.flight.stats.failures,
+                },
+                "advisor": {
+                    "enabled": self.advisor is not None,
+                    "model": (
+                        self.advisor.digest
+                        if self.advisor is not None
+                        else None
+                    ),
+                    "margin_threshold": self.advisor_margin,
                 },
             },
         )

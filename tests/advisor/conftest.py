@@ -1,0 +1,41 @@
+"""Shared fixtures for the advisor suite.
+
+Training even a tiny advisor needs a sweep, so the expensive pieces —
+a small spec set, its training rows, and a trained model — are built
+once per session and shared read-only across the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor import sweep_training_rows, train_model
+from repro.engine.specs import WorkloadSpec
+
+#: Small enough to sweep in well under a second, diverse enough that
+#: the ridge heads are not degenerate.
+TINY_FORMATS = ("coo", "csr", "ell")
+TINY_PARTITIONS = (8, 16)
+
+
+def tiny_specs() -> tuple[WorkloadSpec, ...]:
+    return (
+        WorkloadSpec.random(32, 0.05, seed=1, name="tiny-r32-d05"),
+        WorkloadSpec.random(32, 0.15, seed=2, name="tiny-r32-d15"),
+        WorkloadSpec.random(48, 0.1, seed=3, name="tiny-r48-d10"),
+        WorkloadSpec.band(48, 5, seed=4, name="tiny-b48-w5"),
+        WorkloadSpec.band(64, 9, seed=5, name="tiny-b64-w9"),
+        WorkloadSpec.poisson(6, name="tiny-poisson-6"),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_rows():
+    return sweep_training_rows(
+        tiny_specs(), TINY_FORMATS, TINY_PARTITIONS
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tiny_rows):
+    return train_model(tiny_specs(), tiny_rows)

@@ -1,0 +1,130 @@
+"""Property suite for the advisor's feature extraction (hypothesis).
+
+The feature vector is part of the ``advisor_model/v1`` artifact
+contract, so its invariants are pinned as properties over arbitrary
+small matrices:
+
+* deterministic — the same ``(matrix, p)`` yields the identical
+  vector, bit for bit;
+* tile-order invariant — a :class:`ProfileTable` rebuilt from its
+  per-tile profiles in any iteration order yields the identical
+  vector (every float reduction sorts first);
+* finite — empty, fully dense, and single-row matrices all produce
+  finite features;
+* round-trip consistent — ``extract_features(m)`` equals the vector
+  recomputed from the profile table after a
+  ``ProfileTable.from_profiles`` round trip.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.advisor import (
+    FEATURE_NAMES,
+    extract_features,
+    features_from_table,
+    matrix_summary,
+    sample_matrix,
+)
+from repro.matrix import SparseMatrix
+from repro.partition import ProfileTable, profile_table
+from tests.test_properties import sparse_matrices
+
+PARTITIONS = (8, 16, 32)
+
+
+@st.composite
+def matrices_and_p(draw):
+    matrix = draw(sparse_matrices(max_rows=24, max_cols=24))
+    p = draw(st.sampled_from(PARTITIONS))
+    return matrix, p
+
+
+class TestDeterminism:
+    @given(matrices_and_p())
+    @settings(max_examples=60)
+    def test_same_input_same_vector(self, case) -> None:
+        matrix, p = case
+        first = extract_features(matrix, p)
+        second = extract_features(matrix, p)
+        assert first.vector == second.vector
+
+    @given(sparse_matrices(max_entries=60), st.integers(4, 24))
+    @settings(max_examples=40)
+    def test_sample_is_deterministic_and_bounded(
+        self, matrix, cap
+    ) -> None:
+        a = sample_matrix(matrix, cap)
+        b = sample_matrix(matrix, cap)
+        assert a == b
+        assert a.nnz == min(matrix.nnz, cap)
+        assert a.shape == matrix.shape
+
+
+class TestTileOrderInvariance:
+    @given(matrices_and_p(), st.integers(0, 2**16))
+    @settings(max_examples=60)
+    def test_shuffled_profiles_same_vector(self, case, seed) -> None:
+        matrix, p = case
+        table = profile_table(matrix, p)
+        if not table.n_tiles:
+            return  # from_profiles rejects empty tables by contract
+        profiles = table.profiles()
+        random.Random(seed).shuffle(profiles)
+        shuffled = ProfileTable.from_profiles(profiles)
+        summary = matrix_summary(matrix)
+        assert features_from_table(
+            table, summary
+        ) == features_from_table(shuffled, summary)
+
+
+class TestFiniteness:
+    def _assert_finite(self, matrix, p: int = 8) -> None:
+        features = extract_features(matrix, p)
+        for name, value in zip(FEATURE_NAMES, features.vector):
+            assert math.isfinite(value), (name, value)
+
+    def test_empty_matrix(self) -> None:
+        self._assert_finite(SparseMatrix((16, 16), [], [], []))
+
+    def test_all_dense_matrix(self) -> None:
+        self._assert_finite(
+            SparseMatrix.from_dense(np.ones((12, 12)))
+        )
+
+    def test_single_row_matrix(self) -> None:
+        self._assert_finite(
+            SparseMatrix((1, 20), [0] * 5, [2, 5, 9, 11, 19], [1.0] * 5)
+        )
+
+    def test_single_entry_matrix(self) -> None:
+        self._assert_finite(SparseMatrix((7, 3), [4], [1], [2.5]))
+
+    @given(matrices_and_p())
+    @settings(max_examples=60)
+    def test_arbitrary_matrices(self, case) -> None:
+        matrix, p = case
+        self._assert_finite(matrix, p)
+
+
+class TestRoundTrip:
+    @given(matrices_and_p())
+    @settings(max_examples=60)
+    def test_extract_equals_recomputed_from_roundtripped_table(
+        self, case
+    ) -> None:
+        matrix, p = case
+        features = extract_features(matrix, p)
+        sampled = sample_matrix(matrix)
+        table = profile_table(sampled, p, block_size=4)
+        if table.n_tiles:
+            table = ProfileTable.from_profiles(table.profiles())
+        assert features.vector == features_from_table(
+            table, matrix_summary(matrix)
+        )

@@ -1,0 +1,175 @@
+"""Unit tests for ``recommend_fast``: verification, coverage, filters.
+
+The fast path's contract is "never silently wrong": questions outside
+the model's coverage raise a typed :class:`AdvisorError`, low-margin
+predictions are re-ranked by the exact model when ``verify=True``, and
+the exact constraint check filters predicted candidates the same way
+it filters measured ones.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.advisor import FastAdvice, recommend_fast
+from repro.core.recommend import Constraints, recommend
+from repro.engine.specs import WorkloadSpec
+from repro.errors import AdvisorError, SimulationError
+from tests.advisor.conftest import TINY_FORMATS, TINY_PARTITIONS
+
+
+def _probe_matrix():
+    return WorkloadSpec.random(64, 0.1, seed=21, name="probe").build().matrix
+
+
+class TestVerification:
+    def test_infinite_threshold_forces_exact_verification(
+        self, tiny_model
+    ) -> None:
+        matrix = _probe_matrix()
+        advice = recommend_fast(
+            matrix,
+            tiny_model,
+            formats=TINY_FORMATS,
+            partitions=TINY_PARTITIONS,
+            margin_threshold=1e18,
+            verify=True,
+        )
+        assert advice.low_margin
+        assert advice.verified
+        assert advice.exact is not None
+        exact = recommend(
+            matrix,
+            formats=TINY_FORMATS,
+            partition_sizes=TINY_PARTITIONS,
+        )
+        assert advice.best_format == exact.format_name
+        assert advice.best_partition_size == exact.partition_size
+        assert advice.source == "verified"
+
+    def test_verify_false_flags_but_does_not_rerank(
+        self, tiny_model
+    ) -> None:
+        advice = recommend_fast(
+            _probe_matrix(),
+            tiny_model,
+            formats=TINY_FORMATS,
+            partitions=TINY_PARTITIONS,
+            margin_threshold=1e18,
+            verify=False,
+        )
+        assert advice.low_margin
+        assert not advice.verified
+        assert advice.exact is None
+        assert advice.source == "fast"
+
+    def test_confident_prediction_skips_verification(
+        self, tiny_model
+    ) -> None:
+        advice = recommend_fast(
+            _probe_matrix(),
+            tiny_model,
+            formats=TINY_FORMATS,
+            partitions=TINY_PARTITIONS,
+            margin_threshold=0.0,
+            verify=True,
+        )
+        assert not advice.low_margin
+        assert not advice.verified
+        assert advice.margin >= 0.0
+
+    def test_single_candidate_margin_is_infinite(
+        self, tiny_model
+    ) -> None:
+        advice = recommend_fast(
+            _probe_matrix(),
+            tiny_model,
+            formats=("csr",),
+            partitions=(8,),
+            margin_threshold=1e18,
+        )
+        assert math.isinf(advice.margin)
+        assert not advice.low_margin
+        assert not advice.verified
+
+
+class TestCoverage:
+    def test_non_latency_objective_is_refused(self, tiny_model) -> None:
+        with pytest.raises(AdvisorError, match="latency"):
+            recommend_fast(
+                _probe_matrix(), tiny_model, objective="power"
+            )
+
+    def test_untrained_format_is_refused(self, tiny_model) -> None:
+        with pytest.raises(AdvisorError, match="no trained head"):
+            recommend_fast(
+                _probe_matrix(),
+                tiny_model,
+                formats=("csr", "dia"),
+                partitions=TINY_PARTITIONS,
+            )
+
+    def test_untrained_partition_is_refused(self, tiny_model) -> None:
+        with pytest.raises(AdvisorError, match="no trained head"):
+            recommend_fast(
+                _probe_matrix(),
+                tiny_model,
+                formats=TINY_FORMATS,
+                partitions=(64,),
+            )
+
+    def test_negative_threshold_is_refused(self, tiny_model) -> None:
+        with pytest.raises(AdvisorError, match=">= 0"):
+            recommend_fast(
+                _probe_matrix(), tiny_model, margin_threshold=-0.1
+            )
+
+    def test_defaults_to_full_model_coverage(self, tiny_model) -> None:
+        advice = recommend_fast(_probe_matrix(), tiny_model)
+        assert isinstance(advice, FastAdvice)
+        assert advice.model_digest == tiny_model.digest
+        assert len(advice.ranking) == (
+            len(TINY_FORMATS) * len(TINY_PARTITIONS)
+        )
+
+
+class TestConstraints:
+    def test_impossible_budget_rejects_everything(
+        self, tiny_model
+    ) -> None:
+        tight = Constraints(max_bram_18k=0, max_ff=0, max_lut=0)
+        with pytest.raises(SimulationError):
+            recommend_fast(
+                _probe_matrix(),
+                tiny_model,
+                formats=TINY_FORMATS,
+                partitions=TINY_PARTITIONS,
+                constraints=tight,
+            )
+
+    def test_rejections_match_the_exact_model(self, tiny_model) -> None:
+        matrix = _probe_matrix()
+        budget = Constraints(max_bram_18k=20)
+        advice = recommend_fast(
+            matrix,
+            tiny_model,
+            formats=TINY_FORMATS,
+            partitions=TINY_PARTITIONS,
+            constraints=budget,
+        )
+        exact = recommend(
+            matrix,
+            formats=TINY_FORMATS,
+            partition_sizes=TINY_PARTITIONS,
+            constraints=budget,
+        )
+        predicted_rejected = {
+            (c.format_name, c.partition_size)
+            for c in advice.prediction.rejected
+        }
+        exact_rejected = {
+            (r.format_name, r.partition_size) for r in exact.rejected
+        }
+        assert predicted_rejected == exact_rejected

@@ -1,0 +1,184 @@
+"""End-to-end tests for the learned fast path on ``/advise``.
+
+Live-socket, like the rest of the serve suite: a tiny advisor model is
+trained once, handed to :class:`CharacterizationServer`, and the wire
+behavior is pinned — fast answers carry ``advised-fast`` provenance
+and a predicted body, low-margin queries fall back to the exact model,
+and design points the model does not cover degrade to the exact path
+with typed counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+
+import pytest
+
+from repro.advisor import sweep_training_rows, train_model
+from tests.advisor.conftest import TINY_FORMATS, TINY_PARTITIONS, tiny_specs
+from tests.serve.helpers import get_path, post_json, running_server
+
+WORKLOAD = {"kind": "random", "n": 32, "density": 0.1, "seed": 1}
+
+
+@pytest.fixture(scope="module")
+def model():
+    specs = tiny_specs()
+    rows = sweep_training_rows(specs, TINY_FORMATS, TINY_PARTITIONS)
+    return train_model(specs, rows)
+
+
+def advise_payload(
+    formats: list[str] | None = None,
+    partitions: list[int] | None = None,
+) -> dict:
+    return {
+        "workload": dict(WORKLOAD),
+        "formats": formats or list(TINY_FORMATS),
+        "partitions": partitions or list(TINY_PARTITIONS),
+        "objective": "latency",
+    }
+
+
+async def counters(server) -> dict:
+    _, _, body = await get_path(server, "/metrics")
+    return json.loads(body)["counters"]
+
+
+class TestFastPath:
+    def test_fast_answer_provenance_and_body(self, model) -> None:
+        async def main() -> None:
+            async with running_server(
+                advisor_model=model, advisor_margin=0.0
+            ) as server:
+                status, headers, body = await post_json(
+                    server, "advise", advise_payload()
+                )
+                assert status == 200
+                assert headers["x-copernicus-source"] == "advised-fast"
+                payload = json.loads(body)
+                assert "cells" not in payload
+                assert payload["advisor"]["model"] == model.digest
+                assert payload["advisor"]["predicted"] is True
+                margin = payload["advisor"]["margin"]
+                assert margin is None or math.isfinite(margin)
+                assert set(payload["best"]) == {
+                    "format", "partition_size", "value",
+                }
+                assert len(payload["ranking"]) == (
+                    len(TINY_FORMATS) * len(TINY_PARTITIONS)
+                )
+
+                stats = await counters(server)
+                assert stats["serve.advisor.fast_hits"] == 1
+                assert "serve.advisor.verifies" not in stats
+
+        asyncio.run(main())
+
+    def test_second_request_hits_fast_cache(self, model) -> None:
+        async def main() -> None:
+            async with running_server(
+                advisor_model=model, advisor_margin=0.0
+            ) as server:
+                _, _, first = await post_json(
+                    server, "advise", advise_payload()
+                )
+                _, headers, second = await post_json(
+                    server, "advise", advise_payload()
+                )
+                assert headers["x-copernicus-source"] == "advised-fast"
+                assert second == first
+
+                stats = await counters(server)
+                assert stats["serve.advisor.fast_hits"] == 2
+                assert stats["serve.advisor.cache_hits"] == 1
+
+        asyncio.run(main())
+
+    def test_metrics_extra_reports_model(self, model) -> None:
+        async def main() -> None:
+            async with running_server(
+                advisor_model=model, advisor_margin=0.25
+            ) as server:
+                _, _, body = await get_path(server, "/metrics")
+                extra = json.loads(body)["extra"]["advisor"]
+                assert extra == {
+                    "enabled": True,
+                    "model": model.digest,
+                    "margin_threshold": 0.25,
+                }
+
+        asyncio.run(main())
+
+
+class TestVerifyFallback:
+    def test_low_margin_falls_through_to_exact(self, model) -> None:
+        async def main() -> None:
+            # An impossible margin bar: every prediction is "too close
+            # to call", so the exact backend must answer every time.
+            async with running_server(
+                advisor_model=model, advisor_margin=1e9
+            ) as server:
+                status, headers, body = await post_json(
+                    server, "advise", advise_payload()
+                )
+                assert status == 200
+                assert headers["x-copernicus-source"] == "computed"
+                payload = json.loads(body)
+                assert "advisor" not in payload
+                assert "cells" in payload
+
+                stats = await counters(server)
+                assert stats["serve.advisor.verifies"] == 1
+                assert "serve.advisor.fast_hits" not in stats
+
+        asyncio.run(main())
+
+    def test_uncovered_design_point_falls_back(self, model) -> None:
+        async def main() -> None:
+            async with running_server(
+                advisor_model=model, advisor_margin=0.0
+            ) as server:
+                # "dia" has no trained head, so the fast path raises a
+                # typed AdvisorError internally and the exact model
+                # answers.
+                status, headers, body = await post_json(
+                    server,
+                    "advise",
+                    advise_payload(formats=["coo", "dia"]),
+                )
+                assert status == 200
+                assert headers["x-copernicus-source"] == "computed"
+                assert "cells" in json.loads(body)
+
+                stats = await counters(server)
+                assert stats["serve.advisor.fallbacks"] == 1
+                assert stats["serve.advisor.errors.AdvisorError"] == 1
+
+        asyncio.run(main())
+
+    def test_non_advise_endpoints_never_use_the_advisor(
+        self, model
+    ) -> None:
+        async def main() -> None:
+            async with running_server(
+                advisor_model=model, advisor_margin=0.0
+            ) as server:
+                _, headers, _ = await post_json(
+                    server,
+                    "characterize",
+                    {
+                        "workload": dict(WORKLOAD),
+                        "formats": list(TINY_FORMATS),
+                        "partitions": list(TINY_PARTITIONS),
+                    },
+                )
+                assert headers["x-copernicus-source"] == "computed"
+                stats = await counters(server)
+                assert not any(
+                    key.startswith("serve.advisor.") for key in stats
+                )
+
+        asyncio.run(main())

@@ -190,7 +190,7 @@ class TestMetricsV1:
                 payload = json.loads(body)
                 assert set(payload) == METRICS_FIELDS
                 assert set(payload["extra"]) == {
-                    "server", "cache", "singleflight",
+                    "server", "cache", "singleflight", "advisor",
                 }
                 assert set(payload["extra"]["server"]) == {
                     "max_inflight", "queue_limit", "budget_s",
@@ -203,6 +203,11 @@ class TestMetricsV1:
                 }
                 assert set(payload["extra"]["singleflight"]) == {
                     "leaders", "coalesced", "failures",
+                }
+                assert payload["extra"]["advisor"] == {
+                    "enabled": False,
+                    "model": None,
+                    "margin_threshold": 0.05,
                 }
 
         asyncio.run(main())

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -390,3 +392,97 @@ class TestServeLoadgenCli:
         assert args.mix == "mixed"
         assert args.requests == 200
         assert args.seed == 7
+
+
+class TestAdvisorCLI:
+    """``repro advisor train/bench`` and ``repro advise --fast``."""
+
+    def _train(self, capsys, tmp_path, *extra: str) -> str:
+        model = tmp_path / "model.json"
+        out = run_cli(
+            capsys, "advisor", "train",
+            "--formats", "coo", "csr", "--partitions", "8",
+            "--out", str(model), *extra,
+        )
+        assert "model digest:" in out
+        assert str(model) in out
+        assert model.is_file()
+        return str(model)
+
+    def test_train_then_fast_advise(self, capsys, tmp_path):
+        model = self._train(capsys, tmp_path)
+        out = run_cli(
+            capsys, "advise", "--random", "64", "--density", "0.1",
+            "--fast", "--model", model,
+        )
+        assert "recommended:" in out
+        assert "margin" in out
+        assert "model:" in out
+
+    def test_train_then_bench_writes_report(self, capsys, tmp_path):
+        model = self._train(capsys, tmp_path)
+        report = tmp_path / "BENCH_advisor.json"
+        out = run_cli(
+            capsys, "advisor", "bench", "--model", model,
+            "--output", str(report), "--repeats", "1",
+            "--latency-n", "128",
+        )
+        assert "spearman" in out
+        assert "speedup" in out
+        assert report.is_file()
+        payload = json.loads(report.read_text())
+        assert payload["schema"] == "bench_advisor/v1"
+
+    def test_fast_requires_model_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["advise", "--random", "64", "--fast"])
+        assert exc.value.code == 2
+        assert "--fast requires --model" in capsys.readouterr().err
+
+    def test_model_requires_fast_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["advise", "--random", "64", "--model", "m.json"])
+        assert exc.value.code == 2
+        assert "--model requires --fast" in capsys.readouterr().err
+
+    def test_missing_model_names_the_argument(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "advise", "--random", "64", "--fast",
+                "--model", "/nonexistent/model.json",
+            ])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--model not found: /nonexistent/model.json" in err
+        assert "repro advisor train" in err
+        assert "Traceback" not in err
+
+    def test_bench_missing_model_names_the_argument(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "advisor", "bench",
+                "--model", "/nonexistent/model.json",
+            ])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--model not found: /nonexistent/model.json" in err
+        assert "Traceback" not in err
+
+    def test_train_missing_manifest_names_the_argument(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "advisor", "train",
+                "--from-manifest", "/nonexistent/run.jsonl",
+            ])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--from-manifest not found: /nonexistent/run.jsonl" in err
+        assert "Traceback" not in err
+
+    def test_serve_missing_fast_model_names_the_argument(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "--fast-model", "/nonexistent/model.json"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "--fast-model not found: /nonexistent/model.json" in err
+        assert "Traceback" not in err
