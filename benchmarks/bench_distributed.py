@@ -1,0 +1,75 @@
+"""Queue-backend scaling benchmark (``BENCH_distributed.json``).
+
+Sweeps one grid through the distributed queue backend at 1, 2 and 4
+workers under a fixed per-cell service-time floor, and compares peak
+RSS of materializing vs streaming profiling on a ``.mtx`` file much
+larger than the streaming memory budget::
+
+    PYTHONPATH=src python benchmarks/bench_distributed.py          # full
+    PYTHONPATH=src python benchmarks/bench_distributed.py --quick  # CI
+
+Exits non-zero when a full run misses a gate: 2-worker speedup below
+1.7x, checkpoint digests differing across worker counts, or the
+streaming path failing to reduce peak RSS.  The same harness backs
+``repro bench-distributed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    _src = Path(__file__).resolve().parent.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from repro.bench_distributed import (
+    bench_distributed,
+    check_distributed_report,
+    write_distributed_report,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="shrunken CI smoke run (no scaling gate)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_distributed.json",
+        help="JSON report path (default BENCH_distributed.json)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    report = bench_distributed(quick=args.quick)
+    path = write_distributed_report(report, args.output)
+    summary = report["summary"]
+    for row in report["scaling"]["rows"]:
+        print(
+            f"{row['workers']} worker(s): {row['wall_s']:.2f} s, "
+            f"{row['cells_per_s']:.1f} cells/s, "
+            f"{row['speedup_vs_1']:.2f}x"
+        )
+    streaming = report["streaming"]
+    print(
+        f"out-of-core: {streaming['triplet_mb']:.1f} MB of triplets "
+        f"under a {streaming['memory_budget_mb']:g} MB budget, "
+        f"peak RSS reduced {summary['rss_reduction']:.2f}x"
+    )
+    print(f"report written to {path}")
+    if args.quick:
+        return 0
+    problems = check_distributed_report(report)
+    for problem in problems:
+        print(f"GATE FAILED: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

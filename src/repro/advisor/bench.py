@@ -30,6 +30,7 @@ import numpy as np
 from ..core.recommend import recommend
 from ..engine.specs import WorkloadSpec
 from ..errors import AdvisorError
+from ..observability import machine_metadata
 from .model import AdvisorModel
 from .predict import recommend_fast
 
@@ -189,6 +190,7 @@ def bench_advisor(
     speedups = [r["speedup"] for r in latency_rows]
     return {
         "schema": BENCH_ADVISOR_SCHEMA,
+        "machine": machine_metadata(),
         "model": {
             "digest": model.digest,
             "feature_p": model.feature_p,

@@ -26,6 +26,7 @@ from .formats.registry import PAPER_FORMATS
 from .hardware.config import HardwareConfig
 from .hardware.pipeline import StreamingPipeline
 from .matrix import SparseMatrix
+from .observability import machine_metadata
 from .partition import profile_table
 from .workloads import band_matrix, random_matrix
 
@@ -187,6 +188,7 @@ def bench_report(
     )
     return {
         "schema": BENCH_REPORT_SCHEMA,
+        "machine": machine_metadata(),
         "config": {
             "n": n,
             "partition_size": p,

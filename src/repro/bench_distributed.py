@@ -1,0 +1,342 @@
+"""Distributed-sweep benchmark (``BENCH_distributed.json``).
+
+Quantifies the two claims the queue backend makes:
+
+1. **Scaling** — the same grid swept through ``backend="queue"`` at
+   1, 2 and 4 workers, with a fixed per-cell service-time floor
+   injected through the fault plan (``delay@every:1``).  On a
+   single-core container the *compute* cannot parallelize, but the
+   service floor models the I/O- and memory-bound stalls that
+   dominate real characterization cells, and those overlap across
+   worker processes exactly like blocking I/O would.  The report
+   records the machine's ``cpu_count`` and the injected floor so the
+   numbers cannot be mistaken for CPU-bound speedup.  Every run
+   writes a checkpoint; the digests are recorded per worker count so
+   the report doubles as evidence the backends are bit-identical.
+
+2. **Out-of-core profiling** — peak RSS of profiling a ``.mtx`` file
+   much larger than the streaming memory budget, measured in child
+   processes via ``resource.getrusage``, for the materializing path
+   (``read_matrix_market`` + ``profile_table``) and the streaming
+   path (``streaming_profile_table``).
+
+Used by ``benchmarks/bench_distributed.py`` and the
+``repro bench-distributed`` sub-command.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Sequence
+
+from .engine import SweepRunner, WorkloadSpec, checkpoint_digest
+from .engine.distributed import QueueOptions
+from .errors import SimulationError
+from .formats.registry import PAPER_FORMATS
+from .observability import machine_metadata
+
+__all__ = [
+    "BENCH_DISTRIBUTED_SCHEMA",
+    "bench_distributed",
+    "bench_queue_scaling",
+    "bench_streaming_rss",
+    "scaling_specs",
+    "write_distributed_report",
+]
+
+#: Schema tag stamped into every report for forward compatibility.
+BENCH_DISTRIBUTED_SCHEMA = "bench_distributed/v1"
+
+#: Speedup floor at two workers the committed report must clear.
+SCALING_GATE_2_WORKERS = 1.7
+
+
+def scaling_specs(n: int = 48, n_workloads: int = 8) -> list[WorkloadSpec]:
+    """A grid of small, cheap-to-build workload specs.
+
+    Alternates random and band recipes so the queue's digest sharding
+    spreads chunks across shards rather than clustering one kind.
+    """
+    specs: list[WorkloadSpec] = []
+    for index in range(n_workloads):
+        if index % 2 == 0:
+            density = 0.02 + 0.02 * (index // 2)
+            specs.append(
+                WorkloadSpec.random(n, density, seed=10 + index)
+            )
+        else:
+            width = 4 << (index // 2)
+            specs.append(WorkloadSpec.band(n, width, seed=10 + index))
+    return specs
+
+
+def bench_queue_scaling(
+    worker_counts: Sequence[int] = (1, 2, 4),
+    cell_cost_s: float = 0.25,
+    n: int = 48,
+    n_workloads: int = 8,
+    formats: Sequence[str] = PAPER_FORMATS,
+    partitions: Sequence[int] = (8,),
+    lease_timeout_s: float = 30.0,
+) -> dict:
+    """Sweep one grid through the queue backend at each worker count.
+
+    The fault plan ``delay@every:1#delay=...#times=none`` injects the
+    same service-time floor into every cell attempt, so the serial
+    wall time is ``n_cells * cell_cost_s`` plus overhead and the
+    ideal speedup at ``w`` workers is ``w``.
+    """
+    if cell_cost_s <= 0:
+        raise SimulationError(
+            f"cell_cost_s must be > 0, got {cell_cost_s}"
+        )
+    specs = scaling_specs(n, n_workloads)
+    faults = f"delay@every:1#delay={cell_cost_s}#times=none"
+    n_cells = len(specs) * len(formats) * len(partitions)
+    rows: list[dict] = []
+    base_wall: float | None = None
+    with tempfile.TemporaryDirectory(prefix="bench-queue-") as tmp:
+        for workers in worker_counts:
+            checkpoint = Path(tmp) / f"w{workers}.jsonl"
+            runner = SweepRunner(
+                max_workers=workers,
+                backend="queue",
+                error_policy="fail_fast",
+                faults=faults,
+                checkpoint=checkpoint,
+                queue_options=QueueOptions(
+                    lease_timeout_s=lease_timeout_s
+                ),
+            )
+            start = time.perf_counter()
+            outcome = runner.run_grid(
+                specs, list(formats), partition_sizes=list(partitions)
+            )
+            wall = time.perf_counter() - start
+            if len(outcome.results) != n_cells:
+                raise SimulationError(
+                    f"queue sweep at {workers} workers returned "
+                    f"{len(outcome.results)} cells, expected {n_cells}"
+                )
+            if base_wall is None:
+                base_wall = wall
+            rows.append({
+                "workers": workers,
+                "wall_s": wall,
+                "cells_per_s": n_cells / wall,
+                "speedup_vs_1": base_wall / wall,
+                "checkpoint_digest": checkpoint_digest(checkpoint),
+            })
+    ideal_serial_s = n_cells * cell_cost_s
+    return {
+        "cell_cost_s": cell_cost_s,
+        "n_workloads": len(specs),
+        "formats": list(formats),
+        "partitions": [int(p) for p in partitions],
+        "n_cells": n_cells,
+        "n_chunks": len(specs),
+        "ideal_serial_s": ideal_serial_s,
+        "digests_identical": len(
+            {row["checkpoint_digest"] for row in rows}
+        ) == 1,
+        "rows": rows,
+    }
+
+
+#: Child-process probe: profile one .mtx and report its peak RSS.
+#: ``ru_maxrss`` is KiB on Linux, covering the whole interpreter, so
+#: both modes pay the same baseline and the delta is the data.
+_RSS_PROBE = """\
+import json, resource, sys
+path, mode, p, budget = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), float(sys.argv[4])
+)
+if mode == "stream":
+    from repro.io import streaming_profile_table
+    table = streaming_profile_table(path, p, memory_budget_mb=budget)
+else:
+    from repro.io import read_matrix_market
+    from repro.partition import profile_table
+    table = profile_table(read_matrix_market(path), p)
+peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({
+    "n_tiles": int(table.n_tiles),
+    "nnz": int(table.nnz.sum()),
+    "peak_rss_kib": int(peak_kib),
+}))
+"""
+
+
+def _write_band_mtx(path: Path, n: int, width: int) -> int:
+    """Stream a band ``.mtx`` to disk without materializing it.
+
+    Returns the entry count.  Row-by-row generation keeps the writer
+    itself out-of-core, so the benchmark can emit files bigger than
+    the budget it is about to test against.
+    """
+    half = width // 2
+    n_entries = sum(
+        min(n - 1, i + half) - max(0, i - half) + 1 for i in range(n)
+    )
+    with open(path, "w", encoding="ascii") as stream:
+        stream.write(
+            "%%MatrixMarket matrix coordinate real general\n"
+        )
+        stream.write(f"{n} {n} {n_entries}\n")
+        lines: list[str] = []
+        for i in range(n):
+            row = i + 1
+            for j in range(max(0, i - half), min(n - 1, i + half) + 1):
+                lines.append(f"{row} {j + 1} 1.0\n")
+            if len(lines) >= 65536:
+                stream.write("".join(lines))
+                lines.clear()
+        stream.write("".join(lines))
+    return n_entries
+
+
+def _probe_rss(path: Path, mode: str, p: int, budget_mb: float) -> dict:
+    src = str(Path(__file__).resolve().parent.parent)
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [
+            sys.executable, "-c", _RSS_PROBE,
+            str(path), mode, str(p), str(budget_mb),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise SimulationError(
+            f"rss probe ({mode}) failed:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def bench_streaming_rss(
+    n: int = 20000,
+    width: int = 101,
+    p: int = 64,
+    memory_budget_mb: float = 8.0,
+) -> dict:
+    """Peak-RSS comparison of materializing vs streaming profiling."""
+    with tempfile.TemporaryDirectory(prefix="bench-rss-") as tmp:
+        path = Path(tmp) / "band.mtx"
+        n_entries = _write_band_mtx(path, n, width)
+        file_bytes = path.stat().st_size
+        rows = []
+        for mode in ("materialize", "stream"):
+            probe = _probe_rss(path, mode, p, memory_budget_mb)
+            if probe["nnz"] != n_entries:
+                raise SimulationError(
+                    f"rss probe ({mode}) profiled {probe['nnz']} "
+                    f"entries, expected {n_entries}"
+                )
+            rows.append({"mode": mode, **probe})
+    by_mode = {row["mode"]: row for row in rows}
+    triplet_mb = n_entries * 24 / (1 << 20)
+    stream_kib = by_mode["stream"]["peak_rss_kib"]
+    return {
+        "n": n,
+        "width": width,
+        "p": p,
+        "n_entries": n_entries,
+        "file_mb": file_bytes / (1 << 20),
+        "triplet_mb": triplet_mb,
+        "memory_budget_mb": memory_budget_mb,
+        "rows": rows,
+        "rss_reduction": (
+            by_mode["materialize"]["peak_rss_kib"] / stream_kib
+            if stream_kib else float("inf")
+        ),
+    }
+
+
+def bench_distributed(quick: bool = False) -> dict:
+    """Run both sections and assemble the ``bench_distributed/v1`` report.
+
+    ``quick`` shrinks the grid and the out-of-core matrix for CI
+    smoke runs; quick reports are not expected to clear the scaling
+    gate (process startup dominates sub-second sweeps).
+    """
+    if quick:
+        scaling = bench_queue_scaling(
+            worker_counts=(1, 2),
+            cell_cost_s=0.05,
+            n_workloads=4,
+            formats=("csr", "coo"),
+        )
+        streaming = bench_streaming_rss(n=4000, width=21)
+    else:
+        scaling = bench_queue_scaling()
+        streaming = bench_streaming_rss()
+    by_workers = {row["workers"]: row for row in scaling["rows"]}
+    speedup_2 = (
+        by_workers[2]["speedup_vs_1"] if 2 in by_workers else None
+    )
+    max_workers = max(by_workers)
+    return {
+        "schema": BENCH_DISTRIBUTED_SCHEMA,
+        "machine": machine_metadata(),
+        "config": {
+            "quick": quick,
+            "scaling_gate_2_workers": SCALING_GATE_2_WORKERS,
+        },
+        "scaling": scaling,
+        "streaming": streaming,
+        "summary": {
+            "speedup_2_workers": speedup_2,
+            "speedup_max_workers": by_workers[max_workers][
+                "speedup_vs_1"
+            ],
+            "digests_identical": scaling["digests_identical"],
+            "rss_reduction": streaming["rss_reduction"],
+        },
+    }
+
+
+def check_distributed_report(report: dict) -> list[str]:
+    """Gate failures for a full (non-quick) report; empty = pass."""
+    problems: list[str] = []
+    summary = report["summary"]
+    if not summary["digests_identical"]:
+        problems.append(
+            "checkpoint digests differ across worker counts"
+        )
+    speedup_2 = summary["speedup_2_workers"]
+    if speedup_2 is not None and speedup_2 < SCALING_GATE_2_WORKERS:
+        problems.append(
+            f"2-worker speedup {speedup_2:.2f}x is below the "
+            f"{SCALING_GATE_2_WORKERS}x gate"
+        )
+    streaming = report["streaming"]
+    if streaming["triplet_mb"] <= streaming["memory_budget_mb"]:
+        problems.append(
+            "out-of-core matrix does not exceed the memory budget"
+        )
+    if summary["rss_reduction"] <= 1.0:
+        problems.append(
+            "streaming path did not reduce peak RSS"
+        )
+    return problems
+
+
+def write_distributed_report(report: dict, path: str | Path) -> Path:
+    """Write the report as indented, sorted JSON (diff-friendly)."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="ascii",
+    )
+    return target

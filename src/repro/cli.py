@@ -15,6 +15,15 @@ Everything the library computes is reachable from the shell::
     python -m repro sweep --group band --checkpoint ckpt.jsonl --resume
     python -m repro sweep --group random --error-policy fail_fast
     python -m repro sweep --group band --integrity-check
+    python -m repro sweep --group band --backend queue --workers 4 \
+        --checkpoint ckpt.jsonl
+    python -m repro sweep --group band --backend queue --queue-dir q \
+        --queue-workers 0   # coordinator only; join workers by hand
+    python -m repro worker --queue q
+    python -m repro checkpoint ckpt.jsonl
+    python -m repro checkpoint ckpt.jsonl --digest
+    python -m repro checkpoint ckpt.jsonl --compact --out tidy.jsonl
+    python -m repro bench-distributed --quick
     python -m repro stats run.jsonl
     python -m repro stats run.jsonl --against baseline.jsonl
     python -m repro integrity --random 64 --density 0.08 --injections 50
@@ -59,7 +68,7 @@ from .core import (
     summarize,
 )
 from .engine import SweepRunner
-from .errors import CopernicusError, SweepCellError
+from .errors import CopernicusError, SimulationError, SweepCellError
 from .formats import ALL_FORMATS, CORRUPTION_KINDS, PAPER_FORMATS, get_format
 from .hardware import (
     DEFAULT_CONFIG,
@@ -225,6 +234,20 @@ def _cmd_characterize(args: argparse.Namespace) -> str:
     )
 
 
+def _queue_options(args: argparse.Namespace):
+    """Build QueueOptions from sweep flags, or None off the queue path."""
+    if args.backend != "queue":
+        return None
+    from .engine.distributed import QueueOptions
+
+    return QueueOptions(
+        queue_dir=args.queue_dir,
+        spawn_workers=args.queue_workers,
+        lease_timeout_s=args.lease_timeout,
+        keep_queue=args.keep_queue,
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> str:
     workloads = workload_group(args.group)
     telemetry = args.profile or args.emit_metrics is not None
@@ -237,6 +260,8 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         faults=args.inject_faults,
         checkpoint=args.checkpoint,
         resume=args.resume,
+        backend=args.backend,
+        queue_options=_queue_options(args),
     )
     base_config = (
         HardwareConfig(integrity_check=True)
@@ -320,6 +345,89 @@ def _cmd_integrity(args: argparse.Namespace) -> str:
     return text
 
 
+def _cmd_worker(args: argparse.Namespace) -> str:
+    from .engine.distributed import run_worker
+
+    stats = run_worker(
+        args.queue,
+        worker_id=args.worker_id,
+        poll_interval_s=args.poll_interval,
+        max_chunks=args.max_chunks,
+        oneshot=args.oneshot,
+    )
+    return (
+        f"worker {stats['worker']} (home shard {stats['home_shard']}) "
+        f"finished: {stats['n_chunks']} chunks, {stats['n_cells']} "
+        f"cells, {stats['n_stolen']} stolen from foreign shards"
+    )
+
+
+def _is_checkpoint_file(path) -> bool:
+    """True iff ``path``'s header line is a sweep-checkpoint header."""
+    import json
+
+    from .engine.checkpoint import CHECKPOINT_KIND
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            first = handle.readline()
+        return json.loads(first).get("kind") == CHECKPOINT_KIND
+    except (OSError, ValueError, AttributeError):
+        return False
+
+
+def _checkpoint_summary_text(summary: dict) -> str:
+    lines = [
+        f"checkpoint {summary['path']}",
+        f"  digest: {summary['digest']}",
+        f"  records: {summary['n_records']} "
+        f"({summary['n_duplicate_cells']} superseded duplicates), "
+        f"{summary['bytes']} bytes",
+        f"  cells: {summary['n_cells']} finished, "
+        f"{summary['n_failed']} failed, "
+        f"{summary['n_encodings']} encoding summaries",
+        f"  recorded wall time: {summary['recorded_wall_s']:.2f}s",
+    ]
+    if summary["cells_per_workload"]:
+        lines.append("  cells per workload:")
+        for workload, count in sorted(
+            summary["cells_per_workload"].items()
+        ):
+            lines.append(f"    {workload}: {count}")
+    for failed in summary["failed"]:
+        lines.append(f"  FAILED {failed}")
+    return "\n".join(lines)
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from .engine.checkpoint import (
+        checkpoint_summary,
+        compact_checkpoint,
+    )
+    from .errors import CheckpointError
+
+    if not Path(args.path).is_file():
+        raise CheckpointError(
+            f"checkpoint not found: {args.path} (write one with "
+            "`repro sweep --checkpoint PATH`)"
+        )
+    if args.compact:
+        result = compact_checkpoint(args.path, output=args.out)
+        return (
+            f"compacted {args.path} -> {result['path']}: "
+            f"{result['records_before']} -> {result['records_after']} "
+            f"records ({result['dropped']} dropped), "
+            f"{result['bytes_before']} -> {result['bytes_after']} "
+            f"bytes\ndigest: {result['digest']}"
+        )
+    summary = checkpoint_summary(args.path)
+    if args.digest:
+        return summary["digest"]
+    return _checkpoint_summary_text(summary)
+
+
 def _cmd_stats(args: argparse.Namespace) -> str:
     from pathlib import Path
 
@@ -335,6 +443,20 @@ def _cmd_stats(args: argparse.Namespace) -> str:
     if not Path(args.manifest).is_file():
         raise ManifestError(
             f"manifest not found: {args.manifest} ({hint})"
+        )
+    if _is_checkpoint_file(args.manifest):
+        # checkpoints are JSON-lines too; route them to the richer
+        # checkpoint summary instead of a manifest parse error
+        from .engine.checkpoint import checkpoint_summary
+
+        if args.against is not None:
+            raise ManifestError(
+                "--against diffs run manifests; to compare "
+                "checkpoints, compare `repro checkpoint PATH "
+                "--digest` outputs"
+            )
+        return _checkpoint_summary_text(
+            checkpoint_summary(args.manifest)
         )
     if args.against is not None and not Path(args.against).is_file():
         raise ManifestError(
@@ -439,6 +561,56 @@ def _cmd_bench(args: argparse.Namespace) -> str:
         f"max {summary['max_speedup']:.1f}x"
         f"\nreport written to {path}"
     )
+
+
+def _cmd_bench_distributed(args: argparse.Namespace) -> str:
+    from .bench_distributed import (
+        bench_distributed,
+        check_distributed_report,
+        write_distributed_report,
+    )
+
+    report = bench_distributed(quick=args.quick)
+    path = write_distributed_report(report, args.output)
+    scaling = report["scaling"]
+    rows = [
+        [
+            row["workers"],
+            row["wall_s"],
+            row["cells_per_s"],
+            row["speedup_vs_1"],
+            row["checkpoint_digest"][:12],
+        ]
+        for row in scaling["rows"]
+    ]
+    table = format_table(
+        ["workers", "wall s", "cells/s", "speedup", "digest"],
+        rows,
+        title=(
+            f"Queue scaling, {scaling['n_cells']} cells, "
+            f"{scaling['cell_cost_s']:g}s service floor"
+        ),
+    )
+    streaming = report["streaming"]
+    summary = report["summary"]
+    lines = [
+        table,
+        "",
+        f"out-of-core: {streaming['triplet_mb']:.1f} MB of triplets "
+        f"profiled under a {streaming['memory_budget_mb']:g} MB "
+        f"budget, peak RSS reduced "
+        f"{summary['rss_reduction']:.1f}x",
+        f"report written to {path}",
+    ]
+    if args.check and not args.quick:
+        problems = check_distributed_report(report)
+        if problems:
+            raise SimulationError(
+                "distributed benchmark gate failed: "
+                + "; ".join(problems)
+            )
+        lines.append("gates passed")
+    return "\n".join(lines)
 
 
 def _cmd_advise(args: argparse.Namespace) -> str:
@@ -883,6 +1055,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep engine (default: 1)",
     )
     sweep.add_argument(
+        "--backend", choices=("auto", "inline", "pool", "queue"),
+        default="auto",
+        help="execution backend: auto picks pool when --workers > 1, "
+        "inline otherwise; queue runs a shared-directory work queue "
+        "that external `repro worker` processes can join "
+        "(default: auto)",
+    )
+    sweep.add_argument(
+        "--queue-dir", metavar="DIR", default=None,
+        help="work-queue directory for --backend queue; point "
+        "`repro worker --queue DIR` at it from other machines "
+        "(default: a private temporary queue)",
+    )
+    sweep.add_argument(
+        "--queue-workers", type=int, default=None, metavar="N",
+        help="local worker processes the queue coordinator spawns "
+        "(default: --workers; 0 relies entirely on external workers)",
+    )
+    sweep.add_argument(
+        "--lease-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="heartbeat staleness after which a claimed queue task is "
+        "reclaimed from a presumed-dead worker (default 10)",
+    )
+    sweep.add_argument(
+        "--keep-queue", action="store_true",
+        help="keep the --queue-dir contents after the sweep instead "
+        "of cleaning up (debugging aid)",
+    )
+    sweep.add_argument(
         "--profile", action="store_true",
         help="collect telemetry and print a run profile "
         "(cache counters, slowest cells)",
@@ -960,8 +1161,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     integrity.set_defaults(handler=_cmd_integrity)
 
+    worker = commands.add_parser(
+        "worker",
+        help="join a sweep work queue and execute chunks until STOP",
+    )
+    worker.add_argument(
+        "--queue", metavar="DIR", required=True,
+        help="queue directory created by `repro sweep --backend "
+        "queue --queue-dir DIR` (any shared filesystem works)",
+    )
+    worker.add_argument(
+        "--worker-id", metavar="ID", default=None,
+        help="stable worker identity for shard affinity and lease "
+        "ownership (default: host-pid derived)",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.05, metavar="SECONDS",
+        help="idle sleep between claim attempts (default 0.05)",
+    )
+    worker.add_argument(
+        "--max-chunks", type=int, default=None, metavar="N",
+        help="exit after executing N chunks (testing aid)",
+    )
+    worker.add_argument(
+        "--oneshot", action="store_true",
+        help="exit as soon as no task is claimable instead of "
+        "waiting for the STOP sentinel",
+    )
+    worker.set_defaults(handler=_cmd_worker)
+
+    checkpoint = commands.add_parser(
+        "checkpoint",
+        help="inspect or compact a sweep checkpoint file",
+    )
+    checkpoint.add_argument(
+        "path", help="checkpoint file (JSON lines, "
+        "`repro sweep --checkpoint PATH`)",
+    )
+    checkpoint.add_argument(
+        "--digest", action="store_true",
+        help="print only the content digest (order- and "
+        "wall-time-independent; equal digests mean identical results)",
+    )
+    checkpoint.add_argument(
+        "--compact", action="store_true",
+        help="rewrite the checkpoint keeping only the latest record "
+        "per cell digest",
+    )
+    checkpoint.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the compacted checkpoint to PATH instead of "
+        "replacing in place (only with --compact)",
+    )
+    checkpoint.set_defaults(handler=_cmd_checkpoint)
+
     stats = commands.add_parser(
-        "stats", help="summarize or diff sweep run manifests"
+        "stats",
+        help="summarize or diff sweep run manifests and checkpoints",
     )
     stats.add_argument("manifest", help="manifest file (JSON lines)")
     stats.add_argument(
@@ -1258,6 +1514,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(handler=_cmd_bench)
 
+    bench_distributed = commands.add_parser(
+        "bench-distributed",
+        help="measure queue-backend scaling and out-of-core RSS "
+        "(bench_distributed/v1)",
+    )
+    bench_distributed.add_argument(
+        "--quick", action="store_true",
+        help="shrunken CI smoke run (no scaling gate)",
+    )
+    bench_distributed.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if a full run misses the scaling or "
+        "out-of-core gates",
+    )
+    bench_distributed.add_argument(
+        "--output", metavar="PATH", default="BENCH_distributed.json",
+        help="JSON report path (default BENCH_distributed.json)",
+    )
+    bench_distributed.set_defaults(handler=_cmd_bench_distributed)
+
     report = commands.add_parser(
         "report", help="full characterization report for one workload"
     )
@@ -1305,6 +1581,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error("pass -f/--format (repeatable) or --all-formats")
     if args.command == "sweep" and args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint")
+    if args.command == "sweep" and args.backend != "queue":
+        if args.queue_dir is not None:
+            parser.error("--queue-dir requires --backend queue")
+        if args.queue_workers is not None:
+            parser.error("--queue-workers requires --backend queue")
+        if args.keep_queue:
+            parser.error("--keep-queue requires --backend queue")
+    if args.command == "checkpoint":
+        if args.out is not None and not args.compact:
+            parser.error("--out requires --compact")
+        if args.digest and args.compact:
+            parser.error("--digest and --compact are exclusive")
     if args.command == "advise":
         if args.fast and args.model is None:
             parser.error("--fast requires --model PATH")

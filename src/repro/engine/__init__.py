@@ -30,7 +30,18 @@ from .checkpoint import (
     CheckpointState,
     CheckpointWriter,
     cell_digest,
+    checkpoint_digest,
+    checkpoint_summary,
+    compact_checkpoint,
     load_checkpoint,
+)
+from .executors import (
+    EXECUTOR_BACKENDS,
+    ExecutionSettings,
+    InlineExecutor,
+    PoolExecutor,
+    SweepExecutor,
+    make_executor,
 )
 from .faults import FaultPlan, FaultSpec, InjectedFault
 from .grid import (
@@ -42,7 +53,7 @@ from .grid import (
 )
 from .runner import ERROR_POLICIES, SweepRunner, run_sweep
 from .singleflight import SingleFlight, SingleFlightStats
-from .specs import WorkloadSpec
+from .specs import StreamedMatrixSpec, WorkloadSpec
 from .telemetry import CellTelemetry, RunTelemetry, workload_recipe_digest
 
 __all__ = [
@@ -52,7 +63,16 @@ __all__ = [
     "CheckpointState",
     "CheckpointWriter",
     "cell_digest",
+    "checkpoint_digest",
+    "checkpoint_summary",
+    "compact_checkpoint",
     "load_checkpoint",
+    "EXECUTOR_BACKENDS",
+    "ExecutionSettings",
+    "SweepExecutor",
+    "InlineExecutor",
+    "PoolExecutor",
+    "make_executor",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
@@ -66,6 +86,7 @@ __all__ = [
     "run_sweep",
     "SingleFlight",
     "SingleFlightStats",
+    "StreamedMatrixSpec",
     "WorkloadSpec",
     "CellTelemetry",
     "RunTelemetry",

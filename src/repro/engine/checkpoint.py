@@ -23,17 +23,34 @@ Wire format (one JSON object per line)::
      "payload": "<base64(zlib(pickle(result)))>"}
     {"type": "encoding", "workload": ..., "format": ...,
      "payload": "<base64(zlib(pickle(EncodeSummary)))>"}
+    {"type": "failed", "digest": ..., "index": ..., "workload": ...,
+     "format": ..., "partition_size": ...,
+     "payload": "<base64(zlib(pickle(FailedCell)))>"}
 
 The file is append-only; re-executed cells simply append again and the
-loader keeps the latest record per digest.  A torn final line (the
-process died mid-append) is detected and ignored on load; corruption
-anywhere earlier raises :class:`~repro.errors.CheckpointError`.
+loader keeps the latest record per digest (a ``cell`` record clears an
+earlier ``failed`` record for the same digest — a retry that
+eventually succeeded).  A torn final line (the process died
+mid-append) is detected and ignored on load; corruption anywhere
+earlier raises :class:`~repro.errors.CheckpointError`.
+
+Distributed sweeps stack another layer on the same format: every
+queue worker appends to its **own shard** checkpoint, and the
+coordinator merges shards into the canonical checkpoint in grid
+order.  :func:`checkpoint_digest` is the correctness gate for that
+merge — a content digest over the *semantic* payload (cell digests,
+results, cache keys, encodings) that deliberately excludes wall-clock
+times and record order, so a queue-backend checkpoint and a
+sequential one compare equal iff they hold bit-identical results.
+:func:`compact_checkpoint` rewrites a record log keeping only the
+latest record per key (``repro checkpoint --compact``).
 """
 
 from __future__ import annotations
 
 import base64
 import hashlib
+import io
 import json
 import pickle
 import zlib
@@ -46,7 +63,7 @@ from .telemetry import workload_recipe_digest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.results import CharacterizationResult
-    from .grid import EncodeSummary, SweepCell
+    from .grid import EncodeSummary, FailedCell, SweepCell
 
 __all__ = [
     "CHECKPOINT_KIND",
@@ -55,6 +72,9 @@ __all__ = [
     "CheckpointState",
     "CheckpointWriter",
     "load_checkpoint",
+    "checkpoint_digest",
+    "checkpoint_summary",
+    "compact_checkpoint",
 ]
 
 #: Value of the header's ``kind`` field.
@@ -83,9 +103,34 @@ def cell_digest(cell: "SweepCell") -> str:
     ).hexdigest()
 
 
+class _CanonicalPickler(pickle._Pickler):
+    """Pickler whose output is invariant to ``str`` object identity.
+
+    pickle's memo is keyed by object id, so two equal strings that are
+    distinct objects (typical for a result that crossed a worker's
+    pickle boundary) serialize differently than one shared interned
+    string (typical for a result computed in-process).  Routing every
+    plain ``str`` through a value-keyed table collapses equal strings
+    into one representative per dump, which makes the payload bytes —
+    and therefore :func:`checkpoint_digest` — depend only on the
+    values, not on which backend produced them.
+    """
+
+    def __init__(self, stream, protocol: int) -> None:
+        super().__init__(stream, protocol)
+        self._strings: dict[str, str] = {}
+
+    def save(self, obj, save_persistent_id=True):
+        if type(obj) is str:
+            obj = self._strings.setdefault(obj, obj)
+        super().save(obj, save_persistent_id)
+
+
 def _encode_payload(obj) -> str:
+    buffer = io.BytesIO()
+    _CanonicalPickler(buffer, 4).dump(obj)
     return base64.b64encode(
-        zlib.compress(pickle.dumps(obj, protocol=4))
+        zlib.compress(buffer.getvalue())
     ).decode("ascii")
 
 
@@ -105,11 +150,14 @@ class CheckpointState:
 
     ``results`` maps cell recipe digests to
     ``(result, wall_s, cache_key)`` triples; ``encodings`` maps
-    (workload, format) pairs to their :class:`EncodeSummary`.
+    (workload, format) pairs to their :class:`EncodeSummary`;
+    ``failures`` maps cell digests to :class:`FailedCell` records that
+    no later ``cell`` record superseded.
     """
 
     results: dict = field(default_factory=dict)
     encodings: dict = field(default_factory=dict)
+    failures: dict = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.results)
@@ -178,6 +226,26 @@ class CheckpointWriter:
             "payload": _encode_payload(summary),
         })
 
+    def record_failure(
+        self, digest: str, failure: "FailedCell"
+    ) -> None:
+        """Append one failed cell (``error_policy="collect"``).
+
+        Lets a distributed worker's shard carry its failures to the
+        coordinator; a later ``cell`` record for the same digest (a
+        retry that succeeded, possibly on another worker) supersedes
+        it on load.
+        """
+        self._append({
+            "type": "failed",
+            "digest": digest,
+            "index": failure.index,
+            "workload": failure.workload,
+            "format": failure.format_name,
+            "partition_size": failure.partition_size,
+            "payload": _encode_payload(failure),
+        })
+
     def close(self) -> None:
         self._stream.close()
 
@@ -212,6 +280,40 @@ def _validate_header(path: Path) -> dict:
     return header
 
 
+def _iter_records(path: Path):
+    """Yield ``(lineno, record)`` for every parseable record line.
+
+    Applies the shared trust model: a torn final line is silently
+    dropped, anything else malformed raises :class:`CheckpointError`.
+    """
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {error}"
+        ) from error
+    _validate_header(path)
+    lines = text.splitlines()
+    last_index = len(lines) - 1
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            if lineno == last_index and not text.endswith("\n"):
+                return  # torn tail from a mid-append kill
+            raise CheckpointError(
+                f"{path}:{lineno + 1}: invalid JSON: {error}"
+            ) from error
+        if not isinstance(record, dict):
+            raise CheckpointError(
+                f"{path}:{lineno + 1}: checkpoint records must be "
+                f"objects"
+            )
+        yield lineno, record
+
+
 def load_checkpoint(path: str | Path) -> CheckpointState:
     """Parse a checkpoint, keeping the latest record per cell digest.
 
@@ -221,33 +323,8 @@ def load_checkpoint(path: str | Path) -> CheckpointState:
     trusted as a whole.
     """
     path = Path(path)
-    try:
-        text = path.read_text(encoding="utf-8")
-    except OSError as error:
-        raise CheckpointError(
-            f"cannot read checkpoint {path}: {error}"
-        ) from error
-    _validate_header(path)
-
-    lines = text.splitlines()
     state = CheckpointState()
-    last_index = len(lines) - 1
-    for lineno, line in enumerate(lines):
-        if not line.strip():
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as error:
-            if lineno == last_index and not text.endswith("\n"):
-                break  # torn tail from a mid-append kill
-            raise CheckpointError(
-                f"{path}:{lineno + 1}: invalid JSON: {error}"
-            ) from error
-        if not isinstance(record, dict):
-            raise CheckpointError(
-                f"{path}:{lineno + 1}: checkpoint records must be "
-                f"objects"
-            )
+    for lineno, record in _iter_records(path):
         kind = record.get("type")
         if kind == "cell":
             try:
@@ -263,11 +340,176 @@ def load_checkpoint(path: str | Path) -> CheckpointState:
                 float(record.get("wall_s", 0.0)),
                 str(record.get("cache_key", "")),
             )
+            # a completed retry supersedes an earlier failure record
+            state.failures.pop(digest, None)
         elif kind == "encoding":
             summary = _decode_payload(record["payload"])
             state.encodings[
                 (record["workload"], record["format"])
             ] = summary
+        elif kind == "failed":
+            try:
+                digest = record["digest"]
+                payload = record["payload"]
+            except KeyError as error:
+                raise CheckpointError(
+                    f"{path}:{lineno + 1}: failed record missing "
+                    f"{error}"
+                ) from None
+            state.failures[digest] = _decode_payload(payload)
         # header handled above; unknown types skipped for forward
         # compatibility
     return state
+
+
+def checkpoint_digest(path: str | Path) -> str:
+    """Content digest of a checkpoint's *semantic* payload.
+
+    Covers the latest result payload per cell digest, the encodings
+    and the surviving failures; excludes wall-clock times, cache keys
+    (provenance metadata some backends omit) and record order.  Two
+    checkpoints compare equal under this digest iff replaying them
+    yields bit-identical sweep outcomes — the correctness gate for
+    the distributed coordinator's shard merge
+    (``repro checkpoint --digest``).
+    """
+    cells: dict = {}
+    encodings: dict = {}
+    failures: dict = {}
+    for _lineno, record in _iter_records(Path(path)):
+        kind = record.get("type")
+        if kind == "cell":
+            digest = record.get("digest", "")
+            cells[digest] = record.get("payload", "")
+            failures.pop(digest, None)
+        elif kind == "encoding":
+            encodings[
+                (record.get("workload", ""), record.get("format", ""))
+            ] = record.get("payload", "")
+        elif kind == "failed":
+            failures[record.get("digest", "")] = record.get(
+                "payload", ""
+            )
+    payload = repr((
+        sorted(cells.items()),
+        sorted(encodings.items()),
+        sorted(failures.items()),
+    ))
+    return hashlib.blake2b(
+        payload.encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+def checkpoint_summary(path: str | Path) -> dict:
+    """Inspection stats for one checkpoint (``repro checkpoint``)."""
+    path = Path(path)
+    n_records = 0
+    cell_appends: dict = {}
+    per_workload: dict = {}
+    encodings: set = set()
+    failures: dict = {}
+    wall_s = 0.0
+    for _lineno, record in _iter_records(path):
+        kind = record.get("type")
+        if kind == "header":
+            continue
+        n_records += 1
+        if kind == "cell":
+            digest = record.get("digest", "")
+            cell_appends[digest] = cell_appends.get(digest, 0) + 1
+            workload = record.get("workload", "")
+            per_workload[workload] = per_workload.get(workload, 0) + 1
+            wall_s += float(record.get("wall_s", 0.0))
+            failures.pop(digest, None)
+        elif kind == "encoding":
+            encodings.add(
+                (record.get("workload", ""), record.get("format", ""))
+            )
+        elif kind == "failed":
+            failures[record.get("digest", "")] = {
+                "workload": record.get("workload", ""),
+                "format": record.get("format", ""),
+                "partition_size": record.get("partition_size", 0),
+                "index": record.get("index", -1),
+            }
+    duplicates = sum(count - 1 for count in cell_appends.values())
+    return {
+        "path": str(path),
+        "n_records": n_records,
+        "n_cells": len(cell_appends),
+        "n_duplicate_cells": duplicates,
+        "n_encodings": len(encodings),
+        "n_failed": len(failures),
+        "failed": sorted(
+            failures.values(),
+            key=lambda f: (f["index"], f["workload"], f["format"]),
+        ),
+        "cells_per_workload": dict(sorted(per_workload.items())),
+        "recorded_wall_s": wall_s,
+        "digest": checkpoint_digest(path),
+        "bytes": path.stat().st_size,
+    }
+
+
+def compact_checkpoint(
+    path: str | Path, output: "str | Path | None" = None
+) -> dict:
+    """Rewrite a checkpoint keeping only the latest record per key.
+
+    Drops duplicate ``cell`` appends (re-executed or duplicated-claim
+    cells), duplicate encodings, and ``failed`` records superseded by
+    a later success.  Record order in the compacted file is the order
+    each key's *latest* record appeared, so compacting an
+    already-compact file is the identity.  In-place (``output=None``)
+    replaces the file atomically via a same-directory temp file.
+    Returns the before/after stats; the semantic
+    :func:`checkpoint_digest` is invariant under compaction.
+    """
+    path = Path(path)
+    before = checkpoint_summary(path)
+    latest: dict = {}  # key -> record (insertion order re-established)
+    for _lineno, record in _iter_records(path):
+        kind = record.get("type")
+        if kind == "cell":
+            key = ("cell", record.get("digest", ""))
+            failed_key = ("failed", record.get("digest", ""))
+            latest.pop(failed_key, None)
+        elif kind == "encoding":
+            key = (
+                "encoding",
+                record.get("workload", ""),
+                record.get("format", ""),
+            )
+        elif kind == "failed":
+            key = ("failed", record.get("digest", ""))
+        else:
+            continue  # the header is rewritten fresh
+        latest.pop(key, None)  # move-to-back: keep latest, late order
+        latest[key] = record
+    destination = path if output is None else Path(output)
+    temp = destination.with_name(destination.name + ".compact.tmp")
+    with temp.open("w", encoding="utf-8") as stream:
+        stream.write(
+            json.dumps(
+                {
+                    "type": "header",
+                    "kind": CHECKPOINT_KIND,
+                    "schema": CHECKPOINT_SCHEMA,
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        for record in latest.values():
+            stream.write(json.dumps(record, sort_keys=True) + "\n")
+    temp.replace(destination)
+    after = checkpoint_summary(destination)
+    return {
+        "path": str(destination),
+        "records_before": before["n_records"],
+        "records_after": after["n_records"],
+        "dropped": before["n_records"] - after["n_records"],
+        "bytes_before": before["bytes"],
+        "bytes_after": after["bytes"],
+        "digest": after["digest"],
+    }

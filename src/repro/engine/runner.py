@@ -1,76 +1,85 @@
-"""Parallel sweep execution with caching, telemetry and fault tolerance.
+"""Sweep orchestration: grids in, outcomes out, backends pluggable.
 
-The runner turns a grid of sweep cells into characterization results:
+The runner owns *what* runs — grid expansion, cache-affine chunking,
+checkpoint resume replay, and assembling the merged
+:class:`~repro.engine.grid.SweepOutcome` — and delegates *where* it
+runs to an executor backend (:mod:`repro.engine.executors`):
 
-1.  Cells are grouped into *chunks* by workload, so every cell that can
-    share cached intermediates (partition profiles across formats,
-    whole-matrix encodings across partition sizes, the generated matrix
-    itself for spec-based cells) lands on the same worker.
-2.  Chunks are dispatched to a ``ProcessPoolExecutor``; with
-    ``max_workers=1`` the same chunk code runs in-process with one
-    cache shared across *all* chunks, so the sequential path is both a
-    fallback and the maximal-caching configuration.  Both paths produce
-    identical results cell-for-cell.
-3.  A failure inside any cell is handled by the runner's **error
-    policy**: ``"collect"`` (the default) isolates it into a
-    :class:`~repro.engine.grid.FailedCell` record — coordinates,
-    recipe digest, exception type and the worker-side formatted
-    traceback — on :attr:`SweepOutcome.failures` while every healthy
-    cell still completes; ``"fail_fast"`` re-raises it immediately as
+``backend="inline"``
+    Everything in-process against one shared cache; the bit-identical
+    reference configuration.
+``backend="pool"``
+    Chunks dispatched to a ``ProcessPoolExecutor`` with the full
+    crash-recovery ladder (bounded retries, bisection down to the
+    poisonous cell, one-chunk-per-pool isolation rounds, in-process
+    degradation).
+``backend="queue"``
+    Chunks published to a file-based work queue that ``repro worker``
+    processes — on this machine or any machine sharing the directory —
+    claim by digest shard, execute, and checkpoint into per-worker
+    shards the coordinator merges (:mod:`repro.engine.distributed`).
+``backend="auto"`` (default)
+    The historical rule: inline when ``max_workers == 1`` or there is
+    only one chunk, the pool otherwise.
+
+Every backend runs the same per-cell code path, so a sweep's results
+are identical cell-for-cell no matter where it executed — checkpoints
+included, which is what makes
+:func:`~repro.engine.checkpoint.checkpoint_digest` comparison across
+backends meaningful.
+
+Orthogonal services the runner provides to all backends:
+
+*   **Error policy** — ``"collect"`` (default) isolates failing cells
+    into :class:`~repro.engine.grid.FailedCell` records;
+    ``"fail_fast"`` aborts on the first failure with
     :class:`~repro.errors.SweepCellError`.
-4.  A **worker crash** (``BrokenProcessPool``) or an exhausted
-    per-chunk wall-clock budget triggers recovery: the lost chunks are
-    re-dispatched with bounded deterministic retries, then bisected to
-    fence the poisonous cell down to a single-cell failure, and if the
-    pool keeps dying the runner degrades to the in-process sequential
-    path for whatever work remains.
-5.  With ``checkpoint=...`` every completed cell is appended (and
-    flushed) to an append-only JSONL checkpoint as soon as the parent
-    sees it; ``resume=True`` replays checkpointed cells by recipe
-    digest and executes only the remainder, producing a bit-identical
-    :class:`SweepOutcome`.
-6.  With ``telemetry=True`` every worker additionally records one
-    :class:`~repro.engine.telemetry.CellTelemetry` span per cell plus
-    chunk-level timers; the parent merges them (with the run-level
-    cache counters and the recovery counters ``sweep.pool_restarts`` /
-    ``sweep.chunk_retries`` / ``sweep.chunk_bisections`` /
-    ``sweep.degraded`` / ``sweep.cells.failed`` /
-    ``sweep.cells.replayed``) into :attr:`SweepOutcome.telemetry`,
-    from which :meth:`SweepOutcome.write_manifest` emits a JSON-lines
-    run manifest.
-7.  A :class:`~repro.engine.faults.FaultPlan` (``faults=...``) injects
-    deterministic exceptions, worker crashes or delays at chosen
-    cells — the test harness for everything above.
+*   **Checkpointing** (``checkpoint=...``) — completed cells append to
+    a JSONL checkpoint; ``resume=True`` replays them by recipe digest
+    and executes only the remainder, bit-identically.
+*   **Telemetry** (``telemetry=True``) — per-cell spans, merged worker
+    metrics, cache counters, and each backend's recovery counters
+    (``sweep.pool_restarts``, ``sweep.queue.reclaims``, ...).
+*   **Fault injection** (``faults=...``) — deterministic exceptions,
+    worker crashes, delays and stream corruption at chosen cells.
 """
 
 from __future__ import annotations
 
 import time
-import traceback
-import zlib
-from concurrent.futures import (
-    ProcessPoolExecutor,
-    TimeoutError as FuturesTimeoutError,
-)
-from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Sequence
 
 from ..core.results import CharacterizationResult
-from ..core.simulator import SpmvSimulator
-from ..errors import SweepCellError, SweepConfigError
-from ..formats.base import VALUE_BYTES
-from ..formats.corrupt import CorruptionSpec, StreamCorruptor
-from ..formats.integrity import safe_decode
-from ..formats.registry import PAPER_FORMATS, get_format
+from ..errors import SweepConfigError
+from ..formats.registry import PAPER_FORMATS
 from ..hardware.config import DEFAULT_CONFIG, HardwareConfig
 from ..observability import MetricsRegistry
-from ..partition import PARTITION_SIZES, profile_table
+from ..partition import PARTITION_SIZES
 from ..workloads.registry import Workload
-from .cache import CacheStats, ContentKeyedCache
-from .checkpoint import CheckpointState, CheckpointWriter, cell_digest, load_checkpoint
+from .cache import CacheStats
+from .checkpoint import (
+    CheckpointState,
+    CheckpointWriter,
+    cell_digest,
+    load_checkpoint,
+)
+from .executors import (
+    EXECUTOR_BACKENDS,
+    CheckpointSink,
+    ExecutionSettings,
+    _Chunk,
+    _ChunkOutput,
+    make_executor,
+)
 from .faults import FaultPlan
-from .grid import EncodeSummary, FailedCell, SweepCell, SweepOutcome, build_grid
+from .grid import (
+    EncodeSummary,
+    FailedCell,
+    SweepCell,
+    SweepOutcome,
+    build_grid,
+)
 from .specs import WorkloadSpec
 from .telemetry import CellTelemetry, RunTelemetry, workload_recipe_digest
 
@@ -79,223 +88,6 @@ __all__ = ["SweepRunner", "run_sweep", "ERROR_POLICIES"]
 #: The supported per-cell error policies.
 ERROR_POLICIES = ("collect", "fail_fast")
 
-#: One chunk: (cell index in the grid, cell) pairs sharing a workload.
-_Chunk = list[tuple[int, SweepCell]]
-
-#: One chunk's outputs: results, encodings, cache stats, telemetry,
-#: and (under the "collect" policy) per-cell failure records.
-_ChunkOutput = tuple[
-    list[tuple[int, CharacterizationResult]],
-    dict[tuple[str, str], EncodeSummary],
-    CacheStats,
-    "list[CellTelemetry] | None",
-    "MetricsRegistry | None",
-    list[FailedCell],
-]
-
-
-def _materialize(cell: SweepCell, cache: ContentKeyedCache) -> Workload:
-    """The cell's workload, building spec-based cells through the cache."""
-    workload = cell.workload
-    if isinstance(workload, WorkloadSpec):
-        return cache.get_or_create(workload.cache_key, workload.build)
-    return workload
-
-
-def _corrupt_workload(
-    workload: Workload, cell: SweepCell, corruption: CorruptionSpec
-) -> Workload:
-    """Run the cell's matrix through a seeded encode-damage-decode loop.
-
-    The stream corruption a ``corrupt`` fault models happens on the
-    *encoded* representation: the matrix is encoded in the cell's own
-    format, one plane is damaged (seeded by the cell coordinates, so
-    every retry and every worker sees identical damage), and the
-    result is decoded back under the spec's decode mode.  Strict
-    decoding raises :class:`~repro.errors.FormatIntegrityError` for
-    detected damage — surfacing as an ordinary cell failure — while
-    repair / lenient modes let a best-effort matrix continue into the
-    characterization.
-    """
-    fmt = get_format(cell.format_name)
-    encoded = fmt.encode(workload.matrix)
-    corruptor = StreamCorruptor(
-        seed=zlib.crc32(repr(cell.coords).encode("utf-8"))
-    )
-    damaged = corruptor.corrupt_encoding(
-        encoded, corruption, key=cell.coords
-    )
-    matrix, _report = safe_decode(damaged, mode=corruption.decode_mode)
-    return Workload(
-        name=workload.name,
-        group=workload.group,
-        matrix=matrix,
-        parameter=workload.parameter,
-    )
-
-
-def _run_cell(
-    cell: SweepCell,
-    cache: ContentKeyedCache,
-    corruption: CorruptionSpec | None = None,
-) -> tuple[CharacterizationResult, str]:
-    """Characterize one cell; returns the result and its matrix key."""
-    workload = _materialize(cell, cache)
-    if corruption is not None:
-        workload = _corrupt_workload(workload, cell, corruption)
-    config = cell.resolved_config
-    matrix_key = cache.matrix_key(workload.matrix)
-    table = cache.get_or_create(
-        ("profiles", matrix_key, config.partition_size, config.block_size),
-        lambda: profile_table(
-            workload.matrix,
-            config.partition_size,
-            block_size=config.block_size,
-        ),
-    )
-    simulator = SpmvSimulator(config)
-    result = simulator.run_format(cell.format_name, table, workload.name)
-    return result, matrix_key
-
-
-def _encode_cell(
-    cell: SweepCell, cache: ContentKeyedCache
-) -> EncodeSummary:
-    """Whole-matrix encode accounting, shared across partition sizes."""
-    workload = _materialize(cell, cache)
-    matrix = workload.matrix
-    matrix_key = cache.matrix_key(matrix)
-
-    def build() -> EncodeSummary:
-        fmt = get_format(cell.format_name)
-        size = fmt.size(fmt.encode(matrix))
-        dense_bytes = matrix.n_rows * matrix.n_cols * VALUE_BYTES
-        ratio = (
-            float("inf")
-            if size.total_bytes == 0
-            else dense_bytes / size.total_bytes
-        )
-        return EncodeSummary(
-            workload=workload.name,
-            format_name=cell.format_name,
-            nnz=matrix.nnz,
-            size=size,
-            compression_ratio=ratio,
-        )
-
-    return cache.get_or_create(
-        ("encode", matrix_key, cell.format_name), build
-    )
-
-
-def _failed_cell(
-    index: int, cell: SweepCell, error: Exception, attempt: int
-) -> FailedCell:
-    """Build the structured failure record for one raised cell."""
-    return FailedCell(
-        index=index,
-        workload=cell.workload_name,
-        format_name=cell.format_name,
-        partition_size=cell.partition_size,
-        recipe_digest=workload_recipe_digest(cell.workload),
-        error_type=type(error).__name__,
-        message=str(error),
-        traceback_text=traceback.format_exc(),
-        attempts=attempt + 1,
-    )
-
-
-def _run_chunk(
-    chunk: _Chunk,
-    encode: bool,
-    cache: ContentKeyedCache | None = None,
-    telemetry: bool = False,
-    error_policy: str = "fail_fast",
-    faults: FaultPlan | None = None,
-    attempt: int = 0,
-    in_worker: bool = True,
-    on_cell: "Callable | None" = None,
-) -> _ChunkOutput:
-    """Execute one chunk of cells against one shared cache.
-
-    This is the single code path both the sequential and the parallel
-    runner use; workers call it with a fresh cache, the sequential
-    runner threads one cache through every chunk.  With ``telemetry``
-    the chunk also returns one :class:`CellTelemetry` per cell and a
-    worker-local :class:`MetricsRegistry`; both are picklable, so they
-    aggregate across process boundaries exactly like the results do.
-
-    ``error_policy="collect"`` turns per-cell exceptions into
-    :class:`FailedCell` records (with the traceback formatted *here*,
-    on the worker side of the pickle boundary); ``"fail_fast"``
-    re-raises them as annotated :class:`SweepCellError`.  ``faults``
-    and ``attempt`` drive deterministic fault injection; ``on_cell``
-    (in-process only — it does not pickle) is invoked after every
-    completed cell so the caller can checkpoint at cell granularity.
-    """
-    if cache is None:
-        cache = ContentKeyedCache()
-    results: list[tuple[int, CharacterizationResult]] = []
-    encodings: dict[tuple[str, str], EncodeSummary] = {}
-    failures: list[FailedCell] = []
-    spans: list[CellTelemetry] | None = [] if telemetry else None
-    metrics: MetricsRegistry | None = (
-        MetricsRegistry() if telemetry else None
-    )
-    timed = telemetry or on_cell is not None
-    chunk_start = time.perf_counter() if telemetry else 0.0
-    for index, cell in chunk:
-        cell_start = time.perf_counter() if timed else 0.0
-        try:
-            corruption = None
-            if faults is not None:
-                faults.before_cell(
-                    cell.coords, index, attempt, in_worker
-                )
-                corruption = faults.corruption_for(
-                    cell.coords, index, attempt
-                )
-            result, matrix_key = _run_cell(cell, cache, corruption)
-            if encode:
-                summary = _encode_cell(cell, cache)
-                encodings[(summary.workload, summary.format_name)] = summary
-        except Exception as error:  # noqa: BLE001 — policy decides
-            if error_policy == "fail_fast":
-                if isinstance(error, SweepCellError):
-                    raise
-                raise SweepCellError(
-                    cell.coords,
-                    f"{type(error).__name__}: {error}",
-                    traceback_text=traceback.format_exc(),
-                    recipe_digest=workload_recipe_digest(cell.workload),
-                    attempts=attempt + 1,
-                ) from error
-            failures.append(_failed_cell(index, cell, error, attempt))
-            continue
-        results.append((index, result))
-        wall = time.perf_counter() - cell_start if timed else 0.0
-        if telemetry:
-            spans.append(
-                CellTelemetry(
-                    index=index,
-                    workload=result.workload,
-                    format_name=cell.format_name,
-                    partition_size=cell.partition_size,
-                    cache_key=matrix_key,
-                    wall_s=wall,
-                )
-            )
-            metrics.incr("sweep.cells")
-            metrics.observe("sweep.cell", wall)
-        if on_cell is not None:
-            on_cell(index, cell, result, wall, matrix_key)
-    if telemetry:
-        metrics.observe(
-            "sweep.chunk", time.perf_counter() - chunk_start
-        )
-        metrics.incr("sweep.chunks")
-    return results, encodings, cache.stats, spans, metrics, failures
-
 
 class SweepRunner:
     """Executes sweep grids, concurrently and fault-tolerantly.
@@ -303,9 +95,13 @@ class SweepRunner:
     Parameters
     ----------
     max_workers:
-        Process count.  ``1`` (the default) runs everything in-process
+        Worker count.  ``1`` (the default) runs everything in-process
         with a single cache shared across the whole grid; ``> 1``
-        dispatches workload-chunks to a ``ProcessPoolExecutor``.
+        dispatches workload-chunks to the selected parallel backend.
+    backend:
+        Execution backend: ``"auto"`` (default), ``"inline"``,
+        ``"pool"``, or ``"queue"`` (the distributed work-queue;
+        configure it with ``queue_options``).
     encode:
         Also run each (workload, format) through the format's real
         ``encode``/``size`` path, caching the result across partition
@@ -325,28 +121,35 @@ class SweepRunner:
         aborts the sweep with :class:`SweepCellError` (the pre-existing
         behavior).
     max_retries:
-        How many times a chunk lost to a worker crash or chunk timeout
-        is re-dispatched verbatim before it is bisected (multi-cell
-        chunks) or declared failed (single cells).
+        How many times a chunk lost to a worker crash, a chunk timeout
+        or an expired queue lease is re-dispatched verbatim before it
+        is bisected (multi-cell chunks) or declared failed (single
+        cells).
     chunk_timeout:
-        Optional per-chunk wall-clock budget in seconds for the
-        parallel path; a chunk that exceeds it is treated like a
-        crashed chunk (retried, bisected, then failed with
+        Optional per-chunk wall-clock budget in seconds for the pool
+        backend; a chunk that exceeds it is treated like a crashed
+        chunk (retried, bisected, then failed with
         ``error_type="ChunkTimeout"``).
     faults:
         A :class:`FaultPlan` (or its compact string form) injecting
         deterministic failures for testing; ``None`` disables.
     checkpoint:
         Path of an append-only JSONL checkpoint; every completed cell
-        is appended and flushed as soon as the parent sees it.
+        is appended and flushed as soon as the parent sees it (the
+        queue backend additionally keeps per-worker shard checkpoints
+        it merges into this one).
     resume:
         Replay cells found in ``checkpoint`` (matched by recipe
         digest) instead of executing them.  Requires ``checkpoint``.
     max_pool_restarts:
-        Pool rebuilds tolerated before the runner stops trusting the
-        process pool and degrades to the in-process sequential path
-        for the remaining work.  Default: scaled from ``max_retries``
-        and the bisection depth of the largest chunk.
+        Pool rebuilds tolerated before the pool backend stops trusting
+        the process pool and degrades to the in-process path for the
+        remaining work.  Default: scaled from ``max_retries`` and the
+        bisection depth of the largest chunk.
+    queue_options:
+        A :class:`~repro.engine.distributed.QueueOptions` for the
+        ``"queue"`` backend (queue directory, spawned worker count,
+        lease timeout, ...).  Rejected for any other backend.
     """
 
     def __init__(
@@ -361,6 +164,8 @@ class SweepRunner:
         checkpoint: "str | Path | None" = None,
         resume: bool = False,
         max_pool_restarts: int | None = None,
+        backend: str = "auto",
+        queue_options=None,
     ) -> None:
         if not isinstance(max_workers, int) or isinstance(
             max_workers, bool
@@ -397,6 +202,16 @@ class SweepRunner:
             raise SweepConfigError(
                 "resume=True requires a checkpoint path"
             )
+        if backend not in EXECUTOR_BACKENDS:
+            raise SweepConfigError(
+                f"backend must be one of "
+                f"{', '.join(EXECUTOR_BACKENDS)}; got {backend!r}"
+            )
+        if queue_options is not None and backend != "queue":
+            raise SweepConfigError(
+                f"queue options require backend='queue', got "
+                f"{backend!r}"
+            )
         if isinstance(faults, str):
             faults = FaultPlan.parse(faults)
         self.max_workers = max_workers
@@ -409,6 +224,8 @@ class SweepRunner:
         self.checkpoint = None if checkpoint is None else Path(checkpoint)
         self.resume = resume
         self.max_pool_restarts = max_pool_restarts
+        self.backend = backend
+        self.queue_options = queue_options
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -445,6 +262,19 @@ class SweepRunner:
         """
         return SweepRunner.chunk_indexed(
             list(enumerate(cells)), target_chunks
+        )
+
+    def execution_settings(self) -> ExecutionSettings:
+        """The backend-facing view of this runner's configuration."""
+        return ExecutionSettings(
+            encode=self.encode,
+            telemetry=self.telemetry,
+            error_policy=self.error_policy,
+            faults=self.faults,
+            max_retries=self.max_retries,
+            chunk_timeout=self.chunk_timeout,
+            max_workers=self.max_workers,
+            max_pool_restarts=self.max_pool_restarts,
         )
 
     # ------------------------------------------------------------------
@@ -502,14 +332,22 @@ class SweepRunner:
         )
         recovery_failures: list[FailedCell] = []
         recovery_counters: dict[str, int] = {}
+        outputs: list[_ChunkOutput] = []
         try:
-            if not chunks:
-                outputs: list[_ChunkOutput] = []
-            elif self.max_workers == 1 or len(chunks) == 1:
-                outputs = self._run_sequential(chunks, writer, digests)
-            else:
+            if chunks:
+                executor = make_executor(
+                    self.execution_settings(),
+                    backend=self.backend,
+                    n_chunks=len(chunks),
+                    queue_options=self.queue_options,
+                )
+                sink = (
+                    CheckpointSink(writer, digests)
+                    if writer is not None
+                    else None
+                )
                 outputs, recovery_failures, recovery_counters = (
-                    self._run_parallel(chunks, writer, digests)
+                    executor.run_chunks(chunks, sink)
                 )
         finally:
             if writer is not None:
@@ -603,278 +441,6 @@ class SweepRunner:
             return load_checkpoint(self.checkpoint)
         return CheckpointState()
 
-    def _checkpoint_chunk(
-        self,
-        writer: CheckpointWriter | None,
-        digests: list[str] | None,
-        chunk: _Chunk,
-        output: _ChunkOutput,
-        recorded_encodings: set,
-    ) -> None:
-        """Append one completed chunk's results to the checkpoint."""
-        if writer is None:
-            return
-        results, chunk_encodings, _, chunk_spans, _, _ = output
-        spans_by_index = {
-            span.index: span for span in (chunk_spans or ())
-        }
-        by_index = dict(chunk)
-        for index, result in results:
-            span = spans_by_index.get(index)
-            writer.record_result(
-                digests[index],
-                by_index[index],
-                result,
-                wall_s=span.wall_s if span is not None else 0.0,
-                cache_key=span.cache_key if span is not None else "",
-            )
-        for key, summary in chunk_encodings.items():
-            if key not in recorded_encodings:
-                recorded_encodings.add(key)
-                writer.record_encoding(summary)
-
-    # ------------------------------------------------------------------
-    def _run_sequential(
-        self,
-        chunks: list[_Chunk],
-        writer: CheckpointWriter | None = None,
-        digests: list[str] | None = None,
-    ) -> list[_ChunkOutput]:
-        cache = ContentKeyedCache()
-        recorded_encodings: set = set()
-        on_cell = None
-        if writer is not None:
-            cells_by_index = {
-                index: cell
-                for chunk in chunks
-                for index, cell in chunk
-            }
-
-            def on_cell(index, cell, result, wall_s, matrix_key):
-                writer.record_result(
-                    digests[index],
-                    cells_by_index[index],
-                    result,
-                    wall_s=wall_s,
-                    cache_key=matrix_key,
-                )
-
-        outputs: list[_ChunkOutput] = []
-        for chunk in chunks:
-            output = _run_chunk(
-                chunk,
-                self.encode,
-                cache,
-                telemetry=self.telemetry,
-                error_policy=self.error_policy,
-                faults=self.faults,
-                in_worker=False,
-                on_cell=on_cell,
-            )
-            results, encodings, _, spans, metrics, failures = output
-            outputs.append(
-                (results, encodings, CacheStats(), spans, metrics, failures)
-            )
-            if writer is not None:
-                for key, summary in encodings.items():
-                    if key not in recorded_encodings:
-                        recorded_encodings.add(key)
-                        writer.record_encoding(summary)
-        # the cache is shared, so its stats are reported once
-        last = outputs[-1]
-        outputs[-1] = (
-            last[0], last[1], cache.stats, last[3], last[4], last[5]
-        )
-        return outputs
-
-    # ------------------------------------------------------------------
-    def _restart_budget(self, chunks: list[_Chunk]) -> int:
-        if self.max_pool_restarts is not None:
-            return self.max_pool_restarts
-        biggest = max(len(chunk) for chunk in chunks)
-        # each (retry budget + 1) dispatch cascade can recur once per
-        # bisection level of the largest chunk
-        depth = max(1, biggest.bit_length())
-        return (self.max_retries + 1) * (depth + 1)
-
-    def _run_parallel(
-        self,
-        chunks: list[_Chunk],
-        writer: CheckpointWriter | None = None,
-        digests: list[str] | None = None,
-    ) -> tuple[list[_ChunkOutput], list[FailedCell], dict[str, int]]:
-        pending: list[tuple[_Chunk, int]] = [
-            (chunk, 0) for chunk in chunks
-        ]
-        outputs: list[_ChunkOutput] = []
-        crash_failures: list[FailedCell] = []
-        counters: dict[str, int] = {}
-        recorded_encodings: set = set()
-        restarts = 0
-        max_restarts = self._restart_budget(chunks)
-        degraded = False
-
-        def bump(name: str, count: int = 1) -> None:
-            counters[name] = counters.get(name, 0) + count
-
-        def abandon(
-            chunk: _Chunk, attempt: int, error_type: str, message: str
-        ) -> None:
-            """Retry, bisect, or give up on one lost chunk.
-
-            Only called once dispatch is down to one chunk per pool
-            (isolation rounds), so a loss is attributable to the chunk
-            itself rather than to a pool-mate's crash.
-            """
-            next_attempt = attempt + 1
-            if next_attempt <= self.max_retries:
-                bump("sweep.chunk_retries")
-                pending.append((chunk, next_attempt))
-                return
-            if len(chunk) > 1:
-                bump("sweep.chunk_bisections")
-                mid = len(chunk) // 2
-                pending.append((chunk[:mid], 0))
-                pending.append((chunk[mid:], 0))
-                return
-            index, cell = chunk[0]
-            digest = workload_recipe_digest(cell.workload)
-            if self.error_policy == "fail_fast":
-                raise SweepCellError(
-                    cell.coords,
-                    f"{error_type}: {message}",
-                    recipe_digest=digest,
-                    attempts=next_attempt,
-                )
-            crash_failures.append(
-                FailedCell(
-                    index=index,
-                    workload=cell.workload_name,
-                    format_name=cell.format_name,
-                    partition_size=cell.partition_size,
-                    recipe_digest=digest,
-                    error_type=error_type,
-                    message=message,
-                    attempts=next_attempt,
-                )
-            )
-
-        # After the first pool break, dispatch one chunk per pool
-        # ("isolation rounds"): inside a shared pool one crashing cell
-        # takes every co-scheduled chunk down with it, so retry budgets
-        # would be burned by innocent-bystander losses and bisection
-        # could never exonerate the healthy half.
-        isolating = False
-        while pending:
-            if degraded:
-                # the pool cannot be trusted; finish in-process, where
-                # an injected crash raises WorkerCrashError instead of
-                # killing anything
-                batch, pending = pending, []
-                for chunk, attempt in batch:
-                    output = _run_chunk(
-                        chunk,
-                        self.encode,
-                        telemetry=self.telemetry,
-                        error_policy=self.error_policy,
-                        faults=self.faults,
-                        attempt=attempt,
-                        in_worker=False,
-                    )
-                    outputs.append(output)
-                    self._checkpoint_chunk(
-                        writer, digests, chunk, output, recorded_encodings
-                    )
-                continue
-
-            if isolating:
-                batch = [pending.pop(0)]
-            else:
-                batch, pending = pending, []
-            workers = min(self.max_workers, len(batch))
-            lost: list[tuple[_Chunk, int, str, str]] = []
-            timed_out = False
-            pool = ProcessPoolExecutor(max_workers=workers)
-            try:
-                futures = [
-                    (
-                        pool.submit(
-                            _run_chunk,
-                            chunk,
-                            self.encode,
-                            telemetry=self.telemetry,
-                            error_policy=self.error_policy,
-                            faults=self.faults,
-                            attempt=attempt,
-                            in_worker=True,
-                        ),
-                        chunk,
-                        attempt,
-                    )
-                    for chunk, attempt in batch
-                ]
-                # collect in submission order for deterministic merging
-                for future, chunk, attempt in futures:
-                    try:
-                        output = future.result(
-                            timeout=self.chunk_timeout
-                        )
-                    except FuturesTimeoutError:
-                        timed_out = True
-                        future.cancel()
-                        lost.append((
-                            chunk,
-                            attempt,
-                            "ChunkTimeout",
-                            f"chunk of {len(chunk)} cell(s) exceeded "
-                            f"the {self.chunk_timeout}s wall budget",
-                        ))
-                    except BrokenProcessPool as error:
-                        lost.append((
-                            chunk,
-                            attempt,
-                            "WorkerCrashError",
-                            str(error)
-                            or "worker process terminated abruptly",
-                        ))
-                    else:
-                        outputs.append(output)
-                        self._checkpoint_chunk(
-                            writer, digests, chunk, output,
-                            recorded_encodings,
-                        )
-                if timed_out:
-                    # the budget-blowing workers are still running;
-                    # reclaim them before abandoning the pool
-                    for process in list(
-                        getattr(pool, "_processes", {}).values()
-                    ):
-                        try:
-                            process.terminate()
-                        except Exception:  # noqa: BLE001 — best effort
-                            pass
-            finally:
-                pool.shutdown(wait=not timed_out, cancel_futures=True)
-
-            if lost:
-                restarts += 1
-                counters["sweep.pool_restarts"] = restarts
-                if restarts > max_restarts:
-                    degraded = True
-                    counters["sweep.degraded"] = 1
-                if isolating:
-                    for item in lost:
-                        abandon(*item)
-                else:
-                    # a shared-pool loss is not attributable — any
-                    # pool-mate may have crashed the pool — so
-                    # re-enqueue verbatim (no retry budget burned) and
-                    # switch to one-chunk-per-pool isolation rounds
-                    isolating = True
-                    for chunk, attempt, _error_type, _message in lost:
-                        pending.append((chunk, attempt))
-        return outputs, crash_failures, counters
-
 
 def run_sweep(
     workloads: Sequence[Workload | WorkloadSpec],
@@ -890,6 +456,8 @@ def run_sweep(
     faults: "FaultPlan | str | None" = None,
     checkpoint: "str | Path | None" = None,
     resume: bool = False,
+    backend: str = "auto",
+    queue_options=None,
 ) -> SweepOutcome:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
     runner = SweepRunner(
@@ -902,6 +470,8 @@ def run_sweep(
         faults=faults,
         checkpoint=checkpoint,
         resume=resume,
+        backend=backend,
+        queue_options=queue_options,
     )
     return runner.run_grid(
         workloads, format_names, partition_sizes, base_config

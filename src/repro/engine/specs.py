@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Hashable
+from functools import cached_property
+from pathlib import Path
+from typing import TYPE_CHECKING, Hashable
 
 from ..errors import WorkloadError
 from ..workloads.band import band_matrix
@@ -21,7 +23,10 @@ from ..workloads.random_matrices import random_matrix
 from ..workloads.registry import Workload
 from ..workloads.suitesparse import standin_by_id
 
-__all__ = ["WorkloadSpec"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..partition import ProfileTable
+
+__all__ = ["WorkloadSpec", "StreamedMatrixSpec"]
 
 _BUILDERS = {
     "random": random_matrix,
@@ -125,4 +130,86 @@ class WorkloadSpec:
             group=self.group or self.kind,
             matrix=matrix,
             parameter=self.parameter,
+        )
+
+
+@dataclass(frozen=True)
+class StreamedMatrixSpec:
+    """An out-of-core workload: a ``.mtx`` file profiled tile-by-tile.
+
+    Unlike :class:`WorkloadSpec`, this spec never materializes a
+    :class:`~repro.matrix.SparseMatrix`: the sweep profiles the file
+    through :func:`repro.io.streaming_profile_table`, which reads
+    bounded batches of entries and folds them into the per-tile
+    statistics the hardware model needs
+    (:class:`~repro.partition.ProfileAccumulator`).  Peak memory is the
+    batch buffer (bounded by ``memory_budget_mb``) plus the columnar
+    accumulator state — proportional to distinct (tile, row/col/diag)
+    keys, not to ``nnz`` and not to the Python-object overhead of a
+    full triplet parse.
+
+    The recipe digest is a content digest of the *file bytes*, so two
+    machines pointing at identical files claim, checkpoint and dedupe
+    the same cells.  Paths that inherently require a materialized
+    matrix (``encode=True``, ``corrupt`` faults) reject streamed cells
+    with :class:`~repro.errors.SweepConfigError` instead of silently
+    densifying.
+    """
+
+    path: str
+    name: str
+    group: str = "streamed"
+    parameter: float = 0.0
+    #: Bounds the streaming reader's in-flight entry batches (MiB).
+    memory_budget_mb: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.memory_budget_mb <= 0:
+            raise WorkloadError(
+                f"memory_budget_mb must be > 0, got "
+                f"{self.memory_budget_mb}"
+            )
+
+    @classmethod
+    def of_file(
+        cls,
+        path: "str | Path",
+        name: str = "",
+        memory_budget_mb: float = 64.0,
+    ) -> "StreamedMatrixSpec":
+        path = Path(path)
+        return cls(
+            path=str(path),
+            name=name or path.stem,
+            memory_budget_mb=memory_budget_mb,
+        )
+
+    @cached_property
+    def content_key(self) -> str:
+        """Content digest of the file bytes (computed once, streamed)."""
+        digest = hashlib.blake2b(digest_size=16)
+        with open(self.path, "rb") as stream:
+            for block in iter(lambda: stream.read(1 << 20), b""):
+                digest.update(block)
+        return digest.hexdigest()
+
+    @property
+    def recipe_digest(self) -> str:
+        """Stable digest of the recipe: the file's exact content."""
+        payload = repr(("streamed", self.content_key))
+        return hashlib.blake2b(
+            payload.encode("utf-8"), digest_size=16
+        ).hexdigest()
+
+    def profile(
+        self, partition_size: int, block_size: int = 4
+    ) -> "ProfileTable":
+        """Stream the file into a :class:`ProfileTable` at one tiling."""
+        from ..io import streaming_profile_table
+
+        return streaming_profile_table(
+            self.path,
+            partition_size,
+            block_size=block_size,
+            memory_budget_mb=self.memory_budget_mb,
         )

@@ -25,14 +25,19 @@ __all__ = ["CellTelemetry", "RunTelemetry", "workload_recipe_digest"]
 def workload_recipe_digest(workload: Workload | WorkloadSpec) -> str:
     """Content digest of how a workload is produced.
 
-    Spec-built workloads digest their generator recipe (kind + params),
-    so the digest is stable without materializing the matrix;
-    materialized workloads digest the matrix triplets themselves.  Two
-    runs of the same grid therefore carry identical digests, which is
-    what lets ``repro stats --against`` align them.
+    Anything carrying a ``recipe_digest`` attribute — a
+    :class:`WorkloadSpec`, an out-of-core
+    :class:`~repro.engine.specs.StreamedMatrixSpec`, the queue
+    backend's :class:`~repro.engine.distributed.StoredWorkload` —
+    digests its recipe directly, so the digest is stable without
+    materializing the matrix; materialized workloads digest the matrix
+    triplets themselves.  Two runs of the same grid therefore carry
+    identical digests, which is what lets ``repro stats --against``
+    align them and what keys distributed work claiming.
     """
-    if isinstance(workload, WorkloadSpec):
-        return workload.recipe_digest
+    digest = getattr(workload, "recipe_digest", None)
+    if digest is not None:
+        return digest
     return matrix_content_key(workload.matrix)
 
 

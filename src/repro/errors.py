@@ -148,6 +148,17 @@ class CheckpointError(CopernicusError):
     """A sweep checkpoint file could not be written, read or trusted."""
 
 
+class QueueError(SimulationError):
+    """A distributed work-queue directory is missing, stale or corrupt.
+
+    Raised when a worker is pointed at a directory that is not a queue
+    (or one created by an incompatible schema), when a content blob a
+    :class:`~repro.engine.distributed.StoredWorkload` refers to has
+    vanished, or when the coordinator finds the queue in a state it
+    cannot reconcile.
+    """
+
+
 class ServeError(CopernicusError):
     """The characterization server (or its client) failed.
 

@@ -15,7 +15,7 @@ produced.  This package provides:
   and diffed by ``python -m repro stats``.
 """
 
-from .export import METRICS_SCHEMA, metrics_payload
+from .export import METRICS_SCHEMA, machine_metadata, metrics_payload
 from .manifest import (
     MANIFEST_KIND,
     SCHEMA_VERSION,
@@ -34,6 +34,7 @@ from .metrics import (
 
 __all__ = [
     "METRICS_SCHEMA",
+    "machine_metadata",
     "metrics_payload",
     "MANIFEST_KIND",
     "SCHEMA_VERSION",

@@ -15,11 +15,13 @@ sets.
 
 from __future__ import annotations
 
+import os
+import platform
 from typing import Mapping
 
 from .metrics import MetricsRegistry
 
-__all__ = ["METRICS_SCHEMA", "metrics_payload"]
+__all__ = ["METRICS_SCHEMA", "machine_metadata", "metrics_payload"]
 
 #: Version tag of the export envelope; bump on incompatible change.
 METRICS_SCHEMA = "metrics/v1"
@@ -27,6 +29,23 @@ METRICS_SCHEMA = "metrics/v1"
 #: Spans included in a payload (most recent first); registries can
 #: hold many more, but an HTTP response should stay bounded.
 MAX_EXPORTED_SPANS = 256
+
+
+def machine_metadata() -> dict:
+    """The machine block stamped into every ``BENCH_*.json`` report.
+
+    Performance numbers are meaningless without the hardware they were
+    measured on; this block makes cross-machine comparisons of
+    committed reports honest (a 1-core CI runner and a 64-core
+    workstation produce very different scaling curves).
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
 
 
 def metrics_payload(

@@ -41,6 +41,7 @@ __all__ = [
     "PartitionProfile",
     "PROFILE_COLUMNS",
     "ProfileTable",
+    "ProfileAccumulator",
     "PartitionStatistics",
     "partition_matrix",
     "profile_partitions",
@@ -581,6 +582,228 @@ def profile_table(
         dia_max_len=longest,
         row_nnz_hist=hist_matrix,
     )
+
+
+def _merge_key_counts(
+    keys_a: np.ndarray,
+    counts_a: np.ndarray,
+    keys_b: np.ndarray,
+    counts_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two (sorted unique keys, counts) multisets by summation."""
+    if not keys_a.size:
+        return keys_b, counts_b
+    if not keys_b.size:
+        return keys_a, counts_a
+    keys = np.concatenate([keys_a, keys_b])
+    counts = np.concatenate([counts_a, counts_b])
+    unique, inverse = np.unique(keys, return_inverse=True)
+    summed = np.bincount(
+        inverse, weights=counts, minlength=unique.size
+    ).astype(np.int64)
+    return unique, summed
+
+
+class ProfileAccumulator:
+    """Streaming construction of a :class:`ProfileTable`.
+
+    Consumes ``(rows, cols)`` coordinate batches in any order and any
+    grouping — an out-of-core reader feeds it one bounded batch at a
+    time — and finalizes into a table **identical** to
+    ``profile_table(matrix, p)`` on the materialized matrix.
+
+    Every tile statistic is a function of per-(tile, key) entry counts
+    for key in {local row, local column, ``b x b`` block, diagonal},
+    and those counts merge associatively across batches.  The running
+    state is therefore columnar: sorted ``pid * 2**32 + key`` arrays
+    with counts, merged per batch — memory proportional to the number
+    of *distinct* (tile, key) pairs seen so far, never to the raw
+    entry count and never to Python-object parse overhead.
+
+    Precondition: batches must not repeat a coordinate (canonical
+    Matrix Market input — what :func:`repro.io.write_matrix_market`
+    emits and SuiteSparse distributes).  Duplicate coordinates would
+    be *summed* by :class:`SparseMatrix` but double-counted here.
+    Explicit zero values must be filtered out by the caller (pass
+    ``vals`` to :meth:`add` to do it here), matching the container's
+    zero-dropping canonicalization.
+    """
+
+    def __init__(
+        self, shape: tuple[int, int], p: int, block_size: int = 4
+    ) -> None:
+        _check_partition_size(p)
+        if block_size < 1:
+            raise PartitionError(
+                f"block_size must be >= 1, got {block_size}"
+            )
+        if shape[0] < 0 or shape[1] < 0:
+            raise PartitionError(f"negative shape {shape}")
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.p = p
+        self.block_size = block_size
+        self.n_entries = 0
+        empty_keys = np.zeros(0, dtype=np.int64)
+        empty_counts = np.zeros(0, dtype=np.int64)
+        # per-(tile, local row) and per-(tile, local col) entry counts
+        self._row_keys, self._row_counts = empty_keys, empty_counts
+        self._col_keys, self._col_counts = (
+            empty_keys.copy(),
+            empty_counts.copy(),
+        )
+        # distinct (tile, block) / (tile, block-row) / (tile, diagonal)
+        self._block_keys = empty_keys.copy()
+        self._brow_keys = empty_keys.copy()
+        self._diag_keys = empty_keys.copy()
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: "np.ndarray | None" = None,
+    ) -> None:
+        """Fold one batch of coordinates into the running statistics.
+
+        When ``vals`` is given, entries whose value is exactly zero
+        are dropped first — the streaming equivalent of
+        :class:`SparseMatrix`'s canonicalization.
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape or rows.ndim != 1:
+            raise PartitionError(
+                "rows and cols must be equal-length 1-D arrays"
+            )
+        if vals is not None:
+            keep = np.asarray(vals) != 0.0
+            rows, cols = rows[keep], cols[keep]
+        if not rows.size:
+            return
+        if rows.min() < 0 or rows.max() >= self.shape[0]:
+            raise PartitionError("row indices out of bounds")
+        if cols.min() < 0 or cols.max() >= self.shape[1]:
+            raise PartitionError("column indices out of bounds")
+        self.n_entries += rows.size
+
+        p = self.p
+        grid_cols = grid_shape(self.shape, p)[1]
+        pid = (rows // p) * grid_cols + (cols // p)
+        local_rows = rows % p
+        local_cols = cols % p
+        base = pid * np.int64(2**32)
+
+        batch_keys, batch_counts = np.unique(
+            base + local_rows, return_counts=True
+        )
+        self._row_keys, self._row_counts = _merge_key_counts(
+            self._row_keys, self._row_counts, batch_keys, batch_counts
+        )
+        batch_keys, batch_counts = np.unique(
+            base + local_cols, return_counts=True
+        )
+        self._col_keys, self._col_counts = _merge_key_counts(
+            self._col_keys, self._col_counts, batch_keys, batch_counts
+        )
+
+        block_size = self.block_size
+        block_cols_per_tile = -(-p // block_size)
+        block_key = (
+            (local_rows // block_size) * block_cols_per_tile
+            + (local_cols // block_size)
+        )
+        self._block_keys = np.union1d(
+            self._block_keys, base + block_key
+        )
+        self._brow_keys = np.union1d(
+            self._brow_keys, base + local_rows // block_size
+        )
+        diag = local_cols - local_rows + p  # shift into [1, 2p-1]
+        self._diag_keys = np.union1d(self._diag_keys, base + diag)
+
+    # ------------------------------------------------------------------
+    @property
+    def state_bytes(self) -> int:
+        """Approximate resident size of the running columnar state."""
+        arrays = (
+            self._row_keys,
+            self._row_counts,
+            self._col_keys,
+            self._col_counts,
+            self._block_keys,
+            self._brow_keys,
+            self._diag_keys,
+        )
+        return sum(a.nbytes for a in arrays)
+
+    def finalize(self) -> ProfileTable:
+        """Materialize the table; identical to :func:`profile_table`."""
+        p = self.p
+        if not self._row_keys.size:
+            empty = np.zeros(0, dtype=np.int64)
+            return ProfileTable(
+                p=p,
+                block_size=self.block_size,
+                row_nnz_hist=np.zeros((0, p), dtype=np.int64),
+                **{name: empty for name in PROFILE_COLUMNS},
+            )
+        # every non-empty tile has at least one (tile, row) pair, so
+        # the row keys enumerate the tile ids — ascending, exactly the
+        # np.unique(pid) grid order profile_table uses
+        row_owner_ids = self._row_keys // np.int64(2**32)
+        tile_ids = np.unique(row_owner_ids)
+        n_tiles = tile_ids.size
+
+        def dense(keys: np.ndarray) -> np.ndarray:
+            return np.searchsorted(tile_ids, keys // np.int64(2**32))
+
+        row_owner = dense(self._row_keys)
+        nnz = np.zeros(n_tiles, dtype=np.int64)
+        np.add.at(nnz, row_owner, self._row_counts)
+        nnz_rows = np.bincount(row_owner, minlength=n_tiles)
+        max_row = np.zeros(n_tiles, dtype=np.int64)
+        np.maximum.at(max_row, row_owner, self._row_counts)
+        hist_matrix = np.zeros((n_tiles, p), dtype=np.int64)
+        np.add.at(hist_matrix, (row_owner, self._row_counts - 1), 1)
+
+        col_owner = dense(self._col_keys)
+        nnz_cols = np.bincount(col_owner, minlength=n_tiles)
+        max_col = np.zeros(n_tiles, dtype=np.int64)
+        np.maximum.at(max_col, col_owner, self._col_counts)
+
+        n_blocks = np.bincount(
+            dense(self._block_keys), minlength=n_tiles
+        )
+        nnz_block_rows = np.bincount(
+            dense(self._brow_keys), minlength=n_tiles
+        )
+
+        diag_owner = dense(self._diag_keys)
+        diag_offset = (
+            self._diag_keys % np.int64(2**32)
+        ).astype(np.int64) - p
+        n_diagonals = np.bincount(diag_owner, minlength=n_tiles)
+        diag_lengths = p - np.abs(diag_offset)
+        stored = np.zeros(n_tiles, dtype=np.int64)
+        np.add.at(stored, diag_owner, diag_lengths)
+        longest = np.zeros(n_tiles, dtype=np.int64)
+        np.maximum.at(longest, diag_owner, diag_lengths)
+
+        return ProfileTable(
+            p=p,
+            block_size=self.block_size,
+            nnz=nnz,
+            nnz_rows=nnz_rows,
+            nnz_cols=nnz_cols,
+            max_row_nnz=max_row,
+            max_col_nnz=max_col,
+            n_blocks=n_blocks,
+            nnz_block_rows=nnz_block_rows,
+            n_diagonals=n_diagonals,
+            dia_stored_len=stored,
+            dia_max_len=longest,
+            row_nnz_hist=hist_matrix,
+        )
 
 
 def profile_partitions(

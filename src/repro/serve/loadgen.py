@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from random import Random
 
 from ..errors import LoadGenError
+from ..observability import machine_metadata
 from .protocol import canonical_json
 
 __all__ = [
@@ -366,6 +367,7 @@ def bench_report(
     )
     return {
         "schema": BENCH_SERVE_SCHEMA,
+        "machine": machine_metadata(),
         "mix": mix,
         "seed": seed,
         "requests": len(outcomes),

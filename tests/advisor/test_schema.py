@@ -34,7 +34,11 @@ HEAD_FIELDS = {"format", "partition_size", "bias", "weights"}
 
 #: bench_advisor/v1 golden field sets.
 BENCH_FIELDS = {
-    "schema", "model", "config", "accuracy", "latency", "per_workload",
+    "schema", "machine", "model", "config", "accuracy", "latency",
+    "per_workload",
+}
+MACHINE_FIELDS = {
+    "cpu_count", "platform", "machine", "python", "implementation",
 }
 BENCH_MODEL_FIELDS = {
     "digest", "feature_p", "n_features", "n_heads", "ridge_lambda",
@@ -132,6 +136,7 @@ class TestBenchReport:
     def test_field_sets(self, report, tiny_model) -> None:
         assert set(report) == BENCH_FIELDS
         assert report["schema"] == BENCH_ADVISOR_SCHEMA
+        assert set(report["machine"]) == MACHINE_FIELDS
         assert set(report["model"]) == BENCH_MODEL_FIELDS
         assert report["model"]["digest"] == tiny_model.digest
         assert set(report["config"]) == BENCH_CONFIG_FIELDS

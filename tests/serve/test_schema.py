@@ -50,9 +50,12 @@ METRICS_FIELDS = {
 
 #: bench_serve/v1 golden field sets.
 BENCH_FIELDS = {
-    "schema", "mix", "seed", "requests", "concurrency", "wall_s",
-    "throughput_rps", "latency_ms", "statuses", "n_5xx", "n_degraded",
-    "sources", "server",
+    "schema", "machine", "mix", "seed", "requests", "concurrency",
+    "wall_s", "throughput_rps", "latency_ms", "statuses", "n_5xx",
+    "n_degraded", "sources", "server",
+}
+MACHINE_FIELDS = {
+    "cpu_count", "platform", "machine", "python", "implementation",
 }
 BENCH_LATENCY_FIELDS = {"p50", "p90", "p99", "mean", "max"}
 BENCH_SERVER_FIELDS = {
@@ -245,6 +248,7 @@ class TestBenchServeV1:
         )
         assert set(report) == BENCH_FIELDS
         assert report["schema"] == BENCH_SERVE_SCHEMA
+        assert set(report["machine"]) == MACHINE_FIELDS
         assert set(report["latency_ms"]) == BENCH_LATENCY_FIELDS
         assert set(report["server"]) == BENCH_SERVER_FIELDS
         assert report["statuses"] == {"200": 2, "504": 1}

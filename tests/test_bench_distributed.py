@@ -1,0 +1,153 @@
+"""Contract tests for the ``bench_distributed/v1`` harness.
+
+The expensive paths (queue sweeps, RSS probe subprocesses) are
+exercised by the ``distributed-smoke`` CI job; here we pin the cheap
+invariants — spec grid determinism, the gate logic, and the report
+writer — so a refactor cannot silently change what the committed
+``BENCH_distributed.json`` means.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench_distributed import (
+    BENCH_DISTRIBUTED_SCHEMA,
+    SCALING_GATE_2_WORKERS,
+    bench_queue_scaling,
+    check_distributed_report,
+    scaling_specs,
+    write_distributed_report,
+)
+from repro.errors import SimulationError
+
+#: bench_distributed/v1 golden field sets — update with a schema bump.
+REPORT_FIELDS = {
+    "schema", "machine", "config", "scaling", "streaming", "summary",
+}
+SCALING_ROW_FIELDS = {
+    "workers", "wall_s", "cells_per_s", "speedup_vs_1",
+    "checkpoint_digest",
+}
+SUMMARY_FIELDS = {
+    "speedup_2_workers", "speedup_max_workers", "digests_identical",
+    "rss_reduction",
+}
+
+
+def make_report(**overrides) -> dict:
+    """A minimal passing report; overrides poke individual gates."""
+    report = {
+        "schema": BENCH_DISTRIBUTED_SCHEMA,
+        "streaming": {"triplet_mb": 46.0, "memory_budget_mb": 8.0},
+        "summary": {
+            "speedup_2_workers": 1.9,
+            "speedup_max_workers": 2.9,
+            "digests_identical": True,
+            "rss_reduction": 5.0,
+        },
+    }
+    for key, value in overrides.items():
+        section, _, field = key.partition("__")
+        report[section][field] = value
+    return report
+
+
+def test_schema_version_string() -> None:
+    assert BENCH_DISTRIBUTED_SCHEMA == "bench_distributed/v1"
+    assert SCALING_GATE_2_WORKERS == 1.7
+
+
+class TestScalingSpecs:
+    def test_default_grid_shape(self) -> None:
+        specs = scaling_specs()
+        assert len(specs) == 8
+        kinds = [spec.kind for spec in specs]
+        assert kinds == ["random", "band"] * 4
+
+    def test_specs_are_distinct_and_deterministic(self) -> None:
+        first = scaling_specs()
+        again = scaling_specs()
+        digests = [spec.recipe_digest for spec in first]
+        assert len(set(digests)) == len(digests)
+        assert digests == [spec.recipe_digest for spec in again]
+
+
+class TestGates:
+    def test_passing_report_has_no_problems(self) -> None:
+        assert check_distributed_report(make_report()) == []
+
+    def test_digest_mismatch_is_flagged(self) -> None:
+        report = make_report(summary__digests_identical=False)
+        assert any(
+            "digests differ" in p
+            for p in check_distributed_report(report)
+        )
+
+    def test_slow_scaling_is_flagged(self) -> None:
+        report = make_report(summary__speedup_2_workers=1.2)
+        assert any(
+            "below" in p for p in check_distributed_report(report)
+        )
+
+    def test_small_matrix_is_flagged(self) -> None:
+        report = make_report(streaming__triplet_mb=1.0)
+        assert any(
+            "does not exceed" in p
+            for p in check_distributed_report(report)
+        )
+
+    def test_rss_regression_is_flagged(self) -> None:
+        report = make_report(summary__rss_reduction=0.9)
+        assert any(
+            "did not reduce" in p
+            for p in check_distributed_report(report)
+        )
+
+    def test_missing_two_worker_row_is_tolerated(self) -> None:
+        report = make_report(summary__speedup_2_workers=None)
+        assert check_distributed_report(report) == []
+
+
+class TestHarnessValidation:
+    def test_non_positive_cell_cost_rejected(self) -> None:
+        with pytest.raises(SimulationError, match="cell_cost_s"):
+            bench_queue_scaling(cell_cost_s=0.0)
+
+
+class TestReportWriter:
+    def test_round_trip_and_trailing_newline(self, tmp_path) -> None:
+        report = make_report()
+        path = write_distributed_report(
+            report, tmp_path / "report.json"
+        )
+        text = path.read_text(encoding="ascii")
+        assert text.endswith("\n")
+        assert json.loads(text) == report
+
+    def test_keys_are_sorted(self, tmp_path) -> None:
+        path = write_distributed_report(
+            {"b": 1, "a": 2}, tmp_path / "r.json"
+        )
+        assert path.read_text().index('"a"') < path.read_text().index(
+            '"b"'
+        )
+
+
+def test_committed_report_passes_the_gates() -> None:
+    """The checked-in BENCH_distributed.json must clear its own gates."""
+    from pathlib import Path
+
+    committed = (
+        Path(__file__).resolve().parent.parent
+        / "BENCH_distributed.json"
+    )
+    report = json.loads(committed.read_text())
+    assert set(report) == REPORT_FIELDS
+    assert report["schema"] == BENCH_DISTRIBUTED_SCHEMA
+    assert set(report["summary"]) == SUMMARY_FIELDS
+    for row in report["scaling"]["rows"]:
+        assert set(row) == SCALING_ROW_FIELDS
+    assert check_distributed_report(report) == []

@@ -205,3 +205,147 @@ class TestInterop:
         write_matrix_market(matrix, path)
         via_scipy = scipy_io.mmread(path).toarray()
         assert (via_scipy == matrix.to_dense()).all()
+
+
+# ----------------------------------------------------------------------
+# Streaming reader: out-of-core profiles == materialized profiles
+# ----------------------------------------------------------------------
+import io as _io
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import MatrixMarketStream, streaming_profile_table
+from repro.partition import (
+    PROFILE_COLUMNS,
+    ProfileAccumulator,
+    profile_table,
+)
+
+
+def assert_tables_equal(streamed, exact) -> None:
+    assert streamed.p == exact.p
+    assert streamed.block_size == exact.block_size
+    assert streamed.n_tiles == exact.n_tiles
+    for name in PROFILE_COLUMNS:
+        assert np.array_equal(
+            getattr(streamed, name), getattr(exact, name)
+        ), name
+    assert np.array_equal(streamed.row_nnz_hist, exact.row_nnz_hist)
+
+
+@st.composite
+def sparse_matrices(draw):
+    """Small matrices with unique coordinates and non-zero values."""
+    n_rows = draw(st.integers(min_value=1, max_value=40))
+    n_cols = draw(st.integers(min_value=1, max_value=40))
+    coords = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n_rows - 1),
+                st.integers(min_value=0, max_value=n_cols - 1),
+            ),
+            max_size=120,
+            unique=True,
+        )
+    )
+    vals = draw(
+        st.lists(
+            st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+            ).filter(lambda v: v != 0.0),
+            min_size=len(coords),
+            max_size=len(coords),
+        )
+    )
+    if not coords:
+        return SparseMatrix.empty((n_rows, n_cols))
+    rows, cols = zip(*coords)
+    return SparseMatrix((n_rows, n_cols), rows, cols, vals)
+
+
+class TestStreamingEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(matrix=sparse_matrices(), p=st.sampled_from((4, 8, 16)))
+    def test_streamed_profiles_match_materialized(self, matrix, p):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "m.mtx"
+            write_matrix_market(matrix, path)
+            streamed = streaming_profile_table(path, p)
+            exact = profile_table(read_matrix_market(path), p)
+        assert_tables_equal(streamed, exact)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        matrix=sparse_matrices(),
+        batch_size=st.integers(min_value=1, max_value=17),
+    )
+    def test_tiny_batches_change_nothing(self, matrix, batch_size):
+        # force many partial batches through the accumulator; the
+        # batching boundary must be invisible in the folded profiles
+        text = dumps(matrix)
+        mm = MatrixMarketStream(
+            _io.StringIO(text), batch_size=batch_size
+        )
+        accumulator = ProfileAccumulator(mm.shape, 8)
+        for rows, cols, vals in mm.batches():
+            accumulator.add(rows, cols, vals)
+        assert_tables_equal(
+            accumulator.finalize(), profile_table(loads(text), 8)
+        )
+
+    def test_explicit_zeros_dropped_like_sparse_matrix(self, tmp_path):
+        # SparseMatrix canonicalizes explicit zeros away; the streaming
+        # path must agree tile for tile
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "6 6 4\n"
+            "1 1 1.5\n"
+            "2 3 0.0\n"
+            "5 5 -2.0\n"
+            "6 1 0.0\n"
+        )
+        path = tmp_path / "zeros.mtx"
+        path.write_text(text, encoding="ascii")
+        streamed = streaming_profile_table(path, 4)
+        exact = profile_table(read_matrix_market(path), 4)
+        assert streamed.nnz.sum() == 2
+        assert_tables_equal(streamed, exact)
+
+    def test_symmetric_file_expands_identically(self, tmp_path):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "5 5 3\n"
+            "2 1 4.0\n"
+            "4 3 2.5\n"
+            "5 5 1.0\n"
+        )
+        path = tmp_path / "sym.mtx"
+        path.write_text(text, encoding="ascii")
+        assert_tables_equal(
+            streaming_profile_table(path, 4),
+            profile_table(read_matrix_market(path), 4),
+        )
+
+    def test_empty_matrix_streams(self, tmp_path):
+        path = tmp_path / "empty.mtx"
+        write_matrix_market(SparseMatrix.empty((8, 8)), path)
+        table = streaming_profile_table(path, 4)
+        assert table.n_tiles == 0
+
+    def test_memory_budget_must_be_positive(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(SparseMatrix.identity(4), path)
+        with pytest.raises(FormatError, match="memory_budget_mb"):
+            streaming_profile_table(path, 4, memory_budget_mb=0)
+
+    def test_shape_known_before_entries(self):
+        stream = _io.StringIO(dumps(SparseMatrix.identity(3)))
+        mm = MatrixMarketStream(stream)
+        assert mm.shape == (3, 3)
+        assert mm.n_entries == 3
