@@ -27,6 +27,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import io_atomic
 from ..core.recommend import recommend
 from ..engine.specs import WorkloadSpec
 from ..errors import AdvisorError
@@ -243,9 +244,7 @@ def _geomean(values: Sequence[float]) -> float:
 
 def write_advisor_report(report: dict, path: str | Path) -> Path:
     """Write the ``BENCH_advisor.json`` report (stable key order)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    return io_atomic.atomic_write_text(
+        Path(path),
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
     )
-    return path

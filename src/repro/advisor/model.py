@@ -32,6 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import io_atomic
 from ..errors import AdvisorModelError
 from .features import FEATURE_NAMES, Features, extract_features
 
@@ -261,10 +262,9 @@ def model_from_payload(payload: object) -> AdvisorModel:
 
 def save_model(model: AdvisorModel, path: str | Path) -> Path:
     """Write the canonical artifact bytes (digest included)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_bytes(model.to_bytes())
-    return path
+    return io_atomic.atomic_write_bytes(
+        Path(path), model.to_bytes()
+    )
 
 
 def load_model(path: str | Path) -> AdvisorModel:

@@ -21,6 +21,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
+from . import io_atomic
 from .errors import SimulationError
 from .formats.registry import PAPER_FORMATS
 from .hardware.config import HardwareConfig
@@ -207,6 +208,6 @@ def bench_report(
 
 def write_report(report: dict, path: str | Path) -> Path:
     """Write the report as indented JSON; returns the path."""
-    path = Path(path)
-    path.write_text(json.dumps(report, indent=2) + "\n")
-    return path
+    return io_atomic.atomic_write_text(
+        Path(path), json.dumps(report, indent=2) + "\n"
+    )

@@ -36,6 +36,7 @@ from typing import Sequence
 
 from .engine import SweepRunner, WorkloadSpec, checkpoint_digest
 from .engine.distributed import QueueOptions
+from . import io_atomic
 from .errors import SimulationError
 from .formats.registry import PAPER_FORMATS
 from .observability import machine_metadata
@@ -334,9 +335,8 @@ def check_distributed_report(report: dict) -> list[str]:
 
 def write_distributed_report(report: dict, path: str | Path) -> Path:
     """Write the report as indented, sorted JSON (diff-friendly)."""
-    target = Path(path)
-    target.write_text(
+    return io_atomic.atomic_write_text(
+        Path(path),
         json.dumps(report, indent=2, sort_keys=True) + "\n",
         encoding="ascii",
     )
-    return target

@@ -35,8 +35,12 @@ Everything the library computes is reachable from the shell::
         --model advisor_model.json
     python -m repro serve --port 8787 --budget-s 5
     python -m repro serve --port 8787 --fast-model advisor_model.json
+    python -m repro serve --port 8787 --metrics-snapshot final.json
     python -m repro loadgen --port 8787 --mix hot --requests 200
     python -m repro loadgen --spawn --requests 200 --seed 7
+    python -m repro chaos --seed 7 --schedules 20
+    python -m repro doctor q --checkpoint ckpt.jsonl --repair
+    python -m repro doctor q --check
 
 Each sub-command builds its workload, runs the characterization core,
 and prints plain-text tables (``repro.analysis``).
@@ -245,6 +249,7 @@ def _queue_options(args: argparse.Namespace):
         spawn_workers=args.queue_workers,
         lease_timeout_s=args.lease_timeout,
         keep_queue=args.keep_queue,
+        speculate_factor=args.speculate,
     )
 
 
@@ -262,6 +267,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         resume=args.resume,
         backend=args.backend,
         queue_options=_queue_options(args),
+        chaos=args.inject_chaos,
     )
     base_config = (
         HardwareConfig(integrity_check=True)
@@ -338,9 +344,12 @@ def _cmd_integrity(args: argparse.Namespace) -> str:
     if args.emit is not None:
         from pathlib import Path
 
+        from . import io_atomic
+
         path = Path(args.emit)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(report.to_json(indent=2) + "\n")
+        io_atomic.atomic_write_text(
+            path, report.to_json(indent=2) + "\n"
+        )
         text += f"\n\ndetection-coverage report written to {path}"
     return text
 
@@ -882,7 +891,9 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             )
         advisor_model = load_model(args.fast_model)
 
-    async def _run() -> None:
+    async def _run() -> str:
+        import signal
+
         server = CharacterizationServer(
             args.host,
             args.port,
@@ -899,26 +910,60 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         print(
             f"serving on http://{server.host}:{server.port}  "
             "(POST /characterize, POST /advise, GET /metrics, "
-            "GET /healthz; Ctrl-C stops)",
+            "GET /healthz; SIGTERM/Ctrl-C drains and stops)",
             flush=True,
         )
+        # SIGTERM and SIGINT both take the graceful path: stop
+        # accepting, give in-flight requests --drain-timeout to
+        # finish (stragglers answer 503), flush a final metrics/v1
+        # snapshot, then exit 0
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        hooked = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                hooked.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass
+        forever = asyncio.ensure_future(server.serve_forever())
+        stopped = asyncio.ensure_future(stop.wait())
         try:
-            await server.serve_forever()
+            await asyncio.wait(
+                {forever, stopped},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
         finally:
+            for task in (forever, stopped):
+                task.cancel()
+            await asyncio.gather(
+                forever, stopped, return_exceptions=True
+            )
+            for signum in hooked:
+                loop.remove_signal_handler(signum)
+            await server.drain(
+                timeout_s=args.drain_timeout,
+                snapshot_path=args.metrics_snapshot,
+            )
             await server.aclose()
+        if args.metrics_snapshot is not None:
+            return (
+                "server drained and stopped; final metrics "
+                f"snapshot written to {args.metrics_snapshot}"
+            )
+        return "server drained and stopped"
 
     try:
-        asyncio.run(_run())
+        return asyncio.run(_run())
     except KeyboardInterrupt:
-        pass
-    return "server stopped"
+        return "server stopped"
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> str:
     import asyncio
-    import json
     from pathlib import Path
 
+    from . import io_atomic
     from .errors import LoadGenError
     from .serve import CharacterizationServer
     from .serve.loadgen import run_loadgen
@@ -948,17 +993,22 @@ def _cmd_loadgen(args: argparse.Namespace) -> str:
                 requests=args.requests,
                 seed=args.seed,
                 concurrency=args.concurrency,
+                retry_policy=retry_policy,
             )
         finally:
             if server is not None:
                 await server.aclose()
 
+    retry_policy = None
+    if args.retry_attempts:
+        from .engine.retry import RetryPolicy
+
+        retry_policy = RetryPolicy(
+            max_attempts=args.retry_attempts + 1
+        )
     report = asyncio.run(_run())
     path = Path(args.output)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(report, indent=2, sort_keys=True) + "\n"
-    )
+    io_atomic.atomic_write_json(path, report)
     if args.require_zero_5xx and report["n_5xx"]:
         raise LoadGenError(
             f"{report['n_5xx']} of {report['requests']} responses "
@@ -982,6 +1032,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> str:
         f"p99={latency['p99']:.2f} max={latency['max']:.2f}",
         f"statuses: {report['statuses']} (5xx: {report['n_5xx']}, "
         f"degraded: {report['n_degraded']})",
+        f"retries: {report['retries']['total']} total over "
+        f"{report['retries']['requests_retried']} requests, "
+        f"{report['retries']['resolved_429']} resolved to 200",
         f"sources: {report['sources']}",
         "server: "
         f"coalesce {server_stats['coalesce_hits']} hits "
@@ -991,6 +1044,98 @@ def _cmd_loadgen(args: argparse.Namespace) -> str:
         f"{server_stats['computations']} backend computations",
         f"report written to {path}",
     ]
+    return "\n".join(lines)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> str:
+    from .chaos import (
+        check_campaign,
+        run_chaos_campaign,
+        write_chaos_report,
+    )
+
+    report = run_chaos_campaign(
+        seed=args.seed,
+        n_schedules=args.schedules,
+        workers=args.workers,
+        workdir=args.workdir,
+    )
+    path = write_chaos_report(report, args.output)
+    summary = report["summary"]
+    recoveries = ", ".join(
+        f"{kind}={count}"
+        for kind, count in summary["recoveries_by_fault_kind"].items()
+    )
+    lines = [
+        f"chaos campaign: seed={report['config']['seed']} "
+        f"schedules={summary['n_schedules']} "
+        f"({summary['n_queue']} queue, {summary['n_serve']} serve) "
+        f"in {summary['wall_s']:.1f}s",
+        f"reference digest: {report['reference']['digest'][:16]} "
+        f"({report['reference']['n_cells']} cells)",
+        f"crashed: {summary['n_crashed']}, recovered clean: "
+        f"{summary['n_recovered']}, invariant violations: "
+        f"{summary['n_violations']}",
+        f"recoveries by fault kind: {recoveries or 'none'}",
+        f"report written to {path}",
+    ]
+    if not args.no_gate:
+        # raises ChaosError (exit 2) when any schedule violated an
+        # invariant — after the report is on disk for the post-mortem
+        check_campaign(report)
+        lines.append("gates passed")
+    return "\n".join(lines)
+
+
+def _cmd_doctor(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from .doctor import diagnose
+    from .errors import DoctorError
+
+    if not Path(args.path).exists():
+        raise DoctorError(
+            f"nothing to diagnose: {args.path} is neither a queue "
+            "directory nor a checkpoint file"
+        )
+    report = diagnose(
+        args.path,
+        repair=args.repair,
+        lease_timeout_s=args.lease_timeout,
+        checkpoint=args.checkpoint,
+    )
+    lines = [
+        f"doctor report for {report['target']} ({report['kind']}, "
+        + ("repair" if report["repair"] else "audit")
+        + " mode)",
+        f"  findings: {report['n_findings']} "
+        f"({report['n_repaired']} repaired)",
+    ]
+    if report["by_kind"]:
+        lines.append(
+            "  by kind: "
+            + ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(report["by_kind"].items())
+            )
+        )
+    for finding in report["findings"]:
+        marker = " [repaired]" if finding["repaired"] else ""
+        lines.append(
+            f"  - {finding['kind']}: {finding['path']} — "
+            f"{finding['detail']}{marker}"
+        )
+    unrepaired = report["n_findings"] - report["n_repaired"]
+    if args.check and unrepaired:
+        raise DoctorError(
+            f"{unrepaired} unrepaired finding(s) in {args.path} "
+            f"(kinds: {sorted(report['by_kind'])}); run "
+            "`repro doctor --repair` to fix"
+        )
+    lines.append(
+        "clean" if unrepaired == 0
+        else f"NOT CLEAN: {unrepaired} unrepaired finding(s)"
+    )
     return "\n".join(lines)
 
 
@@ -1084,6 +1229,13 @@ def build_parser() -> argparse.ArgumentParser:
         "of cleaning up (debugging aid)",
     )
     sweep.add_argument(
+        "--speculate", type=float, default=None, metavar="FACTOR",
+        help="straggler mitigation for --backend queue: re-dispatch "
+        "a duplicate of any task claimed longer than FACTOR x the "
+        "p95 completed-task duration (dedup by digest makes "
+        "duplicates safe; default: off)",
+    )
+    sweep.add_argument(
         "--profile", action="store_true",
         help="collect telemetry and print a run profile "
         "(cache counters, slowest cells)",
@@ -1123,6 +1275,12 @@ def build_parser() -> argparse.ArgumentParser:
         # deterministic fault injection for testing the recovery
         # machinery; see repro.engine.faults for the spec grammar
         "--inject-faults", metavar="SPECS", default=None,
+        help=argparse.SUPPRESS,
+    )
+    sweep.add_argument(
+        # deterministic filesystem/process chaos (torn writes,
+        # ENOSPC, crashes); see repro.engine.chaos for the grammar
+        "--inject-chaos", metavar="SPECS", default=None,
         help=argparse.SUPPRESS,
     )
     sweep.add_argument(
@@ -1413,6 +1571,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="margin below which a fast prediction is not trusted "
         "and the exact path answers (default 0.05)",
     )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="on SIGTERM/SIGINT, seconds in-flight requests get to "
+        "finish before being answered 503 (default 5)",
+    )
+    serve.add_argument(
+        "--metrics-snapshot", metavar="PATH", default=None,
+        help="write a final metrics/v1 snapshot to PATH during "
+        "graceful shutdown (atomic write)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     loadgen = commands.add_parser(
@@ -1460,6 +1628,12 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--output", metavar="PATH", default="BENCH_serve.json",
         help="bench_serve/v1 report path (default BENCH_serve.json)",
+    )
+    loadgen.add_argument(
+        "--retry-attempts", type=int, default=3, metavar="N",
+        help="retry a 429 up to N times with jittered exponential "
+        "backoff, honoring the server's Retry-After as the delay "
+        "floor (0 disables; default 3)",
     )
     loadgen.add_argument(
         "--require-zero-5xx", action="store_true",
@@ -1534,6 +1708,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_distributed.set_defaults(handler=_cmd_bench_distributed)
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="run seeded crash/recovery schedules and gate on "
+        "invariants (bench_chaos/v1)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=7,
+        help="campaign seed; same (seed, schedules) injects the "
+        "identical fault sequence (default 7)",
+    )
+    chaos.add_argument(
+        "--schedules", type=int, default=20,
+        help="crash/recovery schedules to run (default 20)",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=2,
+        help="queue worker processes per schedule (default 2)",
+    )
+    chaos.add_argument(
+        "--output", metavar="PATH", default="BENCH_chaos.json",
+        help="report path (default BENCH_chaos.json)",
+    )
+    chaos.add_argument(
+        "--workdir", metavar="DIR", default=None,
+        help="keep schedule artifacts (queues, checkpoints, "
+        "snapshots) under DIR instead of a private temporary "
+        "directory (post-mortem aid)",
+    )
+    chaos.add_argument(
+        "--no-gate", action="store_true",
+        help="report invariant violations without exiting non-zero "
+        "(debugging aid)",
+    )
+    chaos.set_defaults(handler=_cmd_chaos)
+
+    doctor = commands.add_parser(
+        "doctor",
+        help="audit (and repair) queue / checkpoint state after a "
+        "crash",
+    )
+    doctor.add_argument(
+        "path",
+        help="a queue directory (`repro sweep --backend queue "
+        "--keep-queue`) or a checkpoint file",
+    )
+    doctor.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="canonical sweep checkpoint the queue was feeding; "
+        "completed cells stranded in worker shards are salvaged "
+        "into it with --repair",
+    )
+    doctor.add_argument(
+        "--repair", action="store_true",
+        help="fix what the audit finds: truncate torn tails, drop "
+        "corrupt records, requeue expired claims, remove stray "
+        "temps and orphan blobs, salvage shard results",
+    )
+    doctor.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if any finding is left unrepaired "
+        "(CI gate; combine with --repair for repair-then-verify)",
+    )
+    doctor.add_argument(
+        "--lease-timeout", type=float, default=10.0,
+        metavar="SECONDS",
+        help="lease age beyond which a claimed task counts as "
+        "expired (default 10)",
+    )
+    doctor.set_defaults(handler=_cmd_doctor)
+
     report = commands.add_parser(
         "report", help="full characterization report for one workload"
     )
@@ -1588,6 +1832,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error("--queue-workers requires --backend queue")
         if args.keep_queue:
             parser.error("--keep-queue requires --backend queue")
+        if args.speculate is not None:
+            parser.error("--speculate requires --backend queue")
     if args.command == "checkpoint":
         if args.out is not None and not args.compact:
             parser.error("--out requires --compact")

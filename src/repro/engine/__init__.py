@@ -26,6 +26,7 @@ for testing all of it.
 """
 
 from .cache import CacheStats, ContentKeyedCache, matrix_content_key
+from .chaos import ChaosPlan, ChaosSpec, install_plan, uninstall_plan
 from .checkpoint import (
     CheckpointState,
     CheckpointWriter,
@@ -51,6 +52,7 @@ from .grid import (
     SweepOutcome,
     build_grid,
 )
+from .retry import RetryPolicy, call_with_retry
 from .runner import ERROR_POLICIES, SweepRunner, run_sweep
 from .singleflight import SingleFlight, SingleFlightStats
 from .specs import StreamedMatrixSpec, WorkloadSpec
@@ -60,6 +62,12 @@ __all__ = [
     "CacheStats",
     "ContentKeyedCache",
     "matrix_content_key",
+    "ChaosPlan",
+    "ChaosSpec",
+    "install_plan",
+    "uninstall_plan",
+    "RetryPolicy",
+    "call_with_retry",
     "CheckpointState",
     "CheckpointWriter",
     "cell_digest",

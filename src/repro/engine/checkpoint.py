@@ -58,6 +58,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, TYPE_CHECKING
 
+from .. import io_atomic
 from ..errors import CheckpointError
 from .telemetry import workload_recipe_digest
 
@@ -170,12 +171,16 @@ class CheckpointWriter:
     """Appends completed cells to a checkpoint file, flushing each.
 
     Opening a missing or empty file writes the header line first;
-    opening an existing checkpoint validates its header and appends.
+    opening an existing checkpoint truncates any torn trailing line
+    (a crash mid-append — appending after it would glue the new
+    record onto the fragment and corrupt both), then validates the
+    header and appends.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        io_atomic.repair_torn_tail(self.path)
         fresh = (
             not self.path.exists() or self.path.stat().st_size == 0
         )
@@ -193,8 +198,11 @@ class CheckpointWriter:
 
     # ------------------------------------------------------------------
     def _append(self, record: dict) -> None:
-        self._stream.write(json.dumps(record, sort_keys=True))
-        self._stream.write("\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        io_atomic.fire(
+            "checkpoint.append", self.path, line.encode("utf-8")
+        )
+        self._stream.write(line)
         self._stream.flush()
 
     def record_result(
@@ -307,6 +315,8 @@ def _iter_records(path: Path):
                 f"{path}:{lineno + 1}: invalid JSON: {error}"
             ) from error
         if not isinstance(record, dict):
+            if lineno == last_index and not text.endswith("\n"):
+                return  # torn tail that happens to parse (e.g. "12")
             raise CheckpointError(
                 f"{path}:{lineno + 1}: checkpoint records must be "
                 f"objects"
@@ -487,22 +497,21 @@ def compact_checkpoint(
         latest.pop(key, None)  # move-to-back: keep latest, late order
         latest[key] = record
     destination = path if output is None else Path(output)
-    temp = destination.with_name(destination.name + ".compact.tmp")
-    with temp.open("w", encoding="utf-8") as stream:
-        stream.write(
-            json.dumps(
-                {
-                    "type": "header",
-                    "kind": CHECKPOINT_KIND,
-                    "schema": CHECKPOINT_SCHEMA,
-                },
-                sort_keys=True,
-            )
-            + "\n"
+    lines = [
+        json.dumps(
+            {
+                "type": "header",
+                "kind": CHECKPOINT_KIND,
+                "schema": CHECKPOINT_SCHEMA,
+            },
+            sort_keys=True,
         )
-        for record in latest.values():
-            stream.write(json.dumps(record, sort_keys=True) + "\n")
-    temp.replace(destination)
+    ]
+    lines.extend(
+        json.dumps(record, sort_keys=True)
+        for record in latest.values()
+    )
+    io_atomic.atomic_write_text(destination, "\n".join(lines) + "\n")
     after = checkpoint_summary(destination)
     return {
         "path": str(destination),

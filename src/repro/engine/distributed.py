@@ -63,9 +63,11 @@ import zlib
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from .. import io_atomic
 from ..errors import QueueError, SweepCellError
 from ..workloads.registry import Workload
 from .cache import CacheStats, ContentKeyedCache, matrix_content_key
+from .chaos import install_plan
 from .checkpoint import CheckpointWriter, cell_digest, load_checkpoint
 from .executors import (
     CheckpointSink,
@@ -109,13 +111,11 @@ def _decode_field(text: str):
 
 
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
-    temp = path.with_name(path.name + f".tmp{os.getpid()}")
-    temp.write_bytes(data)
-    temp.replace(path)
+    io_atomic.atomic_write_bytes(path, data)
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
-    _atomic_write_bytes(path, text.encode("utf-8"))
+    io_atomic.atomic_write_text(path, text)
 
 
 # ----------------------------------------------------------------------
@@ -154,6 +154,7 @@ class StoredWorkload:
 
     def build(self) -> Workload:
         path = Path(self.store_dir) / f"{self.content_key}.blob"
+        io_atomic.fire("blob.read", path)
         try:
             data = path.read_bytes()
         except OSError as error:
@@ -293,11 +294,9 @@ class QueueLayout:
             "chunk": _encode_field((chunk, digests)),
         }
         name = self.task_name(attempt, shard, chunk_digest)
-        temp = self.tasks / (name + f".tmp{os.getpid()}")
-        temp.write_text(
-            json.dumps(record, sort_keys=True), encoding="utf-8"
+        _atomic_write_text(
+            self.tasks / name, json.dumps(record, sort_keys=True)
         )
-        temp.replace(self.tasks / name)
 
     def claim(self, name: str, worker_id: str) -> "Path | None":
         """Atomically claim one task file; None if somebody else won."""
@@ -326,6 +325,10 @@ class QueueLayout:
 
     def heartbeat(self, worker_id: str) -> None:
         lease = self.leases / f"{worker_id}.lease"
+        try:
+            io_atomic.fire("queue.heartbeat", lease)
+        except io_atomic.HookSuppressed:
+            return  # chaos: the worker is alive but looks dead
         lease.touch()
 
     def lease_age(self, worker_id: str, now: float) -> "float | None":
@@ -392,6 +395,11 @@ def run_worker(
     """
     layout = QueueLayout(queue_dir)
     settings, n_shards = layout.load_meta()
+    if getattr(settings, "chaos", None) is not None:
+        # the chaos plan rides in queue.json so every worker — spawned
+        # or external — injects the same faults, with worker semantics
+        # (fatal faults really kill the process)
+        install_plan(settings.chaos, role="worker")
     if worker_id is None:
         worker_id = f"w-{os.uname().nodename}-{os.getpid()}"
     if poll_interval_s <= 0:
@@ -586,8 +594,29 @@ class QueueOptions:
     poll_interval_s: float = 0.05
     n_shards: int = 16
     keep_queue: bool = False
+    speculate_factor: "float | None" = None
+    speculate_min_samples: int = 5
+    speculate_floor_s: float = 1.0
 
     def __post_init__(self) -> None:
+        if (
+            self.speculate_factor is not None
+            and self.speculate_factor < 1.0
+        ):
+            raise QueueError(
+                f"speculate_factor must be >= 1, got "
+                f"{self.speculate_factor}"
+            )
+        if self.speculate_min_samples < 1:
+            raise QueueError(
+                f"speculate_min_samples must be >= 1, got "
+                f"{self.speculate_min_samples}"
+            )
+        if self.speculate_floor_s < 0:
+            raise QueueError(
+                f"speculate_floor_s must be >= 0, got "
+                f"{self.speculate_floor_s}"
+            )
         if self.lease_timeout_s <= 0:
             raise QueueError(
                 f"lease_timeout_s must be > 0, got "
@@ -619,6 +648,8 @@ class _Outstanding:
         self.digests = digests
         self.attempt = attempt
         self.first_seen_claimed: "float | None" = None
+        self.published_at: float = time.time()
+        self.speculated: bool = False
 
 
 class QueueExecutor(SweepExecutor):
@@ -642,6 +673,7 @@ class QueueExecutor(SweepExecutor):
     ) -> None:
         super().__init__(settings)
         self.options = options or QueueOptions()
+        self._durations: list[float] = []
 
     # -- helpers -------------------------------------------------------
     def _spawn_target(self) -> int:
@@ -765,6 +797,8 @@ class QueueExecutor(SweepExecutor):
                 self._reclaim_stale(
                     layout, outstanding, counters, crash_failures
                 )
+                if options.speculate_factor is not None:
+                    self._speculate(layout, outstanding, counters)
                 if degraded:
                     self._run_degraded(layout, counters)
                 elif target > 0:
@@ -878,6 +912,7 @@ class QueueExecutor(SweepExecutor):
             except Exception:  # noqa: BLE001 — half-written marker
                 continue  # picked up on the next poll
             task = outstanding.pop(digest)
+            self._durations.append(time.time() - task.published_at)
             self._remove_task_files(layout, digest, task)
             if marker.get("stolen"):
                 counters["sweep.queue.steals"] = (
@@ -969,6 +1004,50 @@ class QueueExecutor(SweepExecutor):
                 attempt,
                 counters,
                 crash_failures,
+            )
+
+    def _speculate(
+        self,
+        layout: QueueLayout,
+        outstanding: dict[str, _Outstanding],
+        counters: dict[str, int],
+    ) -> None:
+        """Straggler mitigation: duplicate tasks stuck past the envelope.
+
+        Once enough tasks have completed to estimate a latency
+        envelope, a claimed task whose owner has held it longer than
+        ``speculate_factor`` times the p95 completion latency (never
+        less than ``speculate_floor_s``) gets a duplicate published
+        back to ``tasks/`` for another worker to race — **without**
+        revoking the original claim, unlike a lease reclaim.  Cells
+        are deterministic and every merge deduplicates by cell
+        digest, so whichever copy finishes first wins and the loser's
+        records are dropped.  At most one speculative copy per task.
+        """
+        if len(self._durations) < self.options.speculate_min_samples:
+            return
+        ordered = sorted(self._durations)
+        p95 = ordered[int(0.95 * (len(ordered) - 1))]
+        threshold = max(
+            self.options.speculate_floor_s,
+            self.options.speculate_factor * p95,
+        )
+        now = time.time()
+        for digest, task in outstanding.items():
+            if task.speculated or task.first_seen_claimed is None:
+                continue
+            if now - task.first_seen_claimed < threshold:
+                continue
+            task.speculated = True
+            layout.write_task(
+                digest,
+                layout.shard_of(digest, self.options.n_shards),
+                task.attempt,
+                task.chunk,
+                task.digests,
+            )
+            counters["sweep.queue.speculations"] = (
+                counters.get("sweep.queue.speculations", 0) + 1
             )
 
     def _requeue(
@@ -1221,6 +1300,7 @@ class QueueExecutor(SweepExecutor):
         success (a reclaimed task whose cells a second worker finished)
         are dropped here, mirroring the loader's semantics.
         """
+        io_atomic.fire("queue.merge", layout.root)
         merged: dict = {}
         merged_encodings: dict = {}
         merged_failures: dict = {}

@@ -1,0 +1,118 @@
+"""Shared jittered exponential backoff for transient failures.
+
+One retry discipline for every client in the repo that talks to
+something flaky — queue workers polling a contended directory, the
+loadgen client absorbing 429s from an overloaded server, the chaos
+campaign re-reading state mid-recovery.  The policy is a frozen value
+object; all randomness comes from a caller-supplied
+:class:`random.Random`, so retry schedules are deterministic under a
+seed (and therefore reproducible in tests and chaos schedules).
+
+The jitter is "equal jitter": half the exponential delay is kept, the
+other half is uniformly random, which preserves the exponential
+envelope while decorrelating competing clients.  A per-call floor
+(e.g. a server's ``Retry-After``) is respected by raising the delay
+to the floor, never by truncating the jitter below it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..errors import SimulationError
+
+__all__ = ["RetryPolicy", "call_with_retry"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A bounded, jittered exponential backoff schedule.
+
+    ``max_attempts`` counts the first try: 4 means one attempt plus
+    up to three retries.  ``jitter=0`` gives a fully deterministic
+    schedule regardless of the RNG.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SimulationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise SimulationError(
+                "retry delays must be >= 0, got "
+                f"base={self.base_delay_s} max={self.max_delay_s}"
+            )
+        if self.multiplier < 1.0:
+            raise SimulationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise SimulationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def delay_for(
+        self,
+        attempt: int,
+        rng: "random.Random | None" = None,
+        floor_s: float = 0.0,
+    ) -> float:
+        """Sleep before retry number ``attempt`` (1-based).
+
+        ``floor_s`` is a server-imposed minimum (``Retry-After``);
+        the returned delay is never below it.
+        """
+        if attempt < 1:
+            raise SimulationError(
+                f"attempt must be >= 1, got {attempt}"
+            )
+        raw = min(
+            self.max_delay_s,
+            self.base_delay_s * self.multiplier ** (attempt - 1),
+        )
+        if self.jitter and rng is not None:
+            fixed = raw * (1.0 - self.jitter)
+            raw = fixed + rng.uniform(0.0, raw - fixed)
+        return max(raw, floor_s)
+
+    def delays(
+        self, rng: "random.Random | None" = None
+    ) -> Iterator[float]:
+        """The full schedule: one delay per permitted retry."""
+        for attempt in range(1, self.max_attempts):
+            yield self.delay_for(attempt, rng)
+
+
+def call_with_retry(
+    fn: Callable[[], object],
+    policy: RetryPolicy,
+    retry_on: "tuple[type[BaseException], ...]" = (OSError,),
+    rng: "random.Random | None" = None,
+    sleep: Callable[[float], None] = time.sleep,
+):
+    """Call ``fn`` until it succeeds or the policy is exhausted.
+
+    Re-raises the last exception once ``max_attempts`` is spent.
+    ``sleep`` is injectable so tests (and the chaos campaign) can
+    capture the schedule without waiting it out.
+    """
+    last: BaseException | None = None
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except retry_on as error:
+            last = error
+            if attempt == policy.max_attempts:
+                raise
+            sleep(policy.delay_for(attempt, rng))
+    raise last  # pragma: no cover - unreachable

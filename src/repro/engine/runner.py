@@ -72,6 +72,7 @@ from .executors import (
     _ChunkOutput,
     make_executor,
 )
+from .chaos import ChaosPlan, install_plan, uninstall_plan
 from .faults import FaultPlan
 from .grid import (
     EncodeSummary,
@@ -150,6 +151,15 @@ class SweepRunner:
         A :class:`~repro.engine.distributed.QueueOptions` for the
         ``"queue"`` backend (queue directory, spawned worker count,
         lease timeout, ...).  Rejected for any other backend.
+    chaos:
+        A :class:`~repro.engine.chaos.ChaosPlan` (or its compact
+        string form) injecting deterministic *durability* faults —
+        torn checkpoint writes, stale leases, full disks — for the
+        chaos campaign; ``None`` disables.  Installed with
+        coordinator semantics in this process (fatal faults raise
+        :class:`~repro.errors.ChaosCrash`) and shipped to queue
+        workers, which install it with worker semantics (fatal
+        faults kill the worker).
     """
 
     def __init__(
@@ -166,6 +176,7 @@ class SweepRunner:
         max_pool_restarts: int | None = None,
         backend: str = "auto",
         queue_options=None,
+        chaos: "ChaosPlan | str | None" = None,
     ) -> None:
         if not isinstance(max_workers, int) or isinstance(
             max_workers, bool
@@ -214,6 +225,8 @@ class SweepRunner:
             )
         if isinstance(faults, str):
             faults = FaultPlan.parse(faults)
+        if isinstance(chaos, str):
+            chaos = ChaosPlan.parse(chaos)
         self.max_workers = max_workers
         self.encode = encode
         self.telemetry = telemetry
@@ -226,6 +239,7 @@ class SweepRunner:
         self.max_pool_restarts = max_pool_restarts
         self.backend = backend
         self.queue_options = queue_options
+        self.chaos = chaos
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -275,11 +289,21 @@ class SweepRunner:
             chunk_timeout=self.chunk_timeout,
             max_workers=self.max_workers,
             max_pool_restarts=self.max_pool_restarts,
+            chaos=self.chaos,
         )
 
     # ------------------------------------------------------------------
     def run(self, cells: Sequence[SweepCell]) -> SweepOutcome:
         """Execute every cell; results come back in grid order."""
+        if self.chaos is None:
+            return self._run(cells)
+        install_plan(self.chaos, role="coordinator")
+        try:
+            return self._run(cells)
+        finally:
+            uninstall_plan()
+
+    def _run(self, cells: Sequence[SweepCell]) -> SweepOutcome:
         cells = list(cells)
         run_start = time.perf_counter() if self.telemetry else 0.0
         if not cells:
@@ -458,6 +482,7 @@ def run_sweep(
     resume: bool = False,
     backend: str = "auto",
     queue_options=None,
+    chaos: "ChaosPlan | str | None" = None,
 ) -> SweepOutcome:
     """One-shot convenience wrapper around :class:`SweepRunner`."""
     runner = SweepRunner(
@@ -472,6 +497,7 @@ def run_sweep(
         resume=resume,
         backend=backend,
         queue_options=queue_options,
+        chaos=chaos,
     )
     return runner.run_grid(
         workloads, format_names, partition_sizes, base_config

@@ -159,6 +159,31 @@ class QueueError(SimulationError):
     """
 
 
+class ChaosError(SimulationError):
+    """A chaos campaign invariant was violated.
+
+    Raised by ``repro chaos`` when a recovered run's checkpoint digest
+    diverges from the sequential reference, cells were lost or
+    duplicated, or ``repro doctor --check`` still finds damage after
+    repair — i.e. when the durability layer actually failed, not when
+    a fault merely fired.
+    """
+
+
+class ChaosCrash(ChaosError):
+    """An injected coordinator-side crash (the fault *firing*).
+
+    The coordinator analog of a worker's ``os._exit``: raised at the
+    chaos-chosen instant so the campaign harness regains control with
+    the on-disk state exactly as a real crash would leave it.  Never a
+    test failure by itself — recovery from it is what gets gated.
+    """
+
+
+class DoctorError(SimulationError):
+    """``repro doctor`` could not audit the given state directory."""
+
+
 class ServeError(CopernicusError):
     """The characterization server (or its client) failed.
 
@@ -188,6 +213,17 @@ class ServeBudgetError(ServeError):
     """The per-request time budget expired with no degradable answer."""
 
     status = 504
+
+
+class ServeDrainingError(ServeError):
+    """The server is draining (SIGTERM/SIGINT) and sheds this request.
+
+    Distinct from :class:`ServeOverloadedError`: a 429 invites the
+    client to retry the same server after backoff, while a drain 503
+    means this process is going away and the client should fail over.
+    """
+
+    status = 503
 
 
 class LoadGenError(ServeError):

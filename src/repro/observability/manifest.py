@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping
 
+from .. import io_atomic
 from ..errors import ManifestError
 
 __all__ = [
@@ -252,12 +253,11 @@ def write_sweep_manifest(
     records.append(_summary_record(outcome))
 
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", encoding="utf-8") as stream:
-        for record in records:
-            stream.write(json.dumps(record, sort_keys=True))
-            stream.write("\n")
-    return path
+    lines = "".join(
+        json.dumps(record, sort_keys=True) + "\n"
+        for record in records
+    )
+    return io_atomic.atomic_write_text(path, lines)
 
 
 def read_manifest(path: str | Path) -> Manifest:

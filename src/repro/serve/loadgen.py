@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass
 from random import Random
 
+from ..engine.retry import RetryPolicy
 from ..errors import LoadGenError
 from ..observability import machine_metadata
 from .protocol import canonical_json
@@ -260,13 +261,28 @@ async def fetch_metrics(host: str, port: int) -> dict:
 
 @dataclass(frozen=True)
 class RequestOutcome:
-    """What one planned request came back as."""
+    """What one planned request came back as.
+
+    ``status`` 0 marks a transport-level failure recorded under
+    ``tolerate_errors`` (connection refused mid-drain, client
+    timeout); ``n_retries`` counts 429 retries that preceded this
+    final attempt.
+    """
 
     endpoint: str
     status: int
     latency_s: float
     source: str
     degraded: str
+    n_retries: int = 0
+
+
+def _retry_after_floor(headers: dict) -> float:
+    """The server's ``Retry-After`` (seconds) as a backoff floor."""
+    try:
+        return max(0.0, float(headers.get("retry-after", 0.0)))
+    except (TypeError, ValueError):
+        return 0.0
 
 
 async def run_load(
@@ -274,6 +290,10 @@ async def run_load(
     port: int,
     planned: list[PlannedRequest],
     concurrency: int = 8,
+    *,
+    retry_policy: "RetryPolicy | None" = None,
+    retry_seed: int = 0,
+    tolerate_errors: bool = False,
 ) -> tuple[list[RequestOutcome], float]:
     """Replay ``planned`` with bounded client concurrency.
 
@@ -281,6 +301,15 @@ async def run_load(
     time.  Transport-level failures (connection refused, client
     timeout) raise; HTTP error statuses are outcomes, not failures —
     the report counts them.
+
+    With ``retry_policy``, a 429 is retried with jittered exponential
+    backoff (:class:`~repro.engine.retry.RetryPolicy`), honouring the
+    server's ``Retry-After`` header as the delay floor; the jitter is
+    seeded per request from ``retry_seed`` so replays are
+    deterministic.  With ``tolerate_errors`` (the chaos campaign's
+    client mode), transport failures become ``status`` 0 outcomes
+    instead of raising — a server draining mid-request must not kill
+    the measurement.
     """
     if concurrency < 1:
         raise LoadGenError(
@@ -288,23 +317,62 @@ async def run_load(
         )
     gate = asyncio.Semaphore(concurrency)
 
-    async def _one(request: PlannedRequest) -> RequestOutcome:
+    async def _one(
+        index: int, request: PlannedRequest
+    ) -> RequestOutcome:
         async with gate:
-            start = time.perf_counter()
-            status, headers, _ = await http_request(
-                host, port, "POST", f"/{request.endpoint}",
-                request.body(),
+            rng = (
+                Random(retry_seed * 1_000_003 + index)
+                if retry_policy is not None
+                else None
             )
-            return RequestOutcome(
-                endpoint=request.endpoint,
-                status=status,
-                latency_s=time.perf_counter() - start,
-                source=headers.get("x-copernicus-source", ""),
-                degraded=headers.get("x-copernicus-degraded", ""),
-            )
+            retries = 0
+            attempt = 1
+            while True:
+                start = time.perf_counter()
+                try:
+                    status, headers, _ = await http_request(
+                        host, port, "POST", f"/{request.endpoint}",
+                        request.body(),
+                    )
+                except LoadGenError:
+                    if not tolerate_errors:
+                        raise
+                    return RequestOutcome(
+                        endpoint=request.endpoint,
+                        status=0,
+                        latency_s=time.perf_counter() - start,
+                        source="",
+                        degraded="",
+                        n_retries=retries,
+                    )
+                if (
+                    status == 429
+                    and retry_policy is not None
+                    and attempt < retry_policy.max_attempts
+                ):
+                    delay = retry_policy.delay_for(
+                        attempt,
+                        rng=rng,
+                        floor_s=_retry_after_floor(headers),
+                    )
+                    await asyncio.sleep(delay)
+                    retries += 1
+                    attempt += 1
+                    continue
+                return RequestOutcome(
+                    endpoint=request.endpoint,
+                    status=status,
+                    latency_s=time.perf_counter() - start,
+                    source=headers.get("x-copernicus-source", ""),
+                    degraded=headers.get("x-copernicus-degraded", ""),
+                    n_retries=retries,
+                )
 
     started = time.perf_counter()
-    outcomes = await asyncio.gather(*(_one(r) for r in planned))
+    outcomes = await asyncio.gather(
+        *(_one(i, r) for i, r in enumerate(planned))
+    )
     return list(outcomes), time.perf_counter() - started
 
 
@@ -382,6 +450,17 @@ def bench_report(
             "max": max(latencies_ms),
         },
         "statuses": statuses,
+        "retries": {
+            "total": sum(o.n_retries for o in outcomes),
+            "requests_retried": sum(
+                1 for o in outcomes if o.n_retries
+            ),
+            "resolved_429": sum(
+                1
+                for o in outcomes
+                if o.n_retries and o.status == 200
+            ),
+        },
         "n_5xx": sum(
             count
             for status, count in statuses.items()
@@ -416,6 +495,7 @@ async def run_loadgen(
     requests: int = 200,
     seed: int = 7,
     concurrency: int = 8,
+    retry_policy: "RetryPolicy | None" = None,
 ) -> dict:
     """Plan, replay, and report one load-test run.
 
@@ -425,7 +505,8 @@ async def run_loadgen(
     planned = plan_requests(mix, requests, seed)
     metrics_before = await fetch_metrics(host, port)
     outcomes, wall_s = await run_load(
-        host, port, planned, concurrency=concurrency
+        host, port, planned, concurrency=concurrency,
+        retry_policy=retry_policy, retry_seed=seed,
     )
     metrics_after = await fetch_metrics(host, port)
     return bench_report(

@@ -54,7 +54,9 @@ import functools
 import json
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
+from .. import io_atomic
 from ..advisor import AdvisorModel, load_model, recommend_fast
 from ..engine.faults import FaultPlan
 from ..engine.singleflight import SingleFlight
@@ -62,6 +64,7 @@ from ..errors import (
     AdvisorError,
     CopernicusError,
     ServeBudgetError,
+    ServeDrainingError,
     ServeError,
     ServeOverloadedError,
     ServeRequestError,
@@ -93,6 +96,7 @@ HTTP_REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
     504: "Gateway Timeout",
 }
 
@@ -214,6 +218,13 @@ class CharacterizationServer:
         self._server: asyncio.AbstractServer | None = None
         self._waiting = 0
         self._running = 0
+        self._draining = False
+        self._inflight: set[asyncio.Task] = set()
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has begun refusing new work."""
+        return self._draining
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -236,6 +247,65 @@ class CharacterizationServer:
         async with self._server:
             await self._server.serve_forever()
 
+    async def drain(
+        self,
+        timeout_s: float = 5.0,
+        snapshot_path: "Path | str | None" = None,
+    ) -> dict:
+        """Graceful shutdown: stop accepting, finish or 503 in-flight.
+
+        The drain contract (``repro serve`` runs this on SIGTERM and
+        SIGINT):
+
+        1. the listener closes — no new connections are accepted;
+        2. new query requests racing in on already-open connections
+           are refused with a structured ``503`` (plus
+           ``Retry-After``), never dropped mid-parse;
+        3. in-flight requests get ``timeout_s`` seconds to finish
+           normally; stragglers are cancelled and answer ``503``
+           instead of a reset connection;
+        4. a final ``metrics/v1`` snapshot — including the drain
+           counters — is flushed atomically to ``snapshot_path`` (when
+           given) and returned, so the last state of a terminated
+           server survives on disk.
+
+        Idempotent: a second call skips straight to the snapshot.
+        """
+        if timeout_s < 0:
+            raise ServeError(
+                f"drain timeout must be >= 0 seconds, got {timeout_s}"
+            )
+        if not self._draining:
+            self._draining = True
+            self.metrics.incr("serve.drain.initiated")
+            if self._server is not None:
+                self._server.close()
+            pending = {
+                task for task in self._inflight if not task.done()
+            }
+            if pending:
+                _, stragglers = await asyncio.wait(
+                    pending, timeout=timeout_s
+                )
+                for task in stragglers:
+                    task.cancel()
+                if stragglers:
+                    self.metrics.incr(
+                        "serve.drain.cancelled", len(stragglers)
+                    )
+                    # the cancelled handlers still write their 503s;
+                    # wait for that, not just for the cancel to land
+                    await asyncio.gather(
+                        *stragglers, return_exceptions=True
+                    )
+            if self._server is not None:
+                await self._server.wait_closed()
+                self._server = None
+        snapshot = self._metrics_view()
+        if snapshot_path is not None:
+            io_atomic.atomic_write_json(Path(snapshot_path), snapshot)
+        return snapshot
+
     async def aclose(self) -> None:
         """Stop accepting and release the backend threads."""
         if self._server is not None:
@@ -252,6 +322,9 @@ class CharacterizationServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._inflight.add(task)
         status, body, extra_headers = 500, b"{}", {}
         try:
             method, path, request_body = await asyncio.wait_for(
@@ -267,7 +340,26 @@ class CharacterizationServer:
             )
         except (asyncio.TimeoutError, ConnectionError, EOFError):
             writer.close()
+            if task is not None:
+                self._inflight.discard(task)
             return
+        except asyncio.CancelledError:
+            # only the drain path cancels handlers; a 503 on the wire
+            # beats a reset connection.  Outside a drain, cancellation
+            # is not ours to swallow.
+            if not self._draining:
+                if task is not None:
+                    self._inflight.discard(task)
+                raise
+            status = 503
+            error = ServeDrainingError(
+                "request cancelled: server is draining"
+            )
+            self.metrics.incr("serve.errors.ServeDrainingError")
+            self.metrics.incr("serve.http.503")
+            body = canonical_json(
+                error_payload("ServeDrainingError", str(error), status)
+            )
         except Exception as error:  # noqa: BLE001 — last-resort guard
             # nothing unstructured may reach the wire; the typed paths
             # are all handled inside _dispatch
@@ -282,6 +374,8 @@ class CharacterizationServer:
             pass
         finally:
             writer.close()
+            if task is not None:
+                self._inflight.discard(task)
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -344,6 +438,21 @@ class CharacterizationServer:
         if endpoint in ENDPOINTS:
             if method != "POST":
                 return self._method_not_allowed("POST")
+            if self._draining:
+                # GET /metrics and /healthz stay up for the final
+                # scrape; only new query work is refused
+                error = ServeDrainingError(
+                    "server is draining and not accepting new work; "
+                    "retry against another instance"
+                )
+                self.metrics.incr("serve.drain.refused")
+                self.metrics.incr("serve.errors.ServeDrainingError")
+                self.metrics.incr("serve.http.503")
+                return 503, canonical_json(
+                    error_payload(
+                        "ServeDrainingError", str(error), 503
+                    )
+                ), {"Retry-After": "1"}
             return await self._handle_query(endpoint, body)
         self.metrics.incr("serve.http.404")
         return 404, canonical_json(

@@ -20,7 +20,11 @@ from repro.engine import (
     cell_digest,
     load_checkpoint,
 )
-from repro.engine.checkpoint import CHECKPOINT_KIND, CHECKPOINT_SCHEMA
+from repro.engine.checkpoint import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_SCHEMA,
+    checkpoint_digest,
+)
 from repro.errors import CheckpointError, SweepCellError, SweepConfigError
 
 SPECS = (
@@ -287,3 +291,66 @@ class TestCorruption:
         )
         with pytest.raises(CheckpointError):
             load_checkpoint(path)
+
+
+# ----------------------------------------------------------------------
+# Crash-shaped damage, then resume (the durability contract)
+# ----------------------------------------------------------------------
+class TestCrashDamageResume:
+    """The two damage shapes a crash can leave in an append-only
+    checkpoint — a record truncated mid-write and a record written
+    twice (a worker respawned after the append but before the ack) —
+    must both resume to a bit-identical outcome."""
+
+    def full_checkpoint(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        SweepRunner(
+            error_policy="fail_fast", checkpoint=path
+        ).run_grid(SPECS, FORMATS, partition_sizes=PARTITIONS)
+        return path
+
+    def test_truncated_trailing_line_resumes_bit_identical(
+        self, baseline, tmp_path
+    ):
+        path = self.full_checkpoint(tmp_path)
+        reference = checkpoint_digest(path)
+        # cut the final record in half, exactly as a crash mid-append
+        # would: earlier records intact, no trailing newline
+        data = path.read_bytes()
+        body = data[: data.rfind(b"\n", 0, len(data) - 1) + 1]
+        last_line = data[len(body):]
+        path.write_bytes(body + last_line[: len(last_line) // 2])
+        resumed = SweepRunner(
+            error_policy="fail_fast", checkpoint=path, resume=True
+        ).run_grid(SPECS, FORMATS, partition_sizes=PARTITIONS)
+        assert resumed.ok
+        assert resumed.results == baseline.results
+        # the re-executed cell re-lands the identical payload: the
+        # repaired checkpoint's semantic digest matches the clean one
+        assert checkpoint_digest(path) == reference
+
+    def test_duplicated_cell_record_resumes_bit_identical(
+        self, baseline, tmp_path
+    ):
+        path = self.full_checkpoint(tmp_path)
+        reference = checkpoint_digest(path)
+        lines = path.read_text().splitlines()
+        duplicate = next(
+            line
+            for line in lines
+            if json.loads(line).get("type") == "cell"
+        )
+        with path.open("a") as stream:
+            stream.write(duplicate + "\n")
+        # last-write-wins by digest: the duplicate changes nothing
+        assert checkpoint_digest(path) == reference
+        resumed = SweepRunner(
+            telemetry=True,
+            error_policy="fail_fast",
+            checkpoint=path,
+            resume=True,
+        ).run_grid(SPECS, FORMATS, partition_sizes=PARTITIONS)
+        assert resumed.ok
+        assert resumed.results == baseline.results
+        assert resumed.telemetry.n_replayed == N_CELLS
+        assert checkpoint_digest(path) == reference

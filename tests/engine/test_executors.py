@@ -245,3 +245,44 @@ class TestQueueOptionsValidation:
 
         with pytest.raises(QueueError, match="spawn_workers"):
             QueueOptions(spawn_workers=-1)
+
+    def test_bad_speculation_knobs_rejected(self):
+        from repro.errors import QueueError
+
+        with pytest.raises(QueueError, match="speculate_factor"):
+            QueueOptions(speculate_factor=0.5)
+        with pytest.raises(QueueError, match="speculate_min_samples"):
+            QueueOptions(speculate_min_samples=0)
+        with pytest.raises(QueueError, match="speculate_floor_s"):
+            QueueOptions(speculate_floor_s=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Speculative re-dispatch
+# ----------------------------------------------------------------------
+class TestSpeculation:
+    def test_aggressive_speculation_stays_bit_identical(
+        self, inline_reference, tmp_path
+    ):
+        """Speculation at its most trigger-happy (factor 1, no floor,
+        one latency sample) duplicates live tasks freely — and the
+        first-result-wins merge still lands the inline outcome."""
+        checkpoint = tmp_path / "speculated.jsonl"
+        reference = tmp_path / "reference.jsonl"
+        run_backend("inline", workers=1, checkpoint=reference)
+        outcome = run_backend(
+            "queue",
+            checkpoint=checkpoint,
+            queue_options=QueueOptions(
+                lease_timeout_s=5.0,
+                poll_interval_s=0.02,
+                speculate_factor=1.0,
+                speculate_min_samples=1,
+                speculate_floor_s=0.0,
+            ),
+        )
+        assert outcome.ok
+        assert outcome.results == inline_reference.results
+        assert checkpoint_digest(checkpoint) == checkpoint_digest(
+            reference
+        )

@@ -1,0 +1,130 @@
+"""Shared jittered retry/backoff policy."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.retry import RetryPolicy, call_with_retry
+from repro.errors import SimulationError
+
+POLICY = RetryPolicy(
+    max_attempts=4, base_delay_s=0.1, max_delay_s=1.0,
+    multiplier=2.0, jitter=0.5,
+)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"max_delay_s": -0.5},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_bad_values_raise(self, kwargs):
+        with pytest.raises(SimulationError):
+            RetryPolicy(**kwargs)
+
+    def test_attempt_zero_rejected(self):
+        with pytest.raises(SimulationError):
+            POLICY.delay_for(0)
+
+
+class TestDelays:
+    def test_exponential_growth_capped_at_max(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay_s=0.1, max_delay_s=0.5,
+            multiplier=2.0, jitter=0.0,
+        )
+        delays = [policy.delay_for(a) for a in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_equal_jitter_stays_in_the_half_open_band(self):
+        rng = random.Random(7)
+        for attempt in range(1, 5):
+            raw = min(
+                POLICY.max_delay_s,
+                POLICY.base_delay_s
+                * POLICY.multiplier ** (attempt - 1),
+            )
+            for _ in range(50):
+                delay = POLICY.delay_for(attempt, rng=rng)
+                assert raw * 0.5 <= delay <= raw
+
+    def test_seeded_rng_makes_delays_deterministic(self):
+        first = [
+            POLICY.delay_for(a, rng=random.Random(3))
+            for a in range(1, 4)
+        ]
+        second = [
+            POLICY.delay_for(a, rng=random.Random(3))
+            for a in range(1, 4)
+        ]
+        assert first == second
+
+    def test_floor_wins_over_a_smaller_backoff(self):
+        delay = POLICY.delay_for(
+            1, rng=random.Random(0), floor_s=5.0
+        )
+        assert delay == 5.0
+
+    def test_delays_generator_matches_delay_for(self):
+        policy = RetryPolicy(
+            max_attempts=3, base_delay_s=0.1, max_delay_s=1.0,
+            jitter=0.0,
+        )
+        assert list(policy.delays()) == [
+            policy.delay_for(1),
+            policy.delay_for(2),
+        ]
+
+
+class TestCallWithRetry:
+    def test_retries_then_succeeds(self):
+        sleeps: list[float] = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "done"
+
+        result = call_with_retry(
+            flaky, POLICY, rng=random.Random(1), sleep=sleeps.append
+        )
+        assert result == "done"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+
+    def test_raises_after_max_attempts(self):
+        calls = {"n": 0}
+
+        def always_fails():
+            calls["n"] += 1
+            raise OSError("permanent")
+
+        with pytest.raises(OSError):
+            call_with_retry(
+                always_fails, POLICY, sleep=lambda _: None
+            )
+        assert calls["n"] == POLICY.max_attempts
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        calls = {"n": 0}
+
+        def wrong_kind():
+            calls["n"] += 1
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError):
+            call_with_retry(
+                wrong_kind, POLICY, sleep=lambda _: None
+            )
+        assert calls["n"] == 1

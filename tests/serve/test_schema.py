@@ -51,9 +51,10 @@ METRICS_FIELDS = {
 #: bench_serve/v1 golden field sets.
 BENCH_FIELDS = {
     "schema", "machine", "mix", "seed", "requests", "concurrency",
-    "wall_s", "throughput_rps", "latency_ms", "statuses", "n_5xx",
-    "n_degraded", "sources", "server",
+    "wall_s", "throughput_rps", "latency_ms", "statuses", "retries",
+    "n_5xx", "n_degraded", "sources", "server",
 }
+BENCH_RETRY_FIELDS = {"total", "requests_retried", "resolved_429"}
 MACHINE_FIELDS = {
     "cpu_count", "platform", "machine", "python", "implementation",
 }
@@ -252,6 +253,10 @@ class TestBenchServeV1:
         assert set(report["latency_ms"]) == BENCH_LATENCY_FIELDS
         assert set(report["server"]) == BENCH_SERVER_FIELDS
         assert report["statuses"] == {"200": 2, "504": 1}
+        assert set(report["retries"]) == BENCH_RETRY_FIELDS
+        assert report["retries"] == {
+            "total": 0, "requests_retried": 0, "resolved_429": 0,
+        }
         assert report["n_5xx"] == 1
         assert report["sources"] == {"computed": 1, "cache": 1}
         assert report["server"]["coalesce_hit_rate"] == 0.5

@@ -1,0 +1,221 @@
+"""Crash-safe writes: atomic replace, torn tails, the hook seam.
+
+The headline property (the durability layer's whole point): SIGKILL
+at any instant while an artifact is being written never leaves an
+unparseable or silently-wrong file behind — proven here by actually
+killing writer subprocesses at random moments and re-reading what
+survived.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import io_atomic
+from repro.io_atomic import (
+    TMP_MARKER,
+    HookSuppressed,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    repair_torn_tail,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_hooks():
+    io_atomic.clear_hooks()
+    yield
+    io_atomic.clear_hooks()
+
+
+# ----------------------------------------------------------------------
+# Atomic replace
+# ----------------------------------------------------------------------
+class TestAtomicWrite:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        atomic_write_json(path, {"b": 2, "a": 1})
+        assert json.loads(path.read_text()) == {"a": 1, "b": 2}
+        assert path.read_text().endswith("\n")
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "er" / "file.txt"
+        atomic_write_text(path, "hello")
+        assert path.read_text() == "hello"
+
+    def test_replaces_existing_content_entirely(self, tmp_path):
+        path = tmp_path / "f"
+        atomic_write_bytes(path, b"x" * 4096)
+        atomic_write_bytes(path, b"short")
+        assert path.read_bytes() == b"short"
+
+    def test_no_temp_files_survive_success(self, tmp_path):
+        path = tmp_path / "f"
+        for index in range(5):
+            atomic_write_bytes(path, str(index).encode())
+        assert [p.name for p in tmp_path.iterdir()] == ["f"]
+
+    def test_failed_write_leaves_destination_untouched(self, tmp_path):
+        path = tmp_path / "f"
+        atomic_write_bytes(path, b"original")
+
+        def explode(op, target, data):
+            raise OSError(28, "No space left on device")
+
+        io_atomic.install_hook("atomic.write", explode)
+        with pytest.raises(OSError):
+            atomic_write_bytes(path, b"new")
+        assert path.read_bytes() == b"original"
+
+    def test_json_is_sorted_and_indented(self, tmp_path):
+        path = tmp_path / "f.json"
+        atomic_write_json(path, {"z": 1, "a": 2})
+        text = path.read_text()
+        assert text.index('"a"') < text.index('"z"')
+
+
+# ----------------------------------------------------------------------
+# Torn-tail repair
+# ----------------------------------------------------------------------
+class TestRepairTornTail:
+    def test_missing_and_empty_files_are_no_ops(self, tmp_path):
+        assert repair_torn_tail(tmp_path / "absent") == 0
+        empty = tmp_path / "empty"
+        empty.write_bytes(b"")
+        assert repair_torn_tail(empty) == 0
+
+    def test_terminated_file_is_untouched(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n')
+        assert repair_torn_tail(path) == 0
+        assert path.read_text() == '{"a": 1}\n{"b": 2}\n'
+
+    def test_torn_final_line_is_truncated(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n{"c"')
+        removed = repair_torn_tail(path)
+        assert removed == len('{"c"')
+        assert path.read_text() == '{"a": 1}\n{"b": 2}\n'
+
+    def test_single_torn_line_truncates_to_empty(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        path.write_text('{"never finis')
+        assert repair_torn_tail(path) > 0
+        assert path.read_bytes() == b""
+
+
+# ----------------------------------------------------------------------
+# The hook seam
+# ----------------------------------------------------------------------
+class TestHooks:
+    def test_fire_without_hooks_is_a_no_op(self, tmp_path):
+        io_atomic.fire("checkpoint.append", tmp_path / "x", b"data")
+
+    def test_install_fire_remove(self, tmp_path):
+        seen = []
+        io_atomic.install_hook(
+            "blob.read", lambda op, path, data: seen.append((op, path))
+        )
+        assert io_atomic.installed_hooks() == ("blob.read",)
+        io_atomic.fire("blob.read", tmp_path / "b")
+        assert seen == [("blob.read", tmp_path / "b")]
+        io_atomic.remove_hook("blob.read")
+        io_atomic.fire("blob.read", tmp_path / "b")
+        assert len(seen) == 1
+
+    def test_suppression_propagates_to_the_caller(self, tmp_path):
+        def suppress(op, path, data):
+            raise HookSuppressed
+
+        io_atomic.install_hook("queue.heartbeat", suppress)
+        with pytest.raises(HookSuppressed):
+            io_atomic.fire("queue.heartbeat", tmp_path / "lease")
+
+
+# ----------------------------------------------------------------------
+# The SIGKILL proof
+# ----------------------------------------------------------------------
+_KILL_WRITER = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.io_atomic import atomic_write_json
+target = {target!r}
+index = 0
+while True:
+    atomic_write_json(target, {{"index": index, "blob": "x" * 4096}})
+    index += 1
+"""
+
+_KILL_APPENDER = """
+import json, sys
+sys.path.insert(0, {src!r})
+target = {target!r}
+with open(target, "a", encoding="utf-8") as stream:
+    index = 0
+    while True:
+        stream.write(json.dumps({{"index": index, "pad": "y" * 512}}))
+        stream.write("\\n")
+        stream.flush()
+        index += 1
+"""
+
+
+def _kill_after(script: str, delay_s: float) -> None:
+    process = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    time.sleep(delay_s)
+    os.kill(process.pid, signal.SIGKILL)
+    process.wait()
+
+
+class TestKillMidWrite:
+    """``kill -9`` mid-write never produces an unparseable file."""
+
+    def test_atomic_writer_killed_at_random_instants(self, tmp_path):
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        target = tmp_path / "report.json"
+        for attempt in range(5):
+            script = _KILL_WRITER.format(
+                src=os.path.abspath(src), target=str(target)
+            )
+            _kill_after(script, 0.05 + 0.03 * attempt)
+            # the destination either does not exist yet or holds one
+            # complete, parseable JSON document — never a torn one
+            if target.exists():
+                payload = json.loads(target.read_text())
+                assert payload["blob"] == "x" * 4096
+        # stray temp siblings are allowed (doctor sweeps them); the
+        # destination itself must never be one
+        for stray in target.parent.iterdir():
+            if TMP_MARKER in stray.name:
+                assert stray.name != target.name
+
+    def test_jsonl_appender_killed_leaves_at_most_a_torn_tail(
+        self, tmp_path
+    ):
+        target = tmp_path / "records.jsonl"
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        script = _KILL_APPENDER.format(
+            src=os.path.abspath(src), target=str(target)
+        )
+        _kill_after(script, 0.15)
+        data = target.read_bytes()
+        assert data, "the writer had time to append something"
+        repair_torn_tail(target)
+        lines = target.read_text().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        # every surviving record is complete and in order
+        assert [record["index"] for record in parsed] == list(
+            range(len(parsed))
+        )
