@@ -36,8 +36,13 @@ Everything the library computes is reachable from the shell::
     python -m repro serve --port 8787 --budget-s 5
     python -m repro serve --port 8787 --fast-model advisor_model.json
     python -m repro serve --port 8787 --metrics-snapshot final.json
+    python -m repro serve --port 8787 --shed-p99-ms 250
     python -m repro loadgen --port 8787 --mix hot --requests 200
     python -m repro loadgen --spawn --requests 200 --seed 7
+    python -m repro loadgen --spawn --mix hostile --require-containment
+    python -m repro fuzz --cases 400 --save-crashes
+    python -m repro fuzz --replay
+    python -m repro guard --quick --output BENCH_guard.json
     python -m repro chaos --seed 7 --schedules 20
     python -m repro doctor q --checkpoint ckpt.jsonl --repair
     python -m repro doctor q --check
@@ -891,6 +896,27 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             )
         advisor_model = load_model(args.fast_model)
 
+    from .guard import GuardPolicy, SandboxLimits
+
+    # the CLI server is the one that faces real clients, so the guard
+    # layer (breaker + sandbox) is armed unless explicitly disabled;
+    # shedding additionally needs an SLO threshold to act on
+    guard_policy = None
+    if not args.no_guard:
+        guard_policy = GuardPolicy(
+            breaker_threshold=args.breaker_threshold,
+            breaker_recovery_s=args.breaker_recovery,
+            breaker_probes=args.breaker_probes,
+            shed_p99_ms=args.shed_p99_ms,
+            shed_queue_depth=args.shed_queue_depth,
+            shed_retry_after_s=args.shed_retry_after,
+            cheap_lane_width=args.cheap_lane_width,
+        )
+    sandbox_limits = SandboxLimits(
+        wall_s=args.sandbox_wall_s,
+        rss_mb=args.sandbox_rss_mb,
+    )
+
     async def _run() -> str:
         import signal
 
@@ -905,12 +931,24 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             faults=args.inject_faults,
             advisor_model=advisor_model,
             advisor_margin=args.fast_margin,
+            guard_policy=guard_policy,
+            sandbox_limits=sandbox_limits,
         )
         await server.start()
+        shedding = guard_policy is not None and (
+            guard_policy.shed_p99_ms is not None
+            or guard_policy.shed_queue_depth is not None
+        )
+        guard_state = (
+            "off" if guard_policy is None
+            else "breaker+shedding" if shedding
+            else "breaker"
+        )
         print(
             f"serving on http://{server.host}:{server.port}  "
             "(POST /characterize, POST /advise, GET /metrics, "
-            "GET /healthz; SIGTERM/Ctrl-C drains and stops)",
+            f"GET /healthz; guard: {guard_state}; "
+            "SIGTERM/Ctrl-C drains and stops)",
             flush=True,
         )
         # SIGTERM and SIGINT both take the graceful path: stop
@@ -972,11 +1010,19 @@ def _cmd_loadgen(args: argparse.Namespace) -> str:
         server = None
         host, port = args.host, args.port
         if args.spawn:
+            guard_policy = None
+            if args.mix == "hostile":
+                # hostile traffic against an unguarded private server
+                # would just measure the absence of the defense line
+                from .guard import GuardPolicy
+
+                guard_policy = GuardPolicy()
             server = CharacterizationServer(
                 host,
                 0,
                 max_inflight=args.max_inflight,
                 budget_s=args.budget_s,
+                guard_policy=guard_policy,
             )
             await server.start()
             port = server.port
@@ -1044,6 +1090,164 @@ def _cmd_loadgen(args: argparse.Namespace) -> str:
         f"{server_stats['computations']} backend computations",
         f"report written to {path}",
     ]
+    hostile = report["hostile"]
+    if hostile["requests"]:
+        lines.insert(
+            -1,
+            f"hostile: {hostile['requests']} requests, "
+            f"{hostile['contained']} contained, "
+            f"{hostile['served_2xx']} served 2xx, "
+            f"worker harm: {hostile['worker_harm']}",
+        )
+    if args.require_containment and hostile["worker_harm"]:
+        raise LoadGenError(
+            f"{hostile['worker_harm']} of {hostile['requests']} "
+            "hostile requests harmed a worker (connection drop or "
+            f"unhandled 5xx; statuses: {hostile['statuses']})"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from . import io_atomic
+    from .errors import FuzzError
+    from .guard import (
+        DEFAULT_CORPUS_DIR,
+        Sandbox,
+        SandboxLimits,
+        fuzz_run,
+        minimize_case,
+        replay_corpus,
+        save_case,
+    )
+
+    corpus_dir = Path(args.corpus)
+    limits = SandboxLimits(wall_s=args.sandbox_wall_s)
+    with Sandbox(limits) as sandbox:
+        if args.replay:
+            report = replay_corpus(corpus_dir, sandbox=sandbox)
+            mode = f"replayed corpus {corpus_dir}"
+        else:
+            n_cases, budget_s = args.cases, args.budget_s
+            if n_cases is None and budget_s is None:
+                n_cases = 400
+            report = fuzz_run(
+                args.seed,
+                n_cases=n_cases,
+                budget_s=budget_s,
+                sandbox=sandbox,
+            )
+            mode = f"fuzzed seed={args.seed}"
+    verdicts = ", ".join(
+        f"{kind}={count}"
+        for kind, count in sorted(report.by_verdict.items())
+    )
+    lines = [
+        f"{mode}: {report.tried} inputs in {report.wall_s:.1f}s",
+        f"verdicts: {verdicts or 'none'}",
+    ]
+    saved: list[str] = []
+    if report.crashes and args.save_crashes:
+        # one minimized corpus entry per distinct signature — the
+        # regression corpus records crash classes, not every instance
+        seen: set = set()
+        for outcome in report.crashes:
+            if outcome.signature in seen:
+                continue
+            seen.add(outcome.signature)
+            path = save_case(
+                corpus_dir, minimize_case(outcome.case)
+            )
+            saved.append(str(path))
+        lines.append(
+            "minimized crash cases saved: " + ", ".join(saved)
+        )
+    if args.output is not None:
+        io_atomic.atomic_write_json(
+            Path(args.output), report.to_dict()
+        )
+        lines.append(f"report written to {args.output}")
+    if report.crashes:
+        signatures = ", ".join(report.crash_signatures)
+        if args.no_gate:
+            lines.append(
+                f"CRASHES: {len(report.crashes)} ({signatures})"
+            )
+        else:
+            raise FuzzError(
+                f"{len(report.crashes)} of {report.tried} inputs "
+                f"crashed the pipeline ({signatures})"
+                + (
+                    f"; minimized cases saved to {corpus_dir}"
+                    if saved
+                    else "; rerun with --save-crashes to record them"
+                )
+            )
+    else:
+        lines.append("no crashes: every input came back as a typed verdict")
+    return "\n".join(lines)
+
+
+def _cmd_guard(args: argparse.Namespace) -> str:
+    from .guard import (
+        check_guard_campaign,
+        run_guard_campaign,
+        write_guard_report,
+    )
+
+    fuzz_cases = args.fuzz_cases
+    hostile_requests = args.hostile_requests
+    if args.quick:
+        fuzz_cases = min(fuzz_cases, 120)
+        hostile_requests = min(hostile_requests, 16)
+    report = run_guard_campaign(
+        seed=args.seed,
+        corpus_dir=args.corpus,
+        fuzz_cases=fuzz_cases,
+        fuzz_budget_s=args.fuzz_budget_s,
+        hostile_requests=hostile_requests,
+        concurrency=args.concurrency,
+    )
+    path = write_guard_report(report, args.output)
+    summary = report["summary"]
+    breaker = report["breaker"]
+    shedding = report["shedding"]
+    hostile = report["hostile"]["hostile"]
+    lines = [
+        f"guard campaign: seed={report['config']['seed']} "
+        f"{summary['inputs_executed']} hostile inputs "
+        f"in {summary['wall_s']:.1f}s",
+        f"corpus: {report['corpus']['n_cases']} cases, "
+        f"crashes: {len(report['corpus']['crash_signatures'])}, "
+        f"unhandled: {len(report['corpus']['unhandled_exceptions'])}",
+        f"fuzz: {report['fuzz']['inputs_tried']} inputs, "
+        f"new crash signatures: "
+        f"{len(report['fuzz']['new_crash_signatures'])}",
+        f"breaker: opened={breaker['opened']} "
+        f"recovered={breaker['recovered']} "
+        f"transitions={breaker['transitions']}",
+        f"shedding: high p99 {shedding['high_p99_ms']:.1f}ms all "
+        f"served={shedding['high_all_served']}, low shed with "
+        f"Retry-After={shedding['low_all_shed']}",
+        f"hostile serve traffic: {hostile['requests']} requests, "
+        f"{hostile['contained']} contained, worker harm: "
+        f"{hostile['worker_harm']}",
+        f"report written to {path}",
+    ]
+    failed = sorted(
+        name
+        for name, passed in summary["gates"].items()
+        if not passed
+    )
+    if failed:
+        lines.append(f"FAILED gates: {', '.join(failed)}")
+    else:
+        lines.append("all gates passed")
+    if not args.no_gate:
+        # raises GuardError (exit 2) after the report is on disk
+        check_guard_campaign(report)
     return "\n".join(lines)
 
 
@@ -1581,6 +1785,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a final metrics/v1 snapshot to PATH during "
         "graceful shutdown (atomic write)",
     )
+    serve.add_argument(
+        "--no-guard", action="store_true",
+        help="disable the overload-protection layer (per-route "
+        "circuit breakers, priority shedding, bulkhead lanes); "
+        "untrusted 'mtx' workloads stay sandboxed regardless",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=5, metavar="N",
+        help="consecutive backend failures before a route's breaker "
+        "opens and answers 503 immediately (default 5)",
+    )
+    serve.add_argument(
+        "--breaker-recovery", type=float, default=5.0,
+        metavar="SECONDS",
+        help="seconds an open breaker waits before letting probe "
+        "requests through (default 5)",
+    )
+    serve.add_argument(
+        "--breaker-probes", type=int, default=1, metavar="N",
+        help="concurrent probes a half-open breaker admits "
+        "(default 1)",
+    )
+    serve.add_argument(
+        "--shed-p99-ms", type=float, default=None, metavar="MS",
+        help="rolling-window p99 latency SLO; over it, low-priority "
+        "requests are shed with 503 + Retry-After, at 2x also "
+        "normal-priority (default: shedding by latency off)",
+    )
+    serve.add_argument(
+        "--shed-queue-depth", type=int, default=None, metavar="N",
+        help="queue depth beyond which low-priority requests are "
+        "shed (default: shedding by depth off)",
+    )
+    serve.add_argument(
+        "--shed-retry-after", type=float, default=1.0,
+        metavar="SECONDS",
+        help="Retry-After hint on shed responses (default 1)",
+    )
+    serve.add_argument(
+        "--cheap-lane-width", type=int, default=2, metavar="N",
+        help="threads in the cheap bulkhead lane serving advisor "
+        "fast-path answers and sandbox gating (default 2)",
+    )
+    serve.add_argument(
+        "--sandbox-wall-s", type=float, default=10.0,
+        metavar="SECONDS",
+        help="wall-clock cap per sandboxed untrusted-matrix job "
+        "(default 10)",
+    )
+    serve.add_argument(
+        "--sandbox-rss-mb", type=float, default=512.0, metavar="MB",
+        help="address-space headroom of the sandbox worker beyond "
+        "its baseline (default 512)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     loadgen = commands.add_parser(
@@ -1600,9 +1858,13 @@ def build_parser() -> argparse.ArgumentParser:
         "of targeting a running one",
     )
     loadgen.add_argument(
-        "--mix", choices=("hot", "unique", "mixed"), default="mixed",
+        "--mix",
+        choices=("hot", "unique", "mixed", "hostile"),
+        default="mixed",
         help="traffic mix: hot = hot-key skew, unique = all-miss "
-        "flood, mixed = both plus /advise traffic (default mixed)",
+        "flood, mixed = both plus /advise traffic, hostile = half "
+        "the stream is seeded malformed-matrix requests from the "
+        "fuzz generators (default mixed)",
     )
     loadgen.add_argument(
         "--requests", type=int, default=200,
@@ -1644,7 +1906,111 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero if no request coalesced onto an "
         "in-flight computation (CI gate)",
     )
+    loadgen.add_argument(
+        "--require-containment", action="store_true",
+        help="exit non-zero if any hostile request harmed a worker "
+        "(connection drop or unhandled 5xx) instead of being "
+        "contained as a typed refusal (CI gate for --mix hostile)",
+    )
     loadgen.set_defaults(handler=_cmd_loadgen)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="fuzz the .mtx parser and format codecs with seeded "
+        "hostile inputs; gate on typed verdicts only",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed; same (seed, cases) generates identical "
+        "inputs (default 0)",
+    )
+    fuzz.add_argument(
+        "--cases", type=int, default=None, metavar="N",
+        help="inputs to generate (default 400 when no --budget-s)",
+    )
+    fuzz.add_argument(
+        "--budget-s", type=float, default=None, metavar="SECONDS",
+        help="wall-clock fuzzing budget; stops at whichever of "
+        "--cases / --budget-s comes first",
+    )
+    fuzz.add_argument(
+        "--replay", action="store_true",
+        help="re-execute the regression corpus instead of "
+        "generating fresh inputs (CI mode)",
+    )
+    fuzz.add_argument(
+        "--corpus", metavar="DIR", default="tests/corpus",
+        help="regression-corpus directory (default tests/corpus)",
+    )
+    fuzz.add_argument(
+        "--save-crashes", action="store_true",
+        help="delta-debug each new crash to a minimal reproducer "
+        "and save it into the corpus",
+    )
+    fuzz.add_argument(
+        "--sandbox-wall-s", type=float, default=5.0,
+        metavar="SECONDS",
+        help="wall-clock cap per sandboxed deep-execution job "
+        "(default 5)",
+    )
+    fuzz.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the full fuzz report as JSON to PATH",
+    )
+    fuzz.add_argument(
+        "--no-gate", action="store_true",
+        help="report crashes without exiting non-zero "
+        "(triage aid)",
+    )
+    fuzz.set_defaults(handler=_cmd_fuzz)
+
+    guard = commands.add_parser(
+        "guard",
+        help="run the untrusted-input defense campaign and gate on "
+        "containment (bench_guard/v1)",
+    )
+    guard.add_argument(
+        "--seed", type=int, default=7,
+        help="campaign seed (default 7)",
+    )
+    guard.add_argument(
+        "--fuzz-cases", type=int, default=400, metavar="N",
+        help="fresh fuzz inputs in the fuzzing phase (default 400)",
+    )
+    guard.add_argument(
+        "--fuzz-budget-s", type=float, default=None,
+        metavar="SECONDS",
+        help="wall-clock cap on the fuzzing phase (default: none; "
+        "stops at whichever of cases/budget comes first)",
+    )
+    guard.add_argument(
+        "--hostile-requests", type=int, default=40, metavar="N",
+        help="hostile-mix requests against the live guarded server "
+        "(default 40)",
+    )
+    guard.add_argument(
+        "--concurrency", type=int, default=4,
+        help="client connections of the hostile phase (default 4)",
+    )
+    guard.add_argument(
+        "--corpus", metavar="DIR", default=None,
+        help="regression-corpus directory "
+        "(default: the committed tests/corpus)",
+    )
+    guard.add_argument(
+        "--output", metavar="PATH", default="BENCH_guard.json",
+        help="report path (default BENCH_guard.json)",
+    )
+    guard.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run (120 fuzz cases, 16 hostile requests)",
+    )
+    guard.add_argument(
+        "--no-gate", action="store_true",
+        help="report failed gates without exiting non-zero "
+        "(debugging aid)",
+    )
+    guard.set_defaults(handler=_cmd_guard)
 
     bench = commands.add_parser(
         "bench",

@@ -28,11 +28,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["WorkloadSpec", "StreamedMatrixSpec"]
 
+
+def _mtx_matrix(content: str):
+    """Parse inline MatrixMarket text (the untrusted-workload kind).
+
+    Serve queries may carry a literal ``.mtx`` body instead of a
+    generator recipe; the serve layer proves the content survives
+    parse/profile inside the :mod:`repro.guard.sandbox` resource
+    boundary *before* any spec built from it reaches a worker.
+    """
+    from ..io import loads
+
+    return loads(content)
+
+
 _BUILDERS = {
     "random": random_matrix,
     "band": band_matrix,
     "poisson": poisson_2d,
     "standin": standin_by_id,
+    "mtx": _mtx_matrix,
 }
 
 
@@ -87,6 +102,21 @@ class WorkloadSpec:
             name=name or f"poisson-{grid}",
             params=(("grid", grid),),
             group="pde",
+        )
+
+    @classmethod
+    def mtx(cls, content: str, name: str = "") -> "WorkloadSpec":
+        """An inline (untrusted) MatrixMarket workload."""
+        if not content:
+            raise WorkloadError("mtx workload content must be non-empty")
+        digest = hashlib.blake2b(
+            content.encode("utf-8", "surrogateescape"), digest_size=8
+        ).hexdigest()
+        return cls(
+            kind="mtx",
+            name=name or f"mtx-{digest}",
+            params=(("content", content),),
+            group="untrusted",
         )
 
     @classmethod

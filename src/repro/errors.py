@@ -85,6 +85,72 @@ def _rebuild_integrity_error(
     return error
 
 
+class ValidationError(FormatIntegrityError):
+    """An encoding's declared extents cannot be trusted.
+
+    The dense-bomb guard: raised by
+    :func:`repro.formats.validate.validate_encoding` *before* any
+    allocation whose size is derived from attacker-controlled headers
+    (declared dimensions, nnz, plane widths), so a hostile encoding
+    that lies about its extent is refused at header-inspection cost,
+    never at allocation cost.  ``reason`` is a stable machine-readable
+    tag (``"negative-extent"``, ``"extent-overflow"``,
+    ``"nnz-overflow"``, ...); the usual
+    :class:`FormatIntegrityError` taxonomy fields are also populated,
+    so pre-existing ``except FormatError`` callers keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str,
+        format_name: str = "",
+        plane: str = "",
+        offset: "int | None" = None,
+    ) -> None:
+        self.reason = reason
+        super().__init__(
+            message,
+            format_name=format_name,
+            plane=plane,
+            check=reason,
+            offset=offset,
+            kind="extent",
+        )
+
+    def __reduce__(self):  # keep the reason across process boundaries
+        return (
+            _rebuild_validation_error,
+            (
+                self.args[0],
+                self.reason,
+                self.format_name,
+                self.plane,
+                self.offset,
+            ),
+        )
+
+
+def _rebuild_validation_error(
+    message: str,
+    reason: str,
+    format_name: str,
+    plane: str,
+    offset: "int | None",
+) -> ValidationError:
+    """Unpickle helper: rebuild without re-deriving the message."""
+    error = ValidationError.__new__(ValidationError)
+    Exception.__init__(error, message)
+    error.reason = reason
+    error.format_name = format_name
+    error.plane = plane
+    error.check = reason
+    error.offset = offset
+    error.kind = "extent"
+    return error
+
+
 class UnknownFormatError(FormatError):
     """A format name was not found in the registry."""
 
@@ -226,10 +292,76 @@ class ServeDrainingError(ServeError):
     status = 503
 
 
+class ServeCircuitOpenError(ServeError):
+    """A route's circuit breaker is open and sheds this request.
+
+    The backend behind the route failed repeatedly and recently; the
+    server answers 503 with ``Retry-After`` set to the breaker's
+    remaining recovery time instead of feeding more work into a
+    failing dependency.  Distinct from
+    :class:`ServeOverloadedError` (429: healthy but full) and
+    :class:`ServeDrainingError` (503: process going away).
+    """
+
+    status = 503
+
+
+class ServeShedError(ServeError):
+    """SLO-aware load shedding refused this request.
+
+    Raised when request p99 latency or queue depth has crossed the
+    configured thresholds and this request's priority class is below
+    the current shed line.  Clients retry after ``Retry-After``;
+    higher-priority traffic keeps flowing.
+    """
+
+    status = 503
+
+
+class ServeSandboxError(ServeError):
+    """An untrusted matrix failed the sandbox boundary.
+
+    The poison-matrix verdict: parsing/profiling the submitted matrix
+    in the resource-sandboxed subprocess ended in something other than
+    ``ok`` (timeout, oom, oversize, crash, or a typed rejection), so
+    the server refuses the query instead of letting the matrix near a
+    serve worker.  Carries the verdict kind for the structured body.
+    """
+
+    status = 400
+
+    def __init__(self, message: str, verdict_kind: str = "") -> None:
+        self.verdict_kind = verdict_kind
+        super().__init__(message)
+
+
 class LoadGenError(ServeError):
     """The load generator could not complete, or a --require gate failed."""
 
     status = 500
+
+
+class GuardError(CopernicusError):
+    """The untrusted-input defense layer (``repro.guard``) failed.
+
+    Base class for sandbox/fuzz infrastructure errors and for campaign
+    gate violations — *not* for the hostile inputs themselves, which
+    always come back as typed verdicts, never as exceptions.
+    """
+
+
+class SandboxError(GuardError):
+    """The sandbox harness itself misbehaved (not the sandboxed input).
+
+    Raised for infrastructure failures: a child that cannot be
+    spawned, a protocol violation on the verdict pipe, limits that are
+    not satisfiable.  A hostile input can never raise this — it gets a
+    :class:`~repro.guard.sandbox.ResourceVerdict` instead.
+    """
+
+
+class FuzzError(GuardError):
+    """The fuzzing subsystem was misconfigured or a corpus is corrupt."""
 
 
 class AdvisorError(CopernicusError):

@@ -19,10 +19,61 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import FormatIntegrityError
+from ..errors import FormatIntegrityError, ValidationError
 from .base import EncodedMatrix
 
-__all__ = ["validate_encoding", "VALIDATED_FORMATS"]
+__all__ = ["validate_encoding", "VALIDATED_FORMATS", "MAX_EXTENT_DIM"]
+
+#: Largest declared dimension an encoding may claim — matches the
+#: ``.mtx`` reader's :data:`repro.io.MAX_DIM`, so indices always fit
+#: ``int64`` and row-major cell keys stay under ``2**62``.
+MAX_EXTENT_DIM = 2**31 - 1
+
+
+def _check_extent(encoded: EncodedMatrix) -> None:
+    """The dense-bomb guard: distrust the header before the planes.
+
+    Every later check (and any decode) sizes work from the declared
+    ``shape``/``nnz``; this pre-pass rejects negative, oversized or
+    arithmetically-impossible declarations at header-inspection cost,
+    before anything is allocated from them.  Raises the typed
+    :class:`~repro.errors.ValidationError` with a stable ``reason``.
+    """
+    name = encoded.format_name
+    if len(encoded.shape) != 2:
+        raise ValidationError(
+            f"shape must be 2-D, got {encoded.shape!r}",
+            reason="bad-shape",
+            format_name=name,
+        )
+    n_rows, n_cols = (int(d) for d in encoded.shape)
+    if n_rows < 0 or n_cols < 0:
+        raise ValidationError(
+            f"negative declared shape {n_rows} x {n_cols}",
+            reason="negative-extent",
+            format_name=name,
+        )
+    if n_rows > MAX_EXTENT_DIM or n_cols > MAX_EXTENT_DIM:
+        raise ValidationError(
+            f"declared shape {n_rows} x {n_cols} exceeds the supported "
+            f"maximum dimension {MAX_EXTENT_DIM}",
+            reason="extent-overflow",
+            format_name=name,
+        )
+    nnz = int(encoded.nnz)
+    if nnz < 0:
+        raise ValidationError(
+            f"negative declared nnz {nnz}",
+            reason="negative-nnz",
+            format_name=name,
+        )
+    if nnz > n_rows * n_cols:
+        raise ValidationError(
+            f"declared nnz {nnz} exceeds the {n_rows} x {n_cols} "
+            f"extent ({n_rows * n_cols} cells)",
+            reason="nnz-overflow",
+            format_name=name,
+        )
 
 
 def _require(
@@ -657,6 +708,7 @@ def validate_encoding(encoded: EncodedMatrix) -> None:
     built-in formats fall in that bucket anymore, but user-registered
     formats do until they add one).
     """
+    _check_extent(encoded)
     validator = _VALIDATORS.get(encoded.format_name)
     if validator is not None:
         validator(encoded)

@@ -30,10 +30,11 @@ from typing import Iterator, TextIO
 
 import numpy as np
 
-from .errors import FormatError
+from .errors import FormatError, ValidationError
 from .matrix import SparseMatrix
 
 __all__ = [
+    "MAX_DIM",
     "read_matrix_market",
     "write_matrix_market",
     "loads",
@@ -43,6 +44,14 @@ __all__ = [
 ]
 
 _HEADER_PREFIX = "%%MatrixMarket"
+
+#: Largest declared dimension the reader accepts.  Indices below this
+#: bound always fit ``int64`` (and tile keys ``row * n_cols + col``
+#: stay under ``2**62``), so a size line that passes this check can
+#: never overflow the numpy conversion downstream — a hostile file
+#: that lies its shape up to 2**70 is refused at the size line, before
+#: a single entry is parsed.
+MAX_DIM = 2**31 - 1
 
 #: One streamed batch: (rows, cols, vals) numpy arrays.
 _Batch = tuple[np.ndarray, np.ndarray, np.ndarray]
@@ -106,6 +115,21 @@ class MatrixMarketStream:
             raise FormatError(f"bad size line: {size_line!r}") from None
         if n_rows < 0 or n_cols < 0 or n_entries < 0:
             raise FormatError(f"negative size line: {size_line!r}")
+        if n_rows > MAX_DIM or n_cols > MAX_DIM:
+            raise ValidationError(
+                f"declared shape {n_rows} x {n_cols} exceeds the "
+                f"supported maximum dimension {MAX_DIM}",
+                reason="extent-overflow",
+                format_name="mtx",
+            )
+        if n_entries > n_rows * n_cols:
+            raise ValidationError(
+                f"size line declares {n_entries} entries for a "
+                f"{n_rows} x {n_cols} matrix with only "
+                f"{n_rows * n_cols} cells",
+                reason="nnz-overflow",
+                format_name="mtx",
+            )
         self.shape: tuple[int, int] = (n_rows, n_cols)
         #: Entry count the size line declares (pre-symmetry-expansion).
         self.n_entries = n_entries
@@ -202,8 +226,15 @@ def _read_stream(stream: TextIO) -> SparseMatrix:
 
 def read_matrix_market(path: str | Path) -> SparseMatrix:
     """Read a ``.mtx`` file into a :class:`SparseMatrix`."""
-    with open(path, "r", encoding="ascii") as stream:
-        return _read_stream(stream)
+    try:
+        with open(path, "r", encoding="ascii") as stream:
+            return _read_stream(stream)
+    except UnicodeDecodeError as error:
+        # binary garbage with an .mtx name is a format problem, not an
+        # unhandled codec crash
+        raise FormatError(
+            f"{path}: not ASCII MatrixMarket text ({error})"
+        ) from None
 
 
 def loads(text: str) -> SparseMatrix:
@@ -244,13 +275,18 @@ def streaming_profile_table(
     # spend at most a quarter of the budget on the in-flight batch;
     # the rest is headroom for the accumulator's columnar state
     batch_size = max(1024, budget_bytes // (4 * _BATCH_ENTRY_BYTES))
-    with open(path, "r", encoding="ascii") as stream:
-        mm = MatrixMarketStream(stream, batch_size=batch_size)
-        accumulator = ProfileAccumulator(
-            mm.shape, p, block_size=block_size
-        )
-        for rows, cols, vals in mm.batches():
-            accumulator.add(rows, cols, vals)
+    try:
+        with open(path, "r", encoding="ascii") as stream:
+            mm = MatrixMarketStream(stream, batch_size=batch_size)
+            accumulator = ProfileAccumulator(
+                mm.shape, p, block_size=block_size
+            )
+            for rows, cols, vals in mm.batches():
+                accumulator.add(rows, cols, vals)
+    except UnicodeDecodeError as error:
+        raise FormatError(
+            f"{path}: not ASCII MatrixMarket text ({error})"
+        ) from None
     return accumulator.finalize()
 
 

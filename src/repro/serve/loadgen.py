@@ -14,7 +14,15 @@ Traffic mixes (:data:`MIXES`):
 * ``unique`` — every request carries a never-before-seen workload
   seed, so every digest misses: the cache-flood worst case;
 * ``mixed`` — hot and unique ``/characterize`` traffic interleaved
-  with hot ``/advise`` traffic, the realistic middle.
+  with hot ``/advise`` traffic, the realistic middle;
+* ``hostile`` — the ``mixed`` grammar with seeded malformed-matrix
+  requests woven in: inline ``mtx`` workloads drawn from the
+  :mod:`repro.guard.fuzz` generators (dimension lies, index
+  overflows, dense bombs, truncations, garbage).  A healthy guarded
+  server answers every one with a typed 4xx — never a 5xx, never a
+  dead worker — while the benign share of the traffic keeps being
+  served; the report's ``hostile`` section is what the guard campaign
+  gates.
 
 Everything is driven by one ``random.Random(seed)``: the same
 ``(mix, requests, seed)`` triple plans the identical request sequence
@@ -54,7 +62,22 @@ __all__ = [
 BENCH_SERVE_SCHEMA = "bench_serve/v1"
 
 #: The traffic-mix grammar accepted by ``repro loadgen --mix``.
-MIXES = ("hot", "unique", "mixed")
+MIXES = ("hot", "unique", "mixed", "hostile")
+
+#: Fuzz-generator kinds the hostile mix draws malformed matrices from
+#: (content-producing ``mtx-*`` kinds only).
+HOSTILE_KINDS = (
+    "mtx-garbage",
+    "mtx-dimension-lie",
+    "mtx-index-overflow",
+    "mtx-negative",
+    "mtx-dense-bomb",
+    "mtx-truncate",
+    "mtx-mutate",
+)
+
+#: Share of hostile-mix requests that carry a malformed matrix.
+HOSTILE_FRACTION = 0.5
 
 #: Distinct queries in the hot pool (skew-weighted).
 HOT_POOL_SIZE = 4
@@ -69,10 +92,17 @@ CLIENT_TIMEOUT_S = 120.0
 
 @dataclass(frozen=True)
 class PlannedRequest:
-    """One request the generator will send, fixed at plan time."""
+    """One request the generator will send, fixed at plan time.
+
+    ``hostile`` marks requests carrying deliberately malformed
+    matrices (the report tracks their outcomes separately);
+    ``priority`` is sent as ``X-Copernicus-Priority`` when non-empty.
+    """
 
     endpoint: str
     payload: dict
+    hostile: bool = False
+    priority: str = ""
 
     def body(self) -> bytes:
         return canonical_json(self.payload)
@@ -148,6 +178,29 @@ def _advise(workload: dict, objective: str) -> PlannedRequest:
     )
 
 
+def _hostile_request(rng: Random, seed: int, index: int) -> PlannedRequest:
+    """One malformed-matrix request from the fuzz generators.
+
+    The content is a pure function of ``(kind, seed, index)`` — the
+    same loadgen triple always sends the identical hostile bytes, so a
+    server-side regression reproduces from the report alone.
+    """
+    from ..guard.fuzz import build_case
+
+    kind = rng.choice(HOSTILE_KINDS)
+    case = build_case(kind, seed * 1_000_003 + index)
+    return PlannedRequest(
+        endpoint="characterize",
+        payload={
+            "workload": {"kind": "mtx", "content": case.mtx},
+            "formats": ["coo", "csr"],
+            "partitions": [8],
+        },
+        hostile=True,
+        priority="low",
+    )
+
+
 def plan_requests(
     mix: str, n_requests: int, seed: int
 ) -> list[PlannedRequest]:
@@ -172,6 +225,11 @@ def plan_requests(
             planned.append(_characterize(_pick_hot(rng, pool)))
         elif mix == "unique":
             planned.append(_characterize(_unique_workload(rng, index)))
+        elif mix == "hostile":
+            if rng.random() < HOSTILE_FRACTION:
+                planned.append(_hostile_request(rng, seed, index))
+            else:
+                planned.append(_characterize(_pick_hot(rng, pool)))
         else:  # mixed
             draw = rng.random()
             if draw < 0.5:
@@ -198,9 +256,14 @@ async def http_request(
     path: str,
     body: bytes = b"",
     timeout_s: float = CLIENT_TIMEOUT_S,
+    headers: "dict[str, str] | None" = None,
 ) -> tuple[int, dict, bytes]:
     """One ``Connection: close`` round-trip; returns
     ``(status, headers, body)``."""
+    extra = "".join(
+        f"{name}: {value}\r\n"
+        for name, value in (headers or {}).items()
+    )
 
     async def _round_trip() -> tuple[int, dict, bytes]:
         reader, writer = await asyncio.open_connection(host, port)
@@ -210,6 +273,7 @@ async def http_request(
                 f"Host: {host}:{port}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 "Content-Type: application/json\r\n"
+                f"{extra}"
                 "Connection: close\r\n\r\n"
             ).encode("latin-1") + body
             writer.write(request)
@@ -275,6 +339,7 @@ class RequestOutcome:
     source: str
     degraded: str
     n_retries: int = 0
+    hostile: bool = False
 
 
 def _retry_after_floor(headers: dict) -> float:
@@ -328,12 +393,17 @@ async def run_load(
             )
             retries = 0
             attempt = 1
+            request_headers = (
+                {"X-Copernicus-Priority": request.priority}
+                if request.priority
+                else None
+            )
             while True:
                 start = time.perf_counter()
                 try:
                     status, headers, _ = await http_request(
                         host, port, "POST", f"/{request.endpoint}",
-                        request.body(),
+                        request.body(), headers=request_headers,
                     )
                 except LoadGenError:
                     if not tolerate_errors:
@@ -345,6 +415,7 @@ async def run_load(
                         source="",
                         degraded="",
                         n_retries=retries,
+                        hostile=request.hostile,
                     )
                 if (
                     status == 429
@@ -367,6 +438,7 @@ async def run_load(
                     source=headers.get("x-copernicus-source", ""),
                     degraded=headers.get("x-copernicus-degraded", ""),
                     n_retries=retries,
+                    hostile=request.hostile,
                 )
 
     started = time.perf_counter()
@@ -388,6 +460,42 @@ def percentile(values: list[float], pct: float) -> float:
     ordered = sorted(values)
     rank = math.ceil(pct / 100 * len(ordered))
     return ordered[rank - 1]
+
+
+def _hostile_section(outcomes: list[RequestOutcome]) -> dict:
+    """Outcome accounting for the malformed-matrix share of a run.
+
+    ``contained`` counts hostile requests answered with a typed 4xx
+    (the sandbox/validation verdict) or a 503 overload refusal —
+    hostile traffic rides at ``low`` priority, so a pressured server
+    shedding it is also containment.  A hostile 2xx means a malformed
+    matrix was *served*; ``worker_harm`` (a non-503 5xx, or a dropped
+    connection) means it reached — and hurt — a worker.  The guard
+    campaign gates both at zero.
+    """
+    hostile = [o for o in outcomes if o.hostile]
+    statuses: dict[str, int] = {}
+    for outcome in hostile:
+        statuses[str(outcome.status)] = (
+            statuses.get(str(outcome.status), 0) + 1
+        )
+    return {
+        "requests": len(hostile),
+        "statuses": statuses,
+        "contained": sum(
+            1
+            for o in hostile
+            if 400 <= o.status < 500 or o.status == 503
+        ),
+        "served_2xx": sum(
+            1 for o in hostile if 200 <= o.status < 300
+        ),
+        "worker_harm": sum(
+            1
+            for o in hostile
+            if o.status == 0 or (o.status >= 500 and o.status != 503)
+        ),
+    }
 
 
 def _counter_delta(before: dict, after: dict, name: str) -> int:
@@ -468,6 +576,7 @@ def bench_report(
         ),
         "n_degraded": sum(1 for o in outcomes if o.degraded),
         "sources": sources,
+        "hostile": _hostile_section(outcomes),
         "server": {
             "coalesce_hits": coalesce_hits,
             "coalesce_misses": coalesce_misses,

@@ -82,7 +82,11 @@ CONSTRAINT_FIELDS = (
     "max_bram_18k", "max_ff", "max_lut", "max_dynamic_power_w",
 )
 
-_WORKLOAD_KINDS = ("random", "band", "poisson", "standin")
+_WORKLOAD_KINDS = ("random", "band", "poisson", "standin", "mtx")
+
+#: Largest inline ``.mtx`` content a query may carry (the HTTP body
+#: cap is 1 MiB; this keeps the workload's share of it explicit).
+MAX_MTX_CONTENT_BYTES = 1 << 19
 _STANDIN_IDS = tuple(row.id for row in TABLE1)
 
 
@@ -118,13 +122,19 @@ class Query:
 
     def echo(self) -> dict:
         """The normalized query, echoed in every response payload."""
+        workload: dict = {
+            "kind": self.spec.kind,
+            "name": self.spec.name,
+            **dict(self.spec.params),
+        }
+        if self.spec.kind == "mtx":
+            # never reflect untrusted bytes back to a client; the
+            # name already carries the content digest
+            content = workload.pop("content", "")
+            workload["content_bytes"] = len(content)
         payload: dict = {
             "endpoint": self.endpoint,
-            "workload": {
-                "kind": self.spec.kind,
-                "name": self.spec.name,
-                **dict(self.spec.params),
-            },
+            "workload": workload,
             "formats": list(self.formats),
             "partitions": list(self.partitions),
         }
@@ -195,10 +205,31 @@ def _parse_workload(
         "band": ("kind", "n", "width", "seed"),
         "poisson": ("kind", "grid"),
         "standin": ("kind", "id", "max_dim", "seed"),
+        "mtx": ("kind", "content"),
     }[kind]
     for field in data:
         if field not in known:
             problems.append(f"unknown workload field {field!r}")
+    if kind == "mtx":
+        content = data.get("content")
+        if not isinstance(content, str) or not content:
+            problems.append(
+                "workload.content must be a non-empty string of "
+                "MatrixMarket text"
+            )
+            return None
+        if len(content) > MAX_MTX_CONTENT_BYTES:
+            problems.append(
+                f"workload.content exceeds {MAX_MTX_CONTENT_BYTES} "
+                f"bytes ({len(content)})"
+            )
+            return None
+        if problems:
+            return None
+        # deliberately *not* parsed here: untrusted content first
+        # crosses the sandbox boundary in the server, never the
+        # request-parsing path
+        return WorkloadSpec.mtx(content)
     seed = _require_int(
         data.get("seed", 0), "workload.seed", 0, 2**32 - 1, problems
     )

@@ -52,6 +52,7 @@ from __future__ import annotations
 import asyncio
 import functools
 import json
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -64,11 +65,22 @@ from ..errors import (
     AdvisorError,
     CopernicusError,
     ServeBudgetError,
+    ServeCircuitOpenError,
     ServeDrainingError,
     ServeError,
     ServeOverloadedError,
     ServeRequestError,
+    ServeSandboxError,
+    ServeShedError,
 )
+from ..guard.overload import (
+    BulkheadStats,
+    CircuitBreaker,
+    GuardPolicy,
+    LoadShedder,
+    parse_priority,
+)
+from ..guard.sandbox import Sandbox, SandboxLimits
 from ..observability import MetricsRegistry, metrics_payload
 from .backend import SweepBackend
 from .lru import LRUCache
@@ -156,6 +168,20 @@ class CharacterizationServer:
     advisor_margin:
         Relative best-vs-runner-up gap below which a fast prediction
         is not trusted and the exact path answers instead.
+    guard_policy:
+        Optional :class:`~repro.guard.GuardPolicy` arming the overload
+        defenses: per-route circuit breakers, SLO-aware priority load
+        shedding (from the ``X-Copernicus-Priority`` header), and a
+        separate cheap-lane executor bulkheading fast-path/sandbox
+        work away from sweep computations.  ``None`` (the default)
+        keeps the legacy behavior — no breakers, no shedding, one
+        executor.
+    sandbox_limits:
+        Resource caps for the poison-matrix sandbox that untrusted
+        inline ``mtx`` workloads must survive before they reach a
+        worker (defaults to :class:`~repro.guard.SandboxLimits`).
+        The sandbox is always armed for ``mtx`` queries, independent
+        of ``guard_policy``.
     """
 
     def __init__(
@@ -171,6 +197,8 @@ class CharacterizationServer:
         faults: "FaultPlan | str | None" = None,
         advisor_model: "AdvisorModel | str | None" = None,
         advisor_margin: float = 0.05,
+        guard_policy: "GuardPolicy | None" = None,
+        sandbox_limits: "SandboxLimits | None" = None,
     ) -> None:
         if max_inflight < 1:
             raise ServeError(
@@ -213,8 +241,30 @@ class CharacterizationServer:
                 self.metrics.incr(
                     f"serve.advisor.errors.{type(error).__name__}"
                 )
+        self.guard_policy = guard_policy
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self.shedder: LoadShedder | None = None
+        if guard_policy is not None:
+            self.shedder = LoadShedder(
+                p99_threshold_ms=guard_policy.shed_p99_ms,
+                queue_depth_threshold=guard_policy.shed_queue_depth,
+                metrics=self.metrics,
+            )
+        self._sandbox_limits = sandbox_limits or SandboxLimits()
+        self._sandbox: Sandbox | None = None
+        self._sandbox_spawn_lock = threading.Lock()
+        cheap_width = (
+            guard_policy.cheap_lane_width
+            if guard_policy is not None
+            else 1
+        )
+        self._bulkheads = {
+            "compute": BulkheadStats("compute", max_inflight),
+            "cheap": BulkheadStats("cheap", cheap_width),
+        }
         self._semaphore: asyncio.Semaphore | None = None
         self._executor: ThreadPoolExecutor | None = None
+        self._cheap_executor: ThreadPoolExecutor | None = None
         self._server: asyncio.AbstractServer | None = None
         self._waiting = 0
         self._running = 0
@@ -236,6 +286,13 @@ class CharacterizationServer:
             max_workers=self.max_inflight,
             thread_name_prefix="repro-serve",
         )
+        if self.guard_policy is not None:
+            # the bulkhead: cheap fast-path/sandbox work never queues
+            # behind (or starves) expensive sweep computations
+            self._cheap_executor = ThreadPoolExecutor(
+                max_workers=self.guard_policy.cheap_lane_width,
+                thread_name_prefix="repro-serve-cheap",
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -315,6 +372,14 @@ class CharacterizationServer:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+        if self._cheap_executor is not None:
+            self._cheap_executor.shutdown(
+                wait=False, cancel_futures=True
+            )
+            self._cheap_executor = None
+        if self._sandbox is not None:
+            self._sandbox.close()
+            self._sandbox = None
 
     # ------------------------------------------------------------------
     # HTTP plumbing
@@ -327,11 +392,11 @@ class CharacterizationServer:
             self._inflight.add(task)
         status, body, extra_headers = 500, b"{}", {}
         try:
-            method, path, request_body = await asyncio.wait_for(
+            method, path, request_body, priority = await asyncio.wait_for(
                 self._read_request(reader), timeout=READ_TIMEOUT_S
             )
             status, body, extra_headers = await self._dispatch(
-                method, path, request_body
+                method, path, request_body, priority
             )
         except _ProtocolError as error:
             status = error.status
@@ -379,7 +444,7 @@ class CharacterizationServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, bytes]:
+    ) -> tuple[str, str, bytes, str]:
         request_line = await reader.readline()
         if not request_line:
             raise EOFError
@@ -390,6 +455,7 @@ class CharacterizationServer:
             raise _ProtocolError("malformed request line", 400)
         method, path = parts[0].upper(), parts[1]
         content_length = 0
+        priority = parse_priority(None)
         for _ in range(MAX_HEADER_LINES):
             line = await reader.readline()
             if len(line) > MAX_LINE_BYTES:
@@ -397,13 +463,16 @@ class CharacterizationServer:
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            header = name.strip().lower()
+            if header == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
                     raise _ProtocolError(
                         "invalid Content-Length", 400
                     ) from None
+            elif header == "x-copernicus-priority":
+                priority = parse_priority(value.strip())
         else:
             raise _ProtocolError("too many headers", 400)
         if content_length < 0:
@@ -417,13 +486,13 @@ class CharacterizationServer:
             if content_length
             else b""
         )
-        return method, path, body
+        return method, path, body, priority
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     async def _dispatch(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, body: bytes, priority: str = "normal"
     ) -> tuple[int, bytes, dict]:
         path = path.split("?", 1)[0]
         if path == "/metrics":
@@ -453,7 +522,7 @@ class CharacterizationServer:
                         "ServeDrainingError", str(error), 503
                     )
                 ), {"Retry-After": "1"}
-            return await self._handle_query(endpoint, body)
+            return await self._handle_query(endpoint, body, priority)
         self.metrics.incr("serve.http.404")
         return 404, canonical_json(
             error_payload("NotFound", f"no route for {path}", 404)
@@ -469,7 +538,7 @@ class CharacterizationServer:
     # The query path: cache -> single-flight -> admission -> backend
     # ------------------------------------------------------------------
     async def _handle_query(
-        self, endpoint: str, body: bytes
+        self, endpoint: str, body: bytes, priority: str = "normal"
     ) -> tuple[int, bytes, dict]:
         start = time.perf_counter()
         self.metrics.incr("serve.requests")
@@ -477,6 +546,20 @@ class CharacterizationServer:
         status, source, degraded = 500, "error", ""
         digest = ""
         try:
+            if self.shedder is not None and self.shedder.should_shed(
+                priority, self._waiting
+            ):
+                error = ServeShedError(
+                    f"shedding {priority!r}-priority work: request "
+                    f"p99 {self.shedder.p99_ms():.0f}ms / queue depth "
+                    f"{self._waiting} crossed the configured SLO "
+                    "thresholds; retry after backoff or raise "
+                    "X-Copernicus-Priority"
+                )
+                error.retry_after_s = (
+                    self.guard_policy.shed_retry_after_s
+                )
+                raise error
             try:
                 payload = json.loads(body)
             except json.JSONDecodeError as error:
@@ -499,19 +582,28 @@ class CharacterizationServer:
         except CopernicusError as error:
             status = getattr(error, "status", 500)
             self.metrics.incr(f"serve.errors.{type(error).__name__}")
+            headers = {}
+            retry_after = getattr(error, "retry_after_s", None)
+            if retry_after is not None:
+                headers["Retry-After"] = str(
+                    max(1, int(retry_after + 0.999))
+                )
             return status, canonical_json(
                 error_payload(type(error).__name__, str(error), status)
-            ), {}
+            ), headers
         finally:
+            elapsed = time.perf_counter() - start
             if status >= 500:
                 self.metrics.incr("serve.http.5xx")
             self.metrics.incr(f"serve.http.{status}")
-            self.metrics.observe(
-                "serve.request", time.perf_counter() - start
-            )
+            self.metrics.observe("serve.request", elapsed)
+            if self.shedder is not None and status == 200:
+                # shed/refused answers are fast by construction;
+                # feeding them into the window would talk the shedder
+                # out of shedding while the backend is still drowning
+                self.shedder.observe(elapsed)
             self._record_span(
-                endpoint, status, source, degraded, digest,
-                time.perf_counter() - start,
+                endpoint, status, source, degraded, digest, elapsed
             )
 
     async def _answer(
@@ -523,6 +615,21 @@ class CharacterizationServer:
             self.metrics.incr("serve.cache.hits")
             return cached, "cache", ""
         self.metrics.incr("serve.cache.misses")
+        if query.spec.kind == "mtx":
+            # untrusted bytes cross the sandbox boundary before any
+            # in-process parse — a poison matrix costs one verdict,
+            # never a serve worker
+            await self._sandbox_gate(query)
+        breaker = self._breaker(query.endpoint)
+        if breaker is not None and not breaker.allow():
+            error = ServeCircuitOpenError(
+                f"circuit breaker for /{query.endpoint} is "
+                f"{breaker.state}: the backend failed "
+                f"{breaker.failure_threshold} consecutive times; "
+                "retry after backoff"
+            )
+            error.retry_after_s = breaker.retry_after_s()
+            raise error
         if self.advisor is not None and query.endpoint == "advise":
             fast = await self._fast_advise(query, digest)
             if fast is not None:
@@ -579,6 +686,7 @@ class CharacterizationServer:
         """Run the backend under admission control (leaders only)."""
         if self._waiting >= self.queue_limit:
             self.metrics.incr("serve.http.429.refused")
+            self._bulkheads["compute"].rejected += 1
             raise ServeOverloadedError(
                 f"server at capacity: {self._running} computations "
                 f"running, {self._waiting} queued (limit "
@@ -590,15 +698,94 @@ class CharacterizationServer:
         finally:
             self._waiting -= 1
         self._running += 1
+        stats = self._bulkheads["compute"]
+        stats.submitted += 1
+        breaker = self._breaker(query.endpoint)
         try:
             loop = asyncio.get_running_loop()
-            return await loop.run_in_executor(
+            body = await loop.run_in_executor(
                 self._executor,
                 functools.partial(self.backend.execute_bytes, query),
             )
+        except Exception:
+            # the backend (not admission) failed: feed the breaker
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            return body
         finally:
+            stats.completed += 1
             self._running -= 1
             self._semaphore.release()
+
+    # ------------------------------------------------------------------
+    # The guard layer: breaker lookup and the sandbox boundary
+    # ------------------------------------------------------------------
+    def _breaker(self, route: str) -> "CircuitBreaker | None":
+        """The route's circuit breaker (lazily created; None unguarded)."""
+        if self.guard_policy is None:
+            return None
+        breaker = self._breakers.get(route)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                route,
+                failure_threshold=self.guard_policy.breaker_threshold,
+                recovery_s=self.guard_policy.breaker_recovery_s,
+                half_open_probes=self.guard_policy.breaker_probes,
+                metrics=self.metrics,
+            )
+            self._breakers[route] = breaker
+        return breaker
+
+    async def _sandbox_gate(self, query: Query) -> None:
+        """Prove an untrusted ``mtx`` workload inside the sandbox.
+
+        Runs parse + profile (the costliest pre-compute stages) in the
+        resource-capped subprocess on the cheap lane; anything but an
+        ``ok`` verdict refuses the query with the typed
+        :class:`ServeSandboxError` before the matrix reaches a serve
+        worker.
+        """
+        content = dict(query.spec.params)["content"]
+        p = max(query.partitions) if query.partitions else 8
+        loop = asyncio.get_running_loop()
+        stats = self._bulkheads["cheap"]
+        stats.submitted += 1
+        try:
+            verdict = await loop.run_in_executor(
+                self._cheap_executor or self._executor,
+                functools.partial(self._sandbox_profile, content, p),
+            )
+        finally:
+            stats.completed += 1
+        self.metrics.incr(f"serve.sandbox.{verdict.kind}")
+        if verdict.kind == "rejected":
+            raise ServeSandboxError(
+                f"matrix rejected: {verdict.detail}", verdict.kind
+            )
+        if not verdict.ok:
+            raise ServeSandboxError(
+                f"matrix refused by the sandbox ({verdict.kind}): "
+                f"{verdict.detail or 'resource limits exceeded'}",
+                verdict.kind,
+            )
+        shape = (verdict.result or {}).get("shape") or (0, 0)
+        if max(shape) > self.max_dim:
+            raise ServeRequestError(
+                f"matrix shape {shape[0]} x {shape[1]} exceeds this "
+                f"server's max_dim {self.max_dim}"
+            )
+
+    def _sandbox_profile(self, content: str, p: int):
+        """Synchronous sandbox round-trip (runs on the cheap lane)."""
+        if self._sandbox is None:
+            with self._sandbox_spawn_lock:
+                if self._sandbox is None:
+                    self._sandbox = Sandbox(self._sandbox_limits)
+        return self._sandbox.run("profile", mtx=content, p=p)
 
     # ------------------------------------------------------------------
     # The learned fast path
@@ -630,9 +817,13 @@ class CharacterizationServer:
         self, query: Query, ignore_margin: bool
     ) -> bytes | None:
         loop = asyncio.get_running_loop()
+        stats = self._bulkheads["cheap"]
+        stats.submitted += 1
         try:
+            # cheap lane when bulkheaded: a fast prediction must not
+            # queue behind a convoy of sweep computations
             return await loop.run_in_executor(
-                self._executor,
+                self._cheap_executor or self._executor,
                 functools.partial(
                     self._advisor_answer, query, ignore_margin
                 ),
@@ -645,6 +836,8 @@ class CharacterizationServer:
             )
             self.metrics.incr("serve.advisor.fallbacks")
             return None
+        finally:
+            stats.completed += 1
 
     def _advisor_answer(
         self, query: Query, ignore_margin: bool
@@ -789,6 +982,39 @@ class CharacterizationServer:
                         else None
                     ),
                     "margin_threshold": self.advisor_margin,
+                },
+                "guard": {
+                    "enabled": self.guard_policy is not None,
+                    "breakers": {
+                        route: breaker.snapshot()
+                        for route, breaker in sorted(
+                            self._breakers.items()
+                        )
+                    },
+                    "shedder": (
+                        self.shedder.snapshot()
+                        if self.shedder is not None
+                        else None
+                    ),
+                    "bulkheads": {
+                        name: stats.snapshot()
+                        for name, stats in sorted(
+                            self._bulkheads.items()
+                        )
+                    },
+                    "sandbox": {
+                        "spawned": self._sandbox is not None,
+                        "spawns": (
+                            self._sandbox.spawns
+                            if self._sandbox is not None
+                            else 0
+                        ),
+                        "jobs": (
+                            self._sandbox.jobs
+                            if self._sandbox is not None
+                            else 0
+                        ),
+                    },
                 },
             },
         )

@@ -1,0 +1,98 @@
+"""The bench_guard/v1 campaign: schema, gates, and the gate checker."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.errors import GuardError
+from repro.guard import (
+    BENCH_GUARD_SCHEMA,
+    DEFAULT_CORPUS_DIR,
+    check_guard_campaign,
+    run_guard_campaign,
+    write_guard_report,
+)
+
+REPORT_FIELDS = {
+    "schema", "machine", "config", "corpus", "fuzz", "breaker",
+    "shedding", "hostile", "summary",
+}
+GATES = {
+    "corpus_zero_crashes", "corpus_zero_unhandled",
+    "fuzz_zero_new_crashes", "breaker_opened", "breaker_recovered",
+    "high_priority_served", "low_priority_shed",
+    "hostile_zero_worker_harm",
+}
+
+
+@pytest.fixture(scope="module")
+def report() -> dict:
+    # one small full campaign shared by every assertion below: the
+    # phases are end-to-end (real sandbox child, real sockets), so
+    # rerunning per test would dominate the suite
+    return run_guard_campaign(
+        seed=3, fuzz_cases=26, hostile_requests=8, concurrency=2
+    )
+
+
+class TestCampaignReport:
+    def test_schema_and_fields(self, report) -> None:
+        assert report["schema"] == BENCH_GUARD_SCHEMA == "bench_guard/v1"
+        assert set(report) == REPORT_FIELDS
+        assert set(report["summary"]["gates"]) == GATES
+
+    def test_all_gates_pass_on_a_healthy_tree(self, report) -> None:
+        assert report["summary"]["n_gates_failed"] == 0
+        check_guard_campaign(report)  # must not raise
+
+    def test_corpus_phase_replays_the_committed_corpus(
+        self, report
+    ) -> None:
+        assert report["config"]["corpus_dir"] == str(DEFAULT_CORPUS_DIR)
+        assert report["corpus"]["n_cases"] >= 20
+        assert report["corpus"]["crash_signatures"] == []
+        assert report["corpus"]["unhandled_exceptions"] == []
+
+    def test_breaker_opened_and_recovered(self, report) -> None:
+        breaker = report["breaker"]
+        assert breaker["poison_statuses"] == [500, 500, 500]
+        assert breaker["open_status"] == 503
+        assert breaker["retry_after"]
+        assert breaker["probe_status"] == 200
+        assert breaker["transitions"]["closed-open"] == 1
+        assert breaker["transitions"]["half-open-closed"] == 1
+
+    def test_priorities_separated_under_pressure(self, report) -> None:
+        shedding = report["shedding"]
+        assert shedding["high_all_served"]
+        assert shedding["low_all_shed"]
+        assert shedding["normal_all_shed"]
+        assert shedding["high_p99_ms"] > 0
+        assert shedding["by_priority"]["low"]["statuses"] == {"503": 4}
+
+    def test_hostile_traffic_contained(self, report) -> None:
+        hostile = report["hostile"]["hostile"]
+        assert hostile["worker_harm"] == 0
+        assert hostile["contained"] == hostile["requests"]
+
+    def test_write_report(self, report, tmp_path) -> None:
+        path = write_guard_report(report, tmp_path / "BENCH_guard.json")
+        assert path.is_file()
+
+
+class TestGateChecker:
+    def test_failed_gate_raises_with_names(self, report) -> None:
+        doctored = copy.deepcopy(report)
+        doctored["summary"]["gates"]["breaker_opened"] = False
+        doctored["summary"]["gates"]["hostile_zero_worker_harm"] = False
+        with pytest.raises(GuardError) as excinfo:
+            check_guard_campaign(doctored)
+        message = str(excinfo.value)
+        assert "breaker_opened" in message
+        assert "hostile_zero_worker_harm" in message
+
+    def test_bad_config_rejected(self) -> None:
+        with pytest.raises(GuardError, match="hostile_requests"):
+            run_guard_campaign(hostile_requests=0)

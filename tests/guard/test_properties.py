@@ -1,0 +1,95 @@
+"""Property-based containment proofs (hypothesis).
+
+The contract under test: *no* byte stream and *no* corrupted encoding
+— across every registered format — escalates beyond a typed verdict.
+``execute_case`` never raises, never kills the process, and labels
+every outcome with a known verdict kind.  These properties are the
+generalization of the committed corpus: the corpus pins inputs we have
+seen, hypothesis searches for inputs we have not.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CopernicusError
+from repro.formats import ALL_FORMATS
+from repro.guard import FUZZ_KINDS, FuzzCase, build_case, execute_case
+from repro.guard.sandbox import VERDICT_KINDS
+
+MTX_KINDS = tuple(k for k in FUZZ_KINDS if k.startswith("mtx-"))
+ENC_KINDS = tuple(k for k in FUZZ_KINDS if k.startswith("enc-"))
+TYPED = set(VERDICT_KINDS)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    kind=st.sampled_from(MTX_KINDS),
+    seed=st.integers(0, 2 ** 31 - 1),
+)
+def test_generated_mtx_bytes_yield_typed_verdicts(kind, seed) -> None:
+    outcome = execute_case(build_case(kind, seed))
+    assert outcome.kind in TYPED
+    assert not outcome.crashed, (
+        f"{kind} seed={seed} crashed: {outcome.signature}\n"
+        f"{outcome.detail}"
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    kind=st.sampled_from(ENC_KINDS),
+    seed=st.integers(0, 2 ** 31 - 1),
+    format_name=st.sampled_from(sorted(ALL_FORMATS)),
+)
+def test_corrupted_encodings_yield_typed_verdicts_all_formats(
+    kind, seed, format_name
+) -> None:
+    """Every one of the 14 codecs survives damaged streams and lying
+    metadata with a typed verdict — never an unhandled exception."""
+    outcome = execute_case(build_case(kind, seed, format_name))
+    assert outcome.kind in TYPED
+    assert not outcome.crashed, (
+        f"{kind}/{format_name} seed={seed} crashed: "
+        f"{outcome.signature}\n{outcome.detail}"
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(text=st.text(max_size=400))
+def test_arbitrary_text_never_crashes_the_parser(text) -> None:
+    """Raw attacker-controlled bytes through the full mtx execution
+    path: parse, and where parsing succeeds, profile + encode."""
+    case = FuzzCase(kind="mtx-garbage", seed=0, mtx=text)
+    outcome = execute_case(case)
+    assert outcome.kind in TYPED
+    assert not outcome.crashed, (
+        f"text {text!r} crashed: {outcome.signature}"
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n_rows=st.integers(-(2 ** 80), 2 ** 80),
+    n_cols=st.integers(-(2 ** 80), 2 ** 80),
+    n_entries=st.integers(-(2 ** 80), 2 ** 80),
+)
+def test_header_extents_never_reach_allocation(
+    n_rows, n_cols, n_entries
+) -> None:
+    """A size line is attacker data: any extent triple either parses
+    into a real (small) matrix or raises a typed CopernicusError
+    before entry parsing — never OverflowError/ValueError from numpy."""
+    from repro.io import loads
+
+    text = (
+        "%%MatrixMarket matrix coordinate real general\n"
+        f"{n_rows} {n_cols} {n_entries}\n"
+        "1 1 1.0\n"
+    )
+    try:
+        matrix = loads(text)
+    except CopernicusError:
+        return  # a typed refusal is the expected outcome
+    assert matrix.n_rows >= 0 and matrix.n_cols >= 0

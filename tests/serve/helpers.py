@@ -29,7 +29,10 @@ async def running_server(**kwargs):
 
 
 async def post_json(
-    server: CharacterizationServer, endpoint: str, payload: dict
+    server: CharacterizationServer,
+    endpoint: str,
+    payload: dict,
+    headers: dict | None = None,
 ) -> tuple[int, dict, bytes]:
     """POST ``payload`` to ``/<endpoint>``; returns
     ``(status, headers, body bytes)``."""
@@ -39,6 +42,7 @@ async def post_json(
         "POST",
         f"/{endpoint}",
         json.dumps(payload).encode(),
+        headers=headers,
     )
 
 

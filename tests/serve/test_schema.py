@@ -52,7 +52,10 @@ METRICS_FIELDS = {
 BENCH_FIELDS = {
     "schema", "machine", "mix", "seed", "requests", "concurrency",
     "wall_s", "throughput_rps", "latency_ms", "statuses", "retries",
-    "n_5xx", "n_degraded", "sources", "server",
+    "n_5xx", "n_degraded", "sources", "hostile", "server",
+}
+BENCH_HOSTILE_FIELDS = {
+    "requests", "statuses", "contained", "served_2xx", "worker_harm",
 }
 BENCH_RETRY_FIELDS = {"total", "requests_retried", "resolved_429"}
 MACHINE_FIELDS = {
@@ -195,6 +198,7 @@ class TestMetricsV1:
                 assert set(payload) == METRICS_FIELDS
                 assert set(payload["extra"]) == {
                     "server", "cache", "singleflight", "advisor",
+                    "guard",
                 }
                 assert set(payload["extra"]["server"]) == {
                     "max_inflight", "queue_limit", "budget_s",
@@ -212,6 +216,15 @@ class TestMetricsV1:
                     "enabled": False,
                     "model": None,
                     "margin_threshold": 0.05,
+                }
+                assert set(payload["extra"]["guard"]) == {
+                    "enabled", "breakers", "shedder", "bulkheads",
+                    "sandbox",
+                }
+                assert payload["extra"]["guard"]["enabled"] is False
+                assert payload["extra"]["guard"]["shedder"] is None
+                assert set(payload["extra"]["guard"]["bulkheads"]) == {
+                    "compute", "cheap",
                 }
 
         asyncio.run(main())
@@ -249,6 +262,7 @@ class TestBenchServeV1:
         )
         assert set(report) == BENCH_FIELDS
         assert report["schema"] == BENCH_SERVE_SCHEMA
+        assert set(report["hostile"]) == BENCH_HOSTILE_FIELDS
         assert set(report["machine"]) == MACHINE_FIELDS
         assert set(report["latency_ms"]) == BENCH_LATENCY_FIELDS
         assert set(report["server"]) == BENCH_SERVER_FIELDS
